@@ -1,0 +1,478 @@
+//! Byzantine adversary strategies attacking the generic consensus protocol.
+//!
+//! Each strategy implements [`gencon_rounds::Adversary`] for the
+//! [`gencon_core::ConsensusMsg`] message type and exhibits one of the
+//! behaviours the paper's Byzantine model allows (§2.1–2.2):
+//!
+//! * [`Silent`] — sends nothing, ever (a crash-like Byzantine process);
+//! * [`Equivocator`] — sends *different* plausible protocol messages to the
+//!   two halves of the system in every round, the canonical attack that
+//!   `Pcons` implementations must neutralize;
+//! * [`FreshLiar`] — always claims its vote was validated in the current
+//!   phase (timestamp forgery, the attack the class-2 FLV's `> b`
+//!   multiplicity rule defends against);
+//! * [`HistoryForger`] — fabricates history entries to smuggle a value
+//!   through the class-3 FLV's attestation check (defended by the `> b`
+//!   attestor rule);
+//! * [`SplitVoter`] — silent until decision rounds, where it reports
+//!   conflicting `⟨v, φ⟩` votes to different halves, hunting for double
+//!   decisions at the resilience boundary.
+//!
+//! None of these can impersonate honest processes — the executor attributes
+//! messages to their true senders, and `gencon-crypto` authenticators
+//! enforce the same in networked deployments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gencon_core::{ConsensusMsg, DecisionMsg, History, Schedule, SelectionMsg, ValidationMsg};
+use gencon_rounds::{Adversary, HeardOf, Outgoing};
+use gencon_types::{Config, Phase, ProcessId, Round, RoundKind, Value};
+
+/// Shared construction data for strategies.
+#[derive(Clone, Debug)]
+pub struct AdversaryCtx {
+    /// System parameters.
+    pub cfg: Config,
+    /// The honest algorithm's schedule (the adversary speaks its language).
+    pub schedule: Schedule,
+}
+
+impl AdversaryCtx {
+    /// Creates a context.
+    #[must_use]
+    pub fn new(cfg: Config, schedule: Schedule) -> Self {
+        AdversaryCtx { cfg, schedule }
+    }
+}
+
+fn split_value<V: Value>(dest: ProcessId, n: usize, v0: &V, v1: &V) -> V {
+    if dest.index() < n / 2 {
+        v0.clone()
+    } else {
+        v1.clone()
+    }
+}
+
+/// A Byzantine process that never sends anything.
+///
+/// Strictly weaker than a crash fault for the protocol (it never helps with
+/// quorums either), so every threshold proof must already tolerate it.
+#[derive(Clone, Debug)]
+pub struct Silent<V> {
+    id: ProcessId,
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V: Value> Silent<V> {
+    /// Creates the silent adversary.
+    #[must_use]
+    pub fn new(id: ProcessId) -> Self {
+        Silent {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<V: Value> Adversary for Silent<V> {
+    type Msg = ConsensusMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, _r: Round) -> Outgoing<Self::Msg> {
+        Outgoing::Silent
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<Self::Msg>) {}
+}
+
+/// A Byzantine process that never sends anything, for *any* message type —
+/// the protocol-agnostic variant of [`Silent`] (useful when attacking
+/// compositions such as `gencon-smr` bundles or `gencon-pcons` stacks).
+#[derive(Clone, Debug)]
+pub struct Mute<M> {
+    id: ProcessId,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: Clone + Send + 'static> Mute<M> {
+    /// Creates the mute adversary.
+    #[must_use]
+    pub fn new(id: ProcessId) -> Self {
+        Mute {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> Adversary for Mute<M> {
+    type Msg = M;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, _r: Round) -> Outgoing<M> {
+        Outgoing::Silent
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<M>) {}
+}
+
+/// Equivocates in every round: the first half of the system hears `v0`
+/// everywhere a value appears, the second half hears `v1`.
+#[derive(Clone, Debug)]
+pub struct Equivocator<V> {
+    id: ProcessId,
+    ctx: AdversaryCtx,
+    v0: V,
+    v1: V,
+}
+
+impl<V: Value> Equivocator<V> {
+    /// Creates an equivocator pushing `v0` to low ids and `v1` to high ids.
+    #[must_use]
+    pub fn new(id: ProcessId, ctx: AdversaryCtx, v0: V, v1: V) -> Self {
+        Equivocator { id, ctx, v0, v1 }
+    }
+
+    fn selection_msg(&self, phase: Phase, v: &V) -> ConsensusMsg<V> {
+        // Claim the vote was validated last phase and manufacture the
+        // matching history.
+        let ts = phase.prev();
+        let mut history = History::initial(v.clone());
+        if !ts.is_zero() {
+            history.record(v.clone(), ts);
+        }
+        ConsensusMsg::Selection(
+            phase,
+            SelectionMsg {
+                vote: v.clone(),
+                ts,
+                history,
+                selector: self.ctx.cfg.all_processes(),
+            },
+        )
+    }
+}
+
+impl<V: Value> Adversary for Equivocator<V> {
+    type Msg = ConsensusMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        let (phase, kind) = self.ctx.schedule.locate(r);
+        let n = self.ctx.cfg.n();
+        let msgs = (0..n)
+            .map(|i| {
+                let dest = ProcessId::new(i);
+                let v = split_value(dest, n, &self.v0, &self.v1);
+                let msg = match kind {
+                    RoundKind::Selection => self.selection_msg(phase, &v),
+                    RoundKind::Validation => ConsensusMsg::Validation(
+                        phase,
+                        ValidationMsg {
+                            select: Some(v),
+                            validators: self.ctx.cfg.all_processes(),
+                        },
+                    ),
+                    RoundKind::Decision => ConsensusMsg::Decision(
+                        phase,
+                        DecisionMsg { vote: v, ts: phase },
+                    ),
+                };
+                (dest, msg)
+            })
+            .collect();
+        Outgoing::PerDest(msgs)
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<Self::Msg>) {}
+}
+
+/// Sends consistent messages but always pretends its vote was validated in
+/// the *current* phase (maximal timestamp forgery).
+#[derive(Clone, Debug)]
+pub struct FreshLiar<V> {
+    id: ProcessId,
+    ctx: AdversaryCtx,
+    v: V,
+}
+
+impl<V: Value> FreshLiar<V> {
+    /// Creates the liar pushing value `v`.
+    #[must_use]
+    pub fn new(id: ProcessId, ctx: AdversaryCtx, v: V) -> Self {
+        FreshLiar { id, ctx, v }
+    }
+}
+
+impl<V: Value> Adversary for FreshLiar<V> {
+    type Msg = ConsensusMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        let (phase, kind) = self.ctx.schedule.locate(r);
+        let msg = match kind {
+            RoundKind::Selection => {
+                let mut history = History::initial(self.v.clone());
+                history.record(self.v.clone(), phase);
+                ConsensusMsg::Selection(
+                    phase,
+                    SelectionMsg {
+                        vote: self.v.clone(),
+                        ts: phase, // impossibly fresh timestamp
+                        history,
+                        selector: self.ctx.cfg.all_processes(),
+                    },
+                )
+            }
+            RoundKind::Validation => ConsensusMsg::Validation(
+                phase,
+                ValidationMsg {
+                    select: Some(self.v.clone()),
+                    validators: self.ctx.cfg.all_processes(),
+                },
+            ),
+            RoundKind::Decision => ConsensusMsg::Decision(
+                phase,
+                DecisionMsg {
+                    vote: self.v.clone(),
+                    ts: phase,
+                },
+            ),
+        };
+        Outgoing::Broadcast(msg)
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<Self::Msg>) {}
+}
+
+/// Class-3 attack: fabricates history attestations for a value nobody
+/// selected, trying to force it through Algorithm 4's line 2.
+#[derive(Clone, Debug)]
+pub struct HistoryForger<V> {
+    id: ProcessId,
+    ctx: AdversaryCtx,
+    v: V,
+    forged_phases: Vec<u64>,
+}
+
+impl<V: Value> HistoryForger<V> {
+    /// Creates the forger attesting `(v, φ)` for every `φ` in
+    /// `forged_phases`.
+    #[must_use]
+    pub fn new(id: ProcessId, ctx: AdversaryCtx, v: V, forged_phases: Vec<u64>) -> Self {
+        HistoryForger {
+            id,
+            ctx,
+            v,
+            forged_phases,
+        }
+    }
+}
+
+impl<V: Value> Adversary for HistoryForger<V> {
+    type Msg = ConsensusMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        let (phase, kind) = self.ctx.schedule.locate(r);
+        match kind {
+            RoundKind::Selection => {
+                let mut history = History::new();
+                for &phi in &self.forged_phases {
+                    history.record(self.v.clone(), Phase::new(phi));
+                }
+                let ts = self
+                    .forged_phases
+                    .iter()
+                    .max()
+                    .copied()
+                    .map(Phase::new)
+                    .unwrap_or(Phase::ZERO);
+                Outgoing::Broadcast(ConsensusMsg::Selection(
+                    phase,
+                    SelectionMsg {
+                        vote: self.v.clone(),
+                        ts,
+                        history,
+                        selector: self.ctx.cfg.all_processes(),
+                    },
+                ))
+            }
+            RoundKind::Validation => Outgoing::Broadcast(ConsensusMsg::Validation(
+                phase,
+                ValidationMsg {
+                    select: Some(self.v.clone()),
+                    validators: self.ctx.cfg.all_processes(),
+                },
+            )),
+            RoundKind::Decision => Outgoing::Broadcast(ConsensusMsg::Decision(
+                phase,
+                DecisionMsg {
+                    vote: self.v.clone(),
+                    ts: phase,
+                },
+            )),
+        }
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<Self::Msg>) {}
+}
+
+/// Silent until decision rounds, where it reports conflicting `⟨v, φ⟩`
+/// votes to different halves — the minimal adversary for double-decision
+/// hunting at the resilience boundary (experiment E1).
+#[derive(Clone, Debug)]
+pub struct SplitVoter<V> {
+    id: ProcessId,
+    ctx: AdversaryCtx,
+    v0: V,
+    v1: V,
+}
+
+impl<V: Value> SplitVoter<V> {
+    /// Creates a split voter (low ids hear `v0`, high ids `v1`).
+    #[must_use]
+    pub fn new(id: ProcessId, ctx: AdversaryCtx, v0: V, v1: V) -> Self {
+        SplitVoter { id, ctx, v0, v1 }
+    }
+}
+
+impl<V: Value> Adversary for SplitVoter<V> {
+    type Msg = ConsensusMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        let (phase, kind) = self.ctx.schedule.locate(r);
+        if kind != RoundKind::Decision {
+            return Outgoing::Silent;
+        }
+        let n = self.ctx.cfg.n();
+        let msgs = (0..n)
+            .map(|i| {
+                let dest = ProcessId::new(i);
+                let v = split_value(dest, n, &self.v0, &self.v1);
+                (
+                    dest,
+                    ConsensusMsg::Decision(
+                        phase,
+                        DecisionMsg { vote: v, ts: phase },
+                    ),
+                )
+            })
+            .collect();
+        Outgoing::PerDest(msgs)
+    }
+
+    fn observe(&mut self, _r: Round, _heard: &HeardOf<Self::Msg>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_core::Flag;
+
+    fn ctx() -> AdversaryCtx {
+        AdversaryCtx::new(
+            Config::byzantine(4, 1).unwrap(),
+            Schedule::new(Flag::Phi, false),
+        )
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn silent_stays_silent() {
+        let mut s: Silent<u64> = Silent::new(p(3));
+        assert_eq!(s.id(), p(3));
+        assert!(matches!(s.send(Round::new(1)), Outgoing::Silent));
+    }
+
+    #[test]
+    fn equivocator_splits_every_round_kind() {
+        let mut e = Equivocator::new(p(3), ctx(), 10u64, 20u64);
+        for r in 1..=3u64 {
+            let out = e.send(Round::new(r));
+            let low = out.message_for(p(0)).unwrap();
+            let high = out.message_for(p(3)).unwrap();
+            assert_ne!(low, high, "round {r} must equivocate");
+        }
+    }
+
+    #[test]
+    fn equivocator_selection_messages_are_plausible() {
+        let mut e = Equivocator::new(p(3), ctx(), 10u64, 20u64);
+        // round 4 = selection of phase 2
+        let out = e.send(Round::new(4));
+        let m = out.message_for(p(0)).unwrap();
+        let sel = m.as_selection().unwrap();
+        assert_eq!(sel.vote, 10);
+        assert_eq!(sel.ts, Phase::new(1));
+        assert!(
+            sel.history.contains(&10, Phase::new(1)),
+            "forged history matches claim"
+        );
+    }
+
+    #[test]
+    fn fresh_liar_claims_current_phase() {
+        let mut l = FreshLiar::new(p(3), ctx(), 99u64);
+        let out = l.send(Round::new(4)); // selection, phase 2
+        let m = out.message_for(p(1)).unwrap();
+        let sel = m.as_selection().unwrap();
+        assert_eq!(sel.ts, Phase::new(2));
+        let out_d = l.send(Round::new(6)); // decision, phase 2
+        let d = out_d.message_for(p(1)).unwrap();
+        assert_eq!(d.as_decision().unwrap().ts, Phase::new(2));
+    }
+
+    #[test]
+    fn history_forger_attests_requested_phases() {
+        let mut f = HistoryForger::new(p(3), ctx(), 7u64, vec![1, 3]);
+        let out = f.send(Round::new(10)); // selection, phase 4
+        let m = out.message_for(p(0)).unwrap();
+        let sel = m.as_selection().unwrap();
+        assert!(sel.history.contains(&7, Phase::new(1)));
+        assert!(sel.history.contains(&7, Phase::new(3)));
+        assert_eq!(sel.ts, Phase::new(3));
+    }
+
+    #[test]
+    fn split_voter_only_speaks_in_decisions() {
+        let mut s = SplitVoter::new(p(3), ctx(), 1u64, 2u64);
+        assert!(matches!(s.send(Round::new(1)), Outgoing::Silent));
+        assert!(matches!(s.send(Round::new(2)), Outgoing::Silent));
+        let out = s.send(Round::new(3));
+        assert_eq!(out.message_for(p(0)).unwrap().as_decision().unwrap().vote, 1);
+        assert_eq!(out.message_for(p(3)).unwrap().as_decision().unwrap().vote, 2);
+    }
+
+    #[test]
+    fn observe_is_a_no_op() {
+        let mut e = Equivocator::new(p(3), ctx(), 1u64, 2u64);
+        let heard: HeardOf<ConsensusMsg<u64>> = HeardOf::empty(4);
+        e.observe(Round::new(1), &heard);
+        let mut l = FreshLiar::new(p(3), ctx(), 1u64);
+        l.observe(Round::new(1), &heard);
+    }
+}

@@ -1,0 +1,675 @@
+//! Named consensus algorithms instantiated from the generic construction
+//! (§5 and §6 of the paper).
+//!
+//! Every algorithm here is nothing but a [`Params`] bundle — the engine is
+//! identical; only the four parameters (`FLV`, `Selector`, `TD`, `FLAG`)
+//! change. The constructors enforce each algorithm's published resilience
+//! bound and reproduce the exact parameterizations of the paper:
+//!
+//! | Algorithm | Class | Model | Bound | TD |
+//! |-----------|-------|-------|-------|----|
+//! | [`one_third_rule`] | 1 | benign | n > 3f | ⌈(2n+1)/3⌉ |
+//! | [`fab_paxos`] | 1 | Byzantine | n > 5b | ⌈(n+3b+1)/2⌉ |
+//! | [`paxos`] / [`paxos_rotating`] | 2 (≡3 for b = 0) | benign | n > 2f | ⌈(n+1)/2⌉ |
+//! | [`chandra_toueg`] | 2 | benign | n > 2f | f + 1 |
+//! | [`mqb`] | 2 | Byzantine | n > 4b | ⌈(n+2b+1)/2⌉ |
+//! | [`pbft`] | 3 | Byzantine | n > 3b (n = 3b+1) | 2b + 1 |
+//! | [`ben_or_benign`] | 2 (randomized) | benign | n > 2f | f + 1 |
+//! | [`ben_or_byzantine`] | 2 (randomized) | Byzantine | n > 4b | 3b + 1 |
+//!
+//! MQB ("Masking Quorum Byzantine") is the *new* algorithm the paper's
+//! classification uncovered: class 2 with f = 0, requiring n > 4b — between
+//! FaB Paxos (n > 5b) and PBFT (n > 3b), without PBFT's unbounded history.
+//!
+//! # Example
+//!
+//! ```
+//! use gencon_algos::mqb;
+//! # fn main() -> Result<(), gencon_algos::CatalogError> {
+//! let spec = mqb::<u64>(5, 1)?; // the smallest MQB system
+//! assert_eq!(spec.params.td, 4);
+//! assert_eq!(spec.name, "MQB");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use gencon_core::{
+    BenOrFlv, ChoicePolicy, ClassId, Class1Flv, Class2Flv, FabFlv, Flag, FullSelector,
+    GenericConsensus, LivenessMode, Params, ParamsError, PaxosFlv, PbftFlv, RotatingCoordinator,
+    StableLeader, StateProfile,
+};
+use gencon_types::{Config, ProcessId, Value};
+
+/// A named, fully parameterized algorithm.
+#[derive(Clone, Debug)]
+pub struct AlgorithmSpec<V> {
+    /// The published name ("Paxos", "PBFT", …).
+    pub name: &'static str,
+    /// Its class in Table 1.
+    pub class: ClassId,
+    /// Fault model ("benign" / "Byzantine").
+    pub model: &'static str,
+    /// The published resilience bound.
+    pub bound: &'static str,
+    /// The parameter bundle driving the generic engine.
+    pub params: Params<V>,
+}
+
+impl<V: Value> AlgorithmSpec<V> {
+    /// Builds the full fleet of processes with the given initial values
+    /// (`inits.len()` must equal `n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamsError`] from engine construction.
+    pub fn spawn(&self, inits: &[V]) -> Result<Vec<GenericConsensus<V>>, ParamsError> {
+        assert_eq!(
+            inits.len(),
+            self.params.cfg.n(),
+            "one initial value per process"
+        );
+        inits
+            .iter()
+            .enumerate()
+            .map(|(i, v)| GenericConsensus::new(ProcessId::new(i), self.params.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Error constructing a catalog algorithm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CatalogError {
+    /// The requested system size violates the algorithm's published bound.
+    BoundViolated {
+        /// Algorithm name.
+        algo: &'static str,
+        /// The bound, human-readable.
+        bound: &'static str,
+        /// Requested n.
+        n: usize,
+        /// Minimal admissible n.
+        min_n: usize,
+    },
+    /// The derived parameters failed validation.
+    Params(ParamsError),
+    /// The algorithm pins `n` to a specific shape (PBFT: `n = 3b + 1`).
+    ShapeMismatch {
+        /// Algorithm name.
+        algo: &'static str,
+        /// Expected n.
+        expected_n: usize,
+        /// Requested n.
+        n: usize,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::BoundViolated { algo, bound, n, min_n } => write!(
+                f,
+                "{algo} requires {bound}: n = {n} is below the minimum {min_n}"
+            ),
+            CatalogError::Params(e) => write!(f, "{e}"),
+            CatalogError::ShapeMismatch { algo, expected_n, n } => {
+                write!(f, "{algo} is defined for n = {expected_n}, got n = {n}")
+            }
+        }
+    }
+}
+
+impl Error for CatalogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CatalogError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for CatalogError {
+    fn from(e: ParamsError) -> Self {
+        CatalogError::Params(e)
+    }
+}
+
+/// OneThirdRule \[6]: benign class-1 algorithm, `n > 3f`,
+/// `TD = ⌈(2n+1)/3⌉`, `FLAG = *`, `Selector = Π` (§5.1).
+///
+/// Two rounds per phase, votes only — the leanest instantiation.
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 3f`.
+pub fn one_third_rule<V: Value>(n: usize, f: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("OneThirdRule", "n > 3f", n, 3 * f + 1)?;
+    let cfg = Config::benign(n, f).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Star,
+        td: (2 * n + 1).div_ceil(3),
+        flv: Arc::new(Class1Flv::new()),
+        selector: Arc::new(FullSelector::new()),
+        profile: StateProfile::VoteOnly,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "OneThirdRule",
+        class: ClassId::One,
+        model: "benign",
+        bound: "n > 3f",
+        params,
+    })
+}
+
+/// FaB Paxos \[16]: Byzantine class-1 algorithm, `n > 5b`,
+/// `TD = ⌈(n+3b+1)/2⌉`, `FLAG = *`, `Selector = Π`, FLV = Algorithm 6
+/// (§5.1).
+///
+/// Decides in two rounds per phase — "fast" Byzantine consensus — at the
+/// cost of the largest resilience requirement.
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 5b`.
+pub fn fab_paxos<V: Value>(n: usize, b: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("FaB Paxos", "n > 5b", n, 5 * b + 1)?;
+    let cfg = Config::byzantine(n, b).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Star,
+        td: FabFlv::td(n, b),
+        flv: Arc::new(FabFlv::new()),
+        selector: Arc::new(FullSelector::new()),
+        profile: StateProfile::VoteOnly,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "FaB Paxos",
+        class: ClassId::One,
+        model: "Byzantine",
+        bound: "n > 5b",
+        params,
+    })
+}
+
+/// Paxos \[11] with a stable leader: benign, `n > 2f`, `TD = ⌈(n+1)/2⌉`,
+/// `FLAG = φ`, `Selector = {leader}`, FLV = Algorithm 7 (§5.3).
+///
+/// Models the steady state after leader election stabilized on `leader`;
+/// use [`paxos_rotating`] for executions where the leader may crash.
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 2f`.
+pub fn paxos<V: Value>(
+    n: usize,
+    f: usize,
+    leader: ProcessId,
+) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("Paxos", "n > 2f", n, 2 * f + 1)?;
+    let cfg = Config::benign(n, f).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td: PaxosFlv::td(n),
+        flv: Arc::new(PaxosFlv::new()),
+        selector: Arc::new(StableLeader::new(leader)),
+        profile: StateProfile::VoteTs,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "Paxos",
+        class: ClassId::Two,
+        model: "benign",
+        bound: "n > 2f",
+        params,
+    })
+}
+
+/// Paxos with a rotating coordinator standing in for leader election
+/// (the oracle of \[11] is itself eventual — rotation guarantees an
+/// eventually-correct leader without modeling failure detection).
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 2f`.
+pub fn paxos_rotating<V: Value>(n: usize, f: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("Paxos", "n > 2f", n, 2 * f + 1)?;
+    let cfg = Config::benign(n, f).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td: PaxosFlv::td(n),
+        flv: Arc::new(PaxosFlv::new()),
+        selector: Arc::new(RotatingCoordinator::new()),
+        profile: StateProfile::VoteTs,
+        constant_selector: false,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "Paxos (rotating)",
+        class: ClassId::Two,
+        model: "benign",
+        bound: "n > 2f",
+        params,
+    })
+}
+
+/// Chandra–Toueg ◇S consensus \[5]: benign class-2 algorithm, `n > 2f`,
+/// `TD = f + 1`, `FLAG = φ`, rotating coordinator, FLV = Algorithm 3 with
+/// b = 0 (§5.2 context, Table 1).
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 2f`.
+pub fn chandra_toueg<V: Value>(n: usize, f: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("CT", "n > 2f", n, 2 * f + 1)?;
+    let cfg = Config::benign(n, f).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td: f + 1,
+        flv: Arc::new(Class2Flv::new()),
+        selector: Arc::new(RotatingCoordinator::new()),
+        profile: StateProfile::VoteTs,
+        constant_selector: false,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "CT",
+        class: ClassId::Two,
+        model: "benign",
+        bound: "n > 2f",
+        params,
+    })
+}
+
+/// MQB — the paper's new Masking Quorum Byzantine algorithm (§5.2):
+/// class 2 with f = 0, `n > 4b`, `TD = ⌈(n+2b+1)/2⌉`, `FLAG = φ`,
+/// `Selector = Π`, FLV = Algorithm 3.
+///
+/// Compared to PBFT it avoids the unbounded `history` variable, at the cost
+/// of requiring `n > 4b` instead of `n > 3b`.
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 4b`.
+pub fn mqb<V: Value>(n: usize, b: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("MQB", "n > 4b", n, 4 * b + 1)?;
+    let cfg = Config::byzantine(n, b).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td: (n + 2 * b + 1).div_ceil(2),
+        flv: Arc::new(Class2Flv::new()),
+        selector: Arc::new(FullSelector::new()),
+        profile: StateProfile::VoteTs,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "MQB",
+        class: ClassId::Two,
+        model: "Byzantine",
+        bound: "n > 4b",
+        params,
+    })
+}
+
+/// PBFT \[4] (single-instance core): Byzantine class-3 algorithm with
+/// `n = 3b + 1`, `TD = 2b + 1`, `FLAG = φ`, `Selector = Π`, FLV =
+/// Algorithm 8 (§5.3).
+///
+/// # Errors
+///
+/// [`CatalogError::ShapeMismatch`] if `n ≠ 3b + 1` (the paper pins PBFT's
+/// shape; use [`Params::for_class`] with [`ClassId::Three`] for other
+/// sizes).
+pub fn pbft<V: Value>(n: usize, b: usize) -> Result<AlgorithmSpec<V>, CatalogError> {
+    if n != 3 * b + 1 {
+        return Err(CatalogError::ShapeMismatch {
+            algo: "PBFT",
+            expected_n: 3 * b + 1,
+            n,
+        });
+    }
+    let cfg = Config::byzantine(n, b).map_err(ParamsError::from)?;
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td: PbftFlv::td(b),
+        flv: Arc::new(PbftFlv::new()),
+        selector: Arc::new(FullSelector::new()),
+        profile: StateProfile::Full,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::DeterministicMin,
+        liveness: LivenessMode::PartialSynchrony,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(AlgorithmSpec {
+        name: "PBFT",
+        class: ClassId::Three,
+        model: "Byzantine",
+        bound: "n > 3b",
+        params,
+    })
+}
+
+/// Ben-Or \[1], benign version (§6): randomized binary consensus, `n > 2f`,
+/// `TD = f + 1`, coin flips instead of deterministic choice, `Prel`
+/// channels instead of partial synchrony.
+///
+/// `domain` is the binary value domain (e.g. `[0, 1]`).
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 2f`.
+pub fn ben_or_benign<V: Value>(
+    n: usize,
+    f: usize,
+    domain: [V; 2],
+    seed: u64,
+) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("Ben-Or", "n > 2f", n, 2 * f + 1)?;
+    let cfg = Config::benign(n, f).map_err(ParamsError::from)?;
+    let params = ben_or_params(cfg, f + 1, domain, seed)?;
+    Ok(AlgorithmSpec {
+        name: "Ben-Or",
+        class: ClassId::Two,
+        model: "benign (randomized)",
+        bound: "n > 2f",
+        params,
+    })
+}
+
+/// Ben-Or \[1], Byzantine version (§6): `n > 4b`, `TD = 3b + 1`.
+///
+/// # Errors
+///
+/// [`CatalogError::BoundViolated`] if `n ≤ 4b`.
+pub fn ben_or_byzantine<V: Value>(
+    n: usize,
+    b: usize,
+    domain: [V; 2],
+    seed: u64,
+) -> Result<AlgorithmSpec<V>, CatalogError> {
+    ensure_bound("Ben-Or (Byzantine)", "n > 4b", n, 4 * b + 1)?;
+    let cfg = Config::byzantine(n, b).map_err(ParamsError::from)?;
+    let params = ben_or_params(cfg, 3 * b + 1, domain, seed)?;
+    Ok(AlgorithmSpec {
+        name: "Ben-Or (Byzantine)",
+        class: ClassId::Two,
+        model: "Byzantine (randomized)",
+        bound: "n > 4b",
+        params,
+    })
+}
+
+fn ben_or_params<V: Value>(
+    cfg: Config,
+    td: usize,
+    domain: [V; 2],
+    seed: u64,
+) -> Result<Params<V>, ParamsError> {
+    let params = Params {
+        cfg,
+        flag: Flag::Phi,
+        td,
+        flv: Arc::new(BenOrFlv::new()),
+        selector: Arc::new(FullSelector::new()),
+        profile: StateProfile::VoteTs,
+        constant_selector: true,
+        skip_first_selection: false,
+        choice: ChoicePolicy::UniformCoin {
+            domain: domain.to_vec(),
+            seed,
+        },
+        liveness: LivenessMode::ReliableChannels,
+        prune_history: false,
+    };
+    params.validate()?;
+    Ok(params)
+}
+
+fn ensure_bound(
+    algo: &'static str,
+    bound: &'static str,
+    n: usize,
+    min_n: usize,
+) -> Result<(), CatalogError> {
+    if n < min_n {
+        return Err(CatalogError::BoundViolated {
+            algo,
+            bound,
+            n,
+            min_n,
+        });
+    }
+    Ok(())
+}
+
+/// A row of the catalog table (experiment E3 and the Table 1 generator).
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogEntry {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// Class in Table 1.
+    pub class: ClassId,
+    /// Fault model.
+    pub model: &'static str,
+    /// Published resilience bound.
+    pub bound: &'static str,
+    /// Smallest system tolerating one fault: `(n, f, b)`.
+    pub min_system: (usize, usize, usize),
+}
+
+/// Every algorithm of §5/§6 with its published parameters.
+#[must_use]
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "OneThirdRule",
+            class: ClassId::One,
+            model: "benign",
+            bound: "n > 3f",
+            min_system: (4, 1, 0),
+        },
+        CatalogEntry {
+            name: "FaB Paxos",
+            class: ClassId::One,
+            model: "Byzantine",
+            bound: "n > 5b",
+            min_system: (6, 0, 1),
+        },
+        CatalogEntry {
+            name: "Paxos",
+            class: ClassId::Two,
+            model: "benign",
+            bound: "n > 2f",
+            min_system: (3, 1, 0),
+        },
+        CatalogEntry {
+            name: "CT",
+            class: ClassId::Two,
+            model: "benign",
+            bound: "n > 2f",
+            min_system: (3, 1, 0),
+        },
+        CatalogEntry {
+            name: "MQB",
+            class: ClassId::Two,
+            model: "Byzantine",
+            bound: "n > 4b",
+            min_system: (5, 0, 1),
+        },
+        CatalogEntry {
+            name: "PBFT",
+            class: ClassId::Three,
+            model: "Byzantine",
+            bound: "n > 3b",
+            min_system: (4, 0, 1),
+        },
+        CatalogEntry {
+            name: "Ben-Or",
+            class: ClassId::Two,
+            model: "benign (randomized)",
+            bound: "n > 2f",
+            min_system: (3, 1, 0),
+        },
+        CatalogEntry {
+            name: "Ben-Or (Byzantine)",
+            class: ClassId::Two,
+            model: "Byzantine (randomized)",
+            bound: "n > 4b",
+            min_system: (5, 0, 1),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_third_rule_parameters() {
+        let s = one_third_rule::<u64>(4, 1).unwrap();
+        assert_eq!(s.params.td, 3);
+        assert_eq!(s.params.flag, Flag::Star);
+        assert_eq!(s.class, ClassId::One);
+        assert!(one_third_rule::<u64>(3, 1).is_err(), "n > 3f required");
+    }
+
+    #[test]
+    fn fab_paxos_parameters() {
+        let s = fab_paxos::<u64>(6, 1).unwrap();
+        assert_eq!(s.params.td, 5);
+        assert_eq!(s.params.flag, Flag::Star);
+        assert!(fab_paxos::<u64>(5, 1).is_err(), "n > 5b required");
+    }
+
+    #[test]
+    fn paxos_parameters() {
+        let s = paxos::<u64>(3, 1, ProcessId::new(0)).unwrap();
+        assert_eq!(s.params.td, 2);
+        assert_eq!(s.params.flag, Flag::Phi);
+        assert_eq!(s.params.selector.name(), "stable-leader");
+        assert!(paxos::<u64>(2, 1, ProcessId::new(0)).is_err());
+        let r = paxos_rotating::<u64>(5, 2).unwrap();
+        assert_eq!(r.params.selector.name(), "rotating-coordinator");
+        assert!(!r.params.constant_selector);
+    }
+
+    #[test]
+    fn chandra_toueg_parameters() {
+        let s = chandra_toueg::<u64>(5, 2).unwrap();
+        assert_eq!(s.params.td, 3);
+        assert_eq!(s.params.flv.name(), "class2");
+        assert!(chandra_toueg::<u64>(4, 2).is_err());
+    }
+
+    #[test]
+    fn mqb_parameters() {
+        let s = mqb::<u64>(5, 1).unwrap();
+        assert_eq!(s.params.td, 4, "⌈(5+2+1)/2⌉");
+        assert_eq!(s.params.profile, StateProfile::VoteTs, "no history needed");
+        assert!(mqb::<u64>(4, 1).is_err(), "n > 4b required");
+        let s9 = mqb::<u64>(9, 2).unwrap();
+        assert_eq!(s9.params.td, 7);
+    }
+
+    #[test]
+    fn pbft_parameters() {
+        let s = pbft::<u64>(4, 1).unwrap();
+        assert_eq!(s.params.td, 3);
+        assert_eq!(s.params.profile, StateProfile::Full);
+        assert!(matches!(
+            pbft::<u64>(5, 1),
+            Err(CatalogError::ShapeMismatch { expected_n: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn ben_or_parameters() {
+        let s = ben_or_benign::<u64>(3, 1, [0, 1], 42).unwrap();
+        assert_eq!(s.params.td, 2);
+        assert_eq!(s.params.liveness, LivenessMode::ReliableChannels);
+        let b = ben_or_byzantine::<u64>(5, 1, [0, 1], 42).unwrap();
+        assert_eq!(b.params.td, 4);
+        assert!(ben_or_byzantine::<u64>(4, 1, [0, 1], 42).is_err());
+    }
+
+    #[test]
+    fn spawn_builds_full_fleet() {
+        let s = pbft::<u64>(4, 1).unwrap();
+        let fleet = s.spawn(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[2].vote(), &3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per process")]
+    fn spawn_rejects_wrong_arity() {
+        let s = pbft::<u64>(4, 1).unwrap();
+        let _ = s.spawn(&[1, 2]);
+    }
+
+    #[test]
+    fn catalog_is_complete_and_consistent() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 8);
+        for e in &cat {
+            let (n, f, b) = e.min_system;
+            // Each catalog minimum must satisfy its class bound.
+            assert!(n >= e.class.min_n(f, b) || e.name.contains("Ben-Or") || e.name == "PBFT",
+                "{}: min system below class bound", e.name);
+        }
+        assert!(cat.iter().any(|e| e.name == "MQB"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = mqb::<u64>(4, 1).unwrap_err();
+        assert!(e.to_string().contains("n > 4b"));
+        let s = pbft::<u64>(7, 1).unwrap_err();
+        assert!(s.to_string().contains("n = 4"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Reference implementations of *original* algorithms, used to validate
+//! the paper's claims that the generic instantiations match (or slightly
+//! improve on) them.
+//!
+//! Currently: the original OneThirdRule (Algorithm 5 of the paper, from
+//! \[6]), transcribed literally. §5.1 claims the generic instantiation is a
+//! *small improvement*: whenever Algorithm 5 selects a value, the
+//! instantiated FLV (Algorithm 2 at `TD = ⌈(2n+1)/3⌉`) also selects one,
+//! but not vice versa. The test suite and `exp_otr` verify both directions.
+
+use gencon_rounds::{HeardOf, Outgoing, Predicate, RoundProcess};
+use gencon_types::{ProcessId, Round, Value};
+
+use gencon_core::VoteTally;
+
+/// The original OneThirdRule algorithm (Algorithm 5; benign faults,
+/// n > 3f), one message type, one round kind:
+///
+/// ```text
+/// Round r:
+///   S: send ⟨vote_p⟩ to all
+///   T: if received more than 2n/3 messages then
+///        vote_p := the smallest most often received value
+///        if more than 2n/3 received values are equal to v then DECIDE v
+/// ```
+#[derive(Clone, Debug)]
+pub struct OriginalOneThirdRule<V> {
+    id: ProcessId,
+    n: usize,
+    vote: V,
+    decision: Option<V>,
+}
+
+impl<V: Value> OriginalOneThirdRule<V> {
+    /// Creates a process with its initial value.
+    #[must_use]
+    pub fn new(id: ProcessId, n: usize, init: V) -> Self {
+        OriginalOneThirdRule {
+            id,
+            n,
+            vote: init,
+            decision: None,
+        }
+    }
+
+    /// Current vote.
+    #[must_use]
+    pub fn vote(&self) -> &V {
+        &self.vote
+    }
+
+    /// The literal selection rule of Algorithm 5, exposed for the
+    /// comparison experiment: `Some(new_vote)` when more than `2n/3`
+    /// messages were received.
+    #[must_use]
+    pub fn selection_rule(n: usize, votes: &[V]) -> Option<V> {
+        if 3 * votes.len() > 2 * n {
+            let tally = VoteTally::of_votes(votes.iter());
+            tally.most_frequent().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// The literal decision rule of Algorithm 5: decide `v` when more than
+    /// `2n/3` received values equal `v`.
+    #[must_use]
+    pub fn decision_rule(n: usize, votes: &[V]) -> Option<V> {
+        let tally = VoteTally::of_votes(votes.iter());
+        let candidate: Option<V> = tally
+            .iter()
+            .find(|(_, c)| 3 * c > 2 * n)
+            .map(|(v, _)| v.clone());
+        candidate
+    }
+}
+
+impl<V: Value> RoundProcess for OriginalOneThirdRule<V> {
+    type Msg = V;
+    type Output = V;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn requirement(&self, _r: Round) -> Predicate {
+        // The original algorithm merges selection and decision into one
+        // round; it needs Pcons for the selection part of the argument.
+        Predicate::Cons
+    }
+
+    fn send(&mut self, _r: Round) -> Outgoing<V> {
+        Outgoing::Broadcast(self.vote.clone())
+    }
+
+    fn receive(&mut self, _r: Round, heard: &HeardOf<V>) {
+        let votes: Vec<V> = heard.messages().cloned().collect();
+        if let Some(new_vote) = Self::selection_rule(self.n, &votes) {
+            self.vote = new_vote;
+        }
+        if self.decision.is_none() {
+            if let Some(v) = Self::decision_rule(self.n, &votes) {
+                self.decision = Some(v);
+            }
+        }
+    }
+
+    fn output(&self) -> Option<V> {
+        self.decision.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_requires_two_thirds() {
+        // n = 4: needs more than 8/3 ⇒ at least 3 messages.
+        assert_eq!(OriginalOneThirdRule::selection_rule(4, &[1u64, 1]), None);
+        assert_eq!(
+            OriginalOneThirdRule::selection_rule(4, &[1u64, 1, 2]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn smallest_most_often_received() {
+        // tie between 1 and 2 → smallest wins.
+        assert_eq!(
+            OriginalOneThirdRule::selection_rule(4, &[2u64, 1, 2, 1]),
+            Some(1)
+        );
+        assert_eq!(
+            OriginalOneThirdRule::selection_rule(4, &[2u64, 2, 1]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn decision_requires_two_thirds_of_n() {
+        assert_eq!(OriginalOneThirdRule::decision_rule(4, &[1u64, 1, 1]), Some(1));
+        assert_eq!(OriginalOneThirdRule::decision_rule(4, &[1u64, 1, 2]), None);
+        // even with few messages received, 2n/3 is over n, never satisfied
+        assert_eq!(OriginalOneThirdRule::decision_rule(6, &[1u64, 1, 1, 1]), None);
+        assert_eq!(
+            OriginalOneThirdRule::decision_rule(6, &[1u64, 1, 1, 1, 1]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn synchronous_unanimous_run_decides_in_one_round() {
+        let n = 4;
+        let mut procs: Vec<_> = (0..n)
+            .map(|i| OriginalOneThirdRule::new(ProcessId::new(i), n, 5u64))
+            .collect();
+        let r = Round::new(1);
+        let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
+        for i in 0..n {
+            let mut ho = HeardOf::empty(n);
+            for (j, out) in outs.iter().enumerate() {
+                if let Some(m) = out.message_for(ProcessId::new(i)) {
+                    ho.put(ProcessId::new(j), m);
+                }
+            }
+            procs[i].receive(r, &ho);
+        }
+        for p in &procs {
+            assert_eq!(p.output(), Some(5));
+        }
+    }
+
+    #[test]
+    fn divergent_run_converges_then_decides() {
+        let n = 4;
+        let mut procs: Vec<_> = (0..n)
+            .map(|i| OriginalOneThirdRule::new(ProcessId::new(i), n, i as u64))
+            .collect();
+        for round in 1..=3u64 {
+            let r = Round::new(round);
+            let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
+            for i in 0..n {
+                let mut ho = HeardOf::empty(n);
+                for (j, out) in outs.iter().enumerate() {
+                    if let Some(m) = out.message_for(ProcessId::new(i)) {
+                        ho.put(ProcessId::new(j), m);
+                    }
+                }
+                procs[i].receive(r, &ho);
+            }
+        }
+        let d = procs[0].output().expect("decides");
+        for p in &procs {
+            assert_eq!(p.output(), Some(d));
+        }
+        assert_eq!(d, 0, "smallest most-often-received value");
+    }
+
+    #[test]
+    fn vote_accessor() {
+        let p = OriginalOneThirdRule::new(ProcessId::new(0), 4, 9u64);
+        assert_eq!(p.vote(), &9);
+    }
+}

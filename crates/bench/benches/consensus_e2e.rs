@@ -1,0 +1,54 @@
+//! Criterion end-to-end benchmarks: one full simulated consensus instance
+//! per iteration, for every named algorithm of the catalog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gencon_algos::{chandra_toueg, fab_paxos, mqb, one_third_rule, paxos, pbft, AlgorithmSpec};
+use gencon_bench::run_synchronous;
+use gencon_types::ProcessId;
+
+fn decide_once(spec: &AlgorithmSpec<u64>) -> u64 {
+    let n = spec.params.cfg.n();
+    let inits: Vec<u64> = (0..n as u64).collect();
+    let out = run_synchronous(spec, &inits, 30);
+    assert!(out.all_correct_decided);
+    out.rounds_executed
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_e2e");
+    let specs: Vec<(&str, AlgorithmSpec<u64>)> = vec![
+        ("one_third_rule_n4", one_third_rule(4, 1).unwrap()),
+        ("fab_paxos_n6", fab_paxos(6, 1).unwrap()),
+        ("paxos_n3", paxos(3, 1, ProcessId::new(0)).unwrap()),
+        ("ct_n3", chandra_toueg(3, 1).unwrap()),
+        ("mqb_n5", mqb(5, 1).unwrap()),
+        ("pbft_n4", pbft(4, 1).unwrap()),
+    ];
+    for (name, spec) in &specs {
+        group.bench_function(*name, |b| b.iter(|| decide_once(std::hint::black_box(spec))));
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mqb_scaling");
+    for n in [5usize, 9, 17, 33] {
+        let b_faults = (n - 1) / 4;
+        let spec = mqb::<u64>(n, b_faults).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| decide_once(std::hint::black_box(&spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_catalog, bench_scaling
+}
+criterion_main!(benches);

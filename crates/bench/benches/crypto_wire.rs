@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the crypto substrate (SHA-256, HMAC,
+//! authenticators) and the wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use gencon_core::{History, SelectionMsg};
+use gencon_crypto::{hmac_sha256, sha256, KeyStore};
+use gencon_net::Wire;
+use gencon_types::{Phase, ProcessId, ProcessSet};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let kib = vec![0xa5u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1kib", |b| {
+        b.iter(|| sha256(std::hint::black_box(&kib)))
+    });
+    group.bench_function("hmac_sha256_1kib", |b| {
+        b.iter(|| hmac_sha256(b"key", std::hint::black_box(&kib)))
+    });
+    group.finish();
+
+    let mut auth_group = c.benchmark_group("authenticators");
+    for n in [4usize, 16, 64] {
+        let stores = KeyStore::dealer(n, 7);
+        auth_group.bench_function(format!("authenticate_n{n}"), |b| {
+            b.iter(|| stores[0].authenticate(std::hint::black_box(b"digest-32-bytes-digest-32-bytes!")))
+        });
+        let auth = stores[0].authenticate(b"digest-32-bytes-digest-32-bytes!");
+        auth_group.bench_function(format!("verify_n{n}"), |b| {
+            b.iter(|| {
+                stores[1].verify(
+                    ProcessId::new(0),
+                    std::hint::black_box(b"digest-32-bytes-digest-32-bytes!"),
+                    &auth,
+                )
+            })
+        });
+    }
+    auth_group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let mut history = History::initial(7u64);
+    for p in 1..=10u64 {
+        history.record(7, Phase::new(p));
+    }
+    let msg = SelectionMsg {
+        vote: 7u64,
+        ts: Phase::new(10),
+        history,
+        selector: ProcessSet::range(0, 16),
+    };
+    group.bench_function("encode_selection_msg", |b| {
+        b.iter(|| std::hint::black_box(&msg).to_bytes())
+    });
+    let bytes = msg.to_bytes();
+    group.bench_function("decode_selection_msg", |b| {
+        b.iter(|| {
+            let mut buf = bytes.clone();
+            SelectionMsg::<u64>::decode(&mut buf).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_crypto, bench_wire
+}
+criterion_main!(benches);

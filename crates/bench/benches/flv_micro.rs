@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the FLV functions (Algorithms 2, 3, 4 and
+//! the specializations) over synthetic selection-round inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gencon_core::{
+    Class1Flv, Class2Flv, Class3Flv, FabFlv, Flv, FlvContext, History, PaxosFlv, PbftFlv,
+    SelectionMsg,
+};
+use gencon_types::{Config, Phase, ProcessSet};
+
+/// Builds a worst-ish case input: half the votes locked on v1 with fresh
+/// timestamps and full histories, the rest stale.
+fn inputs(n: usize, phases: u64) -> Vec<SelectionMsg<u64>> {
+    (0..n)
+        .map(|i| {
+            let vote = if i < n / 2 + 1 { 1 } else { 2 + (i as u64 % 3) };
+            let ts = if i < n / 2 + 1 { phases } else { phases / 2 };
+            let mut history = History::initial(vote);
+            for p in 1..=ts.min(phases) {
+                history.record(vote, Phase::new(p));
+            }
+            SelectionMsg {
+                vote,
+                ts: Phase::new(ts),
+                history,
+                selector: ProcessSet::new(),
+            }
+        })
+        .collect()
+}
+
+fn bench_flv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flv");
+    for n in [7usize, 16, 64] {
+        let cfg = Config::byzantine(n, (n - 1) / 6)
+            .unwrap_or_else(|_| Config::byzantine(n, 0).unwrap());
+        let msgs = inputs(n, 8);
+        let refs: Vec<&SelectionMsg<u64>> = msgs.iter().collect();
+        let ctx = FlvContext {
+            cfg,
+            td: 2 * n / 3 + 1,
+            phase: Phase::new(9),
+        };
+        group.bench_with_input(BenchmarkId::new("class1", n), &n, |b, _| {
+            b.iter(|| Class1Flv::new().evaluate(&ctx, std::hint::black_box(&refs)))
+        });
+        group.bench_with_input(BenchmarkId::new("class2", n), &n, |b, _| {
+            b.iter(|| Class2Flv::new().evaluate(&ctx, std::hint::black_box(&refs)))
+        });
+        group.bench_with_input(BenchmarkId::new("class3", n), &n, |b, _| {
+            b.iter(|| Class3Flv::new().evaluate(&ctx, std::hint::black_box(&refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_specializations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flv_special");
+    // Paxos at n = 5 (benign)
+    let cfg_paxos = Config::benign(5, 2).unwrap();
+    let msgs = inputs(5, 4);
+    let refs: Vec<&SelectionMsg<u64>> = msgs.iter().collect();
+    let ctx = FlvContext {
+        cfg: cfg_paxos,
+        td: PaxosFlv::td(5),
+        phase: Phase::new(5),
+    };
+    group.bench_function("paxos_n5", |b| {
+        b.iter(|| PaxosFlv::new().evaluate(&ctx, std::hint::black_box(&refs)))
+    });
+
+    // PBFT at n = 4
+    let cfg_pbft = Config::byzantine(4, 1).unwrap();
+    let msgs4 = inputs(4, 4);
+    let refs4: Vec<&SelectionMsg<u64>> = msgs4.iter().collect();
+    let ctx4 = FlvContext {
+        cfg: cfg_pbft,
+        td: PbftFlv::td(1),
+        phase: Phase::new(5),
+    };
+    group.bench_function("pbft_n4", |b| {
+        b.iter(|| PbftFlv::new().evaluate(&ctx4, std::hint::black_box(&refs4)))
+    });
+
+    // FaB at n = 6
+    let cfg_fab = Config::byzantine(6, 1).unwrap();
+    let msgs6 = inputs(6, 4);
+    let refs6: Vec<&SelectionMsg<u64>> = msgs6.iter().collect();
+    let ctx6 = FlvContext {
+        cfg: cfg_fab,
+        td: FabFlv::td(6, 1),
+        phase: Phase::new(5),
+    };
+    group.bench_function("fab_n6", |b| {
+        b.iter(|| FabFlv::new().evaluate(&ctx6, std::hint::black_box(&refs6)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_flv, bench_specializations
+}
+criterion_main!(benches);

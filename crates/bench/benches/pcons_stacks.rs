@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the `Pcons` stacks: one full PBFT decision over
+//! the coordinator-authenticated (2-round) and echo (3-round)
+//! implementations, versus the model-level baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gencon_algos::pbft;
+use gencon_bench::run_synchronous;
+use gencon_crypto::KeyStore;
+use gencon_pcons::{PconsMode, PconsStack};
+use gencon_sim::{AlwaysGood, Simulation};
+
+fn decide_over_stack(mode: PconsMode) -> u64 {
+    let spec = pbft::<u64>(4, 1).unwrap();
+    let cfg = spec.params.cfg;
+    let stores = KeyStore::dealer(4, 99);
+    let engines = spec.spawn(&[1, 2, 3, 4]).unwrap();
+    let mut builder = Simulation::builder(cfg);
+    for (i, engine) in engines.into_iter().enumerate() {
+        match mode {
+            PconsMode::CoordinatedAuth => {
+                builder =
+                    builder.honest(PconsStack::coordinated_auth(engine, stores[i].clone(), 1));
+            }
+            PconsMode::EchoBroadcast => {
+                builder = builder.honest(PconsStack::echo_broadcast(engine, 4, 1));
+            }
+        }
+    }
+    let mut sim = builder
+        .network(AlwaysGood)
+        .enforce_predicates(false)
+        .build()
+        .unwrap();
+    let out = sim.run(30);
+    assert!(out.all_correct_decided);
+    out.rounds_executed
+}
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcons");
+    group.bench_function("pbft_magic_baseline", |b| {
+        b.iter(|| {
+            let spec = pbft::<u64>(4, 1).unwrap();
+            let out = run_synchronous(&spec, &[1, 2, 3, 4], 30);
+            assert!(out.all_correct_decided);
+            out.rounds_executed
+        })
+    });
+    group.bench_function("pbft_coordinated_auth", |b| {
+        b.iter(|| decide_over_stack(PconsMode::CoordinatedAuth))
+    });
+    group.bench_function("pbft_echo_broadcast", |b| {
+        b.iter(|| decide_over_stack(PconsMode::EchoBroadcast))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_stacks
+}
+criterion_main!(benches);

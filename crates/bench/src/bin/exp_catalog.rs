@@ -1,0 +1,113 @@
+//! Experiment **E3** — the §5/§6 catalog: every named algorithm decides
+//! with its published parameters, at its minimal system size and larger.
+//!
+//! Run: `cargo run -p gencon-bench --bin exp_catalog`
+
+use gencon_adversary::{AdversaryCtx, Equivocator, Silent};
+use gencon_algos::{
+    ben_or_benign, ben_or_byzantine, chandra_toueg, fab_paxos, mqb, one_third_rule, paxos,
+    paxos_rotating, pbft, AlgorithmSpec,
+};
+use gencon_bench::{run_scenario, BoxedAdversary, Table};
+use gencon_core::Decision;
+use gencon_sim::{properties, AlwaysGood, CrashAt, CrashPlan, RandomSubset};
+use gencon_types::{ProcessId, Round, Value};
+
+enum Fault {
+    None,
+    Crash(usize),
+    ByzSilent(usize),
+    ByzEquivocate(usize),
+}
+
+fn run_case<V: Value + From<u8>>(
+    spec: &AlgorithmSpec<V>,
+    fault: &Fault,
+    t: &mut Table,
+    randomized: bool,
+) {
+    let n = spec.params.cfg.n();
+    let inits: Vec<V> = (0..n).map(|i| V::from((i % 2) as u8)).collect();
+    let mut crashes = CrashPlan::none();
+    let mut advs: Vec<BoxedAdversary<V>> = Vec::new();
+    let fault_desc = match fault {
+        Fault::None => "none".to_string(),
+        Fault::Crash(i) => {
+            crashes = crashes.with(ProcessId::new(*i), CrashAt::mid_send(Round::new(2), n / 2));
+            format!("crash p{i}@r2")
+        }
+        Fault::ByzSilent(i) => {
+            advs.push(Box::new(Silent::<V>::new(ProcessId::new(*i))));
+            format!("byz-silent p{i}")
+        }
+        Fault::ByzEquivocate(i) => {
+            let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+            advs.push(Box::new(Equivocator::new(
+                ProcessId::new(*i),
+                ctx,
+                V::from(0),
+                V::from(1),
+            )));
+            format!("byz-equivocate p{i}")
+        }
+    };
+
+    let out = if randomized {
+        let keep = spec.params.cfg.correct_minimum();
+        run_scenario(spec, &inits, RandomSubset::new(keep, 42), crashes, advs, 600)
+    } else {
+        run_scenario(spec, &inits, AlwaysGood, crashes, advs, 80)
+    };
+    let agreement = properties::agreement(&out, |d: &Decision<V>| &d.value);
+    assert!(agreement, "{}: agreement", spec.name);
+    assert!(out.all_correct_decided, "{}: termination", spec.name);
+    t.row([
+        spec.name.to_string(),
+        spec.class.to_string(),
+        spec.bound.to_string(),
+        n.to_string(),
+        fault_desc,
+        out.last_decision_round().unwrap().number().to_string(),
+    ]);
+}
+
+fn main() {
+    println!("# E3 — The algorithm catalog, end to end\n");
+    let mut t = Table::new(["algorithm", "class", "bound", "n", "fault", "decided @ round"]);
+
+    // Benign algorithms: fault-free + crash.
+    for (s, big) in [
+        (one_third_rule::<u64>(4, 1).unwrap(), one_third_rule::<u64>(10, 3).unwrap()),
+        (paxos::<u64>(3, 1, ProcessId::new(0)).unwrap(), paxos::<u64>(9, 4, ProcessId::new(0)).unwrap()),
+        (paxos_rotating::<u64>(3, 1).unwrap(), paxos_rotating::<u64>(7, 3).unwrap()),
+        (chandra_toueg::<u64>(3, 1).unwrap(), chandra_toueg::<u64>(9, 4).unwrap()),
+    ] {
+        run_case(&s, &Fault::None, &mut t, false);
+        let crash_victim = s.params.cfg.n() - 1;
+        run_case(&s, &Fault::Crash(crash_victim), &mut t, false);
+        run_case(&big, &Fault::None, &mut t, false);
+    }
+
+    // Byzantine algorithms: fault-free + silent + equivocating adversary.
+    for (s, big) in [
+        (fab_paxos::<u64>(6, 1).unwrap(), fab_paxos::<u64>(11, 2).unwrap()),
+        (mqb::<u64>(5, 1).unwrap(), mqb::<u64>(9, 2).unwrap()),
+        (pbft::<u64>(4, 1).unwrap(), pbft::<u64>(7, 2).unwrap()),
+    ] {
+        run_case(&s, &Fault::None, &mut t, false);
+        let byz = s.params.cfg.n() - 1;
+        run_case(&s, &Fault::ByzSilent(byz), &mut t, false);
+        run_case(&s, &Fault::ByzEquivocate(byz), &mut t, false);
+        run_case(&big, &Fault::ByzSilent(big.params.cfg.n() - 1), &mut t, false);
+    }
+
+    // Randomized algorithms under Prel-only delivery.
+    let bo = ben_or_benign::<u64>(3, 1, [0, 1], 7).unwrap();
+    run_case(&bo, &Fault::None, &mut t, true);
+    let bob = ben_or_byzantine::<u64>(5, 1, [0, 1], 7).unwrap();
+    run_case(&bob, &Fault::ByzSilent(4), &mut t, true);
+
+    t.print();
+    println!("\nAll catalog algorithms decide with agreement under their published");
+    println!("fault models — matching the §5/§6 claims.");
+}

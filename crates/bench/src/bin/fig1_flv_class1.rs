@@ -1,0 +1,82 @@
+//! Regenerates **Figure 1** of the paper: the quorum geometry of the
+//! class-1 FLV (Algorithm 2) at n = 6, b = 1, f = 0, TD = 5.
+//!
+//! The figure shows: after a decision on v1, at least TD − b = 4 honest
+//! processes vote v1 and at most n − TD + b = 2 messages can carry v2, so
+//! any sample of more than 2(n − TD + b) = 4 messages contains v1 more than
+//! n − TD + b = 2 times — FLV can only return v1.
+//!
+//! Run: `cargo run -p gencon-bench --bin fig1_flv_class1`
+
+use gencon_bench::Table;
+use gencon_core::flv::properties::{agreement_holds, validity_holds};
+use gencon_core::{Class1Flv, Flv, FlvContext, FlvOutcome, History, SelectionMsg};
+use gencon_types::{Config, Phase, ProcessSet};
+
+fn msg(vote: u64) -> SelectionMsg<u64> {
+    SelectionMsg {
+        vote,
+        ts: Phase::ZERO,
+        history: History::new(),
+        selector: ProcessSet::new(),
+    }
+}
+
+fn main() {
+    let cfg = Config::byzantine(6, 1).expect("n=6, b=1");
+    let td = 5;
+    let ctx = FlvContext {
+        cfg,
+        td,
+        phase: Phase::new(2),
+    };
+    println!("# Figure 1 — FLV for class 1 (n = 6, b = 1, f = 0, TD = 5)\n");
+    println!("pivot n − TD + b = {}", ctx.n_td_b());
+    println!("sample bound 2(n − TD + b) = {}\n", 2 * ctx.n_td_b());
+
+    // The figure's message population: 4 × v1 (TD − b honest), 2 × v2.
+    let population = [msg(1), msg(1), msg(1), msg(1), msg(2), msg(2)];
+    let flv = Class1Flv::new();
+
+    let mut t = Table::new(["subset (votes)", "|µ|", "FLV outcome", "agreement ok"]);
+    let mut violations = 0u32;
+    // Exhaustive subsets of the figure's population.
+    for mask in 1u32..(1 << population.len()) {
+        let subset: Vec<&SelectionMsg<u64>> = population
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << *i) != 0)
+            .map(|(_, m)| m)
+            .collect();
+        let out = flv.evaluate(&ctx, &subset);
+        assert!(validity_holds(&out, &subset), "FLV-validity");
+        let ok = agreement_holds(&out, &1);
+        if !ok {
+            violations += 1;
+        }
+        // Print the interesting boundary sizes only (4, 5, 6).
+        if subset.len() >= 4 {
+            let votes: Vec<String> = subset.iter().map(|m| m.vote.to_string()).collect();
+            t.row([
+                votes.join(","),
+                subset.len().to_string(),
+                format!("{out:?}"),
+                if ok { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    println!(
+        "\nFLV-agreement violations over all {} subsets: {}",
+        (1u32 << population.len()) - 1,
+        violations
+    );
+    assert_eq!(violations, 0, "Figure 1's geometry guarantees agreement");
+
+    // The paper's headline case: every sample larger than 2(n−TD+b) = 4
+    // recovers the locked value v1.
+    let all: Vec<&SelectionMsg<u64>> = population.iter().collect();
+    assert_eq!(flv.evaluate(&ctx, &all), FlvOutcome::Value(1));
+    println!("full population of 6 messages → Value(1) — matches the figure");
+}

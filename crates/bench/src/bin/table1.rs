@@ -1,0 +1,77 @@
+//! Regenerates **Table 1** of the paper: the three classes of consensus
+//! algorithms, with both the analytical columns (FLAG, TD bound, n bound,
+//! process state, rounds per phase, examples) and *measured* evidence from
+//! live runs (actual rounds to decide in one good phase, actual transmitted
+//! state fields per class).
+//!
+//! Run: `cargo run -p gencon-bench --bin table1`
+
+use gencon_bench::{run_synchronous, Table};
+use gencon_core::{ClassId, Params, StateProfile};
+use gencon_types::Config;
+
+fn profile_str(p: StateProfile) -> &'static str {
+    match p {
+        StateProfile::VoteOnly => "(vote)",
+        StateProfile::VoteTs => "(vote, ts)",
+        StateProfile::Full => "(vote, ts, history)",
+    }
+}
+
+fn main() {
+    println!("# Table 1 — The three classes of consensus algorithms\n");
+
+    let mut t = Table::new([
+        "class", "FLAG", "TD", "n", "state", "rounds/phase", "examples",
+        "measured rounds (b=1,f=0)", "measured n_min ok",
+    ]);
+
+    for class in ClassId::ALL {
+        // Byzantine measurement point: f = 0, b = 1 at the class minimum n.
+        let n = class.min_n(0, 1);
+        let cfg = Config::byzantine(n, 1).expect("valid config");
+        let params = Params::<u64>::for_class(class, cfg).expect("class params");
+        let spec = gencon_algos::AlgorithmSpec {
+            name: "generic",
+            class,
+            model: "Byzantine",
+            bound: class.n_bound(),
+            params,
+        };
+        let inits: Vec<u64> = vec![7; n];
+        let out = run_synchronous(&spec, &inits, 20);
+        assert!(out.all_correct_decided, "{class} must decide at min n");
+        let measured_rounds = out.last_decision_round().expect("decided").number();
+        assert_eq!(
+            measured_rounds as usize,
+            class.rounds_per_phase(),
+            "{class}: a good phase decides within one phase"
+        );
+
+        // One below the class minimum must be unconfigurable.
+        let below = Config::byzantine(n - 1, 1);
+        let below_ok = match below {
+            Ok(cfg_below) => Params::<u64>::for_class(class, cfg_below).is_ok(),
+            Err(_) => false,
+        };
+        assert!(!below_ok, "{class}: n below the bound must be rejected");
+
+        t.row([
+            class.to_string(),
+            class.flag().to_string(),
+            class.td_bound().trim_start_matches("TD > ").to_string(),
+            class.n_bound().trim_start_matches("n > ").to_string(),
+            profile_str(class.state_profile()).to_string(),
+            class.rounds_per_phase().to_string(),
+            class.examples().join(", "),
+            format!("{measured_rounds} (n={n})"),
+            "rejected below bound".to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nPaper row reference (Table 1):");
+    println!("  1  *  > (n+3b+f)/2  n > 5b+3f  (vote)              2  OneThirdRule, FaB Paxos");
+    println!("  2  φ  > 3b+f        n > 4b+2f  (vote, ts)          3  Paxos, CT, MQB (new)");
+    println!("  3  φ  > 2b+f        n > 3b+2f  (vote, ts, history) 3  (Paxos, CT), PBFT");
+}

@@ -1,0 +1,207 @@
+//! The three classes of consensus algorithms (Table 1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use gencon_types::{quorum, Config, Value};
+
+use crate::flv::{Class1Flv, Class2Flv, Class3Flv, Flv};
+use crate::schedule::Flag;
+use crate::state::StateProfile;
+
+/// A row of Table 1: one of the paper's three classes.
+///
+/// Algorithms in the same class share `FLAG`, the bound on `TD`, the
+/// resilience bound on `n` (from `n ≥ TD + b + f`), the transmitted state
+/// and the number of rounds per phase.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ClassId {
+    /// Class 1: `FLAG = *`, `TD > (n+3b+f)/2`, `n > 5b + 3f`, state `vote`,
+    /// 2 rounds/phase. Examples: OneThirdRule (b = 0), FaB Paxos (f = 0).
+    One,
+    /// Class 2: `FLAG = φ`, `TD > 3b + f`, `n > 4b + 2f`, state
+    /// `(vote, ts)`, 3 rounds/phase. Examples: Paxos, CT (b = 0) and the
+    /// paper's new MQB algorithm (f = 0).
+    Two,
+    /// Class 3: `FLAG = φ`, `TD > 2b + f`, `n > 3b + 2f`, state
+    /// `(vote, ts, history)`, 3 rounds/phase. Examples: Paxos/CT (b = 0,
+    /// classes 2 and 3 coincide) and PBFT (f = 0).
+    Three,
+}
+
+impl ClassId {
+    /// All classes in Table 1 order.
+    pub const ALL: [ClassId; 3] = [ClassId::One, ClassId::Two, ClassId::Three];
+
+    /// The `FLAG` column.
+    #[must_use]
+    pub fn flag(self) -> Flag {
+        match self {
+            ClassId::One => Flag::Star,
+            ClassId::Two | ClassId::Three => Flag::Phi,
+        }
+    }
+
+    /// The minimal `TD` satisfying the class's strict bound for `cfg`.
+    #[must_use]
+    pub fn min_td(self, cfg: &Config) -> usize {
+        match self {
+            ClassId::One => quorum::class1_min_td(cfg.n(), cfg.f(), cfg.b()),
+            ClassId::Two => quorum::class2_min_td(cfg.f(), cfg.b()),
+            ClassId::Three => quorum::class3_min_td(cfg.f(), cfg.b()),
+        }
+    }
+
+    /// The minimal `n` tolerating `f` crash and `b` Byzantine faults
+    /// (the `n` column of Table 1).
+    #[must_use]
+    pub fn min_n(self, f: usize, b: usize) -> usize {
+        match self {
+            ClassId::One => quorum::class1_min_n(f, b),
+            ClassId::Two => quorum::class2_min_n(f, b),
+            ClassId::Three => quorum::class3_min_n(f, b),
+        }
+    }
+
+    /// The "process state" column.
+    #[must_use]
+    pub fn state_profile(self) -> StateProfile {
+        match self {
+            ClassId::One => StateProfile::VoteOnly,
+            ClassId::Two => StateProfile::VoteTs,
+            ClassId::Three => StateProfile::Full,
+        }
+    }
+
+    /// The "rounds per phase" column.
+    #[must_use]
+    pub fn rounds_per_phase(self) -> usize {
+        self.flag().rounds_per_phase()
+    }
+
+    /// The generic FLV instantiation of this class (Algorithms 2, 3, 4).
+    #[must_use]
+    pub fn flv<V: Value>(self) -> Arc<dyn Flv<V>> {
+        match self {
+            ClassId::One => Arc::new(Class1Flv::new()),
+            ClassId::Two => Arc::new(Class2Flv::new()),
+            ClassId::Three => Arc::new(Class3Flv::new()),
+        }
+    }
+
+    /// The "Examples" column of Table 1.
+    #[must_use]
+    pub fn examples(self) -> &'static [&'static str] {
+        match self {
+            ClassId::One => &["OneThirdRule (b=0)", "FaB Paxos (f=0)"],
+            ClassId::Two => &["Paxos (b=0)", "CT (b=0)", "MQB (f=0, new)"],
+            ClassId::Three => &["(Paxos, CT) (b=0)", "PBFT (f=0)"],
+        }
+    }
+
+    /// The `TD` bound as a human-readable formula (for the Table 1 bench).
+    #[must_use]
+    pub fn td_bound(self) -> &'static str {
+        match self {
+            ClassId::One => "TD > (n+3b+f)/2",
+            ClassId::Two => "TD > 3b+f",
+            ClassId::Three => "TD > 2b+f",
+        }
+    }
+
+    /// The `n` bound as a human-readable formula (for the Table 1 bench).
+    #[must_use]
+    pub fn n_bound(self) -> &'static str {
+        match self {
+            ClassId::One => "n > 5b+3f",
+            ClassId::Two => "n > 4b+2f",
+            ClassId::Three => "n > 3b+2f",
+        }
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = match self {
+            ClassId::One => 1,
+            ClassId::Two => 2,
+            ClassId::Three => 3,
+        };
+        write!(f, "class {i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_class1() {
+        let c = ClassId::One;
+        assert_eq!(c.flag(), Flag::Star);
+        assert_eq!(c.rounds_per_phase(), 2);
+        assert_eq!(c.state_profile(), StateProfile::VoteOnly);
+        assert_eq!(c.min_n(0, 1), 6, "FaB: n > 5b");
+        assert_eq!(c.min_n(1, 0), 4, "OneThirdRule: n > 3f");
+        let cfg = Config::byzantine(6, 1).unwrap();
+        assert_eq!(c.min_td(&cfg), 5);
+    }
+
+    #[test]
+    fn table1_row_class2() {
+        let c = ClassId::Two;
+        assert_eq!(c.flag(), Flag::Phi);
+        assert_eq!(c.rounds_per_phase(), 3);
+        assert_eq!(c.state_profile(), StateProfile::VoteTs);
+        assert_eq!(c.min_n(0, 1), 5, "MQB: n > 4b");
+        assert_eq!(c.min_n(1, 0), 3, "Paxos/CT: n > 2f");
+        let cfg = Config::byzantine(5, 1).unwrap();
+        assert_eq!(c.min_td(&cfg), 4, "TD > 3b+f");
+    }
+
+    #[test]
+    fn table1_row_class3() {
+        let c = ClassId::Three;
+        assert_eq!(c.flag(), Flag::Phi);
+        assert_eq!(c.state_profile(), StateProfile::Full);
+        assert_eq!(c.min_n(0, 1), 4, "PBFT: n > 3b");
+        let cfg = Config::byzantine(4, 1).unwrap();
+        assert_eq!(c.min_td(&cfg), 3, "TD > 2b+f");
+    }
+
+    #[test]
+    fn min_td_is_reachable_at_min_n() {
+        // TD ≤ n − b − f must hold at the minimal n of each class.
+        for class in ClassId::ALL {
+            for f in 0..3 {
+                for b in 0..3 {
+                    if f + b == 0 {
+                        continue;
+                    }
+                    let n = class.min_n(f, b);
+                    let cfg = Config::new(n, f, b).unwrap();
+                    let td = class.min_td(&cfg);
+                    assert!(
+                        cfg.validate_threshold(td).is_ok(),
+                        "{class} f={f} b={b}: TD {td} unreachable at n {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flv_instances_match_class() {
+        assert_eq!(ClassId::One.flv::<u64>().name(), "class1");
+        assert_eq!(ClassId::Two.flv::<u64>().name(), "class2");
+        assert_eq!(ClassId::Three.flv::<u64>().name(), "class3");
+    }
+
+    #[test]
+    fn display_and_docs() {
+        assert_eq!(ClassId::One.to_string(), "class 1");
+        assert!(ClassId::Two.examples().iter().any(|e| e.contains("MQB")));
+        assert!(ClassId::Three.n_bound().contains("3b"));
+        assert!(ClassId::One.td_bound().contains("n+3b+f"));
+    }
+}

@@ -1,0 +1,853 @@
+//! The generic consensus engine: a line-by-line implementation of
+//! Algorithm 1.
+//!
+//! [`GenericConsensus`] implements [`RoundProcess`]; any executor that
+//! drives closed rounds (the `gencon-sim` lock-step simulator, the
+//! `gencon-net` threaded runtime, or a `Pcons` stack from `gencon-pcons`)
+//! can run it. The paper's line numbers are cited throughout so the code
+//! can be audited against Algorithm 1 directly.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gencon_types::{quorum, Phase, ProcessId, ProcessSet, Round, RoundKind, Value};
+
+use gencon_rounds::{HeardOf, Outgoing, Predicate, RoundProcess};
+
+use crate::flv::{FlvContext, FlvOutcome};
+use crate::messages::{ConsensusMsg, DecisionMsg, SelectionMsg, ValidationMsg};
+use crate::params::{ChoicePolicy, LivenessMode, Params, ParamsError};
+use crate::schedule::Schedule;
+use crate::state::History;
+use crate::vote_count::VoteTally;
+
+/// A decision, with the phase and round it was reached in.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Decision<V> {
+    /// The decided value.
+    pub value: V,
+    /// The phase of the deciding round.
+    pub phase: Phase,
+    /// The global round number.
+    pub round: Round,
+}
+
+/// One process of the generic consensus algorithm (Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use gencon_core::{ClassId, GenericConsensus, Params};
+/// use gencon_types::{Config, ProcessId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = Config::byzantine(4, 1)?; // PBFT-style system
+/// let params = Params::<u64>::for_class(ClassId::Three, cfg)?;
+/// let p0 = GenericConsensus::new(ProcessId::new(0), params, 42)?;
+/// assert_eq!(p0.vote(), &42);
+/// assert!(p0.decision().is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub struct GenericConsensus<V: Value> {
+    id: ProcessId,
+    params: Params<V>,
+    schedule: Schedule,
+
+    // ---- the paper's process state (lines 1–4) ----
+    vote: V,
+    ts: Phase,
+    history: History<V>,
+    /// The value validated at `ts` — the target of line 26's revert
+    /// (`v such that (v, ts_p) ∈ history_p`).
+    last_validated: V,
+
+    // ---- per-phase scratch ----
+    selected: Option<V>,
+    validators: ProcessSet,
+
+    decision: Option<Decision<V>>,
+    coin: Option<StdRng>,
+}
+
+impl<V: Value> GenericConsensus<V> {
+    /// Creates a process with the given parameters and initial value
+    /// (line 2: `vote_p := init_p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when the parameters violate any side
+    /// condition of Theorem 1 (see [`Params::validate`]).
+    pub fn new(id: ProcessId, params: Params<V>, init: V) -> Result<Self, ParamsError> {
+        params.validate()?;
+        Ok(Self::new_unchecked(id, params, init))
+    }
+
+    /// Creates a process **without** validating the parameters.
+    ///
+    /// Exists so experiments can demonstrate *why* the side conditions of
+    /// Theorem 1 matter (e.g. the resilience-boundary experiment runs
+    /// deliberately under-provisioned systems and watches termination or
+    /// agreement fail). Production code should always use
+    /// [`GenericConsensus::new`].
+    #[must_use]
+    pub fn new_unchecked(id: ProcessId, params: Params<V>, init: V) -> Self {
+        let schedule = params.schedule();
+        let coin = match &params.choice {
+            ChoicePolicy::UniformCoin { seed, .. } => {
+                // Independent stream per process.
+                Some(StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64
+                    .wrapping_mul(id.index() as u64 + 1))))
+            }
+            ChoicePolicy::DeterministicMin => None,
+        };
+        let mut history = History::initial(init.clone());
+        let mut selected = None;
+        let mut validators = ProcessSet::new();
+        if params.skip_first_selection {
+            // §3.1 first-phase optimization: the skipped selection round is
+            // emulated at initialization — every process "selects" its own
+            // initial value (safe: if a value is initially locked, all
+            // honest processes share it) and the constant validator set is
+            // installed directly.
+            selected = Some(init.clone());
+            history.record(init.clone(), Phase::FIRST);
+            validators = params.selector.select(id, Phase::FIRST, &params.cfg);
+        }
+        GenericConsensus {
+            id,
+            schedule,
+            vote: init.clone(),
+            ts: Phase::ZERO,
+            history,
+            last_validated: init,
+            selected,
+            validators,
+            decision: None,
+            coin,
+            params,
+        }
+    }
+
+    /// The parameters this process runs with.
+    #[must_use]
+    pub fn params(&self) -> &Params<V> {
+        &self.params
+    }
+
+    /// Current vote (`vote_p`).
+    #[must_use]
+    pub fn vote(&self) -> &V {
+        &self.vote
+    }
+
+    /// Current timestamp (`ts_p`).
+    #[must_use]
+    pub fn ts(&self) -> Phase {
+        self.ts
+    }
+
+    /// The history log (`history_p`).
+    #[must_use]
+    pub fn history(&self) -> &History<V> {
+        &self.history
+    }
+
+    /// The validator set this process currently believes in.
+    #[must_use]
+    pub fn validators(&self) -> ProcessSet {
+        self.validators
+    }
+
+    /// The value selected in the current phase, if any (`select_p`).
+    #[must_use]
+    pub fn selected(&self) -> Option<&V> {
+        self.selected.as_ref()
+    }
+
+    /// The decision, once reached.
+    #[must_use]
+    pub fn decision(&self) -> Option<&Decision<V>> {
+        self.decision.as_ref()
+    }
+
+    /// The schedule (round ↔ phase/kind mapping) of this instantiation.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    // ---- selection round (lines 5–15) ----
+
+    fn selection_send(&mut self, phase: Phase) -> Outgoing<ConsensusMsg<V>> {
+        let dests = self.params.selector.select(self.id, phase, &self.params.cfg);
+        if dests.is_empty() {
+            return Outgoing::Silent;
+        }
+        let profile = self.params.profile;
+        let msg = SelectionMsg {
+            vote: self.vote.clone(),
+            ts: if profile.sends_ts() { self.ts } else { Phase::ZERO },
+            history: if profile.sends_history() {
+                self.history.clone()
+            } else {
+                History::new()
+            },
+            // With a constant selector the set is known to everyone and is
+            // not transmitted (§3.1).
+            selector: if self.params.constant_selector {
+                ProcessSet::new()
+            } else {
+                dests
+            },
+        };
+        Outgoing::Multicast {
+            dests,
+            msg: ConsensusMsg::Selection(phase, msg),
+        }
+    }
+
+    fn selection_receive(&mut self, phase: Phase, heard: &HeardOf<ConsensusMsg<V>>) {
+        let msgs: Vec<&SelectionMsg<V>> = heard
+            .messages()
+            .filter_map(ConsensusMsg::as_selection)
+            .collect();
+
+        // Line 9: select_p ← FLV(~µ).
+        let ctx = FlvContext {
+            cfg: self.params.cfg,
+            td: self.params.td,
+            phase,
+        };
+        self.selected = match self.params.flv.evaluate(&ctx, &msgs) {
+            FlvOutcome::Value(v) => Some(v),
+            // Lines 10–11: choose deterministically (or flip the §6 coin).
+            FlvOutcome::Any => Some(self.choose(&msgs)),
+            FlvOutcome::NoInfo => None,
+        };
+
+        // Lines 12–14.
+        if let Some(v) = self.selected.clone() {
+            self.vote = v.clone();
+            self.history.record(v, phase);
+        }
+
+        // Line 15: elect validators from the selector sets received.
+        self.validators = if self.params.constant_selector {
+            self.params.selector.select(self.id, phase, &self.params.cfg)
+        } else {
+            let threshold_base = self.params.cfg.n() + self.params.cfg.b();
+            let mut counts: BTreeMap<ProcessSet, usize> = BTreeMap::new();
+            for m in &msgs {
+                if !m.selector.is_empty() {
+                    *counts.entry(m.selector).or_insert(0) += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .find(|(_, c)| quorum::more_than_half(*c, threshold_base))
+                .map(|(s, _)| s)
+                .unwrap_or_default()
+        };
+    }
+
+    /// Line 11's choice among the received votes.
+    fn choose(&mut self, msgs: &[&SelectionMsg<V>]) -> V {
+        match (&self.params.choice, &mut self.coin) {
+            (ChoicePolicy::UniformCoin { domain, .. }, Some(rng)) => {
+                domain[rng.gen_range(0..domain.len())].clone()
+            }
+            _ => {
+                let tally = VoteTally::of_votes(msgs.iter().map(|m| &m.vote));
+                tally
+                    .min_vote()
+                    .cloned()
+                    // FLV returned `?` on an empty input would be an FLV
+                    // bug; fall back to the current vote defensively.
+                    .unwrap_or_else(|| self.vote.clone())
+            }
+        }
+    }
+
+    // ---- validation round (lines 16–26) ----
+
+    fn validation_send(&mut self, phase: Phase) -> Outgoing<ConsensusMsg<V>> {
+        // Line 18: only validators speak.
+        if !self.validators.contains(self.id) {
+            return Outgoing::Silent;
+        }
+        let msg = ValidationMsg {
+            select: self.selected.clone(),
+            validators: if self.params.constant_selector {
+                ProcessSet::new()
+            } else {
+                self.validators
+            },
+        };
+        Outgoing::Broadcast(ConsensusMsg::Validation(phase, msg))
+    }
+
+    fn validation_receive(&mut self, phase: Phase, heard: &HeardOf<ConsensusMsg<V>>) {
+        let msgs: Vec<(ProcessId, &ValidationMsg<V>)> = heard
+            .iter()
+            .filter_map(|(q, m)| m.as_validation().map(|vm| (q, vm)))
+            .collect();
+
+        // Line 21: adopt the validator set vouched for by b + 1 messages.
+        if self.params.constant_selector {
+            self.validators = self.params.selector.select(self.id, phase, &self.params.cfg);
+        } else {
+            let mut counts: BTreeMap<ProcessSet, usize> = BTreeMap::new();
+            for (_, m) in &msgs {
+                if !m.validators.is_empty() {
+                    *counts.entry(m.validators).or_insert(0) += 1;
+                }
+            }
+            self.validators = counts
+                .into_iter()
+                .find(|(_, c)| *c > self.params.cfg.b())
+                .map(|(s, _)| s)
+                .unwrap_or_default();
+        }
+
+        // Line 22: a value announced by a majority of validators (counting
+        // the at most b Byzantine among them) is valid.
+        if !self.validators.is_empty() {
+            let quorum_base = self.validators.len() + self.params.cfg.b();
+            let tally = VoteTally::of_votes(
+                msgs.iter()
+                    .filter(|(q, _)| self.validators.contains(*q))
+                    .filter_map(|(_, m)| m.select.as_ref()),
+            );
+            let winner: Option<V> = tally
+                .iter()
+                .find(|(_, c)| quorum::more_than_half(*c, quorum_base))
+                .map(|(v, _)| v.clone());
+            if let Some(v) = winner {
+                // Lines 23–24.
+                self.vote = v.clone();
+                self.ts = phase;
+                self.last_validated = v;
+                if self.params.prune_history {
+                    // Footnote-5 GC: proofs older than the validated
+                    // timestamp are no longer produced by this process.
+                    self.history.prune_before(self.ts);
+                }
+                return;
+            }
+        }
+        // Line 26: revert the vote to stay consistent with ts_p.
+        self.vote = self.last_validated.clone();
+    }
+
+    // ---- decision round (lines 27–32) ----
+
+    fn decision_send(&mut self, phase: Phase) -> Outgoing<ConsensusMsg<V>> {
+        let msg = DecisionMsg {
+            vote: self.vote.clone(),
+            ts: if self.params.profile.sends_ts() {
+                self.ts
+            } else {
+                Phase::ZERO
+            },
+        };
+        Outgoing::Broadcast(ConsensusMsg::Decision(phase, msg))
+    }
+
+    fn decision_receive(&mut self, phase: Phase, round: Round, heard: &HeardOf<ConsensusMsg<V>>) {
+        if self.decision.is_some() {
+            return; // decide once; keep participating
+        }
+        let msgs: Vec<&DecisionMsg<V>> = heard
+            .messages()
+            .filter_map(ConsensusMsg::as_decision)
+            .collect();
+
+        // Line 31: TD identical votes, filtered by FLAG.
+        let considered = msgs.iter().filter(|m| match self.schedule.flag() {
+            crate::schedule::Flag::Star => true,
+            crate::schedule::Flag::Phi => m.ts == phase,
+        });
+        let tally = VoteTally::of_votes(considered.map(|m| &m.vote));
+        let decided: Option<V> = tally.votes_at_least(self.params.td).next().cloned();
+        if let Some(value) = decided {
+            self.decision = Some(Decision {
+                value,
+                phase,
+                round,
+            });
+        }
+    }
+}
+
+impl<V: Value> RoundProcess for GenericConsensus<V> {
+    type Msg = ConsensusMsg<V>;
+    type Output = Decision<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn requirement(&self, r: Round) -> Predicate {
+        if self.params.liveness == LivenessMode::ReliableChannels {
+            return Predicate::Rel;
+        }
+        match self.schedule.locate(r).1 {
+            RoundKind::Selection => Predicate::Cons,
+            RoundKind::Validation | RoundKind::Decision => Predicate::Good,
+        }
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        let (phase, kind) = self.schedule.locate(r);
+        match kind {
+            RoundKind::Selection => self.selection_send(phase),
+            RoundKind::Validation => self.validation_send(phase),
+            RoundKind::Decision => self.decision_send(phase),
+        }
+    }
+
+    fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
+        let (phase, kind) = self.schedule.locate(r);
+        match kind {
+            RoundKind::Selection => self.selection_receive(phase, heard),
+            RoundKind::Validation => self.validation_receive(phase, heard),
+            RoundKind::Decision => self.decision_receive(phase, r, heard),
+        }
+    }
+
+    fn output(&self) -> Option<Decision<V>> {
+        self.decision.clone()
+    }
+}
+
+impl<V: Value> std::fmt::Debug for GenericConsensus<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenericConsensus")
+            .field("id", &self.id.to_string())
+            .field("vote", &self.vote)
+            .field("ts", &self.ts)
+            .field("decided", &self.decision.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassId;
+    use gencon_types::Config;
+
+    fn pbft_params() -> Params<u64> {
+        Params::for_class(ClassId::Three, Config::byzantine(4, 1).unwrap()).unwrap()
+    }
+
+    /// Drives n engine instances through one full-delivery round.
+    fn run_round(procs: &mut [GenericConsensus<u64>], r: Round) {
+        let n = procs.len();
+        let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
+        for dest in 0..n {
+            let mut ho = HeardOf::empty(n);
+            for (src, out) in outs.iter().enumerate() {
+                if let Some(m) = out.message_for(ProcessId::new(dest)) {
+                    ho.put(ProcessId::new(src), m);
+                }
+            }
+            procs[dest].receive(r, &ho);
+        }
+    }
+
+    fn make_system(init: &[u64]) -> Vec<GenericConsensus<u64>> {
+        init.iter()
+            .enumerate()
+            .map(|(i, &v)| GenericConsensus::new(ProcessId::new(i), pbft_params(), v).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_system_decides_in_one_phase() {
+        let mut procs = make_system(&[7, 7, 7, 7]);
+        for r in 1..=3u64 {
+            run_round(&mut procs, Round::new(r));
+        }
+        for p in &procs {
+            let d = p.decision().expect("should decide in phase 1");
+            assert_eq!(d.value, 7);
+            assert_eq!(d.phase, Phase::new(1));
+            assert_eq!(d.round, Round::new(3));
+        }
+    }
+
+    #[test]
+    fn divergent_system_decides_same_value() {
+        let mut procs = make_system(&[1, 2, 3, 4]);
+        for r in 1..=3u64 {
+            run_round(&mut procs, Round::new(r));
+        }
+        let d0 = procs[0].decision().expect("decides").value;
+        assert_eq!(d0, 1, "deterministic min choice selects smallest vote");
+        for p in &procs {
+            assert_eq!(p.decision().unwrap().value, d0);
+        }
+    }
+
+    #[test]
+    fn initial_state_follows_lines_1_to_4() {
+        let p = GenericConsensus::new(ProcessId::new(0), pbft_params(), 9).unwrap();
+        assert_eq!(p.vote(), &9);
+        assert_eq!(p.ts(), Phase::ZERO);
+        assert!(p.history().contains(&9, Phase::ZERO));
+        assert_eq!(p.history().len(), 1);
+        assert!(p.validators().is_empty());
+        assert!(p.selected().is_none());
+    }
+
+    #[test]
+    fn selection_updates_vote_and_history() {
+        let mut procs = make_system(&[5, 5, 5, 6]);
+        run_round(&mut procs, Round::new(1));
+        // 3-of-4 initial votes are 5 → FLV (class 3) returns 5.
+        for p in &procs {
+            assert_eq!(p.selected(), Some(&5));
+            assert_eq!(p.vote(), &5);
+            assert!(p.history().contains(&5, Phase::new(1)));
+        }
+    }
+
+    #[test]
+    fn validation_sets_timestamp() {
+        let mut procs = make_system(&[5, 5, 5, 6]);
+        run_round(&mut procs, Round::new(1));
+        run_round(&mut procs, Round::new(2));
+        for p in &procs {
+            assert_eq!(p.ts(), Phase::new(1));
+            assert_eq!(p.vote(), &5);
+        }
+    }
+
+    #[test]
+    fn no_decision_without_td_current_timestamps() {
+        // Isolated decision round: stale timestamps are ignored under φ.
+        let mut p = GenericConsensus::new(ProcessId::new(0), pbft_params(), 1).unwrap();
+        let mut ho = HeardOf::empty(4);
+        for i in 0..4 {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Decision(
+                    Phase::new(1),
+                    DecisionMsg {
+                        vote: 1,
+                        ts: Phase::ZERO, // never validated
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(3), &ho);
+        assert!(p.decision().is_none(), "FLAG = φ requires ts = current phase");
+    }
+
+    #[test]
+    fn decision_requires_td_matching_votes() {
+        let mut p = GenericConsensus::new(ProcessId::new(0), pbft_params(), 1).unwrap();
+        let mut ho = HeardOf::empty(4);
+        for i in 0..3 {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Decision(
+                    Phase::new(1),
+                    DecisionMsg {
+                        vote: 8,
+                        ts: Phase::new(1),
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(3), &ho);
+        let d = p.decision().expect("TD = 3 votes with current ts decide");
+        assert_eq!(d.value, 8);
+    }
+
+    #[test]
+    fn decides_only_once() {
+        let mut p = GenericConsensus::new(ProcessId::new(0), pbft_params(), 1).unwrap();
+        let mk = |v: u64, phi: u64| {
+            let mut ho = HeardOf::empty(4);
+            for i in 0..4 {
+                ho.put(
+                    ProcessId::new(i),
+                    ConsensusMsg::Decision(
+                        Phase::new(phi),
+                        DecisionMsg {
+                            vote: v,
+                            ts: Phase::new(phi),
+                        },
+                    ),
+                );
+            }
+            ho
+        };
+        p.receive(Round::new(3), &mk(8, 1));
+        assert_eq!(p.decision().unwrap().value, 8);
+        p.receive(Round::new(6), &mk(9, 2));
+        assert_eq!(p.decision().unwrap().value, 8, "first decision sticks");
+    }
+
+    #[test]
+    fn silent_when_not_validator() {
+        // With a constant Π selector every process is a validator; force a
+        // non-member by clearing validators directly via a fresh process
+        // that never ran a selection round *without* the constant-selector
+        // optimization.
+        let mut params = pbft_params();
+        params.constant_selector = false;
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 1).unwrap();
+        // No selection messages received → validators = ∅ → silent.
+        let empty = HeardOf::empty(4);
+        p.receive(Round::new(1), &empty);
+        assert!(p.validators().is_empty());
+        match p.send(Round::new(2)) {
+            Outgoing::Silent => {}
+            other => panic!("non-validator must stay silent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requirement_follows_round_kind() {
+        let p = GenericConsensus::new(ProcessId::new(0), pbft_params(), 1).unwrap();
+        assert_eq!(p.requirement(Round::new(1)), Predicate::Cons);
+        assert_eq!(p.requirement(Round::new(2)), Predicate::Good);
+        assert_eq!(p.requirement(Round::new(3)), Predicate::Good);
+        assert_eq!(p.requirement(Round::new(4)), Predicate::Cons);
+    }
+
+    #[test]
+    fn reliable_channel_mode_requires_prel_everywhere() {
+        let mut params = pbft_params();
+        params.liveness = LivenessMode::ReliableChannels;
+        let p = GenericConsensus::new(ProcessId::new(0), params, 1).unwrap();
+        for r in 1..=6u64 {
+            assert_eq!(p.requirement(Round::new(r)), Predicate::Rel);
+        }
+    }
+
+    #[test]
+    fn class1_profile_strips_ts_and_history() {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let params = Params::<u64>::for_class(ClassId::One, cfg).unwrap();
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 3).unwrap();
+        match p.send(Round::new(1)) {
+            Outgoing::Multicast { msg, .. } => {
+                let sel = msg.as_selection().unwrap();
+                assert_eq!(sel.ts, Phase::ZERO);
+                assert!(sel.history.is_empty());
+                assert!(sel.selector.is_empty(), "constant selector not sent");
+            }
+            other => panic!("expected multicast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class1_schedule_has_no_validation_round() {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let params = Params::<u64>::for_class(ClassId::One, cfg).unwrap();
+        let mut procs: Vec<_> = (0..6)
+            .map(|i| GenericConsensus::new(ProcessId::new(i), params.clone(), 4u64).unwrap())
+            .collect();
+        // 2 rounds per phase: selection (r1) then decision (r2).
+        run_round(&mut procs, Round::new(1));
+        run_round(&mut procs, Round::new(2));
+        for p in &procs {
+            assert_eq!(p.decision().unwrap().value, 4);
+            assert_eq!(p.decision().unwrap().round, Round::new(2));
+        }
+    }
+
+    #[test]
+    fn skip_first_selection_decides_in_two_rounds_phi() {
+        let cfg = Config::byzantine(4, 1).unwrap();
+        let mut params = Params::<u64>::for_class(ClassId::Three, cfg).unwrap();
+        params.skip_first_selection = true;
+        let mut procs: Vec<_> = (0..4)
+            .map(|i| GenericConsensus::new(ProcessId::new(i), params.clone(), 5u64).unwrap())
+            .collect();
+        run_round(&mut procs, Round::new(1)); // validation of phase 1
+        run_round(&mut procs, Round::new(2)); // decision of phase 1
+        for p in &procs {
+            assert_eq!(p.decision().unwrap().value, 5);
+            assert_eq!(p.decision().unwrap().round, Round::new(2));
+        }
+    }
+
+    #[test]
+    fn line15_elects_validators_from_selector_quorum() {
+        // Non-constant selector path: validators come from > (n+b)/2
+        // matching ⟨−,−,−,S⟩ messages.
+        let mut params = pbft_params();
+        params.constant_selector = false;
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 1).unwrap();
+        let everyone = ProcessSet::range(0, 4);
+        let mut ho = HeardOf::empty(4);
+        // 3 messages (> (4+1)/2 = 2.5) carrying S = Π.
+        for i in 0..3 {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Selection(
+                    Phase::new(1),
+                    SelectionMsg {
+                        vote: 1,
+                        ts: Phase::ZERO,
+                        history: History::initial(1),
+                        selector: everyone,
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(1), &ho);
+        assert_eq!(p.validators(), everyone);
+    }
+
+    #[test]
+    fn line15_no_quorum_leaves_validators_empty() {
+        let mut params = pbft_params();
+        params.constant_selector = false;
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 1).unwrap();
+        let mut ho = HeardOf::empty(4);
+        // Split selector proposals: 2 × Π vs 1 × {p0,p1} — no set reaches 3.
+        for (i, set) in [
+            (0usize, ProcessSet::range(0, 4)),
+            (1, ProcessSet::range(0, 4)),
+            (2, ProcessSet::range(0, 2)),
+        ] {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Selection(
+                    Phase::new(1),
+                    SelectionMsg {
+                        vote: 1,
+                        ts: Phase::ZERO,
+                        history: History::initial(1),
+                        selector: set,
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(1), &ho);
+        assert!(p.validators().is_empty(), "no set got > (n+b)/2 support");
+    }
+
+    #[test]
+    fn line21_adopts_validator_set_from_b_plus_one_vouchers() {
+        let mut params = pbft_params();
+        params.constant_selector = false;
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 1).unwrap();
+        let vset = ProcessSet::range(0, 4);
+        let mut ho = HeardOf::empty(4);
+        // b + 1 = 2 validation messages vouching for Π, selecting value 9.
+        for i in 0..3 {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Validation(
+                    Phase::new(1),
+                    ValidationMsg {
+                        select: Some(9),
+                        validators: vset,
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(2), &ho);
+        assert_eq!(p.validators(), vset);
+        // 3 of (4+1) validators announced 9 → 2·3 > 4+1 → validated.
+        assert_eq!(p.vote(), &9);
+        assert_eq!(p.ts(), Phase::new(1));
+    }
+
+    #[test]
+    fn line26_reverts_vote_when_validation_fails() {
+        let mut procs = make_system(&[5, 5, 5, 6]);
+        run_round(&mut procs, Round::new(1)); // all select 5
+        assert_eq!(procs[3].vote(), &5, "p3 adopted the selection");
+        // Validation round with NO messages delivered: line 22 fails,
+        // line 26 reverts to the value matching ts (= init at ts 0).
+        let empty = HeardOf::empty(4);
+        procs[3].receive(Round::new(2), &empty);
+        assert_eq!(procs[3].ts(), Phase::ZERO);
+        assert_eq!(
+            procs[3].vote(),
+            &6,
+            "vote reverted to the ts-consistent value"
+        );
+    }
+
+    #[test]
+    fn history_pruning_bounds_the_log() {
+        let mut params = pbft_params();
+        params.prune_history = true;
+        let mut procs: Vec<_> = (0..4)
+            .map(|i| GenericConsensus::new(ProcessId::new(i), params.clone(), 5u64).unwrap())
+            .collect();
+        // Run several full phases; with pruning, only entries at or above
+        // the validated timestamp survive.
+        for r in 1..=9u64 {
+            run_round(&mut procs, Round::new(r));
+        }
+        for p in &procs {
+            assert!(
+                p.history().len() <= 2,
+                "pruned history stays bounded, got {:?}",
+                p.history()
+            );
+            assert!(p.history().contains(&5, p.ts()));
+        }
+    }
+
+    #[test]
+    fn unpruned_history_grows_per_phase() {
+        let mut procs = make_system(&[5, 5, 5, 5]);
+        for r in 1..=9u64 {
+            run_round(&mut procs, Round::new(r));
+        }
+        // initial entry + one per selection round (3 phases)
+        assert_eq!(procs[0].history().len(), 4);
+    }
+
+    #[test]
+    fn coin_choice_flips_over_domain() {
+        let cfg = Config::benign(3, 1).unwrap();
+        let mut params = Params::<u64>::for_class(ClassId::Two, cfg).unwrap();
+        params.choice = ChoicePolicy::UniformCoin {
+            domain: vec![0, 1],
+            seed: 7,
+        };
+        let mut p = GenericConsensus::new(ProcessId::new(0), params, 0).unwrap();
+        // Feed a split selection round so FLV answers `?`.
+        let mut ho = HeardOf::empty(3);
+        for (i, v) in [(0usize, 0u64), (1, 1)] {
+            ho.put(
+                ProcessId::new(i),
+                ConsensusMsg::Selection(
+                    Phase::new(1),
+                    SelectionMsg {
+                        vote: v,
+                        ts: Phase::ZERO,
+                        history: History::initial(v),
+                        selector: ProcessSet::new(),
+                    },
+                ),
+            );
+        }
+        p.receive(Round::new(1), &ho);
+        let got = p.selected().copied().expect("coin always selects");
+        assert!(got == 0 || got == 1);
+    }
+
+    #[test]
+    fn debug_format_mentions_vote() {
+        let p = GenericConsensus::new(ProcessId::new(1), pbft_params(), 3).unwrap();
+        let s = format!("{p:?}");
+        assert!(s.contains("vote"));
+        assert!(s.contains("p1"));
+    }
+}

@@ -1,0 +1,159 @@
+//! FLV specialization for Ben-Or's randomized algorithm (Algorithm 9, §6).
+//!
+//! Ben-Or [1] solves *binary* consensus without partial synchrony: instead
+//! of communication predicates that eventually hold, it assumes reliable
+//! channels (`Prel`: every round delivers at least `n − b − f` messages) and
+//! replaces the deterministic choice of line 11 with a coin flip. Repeating
+//! phases makes all correct processes select the same value with
+//! probability 1.
+//!
+//! Algorithm 9:
+//!
+//! ```text
+//! 1: if received b + 1 messages ⟨v, φ − 1, −⟩ then return v
+//! 4: else return ?
+//! ```
+//!
+//! A vote timestamped `φ − 1` was validated in the previous phase; by
+//! Lemma 4 only one value can be, so `b + 1` matching copies guarantee an
+//! honest witness. Note the function never returns `null` — exactly the
+//! stronger FLV-liveness randomized algorithms need (§6: a non-`null` answer
+//! on *any* `n − b − f` messages, not just on hearing from all correct
+//! processes).
+
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+use crate::vote_count::VoteTally;
+
+/// Algorithm 9: the Ben-Or FLV (a class-2 variant, per §6).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct BenOrFlv;
+
+impl BenOrFlv {
+    /// Creates the Ben-Or FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        BenOrFlv
+    }
+}
+
+impl<V: gencon_types::Value> Flv<V> for BenOrFlv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let prev = ctx.phase.prev();
+        if prev.is_zero() {
+            // Phase 1: no validation has happened yet.
+            return FlvOutcome::Any;
+        }
+        let tally = VoteTally::of_votes(
+            msgs.iter()
+                .filter(|m| m.ts == prev)
+                .map(|m| &m.vote),
+        );
+        // "received b + 1 messages ⟨v, φ−1⟩" — at least b + 1. Lemma 4
+        // makes the qualifying value unique among honest senders; if
+        // Byzantine senders manufacture a second one, the smallest value is
+        // taken (deterministic, and only reachable when nothing is locked).
+        if let Some(v) = tally.votes_at_least(ctx.cfg.b() + 1).next() {
+            return FlvOutcome::Value(v.clone());
+        }
+        FlvOutcome::Any
+    }
+
+    fn name(&self) -> &'static str {
+        "ben-or"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        // Ben-Or benign: TD = f + 1 (n > 2f); Byzantine: TD = 3b + 1
+        // (n > 4b). Both are the class-2 bound of §6.
+        gencon_types::quorum::class2_min_td(cfg.f(), cfg.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::{m2, refs};
+    use gencon_types::{Config, Phase};
+
+    fn ctx(n: usize, f: usize, b: usize, phase: u64) -> FlvContext {
+        FlvContext {
+            cfg: Config::new(n, f, b).unwrap(),
+            td: if b > 0 { 3 * b + 1 } else { f + 1 },
+            phase: Phase::new(phase),
+        }
+    }
+
+    #[test]
+    fn first_phase_is_free_choice() {
+        let msgs = vec![m2(0, 0), m2(1, 0)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(5, 2, 0, 1), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn previous_phase_validation_is_adopted() {
+        // b = 1: two ⟨1, φ−1⟩ reports force value 1.
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(0, 0), m2(0, 1)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(5, 0, 1, 3), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn single_witness_insufficient_with_byzantine() {
+        // b = 1: one ⟨1, φ−1⟩ report could be Byzantine — coin flip instead.
+        let msgs = vec![m2(1, 2), m2(0, 0), m2(0, 0), m2(0, 1)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(5, 0, 1, 3), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn stale_timestamps_do_not_count() {
+        // Reports from φ−2 are ignored by Algorithm 9.
+        let msgs = vec![m2(1, 1), m2(1, 1), m2(0, 0)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(5, 0, 1, 3), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn benign_model_needs_single_witness() {
+        // b = 0: one ⟨v, φ−1⟩ report suffices (b + 1 = 1).
+        let msgs = vec![m2(1, 4), m2(0, 0)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(3, 1, 0, 5), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn never_returns_null() {
+        // The randomized FLV-liveness: even an empty input yields a choice.
+        let out = <BenOrFlv as Flv<u64>>::evaluate(&BenOrFlv, &ctx(5, 0, 1, 3), &[]);
+        assert_eq!(out, FlvOutcome::Any);
+    }
+
+    #[test]
+    fn byzantine_double_witness_resolved_deterministically() {
+        // Two Byzantine reports manufacture a second "validated" value; the
+        // deterministic tie-break picks the smaller. (Reachable only when
+        // nothing is locked, so safety is unaffected.)
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(0, 2), m2(0, 2)];
+        assert_eq!(
+            BenOrFlv.evaluate(&ctx(5, 0, 1, 3), &refs(&msgs)),
+            FlvOutcome::Value(0)
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<BenOrFlv as Flv<u64>>::name(&BenOrFlv), "ben-or");
+    }
+}

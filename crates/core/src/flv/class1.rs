@@ -1,0 +1,172 @@
+//! FLV for class 1 (Algorithm 2): votes only.
+//!
+//! Class 1 pairs with `FLAG = *` and `TD > (n + 3b + f)/2`, giving
+//! 2 rounds per phase, state `vote_p` only, and the resilience bound
+//! `n > 5b + 3f` (Table 1). Examples: OneThirdRule (b = 0) and FaB Paxos
+//! (f = 0).
+
+use gencon_types::quorum;
+
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+use crate::vote_count::VoteTally;
+
+/// Algorithm 2 of the paper.
+///
+/// ```text
+/// 1: correctVotes ← { v : |{(v,−,−,−) ∈ ~µ}| > n − TD + b }
+/// 2: if |correctVotes| = 1 then return v ∈ correctVotes
+/// 4: else if |~µ| > 2(n − TD + b) then return ?
+/// 6: else return null
+/// ```
+///
+/// Intuition (Figure 1): if `v` was decided, at least `TD − b` honest
+/// processes vote `v`, so at most `n − TD + b` messages carry anything else;
+/// any sample larger than `2(n − TD + b)` therefore contains `v` more than
+/// `n − TD + b` times, and only `v` can pass line 1.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Class1Flv;
+
+impl Class1Flv {
+    /// Creates the class-1 FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        Class1Flv
+    }
+}
+
+impl<V: gencon_types::Value> Flv<V> for Class1Flv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let pivot = ctx.n_td_b();
+
+        // Line 1: votes appearing more than n − TD + b times.
+        let tally = VoteTally::of_votes(msgs.iter().map(|m| &m.vote));
+        let correct_votes: Vec<&V> = tally.votes_above(pivot).collect();
+
+        // Line 2–3.
+        if correct_votes.len() == 1 {
+            return FlvOutcome::Value(correct_votes[0].clone());
+        }
+        // Line 4–5.
+        if quorum::more_than(msgs.len(), 2 * pivot) {
+            return FlvOutcome::Any;
+        }
+        // Line 7.
+        FlvOutcome::NoInfo
+    }
+
+    fn name(&self) -> &'static str {
+        "class1"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        gencon_types::quorum::class1_min_td(cfg.n(), cfg.f(), cfg.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::{m1, refs};
+    use gencon_types::{Config, Phase};
+
+    /// The Figure 1 setting: n = 6, b = 1, f = 0, TD = 5 ⇒ n − TD + b = 2.
+    fn fig1_ctx() -> FlvContext {
+        FlvContext {
+            cfg: Config::new(6, 0, 1).unwrap(),
+            td: 5,
+            phase: Phase::new(2),
+        }
+    }
+
+    #[test]
+    fn figure1_scenario_recovers_locked_value() {
+        // Figure 1: TD − b = 4 honest votes v1, n − TD + b = 2 votes v2.
+        let msgs = vec![m1(1), m1(1), m1(1), m1(1), m1(2), m1(2)];
+        let out = Class1Flv.evaluate(&fig1_ctx(), &refs(&msgs));
+        assert_eq!(out, FlvOutcome::Value(1));
+    }
+
+    #[test]
+    fn figure1_any_sufficiently_large_subset_returns_v1() {
+        // Any subset of > 2(n−TD+b) = 4 messages contains > 2 copies of v1.
+        let msgs = vec![m1(1), m1(1), m1(1), m1(1), m1(2), m1(2)];
+        let all = refs(&msgs);
+        // exhaust all 5-subsets and the 6-set
+        for skip in 0..=msgs.len() {
+            let subset: Vec<_> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, m)| *m)
+                .collect();
+            let out = Class1Flv.evaluate(&fig1_ctx(), &subset);
+            if subset.len() > 4 {
+                assert_eq!(out, FlvOutcome::Value(1), "skip={skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_messages_returns_no_info() {
+        // |µ| = 4 is not > 2(n−TD+b) = 4 and no vote clears the pivot.
+        let msgs = vec![m1(1), m1(1), m1(2), m1(2)];
+        assert_eq!(
+            Class1Flv.evaluate(&fig1_ctx(), &refs(&msgs)),
+            FlvOutcome::NoInfo
+        );
+    }
+
+    #[test]
+    fn unlocked_large_sample_returns_any() {
+        // 5 messages, no vote above pivot (2): 2+2+1 split.
+        let msgs = vec![m1(1), m1(1), m1(2), m1(2), m1(3)];
+        assert_eq!(
+            Class1Flv.evaluate(&fig1_ctx(), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn two_qualifying_votes_is_not_a_unique_answer() {
+        // Both votes above pivot ⇒ |correctVotes| = 2 ⇒ line 4 applies.
+        let msgs = vec![m1(1), m1(1), m1(1), m1(2), m1(2), m1(2)];
+        assert_eq!(
+            Class1Flv.evaluate(&fig1_ctx(), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn empty_input_is_no_info() {
+        assert_eq!(
+            <Class1Flv as Flv<u64>>::evaluate(&Class1Flv, &fig1_ctx(), &[]),
+            FlvOutcome::NoInfo
+        );
+    }
+
+    #[test]
+    fn liveness_bound_matches_theorem2() {
+        // TD > (n+3b+f)/2 ⇒ n − b − f > 2(n − TD + b): messages from all
+        // correct processes always produce a non-null outcome.
+        let ctx = fig1_ctx();
+        let correct = ctx.cfg.correct_minimum(); // 5
+        assert!(correct > 2 * ctx.n_td_b());
+        let msgs: Vec<_> = (0..correct).map(|i| m1(i as u64)).collect();
+        assert!(!Class1Flv.evaluate(&ctx, &refs(&msgs)).is_no_info());
+    }
+
+    #[test]
+    fn validity_returns_only_received_votes() {
+        let msgs = vec![m1(9), m1(9), m1(9)];
+        match Class1Flv.evaluate(&fig1_ctx(), &refs(&msgs)) {
+            FlvOutcome::Value(v) => assert_eq!(v, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<Class1Flv as Flv<u64>>::name(&Class1Flv), "class1");
+    }
+}

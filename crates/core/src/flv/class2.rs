@@ -1,0 +1,234 @@
+//! FLV for class 2 (Algorithm 3): votes + timestamps.
+//!
+//! Class 2 pairs with `FLAG = φ` and `TD > 3b + f`, giving 3 rounds per
+//! phase, state `(vote_p, ts_p)` and the resilience bound `n > 4b + 2f`
+//! (Table 1). Examples: Paxos and CT (b = 0) and the paper's new MQB
+//! algorithm (f = 0).
+
+use gencon_types::quorum;
+
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+use crate::vote_count::VoteTally;
+
+/// Algorithm 3 of the paper.
+///
+/// ```text
+/// 1: possibleVotes ← {# (vote, ts) ∈ ~µ :
+///        |{(vote′, ts′) ∈ ~µ : vote = vote′ ∨ ts > ts′}| > n − TD + b #}
+/// 2: correctVotes ← { (vote) ∈ possibleVotes :
+///        |{(vote′) ∈ possibleVotes : vote = vote′}| > b }
+/// 3: if |correctVotes| = 1 then return v
+/// 5: else if |~µ| > n − TD + 2b then return ?
+/// 7: else return null
+/// ```
+///
+/// `possibleVotes` is a **multiset** of messages: a message `(v, ts)` is
+/// *possible* when more than `n − TD + b` received messages either agree on
+/// `v` or are strictly older than `ts`. A vote is *correct* when more than
+/// `b` possible messages carry it — one of them must then come from an
+/// honest process (Figure 2's geometry).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Class2Flv;
+
+impl Class2Flv {
+    /// Creates the class-2 FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        Class2Flv
+    }
+}
+
+/// Shared by classes 2/3 (line 1 of Algorithms 3 and 4): indices of the
+/// messages supported by more than `bound` messages that agree on the vote
+/// or are strictly older.
+pub(crate) fn possible_vote_indices<V: gencon_types::Value>(
+    msgs: &[&SelectionMsg<V>],
+    bound: usize,
+) -> Vec<usize> {
+    (0..msgs.len())
+        .filter(|&i| {
+            let (vote, ts) = (&msgs[i].vote, msgs[i].ts);
+            let support = msgs
+                .iter()
+                .filter(|m| m.vote == *vote || ts > m.ts)
+                .count();
+            quorum::more_than(support, bound)
+        })
+        .collect()
+}
+
+impl<V: gencon_types::Value> Flv<V> for Class2Flv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let pivot = ctx.n_td_b();
+        let b = ctx.cfg.b();
+
+        // Line 1 (multiset semantics: one entry per qualifying message).
+        let possible = possible_vote_indices(msgs, pivot);
+
+        // Line 2: votes carried by more than b possible messages.
+        let tally = VoteTally::of_votes(possible.iter().map(|&i| &msgs[i].vote));
+        let correct_votes: Vec<&V> = tally.votes_above(b).collect();
+
+        // Lines 3–4.
+        if correct_votes.len() == 1 {
+            return FlvOutcome::Value(correct_votes[0].clone());
+        }
+        // Lines 5–6.
+        if quorum::more_than(msgs.len(), pivot + b) {
+            return FlvOutcome::Any;
+        }
+        // Line 8.
+        FlvOutcome::NoInfo
+    }
+
+    fn name(&self) -> &'static str {
+        "class2"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        gencon_types::quorum::class2_min_td(cfg.f(), cfg.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::{m2, refs};
+    use gencon_types::{Config, Phase};
+
+    /// The Figure 2 setting: n = 5, b = 1, f = 0, TD = 4 ⇒ n − TD + b = 2.
+    fn fig2_ctx() -> FlvContext {
+        FlvContext {
+            cfg: Config::new(5, 0, 1).unwrap(),
+            td: 4,
+            phase: Phase::new(3),
+        }
+    }
+
+    #[test]
+    fn figure2_scenario_recovers_locked_value() {
+        // Figure 2: TD − b = 3 honest (v1, φ1); one honest (v2, φ2' < φ1);
+        // one Byzantine (v2, φ2 > φ1). φ1 = 2 here.
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(1, 2), m2(2, 1), m2(2, 5)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn figure2_all_large_subsets_return_v1() {
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(1, 2), m2(2, 1), m2(2, 5)];
+        let all = refs(&msgs);
+        // |µ| > n − TD + 2b = 4 ⇒ only the full 5-message set qualifies for
+        // `?`; check every subset of size ≥ TD − b never returns v2.
+        for mask in 0u32..(1 << msgs.len()) {
+            let subset: Vec<_> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, m)| *m)
+                .collect();
+            match Class2Flv.evaluate(&fig2_ctx(), &subset) {
+                FlvOutcome::Value(v) => {
+                    assert_eq!(v, 1, "subset mask {mask:b} returned unlocked value")
+                }
+                FlvOutcome::Any => panic!(
+                    "subset mask {mask:b} returned ? although v1 is locked (possible only \
+                     if the adversary withholds honest messages — here all honest sent v1-\
+                     compatible state)"
+                ),
+                FlvOutcome::NoInfo => {}
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_high_timestamp_cannot_hijack() {
+        // A Byzantine process claims (v2, huge ts): its own message has huge
+        // support via "ts > ts′", but no honest duplicate exists, so line 2
+        // filters it out (count must exceed b = 1).
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(1, 2), m2(1, 2), m2(2, 99)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn fresh_system_returns_any_on_quorum() {
+        // All timestamps 0, all votes distinct: nothing locked.
+        let msgs = vec![m2(1, 0), m2(2, 0), m2(3, 0), m2(4, 0), m2(5, 0)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn insufficient_sample_returns_no_info() {
+        // |µ| = 3 is not > n − TD + 2b = 3.
+        let msgs = vec![m2(1, 0), m2(2, 0), m2(3, 0)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs)),
+            FlvOutcome::NoInfo
+        );
+        // One more message crosses the bound and yields `?`.
+        let msgs4 = vec![m2(1, 0), m2(2, 0), m2(3, 0), m2(4, 0)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs4)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn liveness_bound_matches_theorem3() {
+        // TD > 3b + f ⇒ n − b − f > n − TD + 2b.
+        let ctx = fig2_ctx();
+        assert!(ctx.cfg.correct_minimum() > ctx.n_td_b() + ctx.cfg.b());
+        let msgs: Vec<_> = (0..ctx.cfg.correct_minimum())
+            .map(|i| m2(i as u64, 0))
+            .collect();
+        assert!(!Class2Flv.evaluate(&ctx, &refs(&msgs)).is_no_info());
+    }
+
+    #[test]
+    fn same_timestamp_same_vote_counts_as_support() {
+        // 2 honest with (v1, φ1) support each other via vote equality even
+        // though neither dominates by timestamp.
+        let msgs = vec![m2(1, 3), m2(1, 3), m2(1, 3), m2(2, 0), m2(2, 0)];
+        assert_eq!(
+            Class2Flv.evaluate(&fig2_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn empty_input_is_no_info() {
+        assert_eq!(
+            <Class2Flv as Flv<u64>>::evaluate(&Class2Flv, &fig2_ctx(), &[]),
+            FlvOutcome::NoInfo
+        );
+    }
+
+    #[test]
+    fn possible_vote_indices_multiset_semantics() {
+        let msgs = vec![m2(1, 2), m2(1, 2), m2(2, 3)];
+        let r = refs(&msgs);
+        // bound 1: (1,2) supported by 2 (vote equality) + not by (2,3)?
+        // (2,3) has ts 3 > 2, so it supports… no: support counts messages m
+        // with m.vote == vote OR ts > m.ts — (2,3) has different vote and
+        // ts(candidate)=2 is NOT > 3. So support((1,2)) = 2.
+        // support((2,3)) = itself (vote) + both (1,2) via ts 3 > 2 = 3.
+        let poss = possible_vote_indices(&r, 2);
+        assert_eq!(poss, vec![2], "only (2,3) has support > 2");
+        let poss1 = possible_vote_indices(&r, 1);
+        assert_eq!(poss1, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<Class2Flv as Flv<u64>>::name(&Class2Flv), "class2");
+    }
+}

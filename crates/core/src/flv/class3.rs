@@ -1,0 +1,397 @@
+//! FLV for class 3 (Algorithm 4): votes + timestamps + history.
+//!
+//! Class 3 pairs with `FLAG = φ` and `TD > 2b + f`, giving 3 rounds per
+//! phase, full state `(vote_p, ts_p, history_p)` and the best resilience
+//! `n > 3b + 2f` (Table 1). Examples: Paxos/CT (b = 0, where classes 2 and 3
+//! coincide) and PBFT (f = 0).
+//!
+//! Because `TD` may be as low as `2b + f + 1`, votes and timestamps alone
+//! cannot pin the locked value; the *history log* supplies the missing
+//! proof: a vote is only credible if more than `b` received histories
+//! contain the exact `(v, ts)` pair — at least one honest process must then
+//! actually have selected `v` in phase `ts`.
+
+use gencon_types::quorum;
+
+use crate::flv::class2::possible_vote_indices;
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+use crate::vote_count::VoteTally;
+
+/// Algorithm 4 of the paper.
+///
+/// ```text
+/// 1: possibleVotes ← { (vote, ts) ∈ ~µ :
+///        |{(vote′, ts′) ∈ ~µ : vote = vote′ ∨ ts > ts′}| > n − TD + b }
+/// 2: correctVotes ← { v : (v, ts) ∈ possibleVotes ∧
+///        |{(…, history′) ∈ ~µ : (v, ts) ∈ history′}| > b }
+/// 3: if |correctVotes| = 1 then return v
+/// 5: else if |correctVotes| > 1 then return ?
+/// 7: else if |{(…, ts) ∈ ~µ : ts = 0}| > n − TD + b then
+/// 8:     if ∃v with a majority of messages (v,…) then return v   ⌇ unanimity
+/// 10:    else return ?
+/// 12: else return null
+/// ```
+///
+/// Lines 8–9 exist only to guarantee Unanimity (§2.3); when the
+/// configuration does not require Unanimity they collapse to `?`, exactly
+/// as in the PBFT specialization (Algorithm 8).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Class3Flv;
+
+impl Class3Flv {
+    /// Creates the class-3 FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        Class3Flv
+    }
+}
+
+impl<V: gencon_types::Value> Flv<V> for Class3Flv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let pivot = ctx.n_td_b();
+        let b = ctx.cfg.b();
+
+        // Line 1 (same support rule as Algorithm 3).
+        let possible = possible_vote_indices(msgs, pivot);
+
+        // Line 2: keep votes whose (v, ts) pair appears in more than b
+        // received histories. Collect distinct qualifying values.
+        let mut correct_votes: Vec<&V> = Vec::new();
+        for &i in &possible {
+            let (v, ts) = (&msgs[i].vote, msgs[i].ts);
+            let attestors = msgs
+                .iter()
+                .filter(|m| m.history.contains(v, ts))
+                .count();
+            if quorum::more_than(attestors, b) && !correct_votes.contains(&v) {
+                correct_votes.push(v);
+            }
+        }
+        correct_votes.sort(); // determinism across message orders
+
+        // Lines 3–6.
+        if correct_votes.len() == 1 {
+            return FlvOutcome::Value(correct_votes[0].clone());
+        }
+        if correct_votes.len() > 1 {
+            return FlvOutcome::Any;
+        }
+
+        // Line 7: enough processes still at their initial state?
+        let ts_zero = msgs.iter().filter(|m| m.ts.is_zero()).count();
+        if quorum::more_than(ts_zero, pivot) {
+            // Lines 8–11 (majority check only needed for Unanimity).
+            if ctx.cfg.unanimity() {
+                let tally = VoteTally::of_votes(msgs.iter().map(|m| &m.vote));
+                if let Some(v) = tally.strict_majority_of(msgs.len()) {
+                    return FlvOutcome::Value(v.clone());
+                }
+            }
+            return FlvOutcome::Any;
+        }
+
+        // Line 13.
+        FlvOutcome::NoInfo
+    }
+
+    fn name(&self) -> &'static str {
+        "class3"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        gencon_types::quorum::class3_min_td(cfg.f(), cfg.b())
+    }
+
+    fn requires_strong_selector(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::{m3, refs};
+    use gencon_types::{Config, Phase};
+
+    /// The Figure 3 setting: n = 4, b = 1, f = 0, TD = 3 ⇒ n − TD + b = 2.
+    fn fig3_ctx() -> FlvContext {
+        FlvContext {
+            cfg: Config::new(4, 0, 1).unwrap(),
+            td: 3,
+            phase: Phase::new(3),
+        }
+    }
+
+    fn fig3_unanimity_ctx() -> FlvContext {
+        FlvContext {
+            cfg: Config::new(4, 0, 1).unwrap().with_unanimity(true),
+            td: 3,
+            phase: Phase::new(1),
+        }
+    }
+
+    #[test]
+    fn figure3_scenario_recovers_locked_value() {
+        // Figure 3: TD − b = 2 honest (v1, φ1, history∋(v1,φ1));
+        // one honest (v2, φ2' < φ1); one Byzantine (v2, φ2 > φ1) whose
+        // forged history cannot gather b+1 attestors.
+        let phi1 = 2;
+        let msgs = vec![
+            m3(1, phi1, &[(1, 0), (1, phi1)]),
+            m3(1, phi1, &[(1, 0), (1, phi1)]),
+            m3(2, 1, &[(2, 0), (2, 1)]),
+            m3(2, 9, &[(2, 9)]), // Byzantine forgery
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn byzantine_forged_history_needs_b_plus_one_attestors() {
+        // The Byzantine message attests its own (v2, 9) pair, but one
+        // attestor is not > b = 1, so v2 never enters correctVotes.
+        let msgs = vec![
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(2, 9, &[(2, 9)]),
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn two_byzantine_attestors_would_be_needed() {
+        // With b = 1, two colluding messages attesting (v2, 9) *can* inject
+        // v2 into correctVotes — but then |correctVotes| > 1 returns `?`,
+        // still safe for agreement only if v1 was not locked. This test
+        // documents the geometry: v1 must keep TD − b = 2 honest attestors.
+        let msgs = vec![
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(2, 9, &[(2, 9)]),
+            m3(2, 9, &[(2, 9)]),
+        ];
+        // v1 possible (support: 2 votes + 0 older) = 2, not > 2! v1 is NOT
+        // possible here; v2 has support 4 (2 votes + 2 older ts) and 2 > b
+        // attestors: correctVotes = {v2}.
+        // This input is only reachable when v1 was never locked with this
+        // message distribution (a locked v1 guarantees TD = 3 honest v1
+        // messages among any n − b − f = 3 correct senders).
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(2)
+        );
+    }
+
+    #[test]
+    fn fresh_system_returns_any() {
+        let msgs = vec![
+            m3(1, 0, &[(1, 0)]),
+            m3(2, 0, &[(2, 0)]),
+            m3(3, 0, &[(3, 0)]),
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn near_unanimous_initial_votes_resolve_at_line_3() {
+        // 3 of 4 initial votes agree: (7, 0) is possible (support 3 > 2) and
+        // attested by its 3 honest histories, so line 3 already returns it —
+        // with or without the Unanimity switch.
+        let msgs = vec![
+            m3(7, 0, &[(7, 0)]),
+            m3(7, 0, &[(7, 0)]),
+            m3(7, 0, &[(7, 0)]),
+            m3(2, 0, &[(2, 0)]), // Byzantine minority
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_unanimity_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
+    }
+
+    #[test]
+    fn unanimity_majority_returned_at_line_9() {
+        // n = 5, TD = 3 ⇒ pivot = 3: a 3-of-5 majority is NOT possible at
+        // line 1 (support 3 ≯ 3), so control reaches line 7 and the
+        // unanimity branch must recover the majority value.
+        let ctx = FlvContext {
+            cfg: Config::new(5, 0, 1).unwrap().with_unanimity(true),
+            td: 3,
+            phase: Phase::new(1),
+        };
+        let msgs = vec![
+            m3(7, 0, &[(7, 0)]),
+            m3(7, 0, &[(7, 0)]),
+            m3(7, 0, &[(7, 0)]),
+            m3(2, 0, &[(2, 0)]),
+            m3(9, 0, &[(9, 0)]), // Byzantine
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&ctx, &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
+        // Without unanimity the same input yields `?`.
+        let ctx_plain = FlvContext {
+            cfg: Config::new(5, 0, 1).unwrap(),
+            td: 3,
+            phase: Phase::new(1),
+        };
+        assert_eq!(
+            Class3Flv.evaluate(&ctx_plain, &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn unanimity_without_majority_returns_any() {
+        let msgs = vec![
+            m3(7, 0, &[(7, 0)]),
+            m3(7, 0, &[(7, 0)]),
+            m3(2, 0, &[(2, 0)]),
+            m3(3, 0, &[(3, 0)]),
+        ];
+        // (7,0) support 2 ≯ 2 → nothing possible; ts=0 count 4 > 2; no
+        // strict majority (2 of 4) → `?` even with unanimity enabled.
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_unanimity_ctx(), &refs(&msgs)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn insufficient_sample_returns_no_info() {
+        // 2 messages: no vote possible (support ≤ 2), ts=0 count 2 not > 2.
+        let msgs = vec![m3(1, 0, &[(1, 0)]), m3(2, 0, &[(2, 0)])];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::NoInfo
+        );
+    }
+
+    #[test]
+    fn validated_value_with_honest_attestors_wins_over_stale() {
+        // One honest selected v1 in phase 2 and validated it; two more
+        // honest processes hold (v1, 2) in history because they selected it
+        // too. A stale honest (v2, 1) cannot compete.
+        let msgs = vec![
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(1, 2, &[(1, 2)]),
+            m3(2, 1, &[(2, 0), (1, 2), (2, 1)]), // selected v1 in φ2, then reverted
+            m3(2, 1, &[(2, 0), (2, 1)]),
+        ];
+        // (v1,2) support: 2 (votes) + 2 (ts 2 > 1) = 4 > 2 ✓; attestors of
+        // (1,2): msgs 0,1,2 = 3 > b ✓. (v2,1) support: 2 votes + 0 older = 2 ✗.
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::Value(1)
+        );
+    }
+
+    #[test]
+    fn empty_input_is_no_info() {
+        assert_eq!(
+            <Class3Flv as Flv<u64>>::evaluate(&Class3Flv, &fig3_ctx(), &[]),
+            FlvOutcome::NoInfo
+        );
+    }
+
+    #[test]
+    fn multiple_correct_votes_return_any() {
+        // Craft two values both possible and both attested by > b histories.
+        let msgs = vec![
+            m3(1, 3, &[(1, 3)]),
+            m3(1, 3, &[(1, 3)]),
+            m3(2, 4, &[(2, 4)]),
+            m3(2, 4, &[(2, 4)]),
+        ];
+        // (1,3): support 2 votes + 0 older… (2,4) has ts 4, not < 3 → 2 ✗.
+        // Hmm — make supports work: raise timestamps asymmetrically.
+        let msgs2 = vec![
+            m3(1, 5, &[(1, 5)]),
+            m3(1, 5, &[(1, 5)]),
+            m3(2, 6, &[(2, 6)]),
+            m3(2, 6, &[(2, 6)]),
+        ];
+        // (1,5): 2 votes + 0 = 2 ✗ — still not possible. Use older thirds:
+        let msgs3 = vec![
+            m3(1, 5, &[(1, 5)]),
+            m3(1, 5, &[(1, 5)]),
+            m3(2, 6, &[(2, 6), (1, 5)]),
+            m3(2, 6, &[(2, 6), (1, 5)]),
+            m3(3, 1, &[(3, 1)]),
+        ];
+        // n=5 variant: use a ctx with n=5, td=3, b=1 → pivot = 3.
+        let ctx = FlvContext {
+            cfg: Config::new(5, 0, 1).unwrap(),
+            td: 3,
+            phase: Phase::new(7),
+        };
+        // (1,5): 2 votes + 1 older (ts5>1) = 3 ✗ (not > 3).
+        // (2,6): 2 votes + ts6>5 ×2 + ts6>1 = 5 ✓ > 3; attestors (2,6): 2 > 1 ✓.
+        // So correctVotes = {2} — Value(2). Adjust: give (1,5) more support.
+        let _ = (msgs, msgs2);
+        assert_eq!(
+            Class3Flv.evaluate(&ctx, &refs(&msgs3)),
+            FlvOutcome::Value(2)
+        );
+        // Both possible & attested: symmetric supports via low third vote.
+        let msgs4 = vec![
+            m3(1, 5, &[(1, 5)]),
+            m3(1, 5, &[(1, 5)]),
+            m3(2, 6, &[(2, 6)]),
+            m3(2, 6, &[(2, 6)]),
+            m3(3, 1, &[(3, 1), (1, 5), (2, 6)]),
+        ];
+        // (1,5): 2 votes + ts5>1 = 3 ✗ — pivot 3 too strict. Use td=4 → pivot 2.
+        let ctx2 = FlvContext {
+            cfg: Config::new(5, 0, 1).unwrap(),
+            td: 4,
+            phase: Phase::new(7),
+        };
+        // (1,5): support 3 > 2 ✓, attestors {m0,m1,m4} = 3 > 1 ✓.
+        // (2,6): support 2 votes + ts6>5×2 + ts6>1 = 5 ✓, attestors {m2,m3,m4} ✓.
+        assert_eq!(
+            Class3Flv.evaluate(&ctx2, &refs(&msgs4)),
+            FlvOutcome::Any
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<Class3Flv as Flv<u64>>::name(&Class3Flv), "class3");
+    }
+
+    #[test]
+    fn prel_input_can_return_null_unlike_classes_1_and_2() {
+        // §6: randomized algorithms need FLV to be non-null on *any*
+        // n − b − f messages. The paper believes class 3 cannot provide
+        // this — here is a witness: n = 4, b = 1, TD = 3, exactly
+        // n − b − f = 3 messages, yet Algorithm 4 must answer null
+        // (the validated vote has support but no b+1 attestors in this
+        // particular subset, and too few ts = 0 messages).
+        let msgs = vec![
+            m3(1, 2, &[(1, 0), (1, 2)]),
+            m3(2, 0, &[(2, 0)]),
+            m3(3, 0, &[(3, 0)]),
+        ];
+        assert_eq!(
+            Class3Flv.evaluate(&fig3_ctx(), &refs(&msgs)),
+            FlvOutcome::NoInfo,
+            "class 3 cannot be made randomized (§6)"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! FLV specialization for FaB Paxos (Algorithm 6).
+//!
+//! FaB Paxos [16] is the class-1 instantiation for the Byzantine model
+//! (f = 0, n > 5b) with `TD = ⌈(n + 3b + 1)/2⌉`. Algorithm 6 is Algorithm 2
+//! with that threshold substituted:
+//!
+//! ```text
+//! 1: correctVotes ← { v : |{(v,−,−) ∈ ~µ}| > (n − b − 1)/2 }
+//! 2: if |correctVotes| = 1 then return v
+//! 4: else if |~µ| > n − b − 1 then return ?
+//! 6: else return null
+//! ```
+//!
+//! Footnote 13 of the paper: this selection rule needs *fewer* matching
+//! messages than the original FaB Paxos (e.g. n = 7, b = 1: 3 instead of 4),
+//! a small improvement contributed by the generic construction.
+
+use gencon_types::quorum;
+
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+use crate::vote_count::VoteTally;
+
+/// Algorithm 6: FLV for class 1 with `TD = ⌈(n + 3b + 1)/2⌉`.
+///
+/// The context's `td` is ignored; the thresholds are hard-wired to the FaB
+/// parameterization, exactly as the paper presents them.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FabFlv;
+
+impl FabFlv {
+    /// Creates the FaB Paxos FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        FabFlv
+    }
+
+    /// The FaB decision threshold `⌈(n + 3b + 1)/2⌉`.
+    #[must_use]
+    pub fn td(n: usize, b: usize) -> usize {
+        (n + 3 * b + 1).div_ceil(2)
+    }
+}
+
+impl<V: gencon_types::Value> Flv<V> for FabFlv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let n = ctx.cfg.n();
+        let b = ctx.cfg.b();
+
+        // Line 1: count > (n − b − 1)/2, i.e. 2·count > n − b − 1.
+        let tally = VoteTally::of_votes(msgs.iter().map(|m| &m.vote));
+        let correct_votes: Vec<&V> = tally
+            .iter()
+            .filter(|(_, c)| 2 * c > n - b - 1)
+            .map(|(v, _)| v)
+            .collect();
+
+        if correct_votes.len() == 1 {
+            return FlvOutcome::Value(correct_votes[0].clone());
+        }
+        if quorum::more_than(msgs.len(), n - b - 1) {
+            return FlvOutcome::Any;
+        }
+        FlvOutcome::NoInfo
+    }
+
+    fn name(&self) -> &'static str {
+        "fab"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        FabFlv::td(cfg.n(), cfg.b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::class1::Class1Flv;
+    use crate::flv::testutil::{m1, refs};
+    use gencon_types::{Config, Phase};
+
+    fn ctx(n: usize, b: usize) -> FlvContext {
+        FlvContext {
+            cfg: Config::byzantine(n, b).unwrap(),
+            td: FabFlv::td(n, b),
+            phase: Phase::new(1),
+        }
+    }
+
+    #[test]
+    fn td_formula() {
+        assert_eq!(FabFlv::td(6, 1), 5); // ⌈10/2⌉
+        assert_eq!(FabFlv::td(7, 1), 6); // ⌈11/2⌉
+        assert_eq!(FabFlv::td(11, 2), 9); // ⌈18/2⌉
+    }
+
+    #[test]
+    fn footnote13_needs_three_messages_at_n7_b1() {
+        // n = 7, b = 1: a value appearing 3 times (> (7−1−1)/2 = 2.5)
+        // qualifies, where original FaB required 4.
+        let c = ctx(7, 1);
+        let msgs = vec![m1(1), m1(1), m1(1), m1(2), m1(2), m1(3)];
+        assert_eq!(FabFlv.evaluate(&c, &refs(&msgs)), FlvOutcome::Value(1));
+    }
+
+    #[test]
+    fn locked_value_recovered_n6_b1() {
+        // TD = 5: a decided value has ≥ TD − b = 4 honest votes.
+        let c = ctx(6, 1);
+        let msgs = vec![m1(9), m1(9), m1(9), m1(9), m1(3)];
+        assert_eq!(FabFlv.evaluate(&c, &refs(&msgs)), FlvOutcome::Value(9));
+    }
+
+    #[test]
+    fn insufficient_messages_return_no_info() {
+        let c = ctx(6, 1);
+        // |µ| = 4 is not > n − b − 1 = 4 and no vote clears the bar.
+        let msgs = vec![m1(1), m1(2), m1(3), m1(4)];
+        assert_eq!(FabFlv.evaluate(&c, &refs(&msgs)), FlvOutcome::NoInfo);
+    }
+
+    #[test]
+    fn large_unlocked_sample_returns_any() {
+        let c = ctx(6, 1);
+        let msgs = vec![m1(1), m1(2), m1(3), m1(4), m1(5)];
+        assert_eq!(FabFlv.evaluate(&c, &refs(&msgs)), FlvOutcome::Any);
+    }
+
+    #[test]
+    fn matches_generic_class1_when_bounds_align() {
+        // With n = 6, b = 1 the FaB thresholds coincide with Algorithm 2 at
+        // TD = 5: cross-check on exhaustive 2-value vote splits.
+        let c = ctx(6, 1);
+        for ones in 0..=6usize {
+            for twos in 0..=(6 - ones) {
+                let mut msgs = Vec::new();
+                msgs.extend((0..ones).map(|_| m1(1)));
+                msgs.extend((0..twos).map(|_| m1(2)));
+                let a = FabFlv.evaluate(&c, &refs(&msgs));
+                let g = Class1Flv.evaluate(&c, &refs(&msgs));
+                assert_eq!(a, g, "ones={ones} twos={twos}");
+            }
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<FabFlv as Flv<u64>>::name(&FabFlv), "fab");
+    }
+}

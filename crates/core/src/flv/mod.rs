@@ -1,0 +1,195 @@
+//! The FLV ("Find the Locked Value") parameter of the generic algorithm.
+//!
+//! §3.2 characterizes FLV by three abstract properties:
+//!
+//! * **FLV-validity** — a returned value (≠ `?`, ≠ `null`) is the vote of
+//!   some received message;
+//! * **FLV-agreement** — if a value `v` is locked, only `v` or `null` may be
+//!   returned;
+//! * **FLV-liveness** — on input containing a message from every correct
+//!   process, `null` is not returned.
+//!
+//! §4.1 gives three instantiations (Algorithms 2, 3, 4) that induce the
+//! paper's three classes, and §5/§6 four specializations (Algorithms 6, 7,
+//! 8, 9). All are implemented here; the executable counterparts of the
+//! abstract properties live in [`properties`] and are exercised by unit,
+//! integration and property-based tests.
+
+mod ben_or;
+mod class1;
+mod class2;
+mod class3;
+mod fab;
+mod paxos;
+mod pbft;
+pub mod properties;
+
+pub use ben_or::BenOrFlv;
+pub use class1::Class1Flv;
+pub use class2::Class2Flv;
+pub use class3::Class3Flv;
+pub use fab::FabFlv;
+pub use paxos::PaxosFlv;
+pub use pbft::PbftFlv;
+
+use std::fmt::Debug;
+
+use gencon_types::{Config, Phase};
+
+use crate::messages::SelectionMsg;
+
+/// Result of an FLV evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlvOutcome<V> {
+    /// A (possibly locked) value was identified; the selector must adopt it.
+    Value(V),
+    /// No value is locked: any received value may be selected (the paper's
+    /// `?`). Line 11 of Algorithm 1 then chooses deterministically — or
+    /// flips a coin in the randomized adaptation of §6.
+    Any,
+    /// Not enough information (the paper's `null`); the selector keeps its
+    /// state unchanged and the phase will make no progress.
+    NoInfo,
+}
+
+impl<V> FlvOutcome<V> {
+    /// The carried value, if [`FlvOutcome::Value`].
+    #[must_use]
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            FlvOutcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome is `null`.
+    #[must_use]
+    pub fn is_no_info(&self) -> bool {
+        matches!(self, FlvOutcome::NoInfo)
+    }
+}
+
+/// Evaluation context handed to FLV implementations.
+#[derive(Clone, Copy, Debug)]
+pub struct FlvContext {
+    /// System parameters n, f, b (+ unanimity switch).
+    pub cfg: Config,
+    /// The decision threshold `TD` of the instantiation.
+    pub td: usize,
+    /// The phase whose selection round is being evaluated (needed by the
+    /// Ben-Or FLV, which looks for votes validated in `φ − 1`).
+    pub phase: Phase,
+}
+
+impl FlvContext {
+    /// `n − TD + b`, the pivotal quantity of Algorithms 2–4.
+    #[must_use]
+    pub fn n_td_b(&self) -> usize {
+        self.cfg.n() + self.cfg.b() - self.td
+    }
+}
+
+/// The FLV function: examines the selection-round messages `~µ_p^r` and
+/// tries to identify the locked value.
+///
+/// Implementations must be pure functions of `(ctx, msgs)` — determinism is
+/// what lets `Pcons` force all correct selectors to select the same value.
+pub trait Flv<V>: Send + Sync + Debug {
+    /// Evaluates the function on the received selection messages.
+    ///
+    /// `msgs` contains one entry per *received* message (the ⊥ entries of
+    /// `~µ_p^r` are absent); order is sender order but implementations must
+    /// not rely on it.
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V>;
+
+    /// A short name for tables and traces (e.g. `"class2"`).
+    fn name(&self) -> &'static str;
+
+    /// The minimal `TD` for which this FLV's liveness theorem holds
+    /// (Theorem 2: `TD > (n+3b+f)/2`; Theorem 3: `TD > 3b+f`; Theorem 4:
+    /// `TD > 2b+f`). [`Params::validate`](crate::params::Params::validate)
+    /// rejects thresholds below it.
+    fn min_live_td(&self, cfg: &Config) -> usize;
+
+    /// Whether liveness additionally requires Selector-strongValidity
+    /// (`|S| > 3b + 2f`, §4.1.3) — true for the class-3 FLVs.
+    fn requires_strong_selector(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Builders shared by the FLV unit tests.
+
+    use gencon_types::{Phase, ProcessSet};
+
+    use crate::messages::SelectionMsg;
+    use crate::state::History;
+
+    /// Message with vote only (class-1 shape).
+    pub fn m1(vote: u64) -> SelectionMsg<u64> {
+        SelectionMsg {
+            vote,
+            ts: Phase::ZERO,
+            history: History::new(),
+            selector: ProcessSet::new(),
+        }
+    }
+
+    /// Message with vote + timestamp (class-2 shape).
+    pub fn m2(vote: u64, ts: u64) -> SelectionMsg<u64> {
+        SelectionMsg {
+            vote,
+            ts: Phase::new(ts),
+            history: History::new(),
+            selector: ProcessSet::new(),
+        }
+    }
+
+    /// Message with vote + timestamp + history (class-3 shape).
+    pub fn m3(vote: u64, ts: u64, history: &[(u64, u64)]) -> SelectionMsg<u64> {
+        SelectionMsg {
+            vote,
+            ts: Phase::new(ts),
+            history: history
+                .iter()
+                .map(|&(v, p)| (v, Phase::new(p)))
+                .collect::<History<u64>>(),
+            selector: ProcessSet::new(),
+        }
+    }
+
+    /// Borrows a message vector the way the engine hands it to FLV.
+    pub fn refs(msgs: &[SelectionMsg<u64>]) -> Vec<&SelectionMsg<u64>> {
+        msgs.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let v: FlvOutcome<u64> = FlvOutcome::Value(3);
+        assert_eq!(v.value(), Some(&3));
+        assert!(!v.is_no_info());
+        let a: FlvOutcome<u64> = FlvOutcome::Any;
+        assert_eq!(a.value(), None);
+        let n: FlvOutcome<u64> = FlvOutcome::NoInfo;
+        assert!(n.is_no_info());
+    }
+
+    #[test]
+    fn context_pivot_quantity() {
+        let cfg = Config::new(6, 0, 1).unwrap();
+        let ctx = FlvContext {
+            cfg,
+            td: 5,
+            phase: Phase::new(1),
+        };
+        // n − TD + b = 6 − 5 + 1 = 2 (the Figure 1 setting).
+        assert_eq!(ctx.n_td_b(), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! FLV specialization for Paxos (Algorithm 7).
+//!
+//! Paxos [11] assumes benign faults (b = 0, n > 2f) with `TD = ⌈(n+1)/2⌉`.
+//! §5.3 derives Algorithm 7 from the class-3 FLV (Algorithm 4): with b = 0
+//! every message satisfies `(vote, ts) ∈ history`, so `correctVotes`
+//! degenerates to `possibleVotes` and the history — and the unanimity branch
+//! — disappear:
+//!
+//! ```text
+//! 1: possibleVotes ← { (vote, ts) ∈ ~µ :
+//!        |{(vote′, ts′) ∈ ~µ : vote = vote′ ∨ ts > ts′}| > n/2 }
+//! 2: if |possibleVotes| = 1 then return v
+//! 4: else if |~µ| > n/2 then return ?
+//! 6: else return null
+//! ```
+//!
+//! `|possibleVotes| = 1` counts *distinct votes* (the projection the paper
+//! applies when writing "return v s.t. (v,−,−) ∈ possibleVotes"): several
+//! timestamps may carry the same locked value simultaneously.
+
+use gencon_types::quorum;
+
+use crate::flv::class2::possible_vote_indices;
+use crate::flv::{Flv, FlvContext, FlvOutcome};
+use crate::messages::SelectionMsg;
+
+/// Algorithm 7: FLV for class 3 with b = 0 and `TD = ⌈(n+1)/2⌉`.
+///
+/// This is the classic Paxos phase-1b rule: among a majority of `(vote, ts)`
+/// reports, adopt the vote supported by agreement-or-older-timestamp
+/// majorities — which is exactly the highest-timestamped vote when one
+/// exists.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PaxosFlv;
+
+impl PaxosFlv {
+    /// Creates the Paxos FLV.
+    #[must_use]
+    pub fn new() -> Self {
+        PaxosFlv
+    }
+
+    /// The Paxos decision threshold `⌈(n+1)/2⌉` (a strict majority).
+    #[must_use]
+    pub fn td(n: usize) -> usize {
+        (n + 1).div_ceil(2)
+    }
+}
+
+impl<V: gencon_types::Value> Flv<V> for PaxosFlv {
+    fn evaluate(&self, ctx: &FlvContext, msgs: &[&SelectionMsg<V>]) -> FlvOutcome<V> {
+        let n = ctx.cfg.n();
+        debug_assert_eq!(ctx.cfg.b(), 0, "PaxosFlv assumes the benign model");
+
+        // Line 1 with bound n/2 (b = 0 ⇒ n − TD + b = n − ⌈(n+1)/2⌉ = ⌊(n-1)/2⌋;
+        // the paper writes the equivalent `> n/2` support condition).
+        let possible = possible_vote_indices(msgs, n / 2);
+
+        // Line 2: distinct votes among possible messages.
+        let mut votes: Vec<&V> = Vec::new();
+        for &i in &possible {
+            if !votes.contains(&&msgs[i].vote) {
+                votes.push(&msgs[i].vote);
+            }
+        }
+
+        if votes.len() == 1 {
+            return FlvOutcome::Value(votes[0].clone());
+        }
+        if quorum::more_than_half(msgs.len(), n) {
+            return FlvOutcome::Any;
+        }
+        FlvOutcome::NoInfo
+    }
+
+    fn name(&self) -> &'static str {
+        "paxos"
+    }
+
+    fn min_live_td(&self, cfg: &gencon_types::Config) -> usize {
+        PaxosFlv::td(cfg.n())
+    }
+
+    fn requires_strong_selector(&self) -> bool {
+        // Class-3 derived, but with b = 0 strong validity degenerates to
+        // |S| > 2f, which a singleton leader cannot offer — and does not
+        // need to: the benign simplification (Algorithm 7) needs no history
+        // attestation, hence no strong selector.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::{m2, refs};
+    use gencon_types::{Config, Phase};
+
+    fn ctx(n: usize) -> FlvContext {
+        FlvContext {
+            cfg: Config::benign(n, (n - 1) / 2).unwrap(),
+            td: PaxosFlv::td(n),
+            phase: Phase::new(5),
+        }
+    }
+
+    #[test]
+    fn td_is_strict_majority() {
+        assert_eq!(PaxosFlv::td(3), 2);
+        assert_eq!(PaxosFlv::td(4), 3);
+        assert_eq!(PaxosFlv::td(5), 3);
+    }
+
+    #[test]
+    fn highest_timestamped_vote_wins() {
+        // The classic Paxos recovery: adopt the value of the highest ts.
+        // A locked value always arrives with TD = 2 supporting reports.
+        let msgs = vec![m2(7, 3), m2(7, 3), m2(9, 1)];
+        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Value(7));
+    }
+
+    #[test]
+    fn competing_stale_timestamps_without_lock_return_any() {
+        // (7,3) and (8,2) are both "possible" (each supported by a majority
+        // via agreement-or-older); no value is locked in such a state, and
+        // Algorithm 7 answers `?` — any choice is safe.
+        let msgs = vec![m2(7, 3), m2(8, 2), m2(9, 1)];
+        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Any);
+    }
+
+    #[test]
+    fn locked_value_recovered_from_any_majority() {
+        // n = 5, TD = 3: after a decision on v, every majority contains a
+        // (v, ts_max) report.
+        let msgs_full = vec![m2(7, 4), m2(7, 4), m2(7, 4), m2(8, 2), m2(9, 0)];
+        let all = refs(&msgs_full);
+        for mask in 0u32..(1 << 5) {
+            let subset: Vec<_> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, m)| *m)
+                .collect();
+            if subset.len() < 3 {
+                continue;
+            }
+            // any 3+-subset holds ≥ 1 of the three (7,4) reports
+            if subset.iter().filter(|m| m.vote == 7).count() == 0 {
+                continue; // not reachable with only 2 non-7 messages
+            }
+            match PaxosFlv.evaluate(&ctx(5), &subset) {
+                FlvOutcome::Value(v) => assert_eq!(v, 7, "mask {mask:b}"),
+                FlvOutcome::Any => panic!("mask {mask:b}: ? returned though 7 is locked"),
+                FlvOutcome::NoInfo => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_majority_returns_any() {
+        let msgs = vec![m2(1, 0), m2(2, 0)];
+        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Any);
+    }
+
+    #[test]
+    fn minority_returns_no_info() {
+        let msgs = vec![m2(1, 0)];
+        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::NoInfo);
+    }
+
+    #[test]
+    fn same_vote_multiple_timestamps_is_unique() {
+        // (7,4) and (7,2) both possible ⇒ still one distinct vote.
+        let msgs = vec![m2(7, 4), m2(7, 2), m2(8, 1)];
+        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Value(7));
+    }
+
+    #[test]
+    fn liveness_on_full_correct_quorum() {
+        let c = ctx(5);
+        let msgs = vec![m2(1, 0), m2(2, 0), m2(3, 0)];
+        assert!(!PaxosFlv.evaluate(&c, &refs(&msgs)).is_no_info());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(<PaxosFlv as Flv<u64>>::name(&PaxosFlv), "paxos");
+    }
+}

@@ -1,0 +1,173 @@
+//! Executable forms of the abstract FLV properties of §3.2.
+//!
+//! The paper proves each FLV instantiation correct by showing three
+//! properties. This module turns them into reusable checkers so unit,
+//! integration and property-based tests all speak the same language:
+//!
+//! * [`validity_holds`] — FLV-validity,
+//! * [`agreement_holds`] — FLV-agreement (relative to a known locked value),
+//! * [`liveness_holds`] — FLV-liveness.
+//!
+//! It also provides [`locked_distribution`], which builds message vectors
+//! consistent with "value `v` is locked" — the precondition under which
+//! FLV-agreement must hold (a decision in an earlier round left at least
+//! `TD − b` honest processes voting `v`).
+
+use gencon_types::{Phase, ProcessSet, Value};
+
+use crate::flv::FlvOutcome;
+use crate::messages::SelectionMsg;
+use crate::state::History;
+
+/// FLV-validity: a returned value is the vote of some received message.
+#[must_use]
+pub fn validity_holds<V: Value>(out: &FlvOutcome<V>, msgs: &[&SelectionMsg<V>]) -> bool {
+    match out {
+        FlvOutcome::Value(v) => msgs.iter().any(|m| m.vote == *v),
+        FlvOutcome::Any | FlvOutcome::NoInfo => true,
+    }
+}
+
+/// FLV-agreement: when `locked` is locked, only `locked` or `null` may come
+/// back. (`?` would let a selector adopt a conflicting value.)
+#[must_use]
+pub fn agreement_holds<V: Value>(out: &FlvOutcome<V>, locked: &V) -> bool {
+    match out {
+        FlvOutcome::Value(v) => v == locked,
+        FlvOutcome::NoInfo => true,
+        FlvOutcome::Any => false,
+    }
+}
+
+/// FLV-liveness: with messages from all correct processes present, `null`
+/// must not be returned.
+#[must_use]
+pub fn liveness_holds<V: Value>(out: &FlvOutcome<V>) -> bool {
+    !matches!(out, FlvOutcome::NoInfo)
+}
+
+/// A Byzantine contribution to a locked scenario: claimed vote, claimed
+/// timestamp, and a fully forged history.
+pub type ByzantineClaim<V> = (V, Phase, Vec<(V, Phase)>);
+
+/// Parameters of a "locked value" message distribution.
+#[derive(Clone, Debug)]
+pub struct LockedScenario<V> {
+    /// The locked value.
+    pub locked: V,
+    /// Phase in which it was validated (`φ − 1` for a decision in phase
+    /// `φ − 1`; `Phase::ZERO` for the all-same-initial-value case).
+    pub validated_at: Phase,
+    /// Number of honest messages carrying the locked vote (must be
+    /// ≥ `TD − b` for the scenario to be reachable).
+    pub honest_locked: usize,
+    /// Honest messages with *older* state: `(vote, ts)` with `ts <`
+    /// `validated_at`.
+    pub honest_stale: Vec<(V, Phase)>,
+    /// Byzantine messages: arbitrary `(vote, ts, fake_history)` triples.
+    pub byzantine: Vec<ByzantineClaim<V>>,
+}
+
+/// Builds the selection-round message vector of a locked scenario.
+///
+/// Honest locked messages carry the truthful history `{(v, 0)?, (v, ts)}`;
+/// stale messages carry their own truthful histories **plus** the locked
+/// pair when `attest_stale` is set (processes that selected `v` in the
+/// locking phase but missed its validation — they revert their vote yet keep
+/// the history entry, which is what makes the class-3 FLV live).
+#[must_use]
+pub fn locked_distribution<V: Value>(
+    s: &LockedScenario<V>,
+    attest_stale: bool,
+) -> Vec<SelectionMsg<V>> {
+    let mut msgs = Vec::new();
+    for _ in 0..s.honest_locked {
+        let mut h = History::initial(s.locked.clone());
+        h.record(s.locked.clone(), s.validated_at);
+        msgs.push(SelectionMsg {
+            vote: s.locked.clone(),
+            ts: s.validated_at,
+            history: h,
+            selector: ProcessSet::new(),
+        });
+    }
+    for (vote, ts) in &s.honest_stale {
+        let mut h = History::initial(vote.clone());
+        if !ts.is_zero() {
+            h.record(vote.clone(), *ts);
+        }
+        if attest_stale {
+            h.record(s.locked.clone(), s.validated_at);
+        }
+        msgs.push(SelectionMsg {
+            vote: vote.clone(),
+            ts: *ts,
+            history: h,
+            selector: ProcessSet::new(),
+        });
+    }
+    for (vote, ts, hist) in &s.byzantine {
+        msgs.push(SelectionMsg {
+            vote: vote.clone(),
+            ts: *ts,
+            history: hist.iter().cloned().collect(),
+            selector: ProcessSet::new(),
+        });
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flv::testutil::m1;
+
+    #[test]
+    fn validity_checker() {
+        let msgs = vec![m1(1), m1(2)];
+        let refs: Vec<_> = msgs.iter().collect();
+        assert!(validity_holds(&FlvOutcome::Value(1), &refs));
+        assert!(!validity_holds(&FlvOutcome::Value(9), &refs));
+        assert!(validity_holds(&FlvOutcome::Any, &refs));
+        assert!(validity_holds(&FlvOutcome::NoInfo, &refs));
+    }
+
+    #[test]
+    fn agreement_checker() {
+        assert!(agreement_holds(&FlvOutcome::Value(5), &5));
+        assert!(!agreement_holds(&FlvOutcome::Value(6), &5));
+        assert!(agreement_holds(&FlvOutcome::NoInfo, &5));
+        assert!(!agreement_holds::<u64>(&FlvOutcome::Any, &5));
+    }
+
+    #[test]
+    fn liveness_checker() {
+        assert!(liveness_holds::<u64>(&FlvOutcome::Value(1)));
+        assert!(liveness_holds::<u64>(&FlvOutcome::Any));
+        assert!(!liveness_holds::<u64>(&FlvOutcome::NoInfo));
+    }
+
+    #[test]
+    fn locked_distribution_shapes() {
+        let s = LockedScenario {
+            locked: 7u64,
+            validated_at: Phase::new(2),
+            honest_locked: 2,
+            honest_stale: vec![(3, Phase::new(1)), (4, Phase::ZERO)],
+            byzantine: vec![(9, Phase::new(8), vec![(9, Phase::new(8))])],
+        };
+        let msgs = locked_distribution(&s, true);
+        assert_eq!(msgs.len(), 5);
+        assert_eq!(msgs[0].vote, 7);
+        assert_eq!(msgs[0].ts, Phase::new(2));
+        assert!(msgs[0].history.contains(&7, Phase::new(2)));
+        // stale attestors carry the locked pair
+        assert!(msgs[2].history.contains(&7, Phase::new(2)));
+        assert_eq!(msgs[2].vote, 3);
+        // byzantine keeps its forged history
+        assert!(msgs[4].history.contains(&9, Phase::new(8)));
+
+        let unattested = locked_distribution(&s, false);
+        assert!(!unattested[2].history.contains(&7, Phase::new(2)));
+    }
+}

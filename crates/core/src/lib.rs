@@ -1,0 +1,65 @@
+//! The generic consensus algorithm of Rütti, Milosevic and Schiper
+//! (*Generic Construction of Consensus Algorithms for Benign and Byzantine
+//! Faults*, DSN 2010).
+//!
+//! The paper expresses consensus as a sequence of phases — selection,
+//! validation, decision rounds — parameterized by four knobs:
+//!
+//! | Parameter | Here |
+//! |-----------|------|
+//! | `FLV` (find the locked value) | [`Flv`] + [`Class1Flv`]/[`Class2Flv`]/[`Class3Flv`] and the specializations [`FabFlv`], [`PaxosFlv`], [`PbftFlv`], [`BenOrFlv`] |
+//! | `Selector(p, φ)` | [`Selector`] + [`FullSelector`], [`RotatingCoordinator`], [`StableLeader`], [`RotatingSubset`] |
+//! | `TD` (decision threshold) | [`Params::td`] |
+//! | `FLAG` (`*` or `φ`) | [`Flag`] |
+//!
+//! Instantiations fall into the three classes of Table 1 ([`ClassId`]); the
+//! engine [`GenericConsensus`] executes Algorithm 1 for any valid bundle of
+//! parameters ([`Params`]) over the closed-round model of `gencon-rounds`.
+//! Randomized algorithms (§6) are obtained with
+//! [`ChoicePolicy::UniformCoin`] + [`LivenessMode::ReliableChannels`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gencon_core::{ClassId, GenericConsensus, Params};
+//! use gencon_types::{Config, ProcessId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4-process Byzantine system (n > 3b), class 3 — the PBFT regime.
+//! let cfg = Config::byzantine(4, 1)?;
+//! let params = Params::<u64>::for_class(ClassId::Three, cfg)?;
+//! let process = GenericConsensus::new(ProcessId::new(0), params, 7)?;
+//! assert_eq!(process.vote(), &7);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Drive processes with the lock-step simulator (`gencon-sim`), a real
+//! threaded runtime (`gencon-net`), or any executor of the
+//! [`gencon_rounds::RoundProcess`] interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classes;
+mod engine;
+pub mod flv;
+mod messages;
+mod params;
+mod schedule;
+mod selector;
+mod state;
+mod vote_count;
+
+pub use classes::ClassId;
+pub use engine::{Decision, GenericConsensus};
+pub use flv::{
+    BenOrFlv, Class1Flv, Class2Flv, Class3Flv, FabFlv, Flv, FlvContext, FlvOutcome, PaxosFlv,
+    PbftFlv,
+};
+pub use messages::{ConsensusMsg, DecisionMsg, SelectionMsg, ValidationMsg};
+pub use params::{ChoicePolicy, LivenessMode, Params, ParamsError};
+pub use schedule::{Flag, Schedule};
+pub use selector::{FullSelector, RotatingCoordinator, RotatingSubset, Selector, StableLeader};
+pub use state::{History, StateProfile};
+pub use vote_count::VoteTally;

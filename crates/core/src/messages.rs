@@ -1,0 +1,141 @@
+//! Message types of the generic algorithm (Algorithm 1).
+
+use gencon_types::{Phase, ProcessSet, Value};
+
+use crate::state::History;
+
+/// Message of the selection round (line 7):
+/// `⟨vote_p, ts_p, history_p, Selector(p, φ)⟩`.
+///
+/// Depending on the [`StateProfile`](crate::state::StateProfile) of the
+/// instantiation, `ts` and `history` may be stripped (class 1 sends only the
+/// vote; class 2 sends vote and timestamp; class 3 sends everything — see
+/// Table 1's "process state" column).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct SelectionMsg<V> {
+    /// The sender's current vote.
+    pub vote: V,
+    /// The phase in which the vote was last validated (`Phase::ZERO` if
+    /// never, or if the profile strips timestamps).
+    pub ts: Phase,
+    /// Proof log of selections (empty unless the profile is `Full`).
+    pub history: History<V>,
+    /// The sender's proposal for the validator set, `Selector(p, φ)`.
+    /// Empty when the constant-selector optimization (§3.1) applies.
+    pub selector: ProcessSet,
+}
+
+/// Message of the validation round (line 19): `⟨select_p, validators_p⟩`.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct ValidationMsg<V> {
+    /// The value the validator selected (`None` when FLV returned *null*).
+    pub select: Option<V>,
+    /// The validator set the sender believes in.
+    pub validators: ProcessSet,
+}
+
+/// Message of the decision round (line 29): `⟨vote_p, ts_p⟩`.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct DecisionMsg<V> {
+    /// The sender's current vote.
+    pub vote: V,
+    /// The phase in which it was last validated (ignored when `FLAG = *`).
+    pub ts: Phase,
+}
+
+/// Any message of the generic algorithm.
+///
+/// Every message is tagged with the phase it belongs to; the round kind is
+/// implied by the variant. Honest processes in the same round always agree
+/// on the phase (lock-step rounds), so the tag is used only for sanity
+/// checks and by adversaries.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum ConsensusMsg<V> {
+    /// Selection-round payload.
+    Selection(Phase, SelectionMsg<V>),
+    /// Validation-round payload.
+    Validation(Phase, ValidationMsg<V>),
+    /// Decision-round payload.
+    Decision(Phase, DecisionMsg<V>),
+}
+
+impl<V: Value> ConsensusMsg<V> {
+    /// The phase this message belongs to.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        match self {
+            ConsensusMsg::Selection(p, _)
+            | ConsensusMsg::Validation(p, _)
+            | ConsensusMsg::Decision(p, _) => *p,
+        }
+    }
+
+    /// The selection payload, if this is a selection message.
+    #[must_use]
+    pub fn as_selection(&self) -> Option<&SelectionMsg<V>> {
+        match self {
+            ConsensusMsg::Selection(_, m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The validation payload, if this is a validation message.
+    #[must_use]
+    pub fn as_validation(&self) -> Option<&ValidationMsg<V>> {
+        match self {
+            ConsensusMsg::Validation(_, m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The decision payload, if this is a decision message.
+    #[must_use]
+    pub fn as_decision(&self) -> Option<&DecisionMsg<V>> {
+        match self {
+            ConsensusMsg::Decision(_, m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        let sel = ConsensusMsg::Selection(
+            Phase::new(2),
+            SelectionMsg {
+                vote: 7u64,
+                ts: Phase::ZERO,
+                history: History::new(),
+                selector: ProcessSet::new(),
+            },
+        );
+        assert_eq!(sel.phase(), Phase::new(2));
+        assert!(sel.as_selection().is_some());
+        assert!(sel.as_validation().is_none());
+        assert!(sel.as_decision().is_none());
+
+        let val = ConsensusMsg::<u64>::Validation(
+            Phase::new(3),
+            ValidationMsg {
+                select: Some(1),
+                validators: ProcessSet::range(0, 2),
+            },
+        );
+        assert!(val.as_validation().is_some());
+        assert_eq!(val.phase(), Phase::new(3));
+
+        let dec = ConsensusMsg::<u64>::Decision(
+            Phase::new(4),
+            DecisionMsg {
+                vote: 1,
+                ts: Phase::new(4),
+            },
+        );
+        assert!(dec.as_decision().is_some());
+        assert_eq!(dec.as_decision().unwrap().vote, 1);
+    }
+}

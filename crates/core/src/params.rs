@@ -1,0 +1,417 @@
+//! Parameter bundles instantiating the generic algorithm.
+//!
+//! An instantiation of Algorithm 1 is a choice of the four parameters of
+//! §3.2 — `FLAG`, `TD`, `FLV`, `Selector` — plus the §3.1 optimization
+//! switches and the §6 randomization knobs. [`Params`] carries them;
+//! [`Params::validate`] enforces every side condition the paper's theorems
+//! need, so a successfully constructed engine is correct by construction
+//! (Theorem 1's premises hold).
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use gencon_types::{quorum, Config, ConfigError, Value};
+
+use crate::classes::ClassId;
+use crate::flv::Flv;
+use crate::schedule::{Flag, Schedule};
+use crate::selector::{FullSelector, Selector};
+use crate::state::StateProfile;
+
+/// How line 11 of Algorithm 1 chooses when FLV answers `?`.
+#[derive(Clone, Debug)]
+pub enum ChoicePolicy<V> {
+    /// Deterministic: the smallest received vote. (The paper only requires
+    /// *some* deterministic choice; minimum is the conventional one.)
+    DeterministicMin,
+    /// §6 randomization: a uniform coin over a fixed domain, ignoring the
+    /// received votes ("select_p := 1 or 0 with probability 0.5" for binary
+    /// consensus). Each process derives an independent stream from `seed`.
+    UniformCoin {
+        /// The value domain to flip over (e.g. `vec![0, 1]`).
+        domain: Vec<V>,
+        /// Base seed; the engine mixes in the process id.
+        seed: u64,
+    },
+}
+
+/// Which liveness regime the instantiation runs under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LivenessMode {
+    /// Partially synchronous: selection rounds eventually get `Pcons`,
+    /// other rounds `Pgood` (the default regime of Algorithm 1).
+    #[default]
+    PartialSynchrony,
+    /// Randomized (§6): every round needs only `Prel` (at least `n − b − f`
+    /// messages delivered); termination is probabilistic.
+    ReliableChannels,
+}
+
+/// The full parameterization of one consensus instance.
+#[derive(Clone)]
+pub struct Params<V> {
+    /// System model (n, f, b, unanimity).
+    pub cfg: Config,
+    /// The `FLAG` parameter.
+    pub flag: Flag,
+    /// The decision threshold `TD`.
+    pub td: usize,
+    /// The FLV function.
+    pub flv: Arc<dyn Flv<V>>,
+    /// The Selector function.
+    pub selector: Arc<dyn Selector>,
+    /// Which state variables are transmitted (Table 1's state column).
+    pub profile: StateProfile,
+    /// §3.1: validator sets derived locally instead of being exchanged
+    /// (sound only when the selector is constant).
+    pub constant_selector: bool,
+    /// §3.1: skip the selection round of phase 1.
+    pub skip_first_selection: bool,
+    /// Line-11 choice rule.
+    pub choice: ChoicePolicy<V>,
+    /// Liveness regime.
+    pub liveness: LivenessMode,
+    /// Optional garbage collection of `history_p` (footnote 5: the paper's
+    /// variable is unbounded; truly bounding it requires an extra round of
+    /// communication \[3]). When enabled, entries older than the last
+    /// validated timestamp are dropped after each validation — safe for
+    /// class 1/2 profiles (history is not transmitted) and a pragmatic
+    /// trade-off for class 3 (measured in ablation A1). Default: off.
+    pub prune_history: bool,
+}
+
+impl<V: Value> Params<V> {
+    /// Parameters for one of the paper's three classes with the generic FLV
+    /// (Algorithms 2–4), `Selector = Π`, minimal `TD`, and the matching
+    /// state profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] if `cfg` is below the class's resilience
+    /// bound.
+    pub fn for_class(class: ClassId, cfg: Config) -> Result<Self, ParamsError> {
+        let params = Params {
+            cfg,
+            flag: class.flag(),
+            td: class.min_td(&cfg),
+            flv: class.flv(),
+            selector: Arc::new(FullSelector::new()),
+            profile: class.state_profile(),
+            constant_selector: true,
+            skip_first_selection: false,
+            choice: ChoicePolicy::DeterministicMin,
+            liveness: LivenessMode::PartialSynchrony,
+            prune_history: false,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// The schedule induced by `flag` and the optimization switches.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        Schedule::new(self.flag, self.skip_first_selection)
+    }
+
+    /// Checks every side condition required by Theorem 1 and the FLV
+    /// theorems (2–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated condition.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        // Termination needs TD ≤ n − b − f (§3.2).
+        self.cfg.validate_threshold(self.td)?;
+
+        // Agreement needs (iii-a) FLAG = φ ∧ TD > b, or (iii-b) FLAG = * ∧
+        // TD > (n+b)/2 (Theorem 1).
+        match self.flag {
+            Flag::Phi => {
+                if self.td <= self.cfg.b() {
+                    return Err(ParamsError::ThresholdBelowAgreementBound {
+                        td: self.td,
+                        needed: self.cfg.b() + 1,
+                        flag: self.flag,
+                    });
+                }
+            }
+            Flag::Star => {
+                if !quorum::more_than_half(self.td, self.cfg.n() + self.cfg.b()) {
+                    return Err(ParamsError::ThresholdBelowAgreementBound {
+                        td: self.td,
+                        needed: quorum::majority_threshold(self.cfg.n() + self.cfg.b()),
+                        flag: self.flag,
+                    });
+                }
+            }
+        }
+
+        // FLV-liveness needs its own lower bound on TD (Theorems 2–4).
+        let flv_min = self.flv.min_live_td(&self.cfg);
+        if self.td < flv_min {
+            return Err(ParamsError::ThresholdBelowFlvBound {
+                td: self.td,
+                needed: flv_min,
+                flv: self.flv.name(),
+            });
+        }
+
+        // Selector-validity (Theorem 1 premise (ii)).
+        if !self.selector.guarantees_validity(&self.cfg) {
+            return Err(ParamsError::SelectorValidity {
+                selector: self.selector.name(),
+            });
+        }
+
+        // Selector-strongValidity for class-3 FLVs (§4.1.3).
+        if self.flv.requires_strong_selector()
+            && !self.selector.guarantees_strong_validity(&self.cfg)
+        {
+            return Err(ParamsError::SelectorStrongValidity {
+                selector: self.selector.name(),
+                flv: self.flv.name(),
+            });
+        }
+
+        // Optimization side conditions (§3.1).
+        if self.constant_selector && !self.selector.is_constant() {
+            return Err(ParamsError::ConstantSelectorMismatch {
+                selector: self.selector.name(),
+            });
+        }
+        if self.skip_first_selection && !self.selector.is_constant() {
+            return Err(ParamsError::SkipFirstSelectionNeedsConstantSelector);
+        }
+
+        // A coin needs a non-empty domain.
+        if let ChoicePolicy::UniformCoin { domain, .. } = &self.choice {
+            if domain.is_empty() {
+                return Err(ParamsError::EmptyCoinDomain);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<V> fmt::Debug for Params<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Params")
+            .field("cfg", &self.cfg)
+            .field("flag", &self.flag)
+            .field("td", &self.td)
+            .field("flv", &self.flv.name())
+            .field("selector", &self.selector.name())
+            .field("profile", &self.profile)
+            .field("constant_selector", &self.constant_selector)
+            .field("skip_first_selection", &self.skip_first_selection)
+            .field("liveness", &self.liveness)
+            .finish()
+    }
+}
+
+/// Error validating a [`Params`] bundle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParamsError {
+    /// The underlying configuration rejected the threshold.
+    Config(ConfigError),
+    /// `TD` violates the agreement premise of Theorem 1 (iii-a / iii-b).
+    ThresholdBelowAgreementBound {
+        /// Given threshold.
+        td: usize,
+        /// Minimal admissible threshold.
+        needed: usize,
+        /// The flag whose bound failed.
+        flag: Flag,
+    },
+    /// `TD` is below the FLV's liveness bound (Theorems 2–4).
+    ThresholdBelowFlvBound {
+        /// Given threshold.
+        td: usize,
+        /// Minimal admissible threshold.
+        needed: usize,
+        /// FLV name.
+        flv: &'static str,
+    },
+    /// The selector cannot guarantee Selector-validity for this config.
+    SelectorValidity {
+        /// Selector name.
+        selector: &'static str,
+    },
+    /// The FLV needs Selector-strongValidity but the selector cannot
+    /// guarantee it.
+    SelectorStrongValidity {
+        /// Selector name.
+        selector: &'static str,
+        /// FLV name.
+        flv: &'static str,
+    },
+    /// `constant_selector` was set for a non-constant selector.
+    ConstantSelectorMismatch {
+        /// Selector name.
+        selector: &'static str,
+    },
+    /// `skip_first_selection` requires a constant selector (all processes
+    /// must initialize the same validator set).
+    SkipFirstSelectionNeedsConstantSelector,
+    /// A coin choice policy was given an empty domain.
+    EmptyCoinDomain,
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::Config(e) => write!(f, "{e}"),
+            ParamsError::ThresholdBelowAgreementBound { td, needed, flag } => write!(
+                f,
+                "TD = {td} violates the agreement bound for FLAG = {flag} (need at least {needed})"
+            ),
+            ParamsError::ThresholdBelowFlvBound { td, needed, flv } => write!(
+                f,
+                "TD = {td} is below the liveness bound of the {flv} FLV (need at least {needed})"
+            ),
+            ParamsError::SelectorValidity { selector } => write!(
+                f,
+                "selector '{selector}' cannot guarantee Selector-validity (|S| > b) for this configuration"
+            ),
+            ParamsError::SelectorStrongValidity { selector, flv } => write!(
+                f,
+                "FLV '{flv}' requires Selector-strongValidity (|S| > 3b+2f) but selector '{selector}' cannot guarantee it"
+            ),
+            ParamsError::ConstantSelectorMismatch { selector } => write!(
+                f,
+                "constant_selector optimization requires a constant selector, got '{selector}'"
+            ),
+            ParamsError::SkipFirstSelectionNeedsConstantSelector => write!(
+                f,
+                "skip_first_selection requires a constant selector so all processes agree on the initial validators"
+            ),
+            ParamsError::EmptyCoinDomain => write!(f, "coin choice policy needs a non-empty domain"),
+        }
+    }
+}
+
+impl Error for ParamsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParamsError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ParamsError {
+    fn from(e: ConfigError) -> Self {
+        ParamsError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::RotatingCoordinator;
+
+    #[test]
+    fn class_constructors_validate() {
+        for class in ClassId::ALL {
+            let cfg = Config::byzantine(class.min_n(0, 1), 1).unwrap();
+            let p = Params::<u64>::for_class(class, cfg).unwrap();
+            assert!(p.validate().is_ok());
+            assert_eq!(p.td, class.min_td(&cfg));
+        }
+    }
+
+    #[test]
+    fn below_bound_config_rejected() {
+        // Class 3 with n = 3, b = 1: TD must be > 2b = 2, but n−b−f = 2.
+        let cfg = Config::byzantine(3, 1).unwrap();
+        let err = Params::<u64>::for_class(ClassId::Three, cfg).unwrap_err();
+        assert!(matches!(err, ParamsError::Config(_)));
+    }
+
+    #[test]
+    fn star_flag_needs_byzantine_majority() {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let mut p = Params::<u64>::for_class(ClassId::One, cfg).unwrap();
+        p.td = 3; // ≤ (n+b)/2 = 3.5 → needs ≥ 4
+        assert!(matches!(
+            p.validate(),
+            Err(ParamsError::ThresholdBelowFlvBound { .. })
+                | Err(ParamsError::ThresholdBelowAgreementBound { .. })
+        ));
+    }
+
+    #[test]
+    fn selector_validity_enforced() {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let mut p = Params::<u64>::for_class(ClassId::One, cfg).unwrap();
+        p.selector = Arc::new(RotatingCoordinator::new()); // singleton, b = 1
+        p.constant_selector = false;
+        assert_eq!(
+            p.validate(),
+            Err(ParamsError::SelectorValidity {
+                selector: "rotating-coordinator"
+            })
+        );
+    }
+
+    #[test]
+    fn constant_selector_optimization_checked() {
+        let cfg = Config::benign(3, 1).unwrap();
+        let mut p = Params::<u64>::for_class(ClassId::Two, cfg).unwrap();
+        p.selector = Arc::new(RotatingCoordinator::new());
+        p.constant_selector = true; // rotating is not constant
+        assert!(matches!(
+            p.validate(),
+            Err(ParamsError::ConstantSelectorMismatch { .. })
+        ));
+        p.constant_selector = false;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn skip_first_selection_needs_constant() {
+        let cfg = Config::benign(3, 1).unwrap();
+        let mut p = Params::<u64>::for_class(ClassId::Two, cfg).unwrap();
+        p.selector = Arc::new(RotatingCoordinator::new());
+        p.constant_selector = false;
+        p.skip_first_selection = true;
+        assert_eq!(
+            p.validate(),
+            Err(ParamsError::SkipFirstSelectionNeedsConstantSelector)
+        );
+    }
+
+    #[test]
+    fn empty_coin_domain_rejected() {
+        let cfg = Config::benign(3, 1).unwrap();
+        let mut p = Params::<u64>::for_class(ClassId::Two, cfg).unwrap();
+        p.choice = ChoicePolicy::UniformCoin {
+            domain: vec![],
+            seed: 1,
+        };
+        assert_eq!(p.validate(), Err(ParamsError::EmptyCoinDomain));
+    }
+
+    #[test]
+    fn schedule_follows_flag() {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let p1 = Params::<u64>::for_class(ClassId::One, cfg).unwrap();
+        assert_eq!(p1.schedule().rounds_per_phase(), 2);
+        let cfg3 = Config::byzantine(4, 1).unwrap();
+        let p3 = Params::<u64>::for_class(ClassId::Three, cfg3).unwrap();
+        assert_eq!(p3.schedule().rounds_per_phase(), 3);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ParamsError::SkipFirstSelectionNeedsConstantSelector;
+        assert!(e.to_string().contains("constant selector"));
+        let e2 = ParamsError::ThresholdBelowFlvBound {
+            td: 2,
+            needed: 3,
+            flv: "class2",
+        };
+        assert!(e2.to_string().contains("class2"));
+    }
+}

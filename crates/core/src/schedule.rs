@@ -1,0 +1,235 @@
+//! The `FLAG` parameter and the mapping from executor rounds to
+//! `(phase, round-kind)` pairs.
+//!
+//! With `FLAG = φ` each phase runs selection → validation → decision
+//! (3 rounds). With `FLAG = *` the validation round is suppressed (§3.1),
+//! so phases are selection → decision (2 rounds). The §3.1 first-phase
+//! optimization additionally drops the selection round of phase 1.
+
+use std::fmt;
+
+use gencon_types::{Phase, Round, RoundKind};
+
+/// The `FLAG` parameter of the decision round (§3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Flag {
+    /// `FLAG = *`: all votes count in the decision round; the validation
+    /// round is suppressed, `ts`/`history` are unnecessary (class 1).
+    Star,
+    /// `FLAG = φ`: only votes validated in the current phase count
+    /// (classes 2 and 3).
+    Phi,
+}
+
+impl Flag {
+    /// Rounds per phase this flag induces (Table 1's last column).
+    #[must_use]
+    pub fn rounds_per_phase(self) -> usize {
+        match self {
+            Flag::Star => 2,
+            Flag::Phi => 3,
+        }
+    }
+
+    /// The round kinds of one phase, in order.
+    #[must_use]
+    pub fn kinds(self) -> &'static [RoundKind] {
+        match self {
+            Flag::Star => &[RoundKind::Selection, RoundKind::Decision],
+            Flag::Phi => &[
+                RoundKind::Selection,
+                RoundKind::Validation,
+                RoundKind::Decision,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Flag::Star => f.write_str("*"),
+            Flag::Phi => f.write_str("φ"),
+        }
+    }
+}
+
+/// Maps global executor rounds `1, 2, 3, …` to the algorithm's
+/// phase/round-kind structure.
+///
+/// All honest processes share the same schedule (it is a pure function of
+/// the instantiation parameters), so the lock-step executor needs no
+/// per-process coordination.
+#[derive(Clone, Copy, Debug)]
+pub struct Schedule {
+    flag: Flag,
+    skip_first_selection: bool,
+}
+
+impl Schedule {
+    /// Creates a schedule for `flag`, optionally applying the §3.1
+    /// first-phase optimization (selection round of phase 1 suppressed).
+    #[must_use]
+    pub fn new(flag: Flag, skip_first_selection: bool) -> Self {
+        Schedule {
+            flag,
+            skip_first_selection,
+        }
+    }
+
+    /// The flag.
+    #[must_use]
+    pub fn flag(&self) -> Flag {
+        self.flag
+    }
+
+    /// Whether phase 1 skips its selection round.
+    #[must_use]
+    pub fn skips_first_selection(&self) -> bool {
+        self.skip_first_selection
+    }
+
+    /// Rounds in a full phase.
+    #[must_use]
+    pub fn rounds_per_phase(&self) -> usize {
+        self.flag.rounds_per_phase()
+    }
+
+    /// The `(phase, kind)` a global round maps to.
+    #[must_use]
+    pub fn locate(&self, r: Round) -> (Phase, RoundKind) {
+        let kinds = self.flag.kinds();
+        let rpp = kinds.len() as u64;
+        let mut r0 = r.number() - 1; // 0-based
+        if self.skip_first_selection {
+            let first_phase_rounds = rpp - 1;
+            if r0 < first_phase_rounds {
+                return (Phase::FIRST, kinds[(r0 + 1) as usize]);
+            }
+            r0 -= first_phase_rounds;
+            let phase = Phase::new(2 + r0 / rpp);
+            return (phase, kinds[(r0 % rpp) as usize]);
+        }
+        let phase = Phase::new(1 + r0 / rpp);
+        (phase, kinds[(r0 % rpp) as usize])
+    }
+
+    /// The global round of `(phase, kind)`, or `None` when the schedule
+    /// skips it (e.g. validation under `FLAG = *`, or phase-1 selection with
+    /// the optimization). Useful to tests and trace analysis.
+    #[must_use]
+    pub fn round_of(&self, phase: Phase, kind: RoundKind) -> Option<Round> {
+        let kinds = self.flag.kinds();
+        let idx = kinds.iter().position(|k| *k == kind)?;
+        let rpp = kinds.len() as u64;
+        if phase.is_zero() {
+            return None;
+        }
+        if self.skip_first_selection {
+            if phase == Phase::FIRST {
+                if kind == RoundKind::Selection {
+                    return None;
+                }
+                return Some(Round::new(idx as u64));
+            }
+            let base = rpp - 1 + (phase.number() - 2) * rpp;
+            return Some(Round::new(base + idx as u64 + 1));
+        }
+        Some(Round::new((phase.number() - 1) * rpp + idx as u64 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_structure() {
+        assert_eq!(Flag::Star.rounds_per_phase(), 2);
+        assert_eq!(Flag::Phi.rounds_per_phase(), 3);
+        assert_eq!(Flag::Star.to_string(), "*");
+        assert_eq!(Flag::Phi.to_string(), "φ");
+    }
+
+    #[test]
+    fn phi_schedule_is_the_paper_numbering() {
+        // r = 3φ−2 selection, 3φ−1 validation, 3φ decision.
+        let s = Schedule::new(Flag::Phi, false);
+        for phi in 1..=4u64 {
+            assert_eq!(
+                s.locate(Round::new(3 * phi - 2)),
+                (Phase::new(phi), RoundKind::Selection)
+            );
+            assert_eq!(
+                s.locate(Round::new(3 * phi - 1)),
+                (Phase::new(phi), RoundKind::Validation)
+            );
+            assert_eq!(
+                s.locate(Round::new(3 * phi)),
+                (Phase::new(phi), RoundKind::Decision)
+            );
+        }
+    }
+
+    #[test]
+    fn star_schedule_has_two_rounds() {
+        let s = Schedule::new(Flag::Star, false);
+        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Selection));
+        assert_eq!(s.locate(Round::new(2)), (Phase::new(1), RoundKind::Decision));
+        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Selection));
+        assert_eq!(s.locate(Round::new(4)), (Phase::new(2), RoundKind::Decision));
+    }
+
+    #[test]
+    fn skip_first_selection_phi() {
+        let s = Schedule::new(Flag::Phi, true);
+        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Validation));
+        assert_eq!(s.locate(Round::new(2)), (Phase::new(1), RoundKind::Decision));
+        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Selection));
+        assert_eq!(s.locate(Round::new(4)), (Phase::new(2), RoundKind::Validation));
+        assert_eq!(s.locate(Round::new(5)), (Phase::new(2), RoundKind::Decision));
+        assert_eq!(s.locate(Round::new(6)), (Phase::new(3), RoundKind::Selection));
+    }
+
+    #[test]
+    fn skip_first_selection_star() {
+        let s = Schedule::new(Flag::Star, true);
+        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Decision));
+        assert_eq!(s.locate(Round::new(2)), (Phase::new(2), RoundKind::Selection));
+        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Decision));
+    }
+
+    #[test]
+    fn round_of_inverts_locate() {
+        for flag in [Flag::Star, Flag::Phi] {
+            for skip in [false, true] {
+                let s = Schedule::new(flag, skip);
+                for r in 1..=30u64 {
+                    let (phase, kind) = s.locate(Round::new(r));
+                    assert_eq!(
+                        s.round_of(phase, kind),
+                        Some(Round::new(r)),
+                        "flag {flag:?} skip {skip} r {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_of_skipped_rounds_is_none() {
+        let star = Schedule::new(Flag::Star, false);
+        assert_eq!(star.round_of(Phase::new(2), RoundKind::Validation), None);
+        let skip = Schedule::new(Flag::Phi, true);
+        assert_eq!(skip.round_of(Phase::FIRST, RoundKind::Selection), None);
+        assert_eq!(skip.round_of(Phase::ZERO, RoundKind::Selection), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Schedule::new(Flag::Phi, true);
+        assert_eq!(s.flag(), Flag::Phi);
+        assert!(s.skips_first_selection());
+        assert_eq!(s.rounds_per_phase(), 3);
+    }
+}

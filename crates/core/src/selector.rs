@@ -1,0 +1,319 @@
+//! The `Selector(p, φ)` parameter (§3.2, §4.2).
+//!
+//! `Selector` returns the set of processes `p` proposes as *validators* for
+//! phase `φ`. §3.2 requires:
+//!
+//! * **Selector-validity** — a non-empty output has more than `b` members;
+//! * **Selector-liveness** — in some good phase all correct processes agree
+//!   on the set (SL1) and it contains enough correct processes (SL2/SL3);
+//! * class 3 additionally needs **Selector-strongValidity** — non-empty
+//!   outputs exceed `3b + 2f` members (§4.1.3).
+//!
+//! §4.2 lists the standard instantiations, all provided here:
+//! the whole set Π ([`FullSelector`], used by all Byzantine algorithms), a
+//! rotating `b + 1`-subset ([`RotatingSubset`]), and — benign model only —
+//! the rotating coordinator of CT ([`RotatingCoordinator`]) and the stable
+//! leader of Paxos ([`StableLeader`]).
+
+use std::fmt::Debug;
+
+use gencon_types::{Config, Phase, ProcessId, ProcessSet};
+
+/// The validator-election parameter of the generic algorithm.
+///
+/// Implementations must be deterministic in `(p, φ)`; SL1 (all correct
+/// processes proposing the same set in a good phase) is achieved by not
+/// depending on `p` at all in every instantiation shipped here.
+pub trait Selector: Send + Sync + Debug {
+    /// The set `Selector(p, φ)`.
+    fn select(&self, p: ProcessId, phase: Phase, cfg: &Config) -> ProcessSet;
+
+    /// Whether the same set is returned for every `p` and every `φ`.
+    ///
+    /// When `true`, the §3.1 optimization applies: `validators_p` can be set
+    /// directly (lines 15/21 skipped) and the selector set need not be sent.
+    fn is_constant(&self) -> bool {
+        false
+    }
+
+    /// Whether every non-empty output is guaranteed larger than `b`
+    /// (Selector-validity) for this configuration.
+    fn guarantees_validity(&self, cfg: &Config) -> bool;
+
+    /// Whether every non-empty output is guaranteed larger than `3b + 2f`
+    /// (Selector-strongValidity, required for class-3 liveness).
+    fn guarantees_strong_validity(&self, cfg: &Config) -> bool;
+
+    /// A short name for tables and traces.
+    fn name(&self) -> &'static str;
+}
+
+/// `Selector(p, φ) = Π` — the trivial instantiation used by all Byzantine
+/// algorithms in the literature (§4.2).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FullSelector;
+
+impl FullSelector {
+    /// Creates the Π selector.
+    #[must_use]
+    pub fn new() -> Self {
+        FullSelector
+    }
+}
+
+impl Selector for FullSelector {
+    fn select(&self, _p: ProcessId, _phase: Phase, cfg: &Config) -> ProcessSet {
+        cfg.all_processes()
+    }
+
+    fn is_constant(&self) -> bool {
+        true
+    }
+
+    fn guarantees_validity(&self, cfg: &Config) -> bool {
+        cfg.n() > cfg.b()
+    }
+
+    fn guarantees_strong_validity(&self, cfg: &Config) -> bool {
+        cfg.n() > 3 * cfg.b() + 2 * cfg.f()
+    }
+
+    fn name(&self) -> &'static str {
+        "full"
+    }
+}
+
+/// The rotating-coordinator selector of CT \[5]: `{p_((φ−1) mod n)}`.
+///
+/// Benign model only: a singleton violates Selector-validity as soon as
+/// `b ≥ 1`.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RotatingCoordinator;
+
+impl RotatingCoordinator {
+    /// Creates the rotating-coordinator selector.
+    #[must_use]
+    pub fn new() -> Self {
+        RotatingCoordinator
+    }
+
+    /// The coordinator of phase `φ`.
+    #[must_use]
+    pub fn coordinator(phase: Phase, n: usize) -> ProcessId {
+        ProcessId::new(((phase.number().max(1) - 1) as usize) % n)
+    }
+}
+
+impl Selector for RotatingCoordinator {
+    fn select(&self, _p: ProcessId, phase: Phase, cfg: &Config) -> ProcessSet {
+        ProcessSet::singleton(Self::coordinator(phase, cfg.n()))
+    }
+
+    fn guarantees_validity(&self, cfg: &Config) -> bool {
+        cfg.b() == 0
+    }
+
+    fn guarantees_strong_validity(&self, _cfg: &Config) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "rotating-coordinator"
+    }
+}
+
+/// The stable-leader selector of Paxos \[11]: a fixed `{leader}`.
+///
+/// Models a leader-election oracle that has stabilized. For executions where
+/// the leader may crash, compose with [`RotatingCoordinator`] instead (the
+/// oracle abstraction of the original papers is itself eventual).
+#[derive(Clone, Copy, Debug)]
+pub struct StableLeader {
+    leader: ProcessId,
+}
+
+impl StableLeader {
+    /// Creates a selector pinned to `leader`.
+    #[must_use]
+    pub fn new(leader: ProcessId) -> Self {
+        StableLeader { leader }
+    }
+
+    /// The pinned leader.
+    #[must_use]
+    pub fn leader(&self) -> ProcessId {
+        self.leader
+    }
+}
+
+impl Selector for StableLeader {
+    fn select(&self, _p: ProcessId, _phase: Phase, _cfg: &Config) -> ProcessSet {
+        ProcessSet::singleton(self.leader)
+    }
+
+    fn is_constant(&self) -> bool {
+        true
+    }
+
+    fn guarantees_validity(&self, cfg: &Config) -> bool {
+        cfg.b() == 0
+    }
+
+    fn guarantees_strong_validity(&self, _cfg: &Config) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "stable-leader"
+    }
+}
+
+/// The rotating subset selector of §4.2 for the Byzantine model: the same
+/// `size` consecutive processes (mod n) on every process, a different window
+/// each phase.
+///
+/// With `size = b + 1` this is the alternative Byzantine instantiation the
+/// paper mentions; class 3 requires `size > 3b + 2f`.
+#[derive(Clone, Copy, Debug)]
+pub struct RotatingSubset {
+    size: usize,
+}
+
+impl RotatingSubset {
+    /// Creates a rotating window of `size` validators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "validator window must be non-empty");
+        RotatingSubset { size }
+    }
+
+    /// Window size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Selector for RotatingSubset {
+    fn select(&self, _p: ProcessId, phase: Phase, cfg: &Config) -> ProcessSet {
+        let n = cfg.n();
+        let size = self.size.min(n);
+        let start = ((phase.number().max(1) - 1) as usize) % n;
+        (0..size)
+            .map(|k| ProcessId::new((start + k) % n))
+            .collect()
+    }
+
+    fn guarantees_validity(&self, cfg: &Config) -> bool {
+        self.size.min(cfg.n()) > cfg.b()
+    }
+
+    fn guarantees_strong_validity(&self, cfg: &Config) -> bool {
+        self.size.min(cfg.n()) > 3 * cfg.b() + 2 * cfg.f()
+    }
+
+    fn name(&self) -> &'static str {
+        "rotating-subset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, f: usize, b: usize) -> Config {
+        Config::new(n, f, b).unwrap()
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn full_selector_returns_pi() {
+        let c = cfg(4, 0, 1);
+        let s = FullSelector::new();
+        assert_eq!(s.select(p(0), Phase::new(3), &c), c.all_processes());
+        assert!(s.is_constant());
+        assert!(s.guarantees_validity(&c));
+        assert!(s.guarantees_strong_validity(&c), "n=4 > 3b+2f=3");
+        assert!(!s.guarantees_strong_validity(&cfg(3, 0, 1)));
+    }
+
+    #[test]
+    fn rotating_coordinator_cycles() {
+        let c = cfg(3, 1, 0);
+        let s = RotatingCoordinator::new();
+        assert_eq!(s.select(p(0), Phase::new(1), &c), ProcessSet::singleton(p(0)));
+        assert_eq!(s.select(p(2), Phase::new(2), &c), ProcessSet::singleton(p(1)));
+        assert_eq!(s.select(p(1), Phase::new(4), &c), ProcessSet::singleton(p(0)));
+        assert!(!s.is_constant());
+        assert!(s.guarantees_validity(&c));
+        assert!(!s.guarantees_validity(&cfg(4, 0, 1)), "singleton breaks validity with b=1");
+    }
+
+    #[test]
+    fn rotating_coordinator_same_for_all_processes() {
+        // SL1: coordinator independent of p.
+        let c = cfg(5, 2, 0);
+        let s = RotatingCoordinator::new();
+        for phi in 1..10u64 {
+            let sets: Vec<_> = (0..5)
+                .map(|i| s.select(p(i), Phase::new(phi), &c))
+                .collect();
+            assert!(sets.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn stable_leader_is_constant() {
+        let c = cfg(3, 1, 0);
+        let s = StableLeader::new(p(2));
+        assert_eq!(s.leader(), p(2));
+        assert_eq!(s.select(p(0), Phase::new(9), &c), ProcessSet::singleton(p(2)));
+        assert!(s.is_constant());
+        assert!(s.guarantees_validity(&c));
+    }
+
+    #[test]
+    fn rotating_subset_windows_wrap() {
+        let c = cfg(4, 0, 1);
+        let s = RotatingSubset::new(2);
+        assert_eq!(
+            s.select(p(0), Phase::new(1), &c).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        assert_eq!(
+            s.select(p(0), Phase::new(4), &c).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            [0, 3]
+        );
+        assert!(s.guarantees_validity(&c), "size 2 > b 1");
+        assert!(!RotatingSubset::new(1).guarantees_validity(&c));
+        assert!(RotatingSubset::new(4).guarantees_strong_validity(&c));
+    }
+
+    #[test]
+    fn rotating_subset_size_capped_at_n() {
+        let c = cfg(3, 0, 0);
+        let s = RotatingSubset::new(10);
+        assert_eq!(s.select(p(0), Phase::new(1), &c).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_rejected() {
+        let _ = RotatingSubset::new(0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FullSelector::new().name(), "full");
+        assert_eq!(RotatingCoordinator::new().name(), "rotating-coordinator");
+        assert_eq!(StableLeader::new(p(0)).name(), "stable-leader");
+        assert_eq!(RotatingSubset::new(2).name(), "rotating-subset");
+    }
+}

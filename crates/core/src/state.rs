@@ -1,0 +1,207 @@
+//! Process state of Algorithm 1: `vote_p`, `ts_p`, `history_p`.
+
+use std::fmt;
+
+use gencon_types::{Phase, Value};
+
+/// The `history_p` variable: the list of pairs `(v, φ)` recording that
+/// `vote_p` was set to `v` in the selection round of phase `φ` (line 14).
+///
+/// In the Byzantine context the history proves that a value *may have been
+/// validated* in some phase; with benign faults it can be ignored. The paper
+/// notes (footnote 5) that its size is unbounded; [`History::prune_before`]
+/// offers the optional garbage-collection measured by the ablation bench
+/// (disabled by default).
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct History<V> {
+    entries: Vec<(V, Phase)>,
+}
+
+impl<V: Value> History<V> {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        History {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The initial history `{(init_p, 0)}` of line 4.
+    #[must_use]
+    pub fn initial(init: V) -> Self {
+        History {
+            entries: vec![(init, Phase::ZERO)],
+        }
+    }
+
+    /// Records `(v, φ)` (line 14). Duplicate pairs are kept once (the paper
+    /// treats `history` as a set).
+    pub fn record(&mut self, v: V, phase: Phase) {
+        if !self.contains(&v, phase) {
+            self.entries.push((v, phase));
+        }
+    }
+
+    /// Whether the pair `(v, φ)` is in the history (used by the class-3 FLV,
+    /// Algorithm 4 line 2).
+    #[must_use]
+    pub fn contains(&self, v: &V, phase: Phase) -> bool {
+        self.entries.iter().any(|(ev, ep)| ev == v && *ep == phase)
+    }
+
+    /// The value recorded for phase `φ`, if any — the lookup of line 26
+    /// (`vote_p ← v such that (v, ts_p) ∈ history_p`).
+    #[must_use]
+    pub fn value_at(&self, phase: Phase) -> Option<&V> {
+        // The engine records at most one pair per phase for honest
+        // processes; take the latest on the off-chance of duplicates.
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, ep)| *ep == phase)
+            .map(|(v, _)| v)
+    }
+
+    /// Number of recorded pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the history is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(value, phase)` pairs in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &(V, Phase)> {
+        self.entries.iter()
+    }
+
+    /// Optional GC (ablation A1): drops entries strictly older than `keep`.
+    ///
+    /// Sound only when the instantiation never needs proofs older than the
+    /// last validated timestamp; see DESIGN.md. Disabled by default.
+    pub fn prune_before(&mut self, keep: Phase) {
+        self.entries.retain(|(_, p)| *p >= keep);
+    }
+}
+
+impl<V: Value> FromIterator<(V, Phase)> for History<V> {
+    fn from_iter<I: IntoIterator<Item = (V, Phase)>>(iter: I) -> Self {
+        let mut h = History::new();
+        for (v, p) in iter {
+            h.record(v, p);
+        }
+        h
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for History<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.entries.iter().map(|(v, p)| (v, p.number())))
+            .finish()
+    }
+}
+
+/// Which state variables an instantiation maintains *and transmits* —
+/// Table 1's "process state" column.
+///
+/// The engine always tracks enough internally to run (line 26's revert needs
+/// the last validated value), but messages are stripped down to the profile,
+/// so wire sizes reflect the class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StateProfile {
+    /// Class 1: only `vote_p` (FLAG = `*`; `ts` and `history` unnecessary).
+    VoteOnly,
+    /// Class 2: `vote_p` and `ts_p`.
+    VoteTs,
+    /// Class 3: `vote_p`, `ts_p` and `history_p`.
+    Full,
+}
+
+impl StateProfile {
+    /// Whether timestamps are transmitted.
+    #[must_use]
+    pub fn sends_ts(self) -> bool {
+        !matches!(self, StateProfile::VoteOnly)
+    }
+
+    /// Whether the history log is transmitted.
+    #[must_use]
+    pub fn sends_history(self) -> bool {
+        matches!(self, StateProfile::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_history_holds_init_pair() {
+        let h = History::initial(42u64);
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(&42, Phase::ZERO));
+        assert_eq!(h.value_at(Phase::ZERO), Some(&42));
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut h = History::initial(1u64);
+        h.record(2, Phase::new(1));
+        h.record(3, Phase::new(2));
+        assert_eq!(h.value_at(Phase::new(1)), Some(&2));
+        assert_eq!(h.value_at(Phase::new(2)), Some(&3));
+        assert_eq!(h.value_at(Phase::new(9)), None);
+        assert!(h.contains(&2, Phase::new(1)));
+        assert!(!h.contains(&2, Phase::new(2)));
+    }
+
+    #[test]
+    fn set_semantics_deduplicate() {
+        let mut h = History::new();
+        h.record(5u64, Phase::new(1));
+        h.record(5, Phase::new(1));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn latest_entry_wins_lookup() {
+        // Defensive: if duplicates for a phase ever existed, the latest wins.
+        let mut h = History::new();
+        h.record(1u64, Phase::new(3));
+        h.record(2, Phase::new(3)); // different value, same phase
+        assert_eq!(h.value_at(Phase::new(3)), Some(&2));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn prune_drops_old_entries() {
+        let mut h: History<u64> = [(1, Phase::ZERO), (2, Phase::new(3)), (3, Phase::new(5))]
+            .into_iter()
+            .collect();
+        h.prune_before(Phase::new(3));
+        assert_eq!(h.len(), 2);
+        assert!(!h.contains(&1, Phase::ZERO));
+        assert!(h.contains(&2, Phase::new(3)));
+    }
+
+    #[test]
+    fn profiles_declare_transmission() {
+        assert!(!StateProfile::VoteOnly.sends_ts());
+        assert!(!StateProfile::VoteOnly.sends_history());
+        assert!(StateProfile::VoteTs.sends_ts());
+        assert!(!StateProfile::VoteTs.sends_history());
+        assert!(StateProfile::Full.sends_ts());
+        assert!(StateProfile::Full.sends_history());
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let h = History::initial(7u64);
+        assert_eq!(format!("{h:?}"), "{(7, 0)}");
+    }
+}

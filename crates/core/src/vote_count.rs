@@ -1,0 +1,146 @@
+//! Deterministic vote tallying shared by the FLV implementations and the
+//! engine's decision rule.
+
+use std::collections::BTreeMap;
+
+use gencon_types::quorum;
+
+/// A tally of votes by value.
+///
+/// Backed by a `BTreeMap` so iteration order is the value order — every
+/// consumer of a tally is deterministic, which FLV implementations require.
+#[derive(Clone, Debug)]
+pub struct VoteTally<'a, V: Ord> {
+    counts: BTreeMap<&'a V, usize>,
+}
+
+impl<'a, V: Ord> VoteTally<'a, V> {
+    /// Tallies an iterator of votes.
+    #[must_use]
+    pub fn of_votes(votes: impl Iterator<Item = &'a V>) -> Self {
+        let mut counts = BTreeMap::new();
+        for v in votes {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        VoteTally { counts }
+    }
+
+    /// Count of a specific vote.
+    #[must_use]
+    pub fn count(&self, v: &V) -> usize {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct votes.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Votes whose count strictly exceeds `bound`, in value order.
+    pub fn votes_above(&self, bound: usize) -> impl Iterator<Item = &'a V> + '_ {
+        self.counts
+            .iter()
+            .filter(move |(_, &c)| quorum::more_than(c, bound))
+            .map(|(&v, _)| v)
+    }
+
+    /// Votes whose count reaches at least `threshold`, in value order.
+    pub fn votes_at_least(&self, threshold: usize) -> impl Iterator<Item = &'a V> + '_ {
+        self.counts
+            .iter()
+            .filter(move |(_, &c)| c >= threshold)
+            .map(|(&v, _)| v)
+    }
+
+    /// The vote held by a strict majority of `total`, if any
+    /// (Algorithm 4 line 8: "a majority of messages").
+    #[must_use]
+    pub fn strict_majority_of(&self, total: usize) -> Option<&'a V> {
+        self.counts
+            .iter()
+            .find(|(_, &c)| quorum::more_than_half(c, total))
+            .map(|(&v, _)| v)
+    }
+
+    /// The smallest vote (the deterministic choice of line 11).
+    #[must_use]
+    pub fn min_vote(&self) -> Option<&'a V> {
+        self.counts.keys().next().copied()
+    }
+
+    /// The vote with the highest count; ties broken toward the smaller
+    /// value. (The OneThirdRule comparison uses "smallest most often
+    /// received value".)
+    #[must_use]
+    pub fn most_frequent(&self) -> Option<&'a V> {
+        self.counts
+            .iter()
+            .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+            .map(|(&v, _)| v)
+    }
+
+    /// Iterates `(vote, count)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a V, usize)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts() {
+        let votes = [3u64, 1, 3, 2, 3];
+        let t = VoteTally::of_votes(votes.iter());
+        assert_eq!(t.count(&3), 3);
+        assert_eq!(t.count(&1), 1);
+        assert_eq!(t.count(&9), 0);
+        assert_eq!(t.distinct(), 3);
+    }
+
+    #[test]
+    fn votes_above_is_strict_and_ordered() {
+        let votes = [2u64, 2, 1, 1, 3];
+        let t = VoteTally::of_votes(votes.iter());
+        let above1: Vec<_> = t.votes_above(1).collect();
+        assert_eq!(above1, [&1, &2], "value order");
+        assert_eq!(t.votes_above(2).count(), 0, "strict bound");
+    }
+
+    #[test]
+    fn votes_at_least_is_inclusive() {
+        let votes = [2u64, 2, 1];
+        let t = VoteTally::of_votes(votes.iter());
+        assert_eq!(t.votes_at_least(2).collect::<Vec<_>>(), [&2]);
+        assert_eq!(t.votes_at_least(1).count(), 2);
+    }
+
+    #[test]
+    fn strict_majority_detection() {
+        let votes = [7u64, 7, 7, 8, 9];
+        let t = VoteTally::of_votes(votes.iter());
+        assert_eq!(t.strict_majority_of(5), Some(&7));
+        assert_eq!(t.strict_majority_of(6), None, "3 of 6 is not a majority");
+    }
+
+    #[test]
+    fn min_and_most_frequent() {
+        let votes = [5u64, 4, 5, 4, 6];
+        let t = VoteTally::of_votes(votes.iter());
+        assert_eq!(t.min_vote(), Some(&4));
+        assert_eq!(t.most_frequent(), Some(&4), "tie 4 vs 5 broken to smaller");
+        let empty: VoteTally<u64> = VoteTally::of_votes([].iter());
+        assert_eq!(empty.min_vote(), None);
+        assert_eq!(empty.most_frequent(), None);
+    }
+
+    #[test]
+    fn iter_in_value_order() {
+        let votes = [9u64, 1, 9];
+        let t = VoteTally::of_votes(votes.iter());
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, [(&1, 1), (&9, 2)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! PBFT-style pairwise authenticators simulating unforgeable signatures.
+//!
+//! A trusted dealer ([`KeyStore::dealer`]) derives a symmetric key for every
+//! unordered pair of processes from a system master seed. An
+//! [`Authenticator`] on a message is the vector of HMACs of that message, one
+//! per receiver, computed with the sender's pairwise keys.
+//!
+//! Properties (matching the "authenticated Byzantine" model of §2.2):
+//!
+//! * an honest receiver `q` accepts an authenticator for `(sender = p, m)`
+//!   only if the entry for `q` equals `HMAC(key(p, q), m)`;
+//! * a Byzantine process does not know `key(p, q)` for honest `p, q`, so it
+//!   cannot forge a message that `q` attributes to `p` (honest processes
+//!   cannot be impersonated);
+//! * authenticators can be *relayed*: the coordinator-based `Pcons` protocol
+//!   forwards other processes' authenticated messages, and each final
+//!   receiver verifies the original sender's MAC — a Byzantine coordinator
+//!   cannot alter the content unnoticed.
+//!
+//! What this deliberately does **not** provide is third-party transferable
+//! *proof* (non-repudiation); no protocol step in this workspace needs it.
+
+use std::fmt;
+
+use gencon_types::{ProcessId, MAX_PROCESSES};
+
+use crate::hmac::{hmac_sha256, mac_eq};
+use crate::sha256::DIGEST_LEN;
+
+/// A per-receiver MAC vector over a message: the PBFT replacement for a
+/// digital signature.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Authenticator {
+    sender: ProcessId,
+    macs: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl Authenticator {
+    /// The claimed sender this authenticator vouches for.
+    #[must_use]
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// Number of per-receiver entries (= n).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.macs.len()
+    }
+
+    /// Whether the authenticator carries no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.macs.is_empty()
+    }
+
+    /// Wire size in bytes (used by the message-complexity experiment E6).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        4 + self.macs.len() * DIGEST_LEN
+    }
+
+    /// Builds a deliberately corrupt authenticator (testing and adversaries).
+    #[must_use]
+    pub fn forged(sender: ProcessId, n: usize) -> Self {
+        Authenticator {
+            sender,
+            macs: vec![[0u8; DIGEST_LEN]; n],
+        }
+    }
+}
+
+impl fmt::Debug for Authenticator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Authenticator(from {}, {} macs)", self.sender, self.macs.len())
+    }
+}
+
+/// A process's view of the pairwise-key matrix.
+///
+/// `KeyStore` holds the `n` keys process `owner` shares with every other
+/// process, and produces/verifies [`Authenticator`]s.
+#[derive(Clone)]
+pub struct KeyStore {
+    owner: ProcessId,
+    n: usize,
+    /// `keys[q]` = key shared between `owner` and process `q`.
+    keys: Vec<[u8; DIGEST_LEN]>,
+}
+
+impl KeyStore {
+    /// Trusted-dealer setup: derives key stores for all `n` processes from a
+    /// master seed. Every pair `(p, q)` shares `key(p, q) = key(q, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > MAX_PROCESSES`.
+    #[must_use]
+    pub fn dealer(n: usize, master_seed: u64) -> Vec<KeyStore> {
+        assert!(n > 0 && n <= MAX_PROCESSES, "invalid system size {n}");
+        (0..n)
+            .map(|p| {
+                let owner = ProcessId::new(p);
+                let keys = (0..n)
+                    .map(|q| Self::pair_key(master_seed, p, q))
+                    .collect();
+                KeyStore { owner, n, keys }
+            })
+            .collect()
+    }
+
+    /// Deterministic pairwise key derivation (symmetric in `p`/`q`).
+    fn pair_key(master_seed: u64, p: usize, q: usize) -> [u8; DIGEST_LEN] {
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        let mut material = [0u8; 24];
+        material[..8].copy_from_slice(&master_seed.to_be_bytes());
+        material[8..16].copy_from_slice(&(lo as u64).to_be_bytes());
+        material[16..24].copy_from_slice(&(hi as u64).to_be_bytes());
+        crate::sha256::sha256(&material)
+    }
+
+    /// The process owning this store.
+    #[must_use]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Number of processes in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Produces the authenticator for `message`, signed by this store's
+    /// owner, verifiable by every process.
+    #[must_use]
+    pub fn authenticate(&self, message: &[u8]) -> Authenticator {
+        let macs = self
+            .keys
+            .iter()
+            .map(|key| hmac_sha256(key, message))
+            .collect();
+        Authenticator {
+            sender: self.owner,
+            macs,
+        }
+    }
+
+    /// Verifies that `auth` is a valid authenticator by `claimed_sender` on
+    /// `message`, as seen by this store's owner.
+    ///
+    /// Returns `false` (never panics) for mismatched sizes, wrong sender,
+    /// or an invalid MAC.
+    #[must_use]
+    pub fn verify(&self, claimed_sender: ProcessId, message: &[u8], auth: &Authenticator) -> bool {
+        if auth.sender != claimed_sender || auth.macs.len() != self.n {
+            return false;
+        }
+        if claimed_sender.index() >= self.n {
+            return false;
+        }
+        // key(self.owner, claimed_sender) is stored at keys[claimed_sender].
+        let key = &self.keys[claimed_sender.index()];
+        let expect = hmac_sha256(key, message);
+        mac_eq(&expect, &auth.macs[self.owner.index()])
+    }
+}
+
+impl fmt::Debug for KeyStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyStore(owner {}, n {})", self.owner, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn honest_authentication_roundtrip() {
+        let stores = KeyStore::dealer(4, 7);
+        let auth = stores[2].authenticate(b"hello");
+        for receiver in 0..4 {
+            assert!(
+                stores[receiver].verify(p(2), b"hello", &auth),
+                "receiver {receiver} rejects valid authenticator"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let stores = KeyStore::dealer(4, 7);
+        let auth = stores[2].authenticate(b"hello");
+        assert!(!stores[0].verify(p(2), b"hellO", &auth));
+    }
+
+    #[test]
+    fn wrong_sender_rejected() {
+        let stores = KeyStore::dealer(4, 7);
+        let auth = stores[2].authenticate(b"hello");
+        assert!(!stores[0].verify(p(1), b"hello", &auth));
+    }
+
+    #[test]
+    fn byzantine_cannot_forge_between_honest_pairs() {
+        let stores = KeyStore::dealer(4, 7);
+        // p3 is Byzantine: it crafts an authenticator claiming to be p1 using
+        // its *own* keys (the best it can do without key(p1, p0)).
+        let fake = {
+            let mut a = stores[3].authenticate(b"evil");
+            a.sender = p(1);
+            a
+        };
+        assert!(!stores[0].verify(p(1), b"evil", &fake));
+        let zeroed = Authenticator::forged(p(1), 4);
+        assert!(!stores[0].verify(p(1), b"evil", &zeroed));
+    }
+
+    #[test]
+    fn relayed_authenticator_still_verifies() {
+        // The Pcons coordinator use-case: p0 signs, p1 relays, p2 verifies.
+        let stores = KeyStore::dealer(3, 99);
+        let auth = stores[0].authenticate(b"vote");
+        let relayed = auth.clone(); // byte-identical relay
+        assert!(stores[2].verify(p(0), b"vote", &relayed));
+    }
+
+    #[test]
+    fn pair_keys_are_symmetric_and_distinct() {
+        let a = KeyStore::pair_key(1, 0, 3);
+        let b = KeyStore::pair_key(1, 3, 0);
+        assert_eq!(a, b, "key(p,q) == key(q,p)");
+        assert_ne!(KeyStore::pair_key(1, 0, 1), KeyStore::pair_key(1, 0, 2));
+        assert_ne!(KeyStore::pair_key(1, 0, 1), KeyStore::pair_key(2, 0, 1));
+    }
+
+    #[test]
+    fn mismatched_size_rejected() {
+        let stores4 = KeyStore::dealer(4, 7);
+        let stores5 = KeyStore::dealer(5, 7);
+        let auth5 = stores5[1].authenticate(b"m");
+        assert!(!stores4[0].verify(p(1), b"m", &auth5));
+    }
+
+    #[test]
+    fn encoded_len_accounts_for_macs() {
+        let stores = KeyStore::dealer(4, 7);
+        let auth = stores[0].authenticate(b"m");
+        assert_eq!(auth.encoded_len(), 4 + 4 * 32);
+        assert_eq!(auth.len(), 4);
+        assert!(!auth.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid system size")]
+    fn dealer_rejects_zero() {
+        let _ = KeyStore::dealer(0, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Message-authentication substrate for the authenticated Byzantine model.
+//!
+//! §2.2 of the paper distinguishes *authenticated* Byzantine faults (messages
+//! can be signed, signatures cannot be forged) from plain Byzantine faults.
+//! The coordinator-based implementation of the `Pcons` predicate (\[17], used
+//! by `gencon-pcons`) relies on authentication so that a Byzantine
+//! coordinator cannot alter relayed messages.
+//!
+//! Rather than pulling a cryptography dependency, this crate implements the
+//! required primitives from scratch:
+//!
+//! * [`sha256()`] — FIPS 180-4 SHA-256 (verified against the standard test
+//!   vectors),
+//! * [`hmac`] — RFC 2104 HMAC-SHA-256,
+//! * [`auth`] — PBFT-style *authenticators*: a trusted dealer hands every
+//!   pair of processes a shared key at setup; a "signature" on a message is
+//!   the vector of per-receiver MACs. Between honest processes this gives the
+//!   unforgeability the paper's proofs need (a Byzantine process cannot make
+//!   an honest receiver attribute a message to an honest sender), which is
+//!   the only property any protocol step in this workspace uses.
+//!
+//! # Example
+//!
+//! ```
+//! use gencon_crypto::KeyStore;
+//! use gencon_types::ProcessId;
+//!
+//! let n = 4;
+//! let stores = KeyStore::dealer(n, 42);
+//! let alice = ProcessId::new(0);
+//!
+//! let sig = stores[0].authenticate(b"vote=7");
+//! assert!(stores[1].verify(alice, b"vote=7", &sig));
+//! assert!(!stores[1].verify(alice, b"vote=8", &sig), "tampering detected");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod hmac;
+pub mod sha256;
+
+pub use auth::{Authenticator, KeyStore};
+pub use hmac::hmac_sha256;
+pub use sha256::{digest_of, sha256, Sha256, Sha256Hasher};

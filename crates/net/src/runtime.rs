@@ -1,0 +1,281 @@
+//! The threaded round runtime: real-time partial synchrony.
+//!
+//! [`run_node`] drives one [`RoundProcess`] over a [`Transport`] with
+//! wall-clock round deadlines. This realizes the paper's system model over
+//! a real network:
+//!
+//! * rounds are closed by construction — a frame tagged with an old round
+//!   is discarded, one tagged with a future round is buffered until that
+//!   round opens;
+//! * during overload/partitions, deadlines expire before all messages
+//!   arrive: those rounds are "bad" (messages effectively lost);
+//! * when the network is timely, every round collects all live senders
+//!   before its deadline: `Pgood` holds — a good period.
+//!
+//! A node keeps participating for a grace period after deciding (its votes
+//! help laggards reach `TD`), then returns its decision.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
+use gencon_types::{ProcessId, Round};
+
+use crate::transport::Transport;
+use crate::wire::{Envelope, Wire};
+
+/// Runtime knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Wall-clock budget for each round.
+    pub round_timeout: Duration,
+    /// Hard cap on rounds before giving up.
+    pub max_rounds: u64,
+    /// Extra rounds to keep helping after deciding.
+    pub linger_rounds: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            round_timeout: Duration::from_millis(200),
+            max_rounds: 1000,
+            linger_rounds: 2,
+        }
+    }
+}
+
+/// Drives `process` over `transport` until it decides (plus the linger
+/// grace) or `max_rounds` elapse. Returns the process's final output.
+///
+/// The process's own message is looped back locally (a process hears
+/// itself in every round it speaks, as the round model prescribes).
+pub fn run_node<P, T>(mut process: P, mut transport: T, cfg: NodeConfig) -> Option<P::Output>
+where
+    P: RoundProcess,
+    P::Msg: Wire,
+    T: Transport,
+{
+    let me = transport.local();
+    let n = transport.peers();
+    let mut future: BTreeMap<u64, Vec<(ProcessId, P::Msg)>> = BTreeMap::new();
+    let mut decided_rounds_left: Option<u64> = None;
+
+    for r in 1..=cfg.max_rounds {
+        let round = Round::new(r);
+
+        // --- send step ---
+        let out = process.send(round);
+        let mut loopback: Option<P::Msg> = None;
+        match &out {
+            Outgoing::Silent => {}
+            Outgoing::Broadcast(m) => {
+                let frame = Envelope {
+                    sender: me,
+                    round,
+                    msg: m.clone(),
+                }
+                .to_bytes();
+                broadcast(&mut transport, n, &frame);
+                loopback = Some(m.clone());
+            }
+            Outgoing::Multicast { dests, msg } => {
+                let frame = Envelope {
+                    sender: me,
+                    round,
+                    msg: msg.clone(),
+                }
+                .to_bytes();
+                for d in dests.iter() {
+                    if d == me {
+                        loopback = Some(msg.clone());
+                    } else {
+                        transport.send(d, frame.clone());
+                    }
+                }
+            }
+            Outgoing::PerDest(pairs) => {
+                for (d, m) in pairs {
+                    if *d == me {
+                        loopback = Some(m.clone());
+                    } else {
+                        let frame = Envelope {
+                            sender: me,
+                            round,
+                            msg: m.clone(),
+                        }
+                        .to_bytes();
+                        transport.send(*d, frame.clone());
+                    }
+                }
+            }
+        }
+
+        // --- collect step ---
+        let mut heard: HeardOf<P::Msg> = HeardOf::empty(n);
+        if let Some(m) = loopback {
+            heard.put(me, m);
+        }
+        if let Some(buffered) = future.remove(&r) {
+            for (sender, msg) in buffered {
+                if sender.index() < n {
+                    heard.put(sender, msg);
+                }
+            }
+        }
+        let deadline = Instant::now() + cfg.round_timeout;
+        while heard.count() < n {
+            // Fast path: once all n have spoken, nothing more can arrive
+            // for this (closed) round. Otherwise the deadline decides —
+            // that is exactly the partial-synchrony timeout.
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let Some((sender, frame)) = transport.recv_timeout(deadline - now) else {
+                break;
+            };
+            if sender.index() >= n {
+                continue;
+            }
+            let Some(env) = decode_envelope::<P::Msg>(&frame) else {
+                continue; // garbage from a Byzantine peer
+            };
+            // Transport-level sender authentication: the envelope's claimed
+            // sender must match the connection identity.
+            if env.sender != sender {
+                continue;
+            }
+            match env.round.number().cmp(&r) {
+                std::cmp::Ordering::Less => {} // stale round: closed, drop
+                std::cmp::Ordering::Equal => {
+                    heard.put(sender, env.msg);
+                }
+                std::cmp::Ordering::Greater => {
+                    future
+                        .entry(env.round.number())
+                        .or_default()
+                        .push((sender, env.msg));
+                }
+            }
+        }
+
+        // --- transition step ---
+        process.receive(round, &heard);
+
+        match (&mut decided_rounds_left, process.output()) {
+            (None, Some(_)) => decided_rounds_left = Some(cfg.linger_rounds),
+            (Some(0), _) => return process.output(),
+            (Some(left), _) => *left -= 1,
+            (None, None) => {}
+        }
+    }
+    process.output()
+}
+
+fn broadcast<T: Transport>(transport: &mut T, n: usize, frame: &Bytes) {
+    let me = transport.local();
+    for d in 0..n {
+        let dest = ProcessId::new(d);
+        if dest != me {
+            transport.send(dest, frame.clone());
+        }
+    }
+}
+
+fn decode_envelope<M: Wire>(frame: &Bytes) -> Option<Envelope<M>> {
+    let mut buf = frame.clone();
+    Envelope::decode(&mut buf).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use gencon_algos::pbft;
+    use gencon_core::Decision;
+
+    #[test]
+    fn pbft_cluster_over_channels_decides() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let fleet = spec.spawn(&[10, 20, 30, 40]).unwrap();
+        let mesh = ChannelTransport::mesh(4);
+        let cfg = NodeConfig {
+            round_timeout: Duration::from_millis(300),
+            max_rounds: 30,
+            linger_rounds: 2,
+        };
+        let handles: Vec<_> = fleet
+            .into_iter()
+            .zip(mesh)
+            .map(|(proc_, tr)| std::thread::spawn(move || run_node(proc_, tr, cfg)))
+            .collect();
+        let decisions: Vec<Option<Decision<u64>>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = decisions[0].as_ref().expect("node 0 decides").value;
+        for d in &decisions {
+            assert_eq!(d.as_ref().expect("all decide").value, first);
+        }
+        assert_eq!(first, 10, "deterministic min choice");
+    }
+
+    #[test]
+    fn cluster_decides_after_real_time_bad_period() {
+        // Every node drops 60% of its first 60 sends (a real-time bad
+        // period), then the network stabilizes: the first whole good phase
+        // decides.
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let fleet = spec.spawn(&[3, 1, 4, 1]).unwrap();
+        let mesh = ChannelTransport::mesh(4);
+        let cfg = NodeConfig {
+            round_timeout: Duration::from_millis(80),
+            max_rounds: 60,
+            linger_rounds: 3,
+        };
+        let handles: Vec<_> = fleet
+            .into_iter()
+            .zip(mesh)
+            .enumerate()
+            .map(|(i, (proc_, tr))| {
+                let flaky = crate::transport::FlakyTransport::new(tr, 600, 60, 77 + i as u64);
+                std::thread::spawn(move || run_node(proc_, flaky, cfg))
+            })
+            .collect();
+        let decisions: Vec<Option<Decision<u64>>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = decisions
+            .iter()
+            .flatten()
+            .next()
+            .expect("at least one decision after stabilization")
+            .value;
+        for d in decisions.iter().flatten() {
+            assert_eq!(d.value, first, "agreement across the flaky cluster");
+        }
+    }
+
+    #[test]
+    fn cluster_survives_one_silent_node() {
+        // Node 3 never runs: the other 3 (= n − b) must still decide.
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let mut fleet = spec.spawn(&[7, 7, 7, 7]).unwrap();
+        let mut mesh = ChannelTransport::mesh(4);
+        let cfg = NodeConfig {
+            round_timeout: Duration::from_millis(100),
+            max_rounds: 30,
+            linger_rounds: 2,
+        };
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let proc_ = fleet.remove(0);
+            let tr = mesh.remove(0);
+            handles.push(std::thread::spawn(move || run_node(proc_, tr, cfg)));
+        }
+        for h in handles {
+            let d = h.join().unwrap().expect("decides without node 3");
+            assert_eq!(d.value, 7);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Point-to-point transports: in-process channels and localhost TCP.
+//!
+//! A [`Transport`] moves opaque frames between processes and *authenticates
+//! the sender* at the transport layer — the in-process transport by
+//! construction, the TCP transport by pinning each connection to the peer
+//! id announced in its hello frame. This discharges the "honest processes
+//! cannot be impersonated" assumption of §2.1 for deployments without
+//! authenticators; Byzantine-resilient deployments additionally sign
+//! payloads with `gencon-crypto` authenticators via the `Pcons` stack.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use gencon_types::ProcessId;
+
+/// A frame-oriented, sender-authenticated transport.
+pub trait Transport: Send {
+    /// This endpoint's process id.
+    fn local(&self) -> ProcessId;
+
+    /// Number of processes in the mesh (including this one).
+    fn peers(&self) -> usize;
+
+    /// Sends a frame to `to` (best-effort; lost frames model bad periods).
+    fn send(&mut self, to: ProcessId, frame: Bytes);
+
+    /// Receives the next frame within `timeout`, with its authenticated
+    /// sender. `None` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)>;
+}
+
+/// An in-process transport: one crossbeam channel per process.
+///
+/// ```
+/// use gencon_net::{ChannelTransport, Transport};
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let mut mesh = ChannelTransport::mesh(3);
+/// let mut a = mesh.remove(0);
+/// let mut b = mesh.remove(0);
+/// a.send(b.local(), Bytes::from_static(b"hi"));
+/// let (from, frame) = b.recv_timeout(Duration::from_millis(100)).unwrap();
+/// assert_eq!(from, a.local());
+/// assert_eq!(&frame[..], b"hi");
+/// ```
+pub struct ChannelTransport {
+    id: ProcessId,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    peers: Vec<Sender<(ProcessId, Bytes)>>,
+}
+
+impl ChannelTransport {
+    /// Builds a fully connected mesh of `n` endpoints.
+    #[must_use]
+    pub fn mesh(n: usize) -> Vec<ChannelTransport> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| ChannelTransport {
+                id: ProcessId::new(i),
+                inbox,
+                peers: senders.clone(),
+            })
+            .collect()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn local(&self) -> ProcessId {
+        self.id
+    }
+
+    fn peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: Bytes) {
+        if let Some(peer) = self.peers.get(to.index()) {
+            // A dropped receiver models a crashed process; ignore.
+            let _ = peer.send((self.id, frame));
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+/// A localhost/LAN TCP transport.
+///
+/// Each endpoint listens on its own address and dials every peer; every
+/// connection starts with a 4-byte hello carrying the dialer's id, and all
+/// subsequent frames are length-prefixed. Frames received on a connection
+/// are attributed to the hello id **pinned at accept time** — a peer cannot
+/// claim another's identity later.
+pub struct TcpTransport {
+    id: ProcessId,
+    inbox: Receiver<(ProcessId, Bytes)>,
+    outgoing: Vec<Option<Arc<Mutex<TcpStream>>>>,
+}
+
+impl TcpTransport {
+    /// Connects a full mesh: `addrs[i]` is the listen address of process
+    /// `i`; this endpoint is `id` and must be able to bind `addrs[id]`.
+    ///
+    /// Dials peers with bounded retries (peers may start later).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener or dialing peers past the retry
+    /// budget.
+    pub fn connect_mesh(id: ProcessId, addrs: &[SocketAddr]) -> std::io::Result<TcpTransport> {
+        let n = addrs.len();
+        let listener = TcpListener::bind(addrs[id.index()])?;
+        let (tx, rx) = channel::unbounded();
+
+        // Acceptor: every inbound connection is a peer's sending side.
+        let expected_inbound = n - 1;
+        let acceptor_tx = tx.clone();
+        std::thread::spawn(move || {
+            for _ in 0..expected_inbound {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                let tx = acceptor_tx.clone();
+                std::thread::spawn(move || reader_loop(stream, tx));
+            }
+        });
+
+        // Dial every peer; our outbound side carries our frames to them.
+        let mut outgoing: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
+        for (peer, addr) in addrs.iter().enumerate() {
+            if peer == id.index() {
+                continue;
+            }
+            let stream = dial_with_retry(*addr, 50, Duration::from_millis(100))?;
+            let mut hello = stream;
+            hello.write_all(&(id.index() as u32).to_le_bytes())?;
+            hello.set_nodelay(true).ok();
+            outgoing[peer] = Some(Arc::new(Mutex::new(hello)));
+        }
+
+        Ok(TcpTransport {
+            id,
+            inbox: rx,
+            outgoing,
+        })
+    }
+}
+
+fn dial_with_retry(
+    addr: SocketAddr,
+    attempts: u32,
+    backoff: Duration,
+) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("dial failed")))
+}
+
+/// Reads the hello id, then length-prefixed frames, forwarding them tagged
+/// with the pinned id.
+fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, Bytes)>) {
+    let mut id_buf = [0u8; 4];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let claimed = u32::from_le_bytes(id_buf) as usize;
+    if claimed >= gencon_types::MAX_PROCESSES {
+        return;
+    }
+    let sender_id = ProcessId::new(claimed);
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > crate::wire::MAX_BYTES {
+            return; // protocol violation: drop the connection
+        }
+        let mut frame = vec![0u8; len];
+        if stream.read_exact(&mut frame).is_err() {
+            return;
+        }
+        if tx.send((sender_id, Bytes::from(frame))).is_err() {
+            return;
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local(&self) -> ProcessId {
+        self.id
+    }
+
+    fn peers(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: Bytes) {
+        if to == self.id {
+            return; // self-delivery handled by the runtime
+        }
+        let Some(Some(peer)) = self.outgoing.get(to.index()) else {
+            return;
+        };
+        let mut stream = peer.lock();
+        let len = (frame.len() as u32).to_le_bytes();
+        // Best-effort: a broken pipe models a crashed/partitioned peer.
+        let _ = stream.write_all(&len).and_then(|()| stream.write_all(&frame));
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+/// A chaos wrapper: drops outgoing frames with probability `loss` until
+/// `good_after` sends have happened — real-runtime bad periods for tests
+/// and experiments (the wall-clock analogue of the simulator's [GST]).
+///
+/// [GST]: https://dl.acm.org/doi/10.1145/42282.42283
+pub struct FlakyTransport<T> {
+    inner: T,
+    loss_permille: u32,
+    good_after: u64,
+    sends: u64,
+    state: u64,
+}
+
+impl<T: Transport> FlakyTransport<T> {
+    /// Wraps `inner`: each send before the `good_after`-th is dropped with
+    /// probability `loss_permille`/1000 (deterministic per `seed`).
+    #[must_use]
+    pub fn new(inner: T, loss_permille: u32, good_after: u64, seed: u64) -> Self {
+        FlakyTransport {
+            inner,
+            loss_permille: loss_permille.min(1000),
+            good_after,
+            sends: 0,
+            state: seed | 1,
+        }
+    }
+
+    /// xorshift64* — deterministic, dependency-free.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl<T: Transport> Transport for FlakyTransport<T> {
+    fn local(&self) -> ProcessId {
+        self.inner.local()
+    }
+
+    fn peers(&self) -> usize {
+        self.inner.peers()
+    }
+
+    fn send(&mut self, to: ProcessId, frame: Bytes) {
+        self.sends += 1;
+        if self.sends <= self.good_after {
+            let roll = self.next_rand() % 1000;
+            if roll < u64::from(self.loss_permille) {
+                return; // dropped: a bad-period loss
+            }
+        }
+        self.inner.send(to, frame);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_mesh_routes_frames() {
+        let mut mesh = ChannelTransport::mesh(3);
+        let id2 = mesh[2].local();
+        mesh[0].send(id2, Bytes::from_static(b"x"));
+        mesh[1].send(id2, Bytes::from_static(b"y"));
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (from, frame) = mesh[2]
+                .recv_timeout(Duration::from_millis(200))
+                .expect("frame arrives");
+            got.push((from.index(), frame));
+        }
+        got.sort();
+        assert_eq!(got[0], (0, Bytes::from_static(b"x")));
+        assert_eq!(got[1], (1, Bytes::from_static(b"y")));
+    }
+
+    #[test]
+    fn channel_recv_times_out() {
+        let mut mesh = ChannelTransport::mesh(2);
+        assert!(mesh[0].recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn channel_send_to_unknown_is_ignored() {
+        let mut mesh = ChannelTransport::mesh(2);
+        mesh[0].send(ProcessId::new(9), Bytes::from_static(b"z"));
+    }
+
+    #[test]
+    fn flaky_transport_drops_then_stabilizes() {
+        let mesh = ChannelTransport::mesh(2);
+        let mut it = mesh.into_iter();
+        let a = it.next().unwrap();
+        let mut b = it.next().unwrap();
+        // 100% loss for the first 5 sends.
+        let mut flaky = FlakyTransport::new(a, 1000, 5, 42);
+        assert_eq!(flaky.local(), ProcessId::new(0));
+        assert_eq!(flaky.peers(), 2);
+        for _ in 0..5 {
+            flaky.send(ProcessId::new(1), Bytes::from_static(b"lost"));
+        }
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_none());
+        flaky.send(ProcessId::new(1), Bytes::from_static(b"ok"));
+        let (_, frame) = b.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!(&frame[..], b"ok");
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrip() {
+        // Bind three ephemeral listeners to discover free ports, then
+        // release and reuse them for the mesh.
+        let probes: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<SocketAddr> = probes.iter().map(|l| l.local_addr().unwrap()).collect();
+        drop(probes);
+
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let addrs = addrs.clone();
+                std::thread::spawn(move || {
+                    TcpTransport::connect_mesh(ProcessId::new(i), &addrs).expect("mesh connects")
+                })
+            })
+            .collect();
+        let mut nodes: Vec<TcpTransport> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        nodes[0].send(ProcessId::new(1), Bytes::from_static(b"ping"));
+        let (from, frame) = nodes[1]
+            .recv_timeout(Duration::from_secs(5))
+            .expect("tcp frame arrives");
+        assert_eq!(from, ProcessId::new(0));
+        assert_eq!(&frame[..], b"ping");
+
+        nodes[1].send(ProcessId::new(0), Bytes::from_static(b"pong"));
+        let (from2, frame2) = nodes[0]
+            .recv_timeout(Duration::from_secs(5))
+            .expect("reply arrives");
+        assert_eq!(from2, ProcessId::new(1));
+        assert_eq!(&frame2[..], b"pong");
+    }
+}

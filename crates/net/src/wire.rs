@@ -1,0 +1,535 @@
+//! Hand-rolled binary wire format for consensus messages.
+//!
+//! Length-prefixed, little-endian, no self-description — the format is
+//! fixed by the protocol version on both ends, as in most replicated-state
+//! machines. Every decoder validates lengths against hard caps so a
+//! Byzantine peer cannot force large allocations.
+//!
+//! The encoded size of each message is also what experiment E6
+//! (message/state complexity per class) measures: class-1 messages carry
+//! just a vote, class-2 vote+timestamp, class-3 additionally the history.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use gencon_core::{ConsensusMsg, DecisionMsg, History, SelectionMsg, ValidationMsg};
+use gencon_types::{Phase, ProcessId, ProcessSet, Round, Value};
+
+/// Upper bound on decoded collections (history entries, relay entries).
+pub const MAX_COLLECTION: usize = 4096;
+/// Upper bound on decoded byte strings.
+pub const MAX_BYTES: usize = 1 << 20;
+
+/// Error decoding a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte was invalid.
+    BadTag(u8),
+    /// A length field exceeded its cap.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of frame"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            WireError::TooLong(l) => write!(f, "length {l} exceeds the decoder cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A value with a binary wire representation.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input, bad tags or oversized
+    /// lengths.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// The exact encoded length in bytes.
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(())
+}
+
+impl Wire for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        Ok(buf.get_u8())
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 4)?;
+        Ok(buf.get_u32_le())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 8)?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_BYTES {
+            return Err(WireError::TooLong(len));
+        }
+        need(buf, len)?;
+        let bytes = buf.split_to(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadTag(0xff))
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_BYTES {
+            return Err(WireError::TooLong(len));
+        }
+        need(buf, len)?;
+        Ok(buf.split_to(len).to_vec())
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for ProcessId {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.index() as u32).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let i = u32::decode(buf)? as usize;
+        if i >= gencon_types::MAX_PROCESSES {
+            return Err(WireError::TooLong(i));
+        }
+        Ok(ProcessId::new(i))
+    }
+}
+
+impl Wire for Phase {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.number().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Phase::new(u64::decode(buf)?))
+    }
+}
+
+impl Wire for Round {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.number().encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let n = u64::decode(buf)?;
+        if n == 0 {
+            return Err(WireError::BadTag(0));
+        }
+        Ok(Round::new(n))
+    }
+}
+
+impl Wire for ProcessSet {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for p in self.iter() {
+            p.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if len > gencon_types::MAX_PROCESSES {
+            return Err(WireError::TooLong(len));
+        }
+        let mut set = ProcessSet::new();
+        for _ in 0..len {
+            set.insert(ProcessId::decode(buf)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<V: Value + Wire> Wire for History<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for (v, phase) in self.iter() {
+            v.encode(buf);
+            phase.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if len > MAX_COLLECTION {
+            return Err(WireError::TooLong(len));
+        }
+        let mut h = History::new();
+        for _ in 0..len {
+            let v = V::decode(buf)?;
+            let phase = Phase::decode(buf)?;
+            h.record(v, phase);
+        }
+        Ok(h)
+    }
+}
+
+impl<V: Value + Wire> Wire for SelectionMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vote.encode(buf);
+        self.ts.encode(buf);
+        self.history.encode(buf);
+        self.selector.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(SelectionMsg {
+            vote: V::decode(buf)?,
+            ts: Phase::decode(buf)?,
+            history: History::decode(buf)?,
+            selector: ProcessSet::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Value + Wire> Wire for ValidationMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.select.encode(buf);
+        self.validators.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ValidationMsg {
+            select: Option::<V>::decode(buf)?,
+            validators: ProcessSet::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Value + Wire> Wire for DecisionMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vote.encode(buf);
+        self.ts.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(DecisionMsg {
+            vote: V::decode(buf)?,
+            ts: Phase::decode(buf)?,
+        })
+    }
+}
+
+impl<V: Value + Wire> Wire for ConsensusMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ConsensusMsg::Selection(phase, m) => {
+                buf.put_u8(1);
+                phase.encode(buf);
+                m.encode(buf);
+            }
+            ConsensusMsg::Validation(phase, m) => {
+                buf.put_u8(2);
+                phase.encode(buf);
+                m.encode(buf);
+            }
+            ConsensusMsg::Decision(phase, m) => {
+                buf.put_u8(3);
+                phase.encode(buf);
+                m.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            1 => Ok(ConsensusMsg::Selection(
+                Phase::decode(buf)?,
+                SelectionMsg::decode(buf)?,
+            )),
+            2 => Ok(ConsensusMsg::Validation(
+                Phase::decode(buf)?,
+                ValidationMsg::decode(buf)?,
+            )),
+            3 => Ok(ConsensusMsg::Decision(
+                Phase::decode(buf)?,
+                DecisionMsg::decode(buf)?,
+            )),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// A routed frame: who sent it and for which round.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Envelope<M> {
+    /// Claimed sender (the transport layer authenticates it; see
+    /// [`crate::runtime`]).
+    pub sender: ProcessId,
+    /// The closed round this message belongs to.
+    pub round: Round,
+    /// Protocol payload.
+    pub msg: M,
+}
+
+impl<M: Wire> Wire for Envelope<M> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.sender.encode(buf);
+        self.round.encode(buf);
+        self.msg.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Envelope {
+            sender: ProcessId::decode(buf)?,
+            round: Round::decode(buf)?,
+            msg: M::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len());
+        let mut buf = bytes.clone();
+        let back = T::decode(&mut buf).expect("decodes");
+        assert_eq!(back, v);
+        assert_eq!(buf.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("hello world"));
+        roundtrip(String::new());
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(Some(42u64));
+        roundtrip(Option::<u64>::None);
+    }
+
+    #[test]
+    fn id_and_round_roundtrips() {
+        roundtrip(ProcessId::new(0));
+        roundtrip(ProcessId::new(255));
+        roundtrip(Phase::ZERO);
+        roundtrip(Phase::new(u64::MAX));
+        roundtrip(Round::new(1));
+        let set: ProcessSet = [0usize, 3, 77].iter().map(|&i| ProcessId::new(i)).collect();
+        roundtrip(set);
+        roundtrip(ProcessSet::new());
+    }
+
+    #[test]
+    fn message_roundtrips() {
+        let mut h = History::initial(9u64);
+        h.record(5, Phase::new(2));
+        roundtrip(SelectionMsg {
+            vote: 5u64,
+            ts: Phase::new(2),
+            history: h,
+            selector: ProcessSet::range(0, 4),
+        });
+        roundtrip(ValidationMsg {
+            select: Some(5u64),
+            validators: ProcessSet::range(0, 4),
+        });
+        roundtrip(ValidationMsg::<u64> {
+            select: None,
+            validators: ProcessSet::new(),
+        });
+        roundtrip(DecisionMsg {
+            vote: 5u64,
+            ts: Phase::ZERO,
+        });
+    }
+
+    #[test]
+    fn consensus_msg_roundtrips() {
+        roundtrip(ConsensusMsg::Selection(
+            Phase::new(3),
+            SelectionMsg {
+                vote: 1u64,
+                ts: Phase::new(1),
+                history: History::initial(1),
+                selector: ProcessSet::new(),
+            },
+        ));
+        roundtrip(ConsensusMsg::<u64>::Validation(
+            Phase::new(3),
+            ValidationMsg {
+                select: Some(1),
+                validators: ProcessSet::range(0, 3),
+            },
+        ));
+        roundtrip(ConsensusMsg::<u64>::Decision(
+            Phase::new(3),
+            DecisionMsg {
+                vote: 1,
+                ts: Phase::new(3),
+            },
+        ));
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        roundtrip(Envelope {
+            sender: ProcessId::new(2),
+            round: Round::new(9),
+            msg: ConsensusMsg::<u64>::Decision(
+                Phase::new(3),
+                DecisionMsg {
+                    vote: 7,
+                    ts: Phase::new(3),
+                },
+            ),
+        });
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let full = 0xdead_beefu32.to_bytes();
+        let mut short = full.slice(0..3);
+        assert_eq!(u32::decode(&mut short), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut buf = Bytes::from_static(&[7]);
+        assert_eq!(bool::decode(&mut buf), Err(WireError::BadTag(7)));
+        let mut buf2 = Bytes::from_static(&[9, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            ConsensusMsg::<u64>::decode(&mut buf2),
+            Err(WireError::BadTag(9))
+        );
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected() {
+        // String claiming 2 MB
+        let mut buf = BytesMut::new();
+        ((MAX_BYTES + 1) as u32).encode(&mut buf);
+        let mut b = buf.freeze();
+        assert!(matches!(String::decode(&mut b), Err(WireError::TooLong(_))));
+        // History claiming 1M entries
+        let mut buf2 = BytesMut::new();
+        ((MAX_COLLECTION + 1) as u32).encode(&mut buf2);
+        let mut b2 = buf2.freeze();
+        assert!(matches!(
+            History::<u64>::decode(&mut b2),
+            Err(WireError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn round_zero_is_invalid() {
+        let mut buf = BytesMut::new();
+        0u64.encode(&mut buf);
+        let mut b = buf.freeze();
+        assert_eq!(Round::decode(&mut b), Err(WireError::BadTag(0)));
+    }
+
+    #[test]
+    fn class_profiles_have_increasing_sizes() {
+        // The E6 claim in miniature: vote-only < vote+ts < full messages.
+        let vote_only = SelectionMsg {
+            vote: 1u64,
+            ts: Phase::ZERO,
+            history: History::new(),
+            selector: ProcessSet::new(),
+        };
+        let mut h = History::initial(1u64);
+        h.record(1, Phase::new(1));
+        h.record(1, Phase::new(2));
+        let full = SelectionMsg {
+            vote: 1u64,
+            ts: Phase::new(2),
+            history: h,
+            selector: ProcessSet::new(),
+        };
+        assert!(full.encoded_len() > vote_only.encoded_len());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::UnexpectedEof.to_string().contains("end of frame"));
+        assert!(WireError::BadTag(3).to_string().contains('3'));
+        assert!(WireError::TooLong(9).to_string().contains('9'));
+    }
+}

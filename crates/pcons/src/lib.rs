@@ -1,0 +1,300 @@
+//! Implementations of the `Pcons` communication predicate out of `Pgood`
+//! (§2.2 of the paper).
+//!
+//! `Pcons` strengthens `Pgood` by requiring all correct processes to
+//! receive the *same set* of messages in a round — the property that makes
+//! every correct selector run FLV on identical input and hence select the
+//! same value. The paper cites two implementations:
+//!
+//! * **coordinator-based with authentication** (\[17]): everyone sends its
+//!   signed message to a coordinator, which relays the collection — 2
+//!   rounds; a Byzantine coordinator can *withhold* messages (delaying
+//!   termination until an honest coordinator rotates in) but cannot alter
+//!   them (authenticators);
+//! * **coordinator-free, signature-free** (\[2]-style echo broadcast): init,
+//!   echo, vote — 3 rounds, `n > 3b`. Honest senders' entries are accepted
+//!   identically by all honest receivers (quorum intersection); for a
+//!   Byzantine sender's entry, no two honest receivers accept *different*
+//!   values, though an equivocator can still split "accepted v" vs "⊥" in
+//!   the last micro-round. That never endangers safety (consensus safety
+//!   does not rely on `Pcons`); see DESIGN.md substitution note 3.
+//!
+//! [`PconsStack`] composes either implementation under any
+//! [`gencon_rounds::RoundProcess`], turning each `Pcons`-requiring round
+//! into 2 or 3 `Pgood` micro-rounds. This is the substrate that lets the
+//! generic consensus engine run over plain unreliable rounds, exactly as
+//! the paper layers it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod stack;
+
+pub use stack::{PconsMode, PconsStack, StackMsg};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_crypto::KeyStore;
+    use gencon_rounds::{HeardOf, Outgoing, Predicate, RoundProcess};
+    use gencon_types::{ProcessId, ProcessSet, Round};
+
+    /// A test protocol: round 1 needs Pcons and broadcasts the process's
+    /// value; the transition records the received vector as output once
+    /// every expected sender is present.
+    #[derive(Clone)]
+    struct OneShot {
+        id: ProcessId,
+        n: usize,
+        value: u64,
+        result: Option<Vec<Option<u64>>>,
+    }
+
+    impl OneShot {
+        fn new(i: usize, n: usize) -> Self {
+            OneShot {
+                id: ProcessId::new(i),
+                n,
+                value: 100 + i as u64,
+                result: None,
+            }
+        }
+    }
+
+    impl RoundProcess for OneShot {
+        type Msg = u64;
+        type Output = Vec<Option<u64>>;
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+
+        fn requirement(&self, r: Round) -> Predicate {
+            if r == Round::FIRST {
+                Predicate::Cons
+            } else {
+                Predicate::Good
+            }
+        }
+
+        fn send(&mut self, r: Round) -> Outgoing<u64> {
+            if r == Round::FIRST {
+                Outgoing::Broadcast(self.value)
+            } else {
+                Outgoing::Silent
+            }
+        }
+
+        fn receive(&mut self, r: Round, heard: &HeardOf<u64>) {
+            if r == Round::FIRST && self.result.is_none() {
+                self.result =
+                    Some((0..self.n).map(|i| heard.from(ProcessId::new(i)).copied()).collect());
+            }
+        }
+
+        fn output(&self) -> Option<Vec<Option<u64>>> {
+            self.result.clone()
+        }
+    }
+
+    /// Runs `k` stacks lock-step with full delivery; returns them after
+    /// `rounds` outer rounds.
+    fn run_full<P>(stacks: &mut [PconsStack<P>], rounds: u64)
+    where
+        P: RoundProcess,
+        P::Msg: std::hash::Hash + PartialEq,
+    {
+        let n = stacks.len();
+        for r in 1..=rounds {
+            let round = Round::new(r);
+            let outs: Vec<_> = stacks.iter_mut().map(|s| s.send(round)).collect();
+            let mut heards: Vec<HeardOf<StackMsg<P::Msg>>> =
+                (0..n).map(|_| HeardOf::empty(n)).collect();
+            for (from, out) in outs.iter().enumerate() {
+                for to in 0..n {
+                    if let Some(m) = out.message_for(ProcessId::new(to)) {
+                        heards[to].put(ProcessId::new(from), m);
+                    }
+                }
+            }
+            for (i, s) in stacks.iter_mut().enumerate() {
+                s.receive(round, &heards[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn auth_mode_produces_identical_vectors() {
+        let n = 4;
+        let stores = KeyStore::dealer(n, 7);
+        let mut stacks: Vec<_> = (0..n)
+            .map(|i| {
+                PconsStack::coordinated_auth(OneShot::new(i, n), stores[i].clone(), 1)
+            })
+            .collect();
+        run_full(&mut stacks, 2); // 2 micro-rounds
+        let first = stacks[0].output().expect("decided after 2 micro-rounds");
+        assert_eq!(first, vec![Some(100), Some(101), Some(102), Some(103)]);
+        for s in &stacks {
+            assert_eq!(s.output().unwrap(), first, "Pcons: identical vectors");
+        }
+    }
+
+    #[test]
+    fn echo_mode_produces_identical_vectors() {
+        let n = 4;
+        let mut stacks: Vec<_> = (0..n)
+            .map(|i| PconsStack::echo_broadcast(OneShot::new(i, n), n, 1))
+            .collect();
+        run_full(&mut stacks, 3); // 3 micro-rounds
+        let first = stacks[0].output().expect("decided after 3 micro-rounds");
+        assert_eq!(first, vec![Some(100), Some(101), Some(102), Some(103)]);
+        for s in &stacks {
+            assert_eq!(s.output().unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn micro_round_counts_match_the_paper() {
+        assert_eq!(PconsMode::CoordinatedAuth.micro_rounds(), 2);
+        assert_eq!(PconsMode::EchoBroadcast.micro_rounds(), 3);
+    }
+
+    #[test]
+    fn requirement_is_downgraded_to_good() {
+        let stores = KeyStore::dealer(3, 7);
+        let stack = PconsStack::coordinated_auth(OneShot::new(0, 3), stores[0].clone(), 0);
+        // Inner round 1 requires Cons; the stack only ever asks for Good.
+        assert_eq!(stack.requirement(Round::FIRST), Predicate::Good);
+    }
+
+    #[test]
+    fn passthrough_preserves_good_rounds() {
+        // After the expansion (2 outer rounds), inner round 2 passes through.
+        let n = 3;
+        let stores = KeyStore::dealer(n, 7);
+        let mut stacks: Vec<_> = (0..n)
+            .map(|i| PconsStack::coordinated_auth(OneShot::new(i, n), stores[i].clone(), 0))
+            .collect();
+        run_full(&mut stacks, 3);
+        assert_eq!(stacks[0].inner_round(), Round::new(3));
+        assert!(stacks[0].output().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "keystore must belong")]
+    fn auth_mode_checks_keystore_owner() {
+        let stores = KeyStore::dealer(3, 7);
+        let _ = PconsStack::coordinated_auth(OneShot::new(0, 3), stores[1].clone(), 0);
+    }
+
+    #[test]
+    fn byzantine_coordinator_cannot_alter_payloads() {
+        // Manually drive one receiver through micro-round 2 with a relay
+        // whose payload was tampered with: the signature check drops it.
+        let n = 3;
+        let stores = KeyStore::dealer(n, 7);
+        let mut victim =
+            PconsStack::coordinated_auth(OneShot::new(0, n), stores[0].clone(), 0);
+
+        // Outer round 1: victim sends AuthInit to coordinator p0 (itself).
+        let out = victim.send(Round::new(1));
+        let mut heard1 = HeardOf::empty(n);
+        // give the victim its own init plus one honest init from p1
+        if let Some(m) = out.message_for(ProcessId::new(0)) {
+            heard1.put(ProcessId::new(0), m);
+        }
+        let honest1 = stores[1].authenticate(&gencon_crypto::digest_of(&101u64));
+        heard1.put(ProcessId::new(1), StackMsg::AuthInit(101, honest1.clone()));
+        victim.receive(Round::new(1), &heard1);
+
+        // Outer round 2: feed a relay where p1's payload was altered to 999
+        // (keeping p1's original authenticator) and p2's entry is forged
+        // outright. Both must be rejected; p0's own survives.
+        let own_auth = stores[0].authenticate(&gencon_crypto::digest_of(&100u64));
+        let forged2 = stores[2].authenticate(&gencon_crypto::digest_of(&42u64));
+        let relay = StackMsg::Relay(vec![
+            (ProcessId::new(0), 100u64, own_auth),
+            (ProcessId::new(1), 999, honest1),   // altered payload
+            (ProcessId::new(2), 43, forged2),    // auth for different value
+        ]);
+        let mut heard2 = HeardOf::empty(n);
+        heard2.put(victim.coordinator(), relay);
+        victim.receive(Round::new(2), &heard2);
+
+        let vec = victim.output().expect("inner round completed");
+        assert_eq!(vec, vec![Some(100), None, None], "tampered entries dropped");
+    }
+
+    #[test]
+    fn echo_mode_tolerates_one_silent_process() {
+        let n = 4;
+        let mut stacks: Vec<_> = (0..n)
+            .map(|i| PconsStack::echo_broadcast(OneShot::new(i, n), n, 1))
+            .collect();
+        // Run manually, silencing p3 entirely (Byzantine-silent).
+        for r in 1..=3u64 {
+            let round = Round::new(r);
+            let outs: Vec<_> = stacks.iter_mut().map(|s| s.send(round)).collect();
+            let mut heards: Vec<HeardOf<StackMsg<u64>>> =
+                (0..n).map(|_| HeardOf::empty(n)).collect();
+            for (from, out) in outs.iter().enumerate() {
+                if from == 3 {
+                    continue; // p3 silent
+                }
+                for to in 0..n {
+                    if let Some(m) = out.message_for(ProcessId::new(to)) {
+                        heards[to].put(ProcessId::new(from), m);
+                    }
+                }
+            }
+            for (i, s) in stacks.iter_mut().enumerate().take(3) {
+                s.receive(round, &heards[i]);
+            }
+        }
+        let first = stacks[0].output().expect("completes without p3");
+        assert_eq!(first, vec![Some(100), Some(101), Some(102), None]);
+        for s in stacks.iter().take(3) {
+            assert_eq!(s.output().unwrap(), first, "identical vectors despite silence");
+        }
+    }
+
+    #[test]
+    fn multicast_inner_round_is_broadcast_compatible() {
+        // A protocol whose Cons round multicasts to Π behaves like broadcast.
+        #[derive(Clone)]
+        struct MultiShot(OneShot);
+        impl RoundProcess for MultiShot {
+            type Msg = u64;
+            type Output = Vec<Option<u64>>;
+            fn id(&self) -> ProcessId {
+                self.0.id()
+            }
+            fn requirement(&self, r: Round) -> Predicate {
+                self.0.requirement(r)
+            }
+            fn send(&mut self, r: Round) -> Outgoing<u64> {
+                match self.0.send(r) {
+                    Outgoing::Broadcast(m) => Outgoing::Multicast {
+                        dests: ProcessSet::range(0, self.0.n),
+                        msg: m,
+                    },
+                    other => other,
+                }
+            }
+            fn receive(&mut self, r: Round, heard: &HeardOf<u64>) {
+                self.0.receive(r, heard);
+            }
+            fn output(&self) -> Option<Vec<Option<u64>>> {
+                self.0.output()
+            }
+        }
+
+        let n = 4;
+        let mut stacks: Vec<_> = (0..n)
+            .map(|i| PconsStack::echo_broadcast(MultiShot(OneShot::new(i, n)), n, 1))
+            .collect();
+        run_full(&mut stacks, 3);
+        assert!(stacks.iter().all(|s| s.output().is_some()));
+    }
+}

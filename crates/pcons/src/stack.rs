@@ -1,0 +1,442 @@
+//! The `Pcons` stack: expands rounds that need `Pcons` into micro-rounds
+//! that need only `Pgood`.
+
+// Index-driven loops mirror the paper's n x n delivery matrices; an
+// iterator rewrite would obscure the sender/receiver indices.
+#![allow(clippy::needless_range_loop)]
+
+use std::hash::Hash;
+
+use gencon_crypto::{digest_of, Authenticator, KeyStore};
+use gencon_rounds::{HeardOf, Outgoing, Predicate, RoundProcess};
+use gencon_types::{quorum, ProcessId, Round};
+
+/// Which `Pcons` implementation the stack runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PconsMode {
+    /// Coordinator-based with authenticators (\[17]): 2 micro-rounds.
+    /// Requires the authenticated Byzantine model (a [`KeyStore`]).
+    CoordinatedAuth,
+    /// Coordinator-free, signature-free echo broadcast (in the spirit of
+    /// \[2]): 3 micro-rounds, `n > 3b`.
+    EchoBroadcast,
+}
+
+impl PconsMode {
+    /// Micro-rounds one `Pcons` round expands into (§2.2: "two rounds …
+    /// three rounds").
+    #[must_use]
+    pub fn micro_rounds(self) -> usize {
+        match self {
+            PconsMode::CoordinatedAuth => 2,
+            PconsMode::EchoBroadcast => 3,
+        }
+    }
+}
+
+/// Wire messages of the stack.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StackMsg<M> {
+    /// Passthrough of an inner message (rounds that only need `Pgood`).
+    Direct(M),
+    /// Micro-round 1 (auth): the sender's inner message plus an
+    /// authenticator over its digest, addressed to the coordinator.
+    AuthInit(M, Authenticator),
+    /// Micro-round 2 (auth): the coordinator's relay of everything it
+    /// accepted.
+    Relay(Vec<(ProcessId, M, Authenticator)>),
+    /// Micro-round 1 (echo): the sender's inner message, broadcast.
+    Init(M),
+    /// Micro-round 2 (echo): everything the sender received in micro 1.
+    Echo(Vec<(ProcessId, M)>),
+    /// Micro-round 3 (echo): the sender's per-source candidates.
+    Vote(Vec<(ProcessId, M)>),
+}
+
+enum Stage<M> {
+    /// No inner round in flight; pull from the inner process next send.
+    Idle,
+    /// Current inner round needs no `Pcons`: forward as `Direct`.
+    Passthrough,
+    /// Expansion in progress.
+    Micro {
+        index: usize,
+        /// The inner payload this process contributes (None = silent).
+        my_msg: Option<M>,
+        /// Echo mode: micro-1 receptions.
+        inits: Vec<Option<M>>,
+        /// Echo mode: per-source candidate after micro 2.
+        candidates: Vec<Option<M>>,
+    },
+}
+
+/// Runs an inner [`RoundProcess`] whose selection rounds need `Pcons` over
+/// a network that only provides `Pgood`, by implementing `Pcons` with real
+/// protocol rounds (§2.2).
+///
+/// Every round the inner process marks [`Predicate::Cons`] is expanded into
+/// [`PconsMode::micro_rounds`] outer rounds; other rounds pass through
+/// unchanged. All honest stacks derive the same outer-round structure, so
+/// the composition is again a lock-step round protocol.
+///
+/// The stack assumes the inner protocol's `Pcons` rounds are broadcast-like
+/// (`Selector = Π`), which holds for every Byzantine algorithm in the
+/// paper (§4.2); benign algorithms (b = 0) implement `Pcons` without extra
+/// rounds by assuming crash-free good phases, so they don't need a stack.
+pub struct PconsStack<P: RoundProcess> {
+    inner: P,
+    mode: PconsMode,
+    keystore: Option<KeyStore>,
+    n: usize,
+    b: usize,
+    inner_round: Round,
+    /// Counts expansions so coordinator duty rotates deterministically.
+    expansions: u64,
+    stage: Stage<P::Msg>,
+    /// Auth mode, coordinator only: verified micro-1 submissions.
+    auth_store: Vec<Option<(ProcessId, P::Msg, Authenticator)>>,
+}
+
+impl<P> PconsStack<P>
+where
+    P: RoundProcess,
+    P::Msg: Hash + PartialEq,
+{
+    /// Wraps `inner` with the coordinator-based authenticated
+    /// implementation (\[17]). `keystore` must belong to the same process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keystore owner differs from the inner process id.
+    #[must_use]
+    pub fn coordinated_auth(inner: P, keystore: KeyStore, b: usize) -> Self {
+        assert_eq!(
+            keystore.owner(),
+            inner.id(),
+            "keystore must belong to the wrapped process"
+        );
+        let n = keystore.n();
+        PconsStack {
+            inner,
+            mode: PconsMode::CoordinatedAuth,
+            keystore: Some(keystore),
+            n,
+            b,
+            inner_round: Round::FIRST,
+            expansions: 0,
+            stage: Stage::Idle,
+            auth_store: Vec::new(),
+        }
+    }
+
+    /// Wraps `inner` with the signature-free echo implementation
+    /// (3 micro-rounds, needs `n > 3b`).
+    #[must_use]
+    pub fn echo_broadcast(inner: P, n: usize, b: usize) -> Self {
+        PconsStack {
+            inner,
+            mode: PconsMode::EchoBroadcast,
+            keystore: None,
+            n,
+            b,
+            inner_round: Round::FIRST,
+            expansions: 0,
+            stage: Stage::Idle,
+            auth_store: Vec::new(),
+        }
+    }
+
+    /// The wrapped process.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The mode this stack runs.
+    #[must_use]
+    pub fn mode(&self) -> PconsMode {
+        self.mode
+    }
+
+    /// The inner round currently being played.
+    #[must_use]
+    pub fn inner_round(&self) -> Round {
+        self.inner_round
+    }
+
+    /// The coordinator of the current expansion (auth mode): rotates with
+    /// every expansion so that a Byzantine coordinator only stalls a
+    /// bounded number of phases.
+    #[must_use]
+    pub fn coordinator(&self) -> ProcessId {
+        ProcessId::new(((self.expansions.max(1) - 1) as usize) % self.n)
+    }
+
+    /// Extracts the broadcast payload of an inner `Outgoing` (the stack
+    /// handles broadcast-like `Pcons` rounds; see type docs).
+    fn broadcast_payload(out: &Outgoing<P::Msg>) -> Option<P::Msg> {
+        match out {
+            Outgoing::Silent => None,
+            Outgoing::Broadcast(m) => Some(m.clone()),
+            Outgoing::Multicast { msg, .. } => Some(msg.clone()),
+            Outgoing::PerDest(pairs) => pairs.first().map(|(_, m)| m.clone()),
+        }
+    }
+
+    /// Feeds the inner process its reconstructed heard-of vector and
+    /// advances to the next inner round.
+    fn finish_inner_round(&mut self, heard: HeardOf<P::Msg>) {
+        self.inner.receive(self.inner_round, &heard);
+        self.inner_round = self.inner_round.next();
+        self.stage = Stage::Idle;
+    }
+}
+
+impl<P> RoundProcess for PconsStack<P>
+where
+    P: RoundProcess,
+    P::Msg: Hash + PartialEq,
+{
+    type Msg = StackMsg<P::Msg>;
+    type Output = P::Output;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn requirement(&self, _outer: Round) -> Predicate {
+        // Micro-rounds and passthrough rounds both need (at most) Pgood:
+        // that is the whole point of the stack. Randomized inner protocols
+        // would need Rel, but they never require Cons, so they would not be
+        // wrapped in the first place.
+        match &self.stage {
+            Stage::Micro { .. } => Predicate::Good,
+            _ => match self.inner.requirement(self.inner_round) {
+                Predicate::Cons => Predicate::Good,
+                other => other,
+            },
+        }
+    }
+
+    fn send(&mut self, _outer: Round) -> Outgoing<Self::Msg> {
+        if matches!(self.stage, Stage::Idle) {
+            // Start the next inner round: fix the inner message now.
+            let out = self.inner.send(self.inner_round);
+            if self.inner.requirement(self.inner_round) == Predicate::Cons {
+                self.expansions += 1;
+                self.stage = Stage::Micro {
+                    index: 0,
+                    my_msg: Self::broadcast_payload(&out),
+                    inits: (0..self.n).map(|_| None).collect(),
+                    candidates: (0..self.n).map(|_| None).collect(),
+                };
+            } else {
+                self.stage = Stage::Passthrough;
+                // Map the inner outgoing through Direct.
+                return match out {
+                    Outgoing::Silent => Outgoing::Silent,
+                    Outgoing::Broadcast(m) => Outgoing::Broadcast(StackMsg::Direct(m)),
+                    Outgoing::Multicast { dests, msg } => Outgoing::Multicast {
+                        dests,
+                        msg: StackMsg::Direct(msg),
+                    },
+                    Outgoing::PerDest(pairs) => Outgoing::PerDest(
+                        pairs
+                            .into_iter()
+                            .map(|(d, m)| (d, StackMsg::Direct(m)))
+                            .collect(),
+                    ),
+                };
+            }
+        }
+
+        match &self.stage {
+            Stage::Idle | Stage::Passthrough => unreachable!("handled above"),
+            Stage::Micro {
+                index,
+                my_msg,
+                inits,
+                candidates,
+            } => match (self.mode, index) {
+                (PconsMode::CoordinatedAuth, 0) => {
+                    let Some(m) = my_msg else {
+                        return Outgoing::Silent;
+                    };
+                    let ks = self.keystore.as_ref().expect("auth mode has keystore");
+                    let auth = ks.authenticate(&digest_of(m));
+                    Outgoing::Multicast {
+                        dests: gencon_types::ProcessSet::singleton(self.coordinator()),
+                        msg: StackMsg::AuthInit(m.clone(), auth),
+                    }
+                }
+                (PconsMode::CoordinatedAuth, 1) => {
+                    if self.inner.id() != self.coordinator() {
+                        return Outgoing::Silent;
+                    }
+                    // Relay everything collected in micro 1 (stored in
+                    // `inits` as verified messages; authenticators are
+                    // reconstructed from the store).
+                    let relay: Vec<(ProcessId, P::Msg, Authenticator)> = self
+                        .auth_store
+                        .iter()
+                        .flatten()
+                        .cloned()
+                        .collect();
+                    Outgoing::Broadcast(StackMsg::Relay(relay))
+                }
+                (PconsMode::EchoBroadcast, 0) => match my_msg {
+                    Some(m) => Outgoing::Broadcast(StackMsg::Init(m.clone())),
+                    None => Outgoing::Silent,
+                },
+                (PconsMode::EchoBroadcast, 1) => {
+                    let echo: Vec<(ProcessId, P::Msg)> = inits
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, m)| m.clone().map(|m| (ProcessId::new(i), m)))
+                        .collect();
+                    Outgoing::Broadcast(StackMsg::Echo(echo))
+                }
+                (PconsMode::EchoBroadcast, 2) => {
+                    let vote: Vec<(ProcessId, P::Msg)> = candidates
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, m)| m.clone().map(|m| (ProcessId::new(i), m)))
+                        .collect();
+                    Outgoing::Broadcast(StackMsg::Vote(vote))
+                }
+                _ => Outgoing::Silent,
+            },
+        }
+    }
+
+    fn receive(&mut self, _outer: Round, heard: &HeardOf<Self::Msg>) {
+        match std::mem::replace(&mut self.stage, Stage::Idle) {
+            Stage::Idle => {}
+            Stage::Passthrough => {
+                let mut inner_heard = HeardOf::empty(self.n);
+                for (q, m) in heard.iter() {
+                    if let StackMsg::Direct(inner) = m {
+                        inner_heard.put(q, inner.clone());
+                    }
+                }
+                self.finish_inner_round(inner_heard);
+            }
+            Stage::Micro {
+                index,
+                my_msg,
+                mut inits,
+                mut candidates,
+            } => match (self.mode, index) {
+                (PconsMode::CoordinatedAuth, 0) => {
+                    // Only the coordinator hears anything; verify and store.
+                    let ks = self.keystore.as_ref().expect("auth mode has keystore");
+                    self.auth_store = (0..self.n).map(|_| None).collect();
+                    for (q, m) in heard.iter() {
+                        if let StackMsg::AuthInit(inner, auth) = m {
+                            if ks.verify(q, &digest_of(inner), auth) {
+                                self.auth_store[q.index()] =
+                                    Some((q, inner.clone(), auth.clone()));
+                            }
+                        }
+                    }
+                    self.stage = Stage::Micro {
+                        index: 1,
+                        my_msg,
+                        inits,
+                        candidates,
+                    };
+                }
+                (PconsMode::CoordinatedAuth, 1) => {
+                    let ks = self.keystore.as_ref().expect("auth mode has keystore");
+                    let mut inner_heard = HeardOf::empty(self.n);
+                    if let Some(StackMsg::Relay(entries)) = heard.from(self.coordinator()) {
+                        for (sender, m, auth) in entries {
+                            if ks.verify(*sender, &digest_of(m), auth) {
+                                inner_heard.put(*sender, m.clone());
+                            }
+                        }
+                    }
+                    self.auth_store.clear();
+                    self.finish_inner_round(inner_heard);
+                }
+                (PconsMode::EchoBroadcast, 0) => {
+                    for (q, m) in heard.iter() {
+                        if let StackMsg::Init(inner) = m {
+                            inits[q.index()] = Some(inner.clone());
+                        }
+                    }
+                    self.stage = Stage::Micro {
+                        index: 1,
+                        my_msg,
+                        inits,
+                        candidates,
+                    };
+                }
+                (PconsMode::EchoBroadcast, 1) => {
+                    // candidate[s] = value echoed for s by > (n+b)/2 echoers.
+                    let quorum_base = self.n + self.b;
+                    for s in 0..self.n {
+                        let sid = ProcessId::new(s);
+                        let mut values: Vec<(&P::Msg, usize)> = Vec::new();
+                        for (_, m) in heard.iter() {
+                            if let StackMsg::Echo(entries) = m {
+                                if let Some((_, v)) =
+                                    entries.iter().find(|(from, _)| *from == sid)
+                                {
+                                    match values.iter_mut().find(|(u, _)| *u == v) {
+                                        Some((_, c)) => *c += 1,
+                                        None => values.push((v, 1)),
+                                    }
+                                }
+                            }
+                        }
+                        candidates[s] = values
+                            .iter()
+                            .find(|(_, c)| quorum::more_than_half(*c, quorum_base))
+                            .map(|(v, _)| (*v).clone());
+                    }
+                    self.stage = Stage::Micro {
+                        index: 2,
+                        my_msg,
+                        inits,
+                        candidates,
+                    };
+                }
+                (PconsMode::EchoBroadcast, 2) => {
+                    // final[s] = value voted for s by > (n+b)/2 voters.
+                    let quorum_base = self.n + self.b;
+                    let mut inner_heard = HeardOf::empty(self.n);
+                    for s in 0..self.n {
+                        let sid = ProcessId::new(s);
+                        let mut values: Vec<(&P::Msg, usize)> = Vec::new();
+                        for (_, m) in heard.iter() {
+                            if let StackMsg::Vote(entries) = m {
+                                if let Some((_, v)) =
+                                    entries.iter().find(|(from, _)| *from == sid)
+                                {
+                                    match values.iter_mut().find(|(u, _)| *u == v) {
+                                        Some((_, c)) => *c += 1,
+                                        None => values.push((v, 1)),
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(v) = values
+                            .iter()
+                            .find(|(_, c)| quorum::more_than_half(*c, quorum_base))
+                            .map(|(v, _)| (*v).clone())
+                        {
+                            inner_heard.put(sid, v);
+                        }
+                    }
+                    self.finish_inner_round(inner_heard);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        self.inner.output()
+    }
+}

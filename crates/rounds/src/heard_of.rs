@@ -1,0 +1,213 @@
+//! The per-round receive vector `~µ_p^r`.
+
+use gencon_types::{ProcessId, ProcessSet};
+
+/// The vector of messages a process received in one round, indexed by sender
+/// (the paper's `~µ_p^r`; `~µ_p^r[q]` is [`HeardOf::from`]).
+///
+/// A `None` entry means no message from that sender was received this round
+/// (the paper's `⊥`).
+///
+/// ```
+/// use gencon_rounds::HeardOf;
+/// use gencon_types::ProcessId;
+///
+/// let mut ho: HeardOf<&str> = HeardOf::empty(3);
+/// ho.put(ProcessId::new(1), "hello");
+/// assert_eq!(ho.from(ProcessId::new(1)), Some(&"hello"));
+/// assert_eq!(ho.from(ProcessId::new(0)), None);
+/// assert_eq!(ho.count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HeardOf<M> {
+    slots: Vec<Option<M>>,
+}
+
+impl<M> HeardOf<M> {
+    /// An empty vector for a system of `n` processes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        HeardOf { slots }
+    }
+
+    /// System size `n` this vector is sized for.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records the message received from `sender`, replacing any previous
+    /// one (closed rounds deliver at most one message per sender).
+    pub fn put(&mut self, sender: ProcessId, msg: M) {
+        self.slots[sender.index()] = Some(msg);
+    }
+
+    /// Removes and returns the message from `sender`.
+    pub fn take(&mut self, sender: ProcessId) -> Option<M> {
+        self.slots[sender.index()].take()
+    }
+
+    /// The message received from `q`, or `None` (⊥).
+    #[must_use]
+    pub fn from(&self, q: ProcessId) -> Option<&M> {
+        self.slots[q.index()].as_ref()
+    }
+
+    /// Number of non-⊥ entries (`|~µ_p^r|` in the FLV conditions).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether nothing was received.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterates over `(sender, message)` pairs in sender order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &M)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|m| (ProcessId::new(i), m)))
+    }
+
+    /// Iterates over received messages only.
+    pub fn messages(&self) -> impl Iterator<Item = &M> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// The set of senders heard from.
+    #[must_use]
+    pub fn senders(&self) -> ProcessSet {
+        self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Maps every present message through `f`, keeping sender positions.
+    #[must_use]
+    pub fn map<N>(&self, mut f: impl FnMut(ProcessId, &M) -> N) -> HeardOf<N> {
+        HeardOf {
+            slots: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| s.as_ref().map(|m| f(ProcessId::new(i), m)))
+                .collect(),
+        }
+    }
+
+    /// Keeps only the entries whose sender is in `keep`.
+    #[must_use]
+    pub fn restricted_to(&self, keep: ProcessSet) -> HeardOf<M>
+    where
+        M: Clone,
+    {
+        HeardOf {
+            slots: self
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if keep.contains(ProcessId::new(i)) {
+                        s.clone()
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<M> FromIterator<(ProcessId, M)> for HeardOf<M> {
+    /// Collects `(sender, message)` pairs into a vector sized to the largest
+    /// sender index + 1. Mostly useful in tests; executors should prefer
+    /// [`HeardOf::empty`] + [`HeardOf::put`] with the exact system size.
+    fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
+        let pairs: Vec<(ProcessId, M)> = iter.into_iter().collect();
+        let n = pairs
+            .iter()
+            .map(|(p, _)| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut ho = HeardOf::empty(n);
+        for (p, m) in pairs {
+            ho.put(p, m);
+        }
+        ho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_vector() {
+        let ho: HeardOf<u32> = HeardOf::empty(4);
+        assert_eq!(ho.n(), 4);
+        assert_eq!(ho.count(), 0);
+        assert!(ho.is_empty());
+        assert_eq!(ho.from(p(0)), None);
+    }
+
+    #[test]
+    fn put_take_from() {
+        let mut ho = HeardOf::empty(3);
+        ho.put(p(1), 10u32);
+        ho.put(p(1), 11); // replaced, not duplicated
+        assert_eq!(ho.count(), 1);
+        assert_eq!(ho.from(p(1)), Some(&11));
+        assert_eq!(ho.take(p(1)), Some(11));
+        assert_eq!(ho.from(p(1)), None);
+    }
+
+    #[test]
+    fn iteration_in_sender_order() {
+        let mut ho = HeardOf::empty(5);
+        ho.put(p(4), "d");
+        ho.put(p(0), "a");
+        ho.put(p(2), "b");
+        let got: Vec<_> = ho.iter().map(|(q, m)| (q.index(), *m)).collect();
+        assert_eq!(got, [(0, "a"), (2, "b"), (4, "d")]);
+        assert_eq!(ho.messages().count(), 3);
+        assert_eq!(ho.senders().len(), 3);
+    }
+
+    #[test]
+    fn map_preserves_positions() {
+        let mut ho = HeardOf::empty(3);
+        ho.put(p(2), 5u32);
+        let doubled = ho.map(|_, m| m * 2);
+        assert_eq!(doubled.from(p(2)), Some(&10));
+        assert_eq!(doubled.from(p(0)), None);
+    }
+
+    #[test]
+    fn restriction_filters_senders() {
+        let mut ho = HeardOf::empty(4);
+        for i in 0..4 {
+            ho.put(p(i), i as u32);
+        }
+        let keep = ProcessSet::range(1, 2); // {1, 2}
+        let r = ho.restricted_to(keep);
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.from(p(1)), Some(&1));
+        assert_eq!(r.from(p(3)), None);
+    }
+
+    #[test]
+    fn from_iterator_collects_pairs() {
+        let ho: HeardOf<&str> = [(p(2), "x"), (p(0), "y")].into_iter().collect();
+        assert_eq!(ho.n(), 3);
+        assert_eq!(ho.from(p(2)), Some(&"x"));
+        assert_eq!(ho.from(p(0)), Some(&"y"));
+    }
+}

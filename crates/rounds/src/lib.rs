@@ -1,0 +1,32 @@
+//! The closed-round execution model of §2.1 (Heard-Of style).
+//!
+//! Distributed algorithms are expressed as a sequence of *rounds*: in round
+//! `r` each process sends messages according to a sending function and, at
+//! the end of the round, computes a new state from the vector of messages it
+//! received (`~µ_p^r`). Rounds are **closed**: a message sent in round `r` is
+//! received in round `r` or never.
+//!
+//! This crate defines:
+//!
+//! * [`RoundProcess`] — the sending/transition interface honest processes
+//!   implement (`gencon-core`'s engine is one implementation);
+//! * [`Adversary`] — the interface Byzantine participants implement; they may
+//!   send *different* messages to different receivers (equivocation) but can
+//!   never impersonate an honest process (the executor enforces sender
+//!   identity, matching §2.1);
+//! * [`Outgoing`] / [`HeardOf`] — per-round send instructions and receive
+//!   vectors;
+//! * [`Predicate`] and the checkers in [`predicate`] — the communication
+//!   predicates `Pgood`, `Pcons` and `Prel` that the partially synchronous
+//!   system guarantees in good periods.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heard_of;
+mod participant;
+pub mod predicate;
+
+pub use heard_of::HeardOf;
+pub use participant::{Adversary, Outgoing, RoundProcess};
+pub use predicate::Predicate;

@@ -1,0 +1,219 @@
+//! Participant interfaces: honest round processes and Byzantine adversaries.
+
+use gencon_types::{ProcessId, ProcessSet, Round};
+
+use crate::heard_of::HeardOf;
+use crate::predicate::Predicate;
+
+/// What a participant sends in one round.
+///
+/// Honest algorithms use [`Outgoing::Broadcast`] ("send to all", lines 19
+/// and 29 of Algorithm 1) or [`Outgoing::Multicast`] ("send to
+/// `Selector(p, φ)`", line 7). Only adversaries use [`Outgoing::PerDest`],
+/// which can carry a *different* message per receiver (equivocation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message to every process (including self: a process
+    /// receives its own round-r message in round r, as in the paper where
+    /// `~µ_p^r[p] = S_p^r(s_p^r)` under `Pgood`).
+    Broadcast(M),
+    /// Send the same message to the given destinations only.
+    Multicast {
+        /// Destination processes.
+        dests: ProcessSet,
+        /// Message for all of them.
+        msg: M,
+    },
+    /// Per-destination messages; distinct payloads allowed (Byzantine
+    /// equivocation). Multiple entries for the same destination keep the
+    /// last one (closed rounds deliver at most one message per sender).
+    PerDest(Vec<(ProcessId, M)>),
+}
+
+impl<M: Clone> Outgoing<M> {
+    /// The message this instruction addresses to `dest`, if any.
+    #[must_use]
+    pub fn message_for(&self, dest: ProcessId) -> Option<M> {
+        match self {
+            Outgoing::Silent => None,
+            Outgoing::Broadcast(m) => Some(m.clone()),
+            Outgoing::Multicast { dests, msg } => {
+                dests.contains(dest).then(|| msg.clone())
+            }
+            Outgoing::PerDest(pairs) => pairs
+                .iter()
+                .rev()
+                .find(|(d, _)| *d == dest)
+                .map(|(_, m)| m.clone()),
+        }
+    }
+
+    /// Number of point-to-point messages this instruction expands to in a
+    /// system of `n` processes (metric for experiment E6).
+    #[must_use]
+    pub fn fanout(&self, n: usize) -> usize {
+        match self {
+            Outgoing::Silent => 0,
+            Outgoing::Broadcast(_) => n,
+            Outgoing::Multicast { dests, .. } => dests.len(),
+            Outgoing::PerDest(pairs) => {
+                let mut seen = ProcessSet::new();
+                for (d, _) in pairs {
+                    seen.insert(*d);
+                }
+                seen.len()
+            }
+        }
+    }
+}
+
+/// An honest participant of the round model: the sending function `S_p^r`
+/// and transition function `T_p^r` of §2.1, plus the declaration of which
+/// communication predicate each round needs for liveness.
+///
+/// Implementations must be deterministic functions of their state and
+/// inputs (randomized algorithms carry their own seeded RNG in their state),
+/// so executions are reproducible.
+pub trait RoundProcess: Send {
+    /// Message type exchanged by this protocol.
+    type Msg: Clone + Send + 'static;
+    /// Terminal output (e.g. the decided value).
+    type Output: Clone + Send + 'static;
+
+    /// This process's identifier.
+    fn id(&self) -> ProcessId;
+
+    /// The communication predicate round `r` needs *for liveness*
+    /// (safety never depends on it). Selection rounds of Algorithm 1 return
+    /// [`Predicate::Cons`]; other rounds [`Predicate::Good`]; randomized
+    /// algorithms [`Predicate::Rel`] everywhere.
+    fn requirement(&self, r: Round) -> Predicate;
+
+    /// Sending function `S_p^r`: what to send in round `r`.
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg>;
+
+    /// Transition function `T_p^r`: consume the heard-of vector of round `r`.
+    fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>);
+
+    /// The decision, once reached. A decided process keeps participating
+    /// (its votes help laggards reach `TD`), so this may be `Some` for many
+    /// rounds.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+impl<P: RoundProcess + ?Sized> RoundProcess for Box<P> {
+    type Msg = P::Msg;
+    type Output = P::Output;
+
+    fn id(&self) -> ProcessId {
+        (**self).id()
+    }
+
+    fn requirement(&self, r: Round) -> Predicate {
+        (**self).requirement(r)
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        (**self).send(r)
+    }
+
+    fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
+        (**self).receive(r, heard)
+    }
+
+    fn output(&self) -> Option<Self::Output> {
+        (**self).output()
+    }
+}
+
+/// A Byzantine participant: sends arbitrary per-receiver messages and
+/// observes whatever it receives.
+///
+/// The executor gives adversaries the same information a real Byzantine
+/// process would have — messages addressed to it — and faithfully delivers
+/// their (possibly equivocating) sends under the network model. What it does
+/// **not** allow is impersonation: messages are always attributed to their
+/// true sender (§2.1, "honest processes cannot be impersonated").
+pub trait Adversary: Send {
+    /// Message type of the protocol under attack.
+    type Msg: Clone + Send + 'static;
+
+    /// This process's identifier.
+    fn id(&self) -> ProcessId;
+
+    /// Messages to inject in round `r` (equivocation allowed).
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg>;
+
+    /// Observe the messages honest processes sent to this adversary.
+    fn observe(&mut self, r: Round, heard: &HeardOf<Self::Msg>);
+}
+
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    type Msg = A::Msg;
+
+    fn id(&self) -> ProcessId {
+        (**self).id()
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        (**self).send(r)
+    }
+
+    fn observe(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
+        (**self).observe(r, heard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn silent_sends_nothing() {
+        let o: Outgoing<u8> = Outgoing::Silent;
+        assert_eq!(o.message_for(p(0)), None);
+        assert_eq!(o.fanout(5), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let o = Outgoing::Broadcast(7u8);
+        assert_eq!(o.message_for(p(0)), Some(7));
+        assert_eq!(o.message_for(p(4)), Some(7));
+        assert_eq!(o.fanout(5), 5);
+    }
+
+    #[test]
+    fn multicast_respects_destinations() {
+        let o = Outgoing::Multicast {
+            dests: ProcessSet::range(1, 2),
+            msg: 9u8,
+        };
+        assert_eq!(o.message_for(p(0)), None);
+        assert_eq!(o.message_for(p(1)), Some(9));
+        assert_eq!(o.message_for(p(2)), Some(9));
+        assert_eq!(o.fanout(5), 2);
+    }
+
+    #[test]
+    fn per_dest_allows_equivocation() {
+        let o = Outgoing::PerDest(vec![(p(0), 1u8), (p(1), 2)]);
+        assert_eq!(o.message_for(p(0)), Some(1));
+        assert_eq!(o.message_for(p(1)), Some(2));
+        assert_eq!(o.message_for(p(2)), None);
+        assert_eq!(o.fanout(5), 2);
+    }
+
+    #[test]
+    fn per_dest_last_entry_wins() {
+        let o = Outgoing::PerDest(vec![(p(0), 1u8), (p(0), 3)]);
+        assert_eq!(o.message_for(p(0)), Some(3));
+        assert_eq!(o.fanout(5), 1, "duplicate destinations count once");
+    }
+}

@@ -1,0 +1,270 @@
+//! Communication predicates (§2.1, §6) and trace checkers.
+//!
+//! In the paper's partially synchronous system, *good periods* guarantee:
+//!
+//! * `Pgood(r)`: every correct process receives every message sent by a
+//!   correct process in round `r`;
+//! * `Pcons(r)`: `Pgood(r)` and all correct processes receive the *same set*
+//!   of messages (including, possibly, identical messages from Byzantine
+//!   senders);
+//! * `Prel(r)` (randomized algorithms, §6): every correct process receives at
+//!   least `n − b − f` messages in round `r`.
+//!
+//! The checkers in this module verify these properties on recorded round
+//! deliveries. The simulator uses them both to *enforce* predicates in good
+//! periods and to *audit* that an execution provided what the algorithm's
+//! liveness proof assumes.
+
+use gencon_types::{Config, ProcessId, ProcessSet};
+
+use crate::heard_of::HeardOf;
+
+/// The communication predicate a round relies on for liveness.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Predicate {
+    /// No guarantee needed (safety-only round, or the algorithm tolerates
+    /// arbitrary loss here).
+    #[default]
+    None,
+    /// `Pgood`: correct-to-correct delivery is complete.
+    Good,
+    /// `Pcons`: `Pgood` plus all correct processes receive identical vectors.
+    Cons,
+    /// `Prel`: at least `n − b − f` messages delivered to every correct
+    /// process ("reliable channels" of randomized algorithms).
+    Rel,
+}
+
+impl Predicate {
+    /// Whether this predicate subsumes `other` (a round satisfying `self`
+    /// also satisfies `other`).
+    #[must_use]
+    pub fn implies(self, other: Predicate) -> bool {
+        use Predicate::*;
+        match (self, other) {
+            (_, None) => true,
+            (Cons, Good) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// A recorded round: what each honest process sent (by sender index) and
+/// what each process received.
+///
+/// `sent[q] = None` for Byzantine or crashed-silent processes (their "state"
+/// is not meaningful — footnote 2 of the paper).
+#[derive(Clone, Debug)]
+pub struct RoundRecord<M> {
+    /// Message each *honest* sender handed to the network this round
+    /// (`None` for silent/crashed/Byzantine senders; Byzantine sends are
+    /// per-receiver and live only in `received`).
+    pub sent: Vec<Option<M>>,
+    /// Heard-of vector of each process.
+    pub received: Vec<HeardOf<M>>,
+}
+
+impl<M: Clone + PartialEq> RoundRecord<M> {
+    /// Checks `Pgood(r)` restricted to the given correct set: for all
+    /// `p, q ∈ correct`, `received[p][q] == sent[q]`.
+    #[must_use]
+    pub fn satisfies_pgood(&self, correct: &ProcessSet) -> bool {
+        for p in correct.iter() {
+            for q in correct.iter() {
+                let got = self.received[p.index()].from(q);
+                // A correct process that sent nothing this round (e.g. a
+                // non-validator in a validation round) imposes nothing.
+                if let Some(w) = self.sent[q.index()].as_ref() {
+                    if got != Some(w) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks `Pcons(r)`: `Pgood(r)` plus identical heard-of vectors across
+    /// correct processes.
+    #[must_use]
+    pub fn satisfies_pcons(&self, correct: &ProcessSet) -> bool {
+        if !self.satisfies_pgood(correct) {
+            return false;
+        }
+        let mut iter = correct.iter();
+        let Some(first) = iter.next() else {
+            return true;
+        };
+        let reference = &self.received[first.index()];
+        iter.all(|p| &self.received[p.index()] == reference)
+    }
+
+    /// Checks `Prel(r)` for the given configuration: every correct process
+    /// heard at least `n − b − f` messages.
+    #[must_use]
+    pub fn satisfies_prel(&self, correct: &ProcessSet, cfg: &Config) -> bool {
+        correct
+            .iter()
+            .all(|p| self.received[p.index()].count() >= cfg.correct_minimum())
+    }
+
+    /// Checks the named predicate.
+    #[must_use]
+    pub fn satisfies(&self, pred: Predicate, correct: &ProcessSet, cfg: &Config) -> bool {
+        match pred {
+            Predicate::None => true,
+            Predicate::Good => self.satisfies_pgood(correct),
+            Predicate::Cons => self.satisfies_pcons(correct),
+            Predicate::Rel => self.satisfies_prel(correct, cfg),
+        }
+    }
+
+    /// Checks that no honest process was impersonated: for every honest
+    /// sender `q` and *any* receiver `p`, a received message attributed to
+    /// `q` equals what `q` actually sent (§2.1: "if an honest process
+    /// receives v from p in round r, and p is honest, then p sent v").
+    #[must_use]
+    pub fn no_impersonation(&self, honest: &ProcessSet) -> bool {
+        for q in honest.iter() {
+            for received in &self.received {
+                if let Some(got) = received.from(q) {
+                    match self.sent[q.index()].as_ref() {
+                        Some(sent) => {
+                            if got != sent {
+                                return false;
+                            }
+                        }
+                        None => return false, // heard from someone who sent nothing
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Convenience: a process id iterator for `0..n` (used by checkers/tests).
+pub fn all_ids(n: usize) -> impl Iterator<Item = ProcessId> {
+    (0..n).map(ProcessId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Builds a record where every process broadcast its sender index and
+    /// everything was delivered.
+    fn full_delivery(n: usize) -> RoundRecord<usize> {
+        let sent: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let received = (0..n)
+            .map(|_| {
+                let mut ho = HeardOf::empty(n);
+                for q in 0..n {
+                    ho.put(p(q), q);
+                }
+                ho
+            })
+            .collect();
+        RoundRecord { sent, received }
+    }
+
+    #[test]
+    fn full_delivery_satisfies_everything() {
+        let rec = full_delivery(4);
+        let correct = ProcessSet::range(0, 4);
+        let cfg = Config::new(4, 0, 0).unwrap();
+        assert!(rec.satisfies_pgood(&correct));
+        assert!(rec.satisfies_pcons(&correct));
+        assert!(rec.satisfies_prel(&correct, &cfg));
+        assert!(rec.no_impersonation(&correct));
+        assert!(rec.satisfies(Predicate::None, &correct, &cfg));
+        assert!(rec.satisfies(Predicate::Good, &correct, &cfg));
+        assert!(rec.satisfies(Predicate::Cons, &correct, &cfg));
+        assert!(rec.satisfies(Predicate::Rel, &correct, &cfg));
+    }
+
+    #[test]
+    fn dropped_correct_message_violates_pgood() {
+        let mut rec = full_delivery(3);
+        let correct = ProcessSet::range(0, 3);
+        rec.received[1].take(p(0)); // p1 missed p0's message
+        assert!(!rec.satisfies_pgood(&correct));
+        assert!(!rec.satisfies_pcons(&correct));
+    }
+
+    #[test]
+    fn drop_outside_correct_set_is_tolerated() {
+        let mut rec = full_delivery(3);
+        // p2 is faulty: message loss to/from it does not violate Pgood(C).
+        let correct = ProcessSet::range(0, 2);
+        rec.received[1].take(p(2));
+        rec.received[2].take(p(0));
+        assert!(rec.satisfies_pgood(&correct));
+    }
+
+    #[test]
+    fn inconsistent_byzantine_entries_violate_pcons_only() {
+        let mut rec = full_delivery(4);
+        // p3 Byzantine: equivocates 100 to p0, 200 to p1.
+        let correct = ProcessSet::range(0, 3);
+        rec.sent[3] = None;
+        rec.received[0].put(p(3), 100);
+        rec.received[1].put(p(3), 200);
+        rec.received[2].take(p(3));
+        assert!(rec.satisfies_pgood(&correct), "Pgood ignores Byzantine entries");
+        assert!(!rec.satisfies_pcons(&correct), "Pcons requires identical vectors");
+    }
+
+    #[test]
+    fn prel_counts_messages() {
+        let mut rec = full_delivery(4);
+        let correct = ProcessSet::range(0, 3);
+        let cfg = Config::new(4, 1, 0).unwrap(); // n-b-f = 3
+        rec.received[0].take(p(1)); // still 3 left
+        assert!(rec.satisfies_prel(&correct, &cfg));
+        rec.received[0].take(p(2)); // now only 2
+        assert!(!rec.satisfies_prel(&correct, &cfg));
+    }
+
+    #[test]
+    fn impersonation_detected() {
+        let mut rec = full_delivery(3);
+        let honest = ProcessSet::range(0, 3);
+        rec.received[2].put(p(0), 42); // someone forged p0's message to p2
+        assert!(!rec.no_impersonation(&honest));
+    }
+
+    #[test]
+    fn silent_sender_cannot_be_heard() {
+        let mut rec = full_delivery(3);
+        let honest = ProcessSet::range(0, 3);
+        rec.sent[1] = None; // p1 sent nothing…
+        assert!(!rec.no_impersonation(&honest), "…yet someone heard from it");
+        rec.received[0].take(p(1));
+        rec.received[1].take(p(1));
+        rec.received[2].take(p(1));
+        assert!(rec.no_impersonation(&honest));
+    }
+
+    #[test]
+    fn predicate_implication_lattice() {
+        use Predicate::*;
+        assert!(Cons.implies(Good));
+        assert!(Cons.implies(None));
+        assert!(Good.implies(None));
+        assert!(!Good.implies(Cons));
+        assert!(Rel.implies(Rel));
+        assert!(!Rel.implies(Good));
+        assert!(None.implies(None));
+    }
+
+    #[test]
+    fn all_ids_enumerates() {
+        let ids: Vec<usize> = all_ids(3).map(|p| p.index()).collect();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Crash-fault schedules for honest (benign-faulty) processes.
+
+use gencon_types::{ProcessId, Round};
+
+/// When and how a process crashes.
+///
+/// A crash takes effect *during* the sending step of `round`: the process
+/// hands its message to only the first `partial_sends` destinations (in
+/// destination-id order) — modeling a crash mid-broadcast, the classic
+/// hard case for benign consensus — and never sends, receives or
+/// transitions again.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CrashAt {
+    /// The round in which the crash occurs.
+    pub round: Round,
+    /// How many destinations still receive the final message
+    /// (`usize::MAX` = the whole send completes, the crash hits just after).
+    pub partial_sends: usize,
+}
+
+impl CrashAt {
+    /// Crash cleanly *before* sending anything in `round`.
+    #[must_use]
+    pub fn silent(round: Round) -> Self {
+        CrashAt {
+            round,
+            partial_sends: 0,
+        }
+    }
+
+    /// Crash right after completing the sends of `round`.
+    #[must_use]
+    pub fn after_send(round: Round) -> Self {
+        CrashAt {
+            round,
+            partial_sends: usize::MAX,
+        }
+    }
+
+    /// Crash mid-broadcast: only the `k` lowest-id destinations are served.
+    #[must_use]
+    pub fn mid_send(round: Round, k: usize) -> Self {
+        CrashAt {
+            round,
+            partial_sends: k,
+        }
+    }
+}
+
+/// The crash schedule of a whole system: at most one crash per process.
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    crashes: Vec<(ProcessId, CrashAt)>,
+}
+
+impl CrashPlan {
+    /// No crashes.
+    #[must_use]
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash for `p` (replacing any earlier entry for `p`).
+    #[must_use]
+    pub fn with(mut self, p: ProcessId, at: CrashAt) -> Self {
+        self.crashes.retain(|(q, _)| *q != p);
+        self.crashes.push((p, at));
+        self
+    }
+
+    /// The crash scheduled for `p`, if any.
+    #[must_use]
+    pub fn for_process(&self, p: ProcessId) -> Option<CrashAt> {
+        self.crashes
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, at)| *at)
+    }
+
+    /// Number of scheduled crashes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether no crash is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// Iterates over `(process, crash)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, CrashAt)> + '_ {
+        self.crashes.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn constructors() {
+        let s = CrashAt::silent(Round::new(3));
+        assert_eq!(s.partial_sends, 0);
+        let a = CrashAt::after_send(Round::new(3));
+        assert_eq!(a.partial_sends, usize::MAX);
+        let m = CrashAt::mid_send(Round::new(3), 2);
+        assert_eq!(m.partial_sends, 2);
+        assert_eq!(m.round, Round::new(3));
+    }
+
+    #[test]
+    fn plan_lookup() {
+        let plan = CrashPlan::none()
+            .with(p(1), CrashAt::silent(Round::new(2)))
+            .with(p(3), CrashAt::mid_send(Round::new(5), 1));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.for_process(p(1)), Some(CrashAt::silent(Round::new(2))));
+        assert_eq!(plan.for_process(p(0)), None);
+        assert_eq!(plan.iter().count(), 2);
+    }
+
+    #[test]
+    fn replacing_a_crash() {
+        let plan = CrashPlan::none()
+            .with(p(1), CrashAt::silent(Round::new(2)))
+            .with(p(1), CrashAt::silent(Round::new(9)));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.for_process(p(1)).unwrap().round, Round::new(9));
+    }
+}

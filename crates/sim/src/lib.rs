@@ -1,0 +1,39 @@
+//! Deterministic lock-step simulator for the partially synchronous system
+//! model of §2.1.
+//!
+//! The simulator runs any [`gencon_rounds::RoundProcess`] protocol over a
+//! configurable [`NetworkModel`]:
+//!
+//! * [`AlwaysGood`] — synchronous from round 1;
+//! * [`Gst`] — asynchronous (probabilistic loss) until a global
+//!   stabilization round, good afterwards;
+//! * [`RandomSubset`] — the `Prel` regime of randomized algorithms (§6):
+//!   every receiver hears a random `n − b − f`-subset each round, no round
+//!   is ever "good";
+//! * [`Scripted`] — closure-driven plans for adversarial tests.
+//!
+//! Fault injection: [`CrashPlan`] schedules crash faults (including
+//! mid-broadcast crashes); Byzantine participants implement
+//! [`gencon_rounds::Adversary`] and may equivocate freely. In good rounds
+//! the executor enforces the communication predicate the algorithm declares
+//! per round — for `Pcons` it canonicalizes Byzantine equivocation, which is
+//! exactly the guarantee a real `Pcons` implementation provides (the
+//! `gencon-pcons` crate builds those protocols for real).
+//!
+//! Executions are deterministic given the seeds, so every experiment in
+//! `EXPERIMENTS.md` is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod faults;
+mod network;
+mod outcome;
+mod trace;
+
+pub use executor::{SimBuilder, SimError, Simulation};
+pub use faults::{CrashAt, CrashPlan};
+pub use network::{AlwaysGood, DeliveryPlan, Gst, NetworkModel, RandomSubset, Scripted};
+pub use outcome::{properties, Outcome};
+pub use trace::{Trace, TraceAudit, TracedRound};

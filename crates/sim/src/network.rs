@@ -1,0 +1,366 @@
+//! Network models: who hears whom, round by round.
+//!
+//! The paper's system model (§2.1) alternates between *bad periods*
+//! (asynchronous: arbitrary loss) and *good periods* (synchronous: the
+//! communication predicates hold). A [`NetworkModel`] decides, per round,
+//! which point-to-point messages get through and whether the round is
+//! "good" (predicate enforcement applies — see
+//! [`Simulation`](crate::Simulation)).
+
+// Index-driven loops mirror the paper's n x n delivery matrices; an
+// iterator rewrite would obscure the sender/receiver indices.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gencon_types::{ProcessId, ProcessSet, Round};
+
+/// A per-round delivery matrix: `deliver[from][to]`.
+#[derive(Clone, Debug)]
+pub struct DeliveryPlan {
+    n: usize,
+    deliver: Vec<bool>,
+}
+
+impl DeliveryPlan {
+    /// A plan delivering everything.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        DeliveryPlan {
+            n,
+            deliver: vec![true; n * n],
+        }
+    }
+
+    /// A plan delivering nothing.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        DeliveryPlan {
+            n,
+            deliver: vec![false; n * n],
+        }
+    }
+
+    /// Whether `from → to` is delivered.
+    #[must_use]
+    pub fn delivered(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.deliver[from.index() * self.n + to.index()]
+    }
+
+    /// Sets the delivery bit for `from → to`.
+    pub fn set(&mut self, from: ProcessId, to: ProcessId, delivered: bool) {
+        self.deliver[from.index() * self.n + to.index()] = delivered;
+    }
+
+    /// Drops every message from `from`.
+    pub fn silence_sender(&mut self, from: ProcessId) {
+        for to in 0..self.n {
+            self.deliver[from.index() * self.n + to] = false;
+        }
+    }
+
+    /// System size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Decides message delivery for each round.
+pub trait NetworkModel: Send {
+    /// The delivery plan for round `r`. `senders` lists the processes that
+    /// actually handed a message to the network this round (models that
+    /// guarantee delivery *counts*, like [`RandomSubset`], need it).
+    fn plan(&mut self, r: Round, senders: &ProcessSet, n: usize) -> DeliveryPlan;
+
+    /// Whether round `r` lies in a good period (the executor then enforces
+    /// the predicate the algorithm requires for that round).
+    fn is_good(&self, r: Round) -> bool;
+}
+
+/// A fully synchronous network: every round is good, nothing is lost.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AlwaysGood;
+
+impl NetworkModel for AlwaysGood {
+    fn plan(&mut self, _r: Round, _senders: &ProcessSet, n: usize) -> DeliveryPlan {
+        DeliveryPlan::full(n)
+    }
+
+    fn is_good(&self, _r: Round) -> bool {
+        true
+    }
+}
+
+/// Partial synchrony with a global stabilization round: before `gst`,
+/// messages are dropped independently with probability `loss`; from round
+/// `gst` on, the network is good.
+///
+/// ```
+/// use gencon_sim::{Gst, NetworkModel};
+/// use gencon_types::Round;
+/// let mut net = Gst::new(10, 0.5, 42);
+/// assert!(!net.is_good(Round::new(9)));
+/// assert!(net.is_good(Round::new(10)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gst {
+    gst: u64,
+    loss: f64,
+    rng: StdRng,
+}
+
+impl Gst {
+    /// Creates the model: bad until round `gst` (exclusive), loss
+    /// probability `loss` while bad, deterministic under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn new(gst: u64, loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Gst {
+            gst,
+            loss,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The first good round.
+    #[must_use]
+    pub fn gst(&self) -> u64 {
+        self.gst
+    }
+}
+
+impl NetworkModel for Gst {
+    fn plan(&mut self, r: Round, _senders: &ProcessSet, n: usize) -> DeliveryPlan {
+        if self.is_good(r) {
+            return DeliveryPlan::full(n);
+        }
+        let mut plan = DeliveryPlan::full(n);
+        for from in 0..n {
+            for to in 0..n {
+                if from != to && self.rng.gen_bool(self.loss) {
+                    plan.set(ProcessId::new(from), ProcessId::new(to), false);
+                }
+            }
+        }
+        plan
+    }
+
+    fn is_good(&self, r: Round) -> bool {
+        r.number() >= self.gst
+    }
+}
+
+/// The `Prel` regime of randomized algorithms (§6): every round, every
+/// receiver hears from a uniformly random subset of `keep` of the processes
+/// that *actually sent* (always including its own message, if it sent one).
+/// No round is ever "good" — termination must come from the coin, not from
+/// a stabilization assumption.
+#[derive(Clone, Debug)]
+pub struct RandomSubset {
+    keep: usize,
+    rng: StdRng,
+}
+
+impl RandomSubset {
+    /// Keeps `keep` sender messages per receiver per round (choose
+    /// `keep = n − b − f` to give the algorithm exactly its `Prel`
+    /// minimum — silent Byzantine processes cannot eat delivery slots, as
+    /// the subset is drawn from actual senders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep == 0`.
+    #[must_use]
+    pub fn new(keep: usize, seed: u64) -> Self {
+        assert!(keep > 0, "keep must be positive");
+        RandomSubset {
+            keep,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NetworkModel for RandomSubset {
+    fn plan(&mut self, _r: Round, senders: &ProcessSet, n: usize) -> DeliveryPlan {
+        let mut plan = DeliveryPlan::empty(n);
+        let sender_ids: Vec<ProcessId> = senders.iter().collect();
+        for to in 0..n {
+            let me = ProcessId::new(to);
+            // Always deliver the receiver's own message.
+            let mut chosen: Vec<ProcessId> = Vec::with_capacity(self.keep);
+            if senders.contains(me) {
+                chosen.push(me);
+            }
+            while chosen.len() < self.keep.min(sender_ids.len()) {
+                let cand = sender_ids[self.rng.gen_range(0..sender_ids.len())];
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+            }
+            for from in chosen {
+                plan.set(from, me, true);
+            }
+        }
+        plan
+    }
+
+    fn is_good(&self, _r: Round) -> bool {
+        false
+    }
+}
+
+/// A scripted model for tests: a closure decides the plan, a predicate
+/// decides goodness.
+pub struct Scripted<P, G> {
+    plan_fn: P,
+    good_fn: G,
+}
+
+impl<P, G> Scripted<P, G>
+where
+    P: FnMut(Round, usize) -> DeliveryPlan + Send,
+    G: Fn(Round) -> bool + Send,
+{
+    /// Creates a scripted model from the two closures.
+    pub fn new(plan_fn: P, good_fn: G) -> Self {
+        Scripted { plan_fn, good_fn }
+    }
+}
+
+impl<P, G> NetworkModel for Scripted<P, G>
+where
+    P: FnMut(Round, usize) -> DeliveryPlan + Send,
+    G: Fn(Round) -> bool + Send,
+{
+    fn plan(&mut self, r: Round, _senders: &ProcessSet, n: usize) -> DeliveryPlan {
+        (self.plan_fn)(r, n)
+    }
+
+    fn is_good(&self, r: Round) -> bool {
+        (self.good_fn)(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn full_and_empty_plans() {
+        let full = DeliveryPlan::full(3);
+        assert!(full.delivered(p(0), p(2)));
+        assert_eq!(full.n(), 3);
+        let empty = DeliveryPlan::empty(3);
+        assert!(!empty.delivered(p(0), p(2)));
+    }
+
+    #[test]
+    fn plan_mutation() {
+        let mut plan = DeliveryPlan::full(3);
+        plan.set(p(1), p(2), false);
+        assert!(!plan.delivered(p(1), p(2)));
+        assert!(plan.delivered(p(2), p(1)));
+        plan.silence_sender(p(0));
+        assert!(!plan.delivered(p(0), p(0)));
+        assert!(!plan.delivered(p(0), p(2)));
+    }
+
+    #[test]
+    fn always_good_delivers_everything() {
+        let mut net = AlwaysGood;
+        let plan = net.plan(Round::new(5), &ProcessSet::range(0, 4), 4);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(plan.delivered(p(a), p(b)));
+            }
+        }
+        assert!(net.is_good(Round::new(1)));
+    }
+
+    #[test]
+    fn gst_transitions_to_good() {
+        let mut net = Gst::new(5, 1.0, 1);
+        assert!(!net.is_good(Round::new(4)));
+        assert!(net.is_good(Round::new(5)));
+        // Total loss before GST (self-delivery excepted).
+        let before = net.plan(Round::new(1), &ProcessSet::range(0, 3), 3);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(before.delivered(p(a), p(b)), a == b, "{a}->{b}");
+            }
+        }
+        let after = net.plan(Round::new(5), &ProcessSet::range(0, 3), 3);
+        assert!(after.delivered(p(0), p(2)));
+    }
+
+    #[test]
+    fn gst_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut net = Gst::new(100, 0.5, seed);
+            let plan = net.plan(Round::new(1), &ProcessSet::range(0, 5), 5);
+            (0..5)
+                .flat_map(|a| (0..5).map(move |b| (a, b)))
+                .map(|(a, b)| plan.delivered(p(a), p(b)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn random_subset_guarantees_minimum() {
+        let mut net = RandomSubset::new(3, 9);
+        for r in 1..20u64 {
+            let plan = net.plan(Round::new(r), &ProcessSet::range(0, 5), 5);
+            for to in 0..5 {
+                let got = (0..5).filter(|&f| plan.delivered(p(f), p(to))).count();
+                assert_eq!(got, 3, "round {r} receiver {to}");
+                assert!(plan.delivered(p(to), p(to)), "self-delivery");
+            }
+        }
+        assert!(!net.is_good(Round::new(1)));
+    }
+
+    #[test]
+    fn random_subset_caps_at_n() {
+        let mut net = RandomSubset::new(10, 9);
+        let plan = net.plan(Round::new(1), &ProcessSet::range(0, 3), 3);
+        for to in 0..3 {
+            assert_eq!((0..3).filter(|&f| plan.delivered(p(f), p(to))).count(), 3);
+        }
+    }
+
+    #[test]
+    fn scripted_model_runs_closures() {
+        let mut net = Scripted::new(
+            |r: Round, n| {
+                if r.number() % 2 == 0 {
+                    DeliveryPlan::full(n)
+                } else {
+                    DeliveryPlan::empty(n)
+                }
+            },
+            |r| r.number() > 3,
+        );
+        assert!(!net.plan(Round::new(1), &ProcessSet::range(0, 2), 2).delivered(p(0), p(1)));
+        assert!(net.plan(Round::new(2), &ProcessSet::range(0, 2), 2).delivered(p(0), p(1)));
+        assert!(!net.is_good(Round::new(3)));
+        assert!(net.is_good(Round::new(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gst_rejects_bad_loss() {
+        let _ = Gst::new(1, 1.5, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Execution results and the consensus property checkers of §2.3.
+
+use gencon_types::{ProcessSet, Round};
+
+/// The result of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct Outcome<O> {
+    /// System size.
+    pub n: usize,
+    /// Byzantine participants.
+    pub byzantine: ProcessSet,
+    /// Processes that crashed during the run.
+    pub crashed: ProcessSet,
+    /// Final output (decision) of each process; `None` for Byzantine slots
+    /// and processes that never decided.
+    pub outputs: Vec<Option<O>>,
+    /// Round in which each process first produced an output.
+    pub decision_rounds: Vec<Option<Round>>,
+    /// Rounds executed.
+    pub rounds_executed: u64,
+    /// Point-to-point messages handed to the network.
+    pub messages_sent: u64,
+    /// Point-to-point messages delivered.
+    pub messages_delivered: u64,
+    /// Whether every correct process decided.
+    pub all_correct_decided: bool,
+}
+
+impl<O> Outcome<O> {
+    /// The set of correct processes (honest and never crashed).
+    #[must_use]
+    pub fn correct_set(&self) -> ProcessSet {
+        ProcessSet::range(0, self.n)
+            .difference(self.byzantine)
+            .difference(self.crashed)
+    }
+
+    /// The set of honest processes (correct + crashed, i.e. non-Byzantine).
+    #[must_use]
+    pub fn honest_set(&self) -> ProcessSet {
+        ProcessSet::range(0, self.n).difference(self.byzantine)
+    }
+
+    /// Outputs of honest processes that decided.
+    pub fn honest_decisions(&self) -> impl Iterator<Item = &O> {
+        let honest = self.honest_set();
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| honest.contains(gencon_types::ProcessId::new(*i)))
+            .filter_map(|(_, o)| o.as_ref())
+    }
+
+    /// The latest decision round among deciders (total latency in rounds).
+    #[must_use]
+    pub fn last_decision_round(&self) -> Option<Round> {
+        self.decision_rounds.iter().flatten().max().copied()
+    }
+
+    /// The earliest decision round.
+    #[must_use]
+    pub fn first_decision_round(&self) -> Option<Round> {
+        self.decision_rounds.iter().flatten().min().copied()
+    }
+}
+
+/// Checkers for the four consensus properties of §2.3, evaluated on an
+/// [`Outcome`]. The closure `value_of` projects an output to the decided
+/// value (for `gencon-core` engines: `|d| &d.value`).
+pub mod properties {
+    use super::Outcome;
+
+    /// **Agreement**: no two honest processes decide differently.
+    #[must_use]
+    pub fn agreement<O, V: PartialEq>(out: &Outcome<O>, value_of: impl Fn(&O) -> &V) -> bool {
+        let mut decisions = out.honest_decisions().map(&value_of);
+        match decisions.next() {
+            None => true,
+            Some(first) => decisions.all(|v| v == first),
+        }
+    }
+
+    /// **Termination**: all correct processes eventually decide. (On a
+    /// finite prefix this checks "have decided by now" — callers run long
+    /// enough past the good phase.)
+    #[must_use]
+    pub fn termination<O>(out: &Outcome<O>) -> bool {
+        out.all_correct_decided
+    }
+
+    /// **Validity**: if all processes are honest and an honest process
+    /// decides `v`, then `v` is the initial value of some process.
+    ///
+    /// `inits[i]` is process i's initial value. Vacuously true when
+    /// Byzantine processes exist (the paper's premise "all processes are
+    /// honest" fails).
+    #[must_use]
+    pub fn validity<O, V: PartialEq>(
+        out: &Outcome<O>,
+        inits: &[V],
+        value_of: impl Fn(&O) -> &V,
+    ) -> bool {
+        if !out.byzantine.is_empty() {
+            return true;
+        }
+        out.honest_decisions()
+            .map(&value_of)
+            .all(|v| inits.iter().any(|i| i == v))
+    }
+
+    /// **Unanimity**: if all honest processes share the initial value `v`
+    /// and an honest process decides, it decides `v`.
+    ///
+    /// `honest_inits` lists the initial values of honest processes only.
+    #[must_use]
+    pub fn unanimity<O, V: PartialEq>(
+        out: &Outcome<O>,
+        honest_inits: &[V],
+        value_of: impl Fn(&O) -> &V,
+    ) -> bool {
+        let Some(first) = honest_inits.first() else {
+            return true;
+        };
+        if !honest_inits.iter().all(|v| v == first) {
+            return true; // premise fails
+        }
+        out.honest_decisions().map(&value_of).all(|v| v == first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_types::ProcessId;
+
+    fn outcome(outputs: Vec<Option<u64>>, byz: &[usize], crashed: &[usize]) -> Outcome<u64> {
+        let n = outputs.len();
+        Outcome {
+            n,
+            byzantine: byz.iter().map(|&i| ProcessId::new(i)).collect(),
+            crashed: crashed.iter().map(|&i| ProcessId::new(i)).collect(),
+            decision_rounds: outputs
+                .iter()
+                .map(|o| o.map(|_| Round::new(3)))
+                .collect(),
+            all_correct_decided: outputs.iter().all(|o| o.is_some()),
+            outputs,
+            rounds_executed: 3,
+            messages_sent: 0,
+            messages_delivered: 0,
+        }
+    }
+
+    #[test]
+    fn agreement_checks_honest_only() {
+        let out = outcome(vec![Some(1), Some(1), Some(2)], &[2], &[]);
+        assert!(properties::agreement(&out, |v| v));
+        let bad = outcome(vec![Some(1), Some(2), None], &[], &[]);
+        assert!(!properties::agreement(&bad, |v| v));
+        let empty = outcome(vec![None, None], &[], &[]);
+        assert!(properties::agreement(&empty, |v| v));
+    }
+
+    #[test]
+    fn validity_requires_initial_value() {
+        let out = outcome(vec![Some(5), Some(5), Some(5)], &[], &[]);
+        assert!(properties::validity(&out, &[5, 6, 7], |v| v));
+        assert!(!properties::validity(&out, &[1, 2, 3], |v| v));
+        // vacuous with Byzantine present
+        let byz = outcome(vec![Some(9), Some(9), None], &[2], &[]);
+        assert!(properties::validity(&byz, &[1, 2, 3], |v| v));
+    }
+
+    #[test]
+    fn unanimity_conditional_on_shared_input() {
+        let out = outcome(vec![Some(4), Some(4), None], &[2], &[]);
+        assert!(properties::unanimity(&out, &[4, 4], |v| v));
+        assert!(!properties::unanimity(&out, &[3, 3], |v| v));
+        // premise fails → vacuously true
+        assert!(properties::unanimity(&out, &[3, 4], |v| v));
+    }
+
+    #[test]
+    fn termination_tracks_correct_processes() {
+        let mut out = outcome(vec![Some(1), Some(1), None], &[], &[2]);
+        out.all_correct_decided = true;
+        assert!(properties::termination(&out));
+    }
+
+    #[test]
+    fn sets_and_rounds() {
+        let out = outcome(vec![Some(1), None, Some(1), None], &[1], &[3]);
+        assert_eq!(out.correct_set().len(), 2);
+        assert_eq!(out.honest_set().len(), 3);
+        assert_eq!(out.honest_decisions().count(), 2);
+        assert_eq!(out.last_decision_round(), Some(Round::new(3)));
+        assert_eq!(out.first_decision_round(), Some(Round::new(3)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Execution traces and predicate audits.
+//!
+//! When recording is enabled, the executor captures a
+//! [`RoundRecord`](gencon_rounds::predicate::RoundRecord) per round:
+//! what every honest process handed to the network and what every process
+//! received. [`TraceAudit`] then *verifies* — not assumes — that the
+//! execution provided the communication predicates the algorithm's
+//! liveness proof needs:
+//!
+//! * in good rounds, the round record must satisfy the predicate the
+//!   algorithm declared ([`RoundProcess::requirement`]);
+//! * in every round, no honest process may have been impersonated (§2.1).
+//!
+//! This closes the loop between the system model of §2.1 and the
+//! simulator's implementation of it.
+
+use gencon_rounds::predicate::RoundRecord;
+use gencon_rounds::Predicate;
+use gencon_types::{Config, ProcessSet, Round};
+
+/// One audited round: the record plus the context needed to judge it.
+#[derive(Clone, Debug)]
+pub struct TracedRound<M> {
+    /// The round number.
+    pub round: Round,
+    /// Whether the network was in a good period.
+    pub good: bool,
+    /// The predicate the honest participants required this round.
+    pub requirement: Predicate,
+    /// The set of correct processes *at the end of the round*.
+    pub correct: ProcessSet,
+    /// The honest processes (correct + crashed).
+    pub honest: ProcessSet,
+    /// The sent/received record.
+    pub record: RoundRecord<M>,
+}
+
+/// A recorded execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace<M> {
+    rounds: Vec<TracedRound<M>>,
+}
+
+impl<M> Trace<M> {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace { rounds: Vec::new() }
+    }
+
+    /// Appends a round.
+    pub fn push(&mut self, round: TracedRound<M>) {
+        self.rounds.push(round);
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Iterates the recorded rounds.
+    pub fn iter(&self) -> impl Iterator<Item = &TracedRound<M>> {
+        self.rounds.iter()
+    }
+}
+
+impl<M: Clone + PartialEq> Trace<M> {
+    /// Audits the whole trace against `cfg`.
+    #[must_use]
+    pub fn audit(&self, cfg: &Config) -> TraceAudit {
+        let mut audit = TraceAudit::default();
+        for tr in &self.rounds {
+            audit.rounds_checked += 1;
+            if !tr.record.no_impersonation(&tr.honest) {
+                audit.impersonations.push(tr.round);
+            }
+            if tr.good {
+                audit.good_rounds += 1;
+                if !tr.record.satisfies(tr.requirement, &tr.correct, cfg) {
+                    audit.predicate_violations.push((tr.round, tr.requirement));
+                }
+            }
+        }
+        audit
+    }
+}
+
+/// The result of auditing a [`Trace`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceAudit {
+    /// Rounds examined.
+    pub rounds_checked: usize,
+    /// Rounds that were in a good period.
+    pub good_rounds: usize,
+    /// Good rounds whose declared predicate did not hold.
+    pub predicate_violations: Vec<(Round, Predicate)>,
+    /// Rounds in which an honest process was impersonated.
+    pub impersonations: Vec<Round>,
+}
+
+impl TraceAudit {
+    /// Whether the execution upheld the system model.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.predicate_violations.is_empty() && self.impersonations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_rounds::HeardOf;
+    use gencon_types::ProcessId;
+
+    fn full_round(n: usize, r: u64, good: bool, req: Predicate) -> TracedRound<u32> {
+        let sent: Vec<Option<u32>> = (0..n).map(|i| Some(i as u32)).collect();
+        let received = (0..n)
+            .map(|_| {
+                let mut ho = HeardOf::empty(n);
+                for q in 0..n {
+                    ho.put(ProcessId::new(q), q as u32);
+                }
+                ho
+            })
+            .collect();
+        TracedRound {
+            round: Round::new(r),
+            good,
+            requirement: req,
+            correct: ProcessSet::range(0, n),
+            honest: ProcessSet::range(0, n),
+            record: RoundRecord { sent, received },
+        }
+    }
+
+    #[test]
+    fn clean_trace_audits_clean() {
+        let cfg = Config::new(3, 0, 0).unwrap();
+        let mut trace = Trace::new();
+        trace.push(full_round(3, 1, true, Predicate::Cons));
+        trace.push(full_round(3, 2, true, Predicate::Good));
+        let audit = trace.audit(&cfg);
+        assert!(audit.is_clean());
+        assert_eq!(audit.rounds_checked, 2);
+        assert_eq!(audit.good_rounds, 2);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn bad_round_predicates_are_not_audited() {
+        let cfg = Config::new(3, 0, 0).unwrap();
+        let mut tr = full_round(3, 1, false, Predicate::Cons);
+        tr.record.received[0].take(ProcessId::new(1)); // loss in a bad round
+        let mut trace = Trace::new();
+        trace.push(tr);
+        assert!(trace.audit(&cfg).is_clean(), "bad rounds impose nothing");
+    }
+
+    #[test]
+    fn good_round_violation_detected() {
+        let cfg = Config::new(3, 0, 0).unwrap();
+        let mut tr = full_round(3, 4, true, Predicate::Good);
+        tr.record.received[0].take(ProcessId::new(1)); // loss in a GOOD round
+        let mut trace = Trace::new();
+        trace.push(tr);
+        let audit = trace.audit(&cfg);
+        assert_eq!(
+            audit.predicate_violations,
+            vec![(Round::new(4), Predicate::Good)]
+        );
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn impersonation_detected_even_in_bad_rounds() {
+        let cfg = Config::new(3, 0, 0).unwrap();
+        let mut tr = full_round(3, 2, false, Predicate::None);
+        tr.record.received[2].put(ProcessId::new(0), 99); // forged content
+        let mut trace = Trace::new();
+        trace.push(tr);
+        let audit = trace.audit(&cfg);
+        assert_eq!(audit.impersonations, vec![Round::new(2)]);
+    }
+}

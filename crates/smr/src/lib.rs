@@ -1,0 +1,423 @@
+//! State-machine replication over sequences of consensus instances.
+//!
+//! §5.3 of the paper notes that Paxos and PBFT "solve a sequence of
+//! instances of consensus (state machine replication)" and isolates the
+//! single-instance core. This crate goes the other way: it composes the
+//! single-instance engine back into a replicated log — the deployment shape
+//! a downstream user actually wants.
+//!
+//! A [`Replica`] multiplexes a window of open consensus *slots* over one
+//! stream of closed rounds. Each slot runs an independent
+//! [`GenericConsensus`] instance (any parameterization: Paxos for benign
+//! deployments, PBFT/MQB for Byzantine ones); messages carry their slot id;
+//! a slot's decision is **committed** when every lower slot has committed,
+//! and committed commands are applied in order — so all honest replicas
+//! apply the same command sequence (by the paper's Agreement property,
+//! per slot).
+//!
+//! # Example
+//!
+//! ```
+//! use gencon_smr::Replica;
+//! use gencon_algos::pbft;
+//! use gencon_types::ProcessId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = pbft::<u64>(4, 1)?;
+//! let replica = Replica::new(
+//!     ProcessId::new(0),
+//!     spec.params.clone(),
+//!     vec![10, 20, 30], // locally queued client commands
+//!     0,                // no-op command for empty queues
+//!     3,                // commit target
+//! )?;
+//! assert_eq!(replica.committed(), &[] as &[u64]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use gencon_core::{ConsensusMsg, GenericConsensus, Params, ParamsError};
+use gencon_rounds::{HeardOf, Outgoing, Predicate, RoundProcess};
+use gencon_types::{ProcessId, Round, Value};
+
+/// A slot (log position) identifier.
+pub type Slot = u64;
+
+/// Messages of the replicated log: per-slot consensus messages, bundled per
+/// round. Bundling keeps the composition a closed-round protocol: one
+/// message per sender per round, carrying every open slot's payload.
+pub type SmrMsg<V> = Vec<(Slot, ConsensusMsg<V>)>;
+
+/// One replica of the replicated state machine.
+///
+/// Drive it with any executor of [`RoundProcess`] (the `gencon-sim`
+/// lock-step simulator, the `gencon-net` runtime, …). The replica opens up
+/// to `window` slots at once; each advances through the generic algorithm's
+/// schedule in lock-step with its peers (all replicas open slot `s` in the
+/// same global round, because openings are a deterministic function of the
+/// shared commit sequence).
+pub struct Replica<V: Value> {
+    id: ProcessId,
+    params: Params<V>,
+    /// Client commands queued locally, next to be proposed.
+    pending: Vec<V>,
+    /// Proposed-with when the local queue is empty.
+    noop: V,
+    /// Open instances: slot → (engine, the global round it opened at).
+    open: BTreeMap<Slot, (GenericConsensus<V>, u64)>,
+    /// Decided-but-not-yet-committed slots (waiting for lower slots).
+    decided: BTreeMap<Slot, V>,
+    /// The committed log, in order.
+    committed: Vec<V>,
+    /// Next slot to open.
+    next_slot: Slot,
+    /// Max simultaneously open slots.
+    window: usize,
+    /// Replica reports `output()` once this many commands committed.
+    commit_target: usize,
+}
+
+impl<V: Value> Replica<V> {
+    /// Creates a replica.
+    ///
+    /// * `params` — the per-instance consensus parameterization (e.g. from
+    ///   `gencon_algos::pbft`);
+    /// * `pending` — locally queued client commands, proposed in order;
+    /// * `noop` — proposed when the queue is empty (slots must still fill:
+    ///   consensus decides *some* command per slot);
+    /// * `commit_target` — how many committed commands constitute "done"
+    ///   for [`RoundProcess::output`] (executors use it as a stop signal).
+    ///
+    /// The window defaults to 1 (sequential slots); see
+    /// [`Replica::with_window`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamsError`] if `params` is invalid.
+    pub fn new(
+        id: ProcessId,
+        params: Params<V>,
+        pending: Vec<V>,
+        noop: V,
+        commit_target: usize,
+    ) -> Result<Self, ParamsError> {
+        params.validate()?;
+        Ok(Replica {
+            id,
+            params,
+            pending,
+            noop,
+            open: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            committed: Vec::new(),
+            next_slot: 0,
+            window: 1,
+            commit_target,
+        })
+    }
+
+    /// Sets the number of slots allowed in flight simultaneously
+    /// (pipelining). All replicas must use the same window.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The committed command log (the replicated state machine's input).
+    #[must_use]
+    pub fn committed(&self) -> &[V] {
+        &self.committed
+    }
+
+    /// Commands still queued locally.
+    #[must_use]
+    pub fn pending(&self) -> &[V] {
+        &self.pending
+    }
+
+    /// Currently open (undecided or uncommitted) slots.
+    #[must_use]
+    pub fn open_slots(&self) -> Vec<Slot> {
+        self.open.keys().copied().collect()
+    }
+
+    /// Enqueues another client command.
+    pub fn submit(&mut self, command: V) {
+        self.pending.push(command);
+    }
+
+    /// Opens new slots up to the window limit. Slot openings are a pure
+    /// function of (committed count, open count, round), identical on every
+    /// honest replica.
+    fn refill_window(&mut self, now: Round) {
+        while self.open.len() < self.window
+            && (self.committed.len() + self.decided.len() + self.open.len())
+                < self.commit_target.max(self.committed.len() + 1)
+        {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            let proposal = if self.pending.is_empty() {
+                self.noop.clone()
+            } else {
+                self.pending.remove(0)
+            };
+            let engine = GenericConsensus::new_unchecked(self.id, self.params.clone(), proposal);
+            self.open.insert(slot, (engine, now.number()));
+        }
+    }
+
+    /// Harvests decided slots and commits in order.
+    fn harvest(&mut self) {
+        let newly: Vec<Slot> = self
+            .open
+            .iter()
+            .filter(|(_, (e, _))| e.decision().is_some())
+            .map(|(s, _)| *s)
+            .collect();
+        for slot in newly {
+            let (engine, _) = self.open.remove(&slot).expect("slot is open");
+            let d = engine.decision().expect("checked above").clone();
+            self.decided.insert(slot, d.value);
+        }
+        // Commit the contiguous prefix.
+        while let Some(v) = self.decided.remove(&(self.committed.len() as Slot)) {
+            self.committed.push(v);
+        }
+    }
+}
+
+impl<V: Value> RoundProcess for Replica<V> {
+    type Msg = SmrMsg<V>;
+    type Output = Vec<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn requirement(&self, r: Round) -> Predicate {
+        // The strictest requirement among open slots this round: if any
+        // slot is in a selection round, the bundle wants Pcons.
+        let mut need = Predicate::Good;
+        for (engine, opened) in self.open.values() {
+            let local = Round::new(r.number() - opened + 1);
+            if engine.requirement(local) == Predicate::Cons {
+                need = Predicate::Cons;
+            }
+        }
+        need
+    }
+
+    fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
+        self.refill_window(r);
+        let mut bundle: Vec<(Slot, ConsensusMsg<V>)> = Vec::new();
+        for (slot, (engine, opened)) in &mut self.open {
+            let local = Round::new(r.number() - *opened + 1);
+            match engine.send(local) {
+                Outgoing::Silent => {}
+                Outgoing::Broadcast(m) => bundle.push((*slot, m)),
+                // Per-instance multicasts degrade to bundle broadcast; the
+                // constant-Π selectors of Byzantine algorithms make this
+                // exact, and benign leader-based instances just send a few
+                // extra copies.
+                Outgoing::Multicast { msg, .. } => bundle.push((*slot, msg)),
+                Outgoing::PerDest(_) => {
+                    unreachable!("honest engines never equivocate")
+                }
+            }
+        }
+        if bundle.is_empty() {
+            Outgoing::Silent
+        } else {
+            Outgoing::Broadcast(bundle)
+        }
+    }
+
+    fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
+        let n = self.params.cfg.n();
+        for (slot, (engine, opened)) in &mut self.open {
+            let local = Round::new(r.number() - *opened + 1);
+            let mut slot_heard: HeardOf<ConsensusMsg<V>> = HeardOf::empty(n);
+            for (sender, bundle) in heard.iter() {
+                if let Some((_, m)) = bundle.iter().find(|(s, _)| s == slot) {
+                    slot_heard.put(sender, m.clone());
+                }
+            }
+            engine.receive(local, &slot_heard);
+        }
+        self.harvest();
+    }
+
+    fn output(&self) -> Option<Vec<V>> {
+        (self.committed.len() >= self.commit_target).then(|| self.committed.clone())
+    }
+}
+
+impl<V: Value> std::fmt::Debug for Replica<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("id", &self.id.to_string())
+            .field("committed", &self.committed.len())
+            .field("open", &self.open.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_algos::{mqb, paxos, pbft};
+    use gencon_sim::{properties, CrashAt, CrashPlan, Gst, Simulation};
+
+    fn run_cluster(
+        replicas: Vec<Replica<u64>>,
+        crashes: CrashPlan,
+        gst: Option<(u64, f64, u64)>,
+        max_rounds: u64,
+    ) -> gencon_sim::Outcome<Vec<u64>> {
+        let cfg = replicas[0].params.cfg;
+        let mut builder = Simulation::builder(cfg);
+        for r in replicas {
+            builder = builder.honest(r);
+        }
+        if let Some((g, loss, seed)) = gst {
+            builder = builder.network(Gst::new(g, loss, seed));
+        }
+        builder.crashes(crashes).build().unwrap().run(max_rounds)
+    }
+
+    fn make_replicas(
+        spec: &gencon_algos::AlgorithmSpec<u64>,
+        queues: Vec<Vec<u64>>,
+        target: usize,
+        window: usize,
+    ) -> Vec<Replica<u64>> {
+        queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                Replica::new(ProcessId::new(i), spec.params.clone(), q, 0, target)
+                    .unwrap()
+                    .with_window(window)
+            })
+            .collect()
+    }
+
+    use gencon_types::ProcessId;
+
+    #[test]
+    fn pbft_replicated_log_commits_in_order() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let queues = vec![
+            vec![11, 12, 13],
+            vec![21, 22, 23],
+            vec![31, 32, 33],
+            vec![41, 42, 43],
+        ];
+        let out = run_cluster(
+            make_replicas(&spec, queues, 3, 1),
+            CrashPlan::none(),
+            None,
+            60,
+        );
+        assert!(out.all_correct_decided, "all replicas hit the commit target");
+        assert!(properties::agreement(&out, |log| log), "identical logs");
+        let log = out.outputs[0].as_ref().unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0], 11, "smallest proposal wins each fresh slot");
+    }
+
+    #[test]
+    fn pipelined_window_commits_faster_than_sequential() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..4).map(|s| r * 10 + s).collect()).collect();
+        let seq = run_cluster(
+            make_replicas(&spec, queues.clone(), 4, 1),
+            CrashPlan::none(),
+            None,
+            100,
+        );
+        let pipe = run_cluster(
+            make_replicas(&spec, queues, 4, 4),
+            CrashPlan::none(),
+            None,
+            100,
+        );
+        assert!(seq.all_correct_decided && pipe.all_correct_decided);
+        assert!(
+            pipe.rounds_executed < seq.rounds_executed,
+            "window 4 ({} rounds) beats window 1 ({} rounds)",
+            pipe.rounds_executed,
+            seq.rounds_executed
+        );
+        // Same committed values in both runs (proposals and tie-breaks are
+        // deterministic), regardless of pipelining.
+        assert_eq!(seq.outputs[0], pipe.outputs[0]);
+    }
+
+    #[test]
+    fn logs_identical_under_partial_synchrony() {
+        let spec = mqb::<u64>(5, 1).unwrap();
+        let queues: Vec<Vec<u64>> = (1..=5).map(|r| vec![r * 100, r * 100 + 1]).collect();
+        let out = run_cluster(
+            make_replicas(&spec, queues, 2, 2),
+            CrashPlan::none(),
+            Some((6, 0.7, 42)),
+            80,
+        );
+        assert!(out.all_correct_decided);
+        assert!(properties::agreement(&out, |log| log));
+    }
+
+    #[test]
+    fn paxos_smr_with_crash() {
+        let spec = paxos::<u64>(3, 1, ProcessId::new(0)).unwrap();
+        let queues = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let crashes = CrashPlan::none().with(
+            ProcessId::new(2),
+            CrashAt::mid_send(gencon_types::Round::new(4), 1),
+        );
+        let out = run_cluster(make_replicas(&spec, queues, 2, 1), crashes, None, 60);
+        assert!(out.all_correct_decided);
+        assert!(properties::agreement(&out, |log| log));
+    }
+
+    #[test]
+    fn empty_queues_fill_with_noops() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let queues = vec![vec![], vec![], vec![], vec![]];
+        let out = run_cluster(make_replicas(&spec, queues, 2, 1), CrashPlan::none(), None, 40);
+        assert!(out.all_correct_decided);
+        let log = out.outputs[0].as_ref().unwrap();
+        assert_eq!(log, &[0, 0], "no-op commands fill empty slots");
+    }
+
+    #[test]
+    fn submit_feeds_later_slots() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let mut replicas = make_replicas(&spec, vec![vec![]; 4], 1, 1);
+        for r in &mut replicas {
+            r.submit(7);
+        }
+        assert_eq!(replicas[0].pending(), &[7]);
+        let out = run_cluster(replicas, CrashPlan::none(), None, 30);
+        assert_eq!(out.outputs[0].as_ref().unwrap(), &[7]);
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let spec = pbft::<u64>(4, 1).unwrap();
+        let r = Replica::new(ProcessId::new(1), spec.params.clone(), vec![5], 0, 1).unwrap();
+        assert_eq!(r.committed(), &[] as &[u64]);
+        assert_eq!(r.pending(), &[5]);
+        assert!(r.open_slots().is_empty());
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("p1"));
+    }
+}

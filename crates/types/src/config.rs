@@ -1,0 +1,287 @@
+//! System configuration: the parameters n, f and b of §2.1.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::process::{ProcessSet, MAX_PROCESSES};
+
+/// The system model parameters of §2.1: `n` processes, at most `f` faulty
+/// (honest, i.e. crash-prone) processes and at most `b` Byzantine processes.
+///
+/// `Config` also carries the `unanimity` switch: the optional Unanimity
+/// property of §2.3 only makes sense with Byzantine processes and influences
+/// lines 8–9 of the class-3 FLV (Algorithm 4).
+///
+/// ```
+/// use gencon_types::Config;
+/// # fn main() -> Result<(), gencon_types::ConfigError> {
+/// let cfg = Config::new(7, 2, 1)?; // n = 7, f = 2 crash, b = 1 Byzantine
+/// assert_eq!(cfg.honest_minimum(), 6);   // n - b
+/// assert_eq!(cfg.correct_minimum(), 4);  // n - b - f
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Config {
+    n: usize,
+    f: usize,
+    b: usize,
+    unanimity: bool,
+}
+
+impl Config {
+    /// Creates a configuration with `n` processes, at most `f` crash-faulty
+    /// and at most `b` Byzantine processes. Unanimity is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `n == 0`, `n > MAX_PROCESSES`, or
+    /// `f + b >= n` (at least one correct process must exist).
+    pub fn new(n: usize, f: usize, b: usize) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::NoProcesses);
+        }
+        if n > MAX_PROCESSES {
+            return Err(ConfigError::TooManyProcesses { n });
+        }
+        if f + b >= n {
+            return Err(ConfigError::NoCorrectProcess { n, f, b });
+        }
+        Ok(Config {
+            n,
+            f,
+            b,
+            unanimity: false,
+        })
+    }
+
+    /// Convenience constructor for the benign fault model (`b = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Config::new`].
+    pub fn benign(n: usize, f: usize) -> Result<Self, ConfigError> {
+        Config::new(n, f, 0)
+    }
+
+    /// Convenience constructor for the Byzantine fault model (`f = 0`), the
+    /// setting of FaB Paxos, PBFT and MQB in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Config::new`].
+    pub fn byzantine(n: usize, b: usize) -> Result<Self, ConfigError> {
+        Config::new(n, 0, b)
+    }
+
+    /// Enables or disables the Unanimity property of §2.3.
+    #[must_use]
+    pub fn with_unanimity(mut self, unanimity: bool) -> Self {
+        self.unanimity = unanimity;
+        self
+    }
+
+    /// Total number of processes (|Π|).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of faulty honest (crash-prone) processes.
+    #[must_use]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Maximum number of Byzantine processes.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Whether Unanimity must be ensured.
+    #[must_use]
+    pub fn unanimity(&self) -> bool {
+        self.unanimity
+    }
+
+    /// Minimum number of honest processes: `n - b` (|H| lower bound).
+    #[must_use]
+    pub fn honest_minimum(&self) -> usize {
+        self.n - self.b
+    }
+
+    /// Minimum number of correct processes: `n - b - f` (|C| lower bound).
+    ///
+    /// This is also the upper bound the paper imposes on `TD`
+    /// (`TD ≤ n − b − f`, §3.2) so that decisions never have to wait for
+    /// faulty or Byzantine processes.
+    #[must_use]
+    pub fn correct_minimum(&self) -> usize {
+        self.n - self.b - self.f
+    }
+
+    /// The set Π of all processes, with ids `0..n`.
+    #[must_use]
+    pub fn all_processes(&self) -> ProcessSet {
+        ProcessSet::range(0, self.n)
+    }
+
+    /// Validates a decision threshold against the termination requirement
+    /// `TD ≤ n − b − f` of §3.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ThresholdUnreachable`] when `td` could block
+    /// termination, and [`ConfigError::ThresholdZero`] for a zero threshold.
+    pub fn validate_threshold(&self, td: usize) -> Result<(), ConfigError> {
+        if td == 0 {
+            return Err(ConfigError::ThresholdZero);
+        }
+        if td > self.correct_minimum() {
+            return Err(ConfigError::ThresholdUnreachable {
+                td,
+                max: self.correct_minimum(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} f={} b={}{}",
+            self.n,
+            self.f,
+            self.b,
+            if self.unanimity { " +unanimity" } else { "" }
+        )
+    }
+}
+
+/// Error constructing or validating a [`Config`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `n` was zero.
+    NoProcesses,
+    /// `n` exceeds [`MAX_PROCESSES`].
+    TooManyProcesses {
+        /// Requested number of processes.
+        n: usize,
+    },
+    /// `f + b >= n`: no process would be guaranteed correct.
+    NoCorrectProcess {
+        /// Total processes.
+        n: usize,
+        /// Crash-faulty bound.
+        f: usize,
+        /// Byzantine bound.
+        b: usize,
+    },
+    /// The decision threshold was zero.
+    ThresholdZero,
+    /// The decision threshold exceeds `n - b - f` and could wait forever
+    /// (violates `TD ≤ n − b − f` of §3.2).
+    ThresholdUnreachable {
+        /// Requested threshold.
+        td: usize,
+        /// Maximum admissible threshold (`n − b − f`).
+        max: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoProcesses => write!(f, "a system needs at least one process"),
+            ConfigError::TooManyProcesses { n } => {
+                write!(f, "{n} processes exceed the supported maximum of {MAX_PROCESSES}")
+            }
+            ConfigError::NoCorrectProcess { n, f: ff, b } => write!(
+                f,
+                "f + b must be smaller than n (got n={n}, f={ff}, b={b}): at least one correct process is required"
+            ),
+            ConfigError::ThresholdZero => write!(f, "decision threshold must be positive"),
+            ConfigError::ThresholdUnreachable { td, max } => write!(
+                f,
+                "decision threshold {td} exceeds n - b - f = {max} and would violate termination (TD ≤ n − b − f)"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_configs() {
+        let c = Config::new(4, 0, 1).unwrap();
+        assert_eq!((c.n(), c.f(), c.b()), (4, 0, 1));
+        assert_eq!(c.honest_minimum(), 3);
+        assert_eq!(c.correct_minimum(), 3);
+        assert!(!c.unanimity());
+        assert!(c.with_unanimity(true).unanimity());
+    }
+
+    #[test]
+    fn benign_and_byzantine_shortcuts() {
+        assert_eq!(Config::benign(3, 1).unwrap().b(), 0);
+        assert_eq!(Config::byzantine(4, 1).unwrap().f(), 0);
+    }
+
+    #[test]
+    fn rejects_empty_system() {
+        assert_eq!(Config::new(0, 0, 0), Err(ConfigError::NoProcesses));
+    }
+
+    #[test]
+    fn rejects_all_faulty() {
+        assert!(matches!(
+            Config::new(3, 2, 1),
+            Err(ConfigError::NoCorrectProcess { .. })
+        ));
+        assert!(Config::new(4, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_system() {
+        assert!(matches!(
+            Config::new(MAX_PROCESSES + 1, 0, 0),
+            Err(ConfigError::TooManyProcesses { .. })
+        ));
+        assert!(Config::new(MAX_PROCESSES, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let c = Config::new(5, 1, 1).unwrap(); // n-b-f = 3
+        assert!(c.validate_threshold(3).is_ok());
+        assert_eq!(
+            c.validate_threshold(4),
+            Err(ConfigError::ThresholdUnreachable { td: 4, max: 3 })
+        );
+        assert_eq!(c.validate_threshold(0), Err(ConfigError::ThresholdZero));
+    }
+
+    #[test]
+    fn all_processes_set() {
+        let c = Config::new(3, 0, 0).unwrap();
+        let s = c.all_processes();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s, ProcessSet::range(0, 3));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = Config::new(3, 2, 1).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("n=3"));
+        assert!(msg.contains("correct"));
+        assert_eq!(Config::new(5, 0, 0).unwrap().to_string(), "n=5 f=0 b=0");
+    }
+}

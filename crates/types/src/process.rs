@@ -1,0 +1,381 @@
+//! Process identifiers and sets of processes.
+
+use std::fmt;
+
+/// Maximum number of processes supported by [`ProcessSet`].
+///
+/// The paper's experiments never exceed a few dozen processes; 256 leaves
+/// ample headroom while keeping [`ProcessSet`] a cheap, `Copy`, inline bitset.
+pub const MAX_PROCESSES: usize = 256;
+
+const WORDS: usize = MAX_PROCESSES / 64;
+
+/// Identifier of a process in Π.
+///
+/// Identifiers are dense indices `0..n`. They are assigned at configuration
+/// time and never change during an execution.
+///
+/// ```
+/// use gencon_types::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PROCESSES`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_PROCESSES,
+            "process index {index} exceeds MAX_PROCESSES ({MAX_PROCESSES})"
+        );
+        ProcessId(index as u32)
+    }
+
+    /// Returns the dense index of this process (usable to index `Vec`s of
+    /// per-process data).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> usize {
+        id.index()
+    }
+}
+
+/// A set of processes (a subset of Π), e.g. the output of the `Selector`
+/// function or the `validators` variable of Algorithm 1.
+///
+/// Implemented as an inline bitset of capacity [`MAX_PROCESSES`]; all
+/// operations are O(capacity/64) and the type is `Copy`, which keeps the
+/// simulator allocation-free on its hot path.
+///
+/// ```
+/// use gencon_types::{ProcessId, ProcessSet};
+/// let mut s = ProcessSet::new();
+/// s.insert(ProcessId::new(0));
+/// s.insert(ProcessId::new(2));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessId::new(2)));
+/// assert!(!s.contains(ProcessId::new(1)));
+/// let t = ProcessSet::range(0, 2); // {p0, p1}
+/// assert_eq!(s.union(t).len(), 3);
+/// assert_eq!(s.intersection(t).len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet {
+    words: [u64; WORDS],
+}
+
+impl ProcessSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcessSet::default()
+    }
+
+    /// Creates the set `{first, first+1, ..., first+count-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first + count > MAX_PROCESSES`.
+    #[must_use]
+    pub fn range(first: usize, count: usize) -> Self {
+        assert!(first + count <= MAX_PROCESSES);
+        let mut s = ProcessSet::new();
+        for i in first..first + count {
+            s.insert(ProcessId::new(i));
+        }
+        s
+    }
+
+    /// Creates a set containing a single process.
+    #[must_use]
+    pub fn singleton(p: ProcessId) -> Self {
+        let mut s = ProcessSet::new();
+        s.insert(p);
+        s
+    }
+
+    /// Inserts a process; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let (w, m) = Self::locate(p);
+        let was = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !was
+    }
+
+    /// Removes a process; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let (w, m) = Self::locate(p);
+        let was = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        was
+    }
+
+    /// Tests membership.
+    #[must_use]
+    pub fn contains(&self, p: ProcessId) -> bool {
+        let (w, m) = Self::locate(p);
+        self.words[w] & m != 0
+    }
+
+    /// Number of processes in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty (the ∅ checks of lines 15 and 21).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: ProcessSet) -> ProcessSet {
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(other.words) {
+            *w |= o;
+        }
+        out
+    }
+
+    /// Set intersection (used for `|Selector(p, φ) ∩ C|` in Selector-liveness).
+    #[must_use]
+    pub fn intersection(&self, other: ProcessSet) -> ProcessSet {
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: ProcessSet) -> ProcessSet {
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(other.words) {
+            *w &= !o;
+        }
+        out
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: ProcessSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words)
+            .all(|(&w, o)| w & !o == 0)
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> ProcessSetIter {
+        ProcessSetIter {
+            set: *self,
+            next: 0,
+        }
+    }
+
+    fn locate(p: ProcessId) -> (usize, u64) {
+        let i = p.index();
+        (i / 64, 1u64 << (i % 64))
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = ProcessSetIter;
+    fn into_iter(self) -> ProcessSetIter {
+        ProcessSetIter { set: self, next: 0 }
+    }
+}
+
+impl IntoIterator for &ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = ProcessSetIter;
+    fn into_iter(self) -> ProcessSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`] in increasing index order.
+#[derive(Clone, Debug)]
+pub struct ProcessSetIter {
+    set: ProcessSet,
+    next: usize,
+}
+
+impl Iterator for ProcessSetIter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        while self.next < MAX_PROCESSES {
+            let i = self.next;
+            self.next += 1;
+            let p = ProcessId::new(i);
+            if self.set.contains(p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(MAX_PROCESSES - self.next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(p(0)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(p(5)));
+        assert!(!s.insert(p(5)), "double insert reports already present");
+        assert!(s.contains(p(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(p(5)));
+        assert!(!s.remove(p(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn membership_across_word_boundaries() {
+        let mut s = ProcessSet::new();
+        for i in [0, 63, 64, 127, 128, 255] {
+            s.insert(p(i));
+        }
+        assert_eq!(s.len(), 6);
+        for i in [0, 63, 64, 127, 128, 255] {
+            assert!(s.contains(p(i)), "missing {i}");
+        }
+        assert!(!s.contains(p(1)));
+        assert!(!s.contains(p(65)));
+    }
+
+    #[test]
+    fn range_constructor() {
+        let s = ProcessSet::range(2, 3);
+        assert_eq!(s.iter().map(ProcessId::index).collect::<Vec<_>>(), [2, 3, 4]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::range(0, 4); // {0,1,2,3}
+        let b = ProcessSet::range(2, 4); // {2,3,4,5}
+        assert_eq!(a.union(b).len(), 6);
+        assert_eq!(a.intersection(b).len(), 2);
+        assert_eq!(a.difference(b).iter().map(ProcessId::index).collect::<Vec<_>>(), [0, 1]);
+        assert!(ProcessSet::range(2, 2).is_subset(a));
+        assert!(!b.is_subset(a));
+        assert!(ProcessSet::new().is_subset(a));
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s: ProcessSet = [p(200), p(3), p(77)].into_iter().collect();
+        let order: Vec<usize> = s.iter().map(ProcessId::index).collect();
+        assert_eq!(order, [3, 77, 200]);
+    }
+
+    #[test]
+    fn singleton_behaviour() {
+        let s = ProcessSet::singleton(p(9));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(p(9)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(p(7).to_string(), "p7");
+        let s = ProcessSet::range(0, 2);
+        assert_eq!(s.to_string(), "{p0,p1}");
+        assert_eq!(format!("{:?}", ProcessSet::new()), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PROCESSES")]
+    fn out_of_range_id_panics() {
+        let _ = ProcessId::new(MAX_PROCESSES);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s = ProcessSet::new();
+        s.extend([p(1), p(2)]);
+        assert_eq!(s.len(), 2);
+        let t: ProcessSet = s.iter().collect();
+        assert_eq!(s, t);
+    }
+}

@@ -1,0 +1,148 @@
+//! Exact integer quorum arithmetic.
+//!
+//! Every threshold condition in the paper has the shape `count > (x + y)/2`
+//! or `count > x` over integers. Dividing first would silently change strict
+//! inequalities (e.g. `3 > 5/2` is true with integer division, but the paper
+//! means `3 > 2.5`); these helpers always compare cross-multiplied integers,
+//! so they are exact for all inputs.
+//!
+//! ```
+//! use gencon_types::quorum;
+//! // "more than (n+b)/2 messages" with n = 4, b = 1: needs ≥ 3.
+//! assert!(!quorum::more_than_half(2, 4 + 1));
+//! assert!(quorum::more_than_half(3, 4 + 1));
+//! ```
+
+/// `true` iff `count > total / 2` in exact (rational) arithmetic,
+/// i.e. `2·count > total`.
+///
+/// Used for: line 15 (`> (n+b)/2` with `total = n + b`), line 22
+/// (`> (|validators|+b)/2`), Algorithm 4 line 8 ("a majority of messages"),
+/// and the various `> (n+3b+f)/2`-style class bounds.
+#[must_use]
+pub fn more_than_half(count: usize, total: usize) -> bool {
+    2 * count > total
+}
+
+/// The least `q` such that `2·q > total`, i.e. `⌊total/2⌋ + 1`.
+///
+/// This is the number of identical messages needed to satisfy
+/// [`more_than_half`].
+#[must_use]
+pub fn majority_threshold(total: usize) -> usize {
+    total / 2 + 1
+}
+
+/// `true` iff `count > bound` (a plain strict threshold, spelled out for
+/// symmetry with [`more_than_half`] at call sites quoting the paper).
+#[must_use]
+pub fn more_than(count: usize, bound: usize) -> bool {
+    count > bound
+}
+
+/// The minimal decision threshold for class 1: least `TD` with
+/// `TD > (n + 3b + f)/2` (Table 1), i.e. `⌊(n+3b+f)/2⌋ + 1`.
+#[must_use]
+pub fn class1_min_td(n: usize, f: usize, b: usize) -> usize {
+    (n + 3 * b + f) / 2 + 1
+}
+
+/// The minimal decision threshold for class 2: least `TD` with
+/// `TD > 3b + f` (Table 1).
+#[must_use]
+pub fn class2_min_td(f: usize, b: usize) -> usize {
+    3 * b + f + 1
+}
+
+/// The minimal decision threshold for class 3: least `TD` with
+/// `TD > 2b + f` (Table 1).
+#[must_use]
+pub fn class3_min_td(f: usize, b: usize) -> usize {
+    2 * b + f + 1
+}
+
+/// The minimal `n` for class 1: `n > 5b + 3f` (Table 1).
+#[must_use]
+pub fn class1_min_n(f: usize, b: usize) -> usize {
+    5 * b + 3 * f + 1
+}
+
+/// The minimal `n` for class 2: `n > 4b + 2f` (Table 1).
+#[must_use]
+pub fn class2_min_n(f: usize, b: usize) -> usize {
+    4 * b + 2 * f + 1
+}
+
+/// The minimal `n` for class 3: `n > 3b + 2f` (Table 1).
+#[must_use]
+pub fn class3_min_n(f: usize, b: usize) -> usize {
+    3 * b + 2 * f + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_than_half_is_exact() {
+        // total = 5: strictly more than 2.5 means at least 3.
+        assert!(!more_than_half(2, 5));
+        assert!(more_than_half(3, 5));
+        // total = 4: strictly more than 2 means at least 3.
+        assert!(!more_than_half(2, 4));
+        assert!(more_than_half(3, 4));
+        // degenerate totals
+        assert!(more_than_half(1, 0));
+        assert!(!more_than_half(0, 0));
+    }
+
+    #[test]
+    fn majority_threshold_matches_more_than_half() {
+        for total in 0..50 {
+            let q = majority_threshold(total);
+            assert!(more_than_half(q, total));
+            assert!(q == 0 || !more_than_half(q - 1, total));
+        }
+    }
+
+    #[test]
+    fn class_bounds_match_table1_examples() {
+        // OneThirdRule: b = 0 ⇒ n > 3f; f = 1 ⇒ n ≥ 4.
+        assert_eq!(class1_min_n(1, 0), 4);
+        // FaB Paxos: f = 0 ⇒ n > 5b; b = 1 ⇒ n ≥ 6.
+        assert_eq!(class1_min_n(0, 1), 6);
+        // Paxos/CT: b = 0 ⇒ n > 2f; f = 1 ⇒ n ≥ 3.
+        assert_eq!(class2_min_n(1, 0), 3);
+        // MQB: f = 0 ⇒ n > 4b; b = 1 ⇒ n ≥ 5.
+        assert_eq!(class2_min_n(0, 1), 5);
+        // PBFT: f = 0 ⇒ n > 3b; b = 1 ⇒ n ≥ 4.
+        assert_eq!(class3_min_n(0, 1), 4);
+    }
+
+    #[test]
+    fn class_min_td_satisfies_strict_bounds() {
+        for f in 0..4 {
+            for b in 0..4 {
+                let n1 = class1_min_n(f, b);
+                let td1 = class1_min_td(n1, f, b);
+                assert!(2 * td1 > n1 + 3 * b + f, "class1 TD bound violated");
+                // TD must also be reachable: TD ≤ n − b − f.
+                assert!(td1 <= n1 - b - f, "class1 TD unreachable at minimal n");
+
+                let td2 = class2_min_td(f, b);
+                assert!(td2 > 3 * b + f);
+                assert!(td2 <= class2_min_n(f, b) - b - f);
+
+                let td3 = class3_min_td(f, b);
+                assert!(td3 > 2 * b + f);
+                assert!(td3 <= class3_min_n(f, b) - b - f);
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_is_strict() {
+        assert!(!more_than(3, 3));
+        assert!(more_than(4, 3));
+    }
+}

@@ -1,0 +1,185 @@
+//! Rounds, phases and the three-round phase structure of Algorithm 1.
+
+use std::fmt;
+
+/// A phase number φ ≥ 1.
+///
+/// Each phase of the generic algorithm is one attempt to decide, composed of
+/// a selection round, an (optional) validation round and a decision round.
+///
+/// Phase 0 is reserved as the *initial timestamp* value (`ts_p := 0` at
+/// initialization, line 3 of Algorithm 1); it never labels an executed phase.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Phase(u64);
+
+impl Phase {
+    /// The initial-timestamp sentinel (`ts = 0`).
+    pub const ZERO: Phase = Phase(0);
+    /// The first executed phase.
+    pub const FIRST: Phase = Phase(1);
+
+    /// Creates a phase from its number.
+    #[must_use]
+    pub fn new(phi: u64) -> Self {
+        Phase(phi)
+    }
+
+    /// The phase number.
+    #[must_use]
+    pub fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The next phase (φ + 1).
+    #[must_use]
+    pub fn next(self) -> Phase {
+        Phase(self.0 + 1)
+    }
+
+    /// The previous phase (φ - 1), saturating at 0.
+    #[must_use]
+    pub fn prev(self) -> Phase {
+        Phase(self.0.saturating_sub(1))
+    }
+
+    /// Whether this is the initial-timestamp sentinel.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "φ{}", self.0)
+    }
+}
+
+impl From<u64> for Phase {
+    fn from(phi: u64) -> Phase {
+        Phase(phi)
+    }
+}
+
+/// A global round number r ≥ 1 as driven by the lock-step executor.
+///
+/// The mapping from global rounds to `(Phase, RoundKind)` pairs depends on the
+/// algorithm's schedule (3 rounds per phase when `FLAG = φ`, 2 when
+/// `FLAG = *`, fewer when §3.1 optimizations apply) and is owned by
+/// `gencon-core`'s `Schedule`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Round(u64);
+
+impl Round {
+    /// The first round of an execution.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round from its number (1-based).
+    #[must_use]
+    pub fn new(r: u64) -> Self {
+        Round(r)
+    }
+
+    /// The round number.
+    #[must_use]
+    pub fn number(self) -> u64 {
+        self.0
+    }
+
+    /// The next round (r + 1).
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// 0-based offset of this round from round 1 (useful for indexing traces).
+    #[must_use]
+    pub fn offset(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(r: u64) -> Round {
+        Round(r)
+    }
+}
+
+/// The role a round plays inside a phase of Algorithm 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RoundKind {
+    /// Selection round (r = 3φ − 2): validators are elected and a value is
+    /// selected via the FLV function. The round in which `Pcons` must
+    /// eventually hold.
+    Selection,
+    /// Validation round (r = 3φ − 1): validators announce the selected value;
+    /// processes validate it and update `ts`. Skipped when `FLAG = *`.
+    Validation,
+    /// Decision round (r = 3φ): processes exchange `(vote, ts)` and decide on
+    /// `TD` matching votes.
+    Decision,
+}
+
+impl RoundKind {
+    /// All three kinds in phase order.
+    pub const ALL: [RoundKind; 3] = [
+        RoundKind::Selection,
+        RoundKind::Validation,
+        RoundKind::Decision,
+    ];
+}
+
+impl fmt::Display for RoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoundKind::Selection => "selection",
+            RoundKind::Validation => "validation",
+            RoundKind::Decision => "decision",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_arithmetic() {
+        assert_eq!(Phase::ZERO.next(), Phase::FIRST);
+        assert_eq!(Phase::new(5).prev(), Phase::new(4));
+        assert_eq!(Phase::ZERO.prev(), Phase::ZERO, "prev saturates at zero");
+        assert!(Phase::ZERO.is_zero());
+        assert!(!Phase::FIRST.is_zero());
+        assert!(Phase::new(2) < Phase::new(3));
+    }
+
+    #[test]
+    fn round_arithmetic() {
+        assert_eq!(Round::FIRST.number(), 1);
+        assert_eq!(Round::FIRST.offset(), 0);
+        assert_eq!(Round::new(7).next(), Round::new(8));
+        assert_eq!(Round::new(3).offset(), 2);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Phase::new(2).to_string(), "φ2");
+        assert_eq!(Round::new(4).to_string(), "r4");
+        assert_eq!(RoundKind::Selection.to_string(), "selection");
+        assert_eq!(RoundKind::Validation.to_string(), "validation");
+        assert_eq!(RoundKind::Decision.to_string(), "decision");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Phase::from(3u64), Phase::new(3));
+        assert_eq!(Round::from(3u64), Round::new(3));
+    }
+}

@@ -1,0 +1,44 @@
+//! The consensus value abstraction.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A value that processes can propose and decide on.
+///
+/// The generic algorithm needs values to be comparable for equality (to count
+/// identical votes), hashable (to tally votes efficiently), totally ordered
+/// (line 11 of Algorithm 1 *chooses deterministically* among received values —
+/// we pick the minimum) and cheaply clonable.
+///
+/// `Value` is automatically implemented for every type satisfying the bounds,
+/// including `bool` (binary consensus, §6), integers, `String` and
+/// `Vec<u8>` payloads.
+///
+/// ```
+/// fn assert_value<V: gencon_types::Value>() {}
+/// assert_value::<bool>();
+/// assert_value::<u64>();
+/// assert_value::<String>();
+/// assert_value::<Vec<u8>>();
+/// ```
+pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+
+impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takes_value<V: Value>(v: V) -> V {
+        v
+    }
+
+    #[test]
+    fn common_types_are_values() {
+        assert_eq!(takes_value(true), true);
+        assert_eq!(takes_value(42u64), 42);
+        assert_eq!(takes_value("cmd".to_string()), "cmd");
+        assert_eq!(takes_value(vec![1u8, 2]), vec![1, 2]);
+        assert_eq!(takes_value((1u32, "a".to_string())), (1, "a".to_string()));
+    }
+}

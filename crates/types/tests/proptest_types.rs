@@ -1,0 +1,97 @@
+//! Property tests for the foundation types: `ProcessSet` behaves as a set,
+//! quorum arithmetic is exact, and the class bounds are mutually
+//! consistent.
+
+use proptest::prelude::*;
+
+use gencon_types::{quorum, Config, ProcessId, ProcessSet};
+
+fn ids() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..256, 0..40)
+}
+
+proptest! {
+    #[test]
+    fn process_set_models_btreeset(a in ids(), b in ids()) {
+        use std::collections::BTreeSet;
+        let sa: ProcessSet = a.iter().map(|&i| ProcessId::new(i)).collect();
+        let sb: ProcessSet = b.iter().map(|&i| ProcessId::new(i)).collect();
+        let ra: BTreeSet<usize> = a.iter().copied().collect();
+        let rb: BTreeSet<usize> = b.iter().copied().collect();
+
+        prop_assert_eq!(sa.len(), ra.len());
+        prop_assert_eq!(
+            sa.union(sb).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            ra.union(&rb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sa.intersection(sb).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            ra.intersection(&rb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            sa.difference(sb).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            ra.difference(&rb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(sa.is_subset(sb), ra.is_subset(&rb));
+    }
+
+    #[test]
+    fn set_insert_remove_consistency(a in ids(), x in 0usize..256) {
+        let mut s: ProcessSet = a.iter().map(|&i| ProcessId::new(i)).collect();
+        let p = ProcessId::new(x);
+        let had = s.contains(p);
+        prop_assert_eq!(s.insert(p), !had);
+        prop_assert!(s.contains(p));
+        prop_assert!(s.remove(p));
+        prop_assert!(!s.contains(p));
+        prop_assert!(!s.remove(p));
+    }
+
+    #[test]
+    fn more_than_half_is_exact_rational(count in 0usize..1000, total in 0usize..1000) {
+        // Compare against exact rational arithmetic: count > total/2.
+        let exact = (count as f64) > (total as f64) / 2.0;
+        prop_assert_eq!(quorum::more_than_half(count, total), exact);
+    }
+
+    #[test]
+    fn majority_threshold_is_minimal(total in 0usize..1000) {
+        let q = quorum::majority_threshold(total);
+        prop_assert!(quorum::more_than_half(q, total));
+        if q > 0 {
+            prop_assert!(!quorum::more_than_half(q - 1, total));
+        }
+    }
+
+    #[test]
+    fn class_bounds_are_ordered(f in 0usize..10, b in 0usize..10) {
+        // Class 3 tolerates the most with the fewest processes:
+        // min_n(class3) ≤ min_n(class2) ≤ min_n(class1).
+        let n1 = quorum::class1_min_n(f, b);
+        let n2 = quorum::class2_min_n(f, b);
+        let n3 = quorum::class3_min_n(f, b);
+        prop_assert!(n3 <= n2 && n2 <= n1);
+        // And every class's minimal TD is reachable at its minimal n.
+        if f + b > 0 {
+            let c1 = Config::new(n1, f, b).unwrap();
+            prop_assert!(c1.validate_threshold(quorum::class1_min_td(n1, f, b)).is_ok());
+            let c2 = Config::new(n2, f, b).unwrap();
+            prop_assert!(c2.validate_threshold(quorum::class2_min_td(f, b)).is_ok());
+            let c3 = Config::new(n3, f, b).unwrap();
+            prop_assert!(c3.validate_threshold(quorum::class3_min_td(f, b)).is_ok());
+        }
+    }
+
+    #[test]
+    fn config_accessors_consistent(n in 1usize..100, f in 0usize..10, b in 0usize..10) {
+        match Config::new(n, f, b) {
+            Ok(cfg) => {
+                prop_assert!(f + b < n);
+                prop_assert_eq!(cfg.honest_minimum(), n - b);
+                prop_assert_eq!(cfg.correct_minimum(), n - b - f);
+                prop_assert_eq!(cfg.all_processes().len(), n);
+            }
+            Err(_) => prop_assert!(f + b >= n),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Randomized binary consensus (§6): Ben-Or without any synchrony
+//! assumption. The network delivers only `n − b − f` random messages per
+//! round, forever — no good period ever arrives — and the algorithm still
+//! terminates with probability 1 thanks to the coin at line 11.
+//!
+//! ```sh
+//! cargo run --example randomized_ben_or
+//! ```
+
+use gencon::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Ben-Or (benign, n = 5, f = 2): binary consensus under Prel only\n");
+
+    for seed in 0..5u64 {
+        let spec = gencon::algos::ben_or_benign::<u64>(5, 2, [0, 1], seed)?;
+        // Worst-case split input: 0,1,0,1,0.
+        let inits: Vec<u64> = (0..5).map(|i| i % 2).collect();
+        let fleet = spec.spawn(&inits)?;
+
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for engine in fleet {
+            builder = builder.honest(engine);
+        }
+        let keep = spec.params.cfg.correct_minimum();
+        let mut sim = builder
+            .network(RandomSubset::new(keep, 0xc01_+ seed))
+            .build()?;
+        let outcome = sim.run(2000);
+
+        assert!(properties::agreement(&outcome, |d| &d.value));
+        assert!(outcome.all_correct_decided, "probability-1 termination");
+        let d = outcome.honest_decisions().next().unwrap();
+        println!(
+            "seed {seed}: decided {} after {} rounds ({} phases of coin flips)",
+            d.value,
+            outcome.last_decision_round().unwrap().number(),
+            d.phase
+        );
+    }
+
+    println!("\nByzantine Ben-Or (n = 5, b = 1) with a silent Byzantine process:\n");
+    for seed in 0..3u64 {
+        let spec = gencon::algos::ben_or_byzantine::<u64>(5, 1, [0, 1], seed)?;
+        let inits: Vec<u64> = (0..5).map(|i| i % 2).collect();
+        let fleet = spec.spawn(&inits)?;
+        let byz = ProcessId::new(4);
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for engine in fleet {
+            if gencon::rounds::RoundProcess::id(&engine) != byz {
+                builder = builder.honest(engine);
+            }
+        }
+        let keep = spec.params.cfg.correct_minimum();
+        let mut sim = builder
+            .byzantine(gencon::adversary::Silent::<u64>::new(byz))
+            .network(RandomSubset::new(keep, 0xd0d0 + seed))
+            .build()?;
+        let outcome = sim.run(4000);
+        assert!(properties::agreement(&outcome, |d| &d.value));
+        assert!(outcome.all_correct_decided);
+        let d = outcome.honest_decisions().next().unwrap();
+        println!(
+            "seed {seed}: decided {} after {} rounds",
+            d.value,
+            outcome.last_decision_round().unwrap().number()
+        );
+    }
+
+    println!("\nno synchrony, no failure detector — just coins ✓");
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: the three classes solve consensus (§2.3
+//! properties) across fault models, network schedules and seeds.
+
+use gencon::prelude::*;
+use gencon_algos::AlgorithmSpec;
+
+fn class_spec(class: ClassId, f: usize, b: usize) -> AlgorithmSpec<u64> {
+    let n = class.min_n(f, b);
+    let cfg = Config::new(n, f, b).unwrap();
+    AlgorithmSpec {
+        name: "generic",
+        class,
+        model: "mixed",
+        bound: class.n_bound(),
+        params: Params::for_class(class, cfg).unwrap(),
+    }
+}
+
+fn run_all_honest(
+    spec: &AlgorithmSpec<u64>,
+    inits: &[u64],
+    net: impl NetworkModel + 'static,
+    crashes: CrashPlan,
+    max_rounds: u64,
+) -> Outcome<Decision<u64>> {
+    let fleet = spec.spawn(inits).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        builder = builder.honest(engine);
+    }
+    builder
+        .network(net)
+        .crashes(crashes)
+        .build()
+        .unwrap()
+        .run(max_rounds)
+}
+
+#[test]
+fn all_classes_decide_synchronously_benign() {
+    for class in ClassId::ALL {
+        let spec = class_spec(class, 1, 0);
+        let n = spec.params.cfg.n();
+        let inits: Vec<u64> = (0..n as u64).collect();
+        let out = run_all_honest(&spec, &inits, AlwaysGood, CrashPlan::none(), 20);
+        assert!(out.all_correct_decided, "{class}");
+        assert!(properties::agreement(&out, |d| &d.value), "{class}");
+        assert!(properties::validity(&out, &inits, |d| &d.value), "{class}");
+    }
+}
+
+#[test]
+fn all_classes_tolerate_one_crash() {
+    for class in ClassId::ALL {
+        let spec = class_spec(class, 1, 0);
+        let n = spec.params.cfg.n();
+        let inits: Vec<u64> = (0..n as u64).collect();
+        for crash_round in 1..=4u64 {
+            for prefix in [0usize, 1, n / 2, n] {
+                let crashes = CrashPlan::none().with(
+                    ProcessId::new(n - 1),
+                    CrashAt::mid_send(Round::new(crash_round), prefix),
+                );
+                let out = run_all_honest(&spec, &inits, AlwaysGood, crashes, 40);
+                assert!(
+                    out.all_correct_decided,
+                    "{class} crash@r{crash_round}+{prefix}"
+                );
+                assert!(
+                    properties::agreement(&out, |d| &d.value),
+                    "{class} crash@r{crash_round}+{prefix}"
+                );
+                assert!(
+                    properties::validity(&out, &inits, |d| &d.value),
+                    "{class} crash@r{crash_round}+{prefix}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_classes_decide_after_gst() {
+    for class in ClassId::ALL {
+        let spec = class_spec(class, 0, 1);
+        let n = spec.params.cfg.n();
+        let inits: Vec<u64> = (0..n as u64).collect();
+        for gst in [1u64, 5, 9] {
+            for seed in 0..5u64 {
+                let out = run_all_honest(
+                    &spec,
+                    &inits,
+                    Gst::new(gst, 0.8, seed),
+                    CrashPlan::none(),
+                    gst + 30,
+                );
+                assert!(out.all_correct_decided, "{class} gst={gst} seed={seed}");
+                assert!(
+                    properties::agreement(&out, |d| &d.value),
+                    "{class} gst={gst} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unanimity_holds_when_enabled() {
+    // Class 3 with the unanimity switch: all honest share the input, a
+    // Byzantine process pushes a different value — the decision must be
+    // the shared input.
+    let cfg = Config::byzantine(4, 1).unwrap().with_unanimity(true);
+    let params = Params::<u64>::for_class(ClassId::Three, cfg).unwrap();
+    let spec = AlgorithmSpec {
+        name: "generic+unanimity",
+        class: ClassId::Three,
+        model: "Byzantine",
+        bound: "n > 3b",
+        params,
+    };
+    let fleet = spec.spawn(&[5, 5, 5, 999]).unwrap();
+    let byz = ProcessId::new(3);
+    let ctx = gencon::adversary::AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        if gencon::rounds::RoundProcess::id(&engine) != byz {
+            builder = builder.honest(engine);
+        }
+    }
+    let mut sim = builder
+        .byzantine(gencon::adversary::Equivocator::new(byz, ctx, 1, 2))
+        .build()
+        .unwrap();
+    let out = sim.run(30);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |d| &d.value));
+    assert!(properties::unanimity(&out, &[5, 5, 5], |d| &d.value));
+    assert_eq!(out.honest_decisions().next().unwrap().value, 5);
+}
+
+#[test]
+fn decisions_are_stable_across_later_rounds() {
+    // A decided process keeps participating but never changes its decision.
+    let spec = class_spec(ClassId::Three, 0, 1);
+    let fleet = spec.spawn(&[1, 2, 3, 4]).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        builder = builder.honest(engine);
+    }
+    let mut sim = builder.build().unwrap();
+    sim.run(3);
+    let first: Vec<_> = sim.outputs();
+    assert!(first.iter().all(Option::is_some));
+    for _ in 0..12 {
+        sim.step();
+    }
+    assert_eq!(sim.outputs(), first, "decisions must not change");
+}
+
+#[test]
+fn larger_systems_decide_too() {
+    for class in ClassId::ALL {
+        for (f, b) in [(2, 0), (0, 2), (1, 1)] {
+            let n = class.min_n(f, b) + 3;
+            let cfg = Config::new(n, f, b).unwrap();
+            let spec = AlgorithmSpec {
+                name: "generic",
+                class,
+                model: "mixed",
+                bound: class.n_bound(),
+                params: Params::for_class(class, cfg).unwrap(),
+            };
+            let inits: Vec<u64> = (0..n as u64).map(|i| i * 3 % 7).collect();
+            let out = run_all_honest(&spec, &inits, AlwaysGood, CrashPlan::none(), 20);
+            assert!(out.all_correct_decided, "{class} f={f} b={b} n={n}");
+            assert!(properties::agreement(&out, |d| &d.value));
+        }
+    }
+}

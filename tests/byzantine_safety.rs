@@ -1,0 +1,164 @@
+//! Byzantine safety: agreement must hold for every adversary strategy, in
+//! every network schedule — including fully adversarial ones where no
+//! predicate ever holds (safety never depends on liveness assumptions).
+
+use gencon::adversary::{
+    AdversaryCtx, Equivocator, FreshLiar, HistoryForger, Silent, SplitVoter,
+};
+use gencon::prelude::*;
+use gencon::rounds::Adversary;
+use gencon_algos::AlgorithmSpec;
+use gencon_core::ConsensusMsg;
+
+type Adv = Box<dyn Adversary<Msg = ConsensusMsg<u64>>>;
+
+fn byz_specs() -> Vec<AlgorithmSpec<u64>> {
+    vec![
+        gencon_algos::fab_paxos::<u64>(6, 1).unwrap(),
+        gencon_algos::mqb::<u64>(5, 1).unwrap(),
+        gencon_algos::pbft::<u64>(4, 1).unwrap(),
+    ]
+}
+
+fn adversaries(spec: &AlgorithmSpec<u64>, byz: ProcessId) -> Vec<(&'static str, Adv)> {
+    let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+    vec![
+        ("silent", Box::new(Silent::<u64>::new(byz)) as Adv),
+        ("equivocator", Box::new(Equivocator::new(byz, ctx.clone(), 7, 8))),
+        ("fresh-liar", Box::new(FreshLiar::new(byz, ctx.clone(), 9))),
+        (
+            "history-forger",
+            Box::new(HistoryForger::new(byz, ctx.clone(), 10, vec![1, 2, 3, 4])),
+        ),
+        ("split-voter", Box::new(SplitVoter::new(byz, ctx, 11, 12))),
+    ]
+}
+
+fn run(
+    spec: &AlgorithmSpec<u64>,
+    adv: Adv,
+    byz: ProcessId,
+    net: impl NetworkModel + 'static,
+    enforce: bool,
+    rounds: u64,
+) -> Outcome<Decision<u64>> {
+    let n = spec.params.cfg.n();
+    let inits: Vec<u64> = (0..n as u64).collect();
+    let fleet = spec.spawn(&inits).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        if gencon::rounds::RoundProcess::id(&engine) != byz {
+            builder = builder.honest(engine);
+        }
+    }
+    builder
+        .byzantine(adv)
+        .network(net)
+        .enforce_predicates(enforce)
+        .build()
+        .unwrap()
+        .run(rounds)
+}
+
+#[test]
+fn agreement_under_all_adversaries_good_network() {
+    for spec in byz_specs() {
+        let byz = ProcessId::new(spec.params.cfg.n() - 1);
+        for (name, adv) in adversaries(&spec, byz) {
+            let out = run(&spec, adv, byz, AlwaysGood, true, 60);
+            assert!(
+                properties::agreement(&out, |d| &d.value),
+                "{} vs {name}",
+                spec.name
+            );
+            assert!(out.all_correct_decided, "{} vs {name}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn agreement_survives_hostile_network_without_enforcement() {
+    // Predicates never enforced, loss forever: liveness is gone, but any
+    // decisions that do happen must still agree. (Safety ⊥ liveness.)
+    for spec in byz_specs() {
+        let byz = ProcessId::new(spec.params.cfg.n() - 1);
+        for adv_index in 0..5usize {
+            for seed in 0..10u64 {
+                let (name, adv) = adversaries(&spec, byz).swap_remove(adv_index);
+                let out = run(&spec, adv, byz, Gst::new(u64::MAX, 0.5, seed), false, 40);
+                assert!(
+                    properties::agreement(&out, |d| &d.value),
+                    "{} vs {name} seed {seed}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_under_partition_then_heal() {
+    // A scripted half/half partition for 6 rounds, then full connectivity.
+    for spec in byz_specs() {
+        let n = spec.params.cfg.n();
+        let byz = ProcessId::new(n - 1);
+        let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+        let adv: Adv = Box::new(Equivocator::new(byz, ctx, 70, 80));
+        let net = Scripted::new(
+            move |r: Round, n| {
+                let mut plan = DeliveryPlan::full(n);
+                if r.number() <= 6 {
+                    for a in 0..n {
+                        for b in 0..n {
+                            if (a < n / 2) != (b < n / 2) {
+                                plan.set(ProcessId::new(a), ProcessId::new(b), false);
+                            }
+                        }
+                    }
+                }
+                plan
+            },
+            |r| r.number() > 6,
+        );
+        let out = run(&spec, adv, byz, net, true, 40);
+        assert!(
+            properties::agreement(&out, |d| &d.value),
+            "{} partitioned",
+            spec.name
+        );
+        assert!(out.all_correct_decided, "{} heals and decides", spec.name);
+    }
+}
+
+#[test]
+fn two_byzantine_processes_at_scale() {
+    // b = 2 systems: one silent + one equivocating Byzantine process.
+    let specs = vec![
+        gencon_algos::fab_paxos::<u64>(11, 2).unwrap(),
+        gencon_algos::mqb::<u64>(9, 2).unwrap(),
+        gencon_algos::pbft::<u64>(7, 2).unwrap(),
+    ];
+    for spec in specs {
+        let n = spec.params.cfg.n();
+        let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+        let b1 = ProcessId::new(n - 1);
+        let b2 = ProcessId::new(n - 2);
+        let inits: Vec<u64> = (0..n as u64).collect();
+        let fleet = spec.spawn(&inits).unwrap();
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for engine in fleet {
+            let id = gencon::rounds::RoundProcess::id(&engine);
+            if id != b1 && id != b2 {
+                builder = builder.honest(engine);
+            }
+        }
+        let out = builder
+            .byzantine(Silent::<u64>::new(b2))
+            .byzantine(Equivocator::new(b1, ctx, 100, 200))
+            .build()
+            .unwrap()
+            .run(60);
+        assert!(properties::agreement(&out, |d| &d.value), "{}", spec.name);
+        assert!(out.all_correct_decided, "{}", spec.name);
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration: the §5/§6 catalog end to end, and the `Pcons` stacks
+//! composed under real engines.
+
+use gencon::prelude::*;
+use gencon_algos as algos;
+use gencon_crypto::KeyStore;
+use gencon_pcons::{PconsMode, PconsStack};
+
+fn run_honest<S>(spec: &algos::AlgorithmSpec<u64>, inits: &[u64], net: S) -> Outcome<Decision<u64>>
+where
+    S: NetworkModel + 'static,
+{
+    let fleet = spec.spawn(inits).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        builder = builder.honest(engine);
+    }
+    builder.network(net).build().unwrap().run(600)
+}
+
+#[test]
+fn one_third_rule_decides_and_matches_bounds() {
+    for (n, f) in [(4, 1), (7, 2), (10, 3)] {
+        let spec = algos::one_third_rule::<u64>(n, f).unwrap();
+        let inits: Vec<u64> = (0..n as u64).collect();
+        let out = run_honest(&spec, &inits, AlwaysGood);
+        assert!(out.all_correct_decided);
+        assert_eq!(out.last_decision_round().unwrap().number(), 2, "2-round phase");
+    }
+    assert!(algos::one_third_rule::<u64>(6, 2).is_err(), "n > 3f enforced");
+}
+
+#[test]
+fn paxos_with_leader_and_rotation() {
+    let stable = algos::paxos::<u64>(5, 2, ProcessId::new(2)).unwrap();
+    let out = run_honest(&stable, &[5, 4, 3, 2, 1], AlwaysGood);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |d| &d.value));
+
+    // Rotating variant survives the crash of the first two coordinators.
+    let rotating = algos::paxos_rotating::<u64>(5, 2).unwrap();
+    let crashes = CrashPlan::none()
+        .with(ProcessId::new(0), CrashAt::silent(Round::new(1)))
+        .with(ProcessId::new(1), CrashAt::silent(Round::new(1)));
+    let fleet = rotating.spawn(&[5, 4, 3, 2, 1]).unwrap();
+    let mut builder = Simulation::builder(rotating.params.cfg);
+    for engine in fleet {
+        builder = builder.honest(engine);
+    }
+    let out2 = builder.crashes(crashes).build().unwrap().run(40);
+    assert!(out2.all_correct_decided, "progress under coordinator rotation");
+    assert!(properties::agreement(&out2, |d| &d.value));
+}
+
+#[test]
+fn chandra_toueg_decides_with_minority_crashes() {
+    let spec = algos::chandra_toueg::<u64>(5, 2).unwrap();
+    let crashes = CrashPlan::none()
+        .with(ProcessId::new(3), CrashAt::mid_send(Round::new(2), 2))
+        .with(ProcessId::new(4), CrashAt::silent(Round::new(4)));
+    let fleet = spec.spawn(&[9, 8, 7, 6, 5]).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        builder = builder.honest(engine);
+    }
+    let out = builder.crashes(crashes).build().unwrap().run(60);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |d| &d.value));
+}
+
+#[test]
+fn mqb_byzantine_equivocation_defeated() {
+    // The paper's new algorithm at its minimum, with the worst adversary.
+    let spec = algos::mqb::<u64>(5, 1).unwrap();
+    let ctx = gencon::adversary::AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+    let byz = ProcessId::new(4);
+    let fleet = spec.spawn(&[1, 1, 2, 2, 3]).unwrap();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for engine in fleet {
+        if gencon::rounds::RoundProcess::id(&engine) != byz {
+            builder = builder.honest(engine);
+        }
+    }
+    let out = builder
+        .byzantine(gencon::adversary::Equivocator::new(byz, ctx, 10, 20))
+        .network(Gst::new(4, 0.6, 3))
+        .build()
+        .unwrap()
+        .run(60);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |d| &d.value));
+}
+
+#[test]
+fn ben_or_terminates_across_seeds() {
+    for seed in 0..8u64 {
+        let spec = algos::ben_or_benign::<u64>(5, 2, [0, 1], seed).unwrap();
+        let inits = [0u64, 1, 0, 1, 0];
+        let keep = spec.params.cfg.correct_minimum();
+        let out = run_honest(&spec, &inits, RandomSubset::new(keep, 77 + seed));
+        assert!(out.all_correct_decided, "seed {seed}");
+        assert!(properties::agreement(&out, |d| &d.value), "seed {seed}");
+        // binary validity: the decision is someone's input
+        assert!(properties::validity(&out, &inits, |d| &d.value));
+    }
+}
+
+// ---- Pcons stacks under real engines --------------------------------------
+
+fn run_stacked(spec: &algos::AlgorithmSpec<u64>, mode: PconsMode) -> Outcome<Decision<u64>> {
+    let cfg = spec.params.cfg;
+    let n = cfg.n();
+    let stores = KeyStore::dealer(n, 5);
+    let inits: Vec<u64> = (0..n as u64).collect();
+    let mut builder = Simulation::builder(cfg);
+    for (i, engine) in spec.spawn(&inits).unwrap().into_iter().enumerate() {
+        match mode {
+            PconsMode::CoordinatedAuth => {
+                builder =
+                    builder.honest(PconsStack::coordinated_auth(engine, stores[i].clone(), cfg.b()));
+            }
+            PconsMode::EchoBroadcast => {
+                builder = builder.honest(PconsStack::echo_broadcast(engine, n, cfg.b()));
+            }
+        }
+    }
+    builder
+        .enforce_predicates(false)
+        .build()
+        .unwrap()
+        .run(60)
+}
+
+#[test]
+fn pbft_decides_over_both_pcons_stacks() {
+    let spec = algos::pbft::<u64>(4, 1).unwrap();
+    for mode in [PconsMode::CoordinatedAuth, PconsMode::EchoBroadcast] {
+        let out = run_stacked(&spec, mode);
+        assert!(out.all_correct_decided, "{mode:?}");
+        assert!(properties::agreement(&out, |d| &d.value), "{mode:?}");
+        // Selection rounds cost extra micro-rounds.
+        assert_eq!(
+            out.last_decision_round().unwrap().number(),
+            3 + (mode.micro_rounds() as u64 - 1),
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn mqb_decides_over_both_pcons_stacks() {
+    let spec = algos::mqb::<u64>(5, 1).unwrap();
+    for mode in [PconsMode::CoordinatedAuth, PconsMode::EchoBroadcast] {
+        let out = run_stacked(&spec, mode);
+        assert!(out.all_correct_decided, "{mode:?}");
+        assert!(properties::agreement(&out, |d| &d.value), "{mode:?}");
+    }
+}
+
+#[test]
+fn catalog_metadata_is_exhaustive() {
+    let cat = algos::catalog();
+    let names: Vec<_> = cat.iter().map(|e| e.name).collect();
+    for expected in [
+        "OneThirdRule",
+        "FaB Paxos",
+        "Paxos",
+        "CT",
+        "MQB",
+        "PBFT",
+        "Ben-Or",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}

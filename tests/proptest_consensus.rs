@@ -1,0 +1,322 @@
+//! Property-based tests (proptest): the abstract FLV properties of §3.2 as
+//! executable invariants over generated message distributions, plus
+//! whole-execution agreement over random fault/network schedules and codec
+//! round-trips.
+
+use proptest::prelude::*;
+
+use gencon::core::flv::properties::{
+    agreement_holds, liveness_holds, locked_distribution, validity_holds, LockedScenario,
+};
+use gencon::prelude::*;
+use gencon_algos::AlgorithmSpec;
+use gencon_core::{Class1Flv, Class2Flv, Class3Flv, SelectionMsg};
+use gencon_core::{Flv, FlvContext};
+use gencon_net::Wire;
+
+// ---------- FLV property tests ----------------------------------------------
+
+/// Strategy: a class-3 locked scenario at n = 4..8, b = 1.
+fn locked_scenario(n: usize, td: usize, b: usize) -> impl Strategy<Value = LockedScenario<u64>> {
+    let honest = n - b;
+    let locked_min = td - b;
+    (locked_min..=honest)
+        .prop_flat_map(move |locked_cnt| {
+            let stale_cnt = honest - locked_cnt;
+            (
+                Just(locked_cnt),
+                proptest::collection::vec((2u64..6, 0u64..3), stale_cnt..=stale_cnt),
+                proptest::collection::vec(
+                    (0u64..9, 0u64..20, proptest::collection::vec((0u64..9, 0u64..20), 0..4)),
+                    b..=b,
+                ),
+            )
+        })
+        .prop_map(move |(locked_cnt, stale, byz)| LockedScenario {
+            locked: 1,
+            validated_at: Phase::new(3),
+            honest_locked: locked_cnt,
+            honest_stale: stale
+                .into_iter()
+                .map(|(v, ts)| (v, Phase::new(ts)))
+                .collect(),
+            byzantine: byz
+                .into_iter()
+                .map(|(v, ts, h)| {
+                    (
+                        v,
+                        Phase::new(ts),
+                        h.into_iter().map(|(hv, hp)| (hv, Phase::new(hp))).collect(),
+                    )
+                })
+                .collect(),
+        })
+}
+
+/// Evaluates `flv` on every subset of the scenario's messages that an
+/// adversarial network could deliver, checking validity + agreement.
+fn check_flv_on_all_subsets(
+    flv: &dyn Flv<u64>,
+    ctx: &FlvContext,
+    msgs: &[SelectionMsg<u64>],
+    locked: u64,
+) -> Result<(), TestCaseError> {
+    prop_assert!(msgs.len() <= 12, "subset enumeration explodes");
+    for mask in 1u32..(1 << msgs.len()) {
+        let subset: Vec<&SelectionMsg<u64>> = msgs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << *i) != 0)
+            .map(|(_, m)| m)
+            .collect();
+        let out = flv.evaluate(ctx, &subset);
+        prop_assert!(validity_holds(&out, &subset), "validity, mask {mask:b}");
+        prop_assert!(
+            agreement_holds(&out, &locked),
+            "agreement, mask {mask:b}, outcome {out:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Class 1 (FaB setting n = 6, b = 1, TD = 5): FLV-validity and
+    /// FLV-agreement on every subnetwork of every reachable locked state.
+    #[test]
+    fn class1_flv_agreement(s in locked_scenario(6, 5, 1)) {
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let ctx = FlvContext { cfg, td: 5, phase: Phase::new(4) };
+        let msgs = locked_distribution(&s, false);
+        check_flv_on_all_subsets(&Class1Flv::new(), &ctx, &msgs, 1)?;
+    }
+
+    /// Class 2 (MQB setting n = 5, b = 1, TD = 4).
+    #[test]
+    fn class2_flv_agreement(s in locked_scenario(5, 4, 1)) {
+        let cfg = Config::byzantine(5, 1).unwrap();
+        let ctx = FlvContext { cfg, td: 4, phase: Phase::new(4) };
+        let msgs = locked_distribution(&s, false);
+        check_flv_on_all_subsets(&Class2Flv::new(), &ctx, &msgs, 1)?;
+    }
+
+    /// Class 3 (PBFT setting n = 4, b = 1, TD = 3); stale processes attest
+    /// the locked pair (they selected it in the locking phase).
+    #[test]
+    fn class3_flv_agreement(s in locked_scenario(4, 3, 1)) {
+        let cfg = Config::byzantine(4, 1).unwrap();
+        let ctx = FlvContext { cfg, td: 3, phase: Phase::new(4) };
+        let msgs = locked_distribution(&s, true);
+        check_flv_on_all_subsets(&Class3Flv::new(), &ctx, &msgs, 1)?;
+    }
+
+    /// §6's randomized-liveness: classes 1 and 2 answer non-null on *any*
+    /// n − b − f messages whatever their content — the property that lets
+    /// them be transformed into randomized algorithms. (Class 3 cannot:
+    /// see `prel_input_can_return_null_unlike_classes_1_and_2` in
+    /// gencon-core.)
+    #[test]
+    fn classes_1_and_2_are_randomizable(
+        votes in proptest::collection::vec(0u64..6, 5..=5),
+        ts in proptest::collection::vec(0u64..9, 5..=5),
+    ) {
+        let msgs: Vec<SelectionMsg<u64>> = votes
+            .iter()
+            .zip(&ts)
+            .map(|(&v, &t)| SelectionMsg {
+                vote: v,
+                ts: Phase::new(t),
+                history: gencon_core::History::initial(v),
+                selector: ProcessSet::new(),
+            })
+            .collect();
+        // class 1 at FaB parameters: n = 6, b = 1, TD = 5, n−b−f = 5.
+        let ctx1 = FlvContext {
+            cfg: Config::byzantine(6, 1).unwrap(),
+            td: 5,
+            phase: Phase::new(3),
+        };
+        let refs: Vec<&SelectionMsg<u64>> = msgs.iter().collect();
+        prop_assert!(liveness_holds::<u64>(&Class1Flv::new().evaluate(&ctx1, &refs)));
+        // class 2 at MQB parameters: n = 5, b = 1, TD = 4, n−b−f = 4.
+        let ctx2 = FlvContext {
+            cfg: Config::byzantine(5, 1).unwrap(),
+            td: 4,
+            phase: Phase::new(3),
+        };
+        let refs4: Vec<&SelectionMsg<u64>> = msgs.iter().take(4).collect();
+        prop_assert!(liveness_holds::<u64>(&Class2Flv::new().evaluate(&ctx2, &refs4)));
+    }
+
+    /// FLV-liveness: messages from all correct processes ⇒ non-null, for
+    /// arbitrary (not necessarily locked) correct states.
+    #[test]
+    fn flv_liveness_on_full_correct_input(
+        votes in proptest::collection::vec(0u64..5, 5..=5),
+        ts in proptest::collection::vec(0u64..4, 5..=5),
+    ) {
+        // class 2 at n = 6, b = 1, TD = 4: n − b − f = 5 correct senders.
+        let cfg = Config::byzantine(6, 1).unwrap();
+        let ctx = FlvContext { cfg, td: 4, phase: Phase::new(5) };
+        let msgs: Vec<SelectionMsg<u64>> = votes
+            .iter()
+            .zip(&ts)
+            .map(|(&v, &t)| SelectionMsg {
+                vote: v,
+                ts: Phase::new(t),
+                history: gencon_core::History::initial(v),
+                selector: ProcessSet::new(),
+            })
+            .collect();
+        let refs: Vec<&SelectionMsg<u64>> = msgs.iter().collect();
+        let out = Class2Flv::new().evaluate(&ctx, &refs);
+        prop_assert!(liveness_holds::<u64>(&out));
+    }
+}
+
+// ---------- whole-execution properties --------------------------------------
+
+fn spec_for(class: ClassId) -> AlgorithmSpec<u64> {
+    let cfg = Config::byzantine(class.min_n(0, 1), 1).unwrap();
+    AlgorithmSpec {
+        name: "generic",
+        class,
+        model: "Byzantine",
+        bound: class.n_bound(),
+        params: Params::for_class(class, cfg).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Agreement + validity across random GSTs, seeds and inputs for all
+    /// three classes (honest runs under partial synchrony).
+    #[test]
+    fn classes_agree_under_random_schedules(
+        class_idx in 0usize..3,
+        gst in 1u64..12,
+        seed in 0u64..1000,
+        inits in proptest::collection::vec(0u64..6, 6..=6),
+    ) {
+        let class = ClassId::ALL[class_idx];
+        let spec = spec_for(class);
+        let n = spec.params.cfg.n();
+        let inits = &inits[..n];
+        let fleet = spec.spawn(inits).unwrap();
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for engine in fleet {
+            builder = builder.honest(engine);
+        }
+        let out = builder
+            .network(Gst::new(gst, 0.7, seed))
+            .build()
+            .unwrap()
+            .run(gst + 30);
+        prop_assert!(out.all_correct_decided);
+        prop_assert!(properties::agreement(&out, |d| &d.value));
+        prop_assert!(properties::validity(&out, inits, |d| &d.value));
+    }
+
+    /// Byzantine equivocation cannot break agreement, for random split
+    /// values and GSTs (PBFT setting).
+    #[test]
+    fn pbft_agreement_with_random_equivocator(
+        v0 in 0u64..50,
+        v1 in 0u64..50,
+        gst in 1u64..10,
+        seed in 0u64..500,
+    ) {
+        let spec = gencon_algos::pbft::<u64>(4, 1).unwrap();
+        let byz = ProcessId::new(3);
+        let ctx = gencon::adversary::AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
+        let fleet = spec.spawn(&[1, 2, 3, 4]).unwrap();
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for engine in fleet {
+            if gencon::rounds::RoundProcess::id(&engine) != byz {
+                builder = builder.honest(engine);
+            }
+        }
+        let out = builder
+            .byzantine(gencon::adversary::Equivocator::new(byz, ctx, v0, v1))
+            .network(Gst::new(gst, 0.6, seed))
+            .build()
+            .unwrap()
+            .run(gst + 40);
+        prop_assert!(properties::agreement(&out, |d| &d.value));
+        prop_assert!(out.all_correct_decided);
+    }
+
+    /// Wire codec round-trip for arbitrary consensus messages.
+    #[test]
+    fn wire_roundtrip_consensus_msgs(
+        vote in any::<u64>(),
+        ts in 0u64..100,
+        phase in 1u64..100,
+        hist in proptest::collection::vec((any::<u64>(), 0u64..50), 0..8),
+        selector_bits in proptest::collection::vec(0usize..16, 0..8),
+        kind in 0u8..3,
+    ) {
+        let history: gencon_core::History<u64> = hist
+            .into_iter()
+            .map(|(v, p)| (v, Phase::new(p)))
+            .collect();
+        let selector: ProcessSet = selector_bits.into_iter().map(ProcessId::new).collect();
+        let msg = match kind {
+            0 => gencon_core::ConsensusMsg::Selection(
+                Phase::new(phase),
+                gencon_core::SelectionMsg { vote, ts: Phase::new(ts), history, selector },
+            ),
+            1 => gencon_core::ConsensusMsg::Validation(
+                Phase::new(phase),
+                gencon_core::ValidationMsg { select: Some(vote), validators: selector },
+            ),
+            _ => gencon_core::ConsensusMsg::Decision(
+                Phase::new(phase),
+                gencon_core::DecisionMsg { vote, ts: Phase::new(ts) },
+            ),
+        };
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let mut buf = bytes;
+        let back = gencon_core::ConsensusMsg::<u64>::decode(&mut buf).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// SHA-256 incremental/one-shot equivalence on arbitrary inputs and
+    /// split points.
+    #[test]
+    fn sha256_incremental_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let oneshot = gencon::crypto::sha256(&data);
+        let mut h = gencon::crypto::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Authenticators verify iff sender, message and receiver line up.
+    #[test]
+    fn authenticator_soundness(
+        n in 2usize..8,
+        sender in 0usize..8,
+        receiver in 0usize..8,
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        tweak in any::<bool>(),
+    ) {
+        let sender = sender % n;
+        let receiver = receiver % n;
+        let stores = gencon::crypto::KeyStore::dealer(n, 1234);
+        let auth = stores[sender].authenticate(&msg);
+        let mut checked = msg.clone();
+        if tweak {
+            checked.push(0xff);
+        }
+        let ok = stores[receiver].verify(ProcessId::new(sender), &checked, &auth);
+        prop_assert_eq!(ok, !tweak);
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration: state-machine replication (`gencon-smr`) across algorithms,
+//! fault models and pipelining windows — all honest replicas apply
+//! identical command sequences.
+
+use gencon::prelude::*;
+use gencon::smr::{Replica, SmrMsg};
+use gencon_algos as algos;
+
+fn replicas(
+    spec: &algos::AlgorithmSpec<u64>,
+    queues: Vec<Vec<u64>>,
+    target: usize,
+    window: usize,
+) -> Vec<Replica<u64>> {
+    queues
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            Replica::new(ProcessId::new(i), spec.params.clone(), q, 0, target)
+                .unwrap()
+                .with_window(window)
+        })
+        .collect()
+}
+
+#[test]
+fn pbft_smr_with_byzantine_replica() {
+    let spec = algos::pbft::<u64>(4, 1).unwrap();
+    let byz = ProcessId::new(3);
+    let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..3).map(|s| r * 10 + s).collect()).collect();
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for r in replicas(&spec, queues, 3, 2) {
+        if gencon::rounds::RoundProcess::id(&r) != byz {
+            builder = builder.honest(r);
+        }
+    }
+    let out = builder
+        .byzantine(gencon::adversary::Mute::<SmrMsg<u64>>::new(byz))
+        .build()
+        .unwrap()
+        .run(120);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |log| log));
+    let log = out.honest_decisions().next().unwrap();
+    assert_eq!(log.len(), 3);
+}
+
+#[test]
+fn logs_survive_partial_synchrony_and_seeds() {
+    let spec = algos::mqb::<u64>(5, 1).unwrap();
+    for seed in 0..5u64 {
+        let queues: Vec<Vec<u64>> = (1..=5).map(|r| vec![r * 7, r * 7 + 1]).collect();
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for r in replicas(&spec, queues, 2, 2) {
+            builder = builder.honest(r);
+        }
+        let out = builder
+            .network(Gst::new(5, 0.7, seed))
+            .build()
+            .unwrap()
+            .run(120);
+        assert!(out.all_correct_decided, "seed {seed}");
+        assert!(properties::agreement(&out, |log| log), "seed {seed}");
+    }
+}
+
+#[test]
+fn windows_do_not_change_committed_values() {
+    let spec = algos::pbft::<u64>(4, 1).unwrap();
+    let mut logs = Vec::new();
+    for window in [1usize, 2, 5] {
+        let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..5).map(|s| r * 100 + s).collect()).collect();
+        let mut builder = Simulation::builder(spec.params.cfg);
+        for r in replicas(&spec, queues, 5, window) {
+            builder = builder.honest(r);
+        }
+        let out = builder.build().unwrap().run(150);
+        assert!(out.all_correct_decided, "window {window}");
+        logs.push(out.outputs[0].clone().unwrap());
+    }
+    assert_eq!(logs[0], logs[1], "window 2 commits the same log");
+    assert_eq!(logs[0], logs[2], "window 5 commits the same log");
+}
+
+#[test]
+fn benign_smr_with_crash_mid_stream() {
+    let spec = algos::chandra_toueg::<u64>(5, 2).unwrap();
+    let queues: Vec<Vec<u64>> = (1..=5).map(|r| vec![r, r + 50, r + 100]).collect();
+    let crashes = CrashPlan::none()
+        .with(ProcessId::new(4), CrashAt::mid_send(Round::new(5), 2))
+        .with(ProcessId::new(3), CrashAt::silent(Round::new(8)));
+    let mut builder = Simulation::builder(spec.params.cfg);
+    for r in replicas(&spec, queues, 3, 1) {
+        builder = builder.honest(r);
+    }
+    let out = builder.crashes(crashes).build().unwrap().run(200);
+    assert!(out.all_correct_decided);
+    assert!(properties::agreement(&out, |log| log));
+}
