@@ -183,10 +183,9 @@ impl<V: Value> Adversary for Equivocator<V> {
                             validators: self.ctx.cfg.all_processes(),
                         },
                     ),
-                    RoundKind::Decision => ConsensusMsg::Decision(
-                        phase,
-                        DecisionMsg { vote: v, ts: phase },
-                    ),
+                    RoundKind::Decision => {
+                        ConsensusMsg::Decision(phase, DecisionMsg { vote: v, ts: phase })
+                    }
                 };
                 (dest, msg)
             })
@@ -372,10 +371,7 @@ impl<V: Value> Adversary for SplitVoter<V> {
                 let v = split_value(dest, n, &self.v0, &self.v1);
                 (
                     dest,
-                    ConsensusMsg::Decision(
-                        phase,
-                        DecisionMsg { vote: v, ts: phase },
-                    ),
+                    ConsensusMsg::Decision(phase, DecisionMsg { vote: v, ts: phase }),
                 )
             })
             .collect();
@@ -463,8 +459,14 @@ mod tests {
         assert!(matches!(s.send(Round::new(1)), Outgoing::Silent));
         assert!(matches!(s.send(Round::new(2)), Outgoing::Silent));
         let out = s.send(Round::new(3));
-        assert_eq!(out.message_for(p(0)).unwrap().as_decision().unwrap().vote, 1);
-        assert_eq!(out.message_for(p(3)).unwrap().as_decision().unwrap().vote, 2);
+        assert_eq!(
+            out.message_for(p(0)).unwrap().as_decision().unwrap().vote,
+            1
+        );
+        assert_eq!(
+            out.message_for(p(3)).unwrap().as_decision().unwrap().vote,
+            2
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use gencon_core::{
-    BenOrFlv, ChoicePolicy, ClassId, Class1Flv, Class2Flv, FabFlv, Flag, FullSelector,
+    BenOrFlv, ChoicePolicy, Class1Flv, Class2Flv, ClassId, FabFlv, Flag, FullSelector,
     GenericConsensus, LivenessMode, Params, ParamsError, PaxosFlv, PbftFlv, RotatingCoordinator,
     StableLeader, StateProfile,
 };
@@ -115,12 +115,21 @@ pub enum CatalogError {
 impl fmt::Display for CatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CatalogError::BoundViolated { algo, bound, n, min_n } => write!(
+            CatalogError::BoundViolated {
+                algo,
+                bound,
+                n,
+                min_n,
+            } => write!(
                 f,
                 "{algo} requires {bound}: n = {n} is below the minimum {min_n}"
             ),
             CatalogError::Params(e) => write!(f, "{e}"),
-            CatalogError::ShapeMismatch { algo, expected_n, n } => {
+            CatalogError::ShapeMismatch {
+                algo,
+                expected_n,
+                n,
+            } => {
                 write!(f, "{algo} is defined for n = {expected_n}, got n = {n}")
             }
         }
@@ -659,8 +668,11 @@ mod tests {
         for e in &cat {
             let (n, f, b) = e.min_system;
             // Each catalog minimum must satisfy its class bound.
-            assert!(n >= e.class.min_n(f, b) || e.name.contains("Ben-Or") || e.name == "PBFT",
-                "{}: min system below class bound", e.name);
+            assert!(
+                n >= e.class.min_n(f, b) || e.name.contains("Ben-Or") || e.name == "PBFT",
+                "{}: min system below class bound",
+                e.name
+            );
         }
         assert!(cat.iter().any(|e| e.name == "MQB"));
     }

@@ -139,10 +139,16 @@ mod tests {
 
     #[test]
     fn decision_requires_two_thirds_of_n() {
-        assert_eq!(OriginalOneThirdRule::decision_rule(4, &[1u64, 1, 1]), Some(1));
+        assert_eq!(
+            OriginalOneThirdRule::decision_rule(4, &[1u64, 1, 1]),
+            Some(1)
+        );
         assert_eq!(OriginalOneThirdRule::decision_rule(4, &[1u64, 1, 2]), None);
         // even with few messages received, 2n/3 is over n, never satisfied
-        assert_eq!(OriginalOneThirdRule::decision_rule(6, &[1u64, 1, 1, 1]), None);
+        assert_eq!(
+            OriginalOneThirdRule::decision_rule(6, &[1u64, 1, 1, 1]),
+            None
+        );
         assert_eq!(
             OriginalOneThirdRule::decision_rule(6, &[1u64, 1, 1, 1, 1]),
             Some(1)

@@ -1,0 +1,207 @@
+//! Systematic sweep of the catalog constructors against the paper's
+//! resilience bounds (Table 1): every out-of-bound `(n, f)`/`(n, b)` pair
+//! must yield a [`CatalogError`] — never a panic — and every in-bound pair
+//! must build a validated spec whose `td` respects `TD ≤ n − b − f`.
+
+use gencon_algos::{
+    ben_or_benign, ben_or_byzantine, chandra_toueg, fab_paxos, mqb, one_third_rule, paxos,
+    paxos_rotating, pbft, AlgorithmSpec, CatalogError,
+};
+use gencon_types::ProcessId;
+
+/// The sweep grid: system sizes and fault bounds beyond every published
+/// minimum, including the degenerate n = 0 and fault-free corners.
+const N_RANGE: std::ops::RangeInclusive<usize> = 0..=24;
+const FAULT_RANGE: std::ops::RangeInclusive<usize> = 0..=5;
+
+fn assert_spec_coherent(spec: &AlgorithmSpec<u64>, n: usize) {
+    assert_eq!(spec.params.cfg.n(), n, "{}: cfg.n mismatch", spec.name);
+    let cfg = spec.params.cfg;
+    assert!(
+        spec.params.td <= cfg.correct_minimum(),
+        "{}: TD {} exceeds n - b - f = {} (would block termination)",
+        spec.name,
+        spec.params.td,
+        cfg.correct_minimum()
+    );
+    assert!(spec.params.td > 0, "{}: zero TD", spec.name);
+}
+
+fn assert_bound_violation(err: &CatalogError, n: usize, min_n: usize) {
+    match err {
+        CatalogError::BoundViolated {
+            n: got_n,
+            min_n: got_min,
+            ..
+        } => {
+            assert_eq!(*got_n, n);
+            assert_eq!(*got_min, min_n);
+        }
+        other => panic!("expected BoundViolated for n = {n}, got {other:?}"),
+    }
+}
+
+#[test]
+fn one_third_rule_rejects_n_at_most_3f() {
+    for n in N_RANGE {
+        for f in FAULT_RANGE {
+            let result = one_third_rule::<u64>(n, f);
+            if n > 3 * f {
+                let spec = result.unwrap_or_else(|e| panic!("OTR({n},{f}) in-bound: {e}"));
+                assert_spec_coherent(&spec, n);
+            } else {
+                assert_bound_violation(&result.unwrap_err(), n, 3 * f + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn fab_paxos_rejects_n_at_most_5b() {
+    for n in N_RANGE {
+        for b in FAULT_RANGE {
+            let result = fab_paxos::<u64>(n, b);
+            if n > 5 * b {
+                let spec = result.unwrap_or_else(|e| panic!("FaB({n},{b}) in-bound: {e}"));
+                assert_spec_coherent(&spec, n);
+                // Table 1: TD > (n + 3b + f)/2 with f = 0, exactly minimal.
+                assert!(2 * spec.params.td > n + 3 * b, "FaB TD below class-1 bound");
+            } else {
+                assert_bound_violation(&result.unwrap_err(), n, 5 * b + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn paxos_variants_reject_n_at_most_2f() {
+    for n in N_RANGE {
+        for f in FAULT_RANGE {
+            let leader = paxos::<u64>(n, f, ProcessId::new(0));
+            let rotating = paxos_rotating::<u64>(n, f);
+            let ct = chandra_toueg::<u64>(n, f);
+            if n > 2 * f {
+                assert_spec_coherent(&leader.unwrap(), n);
+                assert_spec_coherent(&rotating.unwrap(), n);
+                let ct = ct.unwrap();
+                assert_eq!(ct.params.td, f + 1, "CT decides on f + 1 echoes");
+                assert_spec_coherent(&ct, n);
+            } else {
+                assert_bound_violation(&leader.unwrap_err(), n, 2 * f + 1);
+                assert_bound_violation(&rotating.unwrap_err(), n, 2 * f + 1);
+                assert_bound_violation(&ct.unwrap_err(), n, 2 * f + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn mqb_rejects_n_at_most_4b() {
+    for n in N_RANGE {
+        for b in FAULT_RANGE {
+            let result = mqb::<u64>(n, b);
+            if n > 4 * b {
+                let spec = result.unwrap_or_else(|e| panic!("MQB({n},{b}) in-bound: {e}"));
+                assert_spec_coherent(&spec, n);
+                // Class-2 threshold at f = 0: TD > 3b, and MQB picks
+                // ⌈(n + 2b + 1)/2⌉ which must still be reachable.
+                assert!(spec.params.td > 3 * b, "MQB TD below class-2 bound");
+            } else {
+                assert_bound_violation(&result.unwrap_err(), n, 4 * b + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn pbft_rejects_any_shape_but_3b_plus_1() {
+    for n in N_RANGE {
+        for b in FAULT_RANGE {
+            let result = pbft::<u64>(n, b);
+            if n == 3 * b + 1 && b > 0 {
+                let spec = result.unwrap_or_else(|e| panic!("PBFT({n},{b}): {e}"));
+                assert_spec_coherent(&spec, n);
+                assert_eq!(spec.params.td, 2 * b + 1);
+            } else if n == 3 * b + 1 {
+                // b = 0, n = 1: the shape holds but a 1-process Byzantine
+                // "system" still has to produce a coherent spec or a
+                // parameter error — either way, no panic.
+                if let Ok(spec) = result {
+                    assert_spec_coherent(&spec, n);
+                }
+            } else {
+                match result.unwrap_err() {
+                    CatalogError::ShapeMismatch {
+                        expected_n,
+                        n: got_n,
+                        ..
+                    } => {
+                        assert_eq!(expected_n, 3 * b + 1);
+                        assert_eq!(got_n, n);
+                    }
+                    other => panic!("PBFT({n},{b}): expected ShapeMismatch, got {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ben_or_rejects_out_of_bound_systems() {
+    for n in N_RANGE {
+        for faults in FAULT_RANGE {
+            let benign = ben_or_benign::<u64>(n, faults, [0, 1], 7);
+            if n > 2 * faults {
+                assert_spec_coherent(&benign.unwrap(), n);
+            } else {
+                assert_bound_violation(&benign.unwrap_err(), n, 2 * faults + 1);
+            }
+
+            let byz = ben_or_byzantine::<u64>(n, faults, [0, 1], 7);
+            if n > 4 * faults {
+                assert_spec_coherent(&byz.unwrap(), n);
+            } else {
+                assert_bound_violation(&byz.unwrap_err(), n, 4 * faults + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn errors_are_printable_and_name_the_bound() {
+    let cases: Vec<(CatalogError, &str)> = vec![
+        (one_third_rule::<u64>(3, 1).unwrap_err(), "n > 3f"),
+        (fab_paxos::<u64>(5, 1).unwrap_err(), "n > 5b"),
+        (mqb::<u64>(4, 1).unwrap_err(), "n > 4b"),
+        (chandra_toueg::<u64>(2, 1).unwrap_err(), "n > 2f"),
+        (
+            ben_or_byzantine::<u64>(4, 1, [0, 1], 0).unwrap_err(),
+            "n > 4b",
+        ),
+    ];
+    for (err, bound) in cases {
+        let msg = err.to_string();
+        assert!(
+            msg.contains(bound),
+            "error `{msg}` does not quote `{bound}`"
+        );
+    }
+    let shape = pbft::<u64>(6, 1).unwrap_err().to_string();
+    assert!(
+        shape.contains('4'),
+        "PBFT shape error should name expected n: {shape}"
+    );
+}
+
+#[test]
+fn boundary_minimums_build_and_below_boundary_fails() {
+    // The exact (min_n, fault) corner for every named algorithm of Table 1.
+    assert!(one_third_rule::<u64>(4, 1).is_ok() && one_third_rule::<u64>(3, 1).is_err());
+    assert!(fab_paxos::<u64>(6, 1).is_ok() && fab_paxos::<u64>(5, 1).is_err());
+    assert!(paxos::<u64>(3, 1, ProcessId::new(0)).is_ok());
+    assert!(paxos::<u64>(2, 1, ProcessId::new(0)).is_err());
+    assert!(mqb::<u64>(5, 1).is_ok() && mqb::<u64>(4, 1).is_err());
+    assert!(pbft::<u64>(4, 1).is_ok() && pbft::<u64>(3, 1).is_err());
+    assert!(ben_or_byzantine::<u64>(5, 1, [0, 1], 0).is_ok());
+    assert!(ben_or_byzantine::<u64>(4, 1, [0, 1], 0).is_err());
+}

@@ -26,7 +26,9 @@ fn bench_catalog(c: &mut Criterion) {
         ("pbft_n4", pbft(4, 1).unwrap()),
     ];
     for (name, spec) in &specs {
-        group.bench_function(*name, |b| b.iter(|| decide_once(std::hint::black_box(spec))));
+        group.bench_function(*name, |b| {
+            b.iter(|| decide_once(std::hint::black_box(spec)))
+        });
     }
     group.finish();
 }

@@ -24,7 +24,9 @@ fn bench_crypto(c: &mut Criterion) {
     for n in [4usize, 16, 64] {
         let stores = KeyStore::dealer(n, 7);
         auth_group.bench_function(format!("authenticate_n{n}"), |b| {
-            b.iter(|| stores[0].authenticate(std::hint::black_box(b"digest-32-bytes-digest-32-bytes!")))
+            b.iter(|| {
+                stores[0].authenticate(std::hint::black_box(b"digest-32-bytes-digest-32-bytes!"))
+            })
         });
         let auth = stores[0].authenticate(b"digest-32-bytes-digest-32-bytes!");
         auth_group.bench_function(format!("verify_n{n}"), |b| {

@@ -33,8 +33,8 @@ fn inputs(n: usize, phases: u64) -> Vec<SelectionMsg<u64>> {
 fn bench_flv(c: &mut Criterion) {
     let mut group = c.benchmark_group("flv");
     for n in [7usize, 16, 64] {
-        let cfg = Config::byzantine(n, (n - 1) / 6)
-            .unwrap_or_else(|_| Config::byzantine(n, 0).unwrap());
+        let cfg =
+            Config::byzantine(n, (n - 1) / 6).unwrap_or_else(|_| Config::byzantine(n, 0).unwrap());
         let msgs = inputs(n, 8);
         let refs: Vec<&SelectionMsg<u64>> = msgs.iter().collect();
         let ctx = FlvContext {

@@ -21,7 +21,10 @@ fn main() {
 
     println!("## Constant-selector: transmitted selection-message bytes (MQB, n = 5)\n");
     let mut t = Table::new(["variant", "selector set sent", "bytes/selection msg"]);
-    for (label, constant) in [("optimized (constant Π)", true), ("general (set exchanged)", false)] {
+    for (label, constant) in [
+        ("optimized (constant Π)", true),
+        ("general (set exchanged)", false),
+    ] {
         let msg = SelectionMsg {
             vote: 7u64,
             ts: Phase::new(1),

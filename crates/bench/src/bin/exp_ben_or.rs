@@ -16,13 +16,7 @@ use gencon_sim::{properties, CrashPlan, RandomSubset};
 const SEEDS: u64 = 40;
 const MAX_ROUNDS: u64 = 3000;
 
-fn series(
-    t: &mut Table,
-    label: &str,
-    n: usize,
-    f: usize,
-    b: usize,
-) {
+fn series(t: &mut Table, label: &str, n: usize, f: usize, b: usize) {
     let mut rounds: Vec<u64> = Vec::new();
     for seed in 0..SEEDS {
         let spec = if b > 0 {
@@ -68,14 +62,7 @@ fn series(
 
 fn main() {
     println!("# E4 — Ben-Or randomized consensus under Prel (split inputs)\n");
-    let mut t = Table::new([
-        "variant",
-        "n",
-        "mean rounds",
-        "median",
-        "max",
-        "terminated",
-    ]);
+    let mut t = Table::new(["variant", "n", "mean rounds", "median", "max", "terminated"]);
     for n in [3usize, 5, 7, 9] {
         series(&mut t, "benign (f = (n-1)/2)", n, (n - 1) / 2, 0);
     }

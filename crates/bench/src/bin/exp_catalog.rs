@@ -54,7 +54,14 @@ fn run_case<V: Value + From<u8>>(
 
     let out = if randomized {
         let keep = spec.params.cfg.correct_minimum();
-        run_scenario(spec, &inits, RandomSubset::new(keep, 42), crashes, advs, 600)
+        run_scenario(
+            spec,
+            &inits,
+            RandomSubset::new(keep, 42),
+            crashes,
+            advs,
+            600,
+        )
     } else {
         run_scenario(spec, &inits, AlwaysGood, crashes, advs, 80)
     };
@@ -73,14 +80,33 @@ fn run_case<V: Value + From<u8>>(
 
 fn main() {
     println!("# E3 — The algorithm catalog, end to end\n");
-    let mut t = Table::new(["algorithm", "class", "bound", "n", "fault", "decided @ round"]);
+    let mut t = Table::new([
+        "algorithm",
+        "class",
+        "bound",
+        "n",
+        "fault",
+        "decided @ round",
+    ]);
 
     // Benign algorithms: fault-free + crash.
     for (s, big) in [
-        (one_third_rule::<u64>(4, 1).unwrap(), one_third_rule::<u64>(10, 3).unwrap()),
-        (paxos::<u64>(3, 1, ProcessId::new(0)).unwrap(), paxos::<u64>(9, 4, ProcessId::new(0)).unwrap()),
-        (paxos_rotating::<u64>(3, 1).unwrap(), paxos_rotating::<u64>(7, 3).unwrap()),
-        (chandra_toueg::<u64>(3, 1).unwrap(), chandra_toueg::<u64>(9, 4).unwrap()),
+        (
+            one_third_rule::<u64>(4, 1).unwrap(),
+            one_third_rule::<u64>(10, 3).unwrap(),
+        ),
+        (
+            paxos::<u64>(3, 1, ProcessId::new(0)).unwrap(),
+            paxos::<u64>(9, 4, ProcessId::new(0)).unwrap(),
+        ),
+        (
+            paxos_rotating::<u64>(3, 1).unwrap(),
+            paxos_rotating::<u64>(7, 3).unwrap(),
+        ),
+        (
+            chandra_toueg::<u64>(3, 1).unwrap(),
+            chandra_toueg::<u64>(9, 4).unwrap(),
+        ),
     ] {
         run_case(&s, &Fault::None, &mut t, false);
         let crash_victim = s.params.cfg.n() - 1;
@@ -90,7 +116,10 @@ fn main() {
 
     // Byzantine algorithms: fault-free + silent + equivocating adversary.
     for (s, big) in [
-        (fab_paxos::<u64>(6, 1).unwrap(), fab_paxos::<u64>(11, 2).unwrap()),
+        (
+            fab_paxos::<u64>(6, 1).unwrap(),
+            fab_paxos::<u64>(11, 2).unwrap(),
+        ),
         (mqb::<u64>(5, 1).unwrap(), mqb::<u64>(9, 2).unwrap()),
         (pbft::<u64>(4, 1).unwrap(), pbft::<u64>(7, 2).unwrap()),
     ] {
@@ -98,7 +127,12 @@ fn main() {
         let byz = s.params.cfg.n() - 1;
         run_case(&s, &Fault::ByzSilent(byz), &mut t, false);
         run_case(&s, &Fault::ByzEquivocate(byz), &mut t, false);
-        run_case(&big, &Fault::ByzSilent(big.params.cfg.n() - 1), &mut t, false);
+        run_case(
+            &big,
+            &Fault::ByzSilent(big.params.cfg.n() - 1),
+            &mut t,
+            false,
+        );
     }
 
     // Randomized algorithms under Prel-only delivery.

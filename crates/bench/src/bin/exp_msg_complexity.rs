@@ -42,7 +42,12 @@ fn main() {
     println!("# E6 — Message and state complexity per class\n");
 
     println!("## Wire-encoded selection message size (bytes) vs phases executed\n");
-    let mut t = Table::new(["phases", "class 1 (vote)", "class 2 (vote,ts)", "class 3 (+history)"]);
+    let mut t = Table::new([
+        "phases",
+        "class 1 (vote)",
+        "class 2 (vote,ts)",
+        "class 3 (+history)",
+    ]);
     for phases in [0u64, 1, 2, 5, 10, 50] {
         let sizes: Vec<String> = ClassId::ALL
             .iter()

@@ -29,12 +29,18 @@ fn adversaries_for(
 ) -> Vec<(&'static str, BoxedAdversary<u64>)> {
     let ctx = AdversaryCtx::new(params.cfg, params.schedule());
     vec![
-        ("silent", Box::new(Silent::<u64>::new(byz)) as BoxedAdversary<u64>),
+        (
+            "silent",
+            Box::new(Silent::<u64>::new(byz)) as BoxedAdversary<u64>,
+        ),
         (
             "equivocator",
             Box::new(Equivocator::new(byz, ctx.clone(), 100, 200)),
         ),
-        ("fresh-liar", Box::new(FreshLiar::new(byz, ctx.clone(), 300))),
+        (
+            "fresh-liar",
+            Box::new(FreshLiar::new(byz, ctx.clone(), 300)),
+        ),
         (
             "history-forger",
             Box::new(HistoryForger::new(byz, ctx.clone(), 400, vec![1, 2, 3])),
@@ -72,7 +78,10 @@ fn main() {
             let inits: Vec<u64> = (0..n as u64).collect();
             let out = run_scenario(&spec, &inits, AlwaysGood, CrashPlan::none(), vec![adv], 60);
             let agreement = properties::agreement(&out, |d: &Decision<u64>| &d.value);
-            assert!(agreement, "{class} vs {name}: agreement violated AT the bound");
+            assert!(
+                agreement,
+                "{class} vs {name}: agreement violated AT the bound"
+            );
             assert!(
                 out.all_correct_decided,
                 "{class} vs {name}: no termination AT the bound"
@@ -97,7 +106,12 @@ fn main() {
     for class in ClassId::ALL {
         let n = class.min_n(0, 1) - 1;
         let Ok(cfg) = Config::byzantine(n, 1) else {
-            t2.row([class.to_string(), n.to_string(), "0".into(), "n too small".into()]);
+            t2.row([
+                class.to_string(),
+                n.to_string(),
+                "0".into(),
+                "n too small".into(),
+            ]);
             continue;
         };
         let mut valid = 0;
@@ -172,8 +186,8 @@ fn main() {
     // Class 3 at n = 3, b = 1, TD = 1 (= b): a split-voting Byzantine
     // process alone reaches TD on both halves.
     let cfg = Config::byzantine(3, 1).unwrap();
-    let mut params = Params::<u64>::for_class(ClassId::Three, Config::byzantine(4, 1).unwrap())
-        .unwrap();
+    let mut params =
+        Params::<u64>::for_class(ClassId::Three, Config::byzantine(4, 1).unwrap()).unwrap();
     params.cfg = cfg;
     params.td = 1;
     let ctx = AdversaryCtx::new(cfg, params.schedule());

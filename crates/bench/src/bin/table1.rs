@@ -22,8 +22,15 @@ fn main() {
     println!("# Table 1 — The three classes of consensus algorithms\n");
 
     let mut t = Table::new([
-        "class", "FLAG", "TD", "n", "state", "rounds/phase", "examples",
-        "measured rounds (b=1,f=0)", "measured n_min ok",
+        "class",
+        "FLAG",
+        "TD",
+        "n",
+        "state",
+        "rounds/phase",
+        "examples",
+        "measured rounds (b=1,f=0)",
+        "measured n_min ok",
     ]);
 
     for class in ClassId::ALL {

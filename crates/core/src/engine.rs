@@ -98,8 +98,9 @@ impl<V: Value> GenericConsensus<V> {
         let coin = match &params.choice {
             ChoicePolicy::UniformCoin { seed, .. } => {
                 // Independent stream per process.
-                Some(StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64
-                    .wrapping_mul(id.index() as u64 + 1))))
+                Some(StdRng::seed_from_u64(
+                    seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.index() as u64 + 1)),
+                ))
             }
             ChoicePolicy::DeterministicMin => None,
         };
@@ -182,14 +183,21 @@ impl<V: Value> GenericConsensus<V> {
     // ---- selection round (lines 5–15) ----
 
     fn selection_send(&mut self, phase: Phase) -> Outgoing<ConsensusMsg<V>> {
-        let dests = self.params.selector.select(self.id, phase, &self.params.cfg);
+        let dests = self
+            .params
+            .selector
+            .select(self.id, phase, &self.params.cfg);
         if dests.is_empty() {
             return Outgoing::Silent;
         }
         let profile = self.params.profile;
         let msg = SelectionMsg {
             vote: self.vote.clone(),
-            ts: if profile.sends_ts() { self.ts } else { Phase::ZERO },
+            ts: if profile.sends_ts() {
+                self.ts
+            } else {
+                Phase::ZERO
+            },
             history: if profile.sends_history() {
                 self.history.clone()
             } else {
@@ -236,7 +244,9 @@ impl<V: Value> GenericConsensus<V> {
 
         // Line 15: elect validators from the selector sets received.
         self.validators = if self.params.constant_selector {
-            self.params.selector.select(self.id, phase, &self.params.cfg)
+            self.params
+                .selector
+                .select(self.id, phase, &self.params.cfg)
         } else {
             let threshold_base = self.params.cfg.n() + self.params.cfg.b();
             let mut counts: BTreeMap<ProcessSet, usize> = BTreeMap::new();
@@ -297,7 +307,10 @@ impl<V: Value> GenericConsensus<V> {
 
         // Line 21: adopt the validator set vouched for by b + 1 messages.
         if self.params.constant_selector {
-            self.validators = self.params.selector.select(self.id, phase, &self.params.cfg);
+            self.validators = self
+                .params
+                .selector
+                .select(self.id, phase, &self.params.cfg);
         } else {
             let mut counts: BTreeMap<ProcessSet, usize> = BTreeMap::new();
             for (_, m) in &msgs {
@@ -545,7 +558,10 @@ mod tests {
             );
         }
         p.receive(Round::new(3), &ho);
-        assert!(p.decision().is_none(), "FLAG = φ requires ts = current phase");
+        assert!(
+            p.decision().is_none(),
+            "FLAG = φ requires ts = current phase"
+        );
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl<V: gencon_types::Value> Flv<V> for BenOrFlv {
             // Phase 1: no validation has happened yet.
             return FlvOutcome::Any;
         }
-        let tally = VoteTally::of_votes(
-            msgs.iter()
-                .filter(|m| m.ts == prev)
-                .map(|m| &m.vote),
-        );
+        let tally = VoteTally::of_votes(msgs.iter().filter(|m| m.ts == prev).map(|m| &m.vote));
         // "received b + 1 messages ⟨v, φ−1⟩" — at least b + 1. Lemma 4
         // makes the qualifying value unique among honest senders; if
         // Byzantine senders manufacture a second one, the smallest value is

@@ -49,10 +49,7 @@ pub(crate) fn possible_vote_indices<V: gencon_types::Value>(
     (0..msgs.len())
         .filter(|&i| {
             let (vote, ts) = (&msgs[i].vote, msgs[i].ts);
-            let support = msgs
-                .iter()
-                .filter(|m| m.vote == *vote || ts > m.ts)
-                .count();
+            let support = msgs.iter().filter(|m| m.vote == *vote || ts > m.ts).count();
             quorum::more_than(support, bound)
         })
         .collect()

@@ -60,10 +60,7 @@ impl<V: gencon_types::Value> Flv<V> for Class3Flv {
         let mut correct_votes: Vec<&V> = Vec::new();
         for &i in &possible {
             let (v, ts) = (&msgs[i].vote, msgs[i].ts);
-            let attestors = msgs
-                .iter()
-                .filter(|m| m.history.contains(v, ts))
-                .count();
+            let attestors = msgs.iter().filter(|m| m.history.contains(v, ts)).count();
             if quorum::more_than(attestors, b) && !correct_votes.contains(&v) {
                 correct_votes.push(v);
             }
@@ -240,10 +237,7 @@ mod tests {
             m3(2, 0, &[(2, 0)]),
             m3(9, 0, &[(9, 0)]), // Byzantine
         ];
-        assert_eq!(
-            Class3Flv.evaluate(&ctx, &refs(&msgs)),
-            FlvOutcome::Value(7)
-        );
+        assert_eq!(Class3Flv.evaluate(&ctx, &refs(&msgs)), FlvOutcome::Value(7));
         // Without unanimity the same input yields `?`.
         let ctx_plain = FlvContext {
             cfg: Config::new(5, 0, 1).unwrap(),
@@ -364,10 +358,7 @@ mod tests {
         };
         // (1,5): support 3 > 2 ✓, attestors {m0,m1,m4} = 3 > 1 ✓.
         // (2,6): support 2 votes + ts6>5×2 + ts6>1 = 5 ✓, attestors {m2,m3,m4} ✓.
-        assert_eq!(
-            Class3Flv.evaluate(&ctx2, &refs(&msgs4)),
-            FlvOutcome::Any
-        );
+        assert_eq!(Class3Flv.evaluate(&ctx2, &refs(&msgs4)), FlvOutcome::Any);
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
         // The classic Paxos recovery: adopt the value of the highest ts.
         // A locked value always arrives with TD = 2 supporting reports.
         let msgs = vec![m2(7, 3), m2(7, 3), m2(9, 1)];
-        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Value(7));
+        assert_eq!(
+            PaxosFlv.evaluate(&ctx(3), &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
     }
 
     #[test]
@@ -172,7 +175,10 @@ mod tests {
     fn same_vote_multiple_timestamps_is_unique() {
         // (7,4) and (7,2) both possible ⇒ still one distinct vote.
         let msgs = vec![m2(7, 4), m2(7, 2), m2(8, 1)];
-        assert_eq!(PaxosFlv.evaluate(&ctx(3), &refs(&msgs)), FlvOutcome::Value(7));
+        assert_eq!(
+            PaxosFlv.evaluate(&ctx(3), &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
     }
 
     #[test]

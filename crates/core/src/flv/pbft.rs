@@ -118,7 +118,10 @@ mod tests {
             m3(6, 9, &[(6, 9)]), // Byzantine
         ];
         // (7,2): support 2 + (5,1) via ts 2>1 = 3 > 2 ✓; attestors 3 > 1 ✓.
-        assert_eq!(PbftFlv.evaluate(&ctx(1), &refs(&msgs)), FlvOutcome::Value(7));
+        assert_eq!(
+            PbftFlv.evaluate(&ctx(1), &refs(&msgs)),
+            FlvOutcome::Value(7)
+        );
     }
 
     #[test]

@@ -174,29 +174,68 @@ mod tests {
     #[test]
     fn star_schedule_has_two_rounds() {
         let s = Schedule::new(Flag::Star, false);
-        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Selection));
-        assert_eq!(s.locate(Round::new(2)), (Phase::new(1), RoundKind::Decision));
-        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Selection));
-        assert_eq!(s.locate(Round::new(4)), (Phase::new(2), RoundKind::Decision));
+        assert_eq!(
+            s.locate(Round::new(1)),
+            (Phase::new(1), RoundKind::Selection)
+        );
+        assert_eq!(
+            s.locate(Round::new(2)),
+            (Phase::new(1), RoundKind::Decision)
+        );
+        assert_eq!(
+            s.locate(Round::new(3)),
+            (Phase::new(2), RoundKind::Selection)
+        );
+        assert_eq!(
+            s.locate(Round::new(4)),
+            (Phase::new(2), RoundKind::Decision)
+        );
     }
 
     #[test]
     fn skip_first_selection_phi() {
         let s = Schedule::new(Flag::Phi, true);
-        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Validation));
-        assert_eq!(s.locate(Round::new(2)), (Phase::new(1), RoundKind::Decision));
-        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Selection));
-        assert_eq!(s.locate(Round::new(4)), (Phase::new(2), RoundKind::Validation));
-        assert_eq!(s.locate(Round::new(5)), (Phase::new(2), RoundKind::Decision));
-        assert_eq!(s.locate(Round::new(6)), (Phase::new(3), RoundKind::Selection));
+        assert_eq!(
+            s.locate(Round::new(1)),
+            (Phase::new(1), RoundKind::Validation)
+        );
+        assert_eq!(
+            s.locate(Round::new(2)),
+            (Phase::new(1), RoundKind::Decision)
+        );
+        assert_eq!(
+            s.locate(Round::new(3)),
+            (Phase::new(2), RoundKind::Selection)
+        );
+        assert_eq!(
+            s.locate(Round::new(4)),
+            (Phase::new(2), RoundKind::Validation)
+        );
+        assert_eq!(
+            s.locate(Round::new(5)),
+            (Phase::new(2), RoundKind::Decision)
+        );
+        assert_eq!(
+            s.locate(Round::new(6)),
+            (Phase::new(3), RoundKind::Selection)
+        );
     }
 
     #[test]
     fn skip_first_selection_star() {
         let s = Schedule::new(Flag::Star, true);
-        assert_eq!(s.locate(Round::new(1)), (Phase::new(1), RoundKind::Decision));
-        assert_eq!(s.locate(Round::new(2)), (Phase::new(2), RoundKind::Selection));
-        assert_eq!(s.locate(Round::new(3)), (Phase::new(2), RoundKind::Decision));
+        assert_eq!(
+            s.locate(Round::new(1)),
+            (Phase::new(1), RoundKind::Decision)
+        );
+        assert_eq!(
+            s.locate(Round::new(2)),
+            (Phase::new(2), RoundKind::Selection)
+        );
+        assert_eq!(
+            s.locate(Round::new(3)),
+            (Phase::new(2), RoundKind::Decision)
+        );
     }
 
     #[test]

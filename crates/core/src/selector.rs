@@ -203,9 +203,7 @@ impl Selector for RotatingSubset {
         let n = cfg.n();
         let size = self.size.min(n);
         let start = ((phase.number().max(1) - 1) as usize) % n;
-        (0..size)
-            .map(|k| ProcessId::new((start + k) % n))
-            .collect()
+        (0..size).map(|k| ProcessId::new((start + k) % n)).collect()
     }
 
     fn guarantees_validity(&self, cfg: &Config) -> bool {
@@ -248,12 +246,24 @@ mod tests {
     fn rotating_coordinator_cycles() {
         let c = cfg(3, 1, 0);
         let s = RotatingCoordinator::new();
-        assert_eq!(s.select(p(0), Phase::new(1), &c), ProcessSet::singleton(p(0)));
-        assert_eq!(s.select(p(2), Phase::new(2), &c), ProcessSet::singleton(p(1)));
-        assert_eq!(s.select(p(1), Phase::new(4), &c), ProcessSet::singleton(p(0)));
+        assert_eq!(
+            s.select(p(0), Phase::new(1), &c),
+            ProcessSet::singleton(p(0))
+        );
+        assert_eq!(
+            s.select(p(2), Phase::new(2), &c),
+            ProcessSet::singleton(p(1))
+        );
+        assert_eq!(
+            s.select(p(1), Phase::new(4), &c),
+            ProcessSet::singleton(p(0))
+        );
         assert!(!s.is_constant());
         assert!(s.guarantees_validity(&c));
-        assert!(!s.guarantees_validity(&cfg(4, 0, 1)), "singleton breaks validity with b=1");
+        assert!(
+            !s.guarantees_validity(&cfg(4, 0, 1)),
+            "singleton breaks validity with b=1"
+        );
     }
 
     #[test]
@@ -274,7 +284,10 @@ mod tests {
         let c = cfg(3, 1, 0);
         let s = StableLeader::new(p(2));
         assert_eq!(s.leader(), p(2));
-        assert_eq!(s.select(p(0), Phase::new(9), &c), ProcessSet::singleton(p(2)));
+        assert_eq!(
+            s.select(p(0), Phase::new(9), &c),
+            ProcessSet::singleton(p(2))
+        );
         assert!(s.is_constant());
         assert!(s.guarantees_validity(&c));
     }
@@ -284,11 +297,17 @@ mod tests {
         let c = cfg(4, 0, 1);
         let s = RotatingSubset::new(2);
         assert_eq!(
-            s.select(p(0), Phase::new(1), &c).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            s.select(p(0), Phase::new(1), &c)
+                .iter()
+                .map(ProcessId::index)
+                .collect::<Vec<_>>(),
             [0, 1]
         );
         assert_eq!(
-            s.select(p(0), Phase::new(4), &c).iter().map(ProcessId::index).collect::<Vec<_>>(),
+            s.select(p(0), Phase::new(4), &c)
+                .iter()
+                .map(ProcessId::index)
+                .collect::<Vec<_>>(),
             [0, 3]
         );
         assert!(s.guarantees_validity(&c), "size 2 > b 1");

@@ -72,7 +72,12 @@ impl Authenticator {
 
 impl fmt::Debug for Authenticator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Authenticator(from {}, {} macs)", self.sender, self.macs.len())
+        write!(
+            f,
+            "Authenticator(from {}, {} macs)",
+            self.sender,
+            self.macs.len()
+        )
     }
 }
 
@@ -101,9 +106,7 @@ impl KeyStore {
         (0..n)
             .map(|p| {
                 let owner = ProcessId::new(p);
-                let keys = (0..n)
-                    .map(|q| Self::pair_key(master_seed, p, q))
-                    .collect();
+                let keys = (0..n).map(|q| Self::pair_key(master_seed, p, q)).collect();
                 KeyStore { owner, n, keys }
             })
             .collect()

@@ -230,7 +230,9 @@ impl Transport for TcpTransport {
         let mut stream = peer.lock();
         let len = (frame.len() as u32).to_le_bytes();
         // Best-effort: a broken pipe models a crashed/partitioned peer.
-        let _ = stream.write_all(&len).and_then(|()| stream.write_all(&frame));
+        let _ = stream
+            .write_all(&len)
+            .and_then(|()| stream.write_all(&frame));
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
@@ -372,8 +374,7 @@ mod tests {
                 })
             })
             .collect();
-        let mut nodes: Vec<TcpTransport> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut nodes: Vec<TcpTransport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
 
         nodes[0].send(ProcessId::new(1), Bytes::from_static(b"ping"));
         let (from, frame) = nodes[1]

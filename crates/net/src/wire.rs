@@ -528,7 +528,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WireError::UnexpectedEof.to_string().contains("end of frame"));
+        assert!(WireError::UnexpectedEof
+            .to_string()
+            .contains("end of frame"));
         assert!(WireError::BadTag(3).to_string().contains('3'));
         assert!(WireError::TooLong(9).to_string().contains('9'));
     }

@@ -87,8 +87,11 @@ mod tests {
 
         fn receive(&mut self, r: Round, heard: &HeardOf<u64>) {
             if r == Round::FIRST && self.result.is_none() {
-                self.result =
-                    Some((0..self.n).map(|i| heard.from(ProcessId::new(i)).copied()).collect());
+                self.result = Some(
+                    (0..self.n)
+                        .map(|i| heard.from(ProcessId::new(i)).copied())
+                        .collect(),
+                );
             }
         }
 
@@ -128,9 +131,7 @@ mod tests {
         let n = 4;
         let stores = KeyStore::dealer(n, 7);
         let mut stacks: Vec<_> = (0..n)
-            .map(|i| {
-                PconsStack::coordinated_auth(OneShot::new(i, n), stores[i].clone(), 1)
-            })
+            .map(|i| PconsStack::coordinated_auth(OneShot::new(i, n), stores[i].clone(), 1))
             .collect();
         run_full(&mut stacks, 2); // 2 micro-rounds
         let first = stacks[0].output().expect("decided after 2 micro-rounds");
@@ -194,8 +195,7 @@ mod tests {
         // whose payload was tampered with: the signature check drops it.
         let n = 3;
         let stores = KeyStore::dealer(n, 7);
-        let mut victim =
-            PconsStack::coordinated_auth(OneShot::new(0, n), stores[0].clone(), 0);
+        let mut victim = PconsStack::coordinated_auth(OneShot::new(0, n), stores[0].clone(), 0);
 
         // Outer round 1: victim sends AuthInit to coordinator p0 (itself).
         let out = victim.send(Round::new(1));
@@ -215,8 +215,8 @@ mod tests {
         let forged2 = stores[2].authenticate(&gencon_crypto::digest_of(&42u64));
         let relay = StackMsg::Relay(vec![
             (ProcessId::new(0), 100u64, own_auth),
-            (ProcessId::new(1), 999, honest1),   // altered payload
-            (ProcessId::new(2), 43, forged2),    // auth for different value
+            (ProcessId::new(1), 999, honest1), // altered payload
+            (ProcessId::new(2), 43, forged2),  // auth for different value
         ]);
         let mut heard2 = HeardOf::empty(n);
         heard2.put(victim.coordinator(), relay);
@@ -255,7 +255,11 @@ mod tests {
         let first = stacks[0].output().expect("completes without p3");
         assert_eq!(first, vec![Some(100), Some(101), Some(102), None]);
         for s in stacks.iter().take(3) {
-            assert_eq!(s.output().unwrap(), first, "identical vectors despite silence");
+            assert_eq!(
+                s.output().unwrap(),
+                first,
+                "identical vectors despite silence"
+            );
         }
     }
 

@@ -276,12 +276,8 @@ where
                     // Relay everything collected in micro 1 (stored in
                     // `inits` as verified messages; authenticators are
                     // reconstructed from the store).
-                    let relay: Vec<(ProcessId, P::Msg, Authenticator)> = self
-                        .auth_store
-                        .iter()
-                        .flatten()
-                        .cloned()
-                        .collect();
+                    let relay: Vec<(ProcessId, P::Msg, Authenticator)> =
+                        self.auth_store.iter().flatten().cloned().collect();
                     Outgoing::Broadcast(StackMsg::Relay(relay))
                 }
                 (PconsMode::EchoBroadcast, 0) => match my_msg {
@@ -334,8 +330,7 @@ where
                     for (q, m) in heard.iter() {
                         if let StackMsg::AuthInit(inner, auth) = m {
                             if ks.verify(q, &digest_of(inner), auth) {
-                                self.auth_store[q.index()] =
-                                    Some((q, inner.clone(), auth.clone()));
+                                self.auth_store[q.index()] = Some((q, inner.clone(), auth.clone()));
                             }
                         }
                     }
@@ -380,8 +375,7 @@ where
                         let mut values: Vec<(&P::Msg, usize)> = Vec::new();
                         for (_, m) in heard.iter() {
                             if let StackMsg::Echo(entries) = m {
-                                if let Some((_, v)) =
-                                    entries.iter().find(|(from, _)| *from == sid)
+                                if let Some((_, v)) = entries.iter().find(|(from, _)| *from == sid)
                                 {
                                     match values.iter_mut().find(|(u, _)| *u == v) {
                                         Some((_, c)) => *c += 1,
@@ -411,8 +405,7 @@ where
                         let mut values: Vec<(&P::Msg, usize)> = Vec::new();
                         for (_, m) in heard.iter() {
                             if let StackMsg::Vote(entries) = m {
-                                if let Some((_, v)) =
-                                    entries.iter().find(|(from, _)| *from == sid)
+                                if let Some((_, v)) = entries.iter().find(|(from, _)| *from == sid)
                                 {
                                     match values.iter_mut().find(|(u, _)| *u == v) {
                                         Some((_, c)) => *c += 1,

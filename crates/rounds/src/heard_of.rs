@@ -128,11 +128,7 @@ impl<M> FromIterator<(ProcessId, M)> for HeardOf<M> {
     /// [`HeardOf::empty`] + [`HeardOf::put`] with the exact system size.
     fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
         let pairs: Vec<(ProcessId, M)> = iter.into_iter().collect();
-        let n = pairs
-            .iter()
-            .map(|(p, _)| p.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let n = pairs.iter().map(|(p, _)| p.index() + 1).max().unwrap_or(0);
         let mut ho = HeardOf::empty(n);
         for (p, m) in pairs {
             ho.put(p, m);

@@ -39,9 +39,7 @@ impl<M: Clone> Outgoing<M> {
         match self {
             Outgoing::Silent => None,
             Outgoing::Broadcast(m) => Some(m.clone()),
-            Outgoing::Multicast { dests, msg } => {
-                dests.contains(dest).then(|| msg.clone())
-            }
+            Outgoing::Multicast { dests, msg } => dests.contains(dest).then(|| msg.clone()),
             Outgoing::PerDest(pairs) => pairs
                 .iter()
                 .rev()

@@ -215,8 +215,14 @@ mod tests {
         rec.received[0].put(p(3), 100);
         rec.received[1].put(p(3), 200);
         rec.received[2].take(p(3));
-        assert!(rec.satisfies_pgood(&correct), "Pgood ignores Byzantine entries");
-        assert!(!rec.satisfies_pcons(&correct), "Pcons requires identical vectors");
+        assert!(
+            rec.satisfies_pgood(&correct),
+            "Pgood ignores Byzantine entries"
+        );
+        assert!(
+            !rec.satisfies_pcons(&correct),
+            "Pcons requires identical vectors"
+        );
     }
 
     #[test]

@@ -87,13 +87,22 @@ impl std::fmt::Display for SimError {
             SimError::DuplicateId { id } => write!(f, "duplicate participant {id}"),
             SimError::MissingParticipant { id } => write!(f, "no participant provided for {id}"),
             SimError::TooManyByzantine { got, bound } => {
-                write!(f, "{got} Byzantine participants exceed the configured b = {bound}")
+                write!(
+                    f,
+                    "{got} Byzantine participants exceed the configured b = {bound}"
+                )
             }
             SimError::TooManyCrashes { got, bound } => {
-                write!(f, "{got} scheduled crashes exceed the configured f = {bound}")
+                write!(
+                    f,
+                    "{got} scheduled crashes exceed the configured f = {bound}"
+                )
             }
             SimError::CrashOnByzantine { id } => {
-                write!(f, "crash scheduled for Byzantine participant {id} (crashes model honest faults)")
+                write!(
+                    f,
+                    "crash scheduled for Byzantine participant {id} (crashes model honest faults)"
+                )
             }
         }
     }
@@ -220,7 +229,11 @@ where
                     }
                     slots.push(s);
                 }
-                None => return Err(SimError::MissingParticipant { id: ProcessId::new(i) }),
+                None => {
+                    return Err(SimError::MissingParticipant {
+                        id: ProcessId::new(i),
+                    })
+                }
             }
         }
         if slots.len() < n {
@@ -352,8 +365,7 @@ where
 
         // Which predicate do the honest participants need this round?
         let requirement = self.honest_requirement(r);
-        let canonicalize =
-            self.enforce_predicates && good && requirement == Predicate::Cons;
+        let canonicalize = self.enforce_predicates && good && requirement == Predicate::Cons;
 
         // Canonical Byzantine payloads for Pcons rounds: the message the
         // adversary addressed to the lowest-id correct process.
@@ -509,9 +521,9 @@ where
     /// Whether every correct process has an output.
     #[must_use]
     pub fn all_correct_decided(&self) -> bool {
-        self.correct().iter().all(|p| {
-            matches!(&self.slots[p.index()], Slot::Honest(h) if h.output().is_some())
-        })
+        self.correct()
+            .iter()
+            .all(|p| matches!(&self.slots[p.index()], Slot::Honest(h) if h.output().is_some()))
     }
 
     /// The current outputs of honest participants (`None` for Byzantine
@@ -662,10 +674,8 @@ mod tests {
 
     #[test]
     fn builder_rejects_excess_crashes() {
-        let b = echo_sim(3, 0).crashes(CrashPlan::none().with(
-            ProcessId::new(0),
-            CrashAt::silent(Round::new(1)),
-        ));
+        let b = echo_sim(3, 0)
+            .crashes(CrashPlan::none().with(ProcessId::new(0), CrashAt::silent(Round::new(1))));
         assert_eq!(
             b.build().err(),
             Some(SimError::TooManyCrashes { got: 1, bound: 0 })
@@ -675,10 +685,7 @@ mod tests {
     #[test]
     fn crash_silences_process() {
         let mut sim = echo_sim(4, 1)
-            .crashes(CrashPlan::none().with(
-                ProcessId::new(3),
-                CrashAt::silent(Round::new(2)),
-            ))
+            .crashes(CrashPlan::none().with(ProcessId::new(3), CrashAt::silent(Round::new(2))))
             .build()
             .unwrap();
         let out = sim.run(10);
@@ -695,10 +702,7 @@ mod tests {
     fn mid_send_crash_delivers_prefix_only() {
         // p0 crashes in round 1 after serving 2 destinations (p0, p1).
         let mut sim = echo_sim(3, 1)
-            .crashes(CrashPlan::none().with(
-                ProcessId::new(0),
-                CrashAt::mid_send(Round::new(1), 2),
-            ))
+            .crashes(CrashPlan::none().with(ProcessId::new(0), CrashAt::mid_send(Round::new(1), 2)))
             .build()
             .unwrap();
         sim.step();
@@ -764,10 +768,7 @@ mod tests {
         }
         let mut sim = b
             .byzantine(Mute(ProcessId::new(3)))
-            .crashes(CrashPlan::none().with(
-                ProcessId::new(2),
-                CrashAt::silent(Round::new(1)),
-            ))
+            .crashes(CrashPlan::none().with(ProcessId::new(2), CrashAt::silent(Round::new(1))))
             .build()
             .unwrap();
         sim.step();

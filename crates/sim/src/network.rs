@@ -352,8 +352,12 @@ mod tests {
             },
             |r| r.number() > 3,
         );
-        assert!(!net.plan(Round::new(1), &ProcessSet::range(0, 2), 2).delivered(p(0), p(1)));
-        assert!(net.plan(Round::new(2), &ProcessSet::range(0, 2), 2).delivered(p(0), p(1)));
+        assert!(!net
+            .plan(Round::new(1), &ProcessSet::range(0, 2), 2)
+            .delivered(p(0), p(1)));
+        assert!(net
+            .plan(Round::new(2), &ProcessSet::range(0, 2), 2)
+            .delivered(p(0), p(1)));
         assert!(!net.is_good(Round::new(3)));
         assert!(net.is_good(Round::new(4)));
     }

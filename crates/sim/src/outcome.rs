@@ -139,10 +139,7 @@ mod tests {
             n,
             byzantine: byz.iter().map(|&i| ProcessId::new(i)).collect(),
             crashed: crashed.iter().map(|&i| ProcessId::new(i)).collect(),
-            decision_rounds: outputs
-                .iter()
-                .map(|o| o.map(|_| Round::new(3)))
-                .collect(),
+            decision_rounds: outputs.iter().map(|o| o.map(|_| Round::new(3))).collect(),
             all_correct_decided: outputs.iter().all(|o| o.is_some()),
             outputs,
             rounds_executed: 3,

@@ -326,7 +326,10 @@ mod tests {
             None,
             60,
         );
-        assert!(out.all_correct_decided, "all replicas hit the commit target");
+        assert!(
+            out.all_correct_decided,
+            "all replicas hit the commit target"
+        );
         assert!(properties::agreement(&out, |log| log), "identical logs");
         let log = out.outputs[0].as_ref().unwrap();
         assert_eq!(log.len(), 3);
@@ -336,7 +339,9 @@ mod tests {
     #[test]
     fn pipelined_window_commits_faster_than_sequential() {
         let spec = pbft::<u64>(4, 1).unwrap();
-        let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..4).map(|s| r * 10 + s).collect()).collect();
+        let queues: Vec<Vec<u64>> = (1..=4)
+            .map(|r| (0..4).map(|s| r * 10 + s).collect())
+            .collect();
         let seq = run_cluster(
             make_replicas(&spec, queues.clone(), 4, 1),
             CrashPlan::none(),
@@ -392,7 +397,12 @@ mod tests {
     fn empty_queues_fill_with_noops() {
         let spec = pbft::<u64>(4, 1).unwrap();
         let queues = vec![vec![], vec![], vec![], vec![]];
-        let out = run_cluster(make_replicas(&spec, queues, 2, 1), CrashPlan::none(), None, 40);
+        let out = run_cluster(
+            make_replicas(&spec, queues, 2, 1),
+            CrashPlan::none(),
+            None,
+            40,
+        );
         assert!(out.all_correct_decided);
         let log = out.outputs[0].as_ref().unwrap();
         assert_eq!(log, &[0, 0], "no-op commands fill empty slots");

@@ -29,8 +29,8 @@
 
 mod config;
 mod process;
-mod round;
 pub mod quorum;
+mod round;
 mod value;
 
 pub use config::{Config, ConfigError};

@@ -327,7 +327,10 @@ mod tests {
     #[test]
     fn range_constructor() {
         let s = ProcessSet::range(2, 3);
-        assert_eq!(s.iter().map(ProcessId::index).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(
+            s.iter().map(ProcessId::index).collect::<Vec<_>>(),
+            [2, 3, 4]
+        );
     }
 
     #[test]
@@ -336,7 +339,13 @@ mod tests {
         let b = ProcessSet::range(2, 4); // {2,3,4,5}
         assert_eq!(a.union(b).len(), 6);
         assert_eq!(a.intersection(b).len(), 2);
-        assert_eq!(a.difference(b).iter().map(ProcessId::index).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(
+            a.difference(b)
+                .iter()
+                .map(ProcessId::index)
+                .collect::<Vec<_>>(),
+            [0, 1]
+        );
         assert!(ProcessSet::range(2, 2).is_subset(a));
         assert!(!b.is_subset(a));
         assert!(ProcessSet::new().is_subset(a));

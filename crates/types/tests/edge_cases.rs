@@ -1,0 +1,166 @@
+//! Edge cases in quorum/round/config arithmetic uncovered while wiring the
+//! workspace: the degenerate single-process system, thresholds saturated at
+//! `td = n`, and sizes adjacent to `MAX_PROCESSES` and integer limits.
+
+use gencon_types::{
+    quorum, Config, ConfigError, Phase, ProcessId, ProcessSet, Round, MAX_PROCESSES,
+};
+
+// ---------- n = 1: the smallest legal system -------------------------------
+
+#[test]
+fn single_process_system_is_legal_and_self_quorate() {
+    let cfg = Config::new(1, 0, 0).unwrap();
+    assert_eq!(cfg.n(), 1);
+    assert_eq!(cfg.honest_minimum(), 1);
+    assert_eq!(cfg.correct_minimum(), 1);
+    assert_eq!(cfg.all_processes().len(), 1);
+    // One process is a strict majority of itself.
+    assert!(quorum::more_than_half(1, 1));
+    assert_eq!(quorum::majority_threshold(1), 1);
+    // td = 1 = n is the only valid threshold.
+    assert!(cfg.validate_threshold(1).is_ok());
+    assert_eq!(cfg.validate_threshold(0), Err(ConfigError::ThresholdZero));
+    assert_eq!(
+        cfg.validate_threshold(2),
+        Err(ConfigError::ThresholdUnreachable { td: 2, max: 1 })
+    );
+}
+
+#[test]
+fn single_process_system_admits_no_faults() {
+    assert_eq!(
+        Config::new(1, 1, 0),
+        Err(ConfigError::NoCorrectProcess { n: 1, f: 1, b: 0 })
+    );
+    assert_eq!(
+        Config::new(1, 0, 1),
+        Err(ConfigError::NoCorrectProcess { n: 1, f: 0, b: 1 })
+    );
+    assert_eq!(Config::new(0, 0, 0), Err(ConfigError::NoProcesses));
+}
+
+// ---------- td = n: thresholds saturated at the system size ----------------
+
+#[test]
+fn threshold_equal_to_n_requires_zero_faults() {
+    // With no faults, waiting for all n processes is legal (td = n = n-b-f).
+    for n in 1..=8 {
+        let cfg = Config::new(n, 0, 0).unwrap();
+        assert!(
+            cfg.validate_threshold(n).is_ok(),
+            "td = n = {n} with f = b = 0"
+        );
+        assert!(cfg.validate_threshold(n + 1).is_err());
+    }
+    // A single fault of either kind makes td = n unreachable.
+    let crashy = Config::new(4, 1, 0).unwrap();
+    assert_eq!(
+        crashy.validate_threshold(4),
+        Err(ConfigError::ThresholdUnreachable { td: 4, max: 3 })
+    );
+    let byz = Config::new(4, 0, 1).unwrap();
+    assert_eq!(
+        byz.validate_threshold(4),
+        Err(ConfigError::ThresholdUnreachable { td: 4, max: 3 })
+    );
+}
+
+#[test]
+fn majority_threshold_of_zero_total_is_vacuous_one() {
+    // total = 0: no count can exceed half of nothing except a positive one.
+    assert_eq!(quorum::majority_threshold(0), 1);
+    assert!(!quorum::more_than_half(0, 0));
+    assert!(quorum::more_than_half(1, 0));
+}
+
+// ---------- overflow-adjacent sizes ----------------------------------------
+
+#[test]
+fn config_rejects_sizes_beyond_max_processes() {
+    assert!(Config::new(MAX_PROCESSES, 0, 0).is_ok());
+    assert_eq!(
+        Config::new(MAX_PROCESSES + 1, 0, 0),
+        Err(ConfigError::TooManyProcesses {
+            n: MAX_PROCESSES + 1
+        })
+    );
+    // Huge n must fail cleanly, not wrap anywhere downstream.
+    assert!(matches!(
+        Config::new(usize::MAX, 0, 0),
+        Err(ConfigError::TooManyProcesses { .. })
+    ));
+}
+
+#[test]
+fn fault_sums_near_usize_max_do_not_overflow_config_validation() {
+    // f + b is computed before the n comparison; the largest values that
+    // can reach it are bounded by callers, but the check itself must hold
+    // for f + b straddling n without wrapping.
+    let cfg = Config::new(MAX_PROCESSES, MAX_PROCESSES / 2, MAX_PROCESSES / 2 - 1).unwrap();
+    assert_eq!(cfg.correct_minimum(), 1);
+    assert!(Config::new(MAX_PROCESSES, MAX_PROCESSES / 2, MAX_PROCESSES / 2).is_err());
+}
+
+#[test]
+fn quorum_arithmetic_is_exact_at_large_counts() {
+    // 2 * count must not be the limiting factor within the supported domain
+    // (counts are bounded by MAX_PROCESSES in practice, but the helpers
+    // document exactness — check well beyond the practical range).
+    let big = 1_000_000_000usize;
+    assert!(quorum::more_than_half(big / 2 + 1, big));
+    assert!(!quorum::more_than_half(big / 2, big));
+    assert_eq!(quorum::majority_threshold(big), big / 2 + 1);
+    // Odd totals round the right way.
+    assert!(quorum::more_than_half(big / 2 + 1, big + 1));
+    assert!(!quorum::more_than_half(big / 2, big + 1));
+}
+
+#[test]
+fn class_min_bounds_are_monotone_in_faults() {
+    // Adding faults can never shrink the minimal system, for every class.
+    for f in 0..8 {
+        for b in 0..8 {
+            assert!(quorum::class1_min_n(f + 1, b) > quorum::class1_min_n(f, b));
+            assert!(quorum::class1_min_n(f, b + 1) > quorum::class1_min_n(f, b));
+            assert!(quorum::class2_min_n(f + 1, b) > quorum::class2_min_n(f, b));
+            assert!(quorum::class2_min_n(f, b + 1) > quorum::class2_min_n(f, b));
+            assert!(quorum::class3_min_n(f + 1, b) > quorum::class3_min_n(f, b));
+            assert!(quorum::class3_min_n(f, b + 1) > quorum::class3_min_n(f, b));
+        }
+    }
+}
+
+// ---------- round/phase arithmetic at the extremes -------------------------
+
+#[test]
+fn phase_prev_saturates_at_zero() {
+    assert_eq!(Phase::ZERO.prev(), Phase::ZERO);
+    assert_eq!(Phase::FIRST.prev(), Phase::ZERO);
+    assert!(Phase::ZERO.is_zero());
+    assert!(!Phase::FIRST.is_zero());
+    assert_eq!(Phase::new(u64::MAX).number(), u64::MAX);
+}
+
+#[test]
+fn round_offset_is_zero_based_and_display_matches() {
+    assert_eq!(Round::FIRST.offset(), 0);
+    assert_eq!(Round::new(10).offset(), 9);
+    assert_eq!(Round::FIRST.next().number(), 2);
+    assert_eq!(Round::new(3).to_string(), "r3");
+    assert_eq!(Phase::new(2).to_string(), "φ2");
+}
+
+#[test]
+fn process_set_saturates_at_max_processes() {
+    let full = ProcessSet::range(0, MAX_PROCESSES);
+    assert_eq!(full.len(), MAX_PROCESSES);
+    let last = ProcessId::new(MAX_PROCESSES - 1);
+    assert!(full.contains(last));
+    // Removing and re-inserting the topmost id round-trips.
+    let mut set = full;
+    assert!(set.remove(last));
+    assert_eq!(set.len(), MAX_PROCESSES - 1);
+    assert!(set.insert(last));
+    assert!(set.is_subset(ProcessSet::range(0, MAX_PROCESSES)));
+}

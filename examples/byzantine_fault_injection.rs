@@ -27,15 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
         println!("## {} (n = {}, {})", spec.name, n, spec.bound);
 
-        let adversaries: Vec<(&str, Box<dyn Adversary<Msg = gencon::core::ConsensusMsg<u64>>>)> = vec![
+        let adversaries: Vec<(
+            &str,
+            Box<dyn Adversary<Msg = gencon::core::ConsensusMsg<u64>>>,
+        )> = vec![
             ("silent", Box::new(Silent::<u64>::new(byz))),
-            ("equivocator", Box::new(Equivocator::new(byz, ctx.clone(), 66, 99))),
+            (
+                "equivocator",
+                Box::new(Equivocator::new(byz, ctx.clone(), 66, 99)),
+            ),
             ("fresh-liar", Box::new(FreshLiar::new(byz, ctx.clone(), 66))),
             (
                 "history-forger",
                 Box::new(HistoryForger::new(byz, ctx.clone(), 66, vec![1, 2])),
             ),
-            ("split-voter", Box::new(SplitVoter::new(byz, ctx.clone(), 66, 99))),
+            (
+                "split-voter",
+                Box::new(SplitVoter::new(byz, ctx.clone(), 66, 99)),
+            ),
         ];
 
         for (name, adv) in adversaries {

@@ -10,7 +10,10 @@ use gencon::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick an algorithm from the catalog. PBFT: n = 3b + 1.
     let spec = gencon::algos::pbft::<u64>(4, 1)?;
-    println!("algorithm: {} ({}, bound {})", spec.name, spec.class, spec.bound);
+    println!(
+        "algorithm: {} ({}, bound {})",
+        spec.name, spec.class, spec.bound
+    );
 
     // 2. Spawn one engine per process with its initial value.
     let fleet = spec.spawn(&[42, 42, 7, 42])?;
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Inspect the outcome.
     for (i, output) in outcome.outputs.iter().enumerate() {
         match output {
-            Some(d) => println!("p{i} decided {} in {} (round {})", d.value, d.phase, d.round),
+            Some(d) => println!(
+                "p{i} decided {} in {} (round {})",
+                d.value, d.phase, d.round
+            ),
             None => println!("p{i} did not decide"),
         }
     }

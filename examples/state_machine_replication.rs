@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let outcome = sim.run(200);
 
-    assert!(outcome.all_correct_decided, "every replica reached the target");
+    assert!(
+        outcome.all_correct_decided,
+        "every replica reached the target"
+    );
     assert!(properties::agreement(&outcome, |log| log), "identical logs");
 
     let log = outcome

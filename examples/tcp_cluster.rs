@@ -43,15 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(i, engine)| {
             let addrs = addrs.clone();
             std::thread::spawn(move || {
-                let transport = TcpTransport::connect_mesh(ProcessId::new(i), &addrs)
-                    .expect("mesh connects");
+                let transport =
+                    TcpTransport::connect_mesh(ProcessId::new(i), &addrs).expect("mesh connects");
                 run_node(engine, transport, cfg)
             })
         })
         .collect();
 
-    let decisions: Vec<Option<Decision<u64>>> =
-        handles.into_iter().map(|h| h.join().expect("node thread")).collect();
+    let decisions: Vec<Option<Decision<u64>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
 
     for (i, d) in decisions.iter().enumerate() {
         match d {
@@ -60,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let first = decisions[0].as_ref().expect("node 0 decides").value;
-    assert!(decisions.iter().all(|d| d.as_ref().map(|d| d.value) == Some(first)));
+    assert!(decisions
+        .iter()
+        .all(|d| d.as_ref().map(|d| d.value) == Some(first)));
     println!("\n4-node TCP cluster agreed on {first} ✓");
     Ok(())
 }

@@ -1,0 +1,76 @@
+//! The harness must actually fail failing properties — a shim that green-
+//! lights everything would silently hollow out every property suite.
+
+use proptest::prelude::*;
+
+proptest! {
+    // No #[test] attribute: the macro emits these as plain fns we can
+    // invoke under catch_unwind below.
+    fn always_false(x in 0u64..5) {
+        prop_assert!(x > 100, "x = {x} is never > 100");
+    }
+
+    fn fails_via_question_mark(x in 0u64..5) {
+        reject_all(x)?;
+    }
+
+    fn always_true(x in 0u64..5) {
+        prop_assert!(x < 5);
+    }
+
+    fn precondition_filters_odds(x in 0u64..1000) {
+        if x % 2 == 1 {
+            return Err(TestCaseError::reject("odd"));
+        }
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    fn rejects_everything(x in 0u64..5) {
+        if x < 5 {
+            return Err(TestCaseError::reject("nothing is acceptable"));
+        }
+    }
+}
+
+fn reject_all(x: u64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(x, u64::MAX);
+    Ok(())
+}
+
+#[test]
+fn failing_property_panics_with_case_number() {
+    let err = std::panic::catch_unwind(always_false).expect_err("must fail");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("always_false") && msg.contains("case"),
+        "panic should name the property and case: {msg}"
+    );
+    assert!(msg.contains("never > 100"), "custom message lost: {msg}");
+}
+
+#[test]
+fn propagated_error_fails_too() {
+    assert!(std::panic::catch_unwind(fails_via_question_mark).is_err());
+}
+
+#[test]
+fn passing_property_does_not_panic() {
+    always_true();
+}
+
+#[test]
+fn rejected_cases_are_retried_not_counted_as_passes() {
+    // ~half the inputs are rejected; the retry loop must still complete
+    // the full quota of passing cases without tripping the attempt cap.
+    precondition_filters_odds();
+}
+
+#[test]
+fn rejecting_every_input_fails_the_property() {
+    let err = std::panic::catch_unwind(rejects_everything).expect_err("must fail");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("rejected too many inputs"),
+        "expected rejection-cap panic, got: {msg}"
+    );
+}

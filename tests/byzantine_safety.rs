@@ -2,9 +2,7 @@
 //! every network schedule — including fully adversarial ones where no
 //! predicate ever holds (safety never depends on liveness assumptions).
 
-use gencon::adversary::{
-    AdversaryCtx, Equivocator, FreshLiar, HistoryForger, Silent, SplitVoter,
-};
+use gencon::adversary::{AdversaryCtx, Equivocator, FreshLiar, HistoryForger, Silent, SplitVoter};
 use gencon::prelude::*;
 use gencon::rounds::Adversary;
 use gencon_algos::AlgorithmSpec;
@@ -24,7 +22,10 @@ fn adversaries(spec: &AlgorithmSpec<u64>, byz: ProcessId) -> Vec<(&'static str, 
     let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
     vec![
         ("silent", Box::new(Silent::<u64>::new(byz)) as Adv),
-        ("equivocator", Box::new(Equivocator::new(byz, ctx.clone(), 7, 8))),
+        (
+            "equivocator",
+            Box::new(Equivocator::new(byz, ctx.clone(), 7, 8)),
+        ),
         ("fresh-liar", Box::new(FreshLiar::new(byz, ctx.clone(), 9))),
         (
             "history-forger",

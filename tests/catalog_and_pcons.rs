@@ -25,9 +25,16 @@ fn one_third_rule_decides_and_matches_bounds() {
         let inits: Vec<u64> = (0..n as u64).collect();
         let out = run_honest(&spec, &inits, AlwaysGood);
         assert!(out.all_correct_decided);
-        assert_eq!(out.last_decision_round().unwrap().number(), 2, "2-round phase");
+        assert_eq!(
+            out.last_decision_round().unwrap().number(),
+            2,
+            "2-round phase"
+        );
     }
-    assert!(algos::one_third_rule::<u64>(6, 2).is_err(), "n > 3f enforced");
+    assert!(
+        algos::one_third_rule::<u64>(6, 2).is_err(),
+        "n > 3f enforced"
+    );
 }
 
 #[test]
@@ -48,7 +55,10 @@ fn paxos_with_leader_and_rotation() {
         builder = builder.honest(engine);
     }
     let out2 = builder.crashes(crashes).build().unwrap().run(40);
-    assert!(out2.all_correct_decided, "progress under coordinator rotation");
+    assert!(
+        out2.all_correct_decided,
+        "progress under coordinator rotation"
+    );
     assert!(properties::agreement(&out2, |d| &d.value));
 }
 
@@ -116,19 +126,18 @@ fn run_stacked(spec: &algos::AlgorithmSpec<u64>, mode: PconsMode) -> Outcome<Dec
     for (i, engine) in spec.spawn(&inits).unwrap().into_iter().enumerate() {
         match mode {
             PconsMode::CoordinatedAuth => {
-                builder =
-                    builder.honest(PconsStack::coordinated_auth(engine, stores[i].clone(), cfg.b()));
+                builder = builder.honest(PconsStack::coordinated_auth(
+                    engine,
+                    stores[i].clone(),
+                    cfg.b(),
+                ));
             }
             PconsMode::EchoBroadcast => {
                 builder = builder.honest(PconsStack::echo_broadcast(engine, n, cfg.b()));
             }
         }
     }
-    builder
-        .enforce_predicates(false)
-        .build()
-        .unwrap()
-        .run(60)
+    builder.enforce_predicates(false).build().unwrap().run(60)
 }
 
 #[test]

@@ -27,7 +27,11 @@ fn locked_scenario(n: usize, td: usize, b: usize) -> impl Strategy<Value = Locke
                 Just(locked_cnt),
                 proptest::collection::vec((2u64..6, 0u64..3), stale_cnt..=stale_cnt),
                 proptest::collection::vec(
-                    (0u64..9, 0u64..20, proptest::collection::vec((0u64..9, 0u64..20), 0..4)),
+                    (
+                        0u64..9,
+                        0u64..20,
+                        proptest::collection::vec((0u64..9, 0u64..20), 0..4),
+                    ),
                     b..=b,
                 ),
             )

@@ -27,7 +27,9 @@ fn replicas(
 fn pbft_smr_with_byzantine_replica() {
     let spec = algos::pbft::<u64>(4, 1).unwrap();
     let byz = ProcessId::new(3);
-    let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..3).map(|s| r * 10 + s).collect()).collect();
+    let queues: Vec<Vec<u64>> = (1..=4)
+        .map(|r| (0..3).map(|s| r * 10 + s).collect())
+        .collect();
     let mut builder = Simulation::builder(spec.params.cfg);
     for r in replicas(&spec, queues, 3, 2) {
         if gencon::rounds::RoundProcess::id(&r) != byz {
@@ -69,7 +71,9 @@ fn windows_do_not_change_committed_values() {
     let spec = algos::pbft::<u64>(4, 1).unwrap();
     let mut logs = Vec::new();
     for window in [1usize, 2, 5] {
-        let queues: Vec<Vec<u64>> = (1..=4).map(|r| (0..5).map(|s| r * 100 + s).collect()).collect();
+        let queues: Vec<Vec<u64>> = (1..=4)
+            .map(|r| (0..5).map(|s| r * 100 + s).collect())
+            .collect();
         let mut builder = Simulation::builder(spec.params.cfg);
         for r in replicas(&spec, queues, 5, window) {
             builder = builder.honest(r);
