@@ -11,13 +11,14 @@
 use gencon_algos::{ben_or_benign, ben_or_byzantine};
 use gencon_bench::{run_scenario, Table};
 use gencon_core::Decision;
+use gencon_load::LatencyHistogram;
 use gencon_sim::{properties, CrashPlan, RandomSubset};
 
 const SEEDS: u64 = 40;
 const MAX_ROUNDS: u64 = 3000;
 
 fn series(t: &mut Table, label: &str, n: usize, f: usize, b: usize) {
-    let mut rounds: Vec<u64> = Vec::new();
+    let mut rounds = LatencyHistogram::new();
     for seed in 0..SEEDS {
         let spec = if b > 0 {
             ben_or_byzantine::<u64>(n, b, [0, 1], seed).unwrap()
@@ -43,26 +44,30 @@ fn series(t: &mut Table, label: &str, n: usize, f: usize, b: usize) {
             out.all_correct_decided,
             "{label} n={n} seed={seed}: no termination within {MAX_ROUNDS} rounds"
         );
-        rounds.push(out.last_decision_round().unwrap().number());
+        rounds.record(out.last_decision_round().unwrap().number());
     }
-    rounds.sort_unstable();
-    let sum: u64 = rounds.iter().sum();
-    let mean = sum as f64 / rounds.len() as f64;
-    let median = rounds[rounds.len() / 2];
-    let max = *rounds.last().unwrap();
     t.row([
         label.to_string(),
         n.to_string(),
-        format!("{mean:.1}"),
-        median.to_string(),
-        max.to_string(),
-        format!("{}/{}", rounds.len(), SEEDS),
+        format!("{:.1}", rounds.mean()),
+        rounds.p50().to_string(),
+        rounds.p90().to_string(),
+        rounds.max().to_string(),
+        format!("{}/{}", rounds.count(), SEEDS),
     ]);
 }
 
 fn main() {
     println!("# E4 — Ben-Or randomized consensus under Prel (split inputs)\n");
-    let mut t = Table::new(["variant", "n", "mean rounds", "median", "max", "terminated"]);
+    let mut t = Table::new([
+        "variant",
+        "n",
+        "mean rounds",
+        "p50",
+        "p90",
+        "max",
+        "terminated",
+    ]);
     for n in [3usize, 5, 7, 9] {
         series(&mut t, "benign (f = (n-1)/2)", n, (n - 1) / 2, 0);
     }

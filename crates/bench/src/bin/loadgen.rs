@@ -1,0 +1,312 @@
+//! Experiment **E8** — end-to-end SMR throughput and latency under client
+//! load (`BENCH_smr.json`).
+//!
+//! Sweeps catalog algorithms × network models × client counts × batch caps
+//! × fault mixes, pushing closed-loop (and, in the full sweep, open-loop
+//! Poisson) client traffic through the batched replicated log of
+//! `gencon-smr` via the `gencon-load` harness, and writes one JSON row per
+//! configuration: committed commands, rounds, commands per round, and
+//! commit-latency percentiles (p50/p90/p99/p999, in rounds).
+//!
+//! Run: `cargo run --release -p gencon_bench --bin loadgen`
+//! Smoke (CI): `cargo run -p gencon_bench --bin loadgen -- --smoke`
+//! Output path: `--out <path>` (default `BENCH_smr.json`).
+//!
+//! Shape checks asserted on the synchronous Paxos configuration: batching
+//! with cap ≥ 8 must commit ≥ 4× more commands per round than cap 1, and
+//! honest logs must agree in every configuration.
+
+use gencon_algos::AlgorithmSpec;
+use gencon_bench::Table;
+use gencon_load::{run_load, BenchRow, LoadProfile, ResultsWriter, WorkloadKind};
+use gencon_sim::{AlwaysGood, CrashAt, CrashPlan, Gst, NetworkModel, RandomSubset};
+use gencon_smr::Batch;
+use gencon_types::{ProcessId, Round};
+
+/// A network model factory (models hold seeded rngs, so each run gets a
+/// fresh one) with its results label.
+struct Net {
+    label: &'static str,
+    make: fn(n: usize) -> Box<dyn NetworkModel>,
+}
+
+/// A fault mix: crash plan + mute-Byzantine ids, with its label.
+struct Faults {
+    label: &'static str,
+    crashes: fn() -> CrashPlan,
+    byzantine: &'static [usize],
+}
+
+const NO_FAULTS: Faults = Faults {
+    label: "none",
+    crashes: CrashPlan::none,
+    byzantine: &[],
+};
+
+fn algos() -> Vec<AlgorithmSpec<Batch<u64>>> {
+    vec![
+        // Benign class 2: the leader-based workhorse.
+        gencon_algos::paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).expect("paxos"),
+        // Byzantine class 3: the paper's PBFT core.
+        gencon_algos::pbft::<Batch<u64>>(4, 1).expect("pbft"),
+        // Byzantine class 2: the paper's new algorithm.
+        gencon_algos::mqb::<Batch<u64>>(5, 1).expect("mqb"),
+    ]
+}
+
+fn networks(smoke: bool) -> Vec<Net> {
+    let mut nets = vec![
+        Net {
+            label: "AlwaysGood",
+            make: |_n| Box::new(AlwaysGood),
+        },
+        Net {
+            label: "Gst(8,0.5)",
+            make: |_n| Box::new(Gst::new(8, 0.5, 17)),
+        },
+    ];
+    if !smoke {
+        nets.push(Net {
+            label: "RandomSubset(n-1)",
+            make: |n| Box::new(RandomSubset::new(n - 1, 23)),
+        });
+    }
+    nets
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    writer: &mut ResultsWriter,
+    table: &mut Table,
+    spec: &AlgorithmSpec<Batch<u64>>,
+    net: &Net,
+    faults: &Faults,
+    workload: WorkloadKind,
+    clients_per_replica: u16,
+    batch_cap: usize,
+    commit_target: usize,
+    max_rounds: u64,
+) -> BenchRow {
+    let n = spec.params.cfg.n();
+    let byz: Vec<ProcessId> = faults
+        .byzantine
+        .iter()
+        .map(|&i| ProcessId::new(i))
+        .collect();
+    let profile = LoadProfile {
+        clients_per_replica,
+        workload: workload.clone(),
+        batch_cap,
+        window: 1,
+        commit_target,
+        max_rounds,
+        seed: 42,
+    };
+    let report = run_load(
+        &spec.params,
+        (net.make)(n),
+        (faults.crashes)(),
+        &byz,
+        &profile,
+    );
+    assert!(
+        report.logs_agree,
+        "{} over {}: honest logs diverged",
+        spec.name, net.label
+    );
+    assert!(
+        report.all_decided,
+        "{} over {} ({}, cap {}): stalled at {} of {} commands after {} rounds \
+         — a stalled configuration must fail, not emit a depressed row",
+        spec.name,
+        net.label,
+        faults.label,
+        batch_cap,
+        report.committed_cmds,
+        commit_target,
+        report.rounds
+    );
+    let row = BenchRow {
+        algo: spec.name.to_string(),
+        class: spec.class.to_string(),
+        n,
+        b: spec.params.cfg.b(),
+        f: spec.params.cfg.f(),
+        network: net.label.to_string(),
+        faults: faults.label.to_string(),
+        workload: workload.label(),
+        clients: clients_per_replica as usize * (n - faults.byzantine.len()),
+        batch_cap,
+        committed_cmds: report.committed_cmds,
+        rounds: report.rounds,
+        cmds_per_round: report.cmds_per_round(),
+        p50: report.hist.p50(),
+        p90: report.hist.p90(),
+        p99: report.hist.p99(),
+        p999: report.hist.p999(),
+    };
+    table.row([
+        row.algo.clone(),
+        row.network.clone(),
+        row.faults.clone(),
+        row.workload.clone(),
+        row.clients.to_string(),
+        row.batch_cap.to_string(),
+        row.committed_cmds.to_string(),
+        row.rounds.to_string(),
+        format!("{:.2}", row.cmds_per_round),
+        row.p50.to_string(),
+        row.p99.to_string(),
+    ]);
+    writer.push(row.clone());
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_smr.json".to_string());
+
+    println!(
+        "# E8 — SMR throughput/latency under client load ({})\n",
+        if smoke { "smoke sweep" } else { "full sweep" }
+    );
+
+    let mut writer = ResultsWriter::new();
+    let mut table = Table::new([
+        "algo",
+        "network",
+        "faults",
+        "workload",
+        "clients",
+        "cap",
+        "cmds",
+        "rounds",
+        "cmds/round",
+        "p50",
+        "p99",
+    ]);
+
+    let caps: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 16, 64] };
+    let client_counts: &[u16] = if smoke { &[4] } else { &[2, 8, 32] };
+    let (target, max_rounds) = if smoke { (48, 600) } else { (160, 2000) };
+
+    // Paxos cap-1 vs cap-8 on the synchronous network, for the batching
+    // shape check.
+    let mut paxos_sync: Vec<(usize, f64)> = Vec::new();
+
+    for spec in &algos() {
+        for net in &networks(smoke) {
+            for &clients in client_counts {
+                for &cap in caps {
+                    let row = run_one(
+                        &mut writer,
+                        &mut table,
+                        spec,
+                        net,
+                        &NO_FAULTS,
+                        WorkloadKind::Closed { outstanding: 4 },
+                        clients,
+                        cap,
+                        target,
+                        max_rounds,
+                    );
+                    if spec.name == "Paxos" && net.label == "AlwaysGood" {
+                        paxos_sync.push((cap, row.cmds_per_round));
+                    }
+                }
+            }
+        }
+    }
+
+    // Fault mixes: a mid-broadcast crash for the benign entry, a mute
+    // Byzantine for the Byzantine entries.
+    let crash_mix = Faults {
+        label: "crash p2@r10",
+        crashes: || CrashPlan::none().with(ProcessId::new(2), CrashAt::mid_send(Round::new(10), 1)),
+        byzantine: &[],
+    };
+    let byz_mix_pbft = Faults {
+        label: "1 byz mute",
+        crashes: CrashPlan::none,
+        byzantine: &[3],
+    };
+    let byz_mix_mqb = Faults {
+        label: "1 byz mute",
+        crashes: CrashPlan::none,
+        byzantine: &[4],
+    };
+    let all = algos();
+    for (spec, faults) in [
+        (&all[0], &crash_mix),
+        (&all[1], &byz_mix_pbft),
+        (&all[2], &byz_mix_mqb),
+    ] {
+        for net in &networks(smoke) {
+            run_one(
+                &mut writer,
+                &mut table,
+                spec,
+                net,
+                faults,
+                WorkloadKind::Closed { outstanding: 4 },
+                client_counts[0],
+                8,
+                target,
+                max_rounds,
+            );
+        }
+    }
+
+    // Open-loop Poisson arrivals (full sweep only): rate below and near the
+    // unbatched service capacity.
+    if !smoke {
+        for spec in &all {
+            for &rate in &[1.0f64, 4.0] {
+                run_one(
+                    &mut writer,
+                    &mut table,
+                    spec,
+                    &networks(false)[0],
+                    &NO_FAULTS,
+                    WorkloadKind::Poisson { rate },
+                    8,
+                    16,
+                    target,
+                    max_rounds,
+                );
+            }
+        }
+    }
+
+    table.print();
+    writer.write(&out_path).expect("write results");
+    println!("\n{} rows → {}", writer.rows().len(), out_path);
+
+    // Shape check: batching amortizes the per-slot round cost.
+    let cap1 = paxos_sync
+        .iter()
+        .find(|(c, _)| *c == 1)
+        .expect("cap-1 paxos row")
+        .1;
+    let best = paxos_sync
+        .iter()
+        .filter(|(c, _)| *c >= 8)
+        .map(|(_, t)| *t)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= 4.0 * cap1,
+        "batching (cap ≥ 8: {best:.2} cmds/round) must commit ≥ 4× more \
+         commands per round than cap 1 ({cap1:.2}) on synchronous Paxos"
+    );
+    println!(
+        "Shape check: synchronous Paxos, cap ≥ 8 commits {:.1}× more commands \
+         per round than cap 1.",
+        best / cap1
+    );
+}

@@ -1,0 +1,232 @@
+//! The `BENCH_smr.json` results format.
+//!
+//! One row per swept configuration. The file is a JSON array of flat
+//! objects so any plotting stack can ingest it; the writer is hand-rolled
+//! (the workspace is offline — no serde) and emits stable key order.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One row of the end-to-end SMR benchmark:
+/// configuration → throughput and latency percentiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Algorithm name (`Paxos`, `PBFT`, …).
+    pub algo: String,
+    /// Its class in Table 1 (`class 1`..`class 3`).
+    pub class: String,
+    /// System size.
+    pub n: usize,
+    /// Byzantine bound b of the configuration.
+    pub b: usize,
+    /// Crash bound f of the configuration.
+    pub f: usize,
+    /// Network model (`AlwaysGood`, `Gst(8,0.5)`, `RandomSubset(2)`, …).
+    pub network: String,
+    /// Fault mix actually injected (`none`, `crash@r10`, `1 byz mute`, …).
+    pub faults: String,
+    /// Workload shape (`closed(k=4)`, `poisson(2.0)`).
+    pub workload: String,
+    /// Total clients across replicas.
+    pub clients: usize,
+    /// Batch cap (1 = unbatched).
+    pub batch_cap: usize,
+    /// Commands committed at the measurement replica.
+    pub committed_cmds: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Throughput: committed commands per round.
+    pub cmds_per_round: f64,
+    /// Median commit latency, in rounds.
+    pub p50: u64,
+    /// 90th-percentile commit latency, in rounds.
+    pub p90: u64,
+    /// 99th-percentile commit latency, in rounds.
+    pub p99: u64,
+    /// 99.9th-percentile commit latency, in rounds.
+    pub p999: u64,
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    let _ = write!(out, "\"{key}\":\"");
+    for ch in val.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl BenchRow {
+    /// Renders the row as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_str_field(&mut s, "algo", &self.algo);
+        s.push(',');
+        push_str_field(&mut s, "class", &self.class);
+        let _ = write!(s, ",\"n\":{},\"b\":{},\"f\":{},", self.n, self.b, self.f);
+        push_str_field(&mut s, "network", &self.network);
+        s.push(',');
+        push_str_field(&mut s, "faults", &self.faults);
+        s.push(',');
+        push_str_field(&mut s, "workload", &self.workload);
+        let _ = write!(
+            s,
+            ",\"clients\":{},\"batch_cap\":{},\"committed_cmds\":{},\"rounds\":{},\
+             \"cmds_per_round\":{:.4},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.clients,
+            self.batch_cap,
+            self.committed_cmds,
+            self.rounds,
+            self.cmds_per_round,
+            self.p50,
+            self.p90,
+            self.p99,
+            self.p999,
+        );
+        s
+    }
+}
+
+/// Accumulates [`BenchRow`]s and writes them as one JSON array.
+#[derive(Clone, Debug, Default)]
+pub struct ResultsWriter {
+    rows: Vec<BenchRow>,
+}
+
+impl ResultsWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultsWriter { rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Rows collected so far.
+    #[must_use]
+    pub fn rows(&self) -> &[BenchRow] {
+        &self.rows
+    }
+
+    /// Renders all rows as a pretty-enough JSON array (one row per line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            s.push_str("  ");
+            s.push_str(&row.to_json());
+            if i + 1 < self.rows.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push(']');
+        s.push('\n');
+        s
+    }
+
+    /// Writes the JSON array to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `std::fs::write` error.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> BenchRow {
+        BenchRow {
+            algo: "Paxos".into(),
+            class: "class 2".into(),
+            n: 3,
+            b: 0,
+            f: 1,
+            network: "Gst(8,0.5)".into(),
+            faults: "none".into(),
+            workload: "closed(k=4)".into(),
+            clients: 12,
+            batch_cap: 8,
+            committed_cmds: 240,
+            rounds: 90,
+            cmds_per_round: 240.0 / 90.0,
+            p50: 4,
+            p90: 6,
+            p99: 9,
+            p999: 12,
+        }
+    }
+
+    #[test]
+    fn row_renders_every_field() {
+        let j = row().to_json();
+        for needle in [
+            "\"algo\":\"Paxos\"",
+            "\"class\":\"class 2\"",
+            "\"n\":3",
+            "\"b\":0",
+            "\"f\":1",
+            "\"network\":\"Gst(8,0.5)\"",
+            "\"faults\":\"none\"",
+            "\"workload\":\"closed(k=4)\"",
+            "\"clients\":12",
+            "\"batch_cap\":8",
+            "\"committed_cmds\":240",
+            "\"rounds\":90",
+            "\"cmds_per_round\":2.6667",
+            "\"p50\":4",
+            "\"p999\":12",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = row();
+        r.algo = "we\"ird\\name\n".into();
+        let j = r.to_json();
+        assert!(j.contains("we\\\"ird\\\\name\\u000a"), "{j}");
+    }
+
+    #[test]
+    fn writer_emits_valid_array_shape() {
+        let mut w = ResultsWriter::new();
+        assert_eq!(w.to_json(), "[\n]\n");
+        w.push(row());
+        w.push(row());
+        let j = w.to_json();
+        assert_eq!(w.rows().len(), 2);
+        assert!(j.starts_with("[\n  {"));
+        assert!(j.trim_end().ends_with(']'));
+        assert_eq!(j.matches("\"algo\"").count(), 2);
+        assert_eq!(j.matches("},\n").count(), 1, "comma between rows only");
+    }
+
+    #[test]
+    fn writer_round_trips_through_fs() {
+        let mut w = ResultsWriter::new();
+        w.push(row());
+        let path = std::env::temp_dir().join("gencon_load_results_test.json");
+        w.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, w.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

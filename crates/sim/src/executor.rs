@@ -160,6 +160,20 @@ where
         self
     }
 
+    /// Adds an honest participant driven by a per-round client-arrival
+    /// hook: `hook` runs with typed mutable access to `proc` before every
+    /// sending step (and, for full [`crate::RoundHook`] implementations,
+    /// after every transition step) — the way open-ended workloads reach a
+    /// replica mid-execution. See [`crate::Driven`].
+    #[must_use]
+    pub fn honest_driven<P, H>(self, proc: P, hook: H) -> Self
+    where
+        P: RoundProcess<Msg = M, Output = O> + 'static,
+        H: crate::RoundHook<P> + 'static,
+    {
+        self.honest(crate::Driven::new(proc, hook))
+    }
+
     /// Adds a Byzantine participant.
     #[must_use]
     pub fn byzantine(mut self, adv: impl Adversary<Msg = M> + 'static) -> Self {

@@ -20,6 +20,12 @@
 //! exactly the guarantee a real `Pcons` implementation provides (the
 //! `gencon-pcons` crate builds those protocols for real).
 //!
+//! Open-ended workloads (state-machine replication under client traffic)
+//! use the per-round client-arrival injection hook:
+//! [`SimBuilder::honest_driven`] couples a participant with a [`RoundHook`]
+//! that runs with typed access to it before every sending step and after
+//! every transition step.
+//!
 //! Executions are deterministic given the seeds, so every experiment in
 //! `EXPERIMENTS.md` is exactly reproducible.
 
@@ -28,12 +34,14 @@
 
 mod executor;
 mod faults;
+mod inject;
 mod network;
 mod outcome;
 mod trace;
 
 pub use executor::{SimBuilder, SimError, Simulation};
 pub use faults::{CrashAt, CrashPlan};
+pub use inject::{Driven, RoundHook};
 pub use network::{AlwaysGood, DeliveryPlan, Gst, NetworkModel, RandomSubset, Scripted};
 pub use outcome::{properties, Outcome};
 pub use trace::{Trace, TraceAudit, TracedRound};

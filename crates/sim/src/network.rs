@@ -79,6 +79,18 @@ pub trait NetworkModel: Send {
     fn is_good(&self, r: Round) -> bool;
 }
 
+/// Boxed models are models — sweeps can pick one dynamically and hand it
+/// straight to the builder.
+impl NetworkModel for Box<dyn NetworkModel> {
+    fn plan(&mut self, r: Round, senders: &ProcessSet, n: usize) -> DeliveryPlan {
+        (**self).plan(r, senders, n)
+    }
+
+    fn is_good(&self, r: Round) -> bool {
+        (**self).is_good(r)
+    }
+}
+
 /// A fully synchronous network: every round is good, nothing is lost.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct AlwaysGood;

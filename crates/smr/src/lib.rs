@@ -15,6 +15,20 @@
 //! apply the same command sequence (by the paper's Agreement property,
 //! per slot).
 //!
+//! # The batch commit path
+//!
+//! [`Replica`] proposes one client command per slot. Under load that wastes
+//! the fixed per-slot round cost, so [`BatchingReplica`] amortizes it: each
+//! new slot drains up to `batch_cap` queued commands into one
+//! [`Batch`](gencon_types::Batch) proposal, the decided batch is
+//! **flattened** into the applied log in batch order, and the replica's
+//! output is the flattened command log. Per-slot Agreement is untouched — a
+//! batch is just a value — so honest replicas still apply identical command
+//! sequences; throughput per round scales with the batch size. The empty
+//! batch is the no-op filler; it sorts *last*, so a slot never commits a
+//! no-op while any replica proposed real commands, and commands whose batch
+//! lost its slot are re-queued for a later one.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
+
+pub use batch::BatchingReplica;
+pub use gencon_types::Batch;
+
 use std::collections::BTreeMap;
 
 use gencon_core::{ConsensusMsg, GenericConsensus, Params, ParamsError};
@@ -51,7 +70,86 @@ pub type Slot = u64;
 /// Messages of the replicated log: per-slot consensus messages, bundled per
 /// round. Bundling keeps the composition a closed-round protocol: one
 /// message per sender per round, carrying every open slot's payload.
-pub type SmrMsg<V> = Vec<(Slot, ConsensusMsg<V>)>;
+///
+/// A named struct (not a bare `Vec` alias) so slot payloads can evolve —
+/// batched values, decision certificates, future compression — without
+/// leaking the representation into every signature that mentions the
+/// message type.
+///
+/// Besides per-slot engine payloads, a bundle carries **decision claims**:
+/// `(slot, value)` assertions for slots the sender has already committed
+/// but some peer is still working on. A laggard adopts a claimed decision
+/// once `b + 1` distinct senders concur — at least one is honest, so the
+/// value is the slot's actual decision by per-slot Agreement. This is the
+/// catch-up path that bounded engine lingering cannot provide: however far
+/// a replica falls behind, the replicas ahead of it keep answering its
+/// stale-slot messages with certificates.
+#[derive(Clone, Debug, Default)]
+pub struct SmrMsg<V> {
+    slots: Vec<(Slot, ConsensusMsg<V>)>,
+    claims: Vec<(Slot, V)>,
+}
+
+impl<V> SmrMsg<V> {
+    /// An empty bundle.
+    #[must_use]
+    pub fn new() -> Self {
+        SmrMsg {
+            slots: Vec::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Appends slot `s`'s payload for this round.
+    pub fn push(&mut self, slot: Slot, msg: ConsensusMsg<V>) {
+        self.slots.push((slot, msg));
+    }
+
+    /// The payload carried for `slot`, if any.
+    #[must_use]
+    pub fn slot(&self, slot: Slot) -> Option<&ConsensusMsg<V>> {
+        self.slots.iter().find(|(s, _)| *s == slot).map(|(_, m)| m)
+    }
+
+    /// Iterates over `(slot, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &ConsensusMsg<V>)> {
+        self.slots.iter().map(|(s, m)| (*s, m))
+    }
+
+    /// Number of open slots carried (claims not included — see
+    /// [`SmrMsg::claims`]; a catch-up bundle can carry claims and no
+    /// slots).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the bundle carries no slots and no claims.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty() && self.claims.is_empty()
+    }
+
+    /// Appends a decision claim for `slot`.
+    pub fn push_claim(&mut self, slot: Slot, value: V) {
+        self.claims.push((slot, value));
+    }
+
+    /// The decision claims carried by this bundle.
+    #[must_use]
+    pub fn claims(&self) -> &[(Slot, V)] {
+        &self.claims
+    }
+}
+
+impl<V> FromIterator<(Slot, ConsensusMsg<V>)> for SmrMsg<V> {
+    fn from_iter<I: IntoIterator<Item = (Slot, ConsensusMsg<V>)>>(iter: I) -> Self {
+        SmrMsg {
+            slots: iter.into_iter().collect(),
+            claims: Vec::new(),
+        }
+    }
+}
 
 /// One replica of the replicated state machine.
 ///
@@ -70,8 +168,23 @@ pub struct Replica<V: Value> {
     noop: V,
     /// Open instances: slot → (engine, the global round it opened at).
     open: BTreeMap<Slot, (GenericConsensus<V>, u64)>,
+    /// Decided engines kept participating: slot → (engine, opened round,
+    /// decided round). A decided process keeps voting (the round model's
+    /// "its votes help laggards reach TD") — without this, a replica that
+    /// decides slot `s` and opens `s + 1` strands any peer that missed the
+    /// deciding round: the peer alone can never reach `TD` votes for `s`.
+    lingering: BTreeMap<Slot, (GenericConsensus<V>, u64, u64)>,
+    /// Rounds a decided engine lingers after its decision (0 = retire
+    /// immediately, the pre-linger behavior).
+    linger: u64,
     /// Decided-but-not-yet-committed slots (waiting for lower slots).
     decided: BTreeMap<Slot, V>,
+    /// Decision claims to attach to the next bundle: slots we committed
+    /// that a peer's last bundle showed it still working on.
+    claim_queue: BTreeMap<Slot, V>,
+    /// Claim tallies for our own open slots: slot → value → claimants.
+    /// Adoption needs `b + 1` distinct claimants per (slot, value).
+    claim_votes: BTreeMap<Slot, BTreeMap<V, gencon_types::ProcessSet>>,
     /// The committed log, in order.
     committed: Vec<V>,
     /// Next slot to open.
@@ -113,7 +226,11 @@ impl<V: Value> Replica<V> {
             pending,
             noop,
             open: BTreeMap::new(),
+            lingering: BTreeMap::new(),
+            linger: 6,
             decided: BTreeMap::new(),
+            claim_queue: BTreeMap::new(),
+            claim_votes: BTreeMap::new(),
             committed: Vec::new(),
             next_slot: 0,
             window: 1,
@@ -126,6 +243,17 @@ impl<V: Value> Replica<V> {
     #[must_use]
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = window.max(1);
+        self
+    }
+
+    /// Sets how many rounds a decided slot's engine keeps participating
+    /// (default 6 — two phases of a 3-round class). Lingering engines keep
+    /// re-broadcasting their votes so replicas that missed the deciding
+    /// round still reach `TD`; longer linger tolerates longer asynchronous
+    /// gaps at the cost of proportionally more live engines.
+    #[must_use]
+    pub fn with_linger(mut self, rounds: u64) -> Self {
+        self.linger = rounds;
         self
     }
 
@@ -172,8 +300,116 @@ impl<V: Value> Replica<V> {
         }
     }
 
-    /// Harvests decided slots and commits in order.
-    fn harvest(&mut self) {
+    /// Aligns each live slot's opening round with the earliest opening any
+    /// peer's messages imply.
+    ///
+    /// Replicas decide a slot (and hence open the next) in different global
+    /// rounds under loss or crashes, which would run the next slot's
+    /// instance phase-offset across replicas — fatal under `FLAG = φ`,
+    /// where only votes timestamped with the *current* phase count. Every
+    /// consensus message carries its phase tag, and its variant names the
+    /// round kind, so a receiver can reconstruct the sender's local round
+    /// exactly (`Schedule::round_of`) and re-base its own engine to the
+    /// minimum implied opening. Min-adoption is monotone (openings only
+    /// move earlier, never below round 1) and self-propagating — once a
+    /// replica adopts an earlier opening, its own messages carry it onward
+    /// — so after a good period all honest replicas converge on one
+    /// opening per slot. Skipped local rounds are indistinguishable from
+    /// message loss, which every instantiation tolerates by design; a
+    /// Byzantine phase tag can only pull the opening earlier (bounded by
+    /// round 1), i.e. fast-forward the instance, never stall it.
+    fn align_openings(&mut self, r: Round, heard: &HeardOf<SmrMsg<V>>) {
+        let schedule = self.params.schedule();
+        let live = self
+            .open
+            .iter_mut()
+            .map(|(s, (_, opened))| (*s, opened))
+            .chain(
+                self.lingering
+                    .iter_mut()
+                    .map(|(s, (_, opened, _))| (*s, opened)),
+            );
+        for (slot, opened) in live {
+            for (_, bundle) in heard.iter() {
+                let Some(m) = bundle.slot(slot) else { continue };
+                let kind = match m {
+                    ConsensusMsg::Selection(..) => gencon_types::RoundKind::Selection,
+                    ConsensusMsg::Validation(..) => gencon_types::RoundKind::Validation,
+                    ConsensusMsg::Decision(..) => gencon_types::RoundKind::Decision,
+                };
+                let Some(local) = schedule.round_of(m.phase(), kind) else {
+                    continue;
+                };
+                let implied = (r.number() + 1).saturating_sub(local.number());
+                if implied >= 1 && implied < *opened {
+                    *opened = implied;
+                }
+            }
+        }
+    }
+
+    /// The decided value of `slot`, if this replica has one (committed,
+    /// decided-pending, or still lingering).
+    fn decision_of(&self, slot: Slot) -> Option<V> {
+        if let Some(v) = self.committed.get(slot as usize) {
+            return Some(v.clone());
+        }
+        if let Some(v) = self.decided.get(&slot) {
+            return Some(v.clone());
+        }
+        self.lingering
+            .get(&slot)
+            .and_then(|(e, _, _)| e.decision().map(|d| d.value.clone()))
+    }
+
+    /// Decision-certificate exchange: tallies incoming claims for our open
+    /// slots (adopting a value once `b + 1` distinct senders vouch for it —
+    /// at least one is honest, so Agreement makes the value the slot's true
+    /// decision), and queues claims for peers still working slots we have
+    /// already decided. This is the unbounded catch-up path: lingering
+    /// engines cover short gaps cheaply, certificates cover any gap.
+    fn exchange_claims(&mut self, heard: &HeardOf<SmrMsg<V>>) {
+        let threshold = self.params.cfg.b() + 1;
+        for (sender, bundle) in heard.iter() {
+            for (slot, value) in bundle.claims() {
+                if self.open.contains_key(slot) {
+                    self.claim_votes
+                        .entry(*slot)
+                        .or_default()
+                        .entry(value.clone())
+                        .or_insert_with(gencon_types::ProcessSet::new)
+                        .insert(sender);
+                }
+            }
+            for (slot, _) in bundle.iter() {
+                if let Some(v) = self.decision_of(slot) {
+                    self.claim_queue.insert(slot, v);
+                }
+            }
+        }
+        let adopt: Vec<(Slot, V)> = self
+            .claim_votes
+            .iter()
+            .filter(|(s, _)| self.open.contains_key(*s))
+            .filter_map(|(s, per_value)| {
+                per_value
+                    .iter()
+                    .find(|(_, who)| who.len() >= threshold)
+                    .map(|(v, _)| (*s, v.clone()))
+            })
+            .collect();
+        for (slot, value) in adopt {
+            self.open.remove(&slot);
+            self.decided.insert(slot, value);
+        }
+        // Tallies are only meaningful for slots still open.
+        let open_slots: Vec<Slot> = self.open.keys().copied().collect();
+        self.claim_votes.retain(|s, _| open_slots.contains(s));
+    }
+
+    /// Harvests decided slots (retiring their engines into the linger set)
+    /// and commits in order.
+    fn harvest(&mut self, now: Round) {
         let newly: Vec<Slot> = self
             .open
             .iter()
@@ -181,10 +417,17 @@ impl<V: Value> Replica<V> {
             .map(|(s, _)| *s)
             .collect();
         for slot in newly {
-            let (engine, _) = self.open.remove(&slot).expect("slot is open");
+            let (engine, opened) = self.open.remove(&slot).expect("slot is open");
             let d = engine.decision().expect("checked above").clone();
             self.decided.insert(slot, d.value);
+            if self.linger > 0 {
+                self.lingering.insert(slot, (engine, opened, now.number()));
+            }
         }
+        // Expire lingering engines past their keep-alive.
+        let linger = self.linger;
+        self.lingering
+            .retain(|_, (_, _, decided_at)| now.number() < *decided_at + linger);
         // Commit the contiguous prefix.
         while let Some(v) = self.decided.remove(&(self.committed.len() as Slot)) {
             self.committed.push(v);
@@ -201,10 +444,15 @@ impl<V: Value> RoundProcess for Replica<V> {
     }
 
     fn requirement(&self, r: Round) -> Predicate {
-        // The strictest requirement among open slots this round: if any
+        // The strictest requirement among live slots this round: if any
         // slot is in a selection round, the bundle wants Pcons.
         let mut need = Predicate::Good;
-        for (engine, opened) in self.open.values() {
+        let opened_rounds = self
+            .open
+            .values()
+            .map(|(e, opened)| (e, *opened))
+            .chain(self.lingering.values().map(|(e, opened, _)| (e, *opened)));
+        for (engine, opened) in opened_rounds {
             let local = Round::new(r.number() - opened + 1);
             if engine.requirement(local) == Predicate::Cons {
                 need = Predicate::Cons;
@@ -215,21 +463,33 @@ impl<V: Value> RoundProcess for Replica<V> {
 
     fn send(&mut self, r: Round) -> Outgoing<Self::Msg> {
         self.refill_window(r);
-        let mut bundle: Vec<(Slot, ConsensusMsg<V>)> = Vec::new();
-        for (slot, (engine, opened)) in &mut self.open {
-            let local = Round::new(r.number() - *opened + 1);
+        let mut bundle = SmrMsg::new();
+        let live = self
+            .open
+            .iter_mut()
+            .map(|(s, (e, opened))| (*s, e, *opened))
+            .chain(
+                self.lingering
+                    .iter_mut()
+                    .map(|(s, (e, opened, _))| (*s, e, *opened)),
+            );
+        for (slot, engine, opened) in live {
+            let local = Round::new(r.number() - opened + 1);
             match engine.send(local) {
                 Outgoing::Silent => {}
-                Outgoing::Broadcast(m) => bundle.push((*slot, m)),
+                Outgoing::Broadcast(m) => bundle.push(slot, m),
                 // Per-instance multicasts degrade to bundle broadcast; the
                 // constant-Π selectors of Byzantine algorithms make this
                 // exact, and benign leader-based instances just send a few
                 // extra copies.
-                Outgoing::Multicast { msg, .. } => bundle.push((*slot, msg)),
+                Outgoing::Multicast { msg, .. } => bundle.push(slot, msg),
                 Outgoing::PerDest(_) => {
                     unreachable!("honest engines never equivocate")
                 }
             }
+        }
+        for (slot, v) in std::mem::take(&mut self.claim_queue) {
+            bundle.push_claim(slot, v);
         }
         if bundle.is_empty() {
             Outgoing::Silent
@@ -240,17 +500,28 @@ impl<V: Value> RoundProcess for Replica<V> {
 
     fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
         let n = self.params.cfg.n();
-        for (slot, (engine, opened)) in &mut self.open {
-            let local = Round::new(r.number() - *opened + 1);
+        self.align_openings(r, heard);
+        self.exchange_claims(heard);
+        let live = self
+            .open
+            .iter_mut()
+            .map(|(s, (e, opened))| (*s, e, *opened))
+            .chain(
+                self.lingering
+                    .iter_mut()
+                    .map(|(s, (e, opened, _))| (*s, e, *opened)),
+            );
+        for (slot, engine, opened) in live {
+            let local = Round::new(r.number() - opened + 1);
             let mut slot_heard: HeardOf<ConsensusMsg<V>> = HeardOf::empty(n);
             for (sender, bundle) in heard.iter() {
-                if let Some((_, m)) = bundle.iter().find(|(s, _)| s == slot) {
+                if let Some(m) = bundle.slot(slot) {
                     slot_heard.put(sender, m.clone());
                 }
             }
             engine.receive(local, &slot_heard);
         }
-        self.harvest();
+        self.harvest(r);
     }
 
     fn output(&self) -> Option<Vec<V>> {

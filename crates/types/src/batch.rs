@@ -1,0 +1,165 @@
+//! Batches of client commands proposed as one consensus value.
+//!
+//! Running one consensus instance per client command wastes the fixed
+//! per-instance round cost. The standard amortization is to let a replica
+//! drain its pending queue into a [`Batch`] and decide the whole batch in a
+//! single slot: per-command cost collapses by the batch size while the
+//! per-slot Agreement argument is untouched (a batch is just a value).
+//!
+//! `Batch<V>` derives everything the [`Value`](crate::Value) bounds need, so
+//! the blanket implementation makes it a first-class consensus value:
+//!
+//! ```
+//! fn assert_value<V: gencon_types::Value>() {}
+//! assert_value::<gencon_types::Batch<u64>>();
+//! ```
+//!
+//! The `Ord` implementation is lexicographic over the command vector
+//! **except that the empty batch sorts last**: `ChoicePolicy::
+//! DeterministicMin` then always prefers a real proposal over the no-op
+//! filler, so replicas whose queues drained cannot starve the loaded ones
+//! by winning slots with empty batches. (Any deterministic total order
+//! keeps the paper's tie-break argument; this one also keeps the log
+//! useful under partial load.)
+
+/// An ordered batch of client commands, decided as a single consensus value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Batch<V> {
+    commands: Vec<V>,
+}
+
+impl<V: Ord> Ord for Batch<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.commands.is_empty(), other.commands.is_empty()) {
+            (true, true) => Ordering::Equal,
+            // Empty (no-op) batches are the *greatest* values: a real
+            // proposal always wins a DeterministicMin tie-break.
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.commands.cmp(&other.commands),
+        }
+    }
+}
+
+impl<V: Ord> PartialOrd for Batch<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V> Batch<V> {
+    /// Creates a batch from the given commands (order is preserved into the
+    /// applied log).
+    #[must_use]
+    pub fn new(commands: Vec<V>) -> Self {
+        Batch { commands }
+    }
+
+    /// The empty batch — the no-op a replica proposes when its queue is
+    /// empty but the slot must still fill.
+    #[must_use]
+    pub fn empty() -> Self {
+        Batch {
+            commands: Vec::new(),
+        }
+    }
+
+    /// The batched commands, in proposal order.
+    #[must_use]
+    pub fn commands(&self) -> &[V] {
+        &self.commands
+    }
+
+    /// Number of commands in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the batch is a no-op.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Consumes the batch, yielding its commands.
+    #[must_use]
+    pub fn into_commands(self) -> Vec<V> {
+        self.commands
+    }
+
+    /// Iterates over the commands.
+    pub fn iter(&self) -> std::slice::Iter<'_, V> {
+        self.commands.iter()
+    }
+}
+
+impl<V> From<Vec<V>> for Batch<V> {
+    fn from(commands: Vec<V>) -> Self {
+        Batch::new(commands)
+    }
+}
+
+impl<V> IntoIterator for Batch<V> {
+    type Item = V;
+    type IntoIter = std::vec::IntoIter<V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.into_iter()
+    }
+}
+
+impl<'a, V> IntoIterator for &'a Batch<V> {
+    type Item = &'a V;
+    type IntoIter = std::slice::Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = Batch::new(vec![3u64, 1, 2]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.commands(), &[3, 1, 2]);
+        assert_eq!(b.clone().into_commands(), vec![3, 1, 2]);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![3, 1, 2]);
+        let e: Batch<u64> = Batch::empty();
+        assert!(e.is_empty());
+        assert_eq!(e, Batch::default());
+    }
+
+    #[test]
+    fn empty_batch_sorts_last() {
+        let noop: Batch<u64> = Batch::empty();
+        let real = Batch::new(vec![0u64]);
+        assert!(real < noop, "a real proposal must win DeterministicMin");
+        assert_eq!(noop.cmp(&Batch::empty()), std::cmp::Ordering::Equal);
+        assert!(Batch::new(vec![1u64]) < Batch::new(vec![2u64]));
+        assert!(Batch::new(vec![1u64]) < Batch::new(vec![1u64, 0]));
+        assert!(Batch::new(vec![u64::MAX]) < noop);
+    }
+
+    #[test]
+    fn batch_is_a_value() {
+        fn assert_value<V: crate::Value>() {}
+        assert_value::<Batch<u64>>();
+        assert_value::<Batch<String>>();
+    }
+
+    #[test]
+    fn iteration() {
+        let b = Batch::from(vec![1u64, 2]);
+        let by_ref: Vec<u64> = (&b).into_iter().copied().collect();
+        assert_eq!(by_ref, vec![1, 2]);
+        let owned: Vec<u64> = b.into_iter().collect();
+        assert_eq!(owned, vec![1, 2]);
+    }
+}

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod process;
 pub mod quorum;
 mod round;
 mod value;
 
+pub use batch::Batch;
 pub use config::{Config, ConfigError};
 pub use process::{ProcessId, ProcessSet, ProcessSetIter, MAX_PROCESSES};
 pub use round::{Phase, Round, RoundKind};

@@ -47,6 +47,7 @@ pub use gencon_adversary as adversary;
 pub use gencon_algos as algos;
 pub use gencon_core as core;
 pub use gencon_crypto as crypto;
+pub use gencon_load as load;
 pub use gencon_net as net;
 pub use gencon_pcons as pcons;
 pub use gencon_rounds as rounds;
@@ -65,5 +66,5 @@ pub mod prelude {
         properties, AlwaysGood, CrashAt, CrashPlan, DeliveryPlan, Gst, NetworkModel, Outcome,
         RandomSubset, Scripted, SimBuilder, SimError, Simulation,
     };
-    pub use gencon_types::{Config, Phase, ProcessId, ProcessSet, Round, RoundKind, Value};
+    pub use gencon_types::{Batch, Config, Phase, ProcessId, ProcessSet, Round, RoundKind, Value};
 }
