@@ -163,14 +163,14 @@ mod tests {
             .collect();
         let r = Round::new(1);
         let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
-        for i in 0..n {
+        for (i, proc_) in procs.iter_mut().enumerate() {
             let mut ho = HeardOf::empty(n);
             for (j, out) in outs.iter().enumerate() {
                 if let Some(m) = out.message_for(ProcessId::new(i)) {
                     ho.put(ProcessId::new(j), m);
                 }
             }
-            procs[i].receive(r, &ho);
+            proc_.receive(r, &ho);
         }
         for p in &procs {
             assert_eq!(p.output(), Some(5));
@@ -186,14 +186,14 @@ mod tests {
         for round in 1..=3u64 {
             let r = Round::new(round);
             let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
-            for i in 0..n {
+            for (i, proc_) in procs.iter_mut().enumerate() {
                 let mut ho = HeardOf::empty(n);
                 for (j, out) in outs.iter().enumerate() {
                     if let Some(m) = out.message_for(ProcessId::new(i)) {
                         ho.put(ProcessId::new(j), m);
                     }
                 }
-                procs[i].receive(r, &ho);
+                proc_.receive(r, &ho);
             }
         }
         let d = procs[0].output().expect("decides");

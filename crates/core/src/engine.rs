@@ -461,14 +461,14 @@ mod tests {
     fn run_round(procs: &mut [GenericConsensus<u64>], r: Round) {
         let n = procs.len();
         let outs: Vec<_> = procs.iter_mut().map(|p| p.send(r)).collect();
-        for dest in 0..n {
+        for (dest, proc_) in procs.iter_mut().enumerate() {
             let mut ho = HeardOf::empty(n);
             for (src, out) in outs.iter().enumerate() {
                 if let Some(m) = out.message_for(ProcessId::new(dest)) {
                     ho.put(ProcessId::new(src), m);
                 }
             }
-            procs[dest].receive(r, &ho);
+            proc_.receive(r, &ho);
         }
     }
 

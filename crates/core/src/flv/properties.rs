@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn validity_checker() {
-        let msgs = vec![m1(1), m1(2)];
+        let msgs = [m1(1), m1(2)];
         let refs: Vec<_> = msgs.iter().collect();
         assert!(validity_holds(&FlvOutcome::Value(1), &refs));
         assert!(!validity_holds(&FlvOutcome::Value(9), &refs));

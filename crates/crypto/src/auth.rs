@@ -187,9 +187,9 @@ mod tests {
     fn honest_authentication_roundtrip() {
         let stores = KeyStore::dealer(4, 7);
         let auth = stores[2].authenticate(b"hello");
-        for receiver in 0..4 {
+        for (receiver, store) in stores.iter().enumerate() {
             assert!(
-                stores[receiver].verify(p(2), b"hello", &auth),
+                store.verify(p(2), b"hello", &auth),
                 "receiver {receiver} rejects valid authenticator"
             );
         }

@@ -20,8 +20,13 @@
 //!   mergeable, with p50/p90/p99/p999;
 //! * [`run_load`] — assembles replicas, workloads, network and fault mix
 //!   into one lock-step execution and reports a [`LoadReport`];
-//! * [`BenchRow`]/[`ResultsWriter`] — the `BENCH_smr.json` trajectory
-//!   format the `loadgen` experiment binary emits.
+//! * [`run_net_load`] — the same clients and histogram over *real*
+//!   transports (`gencon-server` event-loop nodes on a Channel or
+//!   localhost-TCP mesh), measuring wall-clock microseconds instead of
+//!   rounds — the sim-vs-wire comparison of experiment E9;
+//! * [`BenchRow`]/[`NetRow`]/[`ResultsWriter`] — the `BENCH_smr.json` /
+//!   `BENCH_net.json` trajectory formats the `loadgen` and `loadgen_net`
+//!   experiment binaries emit.
 //!
 //! Everything is seeded: the same configuration reproduces the same
 //! arrivals, the same batches and the same histogram, round for round.
@@ -61,12 +66,14 @@
 
 mod driver;
 mod hist;
+mod netdriver;
 mod results;
 mod workload;
 
 pub use driver::{run_load, LoadProfile, LoadReport, WorkloadKind};
 pub use hist::LatencyHistogram;
-pub use results::{BenchRow, ResultsWriter};
+pub use netdriver::{run_net_load, NetLoadProfile, NetLoadReport, NetTransportKind};
+pub use results::{BenchRow, JsonRow, NetRow, ResultsWriter};
 pub use workload::{decode_cmd, encode_cmd, ClosedLoop, OpenLoop, Workload};
 
 // The batched SMR surface this harness drives, re-exported for one-stop

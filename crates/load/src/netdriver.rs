@@ -1,0 +1,405 @@
+//! The real-net load driver: the same clients, batches and histogram as
+//! [`run_load`](crate::run_load), but over actual transports and wall
+//! clocks instead of the lock-step simulator.
+//!
+//! [`run_net_load`] spawns one `gencon-server` event-loop node per replica
+//! (threads over [`ChannelTransport`] or a localhost
+//! [`TcpTransport`] mesh), attaches the existing [`Workload`] generators
+//! through the node hook, and measures **submit→apply wall latency in
+//! microseconds** into the shared [`LatencyHistogram`] — so
+//! `BENCH_net.json` rows are directly comparable with `BENCH_smr.json`'s
+//! simulated rounds: same workloads, same batching, same percentile
+//! machinery, real wire and real time.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gencon_core::Params;
+use gencon_net::{probe_free_addrs, ChannelTransport, TcpTransport, Transport};
+use gencon_server::{run_smr_node, NodeHook, NodeStats, ServerConfig};
+use gencon_smr::{Batch, BatchingReplica};
+use gencon_types::ProcessId;
+
+use crate::driver::WorkloadKind;
+use crate::hist::LatencyHistogram;
+use crate::workload::{ClosedLoop, OpenLoop, Workload};
+
+/// Which transport carries the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetTransportKind {
+    /// In-process crossbeam channels (isolates protocol cost from TCP).
+    Channel,
+    /// A localhost TCP mesh (the full wire path: codec + kernel + loopback).
+    Tcp,
+}
+
+impl NetTransportKind {
+    /// Label for results rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            NetTransportKind::Channel => "Channel",
+            NetTransportKind::Tcp => "Tcp",
+        }
+    }
+}
+
+/// One real-net load configuration.
+#[derive(Clone, Debug)]
+pub struct NetLoadProfile {
+    /// Clients attached to each replica.
+    pub clients_per_replica: u16,
+    /// Arrival model (same generators as the simulated driver).
+    pub workload: WorkloadKind,
+    /// Max commands per proposed batch.
+    pub batch_cap: usize,
+    /// Slot pipelining window.
+    pub window: usize,
+    /// Commands each replica must apply before reporting done.
+    pub commit_target: usize,
+    /// Hard stop, in rounds per node.
+    pub max_rounds: u64,
+    /// Base seed for per-replica workload rngs.
+    pub seed: u64,
+    /// Mesh transport.
+    pub transport: NetTransportKind,
+    /// Round pacing band (see [`ServerConfig`]).
+    pub min_round_timeout: Duration,
+    /// Starting round deadline.
+    pub initial_round_timeout: Duration,
+    /// Ceiling round deadline.
+    pub max_round_timeout: Duration,
+}
+
+impl NetLoadProfile {
+    /// A sensible default band for localhost meshes.
+    #[must_use]
+    pub fn localhost(
+        workload: WorkloadKind,
+        clients_per_replica: u16,
+        batch_cap: usize,
+        commit_target: usize,
+        transport: NetTransportKind,
+    ) -> Self {
+        NetLoadProfile {
+            clients_per_replica,
+            workload,
+            batch_cap,
+            window: 4,
+            commit_target,
+            max_rounds: 200_000,
+            seed: 42,
+            transport,
+            min_round_timeout: Duration::from_millis(1),
+            initial_round_timeout: Duration::from_millis(30),
+            max_round_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What one [`run_net_load`] execution produced.
+#[derive(Clone, Debug)]
+pub struct NetLoadReport {
+    /// Commands applied at the measurement replica (node 0).
+    pub committed_cmds: u64,
+    /// Wall clock at the measurement replica: from its first round to the
+    /// round its commit target was reached (mesh dialing and the
+    /// post-target linger while helping laggards are excluded, so
+    /// `cmds_per_sec` reflects serving throughput, not harness overhead).
+    pub wall: Duration,
+    /// Rounds the measurement replica executed.
+    pub rounds: u64,
+    /// Submit→apply latency in **microseconds** at the measurement
+    /// replica, from the shared histogram.
+    pub hist: LatencyHistogram,
+    /// Whether every replica applied at least the commit target.
+    pub all_reached_target: bool,
+    /// Whether all replicas' applied logs agree on the common prefix.
+    pub logs_agree: bool,
+    /// Per-node event-loop statistics.
+    pub stats: Vec<NodeStats>,
+}
+
+impl NetLoadReport {
+    /// Throughput in commands per second at the measurement replica.
+    #[must_use]
+    pub fn cmds_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.committed_cmds as f64 / secs
+        }
+    }
+}
+
+/// Submit instants of every command, shared across node hooks.
+type SubmitLog = Arc<Mutex<HashMap<u64, Instant>>>;
+
+/// The measurement replica's serving window: first round entered, and the
+/// instant its commit target was reached.
+type MeasureWindow = Arc<Mutex<(Option<Instant>, Option<Instant>)>>;
+
+/// Workload + latency hook: the real-net analogue of the sim's `LoadHook`.
+struct NetLoadHook {
+    workload: Box<dyn Workload>,
+    submits: SubmitLog,
+    hist: Arc<Mutex<LatencyHistogram>>,
+    window: MeasureWindow,
+    measure: bool,
+    measured: usize,
+    target: usize,
+    n: usize,
+    marked_done: bool,
+    done: Arc<AtomicUsize>,
+}
+
+impl NodeHook<u64> for NetLoadHook {
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
+        if self.measure {
+            self.window
+                .lock()
+                .expect("window lock")
+                .0
+                .get_or_insert_with(Instant::now);
+        }
+        let arrivals = self.workload.arrivals(round, replica.applied());
+        if arrivals.is_empty() {
+            return;
+        }
+        {
+            let mut submits = self.submits.lock().expect("submit log lock");
+            let now = Instant::now();
+            for &cmd in &arrivals {
+                submits.entry(cmd).or_insert(now);
+            }
+        }
+        replica.submit_all(arrivals);
+    }
+
+    fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
+        if !self.measure {
+            return;
+        }
+        let applied = replica.applied();
+        if applied.len() == self.measured {
+            return;
+        }
+        let now = Instant::now();
+        let submits = self.submits.lock().expect("submit log lock");
+        let mut hist = self.hist.lock().expect("hist lock");
+        for cmd in &applied[self.measured..] {
+            if let Some(&sent) = submits.get(cmd) {
+                hist.record(now.duration_since(sent).as_micros().max(1) as u64);
+            }
+        }
+        self.measured = applied.len();
+    }
+
+    fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
+        if !self.marked_done && replica.applied().len() >= self.target {
+            self.marked_done = true;
+            if self.measure {
+                self.window.lock().expect("window lock").1 = Some(Instant::now());
+            }
+            self.done.fetch_add(1, Ordering::SeqCst);
+        }
+        // Keep helping (lingering at cluster scope) until everyone is done.
+        self.done.load(Ordering::SeqCst) >= self.n
+    }
+}
+
+/// Runs one real-net load configuration over `n` node threads and reports
+/// wall-clock throughput and microsecond latency percentiles.
+///
+/// # Panics
+///
+/// Panics if the mesh cannot be established or a node thread dies.
+pub fn run_net_load(params: &Params<Batch<u64>>, profile: &NetLoadProfile) -> NetLoadReport {
+    let n = params.cfg.n();
+    let submits: SubmitLog = Arc::new(Mutex::new(HashMap::new()));
+    let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let window: MeasureWindow = Arc::new(Mutex::new((None, None)));
+    let done = Arc::new(AtomicUsize::new(0));
+    let cfg = ServerConfig {
+        initial_round_timeout: profile.initial_round_timeout,
+        min_round_timeout: profile.min_round_timeout,
+        max_round_timeout: profile.max_round_timeout,
+        max_rounds: profile.max_rounds,
+        stop_after_commands: None,
+    };
+
+    let make_hook = |i: usize| -> NetLoadHook {
+        let workload: Box<dyn Workload> = match profile.workload {
+            WorkloadKind::Closed { outstanding } => Box::new(ClosedLoop::new(
+                i as u16,
+                profile.clients_per_replica,
+                outstanding,
+            )),
+            WorkloadKind::Poisson { rate } => Box::new(OpenLoop::new(
+                i as u16,
+                profile.clients_per_replica,
+                rate,
+                profile.seed.wrapping_add(i as u64),
+            )),
+        };
+        NetLoadHook {
+            workload,
+            submits: Arc::clone(&submits),
+            hist: Arc::clone(&hist),
+            window: Arc::clone(&window),
+            measure: i == 0,
+            measured: 0,
+            target: profile.commit_target,
+            n,
+            marked_done: false,
+            done: Arc::clone(&done),
+        }
+    };
+
+    let fallback_start = Instant::now();
+    let mut handles: Vec<std::thread::JoinHandle<(BatchingReplica<u64>, NodeStats)>> = Vec::new();
+    match profile.transport {
+        NetTransportKind::Channel => {
+            for (i, tr) in ChannelTransport::mesh(n).into_iter().enumerate() {
+                handles.push(spawn_node(params, profile, cfg, tr, make_hook(i)));
+            }
+        }
+        NetTransportKind::Tcp => {
+            let addrs = probe_free_addrs(n).expect("probe localhost ports");
+            for i in 0..n {
+                let addrs = addrs.clone();
+                let hook = make_hook(i);
+                let params = params.clone();
+                let profile = profile.clone();
+                handles.push(std::thread::spawn(move || {
+                    let tr = TcpTransport::connect_mesh(ProcessId::new(i), &addrs)
+                        .expect("localhost mesh connects");
+                    run_node_thread(&params, &profile, cfg, tr, hook)
+                }));
+            }
+        }
+    }
+
+    let results: Vec<(BatchingReplica<u64>, NodeStats)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+    // Serving window at the measurement replica; falls back to the whole
+    // harness span if the target was never reached.
+    let wall = {
+        let w = window.lock().expect("window lock");
+        match (w.0, w.1) {
+            (Some(from), Some(to)) => to.duration_since(from),
+            _ => fallback_start.elapsed(),
+        }
+    };
+
+    let reference = results[0].0.applied();
+    let mut logs_agree = true;
+    let mut all_reached_target = true;
+    for (rep, _) in &results {
+        let log = rep.applied();
+        let common = log.len().min(reference.len());
+        if log[..common] != reference[..common] {
+            logs_agree = false;
+        }
+        if log.len() < profile.commit_target {
+            all_reached_target = false;
+        }
+    }
+
+    let hist = hist.lock().expect("hist lock").clone();
+    NetLoadReport {
+        committed_cmds: results[0].0.applied().len() as u64,
+        wall,
+        rounds: results[0].1.rounds,
+        hist,
+        all_reached_target,
+        logs_agree,
+        stats: results.iter().map(|(_, s)| *s).collect(),
+    }
+}
+
+fn spawn_node<T: Transport + Send + 'static>(
+    params: &Params<Batch<u64>>,
+    profile: &NetLoadProfile,
+    cfg: ServerConfig,
+    transport: T,
+    hook: NetLoadHook,
+) -> std::thread::JoinHandle<(BatchingReplica<u64>, NodeStats)> {
+    let params = params.clone();
+    let profile = profile.clone();
+    std::thread::spawn(move || run_node_thread(&params, &profile, cfg, transport, hook))
+}
+
+fn run_node_thread<T: Transport>(
+    params: &Params<Batch<u64>>,
+    profile: &NetLoadProfile,
+    cfg: ServerConfig,
+    transport: T,
+    hook: NetLoadHook,
+) -> (BatchingReplica<u64>, NodeStats) {
+    let id = transport.local();
+    let replica = BatchingReplica::new(id, params.clone(), profile.batch_cap, usize::MAX)
+        .expect("validated params")
+        .with_window(profile.window);
+    let (replica, _t, stats) = run_smr_node(replica, transport, cfg, hook);
+    (replica, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_algos::{paxos, pbft};
+
+    fn profile(transport: NetTransportKind, target: usize) -> NetLoadProfile {
+        NetLoadProfile::localhost(
+            WorkloadKind::Closed { outstanding: 4 },
+            4,
+            16,
+            target,
+            transport,
+        )
+    }
+
+    #[test]
+    fn paxos_channel_net_load_reaches_target() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let report = run_net_load(&spec.params, &profile(NetTransportKind::Channel, 120));
+        assert!(report.all_reached_target, "rounds: {}", report.rounds);
+        assert!(report.logs_agree);
+        assert!(report.committed_cmds >= 120);
+        assert!(report.hist.count() >= 120);
+        assert!(report.hist.p50() >= 1, "latencies are in micros");
+        assert!(report.cmds_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn pbft_tcp_net_load_reaches_target() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let report = run_net_load(&spec.params, &profile(NetTransportKind::Tcp, 100));
+        assert!(report.all_reached_target);
+        assert!(report.logs_agree);
+        assert!(report.hist.count() >= 100);
+        assert_eq!(report.stats.len(), 4);
+    }
+
+    #[test]
+    fn open_loop_poisson_over_channels() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let mut p = profile(NetTransportKind::Channel, 60);
+        p.workload = WorkloadKind::Poisson { rate: 3.0 };
+        let report = run_net_load(&spec.params, &p);
+        assert!(report.all_reached_target);
+        assert!(report.logs_agree);
+    }
+
+    #[test]
+    fn transport_labels() {
+        assert_eq!(NetTransportKind::Channel.label(), "Channel");
+        assert_eq!(NetTransportKind::Tcp.label(), "Tcp");
+    }
+}

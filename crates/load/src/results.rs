@@ -1,12 +1,21 @@
-//! The `BENCH_smr.json` results format.
+//! The `BENCH_smr.json` / `BENCH_net.json` results formats.
 //!
-//! One row per swept configuration. The file is a JSON array of flat
+//! One row per swept configuration. Each file is a JSON array of flat
 //! objects so any plotting stack can ingest it; the writer is hand-rolled
 //! (the workspace is offline — no serde) and emits stable key order.
+//! [`BenchRow`] is the simulated-rounds row (E8), [`NetRow`] the
+//! wall-clock real-transport row (E9); [`ResultsWriter`] serializes any
+//! [`JsonRow`].
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+/// A row any [`ResultsWriter`] can serialize.
+pub trait JsonRow {
+    /// Renders the row as one flat JSON object.
+    fn to_json(&self) -> String;
+}
 
 /// One row of the end-to-end SMR benchmark:
 /// configuration → throughput and latency percentiles.
@@ -63,10 +72,8 @@ fn push_str_field(out: &mut String, key: &str, val: &str) {
     out.push('"');
 }
 
-impl BenchRow {
-    /// Renders the row as a JSON object.
-    #[must_use]
-    pub fn to_json(&self) -> String {
+impl JsonRow for BenchRow {
+    fn to_json(&self) -> String {
         let mut s = String::from("{");
         push_str_field(&mut s, "algo", &self.algo);
         s.push(',');
@@ -95,13 +102,96 @@ impl BenchRow {
     }
 }
 
-/// Accumulates [`BenchRow`]s and writes them as one JSON array.
-#[derive(Clone, Debug, Default)]
-pub struct ResultsWriter {
-    rows: Vec<BenchRow>,
+/// One row of the real-net benchmark (E9): the same workloads and
+/// histogram as [`BenchRow`], but over an actual transport with wall-clock
+/// units — latency in microseconds, throughput in commands per second —
+/// plus the matching simulated throughput so sim-vs-wire is one file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetRow {
+    /// Algorithm name (`Paxos`, `PBFT`, …).
+    pub algo: String,
+    /// Its class in Table 1.
+    pub class: String,
+    /// System size.
+    pub n: usize,
+    /// Byzantine bound b.
+    pub b: usize,
+    /// Crash bound f.
+    pub f: usize,
+    /// Mesh transport (`Channel`, `Tcp`).
+    pub transport: String,
+    /// Workload shape (`closed(k=4)`, `poisson(2.0)`).
+    pub workload: String,
+    /// Total clients across replicas.
+    pub clients: usize,
+    /// Batch cap.
+    pub batch_cap: usize,
+    /// Commands applied at the measurement replica.
+    pub committed_cmds: u64,
+    /// Rounds the measurement replica executed.
+    pub rounds: u64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Throughput in commands per second.
+    pub cmds_per_sec: f64,
+    /// Median submit→apply latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Throughput of the same configuration in the lock-step simulator
+    /// (commands per round), for sim-vs-wire comparison.
+    pub sim_cmds_per_round: f64,
 }
 
-impl ResultsWriter {
+impl JsonRow for NetRow {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_str_field(&mut s, "algo", &self.algo);
+        s.push(',');
+        push_str_field(&mut s, "class", &self.class);
+        let _ = write!(s, ",\"n\":{},\"b\":{},\"f\":{},", self.n, self.b, self.f);
+        push_str_field(&mut s, "transport", &self.transport);
+        s.push(',');
+        push_str_field(&mut s, "workload", &self.workload);
+        let _ = write!(
+            s,
+            ",\"clients\":{},\"batch_cap\":{},\"committed_cmds\":{},\"rounds\":{},\
+             \"wall_ms\":{:.3},\"cmds_per_sec\":{:.1},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{},\"p999_us\":{},\"sim_cmds_per_round\":{:.4}}}",
+            self.clients,
+            self.batch_cap,
+            self.committed_cmds,
+            self.rounds,
+            self.wall_ms,
+            self.cmds_per_sec,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.sim_cmds_per_round,
+        );
+        s
+    }
+}
+
+/// Accumulates rows ([`BenchRow`] by default) and writes them as one JSON
+/// array.
+#[derive(Clone, Debug)]
+pub struct ResultsWriter<R: JsonRow = BenchRow> {
+    rows: Vec<R>,
+}
+
+impl<R: JsonRow> Default for ResultsWriter<R> {
+    fn default() -> Self {
+        ResultsWriter::new()
+    }
+}
+
+impl<R: JsonRow> ResultsWriter<R> {
     /// An empty writer.
     #[must_use]
     pub fn new() -> Self {
@@ -109,13 +199,13 @@ impl ResultsWriter {
     }
 
     /// Appends a row.
-    pub fn push(&mut self, row: BenchRow) {
+    pub fn push(&mut self, row: R) {
         self.rows.push(row);
     }
 
     /// Rows collected so far.
     #[must_use]
-    pub fn rows(&self) -> &[BenchRow] {
+    pub fn rows(&self) -> &[R] {
         &self.rows
     }
 
@@ -203,6 +293,66 @@ mod tests {
         r.algo = "we\"ird\\name\n".into();
         let j = r.to_json();
         assert!(j.contains("we\\\"ird\\\\name\\u000a"), "{j}");
+    }
+
+    #[test]
+    fn net_row_renders_every_field() {
+        let j = NetRow {
+            algo: "PBFT".into(),
+            class: "class 3".into(),
+            n: 4,
+            b: 1,
+            f: 1,
+            transport: "Tcp".into(),
+            workload: "closed(k=4)".into(),
+            clients: 16,
+            batch_cap: 64,
+            committed_cmds: 1200,
+            rounds: 88,
+            wall_ms: 412.5,
+            cmds_per_sec: 2909.1,
+            p50_us: 5200,
+            p90_us: 9100,
+            p99_us: 15000,
+            p999_us: 19000,
+            sim_cmds_per_round: 13.3333,
+        }
+        .to_json();
+        for needle in [
+            "\"algo\":\"PBFT\"",
+            "\"transport\":\"Tcp\"",
+            "\"wall_ms\":412.500",
+            "\"cmds_per_sec\":2909.1",
+            "\"p50_us\":5200",
+            "\"p999_us\":19000",
+            "\"sim_cmds_per_round\":13.3333",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+        // Writers are generic: a NetRow writer serializes the same shape.
+        let mut w: ResultsWriter<NetRow> = ResultsWriter::new();
+        assert_eq!(w.to_json(), "[\n]\n");
+        w.push(NetRow {
+            algo: "Paxos".into(),
+            class: "class 2".into(),
+            n: 4,
+            b: 0,
+            f: 1,
+            transport: "Channel".into(),
+            workload: "closed(k=4)".into(),
+            clients: 16,
+            batch_cap: 64,
+            committed_cmds: 1200,
+            rounds: 70,
+            wall_ms: 120.0,
+            cmds_per_sec: 10_000.0,
+            p50_us: 900,
+            p90_us: 1500,
+            p99_us: 2100,
+            p999_us: 3000,
+            sim_cmds_per_round: 17.0,
+        });
+        assert!(w.to_json().contains("\"transport\":\"Channel\""));
     }
 
     #[test]

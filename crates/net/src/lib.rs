@@ -47,7 +47,10 @@
 pub mod runtime;
 pub mod transport;
 pub mod wire;
+mod wire_smr;
 
 pub use runtime::{run_node, NodeConfig};
-pub use transport::{ChannelTransport, FlakyTransport, TcpTransport, Transport};
+pub use transport::{
+    probe_free_addrs, ChannelTransport, DialPolicy, FlakyTransport, TcpTransport, Transport,
+};
 pub use wire::{Envelope, Wire, WireError};

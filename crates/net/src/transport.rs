@@ -10,7 +10,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
@@ -107,77 +107,233 @@ impl Transport for ChannelTransport {
 /// subsequent frames are length-prefixed. Frames received on a connection
 /// are attributed to the hello id **pinned at accept time** — a peer cannot
 /// claim another's identity later.
+///
+/// Connections are **self-healing**: the acceptor keeps accepting for the
+/// transport's whole lifetime (a restarted peer re-dials and is simply
+/// picked up), and an outgoing link whose write fails is redialed in the
+/// background with bounded backoff — frames sent while a peer is down are
+/// dropped, which is exactly the best-effort/bad-period semantics of the
+/// model. Dropping the transport shuts the acceptor down and releases the
+/// listen address, so a process restart can rebind the same endpoint.
 pub struct TcpTransport {
     id: ProcessId,
     inbox: Receiver<(ProcessId, Bytes)>,
-    outgoing: Vec<Option<Arc<Mutex<TcpStream>>>>,
+    links: Vec<Option<PeerLink>>,
+    closed: Arc<std::sync::atomic::AtomicBool>,
+    local_addr: SocketAddr,
+}
+
+/// The outgoing side of one peer connection, redialable after failures.
+struct PeerLink {
+    addr: SocketAddr,
+    /// `None` while the connection is down (awaiting redial).
+    stream: Arc<Mutex<Option<TcpStream>>>,
+    /// A background redial is in flight.
+    redialing: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl PeerLink {
+    fn up(addr: SocketAddr, stream: TcpStream) -> PeerLink {
+        PeerLink {
+            addr,
+            stream: Arc::new(Mutex::new(Some(stream))),
+            redialing: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+
+    /// Kicks off one background redial unless one is already running.
+    /// The event loop never blocks on reconnection; frames sent while the
+    /// link is down are dropped (best-effort).
+    fn spawn_redial(&self, my_id: ProcessId) {
+        use std::sync::atomic::Ordering;
+        if self.redialing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let addr = self.addr;
+        let stream = Arc::clone(&self.stream);
+        let redialing = Arc::clone(&self.redialing);
+        std::thread::spawn(move || {
+            let policy = DialPolicy {
+                deadline: Duration::from_secs(2),
+                ..DialPolicy::default()
+            };
+            if let Ok(mut s) = dial_with_backoff(addr, policy) {
+                if s.write_all(&(my_id.index() as u32).to_le_bytes()).is_ok() {
+                    s.set_nodelay(true).ok();
+                    *stream.lock() = Some(s);
+                }
+            }
+            redialing.store(false, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Retry policy for dialing mesh peers that have not bound yet.
+///
+/// A cluster never starts atomically: deployment staggers process launches
+/// by seconds, and a restarted node re-dials peers that are still coming
+/// up. Dialing therefore retries with *bounded exponential backoff* —
+/// starting at [`DialPolicy::initial_backoff`], doubling up to
+/// [`DialPolicy::max_backoff`] — until [`DialPolicy::deadline`] elapses,
+/// at which point the mesh connection fails with the last I/O error.
+#[derive(Clone, Copy, Debug)]
+pub struct DialPolicy {
+    /// Total wall-clock budget for establishing one peer connection.
+    pub deadline: Duration,
+    /// First retry delay after a refused/failed dial.
+    pub initial_backoff: Duration,
+    /// Backoff cap: delays double up to this bound.
+    pub max_backoff: Duration,
+}
+
+impl Default for DialPolicy {
+    fn default() -> Self {
+        DialPolicy {
+            deadline: Duration::from_secs(15),
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
 }
 
 impl TcpTransport {
-    /// Connects a full mesh: `addrs[i]` is the listen address of process
-    /// `i`; this endpoint is `id` and must be able to bind `addrs[id]`.
-    ///
-    /// Dials peers with bounded retries (peers may start later).
+    /// Connects a full mesh with the default [`DialPolicy`]: `addrs[i]` is
+    /// the listen address of process `i`; this endpoint is `id` and must be
+    /// able to bind `addrs[id]`.
     ///
     /// # Errors
     ///
-    /// I/O errors binding the listener or dialing peers past the retry
-    /// budget.
+    /// I/O errors binding the listener, or dialing a peer past the policy
+    /// deadline.
     pub fn connect_mesh(id: ProcessId, addrs: &[SocketAddr]) -> std::io::Result<TcpTransport> {
+        TcpTransport::connect_mesh_with(id, addrs, DialPolicy::default())
+    }
+
+    /// Connects a full mesh, dialing every peer *in parallel* under
+    /// `policy`: a peer that binds late delays the mesh by its own lateness
+    /// only, not by the sum over peers.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener, or dialing a peer past the policy
+    /// deadline.
+    pub fn connect_mesh_with(
+        id: ProcessId,
+        addrs: &[SocketAddr],
+        policy: DialPolicy,
+    ) -> std::io::Result<TcpTransport> {
         let n = addrs.len();
         let listener = TcpListener::bind(addrs[id.index()])?;
+        let local_addr = listener.local_addr()?;
         let (tx, rx) = channel::unbounded();
+        let closed = Arc::new(std::sync::atomic::AtomicBool::new(false));
 
         // Acceptor: every inbound connection is a peer's sending side.
-        let expected_inbound = n - 1;
+        // It runs for the transport's whole lifetime — a peer that
+        // restarts re-dials and must be accepted, however late. Shutdown
+        // (Drop) sets `closed` and nudges the listener awake.
         let acceptor_tx = tx.clone();
+        let acceptor_closed = Arc::clone(&closed);
         std::thread::spawn(move || {
-            for _ in 0..expected_inbound {
+            loop {
                 let Ok((stream, _)) = listener.accept() else {
                     return;
                 };
+                if acceptor_closed.load(std::sync::atomic::Ordering::SeqCst) {
+                    return; // releases the listener for a rebinding restart
+                }
                 let tx = acceptor_tx.clone();
                 std::thread::spawn(move || reader_loop(stream, tx));
             }
         });
 
-        // Dial every peer; our outbound side carries our frames to them.
-        let mut outgoing: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
-        for (peer, addr) in addrs.iter().enumerate() {
-            if peer == id.index() {
-                continue;
-            }
-            let stream = dial_with_retry(*addr, 50, Duration::from_millis(100))?;
-            let mut hello = stream;
-            hello.write_all(&(id.index() as u32).to_le_bytes())?;
-            hello.set_nodelay(true).ok();
-            outgoing[peer] = Some(Arc::new(Mutex::new(hello)));
+        // Dial every peer concurrently; our outbound sides carry our frames.
+        let dials: Vec<(usize, std::thread::JoinHandle<std::io::Result<TcpStream>>)> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(peer, _)| *peer != id.index())
+            .map(|(peer, addr)| {
+                let addr = *addr;
+                (
+                    peer,
+                    std::thread::spawn(move || {
+                        let mut stream = dial_with_backoff(addr, policy)?;
+                        stream.write_all(&(id.index() as u32).to_le_bytes())?;
+                        stream.set_nodelay(true).ok();
+                        Ok(stream)
+                    }),
+                )
+            })
+            .collect();
+        let mut links: Vec<Option<PeerLink>> = (0..n).map(|_| None).collect();
+        for (peer, handle) in dials {
+            let stream = handle
+                .join()
+                .map_err(|_| std::io::Error::other("dial thread panicked"))??;
+            links[peer] = Some(PeerLink::up(addrs[peer], stream));
         }
 
         Ok(TcpTransport {
             id,
             inbox: rx,
-            outgoing,
+            links,
+            closed,
+            local_addr,
         })
     }
 }
 
-fn dial_with_retry(
-    addr: SocketAddr,
-    attempts: u32,
-    backoff: Duration,
-) -> std::io::Result<TcpStream> {
-    let mut last = None;
-    for _ in 0..attempts {
-        match TcpStream::connect(addr) {
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.closed.store(true, std::sync::atomic::Ordering::SeqCst);
+        // Nudge the acceptor out of `accept()` so it observes the flag
+        // and releases the listen address for a restarted process.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+    }
+}
+
+/// Dials `addr` with bounded exponential backoff until `policy.deadline`.
+///
+/// Each attempt is itself bounded by the remaining budget
+/// (`connect_timeout`), so a black-holed address — SYNs dropped rather
+/// than refused — cannot stretch one attempt past the deadline.
+fn dial_with_backoff(addr: SocketAddr, policy: DialPolicy) -> std::io::Result<TcpStream> {
+    let give_up = Instant::now() + policy.deadline;
+    let mut backoff = policy.initial_backoff.max(Duration::from_millis(1));
+    loop {
+        let now = Instant::now();
+        let remaining = give_up
+            .checked_duration_since(now)
+            .unwrap_or(Duration::from_millis(1))
+            .max(Duration::from_millis(1));
+        match TcpStream::connect_timeout(&addr, remaining) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                last = Some(e);
-                std::thread::sleep(backoff);
+                let now = Instant::now();
+                if now >= give_up {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff.min(give_up - now));
+                backoff = (backoff * 2).min(policy.max_backoff);
             }
         }
     }
-    Err(last.unwrap_or_else(|| std::io::Error::other("dial failed")))
+}
+
+/// Reserves `n` distinct free localhost addresses by probe-binding
+/// ephemeral ports and releasing them. Inherently racy (another process
+/// can grab a released port), but the standard recipe for tests and
+/// local harnesses that must exchange a full address list before any
+/// node binds.
+///
+/// # Errors
+///
+/// Propagates probe bind/address errors.
+pub fn probe_free_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let probes: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    probes.iter().map(TcpListener::local_addr).collect()
 }
 
 /// Reads the hello id, then length-prefixed frames, forwarding them tagged
@@ -217,22 +373,38 @@ impl Transport for TcpTransport {
     }
 
     fn peers(&self) -> usize {
-        self.outgoing.len()
+        self.links.len()
     }
 
     fn send(&mut self, to: ProcessId, frame: Bytes) {
         if to == self.id {
             return; // self-delivery handled by the runtime
         }
-        let Some(Some(peer)) = self.outgoing.get(to.index()) else {
+        let Some(Some(link)) = self.links.get(to.index()) else {
             return;
         };
-        let mut stream = peer.lock();
-        let len = (frame.len() as u32).to_le_bytes();
-        // Best-effort: a broken pipe models a crashed/partitioned peer.
-        let _ = stream
-            .write_all(&len)
-            .and_then(|()| stream.write_all(&frame));
+        let mut guard = link.stream.lock();
+        match guard.as_mut() {
+            Some(stream) => {
+                let len = (frame.len() as u32).to_le_bytes();
+                // Best-effort: a failed write models a crashed/partitioned
+                // peer — the frame is dropped and the link redials in the
+                // background so a *restarted* peer is reachable again.
+                if stream
+                    .write_all(&len)
+                    .and_then(|()| stream.write_all(&frame))
+                    .is_err()
+                {
+                    *guard = None;
+                    drop(guard);
+                    link.spawn_redial(self.id);
+                }
+            }
+            None => {
+                drop(guard);
+                link.spawn_redial(self.id);
+            }
+        }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
@@ -357,14 +529,147 @@ mod tests {
     }
 
     #[test]
-    fn tcp_mesh_roundtrip() {
-        // Bind three ephemeral listeners to discover free ports, then
-        // release and reuse them for the mesh.
-        let probes: Vec<TcpListener> = (0..3)
-            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+    fn tcp_mesh_survives_staggered_start() {
+        // Node 2 binds its listener ~300 ms after nodes 0 and 1 start
+        // dialing: the backoff retries must carry the mesh through instead
+        // of failing on the first refused connection.
+        let addrs = probe_free_addrs(3).unwrap();
+
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let addrs = addrs.clone();
+                std::thread::spawn(move || {
+                    if i == 2 {
+                        std::thread::sleep(Duration::from_millis(300));
+                    }
+                    TcpTransport::connect_mesh_with(
+                        ProcessId::new(i),
+                        &addrs,
+                        DialPolicy {
+                            deadline: Duration::from_secs(10),
+                            ..DialPolicy::default()
+                        },
+                    )
+                    .expect("late binder must not fail the mesh")
+                })
+            })
             .collect();
-        let addrs: Vec<SocketAddr> = probes.iter().map(|l| l.local_addr().unwrap()).collect();
-        drop(probes);
+        let mut nodes: Vec<TcpTransport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Every ordered pair exchanges a frame (including with the late node).
+        for from in 0..3usize {
+            for to in 0..3usize {
+                if from == to {
+                    continue;
+                }
+                let payload = Bytes::from(vec![from as u8, to as u8]);
+                let (a, b) = if from < to {
+                    let (l, r) = nodes.split_at_mut(to);
+                    (&mut l[from], &mut r[0])
+                } else {
+                    let (l, r) = nodes.split_at_mut(from);
+                    (&mut r[0], &mut l[to])
+                };
+                a.send(ProcessId::new(to), payload.clone());
+                let (sender, frame) = b
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("frame arrives across the staggered mesh");
+                assert_eq!(sender, ProcessId::new(from));
+                assert_eq!(frame, payload);
+            }
+        }
+    }
+
+    #[test]
+    fn dial_gives_up_past_the_deadline() {
+        // An address nobody ever binds: the dial must fail after the
+        // deadline, not hang forever.
+        let dead = probe_free_addrs(1).unwrap()[0];
+        let started = Instant::now();
+        let err = dial_with_backoff(
+            dead,
+            DialPolicy {
+                deadline: Duration::from_millis(200),
+                initial_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+            },
+        );
+        assert!(err.is_err());
+        let took = started.elapsed();
+        assert!(
+            took >= Duration::from_millis(200) && took < Duration::from_secs(5),
+            "deadline respected, took {took:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_endpoint_survives_process_restart() {
+        // A "process restart": node 1's transport is dropped entirely
+        // (endpoint, links and listener gone) and a fresh one rebinds the
+        // same address. Node 0 must reconnect both directions — its
+        // acceptor picks up node 1's fresh dial, and its broken outgoing
+        // link redials in the background.
+        let addrs = probe_free_addrs(2).unwrap();
+        let a0 = addrs.clone();
+        let h0 = std::thread::spawn(move || {
+            TcpTransport::connect_mesh(ProcessId::new(0), &a0).expect("node 0 mesh")
+        });
+        let a1 = addrs.clone();
+        let h1 = std::thread::spawn(move || {
+            TcpTransport::connect_mesh(ProcessId::new(1), &a1).expect("node 1 mesh")
+        });
+        let mut t0 = h0.join().unwrap();
+        let t1 = h1.join().unwrap();
+
+        drop(t1); // SIGKILL stand-in: listener + connections all close
+
+        // Restart node 1 on the same endpoint (retry while the old
+        // listener drains its shutdown nudge).
+        let mut t1b = None;
+        for _ in 0..50 {
+            match TcpTransport::connect_mesh_with(
+                ProcessId::new(1),
+                &addrs,
+                DialPolicy {
+                    deadline: Duration::from_secs(5),
+                    ..DialPolicy::default()
+                },
+            ) {
+                Ok(t) => {
+                    t1b = Some(t);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+        let mut t1b = t1b.expect("restarted node rebinds its endpoint");
+
+        // Restarted → survivor works via the fresh dial.
+        t1b.send(ProcessId::new(0), Bytes::from_static(b"back"));
+        let (from, frame) = t0
+            .recv_timeout(Duration::from_secs(5))
+            .expect("survivor hears the restarted node");
+        assert_eq!((from, &frame[..]), (ProcessId::new(1), &b"back"[..]));
+
+        // Survivor → restarted: the first writes surface the broken pipe
+        // and trigger the background redial; keep sending until a frame
+        // lands on the new endpoint.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while Instant::now() < deadline {
+            t0.send(ProcessId::new(1), Bytes::from_static(b"again"));
+            if let Some((from, frame)) = t1b.recv_timeout(Duration::from_millis(100)) {
+                assert_eq!((from, &frame[..]), (ProcessId::new(0), &b"again"[..]));
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "survivor's link must redial the restarted peer");
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrip() {
+        let addrs = probe_free_addrs(3).unwrap();
 
         let handles: Vec<_> = (0..3)
             .map(|i| {

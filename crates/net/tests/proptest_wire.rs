@@ -1,0 +1,171 @@
+//! Property tests for the SMR-layer wire codec: random `Batch`/`SmrMsg`
+//! bundles round-trip exactly, every strict truncation is rejected, and
+//! arbitrary corruption never panics the decoder — the guarantees a server
+//! needs before feeding network bytes from untrusted peers into the log.
+
+use bytes::{Buf, Bytes};
+use proptest::prelude::*;
+
+use gencon_core::{ConsensusMsg, DecisionMsg, History, SelectionMsg, ValidationMsg};
+use gencon_net::{Envelope, Wire};
+use gencon_smr::SmrMsg;
+use gencon_types::{Batch, Phase, ProcessId, ProcessSet, Round};
+
+fn batches() -> impl Strategy<Value = Batch<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..12).prop_map(Batch::new)
+}
+
+fn phases() -> impl Strategy<Value = Phase> {
+    (0u64..1_000).prop_map(Phase::new)
+}
+
+fn histories() -> impl Strategy<Value = History<Batch<u64>>> {
+    proptest::collection::vec((batches(), phases()), 0..4).prop_map(|entries| {
+        let mut h = History::new();
+        for (v, p) in entries {
+            h.record(v, p);
+        }
+        h
+    })
+}
+
+fn psets() -> impl Strategy<Value = ProcessSet> {
+    proptest::collection::vec(0usize..64, 0..8)
+        .prop_map(|ids| ids.into_iter().map(ProcessId::new).collect())
+}
+
+fn consensus_msgs() -> impl Strategy<Value = ConsensusMsg<Batch<u64>>> {
+    (0u8..3, 0u8..2, phases(), batches(), phases(), histories()).prop_flat_map(
+        |(variant, some, phase, vote, ts, history)| {
+            psets().prop_map(move |selector| match variant {
+                0 => ConsensusMsg::Selection(
+                    phase,
+                    SelectionMsg {
+                        vote: vote.clone(),
+                        ts,
+                        history: history.clone(),
+                        selector,
+                    },
+                ),
+                1 => ConsensusMsg::Validation(
+                    phase,
+                    ValidationMsg {
+                        select: (some == 1).then(|| vote.clone()),
+                        validators: selector,
+                    },
+                ),
+                _ => ConsensusMsg::Decision(
+                    phase,
+                    DecisionMsg {
+                        vote: vote.clone(),
+                        ts,
+                    },
+                ),
+            })
+        },
+    )
+}
+
+fn bundles() -> impl Strategy<Value = SmrMsg<Batch<u64>>> {
+    (
+        proptest::collection::vec((0u64..64, consensus_msgs()), 0..5),
+        proptest::collection::vec((0u64..64, batches()), 0..4),
+        proptest::collection::vec(batches(), 0..3),
+    )
+        .prop_map(|(slots, claims, relays)| {
+            let mut m = SmrMsg::new();
+            for (slot, msg) in slots {
+                m.push(slot, msg);
+            }
+            for (slot, v) in claims {
+                m.push_claim(slot, v);
+            }
+            for v in relays {
+                m.push_relay(v);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batch_roundtrips(b in batches()) {
+        let bytes = b.to_bytes();
+        prop_assert_eq!(bytes.len(), b.encoded_len());
+        let mut buf = bytes;
+        prop_assert_eq!(Batch::<u64>::decode(&mut buf).unwrap(), b);
+        prop_assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn smr_bundle_roundtrips(m in bundles()) {
+        let bytes = m.to_bytes();
+        let mut buf = bytes;
+        prop_assert_eq!(SmrMsg::<Batch<u64>>::decode(&mut buf).unwrap(), m);
+        prop_assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn smr_envelope_roundtrips(
+        m in bundles(),
+        sender in 0usize..gencon_types::MAX_PROCESSES,
+        round in 1u64..1_000_000,
+    ) {
+        let env = Envelope {
+            sender: ProcessId::new(sender),
+            round: Round::new(round),
+            msg: m,
+        };
+        let bytes = env.to_bytes();
+        let mut buf = bytes;
+        prop_assert_eq!(
+            Envelope::<SmrMsg<Batch<u64>>>::decode(&mut buf).unwrap(),
+            env
+        );
+        prop_assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(m in bundles(), cut in 0usize..4_096) {
+        let bytes = m.to_bytes();
+        // Cuts are strict prefixes (an empty bundle still encodes its
+        // three zero length prefixes, so the modulus is never zero).
+        let cut = cut % bytes.len().max(1);
+        let mut short = bytes.slice(0..cut);
+        prop_assert!(
+            SmrMsg::<Batch<u64>>::decode(&mut short).is_err(),
+            "prefix of length {} of {} decoded",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        m in bundles(),
+        pos in 0usize..4_096,
+        flip in 1u8..=255,
+    ) {
+        let bytes = m.to_bytes();
+        let mut raw = bytes.to_vec();
+        if raw.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % raw.len();
+        raw[pos] ^= flip;
+        let mut buf = Bytes::from(raw);
+        // Must not panic or over-allocate; failure and success are both
+        // acceptable outcomes for a corrupted frame.
+        let _ = SmrMsg::<Batch<u64>>::decode(&mut buf);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = Bytes::from(raw);
+        let _ = SmrMsg::<Batch<u64>>::decode(&mut buf);
+        let mut buf2 = Bytes::from(vec![0xffu8; 64]);
+        let _ = Envelope::<SmrMsg<Batch<u64>>>::decode(&mut buf2);
+    }
+}

@@ -114,9 +114,9 @@ mod tests {
             let mut heards: Vec<HeardOf<StackMsg<P::Msg>>> =
                 (0..n).map(|_| HeardOf::empty(n)).collect();
             for (from, out) in outs.iter().enumerate() {
-                for to in 0..n {
+                for (to, heard) in heards.iter_mut().enumerate() {
                     if let Some(m) = out.message_for(ProcessId::new(to)) {
-                        heards[to].put(ProcessId::new(from), m);
+                        heard.put(ProcessId::new(from), m);
                     }
                 }
             }
@@ -242,9 +242,9 @@ mod tests {
                 if from == 3 {
                     continue; // p3 silent
                 }
-                for to in 0..n {
+                for (to, heard) in heards.iter_mut().enumerate() {
                     if let Some(m) = out.message_for(ProcessId::new(to)) {
-                        heards[to].put(ProcessId::new(from), m);
+                        heard.put(ProcessId::new(from), m);
                     }
                 }
             }

@@ -1,0 +1,192 @@
+//! `gencon-client` — closed-loop load against a `gencon-server` node.
+//!
+//! ```bash
+//! gencon-client --server 127.0.0.1:7000 --count 10000 \
+//!   [--clients 8] [--outstanding 16] [--id 0] \
+//!   [--servers 127.0.0.1:7000,127.0.0.1:7001,...]   # for Redirect handling
+//! ```
+//!
+//! Runs `--clients` logical clients, each keeping `--outstanding` commands
+//! in flight, until `--count` commands have been acked as committed.
+//! Reports wall-clock throughput and exact submit→commit latency
+//! percentiles (sorted-sample, in microseconds). Backpressure bounces are
+//! retried after a pause; redirects reconnect to the named server when
+//! `--servers` is given.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver};
+use gencon_server::cli::{flag_value, parse_flag};
+use gencon_server::{read_frame, write_frame, ClientRequest, ClientResponse};
+
+/// 16-bit namespace, 16-bit client, 32-bit sequence (mirrors
+/// `gencon_load::encode_cmd` without the dependency).
+fn encode_cmd(namespace: u16, client: u16, seq: u32) -> u64 {
+    ((namespace as u64) << 48) | ((client as u64) << 32) | seq as u64
+}
+
+fn decode_client(cmd: u64) -> u16 {
+    (cmd >> 32) as u16
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    parse_flag("gencon-client", args, flag, default)
+}
+
+/// Connects and spawns a reader thread forwarding responses with their
+/// arrival instant.
+fn connect(addr: SocketAddr) -> (TcpStream, Receiver<(ClientResponse<u64>, Instant)>) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("gencon-client: cannot connect {addr}: {e}");
+        exit(1);
+    });
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone().expect("socket clones");
+    let (tx, rx) = channel::unbounded();
+    std::thread::spawn(move || loop {
+        match read_frame::<_, ClientResponse<u64>>(&mut reader) {
+            Ok(resp) => {
+                if tx.send((resp, Instant::now())).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return, // disconnected
+        }
+    });
+    (stream, rx)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let server: SocketAddr = flag_value(&args, "--server")
+        .unwrap_or_else(|| {
+            eprintln!(
+                "usage: gencon-client --server a:p --count N [--clients C] [--outstanding K]"
+            );
+            exit(2);
+        })
+        .parse()
+        .unwrap_or_else(|_| {
+            eprintln!("gencon-client: bad --server address");
+            exit(2);
+        });
+    let servers: Vec<SocketAddr> = flag_value(&args, "--servers")
+        .map(|raw| {
+            raw.split(',')
+                .map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        eprintln!("gencon-client: bad address in --servers: {s}");
+                        exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let namespace: u16 = parse(&args, "--id", 0);
+    let clients: u16 = parse(&args, "--clients", 8);
+    let outstanding: u32 = parse(&args, "--outstanding", 16);
+    let count: u64 = parse(&args, "--count", 10_000);
+    let ack_timeout = Duration::from_secs(parse(&args, "--timeout-secs", 60));
+    if clients == 0 || outstanding == 0 || count == 0 {
+        eprintln!("gencon-client: --clients, --outstanding and --count must be positive");
+        exit(2);
+    }
+
+    let (mut stream, mut responses) = connect(server);
+    let mut next_seq = vec![0u32; clients as usize];
+    let mut submitted: HashMap<u64, Instant> = HashMap::new();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(count as usize);
+    let mut backpressured: u64 = 0;
+    let mut redirects: u64 = 0;
+    let started = Instant::now();
+
+    // Retries and redirect re-submissions keep the first submit instant:
+    // the client reports end-to-end latency, bounces included.
+    let submit = |stream: &mut TcpStream, submitted: &mut HashMap<u64, Instant>, cmd: u64| {
+        submitted.entry(cmd).or_insert_with(Instant::now);
+        if write_frame(stream, &ClientRequest::Submit { cmd }).is_err() {
+            eprintln!("gencon-client: server connection lost");
+            exit(1);
+        }
+    };
+
+    // Prime every client's window.
+    for c in 0..clients {
+        for _ in 0..outstanding {
+            let cmd = encode_cmd(namespace, c, next_seq[c as usize]);
+            next_seq[c as usize] += 1;
+            submit(&mut stream, &mut submitted, cmd);
+        }
+    }
+
+    while (latencies_us.len() as u64) < count {
+        let Ok((resp, at)) = responses.recv_timeout(ack_timeout) else {
+            eprintln!(
+                "gencon-client: no response for {ack_timeout:?} ({} of {count} acked) — aborting",
+                latencies_us.len()
+            );
+            exit(1);
+        };
+        match resp {
+            ClientResponse::Committed { cmd, .. } => {
+                let Some(sent) = submitted.remove(&cmd) else {
+                    continue; // duplicate ack
+                };
+                latencies_us.push(at.duration_since(sent).as_micros() as u64);
+                // Closed loop: the acked client's window refills.
+                let c = decode_client(cmd);
+                let cmd = encode_cmd(namespace, c, next_seq[c as usize]);
+                next_seq[c as usize] += 1;
+                submit(&mut stream, &mut submitted, cmd);
+            }
+            ClientResponse::Backpressure { cmd, .. } => {
+                backpressured += 1;
+                std::thread::sleep(Duration::from_millis(10));
+                submit(&mut stream, &mut submitted, cmd);
+            }
+            ClientResponse::Redirect { cmd, to } => {
+                redirects += 1;
+                let Some(&target) = servers.get(to.index()) else {
+                    eprintln!("gencon-client: redirected to process {to} but --servers not given");
+                    exit(1);
+                };
+                let (s, r) = connect(target);
+                stream = s;
+                responses = r;
+                // Re-submit everything in flight on the new connection.
+                let inflight: Vec<u64> = submitted.keys().copied().collect();
+                for c in inflight {
+                    submit(&mut stream, &mut submitted, c);
+                }
+                let _ = cmd; // already among the re-submitted in-flight set
+            }
+        }
+    }
+
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    let q = |p: f64| -> u64 {
+        let idx =
+            ((p * latencies_us.len() as f64).ceil() as usize).clamp(1, latencies_us.len()) - 1;
+        latencies_us[idx]
+    };
+    println!(
+        "acked {} commands in {:.3}s — {:.0} cmds/sec",
+        latencies_us.len(),
+        wall.as_secs_f64(),
+        latencies_us.len() as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency µs: p50 {}  p90 {}  p99 {}  max {}",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        latencies_us.last().copied().unwrap_or(0)
+    );
+    if backpressured + redirects > 0 {
+        println!("bounces: {backpressured} backpressure, {redirects} redirect");
+    }
+}

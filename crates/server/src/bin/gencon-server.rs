@@ -1,0 +1,151 @@
+//! `gencon-server` — one node of a networked SMR cluster.
+//!
+//! ```bash
+//! gencon-server --id 0 --algo pbft \
+//!   --peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
+//!   --client-addr 127.0.0.1:7000 \
+//!   [--batch-cap 64] [--window 4] [--min-timeout-ms 2] [--max-timeout-ms 1000]
+//!   [--backpressure 65536] [--redirect-to ID] [--stop-after N] [--max-rounds R]
+//! ```
+//!
+//! The node connects the TCP mesh (peers may start late: dialing retries
+//! with bounded backoff), serves clients at `--client-addr`, and runs the
+//! replicated log until killed (or `--stop-after` commands applied).
+
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+use gencon_server::cli::{flag_value, parse_flag, required_flag};
+use gencon_server::{run_smr_node, ClientGateway, GatewayConfig, ServerConfig};
+use gencon_smr::{Batch, BatchingReplica};
+use gencon_types::ProcessId;
+
+const BIN: &str = "gencon-server";
+const USAGE: &str =
+    "gencon-server --id N --algo paxos|pbft|mqb --peers a:p,b:p,... --client-addr a:p";
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    parse_flag(BIN, args, flag, default)
+}
+
+fn required(args: &[String], flag: &str) -> String {
+    required_flag(BIN, args, flag, USAGE)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id: usize = required(&args, "--id").parse().unwrap_or_else(|_| {
+        eprintln!("gencon-server: --id must be an index into --peers");
+        exit(2);
+    });
+    let algo = required(&args, "--algo");
+    let peers: Vec<SocketAddr> = required(&args, "--peers")
+        .split(',')
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("gencon-server: bad peer address {s}");
+                exit(2);
+            })
+        })
+        .collect();
+    let client_addr: SocketAddr = required(&args, "--client-addr")
+        .parse()
+        .unwrap_or_else(|_| {
+            eprintln!("gencon-server: bad --client-addr");
+            exit(2);
+        });
+    let n = peers.len();
+    if id >= n {
+        eprintln!("gencon-server: --id {id} out of range for {n} peers");
+        exit(2);
+    }
+
+    let batch_cap: usize = parse(&args, "--batch-cap", 64);
+    let window: usize = parse(&args, "--window", 4);
+    let cfg = ServerConfig {
+        initial_round_timeout: Duration::from_millis(parse(&args, "--initial-timeout-ms", 50)),
+        min_round_timeout: Duration::from_millis(parse(&args, "--min-timeout-ms", 2)),
+        max_round_timeout: Duration::from_millis(parse(&args, "--max-timeout-ms", 1_000)),
+        max_rounds: parse(&args, "--max-rounds", u64::MAX),
+        stop_after_commands: flag_value(&args, "--stop-after").map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("gencon-server: bad --stop-after");
+                exit(2);
+            })
+        }),
+    };
+    let gateway_cfg = GatewayConfig {
+        backpressure_limit: parse(&args, "--backpressure", 65_536),
+        redirect_to: flag_value(&args, "--redirect-to").map(|raw| {
+            ProcessId::new(raw.parse().unwrap_or_else(|_| {
+                eprintln!("gencon-server: bad --redirect-to");
+                exit(2);
+            }))
+        }),
+        write_timeout: Duration::from_millis(parse(&args, "--write-timeout-ms", 500)),
+    };
+
+    // Fault bounds from the cluster size: the largest each model tolerates.
+    let params = match algo.as_str() {
+        "paxos" => {
+            gencon_algos::paxos::<Batch<u64>>(n, (n - 1) / 2, ProcessId::new(0))
+                .unwrap_or_else(|e| {
+                    eprintln!("gencon-server: {e}");
+                    exit(2);
+                })
+                .params
+        }
+        "pbft" => {
+            gencon_algos::pbft::<Batch<u64>>(n, (n - 1) / 3)
+                .unwrap_or_else(|e| {
+                    eprintln!("gencon-server: {e} (pbft needs n ≥ 3b + 1, e.g. 4 nodes)");
+                    exit(2);
+                })
+                .params
+        }
+        "mqb" => {
+            gencon_algos::mqb::<Batch<u64>>(n, (n - 1) / 4)
+                .unwrap_or_else(|e| {
+                    eprintln!("gencon-server: {e} (mqb needs n ≥ 4b + 1, e.g. 5 nodes)");
+                    exit(2);
+                })
+                .params
+        }
+        other => {
+            eprintln!("gencon-server: unknown --algo {other} (paxos|pbft|mqb)");
+            exit(2);
+        }
+    };
+
+    let gateway = ClientGateway::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
+        eprintln!("gencon-server: cannot bind client address {client_addr}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "gencon-server {id}: serving clients at {}, connecting {n}-node {algo} mesh …",
+        gateway.local_addr()
+    );
+    let transport = gencon_net::TcpTransport::connect_mesh(ProcessId::new(id), &peers)
+        .unwrap_or_else(|e| {
+            eprintln!("gencon-server: mesh connection failed: {e}");
+            exit(1);
+        });
+    eprintln!("gencon-server {id}: mesh up, log running");
+
+    let replica = BatchingReplica::new(ProcessId::new(id), params, batch_cap, usize::MAX)
+        .expect("catalog params validate")
+        .with_window(window);
+    let (replica, _transport, stats) = run_smr_node(replica, transport, cfg, gateway);
+
+    eprintln!(
+        "gencon-server {id}: stopped at round {} — {} commands applied over {} slots \
+         ({} full rounds, {} timeouts, {} fast-forwards)",
+        stats.last_round,
+        replica.applied().len(),
+        replica.committed_slots(),
+        stats.full_rounds,
+        stats.timeouts,
+        stats.fast_forwards,
+    );
+}

@@ -1,0 +1,61 @@
+//! Tiny flag parsing shared by the `gencon-server` and `gencon-client`
+//! binaries (the workspace is offline — no clap; space-separated
+//! `--flag value` pairs are all the cluster tooling needs).
+
+use std::process::exit;
+
+/// The value following `flag`, if present.
+#[must_use]
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `flag`'s value, exiting with a usage error (status 2) on a
+/// malformed value; `default` when the flag is absent.
+pub fn parse_flag<T: std::str::FromStr>(bin: &str, args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("{bin}: bad value for {flag}: {raw}");
+            exit(2);
+        }),
+    }
+}
+
+/// `flag`'s value, exiting with `usage` (status 2) when absent.
+pub fn required_flag(bin: &str, args: &[String], flag: &str, usage: &str) -> String {
+    flag_value(args, flag).unwrap_or_else(|| {
+        eprintln!("{bin}: missing required flag {flag}");
+        eprintln!("usage: {usage}");
+        exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_pairs() {
+        let a = args(&["bin", "--id", "3", "--algo", "pbft"]);
+        assert_eq!(flag_value(&a, "--id").as_deref(), Some("3"));
+        assert_eq!(flag_value(&a, "--algo").as_deref(), Some("pbft"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        // A trailing flag with no value is absent, not a panic.
+        let b = args(&["bin", "--id"]);
+        assert_eq!(flag_value(&b, "--id"), None);
+    }
+
+    #[test]
+    fn parse_flag_defaults_when_absent() {
+        let a = args(&["bin", "--cap", "32"]);
+        assert_eq!(parse_flag::<usize>("t", &a, "--cap", 64), 32);
+        assert_eq!(parse_flag::<usize>("t", &a, "--window", 4), 4);
+    }
+}

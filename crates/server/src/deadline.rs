@@ -1,0 +1,121 @@
+//! Adaptive round deadlines: wall-clock pacing that tracks the network.
+//!
+//! A fixed round timeout is wrong in both directions: too short and every
+//! round is "bad" (messages cut off → no progress), too long and the
+//! common case crawls at the worst-case pace. The classic partial-synchrony
+//! recipe is adaptive: *shrink* toward a small multiple of the observed
+//! round time while rounds complete (every live sender heard before the
+//! deadline), *grow* multiplicatively when a round times out — the same
+//! shape as DLS/Paxos round-trip estimation or a TCP RTO. The deadline is
+//! clamped to a configured `[min, max]` band so neither a burst of fast
+//! rounds nor a long partition can push it somewhere it cannot recover
+//! from quickly.
+
+use std::time::Duration;
+
+/// An adaptive per-round deadline: EWMA-tracked on full rounds,
+/// exponential backoff on timeouts, clamped to `[min, max]`.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveDeadline {
+    current: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl AdaptiveDeadline {
+    /// Starts at `initial`, adapting within `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    #[must_use]
+    pub fn new(initial: Duration, min: Duration, max: Duration) -> Self {
+        assert!(!min.is_zero(), "a zero deadline would drop every frame");
+        assert!(min <= max, "deadline band is empty: {min:?} > {max:?}");
+        AdaptiveDeadline {
+            current: initial.clamp(min, max),
+            min,
+            max,
+        }
+    }
+
+    /// The deadline to give the next round.
+    #[must_use]
+    pub fn current(&self) -> Duration {
+        self.current
+    }
+
+    /// A round heard every live sender after `took`: track 2× the observed
+    /// round time with an EWMA (α = 1/4), leaving headroom for jitter
+    /// without parking at the worst case.
+    pub fn on_full_round(&mut self, took: Duration) {
+        let target = (took * 2).clamp(self.min, self.max);
+        self.current = ((self.current * 3 + target) / 4).clamp(self.min, self.max);
+    }
+
+    /// A round expired before all senders were heard: back off
+    /// exponentially (liveness under partial synchrony needs the deadline
+    /// to eventually exceed the real message delay).
+    pub fn on_timeout(&mut self) {
+        self.current = (self.current * 2).min(self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn shrinks_toward_fast_rounds() {
+        let mut d = AdaptiveDeadline::new(ms(100), ms(2), ms(1000));
+        for _ in 0..40 {
+            d.on_full_round(ms(1));
+        }
+        assert!(
+            d.current() <= ms(4),
+            "tracked down to ~2×1ms, got {:?}",
+            d.current()
+        );
+        assert!(d.current() >= ms(2), "never below the floor");
+    }
+
+    #[test]
+    fn grows_on_timeouts_and_caps() {
+        let mut d = AdaptiveDeadline::new(ms(10), ms(2), ms(200));
+        for _ in 0..20 {
+            d.on_timeout();
+        }
+        assert_eq!(d.current(), ms(200), "backoff saturates at max");
+    }
+
+    #[test]
+    fn recovers_after_a_bad_period() {
+        let mut d = AdaptiveDeadline::new(ms(10), ms(2), ms(500));
+        for _ in 0..10 {
+            d.on_timeout();
+        }
+        let inflated = d.current();
+        for _ in 0..60 {
+            d.on_full_round(ms(3));
+        }
+        assert!(d.current() < inflated / 10, "EWMA re-converges after GST");
+    }
+
+    #[test]
+    fn initial_is_clamped() {
+        let d = AdaptiveDeadline::new(ms(1), ms(5), ms(50));
+        assert_eq!(d.current(), ms(5));
+        let d2 = AdaptiveDeadline::new(ms(500), ms(5), ms(50));
+        assert_eq!(d2.current(), ms(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "band is empty")]
+    fn rejects_inverted_band() {
+        let _ = AdaptiveDeadline::new(ms(10), ms(50), ms(5));
+    }
+}

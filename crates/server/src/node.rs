@@ -1,0 +1,547 @@
+//! The SMR node event loop: a replicated log over a real transport.
+//!
+//! [`run_smr_node`] drives one [`BatchingReplica`] slot-by-slot over any
+//! [`Transport`] with wall-clock round pacing:
+//!
+//! * **Adaptive deadlines** — each round's collect window comes from an
+//!   [`AdaptiveDeadline`]: it shrinks toward 2× the observed round time
+//!   while the mesh is timely (good periods commit at network speed) and
+//!   backs off exponentially when rounds expire incomplete (bad periods
+//!   don't spin). "Complete" is judged against the *live* senders — a
+//!   peer silent past [`LIVENESS_GRACE`] rounds stops being waited for,
+//!   so a crashed node degrades pacing for a bounded window instead of
+//!   pinning every subsequent round at the maximum deadline (the cluster
+//!   keeps serving at speed with up to f nodes down); any frame from the
+//!   peer re-enrolls it instantly.
+//! * **Closed rounds** — frames tagged with an old round are dropped,
+//!   future rounds are buffered (bounded: one frame per sender per round,
+//!   nothing past a [`FUTURE_HORIZON`] — a Byzantine peer cannot grow the
+//!   buffer without limit); within a round the node collects until every
+//!   live sender was heard or the deadline expires, exactly the
+//!   partial-synchrony realization `gencon-net`'s single-shot runtime uses.
+//! * **Round fast-forward** — a node that restarts (or falls far behind)
+//!   would otherwise have to grind through every skipped round number
+//!   while peers drop its stale frames. When `b + 1` distinct senders have
+//!   sent frames for rounds ahead of ours, the cluster is provably there
+//!   (at least one sender is honest), so the node jumps its round counter
+//!   forward. Skipped rounds are indistinguishable from message loss,
+//!   which every instantiation tolerates; a lone Byzantine peer cannot
+//!   trigger a jump. From the new round the existing catch-up machinery
+//!   takes over: peers answer the laggard's stale-slot bundles with
+//!   decision claims, and `b + 1` concordant claims commit any missed
+//!   prefix ([`gencon_smr`]'s certificate path).
+//! * **Hooks** — a [`NodeHook`] injects client submissions before each
+//!   round and harvests commits after it; the TCP client gateway and the
+//!   load harness are both hooks.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use gencon_net::wire::{Envelope, Wire};
+use gencon_net::Transport;
+use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
+use gencon_smr::{Batch, BatchingReplica, SmrMsg};
+use gencon_types::{ProcessId, Round, Value};
+
+use crate::config::ServerConfig;
+use crate::deadline::AdaptiveDeadline;
+
+/// Per-round callbacks around the replica, with typed mutable access.
+///
+/// All methods default to no-ops; implement whichever sides you need.
+/// Closures `FnMut(u64, &mut BatchingReplica<V>)` work as before-round
+/// hooks.
+pub trait NodeHook<V: Value>: Send {
+    /// Called before the round's send step — the place to drain client
+    /// submissions into the replica.
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<V>) {
+        let _ = (round, replica);
+    }
+
+    /// Called after the round's transition step — the place to harvest
+    /// newly applied commands (acks, latency accounting).
+    fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<V>) {
+        let _ = (round, replica);
+    }
+
+    /// Polled once per round after [`NodeHook::after_round`]; returning
+    /// `true` stops the loop. The default runs until
+    /// [`ServerConfig::max_rounds`].
+    fn should_stop(&mut self, replica: &BatchingReplica<V>) -> bool {
+        let _ = replica;
+        false
+    }
+}
+
+/// Any `FnMut(round, &mut replica)` closure is a before-round hook.
+impl<V: Value, F> NodeHook<V> for F
+where
+    F: FnMut(u64, &mut BatchingReplica<V>) + Send,
+{
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<V>) {
+        self(round, replica);
+    }
+}
+
+/// A hook that does nothing: the node just keeps the log turning.
+pub struct NoHook;
+
+impl<V: Value> NodeHook<V> for NoHook {}
+
+/// Frames buffered for rounds this node has not reached yet: round →
+/// `(sender, bundle)` pairs (at most one per sender per round).
+type FutureFrames<V> = BTreeMap<u64, Vec<(ProcessId, SmrMsg<Batch<V>>)>>;
+
+/// Rounds a silent sender keeps counting toward the full-round
+/// expectation before pacing writes it off as down.
+pub const LIVENESS_GRACE: u64 = 16;
+
+/// Frames tagged further ahead than this are not buffered (their round
+/// number still feeds the fast-forward evidence). Bounds the future map
+/// at `FUTURE_HORIZON × n` bundles against Byzantine flooding.
+pub const FUTURE_HORIZON: u64 = 1024;
+
+/// Senders heard within the liveness grace window (everyone at startup,
+/// since nobody has had a chance to speak yet).
+fn live_senders(last_heard: &[u64], r: u64) -> usize {
+    last_heard
+        .iter()
+        .filter(|&&lr| lr + LIVENESS_GRACE >= r)
+        .count()
+}
+
+/// What one node run did, for logs and assertions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Rounds executed (not counting fast-forwarded skips).
+    pub rounds: u64,
+    /// The last round number reached (≥ `rounds` once fast-forwards happen).
+    pub last_round: u64,
+    /// Rounds that heard every sender before the deadline.
+    pub full_rounds: u64,
+    /// Rounds cut off by the deadline.
+    pub timeouts: u64,
+    /// Round-counter jumps taken (restart/laggard catch-up).
+    pub fast_forwards: u64,
+}
+
+/// Drives `replica` over `transport` until the hook stops it or
+/// `cfg.max_rounds` elapse. Returns the replica (its applied log is the
+/// result), the transport (reusable — e.g. to restart a node on the same
+/// endpoint after a simulated crash) and run statistics.
+pub fn run_smr_node<V, T, H>(
+    mut replica: BatchingReplica<V>,
+    mut transport: T,
+    cfg: ServerConfig,
+    mut hook: H,
+) -> (BatchingReplica<V>, T, NodeStats)
+where
+    V: Value + Wire,
+    T: Transport,
+    H: NodeHook<V>,
+{
+    let me = transport.local();
+    let n = transport.peers();
+    let ff_threshold = replica.config().b() + 1;
+    let mut deadline = AdaptiveDeadline::new(
+        cfg.initial_round_timeout,
+        cfg.min_round_timeout,
+        cfg.max_round_timeout,
+    );
+    let mut stats = NodeStats::default();
+    // Frames for rounds we have not reached yet, and the highest future
+    // round each sender has shown us (the fast-forward evidence).
+    let mut future: FutureFrames<V> = BTreeMap::new();
+    let mut ahead: Vec<u64> = vec![0; n];
+    // The round each sender was last heard in (any round tag counts as a
+    // liveness signal). A sender silent for more than LIVENESS_GRACE
+    // rounds stops counting toward the "full round" expectation, so a
+    // crashed peer degrades pacing for a bounded window instead of
+    // forcing every subsequent round to its deadline — the cluster is
+    // explicitly supposed to keep serving with up to f nodes down.
+    let mut last_heard: Vec<u64> = vec![0; n];
+
+    let mut r: u64 = 1;
+    while r <= cfg.max_rounds {
+        // Fast-forward: the (b+1)-th largest per-sender future round is
+        // vouched for by at least one honest process.
+        let mut tops = ahead.clone();
+        tops.sort_unstable_by(|a, b| b.cmp(a));
+        if let Some(&target) = tops.get(ff_threshold - 1) {
+            if target > r {
+                stats.fast_forwards += 1;
+                r = target;
+                // Rounds below the jump are closed without executing.
+                future = future.split_off(&r);
+            }
+        }
+
+        let round = Round::new(r);
+        hook.before_round(r, &mut replica);
+
+        // --- send step ---
+        let mut loopback: Option<SmrMsg<Batch<V>>> = None;
+        match replica.send(round) {
+            Outgoing::Silent => {}
+            Outgoing::Broadcast(m) => {
+                let frame = Envelope {
+                    sender: me,
+                    round,
+                    msg: m.clone(),
+                }
+                .to_bytes();
+                for d in (0..n).map(ProcessId::new).filter(|&d| d != me) {
+                    transport.send(d, frame.clone());
+                }
+                loopback = Some(m);
+            }
+            Outgoing::Multicast { dests, msg } => {
+                let frame = Envelope {
+                    sender: me,
+                    round,
+                    msg: msg.clone(),
+                }
+                .to_bytes();
+                for d in dests.iter() {
+                    if d == me {
+                        loopback = Some(msg.clone());
+                    } else {
+                        transport.send(d, frame.clone());
+                    }
+                }
+            }
+            Outgoing::PerDest(_) => unreachable!("honest replicas never equivocate"),
+        }
+
+        // --- collect step ---
+        let mut heard: HeardOf<SmrMsg<Batch<V>>> = HeardOf::empty(n);
+        if let Some(m) = loopback {
+            heard.put(me, m);
+        }
+        if let Some(buffered) = future.remove(&r) {
+            for (sender, msg) in buffered {
+                heard.put(sender, msg);
+            }
+        }
+        last_heard[me.index()] = r;
+        let started = Instant::now();
+        let round_deadline = started + deadline.current();
+        // Bounds the zero-timeout drain below so a flooding peer cannot
+        // pin the loop in one round forever.
+        let mut drain_budget = 16 * n;
+        while heard.count() < n {
+            // Once every *live* sender was heard (or the deadline hit),
+            // stop waiting — but keep draining frames already queued with
+            // a zero timeout: a written-off sender's buffered frames are
+            // the only way it can re-enroll, so skipping the inbox
+            // entirely would leave a fast-forwarded or formerly isolated
+            // node permanently deaf.
+            let now = Instant::now();
+            let all_live_heard = heard.count() >= live_senders(&last_heard, r);
+            let wait = if all_live_heard || now >= round_deadline {
+                if drain_budget == 0 {
+                    break;
+                }
+                drain_budget -= 1;
+                Duration::ZERO
+            } else {
+                round_deadline - now
+            };
+            let Some((sender, frame)) = transport.recv_timeout(wait) else {
+                if all_live_heard || Instant::now() >= round_deadline {
+                    break;
+                }
+                continue;
+            };
+            if sender.index() >= n {
+                continue;
+            }
+            let Some(env) = decode_envelope::<SmrMsg<Batch<V>>>(&frame) else {
+                continue; // garbage from a Byzantine peer
+            };
+            // Transport-level sender authentication.
+            if env.sender != sender {
+                continue;
+            }
+            last_heard[sender.index()] = last_heard[sender.index()].max(r);
+            match env.round.number().cmp(&r) {
+                std::cmp::Ordering::Less => {} // closed round: drop
+                std::cmp::Ordering::Equal => {
+                    heard.put(sender, env.msg);
+                }
+                std::cmp::Ordering::Greater => {
+                    ahead[sender.index()] = ahead[sender.index()].max(env.round.number());
+                    // Bounded buffering: a Byzantine peer cannot grow the
+                    // future map without limit — frames past the horizon
+                    // are dropped (the `ahead` evidence above is all the
+                    // fast-forward rule needs), and within a round each
+                    // sender keeps only its latest frame.
+                    if env.round.number() <= r + FUTURE_HORIZON {
+                        let entry = future.entry(env.round.number()).or_default();
+                        if let Some(slot) = entry.iter_mut().find(|(s, _)| *s == sender) {
+                            slot.1 = env.msg;
+                        } else {
+                            entry.push((sender, env.msg));
+                        }
+                    }
+                }
+            }
+        }
+        // A round is "full" when every live sender was heard — but a node
+        // that only heard *itself* is isolated, not fast: it backs off
+        // (otherwise an isolated node would spin rounds at the minimum
+        // deadline, racing its round counter ahead of the real cluster).
+        let solo = heard.count() <= 1 && n > 1;
+        if heard.count() >= live_senders(&last_heard, r) && !solo {
+            deadline.on_full_round(started.elapsed());
+            stats.full_rounds += 1;
+        } else {
+            deadline.on_timeout();
+            stats.timeouts += 1;
+        }
+
+        // --- transition step ---
+        replica.receive(round, &heard);
+        hook.after_round(r, &mut replica);
+        stats.rounds += 1;
+        stats.last_round = r;
+
+        if debug_pacing() && stats.rounds % 64 == 0 {
+            eprintln!(
+                "[node {me}] round {r}: applied {} slots {} queued {} deadline {:?} \
+                 (full {} timeout {} ff {})",
+                replica.applied().len(),
+                replica.committed_slots(),
+                replica.queued(),
+                deadline.current(),
+                stats.full_rounds,
+                stats.timeouts,
+                stats.fast_forwards,
+            );
+        }
+
+        if hook.should_stop(&replica) {
+            break;
+        }
+        if let Some(target) = cfg.stop_after_commands {
+            if replica.applied().len() >= target {
+                break;
+            }
+        }
+        r += 1;
+    }
+    (replica, transport, stats)
+}
+
+fn decode_envelope<M: Wire>(frame: &Bytes) -> Option<Envelope<M>> {
+    let mut buf = frame.clone();
+    Envelope::decode(&mut buf).ok()
+}
+
+/// Whether `GENCON_NODE_DEBUG` asks for per-node pacing traces on stderr.
+fn debug_pacing() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("GENCON_NODE_DEBUG").is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_algos::{paxos, pbft};
+    use gencon_net::ChannelTransport;
+    use std::time::Duration;
+
+    fn small_cfg(max_rounds: u64) -> ServerConfig {
+        ServerConfig {
+            initial_round_timeout: Duration::from_millis(30),
+            min_round_timeout: Duration::from_millis(1),
+            max_round_timeout: Duration::from_millis(300),
+            max_rounds,
+            stop_after_commands: None,
+        }
+    }
+
+    /// Submits a fixed command block up front, then keeps the node alive
+    /// (helping laggards) until *every* node reached the target — the
+    /// cluster-wide analogue of the decided-engine linger.
+    struct TestLoad {
+        id: usize,
+        submit: usize,
+        target: usize,
+        fed: bool,
+        marked_done: bool,
+        done: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        n: usize,
+    }
+
+    impl NodeHook<u64> for TestLoad {
+        fn before_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
+            if !self.fed {
+                self.fed = true;
+                replica
+                    .submit_all((0..self.submit as u64).map(|k| (self.id as u64) * 1_000_000 + k));
+            }
+        }
+
+        fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
+            if !self.marked_done && replica.applied().len() >= self.target {
+                self.marked_done = true;
+                self.done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            self.done.load(std::sync::atomic::Ordering::SeqCst) >= self.n
+        }
+    }
+
+    fn spawn_cluster(
+        n: usize,
+        specs: Vec<BatchingReplica<u64>>,
+        cfg: ServerConfig,
+        submit_per_node: usize,
+        target: usize,
+    ) -> Vec<(BatchingReplica<u64>, NodeStats)> {
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mesh = ChannelTransport::mesh(n);
+        let handles: Vec<_> = specs
+            .into_iter()
+            .zip(mesh)
+            .enumerate()
+            .map(|(i, (replica, tr))| {
+                let hook = TestLoad {
+                    id: i,
+                    submit: submit_per_node,
+                    target,
+                    fed: false,
+                    marked_done: false,
+                    done: std::sync::Arc::clone(&done),
+                    n,
+                };
+                std::thread::spawn(move || {
+                    let (rep, _tr, stats) = run_smr_node(replica, tr, cfg, hook);
+                    (rep, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn paxos_channel_cluster_commits_and_agrees() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let replicas: Vec<_> = (0..3)
+            .map(|i| {
+                BatchingReplica::new(ProcessId::new(i), spec.params.clone(), 8, usize::MAX)
+                    .unwrap()
+                    .with_window(2)
+            })
+            .collect();
+        let out = spawn_cluster(3, replicas, small_cfg(4_000), 24, 48);
+        let reference: Vec<u64> = out[0].0.applied().to_vec();
+        assert!(reference.len() >= 48, "committed {}", reference.len());
+        for (rep, stats) in &out {
+            let log = rep.applied();
+            let common = log.len().min(reference.len());
+            assert_eq!(&log[..common], &reference[..common], "prefix agreement");
+            assert!(stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn pbft_channel_cluster_commits_and_agrees() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let replicas: Vec<_> = (0..4)
+            .map(|i| {
+                BatchingReplica::new(ProcessId::new(i), spec.params.clone(), 8, usize::MAX)
+                    .unwrap()
+                    .with_window(2)
+            })
+            .collect();
+        let out = spawn_cluster(4, replicas, small_cfg(4_000), 16, 32);
+        let reference: Vec<u64> = out[0].0.applied().to_vec();
+        assert!(reference.len() >= 32);
+        for (rep, _) in &out {
+            let log = rep.applied();
+            let common = log.len().min(reference.len());
+            assert_eq!(&log[..common], &reference[..common]);
+        }
+    }
+
+    /// With one node down, rounds must not degenerate to waiting the full
+    /// (max) deadline forever: after the liveness grace the dead sender is
+    /// written off, the survivors' rounds count as full and the adaptive
+    /// deadline re-shrinks. The cluster is supposed to keep *serving* with
+    /// up to f nodes down, not limp at one round per max-timeout.
+    #[test]
+    fn pacing_recovers_when_one_node_is_down() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        // Node 3 never runs: its channel endpoint is silently dropped.
+        let mut mesh = ChannelTransport::mesh(4);
+        mesh.truncate(3);
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .enumerate()
+            .map(|(i, tr)| {
+                let params = spec.params.clone();
+                // Enough work that the run extends well past the
+                // LIVENESS_GRACE window in which the dead node still
+                // counts toward the full-round expectation.
+                let hook = TestLoad {
+                    id: i,
+                    submit: 80,
+                    target: 240,
+                    fed: false,
+                    marked_done: false,
+                    done: std::sync::Arc::clone(&done),
+                    n: 3,
+                };
+                std::thread::spawn(move || {
+                    let replica = BatchingReplica::new(ProcessId::new(i), params, 8, usize::MAX)
+                        .unwrap()
+                        .with_window(2);
+                    let cfg = ServerConfig {
+                        initial_round_timeout: Duration::from_millis(10),
+                        min_round_timeout: Duration::from_millis(1),
+                        max_round_timeout: Duration::from_millis(50),
+                        max_rounds: 5_000,
+                        stop_after_commands: None,
+                    };
+                    run_smr_node(replica, tr, cfg, hook)
+                })
+            })
+            .collect();
+        let out: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (rep, _t, stats) in &out {
+            assert!(
+                rep.applied().len() >= 240,
+                "3 live of 4 (= n − b) keep committing, got {}",
+                rep.applied().len()
+            );
+            // Once the grace window wrote node 3 off, rounds complete at
+            // the live count: most rounds are full, not timeouts.
+            assert!(
+                stats.full_rounds > stats.timeouts,
+                "pacing must recover: {} full vs {} timeouts over {} rounds",
+                stats.full_rounds,
+                stats.timeouts,
+                stats.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_rounds() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let replicas: Vec<_> = (0..3)
+            .map(|i| {
+                BatchingReplica::new(ProcessId::new(i), spec.params.clone(), 4, usize::MAX).unwrap()
+            })
+            .collect();
+        let out = spawn_cluster(3, replicas, small_cfg(500), 4, 8);
+        for (_, stats) in &out {
+            assert!(stats.last_round >= stats.rounds.saturating_sub(1));
+            assert_eq!(stats.fast_forwards, 0, "no restarts in this run");
+        }
+    }
+}

@@ -356,7 +356,7 @@ mod tests {
     fn scripted_model_runs_closures() {
         let mut net = Scripted::new(
             |r: Round, n| {
-                if r.number() % 2 == 0 {
+                if r.number().is_multiple_of(2) {
                     DeliveryPlan::full(n)
                 } else {
                     DeliveryPlan::empty(n)

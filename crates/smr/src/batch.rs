@@ -53,6 +53,10 @@ pub struct BatchingReplica<V: Value> {
     /// Global round at which each applied command committed (parallel to
     /// `applied`) — the harness's latency source.
     applied_rounds: Vec<u64>,
+    /// Consensus slot each applied command committed in (parallel to
+    /// `applied`) — the client-ack source: a server answers a submission
+    /// with the `(slot, offset)` coordinates of the committed command.
+    applied_slots: Vec<u64>,
     /// Committed batches already flattened into `applied`.
     flattened: usize,
     /// Output fires at this many applied commands.
@@ -60,6 +64,13 @@ pub struct BatchingReplica<V: Value> {
     /// Batches this replica proposed, by slot — compared against the
     /// committed batch so losing commands can be re-queued.
     proposed: std::collections::BTreeMap<crate::Slot, Batch<V>>,
+    /// Every command that ever entered this replica (submitted or
+    /// relayed): relay merging must not re-queue a command twice.
+    seen: std::collections::HashSet<V>,
+    /// Commands already applied: with relays, overlapping batches can win
+    /// different slots, so flattening deduplicates (deterministically —
+    /// the committed batch sequence is shared, per-slot Agreement).
+    applied_set: std::collections::HashSet<V>,
 }
 
 impl<V: Value> BatchingReplica<V> {
@@ -90,9 +101,12 @@ impl<V: Value> BatchingReplica<V> {
             queue: Vec::new(),
             applied: Vec::new(),
             applied_rounds: Vec::new(),
+            applied_slots: Vec::new(),
             flattened: 0,
             commit_target,
             proposed: std::collections::BTreeMap::new(),
+            seen: std::collections::HashSet::new(),
+            applied_set: std::collections::HashSet::new(),
         })
     }
 
@@ -103,14 +117,21 @@ impl<V: Value> BatchingReplica<V> {
         self
     }
 
-    /// Enqueues a client command.
+    /// Enqueues a client command. Duplicates of commands already seen
+    /// (queued, proposed, relayed in, or applied) are dropped, so client
+    /// retries and relay echoes are idempotent.
     pub fn submit(&mut self, command: V) {
-        self.queue.push(command);
+        if self.seen.insert(command.clone()) {
+            self.queue.push(command);
+        }
     }
 
-    /// Enqueues many client commands.
+    /// Enqueues many client commands (deduplicated, see
+    /// [`BatchingReplica::submit`]).
     pub fn submit_all(&mut self, commands: impl IntoIterator<Item = V>) {
-        self.queue.extend(commands);
+        for c in commands {
+            self.submit(c);
+        }
     }
 
     /// The flattened applied command log, in commit order.
@@ -123,6 +144,13 @@ impl<V: Value> BatchingReplica<V> {
     #[must_use]
     pub fn applied_with_rounds(&self) -> (&[V], &[u64]) {
         (&self.applied, &self.applied_rounds)
+    }
+
+    /// The consensus slot each applied command committed in (parallel to
+    /// [`BatchingReplica::applied`]).
+    #[must_use]
+    pub fn applied_slots(&self) -> &[u64] {
+        &self.applied_slots
     }
 
     /// Commands still queued (not yet drained into a proposal).
@@ -143,24 +171,38 @@ impl<V: Value> BatchingReplica<V> {
         self.cap
     }
 
+    /// The system configuration (n, f, b) this replica runs under.
+    #[must_use]
+    pub fn config(&self) -> gencon_types::Config {
+        self.inner.config()
+    }
+
     /// Flattens any newly committed batches into the applied log, stamping
     /// each command with the round it committed at, and re-queues our own
     /// commands whose proposed batch lost the slot.
     fn flatten(&mut self, r: Round) {
+        let before = self.flattened;
         let mut lost: Vec<V> = Vec::new();
         while self.flattened < self.inner.committed.len() {
             let slot = self.flattened as crate::Slot;
             let batch = &self.inner.committed[self.flattened];
             for cmd in batch.commands() {
-                self.applied.push(cmd.clone());
-                self.applied_rounds.push(r.number());
+                // With relays, overlapping batches can win different
+                // slots; only the first commit of a command applies
+                // (deterministic: the batch sequence is shared).
+                if self.applied_set.insert(cmd.clone()) {
+                    self.seen.insert(cmd.clone());
+                    self.applied.push(cmd.clone());
+                    self.applied_rounds.push(r.number());
+                    self.applied_slots.push(slot);
+                }
             }
             if let Some(mine) = self.proposed.remove(&slot) {
                 if mine != *batch {
                     lost.extend(
                         mine.into_commands()
                             .into_iter()
-                            .filter(|c| !batch.commands().contains(c)),
+                            .filter(|c| !self.applied_set.contains(c)),
                     );
                 }
             }
@@ -170,6 +212,13 @@ impl<V: Value> BatchingReplica<V> {
         // client FIFO order is preserved across retries.
         if !lost.is_empty() {
             self.queue.splice(0..0, lost);
+        }
+        // Purge commands another replica's batch just committed: without
+        // this, relayed duplicates churn slots forever without growing
+        // the applied log.
+        if self.flattened > before {
+            let applied_set = &self.applied_set;
+            self.queue.retain(|c| !applied_set.contains(c));
         }
     }
 }
@@ -203,7 +252,7 @@ impl<V: Value> RoundProcess for BatchingReplica<V> {
         let offered = built.len();
         let first_new = self.inner.next_slot;
         self.inner.pending = built;
-        let out = self.inner.send(r);
+        let mut out = self.inner.send(r);
         // Slots opened this round consumed chunks front-first; rebuild the
         // consumed prefix from the queue for the lost-command re-queue map,
         // then drop it (unconsumed offers stay in the queue only).
@@ -217,10 +266,56 @@ impl<V: Value> RoundProcess for BatchingReplica<V> {
             drained = end;
         }
         self.queue.drain(..drained);
+        // Relay every command in flight here but possibly unknown
+        // elsewhere: batches proposed for still-open slots, then the
+        // queue front. Whichever replica's batch wins an upcoming slot
+        // can then carry these commands. Without this, a replica whose
+        // proposals systematically lose (the coordinator's value wins
+        // every Paxos/PBFT slot; DeterministicMin sorts another replica's
+        // commands first) starves its clients forever.
+        let mut relay: Vec<V> = Vec::new();
+        for mine in self.proposed.values() {
+            relay.extend(mine.commands().iter().cloned());
+            if relay.len() >= self.cap {
+                break;
+            }
+        }
+        relay.extend(
+            self.queue
+                .iter()
+                .take(self.cap.saturating_sub(relay.len()))
+                .cloned(),
+        );
+        relay.truncate(self.cap);
+        if !relay.is_empty() {
+            let chunk = Batch::new(relay);
+            match &mut out {
+                Outgoing::Broadcast(bundle) => bundle.push_relay(chunk),
+                Outgoing::Silent => {
+                    let mut bundle = SmrMsg::new();
+                    bundle.push_relay(chunk);
+                    out = Outgoing::Broadcast(bundle);
+                }
+                _ => {}
+            }
+        }
         out
     }
 
     fn receive(&mut self, r: Round, heard: &HeardOf<Self::Msg>) {
+        // Merge relayed commands into the local queue (deduplicated):
+        // dissemination, so any proposer's winning batch can carry them.
+        let mut relayed: Vec<V> = Vec::new();
+        for (_, bundle) in heard.iter() {
+            for batch in bundle.relays() {
+                for cmd in batch.commands() {
+                    if !self.seen.contains(cmd) {
+                        relayed.push(cmd.clone());
+                    }
+                }
+            }
+        }
+        self.submit_all(relayed);
         self.inner.receive(r, heard);
         self.flatten(r);
     }
@@ -272,6 +367,58 @@ mod tests {
             .build()
             .unwrap()
             .run(max_rounds)
+    }
+
+    /// The starvation regression: with distinct per-replica streams (each
+    /// replica serves its own clients, as a real deployment does), every
+    /// submitted command must commit. Without relay dissemination the
+    /// lowest-sorting replica's batches win every contended slot and the
+    /// other replicas' clients starve forever.
+    #[test]
+    fn commands_submitted_at_any_replica_all_commit() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let cfg = spec.params.cfg;
+        let mut builder = Simulation::builder(cfg);
+        let per_replica = 6usize;
+        let total = 4 * per_replica;
+        for i in 0..4u64 {
+            let mut r =
+                BatchingReplica::new(ProcessId::new(i as usize), spec.params.clone(), 4, total)
+                    .unwrap();
+            // Distinct streams: replica i's clients submit i*100 + k.
+            r.submit_all((0..per_replica as u64).map(|k| i * 100 + k));
+            builder = builder.honest(r);
+        }
+        let out = builder.crashes(CrashPlan::none()).build().unwrap().run(300);
+        assert!(
+            out.all_correct_decided,
+            "every replica's commands commit, none starve"
+        );
+        assert!(properties::agreement(&out, |log| log));
+        let mut log = out.outputs[0].clone().unwrap();
+        log.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|i| (0..per_replica as u64).map(move |k| i * 100 + k))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(log, expect, "the applied set is exactly the union");
+    }
+
+    /// Relay echoes and client retries are idempotent: a command never
+    /// applies twice.
+    #[test]
+    fn duplicate_submissions_apply_once() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let cfg = spec.params.cfg;
+        let mut builder = Simulation::builder(cfg);
+        for i in 0..4 {
+            let mut r = BatchingReplica::new(ProcessId::new(i), spec.params.clone(), 4, 3).unwrap();
+            r.submit_all([7, 8, 7, 9, 8, 7]);
+            builder = builder.honest(r);
+        }
+        let out = builder.crashes(CrashPlan::none()).build().unwrap().run(60);
+        assert!(out.all_correct_decided);
+        assert_eq!(out.outputs[0].as_ref().unwrap(), &[7, 8, 9]);
     }
 
     #[test]
@@ -341,6 +488,7 @@ mod tests {
         assert_eq!(r.committed_slots(), 0);
         let (cmds, rounds) = r.applied_with_rounds();
         assert!(cmds.is_empty() && rounds.is_empty());
+        assert!(r.applied_slots().is_empty());
         assert!(format!("{r:?}").contains("p1"));
     }
 }

@@ -84,10 +84,22 @@ pub type Slot = u64;
 /// catch-up path that bounded engine lingering cannot provide: however far
 /// a replica falls behind, the replicas ahead of it keep answering its
 /// stale-slot messages with certificates.
-#[derive(Clone, Debug, Default)]
+///
+/// A bundle also carries **relays**: values holding commands the sender
+/// has queued but not yet seen committed. Receivers merge relayed
+/// commands into their own queues (deduplicated), so every pending
+/// command reaches every proposer. Without relays, commands starve at
+/// replicas whose proposals systematically lose — the leader's value wins
+/// every Paxos/PBFT slot, and `DeterministicMin` tie-breaks sort one
+/// replica's commands ahead of another's — so under load only one
+/// replica's clients would ever be served. Relays are the dissemination
+/// half of a real SMR service: any replica accepts a submission, the
+/// winning batch (whosever it is) carries it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SmrMsg<V> {
     slots: Vec<(Slot, ConsensusMsg<V>)>,
     claims: Vec<(Slot, V)>,
+    relays: Vec<V>,
 }
 
 impl<V> SmrMsg<V> {
@@ -97,6 +109,7 @@ impl<V> SmrMsg<V> {
         SmrMsg {
             slots: Vec::new(),
             claims: Vec::new(),
+            relays: Vec::new(),
         }
     }
 
@@ -124,10 +137,10 @@ impl<V> SmrMsg<V> {
         self.slots.len()
     }
 
-    /// Whether the bundle carries no slots and no claims.
+    /// Whether the bundle carries no slots, claims or relays.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty() && self.claims.is_empty()
+        self.slots.is_empty() && self.claims.is_empty() && self.relays.is_empty()
     }
 
     /// Appends a decision claim for `slot`.
@@ -140,6 +153,18 @@ impl<V> SmrMsg<V> {
     pub fn claims(&self) -> &[(Slot, V)] {
         &self.claims
     }
+
+    /// Appends a relay: a value whose commands the sender wants
+    /// disseminated to every proposer.
+    pub fn push_relay(&mut self, value: V) {
+        self.relays.push(value);
+    }
+
+    /// The relayed values carried by this bundle.
+    #[must_use]
+    pub fn relays(&self) -> &[V] {
+        &self.relays
+    }
 }
 
 impl<V> FromIterator<(Slot, ConsensusMsg<V>)> for SmrMsg<V> {
@@ -147,6 +172,7 @@ impl<V> FromIterator<(Slot, ConsensusMsg<V>)> for SmrMsg<V> {
         SmrMsg {
             slots: iter.into_iter().collect(),
             claims: Vec::new(),
+            relays: Vec::new(),
         }
     }
 }
@@ -263,6 +289,12 @@ impl<V: Value> Replica<V> {
         &self.committed
     }
 
+    /// The system configuration (n, f, b) this replica runs under.
+    #[must_use]
+    pub fn config(&self) -> gencon_types::Config {
+        self.params.cfg
+    }
+
     /// Commands still queued locally.
     #[must_use]
     pub fn pending(&self) -> &[V] {
@@ -377,7 +409,7 @@ impl<V: Value> Replica<V> {
                         .entry(*slot)
                         .or_default()
                         .entry(value.clone())
-                        .or_insert_with(gencon_types::ProcessSet::new)
+                        .or_default()
                         .insert(sender);
                 }
             }

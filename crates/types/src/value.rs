@@ -35,7 +35,7 @@ mod tests {
 
     #[test]
     fn common_types_are_values() {
-        assert_eq!(takes_value(true), true);
+        assert!(takes_value(true));
         assert_eq!(takes_value(42u64), 42);
         assert_eq!(takes_value("cmd".to_string()), "cmd");
         assert_eq!(takes_value(vec![1u8, 2]), vec![1, 2]);

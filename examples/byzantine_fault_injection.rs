@@ -14,6 +14,9 @@ use gencon::adversary::{AdversaryCtx, Equivocator, FreshLiar, HistoryForger, Sil
 use gencon::prelude::*;
 use gencon::rounds::Adversary;
 
+/// One named Byzantine strategy under test.
+type BoxedAdversary = Box<dyn Adversary<Msg = gencon::core::ConsensusMsg<u64>>>;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let specs = [
         gencon::algos::fab_paxos::<u64>(6, 1)?,
@@ -27,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ctx = AdversaryCtx::new(spec.params.cfg, spec.params.schedule());
         println!("## {} (n = {}, {})", spec.name, n, spec.bound);
 
-        let adversaries: Vec<(
-            &str,
-            Box<dyn Adversary<Msg = gencon::core::ConsensusMsg<u64>>>,
-        )> = vec![
+        let adversaries: Vec<(&str, BoxedAdversary)> = vec![
             ("silent", Box::new(Silent::<u64>::new(byz))),
             (
                 "equivocator",

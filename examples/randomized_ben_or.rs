@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let keep = spec.params.cfg.correct_minimum();
         let mut sim = builder
-            .network(RandomSubset::new(keep, 0xc01_ + seed))
+            .network(RandomSubset::new(keep, 0x0c01 + seed))
             .build()?;
         let outcome = sim.run(2000);
 

@@ -7,8 +7,9 @@
 //! instantiations — OneThirdRule, FaB Paxos, Paxos, Chandra–Toueg, PBFT,
 //! the paper's new MQB, and randomized Ben-Or — plus every substrate they
 //! stand on: the closed-round model, communication predicates with real
-//! `Pcons` implementations, a deterministic fault-injecting simulator, and
-//! a threaded TCP runtime.
+//! `Pcons` implementations, a deterministic fault-injecting simulator, a
+//! threaded TCP runtime, and a networked multi-slot SMR service
+//! (`gencon-server`/`gencon-client`) with a real client protocol.
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
 //! names and offers a [`prelude`].
@@ -51,6 +52,7 @@ pub use gencon_load as load;
 pub use gencon_net as net;
 pub use gencon_pcons as pcons;
 pub use gencon_rounds as rounds;
+pub use gencon_server as server;
 pub use gencon_sim as sim;
 pub use gencon_smr as smr;
 pub use gencon_types as types;
