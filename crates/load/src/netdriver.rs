@@ -346,7 +346,7 @@ fn run_node_thread<T: Transport>(
     let replica = BatchingReplica::new(id, params.clone(), profile.batch_cap, usize::MAX)
         .expect("validated params")
         .with_window(profile.window);
-    let (replica, _t, stats) = run_smr_node(replica, transport, cfg, hook);
+    let (replica, _t, stats, _hook) = run_smr_node(replica, transport, cfg, hook);
     (replica, stats)
 }
 

@@ -178,6 +178,95 @@ impl JsonRow for NetRow {
     }
 }
 
+/// One row of the durability benchmark (E10): the same clients and
+/// histogram as [`NetRow`], with the storage layer in the loop — latency
+/// is submit→**ack** (durable-ack waits for fsync/snapshot coverage) and
+/// the storage columns show what the durability cost bought.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreRow {
+    /// Algorithm name (`Paxos`, `PBFT`, …).
+    pub algo: String,
+    /// Its class in Table 1.
+    pub class: String,
+    /// System size.
+    pub n: usize,
+    /// Byzantine bound b.
+    pub b: usize,
+    /// Crash bound f.
+    pub f: usize,
+    /// Storage mode (`memory`, `durable(durable-ack,fsync=5ms)`, …).
+    pub mode: String,
+    /// Workload shape.
+    pub workload: String,
+    /// Total clients across replicas.
+    pub clients: usize,
+    /// Batch cap.
+    pub batch_cap: usize,
+    /// Commands applied at the measurement replica.
+    pub committed_cmds: u64,
+    /// Commands acked at the measurement replica.
+    pub acked_cmds: u64,
+    /// Rounds the measurement replica executed.
+    pub rounds: u64,
+    /// Wall-clock milliseconds for the serving window.
+    pub wall_ms: f64,
+    /// Acked commands per second.
+    pub cmds_per_sec: f64,
+    /// Median submit→ack latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+    /// WAL payload bytes appended across the cluster.
+    pub wal_bytes: u64,
+    /// fsyncs across the cluster (group commit keeps this ≪ slots).
+    pub wal_syncs: u64,
+    /// Snapshots taken across the cluster.
+    pub snapshots: u64,
+    /// This mode's throughput relative to the in-memory baseline of the
+    /// same configuration (1.0 = no slowdown).
+    pub vs_memory: f64,
+}
+
+impl JsonRow for StoreRow {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_str_field(&mut s, "algo", &self.algo);
+        s.push(',');
+        push_str_field(&mut s, "class", &self.class);
+        let _ = write!(s, ",\"n\":{},\"b\":{},\"f\":{},", self.n, self.b, self.f);
+        push_str_field(&mut s, "mode", &self.mode);
+        s.push(',');
+        push_str_field(&mut s, "workload", &self.workload);
+        let _ = write!(
+            s,
+            ",\"clients\":{},\"batch_cap\":{},\"committed_cmds\":{},\"acked_cmds\":{},\
+             \"rounds\":{},\"wall_ms\":{:.3},\"cmds_per_sec\":{:.1},\"p50_us\":{},\
+             \"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"wal_bytes\":{},\"wal_syncs\":{},\
+             \"snapshots\":{},\"vs_memory\":{:.4}}}",
+            self.clients,
+            self.batch_cap,
+            self.committed_cmds,
+            self.acked_cmds,
+            self.rounds,
+            self.wall_ms,
+            self.cmds_per_sec,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.wal_bytes,
+            self.wal_syncs,
+            self.snapshots,
+            self.vs_memory,
+        );
+        s
+    }
+}
+
 /// Accumulates rows ([`BenchRow`] by default) and writes them as one JSON
 /// array.
 #[derive(Clone, Debug)]

@@ -1,0 +1,477 @@
+//! The durability load driver: the same clients, batching and histogram
+//! as [`run_net_load`](crate::run_net_load), but with the storage layer
+//! in the loop — experiment **E10**'s engine.
+//!
+//! [`run_store_load`] runs a cluster of `gencon-server` event-loop nodes
+//! over an in-process channel mesh in one of two modes:
+//!
+//! * **Memory** — no persistence; a command counts as *acked* when
+//!   applied (the PR-3 baseline);
+//! * **Durable** — every node wraps a real
+//!   [`FileWal`](gencon_store::FileWal) (own data dir per node) in a
+//!   [`DurableNode`](gencon_server::DurableNode); a command counts as
+//!   acked only once the **durable watermark** passes it — i.e. its
+//!   slot's WAL record is fsynced or folded into a snapshot. Latency is
+//!   submit→durable-ack, which is what a client of a durable cluster
+//!   actually observes.
+//!
+//! The interesting number is the durable-to-memory throughput ratio:
+//! group commit (one fsync per `fsync_interval`, not per slot) is what
+//! keeps it small.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gencon_core::Params;
+use gencon_net::{ChannelTransport, Transport};
+use gencon_server::{run_smr_node, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig};
+use gencon_smr::{Batch, BatchingReplica};
+use gencon_store::{FileWal, Log, WalConfig};
+
+use crate::driver::WorkloadKind;
+use crate::hist::LatencyHistogram;
+use crate::workload::{ClosedLoop, OpenLoop, Workload};
+
+/// Whether (and how) the storage layer participates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreMode {
+    /// No persistence; acks at apply time.
+    Memory,
+    /// File WAL per node; acks at the durable watermark.
+    Durable {
+        /// Group-commit window (`Duration::ZERO` fsyncs every round).
+        fsync_interval: Duration,
+        /// `true` acks at apply time even though the WAL runs (the
+        /// fast-ack durability mode).
+        fast_ack: bool,
+    },
+}
+
+impl StoreMode {
+    /// Label for results rows.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            StoreMode::Memory => "memory".to_string(),
+            StoreMode::Durable {
+                fsync_interval,
+                fast_ack,
+            } => format!(
+                "durable({},fsync={}ms)",
+                if fast_ack { "fast-ack" } else { "durable-ack" },
+                fsync_interval.as_millis()
+            ),
+        }
+    }
+}
+
+/// One durability load configuration.
+#[derive(Clone, Debug)]
+pub struct StoreLoadProfile {
+    /// Clients attached to each replica.
+    pub clients_per_replica: u16,
+    /// Arrival model.
+    pub workload: WorkloadKind,
+    /// Max commands per proposed batch.
+    pub batch_cap: usize,
+    /// Slot pipelining window.
+    pub window: usize,
+    /// Commands each replica must *ack* before reporting done.
+    pub commit_target: usize,
+    /// Hard stop, in rounds per node.
+    pub max_rounds: u64,
+    /// Base seed for per-replica workload rngs.
+    pub seed: u64,
+    /// Storage participation.
+    pub mode: StoreMode,
+    /// Snapshot + compaction period in slots (durable mode; 0 disables).
+    pub snapshot_every: u64,
+    /// Data-dir root for durable nodes (a fresh subdir per node); a
+    /// process-unique temp dir when `None`.
+    pub data_root: Option<PathBuf>,
+}
+
+impl StoreLoadProfile {
+    /// A sensible default configuration for localhost-scale runs.
+    #[must_use]
+    pub fn new(mode: StoreMode, clients_per_replica: u16, batch_cap: usize, target: usize) -> Self {
+        StoreLoadProfile {
+            clients_per_replica,
+            workload: WorkloadKind::Closed { outstanding: 4 },
+            batch_cap,
+            window: 4,
+            commit_target: target,
+            max_rounds: 200_000,
+            seed: 42,
+            mode,
+            snapshot_every: 256,
+            data_root: None,
+        }
+    }
+}
+
+/// What one [`run_store_load`] execution produced.
+#[derive(Clone, Debug)]
+pub struct StoreLoadReport {
+    /// Commands applied at the measurement replica (node 0).
+    pub committed_cmds: u64,
+    /// Commands *acked* (durably, in durable-ack mode) at node 0.
+    pub acked_cmds: u64,
+    /// Serving window wall clock at node 0 (first round → ack target).
+    pub wall: Duration,
+    /// Rounds node 0 executed.
+    pub rounds: u64,
+    /// Submit→ack latency in microseconds at node 0.
+    pub hist: LatencyHistogram,
+    /// Whether every replica acked at least the commit target.
+    pub all_reached_target: bool,
+    /// Whether all applied logs agree on overlapping suffixes.
+    pub logs_agree: bool,
+    /// Per-node event-loop statistics.
+    pub stats: Vec<NodeStats>,
+    /// WAL payload bytes appended across all nodes (0 in memory mode).
+    pub wal_bytes: u64,
+    /// fsyncs taken across all nodes (0 in memory mode).
+    pub wal_syncs: u64,
+    /// Snapshots taken across all nodes (0 in memory mode).
+    pub snapshots: u64,
+}
+
+impl StoreLoadReport {
+    /// Acked commands per second at the measurement replica.
+    #[must_use]
+    pub fn cmds_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.acked_cmds as f64 / secs
+        }
+    }
+}
+
+type SubmitLog = Arc<Mutex<std::collections::HashMap<u64, Instant>>>;
+type MeasureWindow = Arc<Mutex<(Option<Instant>, Option<Instant>)>>;
+
+/// Workload + ack-watermark latency hook.
+struct StoreLoadHook {
+    workload: Box<dyn Workload>,
+    submits: SubmitLog,
+    hist: Arc<Mutex<LatencyHistogram>>,
+    window: MeasureWindow,
+    /// Durable watermark shared with the `DurableNode` wrapper; `None`
+    /// in memory mode (acks at apply).
+    gate: Option<Arc<AtomicU64>>,
+    measure: bool,
+    /// Absolute applied offset up to which latency was recorded.
+    measured: usize,
+    target: usize,
+    n: usize,
+    marked_done: bool,
+    done: Arc<AtomicUsize>,
+}
+
+impl StoreLoadHook {
+    fn acked(&self, replica: &BatchingReplica<u64>) -> usize {
+        self.gate.as_ref().map_or(replica.applied_len(), |g| {
+            (g.load(Ordering::SeqCst) as usize).min(replica.applied_len())
+        })
+    }
+}
+
+impl NodeHook<u64> for StoreLoadHook {
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
+        if self.measure {
+            self.window
+                .lock()
+                .expect("window lock")
+                .0
+                .get_or_insert_with(Instant::now);
+        }
+        let arrivals =
+            self.workload
+                .arrivals_from(round, replica.applied_base(), replica.applied());
+        if arrivals.is_empty() {
+            return;
+        }
+        {
+            let mut submits = self.submits.lock().expect("submit log lock");
+            let now = Instant::now();
+            for &cmd in &arrivals {
+                submits.entry(cmd).or_insert(now);
+            }
+        }
+        replica.submit_all(arrivals);
+    }
+
+    fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
+        if !self.measure {
+            return;
+        }
+        let acked = self.acked(replica);
+        if acked <= self.measured {
+            return;
+        }
+        let base = replica.applied_base();
+        let now = Instant::now();
+        let submits = self.submits.lock().expect("submit log lock");
+        let mut hist = self.hist.lock().expect("hist lock");
+        for abs in self.measured.max(base)..acked {
+            let cmd = replica.applied()[abs - base];
+            if let Some(&sent) = submits.get(&cmd) {
+                hist.record(now.duration_since(sent).as_micros().max(1) as u64);
+            }
+        }
+        self.measured = acked;
+    }
+
+    fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
+        if !self.marked_done && self.acked(replica) >= self.target {
+            self.marked_done = true;
+            if self.measure {
+                self.window.lock().expect("window lock").1 = Some(Instant::now());
+            }
+            self.done.fetch_add(1, Ordering::SeqCst);
+        }
+        self.done.load(Ordering::SeqCst) >= self.n
+    }
+}
+
+/// Runs one durability load configuration over `n` node threads (channel
+/// mesh) and reports ack throughput, latency and storage statistics.
+///
+/// # Panics
+///
+/// Panics if a data dir cannot be created or a node thread dies.
+pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -> StoreLoadReport {
+    let n = params.cfg.n();
+    let submits: SubmitLog = Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let window: MeasureWindow = Arc::new(Mutex::new((None, None)));
+    let done = Arc::new(AtomicUsize::new(0));
+    let cfg = ServerConfig {
+        initial_round_timeout: Duration::from_millis(30),
+        min_round_timeout: Duration::from_millis(1),
+        max_round_timeout: Duration::from_millis(500),
+        max_rounds: profile.max_rounds,
+        stop_after_commands: None,
+    };
+    let data_root = profile.data_root.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "gencon-store-load-{}-{}",
+            std::process::id(),
+            profile.seed
+        ))
+    });
+
+    let make_hook = |i: usize, gate: Option<Arc<AtomicU64>>| -> StoreLoadHook {
+        let workload: Box<dyn Workload> = match profile.workload {
+            WorkloadKind::Closed { outstanding } => Box::new(ClosedLoop::new(
+                i as u16,
+                profile.clients_per_replica,
+                outstanding,
+            )),
+            WorkloadKind::Poisson { rate } => Box::new(OpenLoop::new(
+                i as u16,
+                profile.clients_per_replica,
+                rate,
+                profile.seed.wrapping_add(i as u64),
+            )),
+        };
+        StoreLoadHook {
+            workload,
+            submits: Arc::clone(&submits),
+            hist: Arc::clone(&hist),
+            window: Arc::clone(&window),
+            gate,
+            measure: i == 0,
+            measured: 0,
+            target: profile.commit_target,
+            n,
+            marked_done: false,
+            done: Arc::clone(&done),
+        }
+    };
+
+    let fallback_start = Instant::now();
+    type NodeOut = (BatchingReplica<u64>, NodeStats, u64, u64, u64);
+    let mut handles: Vec<std::thread::JoinHandle<NodeOut>> = Vec::new();
+    for (i, tr) in ChannelTransport::mesh(n).into_iter().enumerate() {
+        let params = params.clone();
+        let profile = profile.clone();
+        let data_root = data_root.clone();
+        let hook_parts = match profile.mode {
+            StoreMode::Memory => (make_hook(i, None), None),
+            StoreMode::Durable {
+                fsync_interval,
+                fast_ack,
+            } => {
+                let gate = Arc::new(AtomicU64::new(0));
+                let hook = make_hook(i, (!fast_ack).then(|| Arc::clone(&gate)));
+                (hook, Some((gate, fsync_interval, fast_ack)))
+            }
+        };
+        handles.push(std::thread::spawn(move || {
+            let replica =
+                BatchingReplica::new(tr.local(), params.clone(), profile.batch_cap, usize::MAX)
+                    .expect("validated params")
+                    .with_window(profile.window);
+            let (hook, durable) = hook_parts;
+            match durable {
+                None => {
+                    let (replica, _t, stats, _hook) = run_smr_node(replica, tr, cfg, hook);
+                    (replica, stats, 0, 0, 0)
+                }
+                Some((gate, fsync_interval, fast_ack)) => {
+                    let dir = data_root.join(format!("node{i}"));
+                    let (wal, _recovery) = FileWal::open(
+                        &dir,
+                        WalConfig {
+                            fsync_interval,
+                            ..WalConfig::default()
+                        },
+                    )
+                    .expect("open wal");
+                    let node = DurableNode::new(
+                        wal,
+                        DurableConfig {
+                            snapshot_every: profile.snapshot_every,
+                            snapshot_tail: 32,
+                            durable_ack: !fast_ack,
+                        },
+                        hook,
+                    )
+                    .with_gate(gate);
+                    let (replica, _t, stats, node) = run_smr_node(replica, tr, cfg, node);
+                    let (bytes, syncs, snaps) = (
+                        node.store().bytes_appended(),
+                        node.store().syncs(),
+                        node.snapshots_taken(),
+                    );
+                    (replica, stats, bytes, syncs, snaps)
+                }
+            }
+        }));
+    }
+
+    let results: Vec<NodeOut> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+    let wall = {
+        let w = window.lock().expect("window lock");
+        match (w.0, w.1) {
+            (Some(from), Some(to)) => to.duration_since(from),
+            _ => fallback_start.elapsed(),
+        }
+    };
+
+    // Agreement over overlapping suffixes (compaction trims prefixes at
+    // replica-specific times).
+    let reference = &results[0].0;
+    let mut logs_agree = true;
+    let mut all_reached_target = true;
+    for (rep, _, _, _, _) in &results {
+        let lo = reference.applied_base().max(rep.applied_base());
+        let hi = reference.applied_len().min(rep.applied_len());
+        for abs in lo..hi {
+            if reference.applied()[abs - reference.applied_base()]
+                != rep.applied()[abs - rep.applied_base()]
+            {
+                logs_agree = false;
+                break;
+            }
+        }
+        if rep.applied_len() < profile.commit_target {
+            all_reached_target = false;
+        }
+    }
+
+    let hist = hist.lock().expect("hist lock").clone();
+    let acked_cmds = hist.count();
+    // Tidy the temp data dirs (keep user-specified roots).
+    if profile.data_root.is_none() {
+        std::fs::remove_dir_all(&data_root).ok();
+    }
+    StoreLoadReport {
+        committed_cmds: results[0].0.applied_len() as u64,
+        acked_cmds,
+        wall,
+        rounds: results[0].1.rounds,
+        hist,
+        all_reached_target,
+        logs_agree,
+        stats: results.iter().map(|(_, s, _, _, _)| *s).collect(),
+        wal_bytes: results.iter().map(|(_, _, b, _, _)| b).sum(),
+        wal_syncs: results.iter().map(|(_, _, _, s, _)| s).sum(),
+        snapshots: results.iter().map(|(_, _, _, _, c)| c).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_algos::{paxos, pbft};
+    use gencon_types::ProcessId;
+
+    #[test]
+    fn memory_mode_reaches_target() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let profile = StoreLoadProfile::new(StoreMode::Memory, 4, 16, 120);
+        let report = run_store_load(&spec.params, &profile);
+        assert!(report.all_reached_target, "rounds: {}", report.rounds);
+        assert!(report.logs_agree);
+        assert!(report.acked_cmds >= 120);
+        assert_eq!(report.wal_bytes, 0);
+    }
+
+    #[test]
+    fn durable_ack_mode_reaches_target_with_group_commit() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let mut profile = StoreLoadProfile::new(
+            StoreMode::Durable {
+                fsync_interval: Duration::from_millis(5),
+                fast_ack: false,
+            },
+            4,
+            16,
+            100,
+        );
+        profile.snapshot_every = 32;
+        let report = run_store_load(&spec.params, &profile);
+        assert!(report.all_reached_target, "rounds: {}", report.rounds);
+        assert!(report.logs_agree);
+        assert!(report.acked_cmds >= 100, "acked {}", report.acked_cmds);
+        assert!(report.hist.p50() >= 1);
+    }
+
+    #[test]
+    fn fast_ack_durable_mode_runs() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let profile = StoreLoadProfile::new(
+            StoreMode::Durable {
+                fsync_interval: Duration::from_millis(5),
+                fast_ack: true,
+            },
+            2,
+            8,
+            60,
+        );
+        let report = run_store_load(&spec.params, &profile);
+        assert!(report.all_reached_target);
+        assert!(report.logs_agree);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(StoreMode::Memory.label(), "memory");
+        assert!(StoreMode::Durable {
+            fsync_interval: Duration::from_millis(5),
+            fast_ack: false
+        }
+        .label()
+        .contains("durable-ack"));
+    }
+}

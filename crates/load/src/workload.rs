@@ -29,6 +29,16 @@ pub fn decode_cmd(cmd: u64) -> (u16, u16, u32) {
 pub trait Workload: Send {
     /// Commands arriving at this replica at the start of round `round`.
     fn arrivals(&mut self, round: u64, applied: &[u64]) -> Vec<u64>;
+
+    /// Compaction-aware variant: `applied` is the **retained suffix** of
+    /// the log, starting at absolute offset `base` (see
+    /// `BatchingReplica::applied_base`). The default ignores `base`,
+    /// which is correct for generators that do not read the log (open
+    /// loop) and for uncompacted replicas (`base == 0`).
+    fn arrivals_from(&mut self, round: u64, base: usize, applied: &[u64]) -> Vec<u64> {
+        let _ = base;
+        self.arrivals(round, applied)
+    }
 }
 
 /// Closed-loop clients: each of `clients` keeps exactly `outstanding`
@@ -69,15 +79,24 @@ impl ClosedLoop {
 }
 
 impl Workload for ClosedLoop {
-    fn arrivals(&mut self, _round: u64, applied: &[u64]) -> Vec<u64> {
-        // Count completions since the last look.
-        for &cmd in &applied[self.scanned..] {
+    fn arrivals(&mut self, round: u64, applied: &[u64]) -> Vec<u64> {
+        self.arrivals_from(round, 0, applied)
+    }
+
+    fn arrivals_from(&mut self, _round: u64, base: usize, applied: &[u64]) -> Vec<u64> {
+        // Count completions since the last look. `scanned` is an absolute
+        // offset; with compaction the slice starts at `base`. Entries
+        // compacted away before being scanned cannot be attributed (the
+        // generator scans every round, so the retained tail always covers
+        // the unscanned suffix in practice).
+        let start = self.scanned.max(base);
+        for &cmd in &applied[start - base..] {
             let (rep, client, _) = decode_cmd(cmd);
             if rep == self.replica && (client as usize) < self.done.len() {
                 self.done[client as usize] += 1;
             }
         }
-        self.scanned = applied.len();
+        self.scanned = base + applied.len();
         // Refill every client's window.
         let mut out = Vec::new();
         for c in 0..self.next_seq.len() {

@@ -48,9 +48,11 @@ pub mod runtime;
 pub mod transport;
 pub mod wire;
 mod wire_smr;
+pub mod wire_sync;
 
 pub use runtime::{run_node, NodeConfig};
 pub use transport::{
     probe_free_addrs, ChannelTransport, DialPolicy, FlakyTransport, TcpTransport, Transport,
 };
 pub use wire::{Envelope, Wire, WireError};
+pub use wire_sync::{decode_state, encode_state, SnapshotMeta, SyncFrame};

@@ -1,0 +1,306 @@
+//! Wire encodings for snapshot **state transfer**: the frames a laggard
+//! and its peers exchange when the laggard's gap exceeds the peers'
+//! in-memory claim horizon (compacted slots cannot be re-claimed — the
+//! snapshot is the only copy left).
+//!
+//! A `gencon-server` node no longer puts bare [`Envelope`]s on the mesh;
+//! every peer frame is a [`SyncFrame`]:
+//!
+//! * `Round(Envelope<M>)` — the normal per-round consensus bundle;
+//! * `SnapshotRequest` — "my contiguous log ends at `have_slot`; if your
+//!   snapshot reaches further, send it";
+//! * `SnapshotResponse` — a full snapshot: metadata ([`SnapshotMeta`])
+//!   plus the opaque state bytes. The receiver verifies
+//!   `sha256(state) == state_hash` and installs only once `b + 1`
+//!   distinct senders vouch for the same metadata — at least one is
+//!   honest, so by per-slot Agreement the state is the real prefix.
+//!
+//! The state payload is itself wire-encoded applied `(command, slot)`
+//! pairs — see [`encode_state`]/[`decode_state`] — and every decoder
+//! validates lengths against hard caps before allocating, as everywhere
+//! else in this crate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use gencon_types::{ProcessId, Value};
+
+use crate::wire::{Envelope, Wire, WireError};
+
+/// Cap on snapshot state bytes a decoder accepts (snapshots are bigger
+/// than round frames, so they get their own cap).
+pub const MAX_SNAPSHOT_BYTES: usize = 8 << 20;
+
+/// Cap on applied pairs inside a decoded snapshot state.
+pub const MAX_SNAPSHOT_CMDS: usize = 1 << 20;
+
+/// Verifiable description of a snapshot (mirrors `gencon_store`'s
+/// metadata without the dependency — the store is below the wire in the
+/// crate DAG).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapshotMeta {
+    /// Every slot below this is covered by the snapshot.
+    pub upto_slot: u64,
+    /// Applied commands the state encodes.
+    pub applied_len: u64,
+    /// SHA-256 of the state bytes.
+    pub state_hash: [u8; 32],
+}
+
+impl Wire for SnapshotMeta {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.upto_slot.encode(buf);
+        self.applied_len.encode(buf);
+        buf.put_slice(&self.state_hash);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let upto_slot = u64::decode(buf)?;
+        let applied_len = u64::decode(buf)?;
+        if buf.remaining() < 32 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let mut state_hash = [0u8; 32];
+        state_hash.copy_from_slice(&buf.split_to(32));
+        Ok(SnapshotMeta {
+            upto_slot,
+            applied_len,
+            state_hash,
+        })
+    }
+}
+
+/// Every frame a `gencon-server` node puts on the peer mesh.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SyncFrame<M> {
+    /// A normal consensus round frame.
+    Round(Envelope<M>),
+    /// A laggard asking peers for a snapshot past `have_slot`.
+    SnapshotRequest {
+        /// Claimed sender (authenticated at the transport layer, like
+        /// [`Envelope::sender`]).
+        sender: ProcessId,
+        /// The requester's contiguous committed log ends here.
+        have_slot: u64,
+    },
+    /// A peer's snapshot, answering a request.
+    SnapshotResponse {
+        /// Claimed sender (transport-authenticated).
+        sender: ProcessId,
+        /// Verifiable snapshot description.
+        meta: SnapshotMeta,
+        /// Opaque state bytes (hash-checked against `meta.state_hash`).
+        state: Vec<u8>,
+    },
+}
+
+impl<M> SyncFrame<M> {
+    /// The transport-authenticated sender this frame claims.
+    #[must_use]
+    pub fn sender(&self) -> ProcessId {
+        match self {
+            SyncFrame::Round(env) => env.sender,
+            SyncFrame::SnapshotRequest { sender, .. }
+            | SyncFrame::SnapshotResponse { sender, .. } => *sender,
+        }
+    }
+}
+
+impl<M: Wire> Wire for SyncFrame<M> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SyncFrame::Round(env) => {
+                buf.put_u8(1);
+                env.encode(buf);
+            }
+            SyncFrame::SnapshotRequest { sender, have_slot } => {
+                buf.put_u8(2);
+                sender.encode(buf);
+                have_slot.encode(buf);
+            }
+            SyncFrame::SnapshotResponse {
+                sender,
+                meta,
+                state,
+            } => {
+                buf.put_u8(3);
+                sender.encode(buf);
+                meta.encode(buf);
+                (state.len() as u32).encode(buf);
+                buf.put_slice(state);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            1 => Ok(SyncFrame::Round(Envelope::decode(buf)?)),
+            2 => Ok(SyncFrame::SnapshotRequest {
+                sender: ProcessId::decode(buf)?,
+                have_slot: u64::decode(buf)?,
+            }),
+            3 => {
+                let sender = ProcessId::decode(buf)?;
+                let meta = SnapshotMeta::decode(buf)?;
+                let len = u32::decode(buf)? as usize;
+                if len > MAX_SNAPSHOT_BYTES {
+                    return Err(WireError::TooLong(len));
+                }
+                if buf.remaining() < len {
+                    return Err(WireError::UnexpectedEof);
+                }
+                Ok(SyncFrame::SnapshotResponse {
+                    sender,
+                    meta,
+                    state: buf.split_to(len).to_vec(),
+                })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Encodes applied `(command, slot)` pairs as snapshot state bytes.
+#[must_use]
+pub fn encode_state<V: Value + Wire>(pairs: &[(V, u64)]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    (pairs.len() as u32).encode(&mut buf);
+    for (cmd, slot) in pairs {
+        cmd.encode(&mut buf);
+        slot.encode(&mut buf);
+    }
+    buf.freeze().to_vec()
+}
+
+/// Decodes snapshot state bytes back into applied `(command, slot)`
+/// pairs. Rejects oversized pair counts and trailing bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncated input, oversized counts or
+/// trailing garbage.
+pub fn decode_state<V: Value + Wire>(state: &[u8]) -> Result<Vec<(V, u64)>, WireError> {
+    let mut buf = Bytes::from(state);
+    let len = u32::decode(&mut buf)? as usize;
+    if len > MAX_SNAPSHOT_CMDS {
+        return Err(WireError::TooLong(len));
+    }
+    let mut pairs = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let cmd = V::decode(&mut buf)?;
+        let slot = u64::decode(&mut buf)?;
+        pairs.push((cmd, slot));
+    }
+    if buf.remaining() > 0 {
+        return Err(WireError::TooLong(buf.remaining()));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_core::{ConsensusMsg, DecisionMsg};
+    use gencon_types::{Phase, Round};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let mut buf = bytes.clone();
+        let back = T::decode(&mut buf).expect("decodes");
+        assert_eq!(back, v);
+        assert_eq!(buf.remaining(), 0, "no trailing bytes");
+    }
+
+    fn sample_meta() -> SnapshotMeta {
+        SnapshotMeta {
+            upto_slot: 512,
+            applied_len: 4_000,
+            state_hash: [0xAB; 32],
+        }
+    }
+
+    #[test]
+    fn meta_and_frames_roundtrip() {
+        roundtrip(sample_meta());
+        roundtrip(SyncFrame::<ConsensusMsg<u64>>::SnapshotRequest {
+            sender: ProcessId::new(3),
+            have_slot: 17,
+        });
+        roundtrip(SyncFrame::<ConsensusMsg<u64>>::SnapshotResponse {
+            sender: ProcessId::new(1),
+            meta: sample_meta(),
+            state: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(SyncFrame::Round(Envelope {
+            sender: ProcessId::new(2),
+            round: Round::new(9),
+            msg: ConsensusMsg::<u64>::Decision(
+                Phase::new(3),
+                DecisionMsg {
+                    vote: 7,
+                    ts: Phase::new(3),
+                },
+            ),
+        }));
+    }
+
+    #[test]
+    fn sender_accessor_covers_all_variants() {
+        let req = SyncFrame::<u64>::SnapshotRequest {
+            sender: ProcessId::new(5),
+            have_slot: 0,
+        };
+        assert_eq!(req.sender(), ProcessId::new(5));
+        let resp = SyncFrame::<u64>::SnapshotResponse {
+            sender: ProcessId::new(6),
+            meta: sample_meta(),
+            state: Vec::new(),
+        };
+        assert_eq!(resp.sender(), ProcessId::new(6));
+    }
+
+    #[test]
+    fn state_roundtrips_and_rejects_garbage() {
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i * 7, i / 3)).collect();
+        let state = encode_state(&pairs);
+        assert_eq!(decode_state::<u64>(&state).unwrap(), pairs);
+        // Truncations are rejected.
+        for cut in 0..state.len() {
+            assert!(decode_state::<u64>(&state[..cut]).is_err());
+        }
+        // Trailing bytes are rejected.
+        let mut padded = state.clone();
+        padded.push(0);
+        assert!(decode_state::<u64>(&padded).is_err());
+    }
+
+    #[test]
+    fn oversized_snapshot_lengths_are_rejected() {
+        // Pair count over the cap.
+        let mut buf = BytesMut::new();
+        ((MAX_SNAPSHOT_CMDS + 1) as u32).encode(&mut buf);
+        assert!(matches!(
+            decode_state::<u64>(&buf.freeze()),
+            Err(WireError::TooLong(_))
+        ));
+        // Response state length over the cap.
+        let mut buf = BytesMut::new();
+        buf.put_u8(3);
+        ProcessId::new(0).encode(&mut buf);
+        sample_meta().encode(&mut buf);
+        ((MAX_SNAPSHOT_BYTES + 1) as u32).encode(&mut buf);
+        let mut b = buf.freeze();
+        assert!(matches!(
+            SyncFrame::<u64>::decode(&mut b),
+            Err(WireError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut buf = Bytes::from_static(&[9, 0, 0, 0, 0]);
+        assert_eq!(
+            SyncFrame::<u64>::decode(&mut buf),
+            Err(WireError::BadTag(9))
+        );
+    }
+}

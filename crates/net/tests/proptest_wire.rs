@@ -7,7 +7,7 @@ use bytes::{Buf, Bytes};
 use proptest::prelude::*;
 
 use gencon_core::{ConsensusMsg, DecisionMsg, History, SelectionMsg, ValidationMsg};
-use gencon_net::{Envelope, Wire};
+use gencon_net::{decode_state, encode_state, Envelope, SnapshotMeta, SyncFrame, Wire};
 use gencon_smr::SmrMsg;
 use gencon_types::{Batch, Phase, ProcessId, ProcessSet, Round};
 
@@ -84,6 +84,45 @@ fn bundles() -> impl Strategy<Value = SmrMsg<Batch<u64>>> {
                 m.push_relay(v);
             }
             m
+        })
+}
+
+fn sync_frames() -> impl Strategy<Value = SyncFrame<SmrMsg<Batch<u64>>>> {
+    (
+        0u8..3,
+        bundles(),
+        0usize..gencon_types::MAX_PROCESSES,
+        1u64..1_000_000,
+        proptest::collection::vec(any::<u8>(), 0..96),
+    )
+        .prop_map(|(variant, bundle, sender, number, state)| {
+            let sender = ProcessId::new(sender);
+            match variant {
+                0 => SyncFrame::Round(Envelope {
+                    sender,
+                    round: Round::new(number),
+                    msg: bundle,
+                }),
+                1 => SyncFrame::SnapshotRequest {
+                    sender,
+                    have_slot: number,
+                },
+                _ => {
+                    let mut state_hash = [0u8; 32];
+                    for (i, b) in state.iter().take(32).enumerate() {
+                        state_hash[i] = *b;
+                    }
+                    SyncFrame::SnapshotResponse {
+                        sender,
+                        meta: SnapshotMeta {
+                            upto_slot: number,
+                            applied_len: number / 2,
+                            state_hash,
+                        },
+                        state,
+                    }
+                }
+            }
         })
 }
 
@@ -167,5 +206,61 @@ proptest! {
         let _ = SmrMsg::<Batch<u64>>::decode(&mut buf);
         let mut buf2 = Bytes::from(vec![0xffu8; 64]);
         let _ = Envelope::<SmrMsg<Batch<u64>>>::decode(&mut buf2);
+    }
+
+    #[test]
+    fn sync_frames_roundtrip(
+        frame in sync_frames(),
+    ) {
+        let bytes = frame.to_bytes();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let mut buf = bytes;
+        prop_assert_eq!(SyncFrame::<SmrMsg<Batch<u64>>>::decode(&mut buf).unwrap(), frame);
+        prop_assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn sync_frame_truncations_are_rejected(frame in sync_frames(), cut in 0usize..4_096) {
+        let bytes = frame.to_bytes();
+        let cut = cut % bytes.len().max(1);
+        let mut short = bytes.slice(0..cut);
+        prop_assert!(
+            SyncFrame::<SmrMsg<Batch<u64>>>::decode(&mut short).is_err(),
+            "prefix of length {} of {} decoded",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn sync_frame_corruption_never_panics(
+        frame in sync_frames(),
+        pos in 0usize..4_096,
+        flip in 1u8..=255,
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let bytes = frame.to_bytes();
+        let mut corrupted = bytes.to_vec();
+        let pos = pos % corrupted.len().max(1);
+        if !corrupted.is_empty() {
+            corrupted[pos] ^= flip;
+        }
+        let mut buf = Bytes::from(corrupted);
+        let _ = SyncFrame::<SmrMsg<Batch<u64>>>::decode(&mut buf);
+        let mut garbage = Bytes::from(raw);
+        let _ = SyncFrame::<SmrMsg<Batch<u64>>>::decode(&mut garbage);
+    }
+
+    #[test]
+    fn snapshot_state_roundtrips_and_rejects_truncation(
+        pairs in proptest::collection::vec((any::<u64>(), 0u64..100_000), 0..64),
+        cut_frac in 0u64..10_000,
+    ) {
+        let state = encode_state(&pairs);
+        prop_assert_eq!(decode_state::<u64>(&state).unwrap(), pairs);
+        let cut = (cut_frac as usize * state.len()) / 10_000;
+        if cut < state.len() {
+            prop_assert!(decode_state::<u64>(&state[..cut]).is_err());
+        }
     }
 }

@@ -44,7 +44,10 @@ fn connect(addr: SocketAddr) -> (TcpStream, Receiver<(ClientResponse<u64>, Insta
         exit(1);
     });
     stream.set_nodelay(true).ok();
-    let mut reader = stream.try_clone().expect("socket clones");
+    let mut reader = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("gencon-client: cannot clone the socket for reading: {e}");
+        exit(1);
+    });
     let (tx, rx) = channel::unbounded();
     std::thread::spawn(move || loop {
         match read_frame::<_, ClientResponse<u64>>(&mut reader) {

@@ -6,24 +6,47 @@
 //!   --client-addr 127.0.0.1:7000 \
 //!   [--batch-cap 64] [--window 4] [--min-timeout-ms 2] [--max-timeout-ms 1000]
 //!   [--backpressure 65536] [--redirect-to ID] [--stop-after N] [--max-rounds R]
+//!   [--durable --data-dir DIR] [--fsync-interval-ms 5] [--snapshot-every 512]
+//!   [--ack-mode durable|fast] [--hash-at N]
 //! ```
 //!
 //! The node connects the TCP mesh (peers may start late: dialing retries
 //! with bounded backoff), serves clients at `--client-addr`, and runs the
 //! replicated log until killed (or `--stop-after` commands applied).
+//!
+//! With `--durable`, committed batches are written to a CRC-framed WAL
+//! under `--data-dir` (fsync group-committed every
+//! `--fsync-interval-ms`), snapshots fold the applied prefix every
+//! `--snapshot-every` slots, and a restart **recovers from disk first**:
+//! snapshot install + WAL replay rebuild the committed prefix before the
+//! node rejoins the mesh, so recovery works even when the survivors have
+//! long compacted the slots this node missed. `--ack-mode durable` (the
+//! default with `--durable`) acks clients only after their command's slot
+//! is on disk; `--ack-mode fast` acks at apply time and lets persistence
+//! trail behind.
+//!
+//! `--hash-at N` prints `log-hash@N` — a SHA-256 over the first N applied
+//! commands — on exit; agreeing nodes print identical hashes (the CI
+//! durability smoke job compares them across a kill −9 + restart).
 
 use std::net::SocketAddr;
 use std::process::exit;
 use std::time::Duration;
 
+use gencon_crypto::Sha256;
 use gencon_server::cli::{flag_value, parse_flag, required_flag};
-use gencon_server::{run_smr_node, ClientGateway, GatewayConfig, ServerConfig};
+use gencon_server::{
+    recover_replica, run_smr_node, ClientGateway, DurableConfig, DurableNode, GatewayConfig,
+    NodeHook, ServerConfig,
+};
 use gencon_smr::{Batch, BatchingReplica};
+use gencon_store::{FileWal, Log, WalConfig};
 use gencon_types::ProcessId;
 
 const BIN: &str = "gencon-server";
 const USAGE: &str =
-    "gencon-server --id N --algo paxos|pbft|mqb --peers a:p,b:p,... --client-addr a:p";
+    "gencon-server --id N --algo paxos|pbft|mqb --peers a:p,b:p,... --client-addr a:p \
+     [--durable --data-dir DIR]";
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag(BIN, args, flag, default)
@@ -33,6 +56,89 @@ fn required(args: &[String], flag: &str) -> String {
     required_flag(BIN, args, flag, USAGE)
 }
 
+/// Streams applied commands into a SHA-256 and, once `target` commands
+/// were fed, **prints** `log-hash@target` (agreeing nodes print identical
+/// hashes — the CI durability job compares them across a kill −9 +
+/// restart). Runs as the innermost hook so it always sees the applied log
+/// before the durable layer compacts it.
+struct HashAt<H> {
+    inner: H,
+    id: usize,
+    target: usize,
+    fed: usize,
+    hasher: Sha256,
+    reported: bool,
+}
+
+impl<H> HashAt<H> {
+    fn new(inner: H, id: usize, target: usize) -> Self {
+        HashAt {
+            inner,
+            id,
+            target,
+            fed: 0,
+            hasher: Sha256::new(),
+            reported: false,
+        }
+    }
+}
+
+impl<H: NodeHook<u64>> NodeHook<u64> for HashAt<H> {
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
+        self.inner.before_round(round, replica);
+    }
+
+    fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
+        if !self.reported && self.target > 0 {
+            let base = replica.applied_base();
+            // Feed the absolute prefix [fed, min(target, applied_len)).
+            let upto = replica.applied_len().min(self.target);
+            if self.fed >= base {
+                for abs in self.fed..upto {
+                    self.hasher
+                        .update(&replica.applied()[abs - base].to_le_bytes());
+                }
+                self.fed = upto;
+                if self.fed == self.target {
+                    self.reported = true;
+                    println!(
+                        "gencon-server {}: log-hash@{} = {}",
+                        self.id,
+                        self.target,
+                        hex(&self.hasher.clone().finalize())
+                    );
+                }
+            }
+        }
+        self.inner.after_round(round, replica);
+    }
+
+    fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
+        self.inner.should_stop(replica)
+    }
+
+    fn serve_snapshot(
+        &mut self,
+        replica: &BatchingReplica<u64>,
+    ) -> Option<(gencon_net::SnapshotMeta, Vec<u8>)> {
+        self.inner.serve_snapshot(replica)
+    }
+
+    fn snapshot_installed(
+        &mut self,
+        meta: &gencon_net::SnapshotMeta,
+        state: &[u8],
+        replica: &mut BatchingReplica<u64>,
+    ) {
+        self.inner.snapshot_installed(meta, state, replica);
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let id: usize = required(&args, "--id").parse().unwrap_or_else(|_| {
@@ -84,7 +190,32 @@ fn main() {
             }))
         }),
         write_timeout: Duration::from_millis(parse(&args, "--write-timeout-ms", 500)),
+        reack_index_cap: parse(&args, "--reack-index-cap", 1 << 20),
     };
+
+    // --- durability flags ---
+    let durable = args.iter().any(|a| a == "--durable");
+    let ack_mode = flag_value(&args, "--ack-mode").unwrap_or_else(|| "durable".to_string());
+    if ack_mode != "durable" && ack_mode != "fast" {
+        eprintln!("gencon-server: --ack-mode must be durable or fast");
+        exit(2);
+    }
+    let data_dir = flag_value(&args, "--data-dir");
+    if durable && data_dir.is_none() {
+        eprintln!("gencon-server: --durable requires --data-dir");
+        eprintln!("usage: {USAGE}");
+        exit(2);
+    }
+    let wal_cfg = WalConfig {
+        fsync_interval: Duration::from_millis(parse(&args, "--fsync-interval-ms", 5)),
+        segment_bytes: parse(&args, "--segment-bytes", 4 << 20),
+    };
+    let durable_cfg = DurableConfig {
+        snapshot_every: parse(&args, "--snapshot-every", 512),
+        snapshot_tail: parse(&args, "--snapshot-tail", 64),
+        durable_ack: ack_mode == "durable",
+    };
+    let hash_at: usize = parse(&args, "--hash-at", 0);
 
     // Fault bounds from the cluster size: the largest each model tolerates.
     let params = match algo.as_str() {
@@ -118,13 +249,59 @@ fn main() {
         }
     };
 
-    let gateway = ClientGateway::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
+    let mut gateway = ClientGateway::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
         eprintln!("gencon-server: cannot bind client address {client_addr}: {e}");
         exit(1);
     });
+    // The durable-ack watermark, shared between the persistence layer
+    // (writer) and the gateway (ack limit).
+    let ack_gate = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    if durable {
+        gateway = gateway.with_ack_gate(std::sync::Arc::clone(&ack_gate));
+    }
+
+    let mut replica = BatchingReplica::new(ProcessId::new(id), params, batch_cap, usize::MAX)
+        .unwrap_or_else(|e| {
+            eprintln!("gencon-server: invalid consensus parameters: {e}");
+            exit(2);
+        })
+        .with_window(window)
+        .with_dedup_horizon(parse(&args, "--dedup-horizon", 8_192));
+
+    // --- durable path: open the WAL and recover before joining the mesh ---
+    let durable_parts = if durable {
+        let dir = data_dir.expect("checked above");
+        let (wal, recovery) = FileWal::open(&dir, wal_cfg).unwrap_or_else(|e| {
+            eprintln!("gencon-server: cannot open data dir {dir}: {e}");
+            exit(1);
+        });
+        let recovered = recover_replica(&mut replica, &recovery);
+        eprintln!(
+            "gencon-server {id}: recovered {} slots from snapshot + {} from WAL \
+             ({} commands{}{})",
+            recovered.snapshot_slots,
+            recovered.replayed_slots,
+            recovered.applied,
+            if recovery.truncated_bytes > 0 {
+                format!(", torn tail truncated: {} bytes", recovery.truncated_bytes)
+            } else {
+                String::new()
+            },
+            if recovery.snapshot_corrupt {
+                ", corrupt snapshot ignored"
+            } else {
+                ""
+            },
+        );
+        Some(wal)
+    } else {
+        None
+    };
+
     eprintln!(
-        "gencon-server {id}: serving clients at {}, connecting {n}-node {algo} mesh …",
-        gateway.local_addr()
+        "gencon-server {id}: serving clients at {} ({} acks), connecting {n}-node {algo} mesh …",
+        gateway.local_addr(),
+        if durable { ack_mode.as_str() } else { "memory" },
     );
     let transport = gencon_net::TcpTransport::connect_mesh(ProcessId::new(id), &peers)
         .unwrap_or_else(|e| {
@@ -133,19 +310,34 @@ fn main() {
         });
     eprintln!("gencon-server {id}: mesh up, log running");
 
-    let replica = BatchingReplica::new(ProcessId::new(id), params, batch_cap, usize::MAX)
-        .expect("catalog params validate")
-        .with_window(window);
-    let (replica, _transport, stats) = run_smr_node(replica, transport, cfg, gateway);
+    // The hash probe sits innermost so it sees the applied log before the
+    // durable layer compacts it.
+    let (replica, stats) = if let Some(wal) = durable_parts {
+        let node = DurableNode::new(wal, durable_cfg, HashAt::new(gateway, id, hash_at))
+            .with_gate(ack_gate);
+        let (replica, _transport, stats, node) = run_smr_node(replica, transport, cfg, node);
+        eprintln!(
+            "gencon-server {id}: WAL wrote {} payload bytes over {} fsyncs, {} snapshots taken",
+            node.store().bytes_appended(),
+            node.store().syncs(),
+            node.snapshots_taken(),
+        );
+        (replica, stats)
+    } else {
+        let hook = HashAt::new(gateway, id, hash_at);
+        let (replica, _transport, stats, _hook) = run_smr_node(replica, transport, cfg, hook);
+        (replica, stats)
+    };
 
     eprintln!(
         "gencon-server {id}: stopped at round {} — {} commands applied over {} slots \
-         ({} full rounds, {} timeouts, {} fast-forwards)",
+         ({} full rounds, {} timeouts, {} fast-forwards, {} snapshots installed)",
         stats.last_round,
-        replica.applied().len(),
+        replica.applied_len(),
         replica.committed_slots(),
         stats.full_rounds,
         stats.timeouts,
         stats.fast_forwards,
+        stats.snapshots_installed,
     );
 }

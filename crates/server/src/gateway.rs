@@ -50,6 +50,12 @@ pub struct GatewayConfig {
     /// Ack writes block at most this long; a client that stops reading
     /// is disconnected rather than allowed to stall the event loop.
     pub write_timeout: std::time::Duration,
+    /// Commands kept in the re-ack index (retries of already-committed
+    /// submissions are answered from it). Oldest entries are evicted
+    /// past the cap, bounding gateway memory on a long-running node — a
+    /// retry arriving later than this many commits is treated as new,
+    /// the same window semantics as the replica's dedup horizon.
+    pub reack_index_cap: usize,
 }
 
 impl Default for GatewayConfig {
@@ -58,6 +64,7 @@ impl Default for GatewayConfig {
             backpressure_limit: 65_536,
             redirect_to: None,
             write_timeout: std::time::Duration::from_millis(500),
+            reack_index_cap: 1 << 20,
         }
     }
 }
@@ -70,12 +77,22 @@ pub struct ClientGateway {
     inflight: HashMap<u64, u64>,
     /// Prefix of the applied log already indexed/acked.
     acked: usize,
-    /// Commit coordinates of every applied command, for re-acking client
-    /// retries of already-committed submissions. Grows with the log (one
-    /// entry per command), like the replica's own dedup set.
+    /// Commit coordinates of recently applied commands, for re-acking
+    /// client retries of already-committed submissions. Bounded by
+    /// [`GatewayConfig::reack_index_cap`]: oldest entries are evicted
+    /// (`reack_order` is the FIFO), so a long-running node's gateway
+    /// memory stays flat.
     committed_index: HashMap<u64, (u64, u64)>,
+    /// Insertion order of `committed_index`, for eviction.
+    reack_order: std::collections::VecDeque<u64>,
     /// Submissions bounced (backpressure or redirect) so far.
     bounced: u64,
+    /// Durable-ack watermark: when set, commands at absolute log offsets
+    /// at or past the gate are **not** acked yet — their batch is applied
+    /// but not yet fsynced/snapshotted (see
+    /// [`DurableNode`](crate::DurableNode)). Acks resume as the gate
+    /// advances.
+    ack_gate: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
     cfg: GatewayConfig,
     local_addr: SocketAddr,
 }
@@ -130,10 +147,25 @@ impl ClientGateway {
             inflight: HashMap::new(),
             acked: 0,
             committed_index: HashMap::new(),
+            reack_order: std::collections::VecDeque::new(),
             bounced: 0,
+            ack_gate: None,
             cfg,
             local_addr,
         })
+    }
+
+    /// Installs the durable-ack watermark (see
+    /// [`DurableNode::ack_gate`](crate::DurableNode::ack_gate)): acks are
+    /// held back until the command's absolute log offset falls below the
+    /// gate.
+    #[must_use]
+    pub fn with_ack_gate(
+        mut self,
+        gate: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    ) -> ClientGateway {
+        self.ack_gate = Some(gate);
+        self
     }
 
     /// The address the gateway actually bound (resolves `:0` port probes).
@@ -221,22 +253,38 @@ impl NodeHook<u64> for ClientGateway {
     fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
         let applied = replica.applied();
         let slots = replica.applied_slots();
-        for offset in self.acked..applied.len() {
-            let cmd = applied[offset];
-            self.committed_index
-                .insert(cmd, (slots[offset], offset as u64));
+        let base = replica.applied_base();
+        // Under durable-ack, stop at the persistence watermark: an acked
+        // command is one a crash cannot lose.
+        let limit = self.ack_gate.as_ref().map_or(replica.applied_len(), |g| {
+            (g.load(std::sync::atomic::Ordering::SeqCst) as usize).min(replica.applied_len())
+        });
+        for offset in self.acked.max(base)..limit {
+            let cmd = applied[offset - base];
+            if self
+                .committed_index
+                .insert(cmd, (slots[offset - base], offset as u64))
+                .is_none()
+            {
+                self.reack_order.push_back(cmd);
+            }
+            while self.reack_order.len() > self.cfg.reack_index_cap {
+                if let Some(old) = self.reack_order.pop_front() {
+                    self.committed_index.remove(&old);
+                }
+            }
             if let Some(conn_id) = self.inflight.remove(&cmd) {
                 self.respond(
                     conn_id,
                     &ClientResponse::Committed {
                         cmd,
-                        slot: slots[offset],
+                        slot: slots[offset - base],
                         offset: offset as u64,
                     },
                 );
             }
         }
-        self.acked = applied.len();
+        self.acked = self.acked.max(limit);
     }
 }
 

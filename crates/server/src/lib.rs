@@ -44,12 +44,17 @@
 pub mod cli;
 mod config;
 mod deadline;
+mod durable;
 mod gateway;
 mod node;
 pub mod protocol;
 
 pub use config::ServerConfig;
 pub use deadline::AdaptiveDeadline;
+pub use durable::{recover_replica, DurableConfig, DurableNode, RecoveredState};
 pub use gateway::{ClientGateway, GatewayConfig};
-pub use node::{run_smr_node, NoHook, NodeHook, NodeStats, FUTURE_HORIZON, LIVENESS_GRACE};
+pub use node::{
+    run_smr_node, NoHook, NodeHook, NodeStats, FUTURE_HORIZON, LIVENESS_GRACE, SNAPSHOT_GAP_MIN,
+    SNAPSHOT_PROBE_AFTER,
+};
 pub use protocol::{read_frame, write_frame, ClientRequest, ClientResponse};

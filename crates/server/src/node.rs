@@ -40,10 +40,11 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use gencon_net::wire::{Envelope, Wire};
+use gencon_net::wire_sync::{decode_state, encode_state, SnapshotMeta, SyncFrame};
 use gencon_net::Transport;
 use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
 use gencon_smr::{Batch, BatchingReplica, SmrMsg};
-use gencon_types::{ProcessId, Round, Value};
+use gencon_types::{ProcessId, ProcessSet, Round, Value};
 
 use crate::config::ServerConfig;
 use crate::deadline::AdaptiveDeadline;
@@ -73,6 +74,28 @@ pub trait NodeHook<V: Value>: Send {
         let _ = replica;
         false
     }
+
+    /// Asked when a laggard peer requests state transfer: the snapshot
+    /// this node can serve (metadata plus opaque state bytes), or `None`
+    /// to let the event loop synthesize one from the replica's in-memory
+    /// applied log (possible only while the log is uncompacted). The
+    /// durable hook serves its on-disk snapshot here.
+    fn serve_snapshot(&mut self, replica: &BatchingReplica<V>) -> Option<(SnapshotMeta, Vec<u8>)> {
+        let _ = replica;
+        None
+    }
+
+    /// Called after the event loop installed a `b + 1`-vouched snapshot
+    /// into the replica — the durable hook persists it here so a later
+    /// restart recovers past the transferred prefix too.
+    fn snapshot_installed(
+        &mut self,
+        meta: &SnapshotMeta,
+        state: &[u8],
+        replica: &mut BatchingReplica<V>,
+    ) {
+        let _ = (meta, state, replica);
+    }
 }
 
 /// Any `FnMut(round, &mut replica)` closure is a before-round hook.
@@ -94,6 +117,11 @@ impl<V: Value> NodeHook<V> for NoHook {}
 /// `(sender, bundle)` pairs (at most one per sender per round).
 type FutureFrames<V> = BTreeMap<u64, Vec<(ProcessId, SmrMsg<Batch<V>>)>>;
 
+/// Snapshot-response tallies during state transfer: metadata key
+/// `(upto_slot, applied_len, state_hash)` → (vouching senders, the first
+/// hash-verified state bytes).
+type SnapshotVotes = BTreeMap<(u64, u64, [u8; 32]), (ProcessSet, Vec<u8>)>;
+
 /// Rounds a silent sender keeps counting toward the full-round
 /// expectation before pacing writes it off as down.
 pub const LIVENESS_GRACE: u64 = 16;
@@ -102,6 +130,17 @@ pub const LIVENESS_GRACE: u64 = 16;
 /// number still feeds the fast-forward evidence). Bounds the future map
 /// at `FUTURE_HORIZON × n` bundles against Byzantine flooding.
 pub const FUTURE_HORIZON: u64 = 1024;
+
+/// Rounds without commit progress (while peers demonstrably work slots
+/// ahead of ours) before the node starts asking for snapshot state
+/// transfer. Short gaps are the decision-claim path's job; this fires
+/// only when claims have visibly stopped working — peers compacted the
+/// needed slots below their claim horizon.
+pub const SNAPSHOT_PROBE_AFTER: u64 = 8;
+
+/// Minimum slot gap (peers' highest referenced slot vs. our contiguous
+/// commit point) that makes a stall snapshot-worthy.
+pub const SNAPSHOT_GAP_MIN: u64 = 8;
 
 /// Senders heard within the liveness grace window (everyone at startup,
 /// since nobody has had a chance to speak yet).
@@ -125,18 +164,25 @@ pub struct NodeStats {
     pub timeouts: u64,
     /// Round-counter jumps taken (restart/laggard catch-up).
     pub fast_forwards: u64,
+    /// Snapshot state-transfer requests this node broadcast.
+    pub snapshot_requests: u64,
+    /// Snapshot responses this node served to laggards.
+    pub snapshots_served: u64,
+    /// Snapshots installed from peers (`b + 1`-vouched).
+    pub snapshots_installed: u64,
 }
 
 /// Drives `replica` over `transport` until the hook stops it or
 /// `cfg.max_rounds` elapse. Returns the replica (its applied log is the
 /// result), the transport (reusable — e.g. to restart a node on the same
-/// endpoint after a simulated crash) and run statistics.
+/// endpoint after a simulated crash), run statistics, and the hook (so
+/// callers can read its end state — gateway counters, WAL statistics).
 pub fn run_smr_node<V, T, H>(
     mut replica: BatchingReplica<V>,
     mut transport: T,
     cfg: ServerConfig,
     mut hook: H,
-) -> (BatchingReplica<V>, T, NodeStats)
+) -> (BatchingReplica<V>, T, NodeStats, H)
 where
     V: Value + Wire,
     T: Transport,
@@ -155,6 +201,22 @@ where
     // round each sender has shown us (the fast-forward evidence).
     let mut future: FutureFrames<V> = BTreeMap::new();
     let mut ahead: Vec<u64> = vec![0; n];
+    // --- state-transfer bookkeeping ---
+    // The highest slot any peer frame referenced: evidence of how far the
+    // cluster's log extends past ours.
+    let mut peer_slot_high: u64 = 0;
+    // Commit progress tracking: a stalled laggard with a big slot gap has
+    // outrun the decision-claim horizon and needs a snapshot.
+    let mut last_commit_len: u64 = replica.committed_slots() as u64;
+    let mut stall_rounds: u64 = 0;
+    // Snapshot responses tallied by metadata: install once b + 1 distinct
+    // senders vouch for the same (upto, len, hash) — at least one is
+    // honest. Only hash-verified states are stored, at most one per
+    // metadata and at most a handful of metadata keys (a Byzantine peer
+    // cannot grow this without bound).
+    let mut snapshot_votes: SnapshotVotes = BTreeMap::new();
+    // Serve throttle: last round each peer was served a snapshot.
+    let mut last_served: Vec<u64> = vec![0; n];
     // The round each sender was last heard in (any round tag counts as a
     // liveness signal). A sender silent for more than LIVENESS_GRACE
     // rounds stops counting toward the "full round" expectation, so a
@@ -186,11 +248,11 @@ where
         match replica.send(round) {
             Outgoing::Silent => {}
             Outgoing::Broadcast(m) => {
-                let frame = Envelope {
+                let frame = SyncFrame::Round(Envelope {
                     sender: me,
                     round,
                     msg: m.clone(),
-                }
+                })
                 .to_bytes();
                 for d in (0..n).map(ProcessId::new).filter(|&d| d != me) {
                     transport.send(d, frame.clone());
@@ -198,11 +260,11 @@ where
                 loopback = Some(m);
             }
             Outgoing::Multicast { dests, msg } => {
-                let frame = Envelope {
+                let frame = SyncFrame::Round(Envelope {
                     sender: me,
                     round,
                     msg: msg.clone(),
-                }
+                })
                 .to_bytes();
                 for d in dests.iter() {
                     if d == me {
@@ -258,14 +320,74 @@ where
             if sender.index() >= n {
                 continue;
             }
-            let Some(env) = decode_envelope::<SmrMsg<Batch<V>>>(&frame) else {
+            let Some(sync) = decode_frame::<SmrMsg<Batch<V>>>(&frame) else {
                 continue; // garbage from a Byzantine peer
             };
             // Transport-level sender authentication.
-            if env.sender != sender {
+            if sync.sender() != sender {
                 continue;
             }
+            // Any authenticated frame is a liveness signal.
             last_heard[sender.index()] = last_heard[sender.index()].max(r);
+            let env = match sync {
+                SyncFrame::Round(env) => env,
+                SyncFrame::SnapshotRequest { have_slot, .. } => {
+                    // Serve the laggard (throttled per sender: building a
+                    // snapshot costs O(state), and a Byzantine requester
+                    // must not turn that into a flood).
+                    if r >= last_served[sender.index()] + SNAPSHOT_PROBE_AFTER / 2 {
+                        let snap = hook
+                            .serve_snapshot(&replica)
+                            .or_else(|| synthesize_snapshot(&replica));
+                        if let Some((meta, state)) = snap {
+                            // A state past the wire cap would be rejected
+                            // by every receiver's decoder — don't put an
+                            // undecodable frame on the wire (the laggard
+                            // then needs an out-of-band copy of the data
+                            // dir; see the wire_sync module docs).
+                            if meta.upto_slot > have_slot
+                                && state.len() <= gencon_net::wire_sync::MAX_SNAPSHOT_BYTES
+                            {
+                                last_served[sender.index()] = r;
+                                stats.snapshots_served += 1;
+                                let resp = SyncFrame::<SmrMsg<Batch<V>>>::SnapshotResponse {
+                                    sender: me,
+                                    meta,
+                                    state,
+                                };
+                                transport.send(sender, resp.to_bytes());
+                            }
+                        }
+                    }
+                    continue;
+                }
+                SyncFrame::SnapshotResponse { meta, state, .. } => {
+                    // Tally hash-verified responses; the install decision
+                    // happens after the collect step.
+                    if meta.upto_slot > replica.committed_slots() as u64
+                        && gencon_crypto::sha256(&state) == meta.state_hash
+                    {
+                        // One pending snapshot per sender: a newer
+                        // response replaces the sender's older vote, and
+                        // keys nobody vouches for any more (or that the
+                        // log overtook) are dropped. A Byzantine peer can
+                        // therefore hold at most one live key — it cannot
+                        // crowd honest metadata out of the tally.
+                        let floor = replica.committed_slots() as u64;
+                        snapshot_votes.retain(|k, (who, _)| {
+                            who.remove(sender);
+                            !who.is_empty() && k.0 > floor
+                        });
+                        let key = (meta.upto_slot, meta.applied_len, meta.state_hash);
+                        let entry = snapshot_votes
+                            .entry(key)
+                            .or_insert_with(|| (ProcessSet::new(), state));
+                        entry.0.insert(sender);
+                    }
+                    continue;
+                }
+            };
+            peer_slot_high = peer_slot_high.max(max_slot_of(&env.msg));
             match env.round.number().cmp(&r) {
                 std::cmp::Ordering::Less => {} // closed round: drop
                 std::cmp::Ordering::Equal => {
@@ -302,17 +424,66 @@ where
             stats.timeouts += 1;
         }
 
+        // --- snapshot install: b + 1 distinct senders vouched for the
+        // same verified state, so it is the real prefix ---
+        let commit_point = replica.committed_slots() as u64;
+        let vouched = snapshot_votes
+            .iter()
+            .filter(|(k, (who, _))| who.len() >= ff_threshold && k.0 > commit_point)
+            .map(|(k, _)| *k)
+            .max_by_key(|k| k.0);
+        if let Some(key) = vouched {
+            let (_, state) = snapshot_votes.remove(&key).expect("key just found");
+            if let Ok(pairs) = decode_state::<V>(&state) {
+                if replica.install_snapshot(pairs, key.0, r) {
+                    stats.snapshots_installed += 1;
+                    let meta = SnapshotMeta {
+                        upto_slot: key.0,
+                        applied_len: key.1,
+                        state_hash: key.2,
+                    };
+                    hook.snapshot_installed(&meta, &state, &mut replica);
+                    snapshot_votes.clear();
+                    stall_rounds = 0;
+                }
+            }
+        }
+
         // --- transition step ---
         replica.receive(round, &heard);
         hook.after_round(r, &mut replica);
         stats.rounds += 1;
         stats.last_round = r;
 
+        // --- laggard probe: stalled while peers work slots far ahead ⇒
+        // the gap outran the claim horizon; ask for a snapshot ---
+        let committed_now = replica.committed_slots() as u64;
+        if committed_now > last_commit_len {
+            last_commit_len = committed_now;
+            stall_rounds = 0;
+        } else {
+            stall_rounds += 1;
+        }
+        if stall_rounds >= SNAPSHOT_PROBE_AFTER
+            && stall_rounds.is_multiple_of(SNAPSHOT_PROBE_AFTER)
+            && peer_slot_high >= committed_now + SNAPSHOT_GAP_MIN
+        {
+            stats.snapshot_requests += 1;
+            let frame = SyncFrame::<SmrMsg<Batch<V>>>::SnapshotRequest {
+                sender: me,
+                have_slot: committed_now,
+            }
+            .to_bytes();
+            for d in (0..n).map(ProcessId::new).filter(|&d| d != me) {
+                transport.send(d, frame.clone());
+            }
+        }
+
         if debug_pacing() && stats.rounds % 64 == 0 {
             eprintln!(
                 "[node {me}] round {r}: applied {} slots {} queued {} deadline {:?} \
                  (full {} timeout {} ff {})",
-                replica.applied().len(),
+                replica.applied_len(),
                 replica.committed_slots(),
                 replica.queued(),
                 deadline.current(),
@@ -326,18 +497,60 @@ where
             break;
         }
         if let Some(target) = cfg.stop_after_commands {
-            if replica.applied().len() >= target {
+            if replica.applied_len() >= target {
                 break;
             }
         }
         r += 1;
     }
-    (replica, transport, stats)
+    (replica, transport, stats, hook)
 }
 
-fn decode_envelope<M: Wire>(frame: &Bytes) -> Option<Envelope<M>> {
+fn decode_frame<M: Wire>(frame: &Bytes) -> Option<SyncFrame<M>> {
     let mut buf = frame.clone();
-    Envelope::decode(&mut buf).ok()
+    SyncFrame::decode(&mut buf).ok()
+}
+
+/// The highest slot a round bundle references (slots, claims or the
+/// implied next slot): how far its sender's log demonstrably extends.
+fn max_slot_of<V>(msg: &SmrMsg<V>) -> u64 {
+    msg.iter()
+        .map(|(s, _)| s)
+        .chain(msg.claims().iter().map(|(s, _)| *s))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Builds a state-transfer snapshot from the replica's in-memory applied
+/// log — possible only while the log is uncompacted (a durable node
+/// serves its on-disk snapshot through the hook instead).
+fn synthesize_snapshot<V: Value + Wire>(
+    replica: &BatchingReplica<V>,
+) -> Option<(SnapshotMeta, Vec<u8>)> {
+    if replica.applied_base() != 0 || replica.committed_base_slot() != 0 {
+        return None;
+    }
+    // Cut at a fixed slot-boundary multiple so every uncompacted replica
+    // synthesizes the byte-identical snapshot for a given boundary — the
+    // receiver needs b + 1 matching copies before trusting one.
+    let upto = (replica.committed_slots() as u64 / SNAPSHOT_GAP_MIN) * SNAPSHOT_GAP_MIN;
+    if upto == 0 {
+        return None;
+    }
+    let pairs: Vec<(V, u64)> = replica
+        .applied()
+        .iter()
+        .cloned()
+        .zip(replica.applied_slots().iter().copied())
+        .filter(|(_, s)| *s < upto)
+        .collect();
+    let state = encode_state(&pairs);
+    let meta = SnapshotMeta {
+        upto_slot: upto,
+        applied_len: pairs.len() as u64,
+        state_hash: gencon_crypto::sha256(&state),
+    };
+    Some((meta, state))
 }
 
 /// Whether `GENCON_NODE_DEBUG` asks for per-node pacing traces on stderr.
@@ -418,7 +631,7 @@ mod tests {
                     n,
                 };
                 std::thread::spawn(move || {
-                    let (rep, _tr, stats) = run_smr_node(replica, tr, cfg, hook);
+                    let (rep, _tr, stats, _hook) = run_smr_node(replica, tr, cfg, hook);
                     (rep, stats)
                 })
             })
@@ -512,7 +725,7 @@ mod tests {
             })
             .collect();
         let out: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        for (rep, _t, stats) in &out {
+        for (rep, _t, stats, _hook) in &out {
             assert!(
                 rep.applied().len() >= 240,
                 "3 live of 4 (= n − b) keep committing, got {}",

@@ -135,7 +135,7 @@ fn tcp_pbft_cluster_serves_1000_client_commands() {
                 clients_done,
                 grace_left: 40,
             };
-            let (replica, _t, stats) = run_smr_node(replica, transport, cfg, hook);
+            let (replica, _t, stats, _hook) = run_smr_node(replica, transport, cfg, hook);
             (replica, stats)
         }));
     }
@@ -251,7 +251,7 @@ fn restarted_node_catches_up_via_decision_claims() {
                     done: Arc::clone(&done),
                     quorum: N,
                 };
-                let (dead, transport, _stats) = run_smr_node(replica, tr, cfg, hook);
+                let (dead, transport, _stats, _hook) = run_smr_node(replica, tr, cfg, hook);
                 let committed_before_death = dead.applied().len();
                 drop(dead); // all replica state is lost
                             // The cluster runs on while this node is down — long
@@ -273,7 +273,7 @@ fn restarted_node_catches_up_via_decision_claims() {
                     done,
                     quorum: N,
                 };
-                let (replica, _t, stats) = run_smr_node(fresh, transport, cfg, hook);
+                let (replica, _t, stats, _hook) = run_smr_node(fresh, transport, cfg, hook);
                 assert!(
                     stats.fast_forwards > 0,
                     "the restarted node must jump to the cluster's round"
@@ -291,7 +291,7 @@ fn restarted_node_catches_up_via_decision_claims() {
                     done,
                     quorum: N,
                 };
-                let (replica, _t, _stats) = run_smr_node(replica, tr, cfg, hook);
+                let (replica, _t, _stats, _hook) = run_smr_node(replica, tr, cfg, hook);
                 (replica, 0)
             }
         }));

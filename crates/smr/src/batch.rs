@@ -48,8 +48,13 @@ pub struct BatchingReplica<V: Value> {
     cap: usize,
     /// Raw client commands not yet drained into a proposed batch.
     queue: Vec<V>,
-    /// The flattened applied log.
+    /// The retained flattened applied log (absolute offsets
+    /// `[applied_base, applied_base + applied.len())`; the prefix below
+    /// `applied_base` was compacted away after a snapshot).
     applied: Vec<V>,
+    /// Applied commands discarded by [`BatchingReplica::compact_below`]
+    /// (0 until the first compaction).
+    applied_base: usize,
     /// Global round at which each applied command committed (parallel to
     /// `applied`) — the harness's latency source.
     applied_rounds: Vec<u64>,
@@ -57,7 +62,8 @@ pub struct BatchingReplica<V: Value> {
     /// `applied`) — the client-ack source: a server answers a submission
     /// with the `(slot, offset)` coordinates of the committed command.
     applied_slots: Vec<u64>,
-    /// Committed batches already flattened into `applied`.
+    /// Committed slots already flattened into `applied` (an absolute slot
+    /// count, unaffected by compaction).
     flattened: usize,
     /// Output fires at this many applied commands.
     commit_target: usize,
@@ -65,13 +71,34 @@ pub struct BatchingReplica<V: Value> {
     /// committed batch so losing commands can be re-queued.
     proposed: std::collections::BTreeMap<crate::Slot, Batch<V>>,
     /// Every command that ever entered this replica (submitted or
-    /// relayed): relay merging must not re-queue a command twice.
+    /// relayed) and not yet evicted from the dedup window: relay merging
+    /// must not re-queue a command twice. Purely local (gates queueing
+    /// only), so eviction cannot break agreement.
     seen: std::collections::HashSet<V>,
-    /// Commands already applied: with relays, overlapping batches can win
-    /// different slots, so flattening deduplicates (deterministically —
-    /// the committed batch sequence is shared, per-slot Agreement).
+    /// Commands applied within the dedup horizon: with relays,
+    /// overlapping batches can win different slots, so flattening
+    /// deduplicates. The dedup decision **must be identical on every
+    /// honest replica** (it determines the applied log), so membership is
+    /// a pure function of the shared committed sequence: a command stays
+    /// in the set for exactly `dedup_horizon` slots after the slot it
+    /// applied in, evicted by the flatten loop itself — never by local
+    /// compaction, which runs at replica-specific times.
     applied_set: std::collections::HashSet<V>,
+    /// Eviction queue for `applied_set`/`seen`: `(slot, command)` in
+    /// apply order. Bounds dedup memory to the horizon's worth of
+    /// commands however long the replica runs.
+    dedup_window: std::collections::VecDeque<(crate::Slot, V)>,
+    /// Slots a command stays deduplicated after applying. Must be the
+    /// same on every replica of a cluster (it shapes the shared log);
+    /// client retries arriving later than this many slots after the
+    /// original commit may be applied again (at-most-once within the
+    /// horizon — the standard session-expiry tradeoff).
+    dedup_horizon: u64,
 }
+
+/// Default [`BatchingReplica::with_dedup_horizon`]: far beyond any client
+/// retry window at realistic slot rates, small enough to bound memory.
+pub const DEFAULT_DEDUP_HORIZON: u64 = 8_192;
 
 impl<V: Value> BatchingReplica<V> {
     /// Creates a batching replica.
@@ -100,6 +127,7 @@ impl<V: Value> BatchingReplica<V> {
             cap: batch_cap.max(1),
             queue: Vec::new(),
             applied: Vec::new(),
+            applied_base: 0,
             applied_rounds: Vec::new(),
             applied_slots: Vec::new(),
             flattened: 0,
@@ -107,6 +135,8 @@ impl<V: Value> BatchingReplica<V> {
             proposed: std::collections::BTreeMap::new(),
             seen: std::collections::HashSet::new(),
             applied_set: std::collections::HashSet::new(),
+            dedup_window: std::collections::VecDeque::new(),
+            dedup_horizon: DEFAULT_DEDUP_HORIZON,
         })
     }
 
@@ -114,6 +144,16 @@ impl<V: Value> BatchingReplica<V> {
     #[must_use]
     pub fn with_window(mut self, window: usize) -> Self {
         self.inner = self.inner.with_window(window);
+        self
+    }
+
+    /// Sets the dedup horizon, in slots (clamped to ≥ 1). **All replicas
+    /// of a cluster must use the same value** — the horizon determines
+    /// which re-committed commands the shared flatten skips, so differing
+    /// horizons would diverge the applied logs.
+    #[must_use]
+    pub fn with_dedup_horizon(mut self, slots: u64) -> Self {
+        self.dedup_horizon = slots.max(1);
         self
     }
 
@@ -134,10 +174,25 @@ impl<V: Value> BatchingReplica<V> {
         }
     }
 
-    /// The flattened applied command log, in commit order.
+    /// The retained flattened applied command log, in commit order (the
+    /// full log until the first [`BatchingReplica::compact_below`]; the
+    /// suffix from absolute offset [`BatchingReplica::applied_base`]
+    /// afterwards).
     #[must_use]
     pub fn applied(&self) -> &[V] {
         &self.applied
+    }
+
+    /// Applied commands discarded below the compaction point.
+    #[must_use]
+    pub fn applied_base(&self) -> usize {
+        self.applied_base
+    }
+
+    /// Total commands ever applied (compacted prefix included).
+    #[must_use]
+    pub fn applied_len(&self) -> usize {
+        self.applied_base + self.applied.len()
     }
 
     /// The applied log alongside the global round each command committed at.
@@ -159,10 +214,32 @@ impl<V: Value> BatchingReplica<V> {
         self.queue.len()
     }
 
-    /// Committed consensus slots so far (including no-op slots).
+    /// Committed consensus slots so far (including no-op slots and the
+    /// compacted prefix).
     #[must_use]
     pub fn committed_slots(&self) -> usize {
-        self.inner.committed().len()
+        self.inner.committed_len()
+    }
+
+    /// The retained committed batches, one per slot from
+    /// [`BatchingReplica::committed_base_slot`] — what the durable layer
+    /// appends to its write-ahead log.
+    #[must_use]
+    pub fn committed_batches(&self) -> &[Batch<V>] {
+        self.inner.committed()
+    }
+
+    /// First slot still retained in [`BatchingReplica::committed_batches`].
+    #[must_use]
+    pub fn committed_base_slot(&self) -> crate::Slot {
+        self.inner.committed_base()
+    }
+
+    /// Commands currently held for dedup (the `seen` set) — regression
+    /// surface for the bounded-memory guarantee.
+    #[must_use]
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
     }
 
     /// The configured batch cap.
@@ -183,19 +260,37 @@ impl<V: Value> BatchingReplica<V> {
     fn flatten(&mut self, r: Round) {
         let before = self.flattened;
         let mut lost: Vec<V> = Vec::new();
-        while self.flattened < self.inner.committed.len() {
+        while self.flattened < self.inner.committed_len() {
             let slot = self.flattened as crate::Slot;
-            let batch = &self.inner.committed[self.flattened];
+            // Evict dedup entries past the horizon *before* this slot's
+            // dedup decisions — a pure function of (shared sequence,
+            // shared horizon), so every replica applies identically no
+            // matter when it locally compacts.
+            while let Some((applied_at, _)) = self.dedup_window.front() {
+                if applied_at + self.dedup_horizon >= slot {
+                    break;
+                }
+                let (_, cmd) = self.dedup_window.pop_front().expect("front exists");
+                self.applied_set.remove(&cmd);
+                self.seen.remove(&cmd);
+            }
+            let idx = (slot - self.inner.committed_base()) as usize;
+            let batch = &self.inner.committed()[idx];
+            let mut newly: Vec<V> = Vec::new();
             for cmd in batch.commands() {
                 // With relays, overlapping batches can win different
                 // slots; only the first commit of a command applies
                 // (deterministic: the batch sequence is shared).
                 if self.applied_set.insert(cmd.clone()) {
-                    self.seen.insert(cmd.clone());
-                    self.applied.push(cmd.clone());
-                    self.applied_rounds.push(r.number());
-                    self.applied_slots.push(slot);
+                    newly.push(cmd.clone());
                 }
+            }
+            for cmd in newly {
+                self.seen.insert(cmd.clone());
+                self.dedup_window.push_back((slot, cmd.clone()));
+                self.applied.push(cmd.clone());
+                self.applied_rounds.push(r.number());
+                self.applied_slots.push(slot);
             }
             if let Some(mine) = self.proposed.remove(&slot) {
                 if mine != *batch {
@@ -220,6 +315,106 @@ impl<V: Value> BatchingReplica<V> {
             let applied_set = &self.applied_set;
             self.queue.retain(|c| !applied_set.contains(c));
         }
+    }
+
+    /// Prunes in-memory state below `slot` once a snapshot covers that
+    /// prefix: applied-log prefix bookkeeping, retained committed batches
+    /// and stale proposals all go; [`BatchingReplica::applied_base`]
+    /// advances by the discarded command count. Clamped to the flattened
+    /// prefix; compaction never touches the dedup window (that eviction
+    /// is slot-deterministic, see the field docs), so agreement is
+    /// unaffected by *when* each replica compacts.
+    ///
+    /// After compaction the replica no longer answers decision claims for
+    /// slots below `slot` — laggards further behind need snapshot state
+    /// transfer.
+    pub fn compact_below(&mut self, slot: crate::Slot) {
+        let slot = slot.min(self.flattened as crate::Slot);
+        let cut = self.applied_slots.partition_point(|&s| s < slot);
+        self.applied.drain(..cut);
+        self.applied_rounds.drain(..cut);
+        self.applied_slots.drain(..cut);
+        self.applied_base += cut;
+        self.inner.compact_below(slot);
+        self.proposed.retain(|s, _| *s >= slot);
+    }
+
+    /// Replays one recovered committed batch (the next contiguous slot)
+    /// into the log — the WAL-recovery path: a restarting replica calls
+    /// this once per record before joining the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a replica that already has open slots (replay
+    /// is a startup-only operation).
+    pub fn replay_committed(&mut self, batch: Batch<V>) {
+        assert!(
+            self.inner.open_slots().is_empty(),
+            "replay_committed is a startup-only operation"
+        );
+        self.inner.restore_committed(batch);
+        self.flatten(Round::new(1));
+    }
+
+    /// Installs a snapshot of the applied prefix: `pairs` are the applied
+    /// `(command, slot)` pairs of **every** slot below `upto_slot`, in
+    /// apply order (the decoded state-transfer payload, or the recovered
+    /// `snapshot.bin` at startup). Returns whether the snapshot was
+    /// installed — it is ignored unless it extends this replica's
+    /// committed prefix.
+    ///
+    /// By per-slot Agreement the local applied log is a prefix of any
+    /// honest snapshot's, so installation replaces the applied state
+    /// wholesale and fast-forwards the slot sequence to `upto_slot`;
+    /// decision claims and normal rounds take over from there. `round`
+    /// stamps re-applied commands (0 at startup).
+    pub fn install_snapshot(
+        &mut self,
+        pairs: Vec<(V, crate::Slot)>,
+        upto_slot: crate::Slot,
+        round: u64,
+    ) -> bool {
+        if (upto_slot as usize) <= self.inner.committed_len() {
+            return false;
+        }
+        self.applied.clear();
+        self.applied_rounds.clear();
+        self.applied_slots.clear();
+        self.applied_base = 0;
+        self.applied_set.clear();
+        self.dedup_window.clear();
+        self.seen.clear();
+        // The full applied set purges the local queue; the dedup
+        // window/set keep only the horizon suffix, exactly what a replica
+        // that flattened slot by slot would hold when reaching upto_slot.
+        let mut full: std::collections::HashSet<V> = std::collections::HashSet::new();
+        for (cmd, slot) in pairs {
+            full.insert(cmd.clone());
+            if slot + self.dedup_horizon >= upto_slot {
+                self.applied_set.insert(cmd.clone());
+                self.seen.insert(cmd.clone());
+                self.dedup_window.push_back((slot, cmd.clone()));
+            }
+            self.applied.push(cmd);
+            self.applied_rounds.push(round);
+            self.applied_slots.push(slot);
+        }
+        self.queue.retain(|c| !full.contains(c));
+        self.proposed.retain(|s, _| *s >= upto_slot);
+        for c in &self.queue {
+            self.seen.insert(c.clone());
+        }
+        for b in self.proposed.values() {
+            for c in b.commands() {
+                self.seen.insert(c.clone());
+            }
+        }
+        self.flattened = upto_slot as usize;
+        self.inner.install_decided_prefix(upto_slot);
+        // Anything the inner replica had already decided above the
+        // snapshot recommits contiguously; flatten it in.
+        self.flatten(Round::new(round.max(1)));
+        true
     }
 }
 

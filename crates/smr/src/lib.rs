@@ -55,7 +55,7 @@
 
 mod batch;
 
-pub use batch::BatchingReplica;
+pub use batch::{BatchingReplica, DEFAULT_DEDUP_HORIZON};
 pub use gencon_types::Batch;
 
 use std::collections::BTreeMap;
@@ -211,8 +211,15 @@ pub struct Replica<V: Value> {
     /// Claim tallies for our own open slots: slot → value → claimants.
     /// Adoption needs `b + 1` distinct claimants per (slot, value).
     claim_votes: BTreeMap<Slot, BTreeMap<V, gencon_types::ProcessSet>>,
-    /// The committed log, in order.
+    /// The retained committed log: values of slots
+    /// `[committed_base, committed_base + committed.len())`. Everything
+    /// below `committed_base` was compacted away after a snapshot — the
+    /// replica can no longer answer decision claims for those slots (that
+    /// is the **claim horizon**; laggards further behind need snapshot
+    /// state transfer, see `gencon-server`).
     committed: Vec<V>,
+    /// First retained committed slot (0 until the first compaction).
+    committed_base: Slot,
     /// Next slot to open.
     next_slot: Slot,
     /// Max simultaneously open slots.
@@ -258,6 +265,7 @@ impl<V: Value> Replica<V> {
             claim_queue: BTreeMap::new(),
             claim_votes: BTreeMap::new(),
             committed: Vec::new(),
+            committed_base: 0,
             next_slot: 0,
             window: 1,
             commit_target,
@@ -283,10 +291,42 @@ impl<V: Value> Replica<V> {
         self
     }
 
-    /// The committed command log (the replicated state machine's input).
+    /// The retained committed command log: slots from
+    /// [`Replica::committed_base`] on (the full log until the first
+    /// [`Replica::compact_below`]).
     #[must_use]
     pub fn committed(&self) -> &[V] {
         &self.committed
+    }
+
+    /// First slot still retained in [`Replica::committed`].
+    #[must_use]
+    pub fn committed_base(&self) -> Slot {
+        self.committed_base
+    }
+
+    /// Total slots ever committed (compacted prefix included) — the next
+    /// slot the contiguous log needs.
+    #[must_use]
+    pub fn committed_len(&self) -> usize {
+        self.committed_base as usize + self.committed.len()
+    }
+
+    /// Drops retained committed values below `slot`, bounding in-memory
+    /// growth once a snapshot covers that prefix. Only already-committed
+    /// slots can be compacted (`slot` is clamped to the contiguous commit
+    /// point); compaction below the current base is a no-op.
+    ///
+    /// After compaction the replica no longer serves decision claims for
+    /// the dropped slots: `slot` becomes the claim horizon.
+    pub fn compact_below(&mut self, slot: Slot) {
+        let slot = slot.min(self.committed_len() as Slot);
+        if slot <= self.committed_base {
+            return;
+        }
+        let cut = (slot - self.committed_base) as usize;
+        self.committed.drain(..cut);
+        self.committed_base = slot;
     }
 
     /// The system configuration (n, f, b) this replica runs under.
@@ -317,8 +357,8 @@ impl<V: Value> Replica<V> {
     /// honest replica.
     fn refill_window(&mut self, now: Round) {
         while self.open.len() < self.window
-            && (self.committed.len() + self.decided.len() + self.open.len())
-                < self.commit_target.max(self.committed.len() + 1)
+            && (self.committed_len() + self.decided.len() + self.open.len())
+                < self.commit_target.max(self.committed_len() + 1)
         {
             let slot = self.next_slot;
             self.next_slot += 1;
@@ -329,6 +369,32 @@ impl<V: Value> Replica<V> {
             };
             let engine = GenericConsensus::new_unchecked(self.id, self.params.clone(), proposal);
             self.open.insert(slot, (engine, now.number()));
+        }
+    }
+
+    /// Appends one recovered committed value as the next contiguous slot
+    /// (the WAL-replay path; see `BatchingReplica::replay_committed`).
+    pub(crate) fn restore_committed(&mut self, value: V) {
+        self.committed.push(value);
+        self.next_slot = self.next_slot.max(self.committed_len() as Slot);
+    }
+
+    /// Fast-forwards the committed sequence to `upto`: every slot below it
+    /// is now covered externally (a snapshot), so local engines, decided
+    /// values and claim state for those slots are dropped, and the
+    /// retained committed log restarts at `upto`. Anything already
+    /// decided above the snapshot recommits contiguously.
+    pub(crate) fn install_decided_prefix(&mut self, upto: Slot) {
+        self.open.retain(|s, _| *s >= upto);
+        self.lingering.retain(|s, _| *s >= upto);
+        self.decided.retain(|s, _| *s >= upto);
+        self.claim_queue.retain(|s, _| *s >= upto);
+        self.claim_votes.retain(|s, _| *s >= upto);
+        self.committed.clear();
+        self.committed_base = upto;
+        self.next_slot = self.next_slot.max(upto);
+        while let Some(v) = self.decided.remove(&(self.committed_len() as Slot)) {
+            self.committed.push(v);
         }
     }
 
@@ -383,8 +449,10 @@ impl<V: Value> Replica<V> {
     /// The decided value of `slot`, if this replica has one (committed,
     /// decided-pending, or still lingering).
     fn decision_of(&self, slot: Slot) -> Option<V> {
-        if let Some(v) = self.committed.get(slot as usize) {
-            return Some(v.clone());
+        if slot >= self.committed_base {
+            if let Some(v) = self.committed.get((slot - self.committed_base) as usize) {
+                return Some(v.clone());
+            }
         }
         if let Some(v) = self.decided.get(&slot) {
             return Some(v.clone());
@@ -461,7 +529,7 @@ impl<V: Value> Replica<V> {
         self.lingering
             .retain(|_, (_, _, decided_at)| now.number() < *decided_at + linger);
         // Commit the contiguous prefix.
-        while let Some(v) = self.decided.remove(&(self.committed.len() as Slot)) {
+        while let Some(v) = self.decided.remove(&(self.committed_len() as Slot)) {
             self.committed.push(v);
         }
     }
@@ -557,7 +625,7 @@ impl<V: Value> RoundProcess for Replica<V> {
     }
 
     fn output(&self) -> Option<Vec<V>> {
-        (self.committed.len() >= self.commit_target).then(|| self.committed.clone())
+        (self.committed_len() >= self.commit_target).then(|| self.committed.clone())
     }
 }
 
@@ -565,7 +633,7 @@ impl<V: Value> std::fmt::Debug for Replica<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Replica")
             .field("id", &self.id.to_string())
-            .field("committed", &self.committed.len())
+            .field("committed", &self.committed_len())
             .field("open", &self.open.len())
             .field("pending", &self.pending.len())
             .finish()

@@ -55,6 +55,7 @@ pub use gencon_rounds as rounds;
 pub use gencon_server as server;
 pub use gencon_sim as sim;
 pub use gencon_smr as smr;
+pub use gencon_store as store;
 pub use gencon_types as types;
 
 /// The most common imports, in one line.
