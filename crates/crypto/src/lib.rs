@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod crc32;
 pub mod hmac;
 pub mod sha256;
 

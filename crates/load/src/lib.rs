@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod appdriver;
 mod driver;
 mod hist;
 mod netdriver;
@@ -71,10 +72,14 @@ mod results;
 mod storedriver;
 mod workload;
 
+pub use appdriver::{
+    run_app_growth, run_app_transfer, AppGrowthProfile, AppGrowthReport, AppTransferProfile,
+    AppTransferReport,
+};
 pub use driver::{run_load, LoadProfile, LoadReport, WorkloadKind};
 pub use hist::LatencyHistogram;
 pub use netdriver::{run_net_load, NetLoadProfile, NetLoadReport, NetTransportKind};
-pub use results::{BenchRow, JsonRow, NetRow, ResultsWriter, StoreRow};
+pub use results::{AppRow, BenchRow, JsonRow, NetRow, ResultsWriter, StoreRow};
 pub use storedriver::{run_store_load, StoreLoadProfile, StoreLoadReport, StoreMode};
 pub use workload::{decode_cmd, encode_cmd, ClosedLoop, OpenLoop, Workload};
 

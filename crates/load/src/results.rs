@@ -267,6 +267,62 @@ impl JsonRow for StoreRow {
     }
 }
 
+/// One row of the application-layer benchmark (E11): snapshot size vs
+/// history length for a folding application, plus the wiped-node chunked
+/// state-transfer proof.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppRow {
+    /// Application name (`kv`, `bank`, `log`).
+    pub app: String,
+    /// Measurement (`growth`, `transfer`).
+    pub mode: String,
+    /// Total commands applied.
+    pub commands: u64,
+    /// Live keys (or accounts) at the end — what the fold's size tracks.
+    pub live_keys: u64,
+    /// Bytes of the first periodic snapshot.
+    pub first_snapshot_bytes: u64,
+    /// Bytes of the last periodic snapshot.
+    pub last_snapshot_bytes: u64,
+    /// `last / first` — 1.0 is perfectly flat; PR 4's full-history mode
+    /// grows linearly with `commands`.
+    pub growth_ratio: f64,
+    /// Snapshots sampled (growth) or installed via transfer (transfer).
+    pub snapshots: u64,
+    /// Verified chunks fetched during state transfer (0 in growth mode).
+    pub chunks_fetched: u64,
+    /// Whether every node's app state hash agreed (always true in
+    /// growth mode, which has one node).
+    pub hashes_agree: bool,
+    /// Commands ingested per second.
+    pub cmds_per_sec: f64,
+}
+
+impl JsonRow for AppRow {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_str_field(&mut s, "app", &self.app);
+        s.push(',');
+        push_str_field(&mut s, "mode", &self.mode);
+        let _ = write!(
+            s,
+            ",\"commands\":{},\"live_keys\":{},\"first_snapshot_bytes\":{},\
+             \"last_snapshot_bytes\":{},\"growth_ratio\":{:.4},\"snapshots\":{},\
+             \"chunks_fetched\":{},\"hashes_agree\":{},\"cmds_per_sec\":{:.1}}}",
+            self.commands,
+            self.live_keys,
+            self.first_snapshot_bytes,
+            self.last_snapshot_bytes,
+            self.growth_ratio,
+            self.snapshots,
+            self.chunks_fetched,
+            self.hashes_agree,
+            self.cmds_per_sec,
+        );
+        s
+    }
+}
+
 /// Accumulates rows ([`BenchRow`] by default) and writes them as one JSON
 /// array.
 #[derive(Clone, Debug)]

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use gencon_app::{Folder, LogApp};
 use gencon_core::Params;
 use gencon_net::{ChannelTransport, Transport};
 use gencon_server::{run_smr_node, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig};
@@ -341,6 +342,7 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                             snapshot_tail: 32,
                             durable_ack: !fast_ack,
                         },
+                        Folder::<LogApp<u64>>::default(),
                         hook,
                     )
                     .with_gate(gate);

@@ -55,4 +55,7 @@ pub use transport::{
     probe_free_addrs, ChannelTransport, DialPolicy, FlakyTransport, TcpTransport, Transport,
 };
 pub use wire::{Envelope, Wire, WireError};
-pub use wire_sync::{decode_state, encode_state, SnapshotMeta, SyncFrame};
+pub use wire_sync::{
+    decode_state, encode_state, AssemblyOutcome, ChunkAssembly, FoldedState, SnapshotManifest,
+    SyncFrame, CHUNK_BYTES, MAX_CHUNKS,
+};

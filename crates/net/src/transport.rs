@@ -354,11 +354,11 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<(ProcessId, Bytes)>) {
             return;
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        // The peer mesh carries snapshot state-transfer frames, which are
-        // bigger than round bundles — the cap must cover them (plus frame
-        // overhead) or a legitimate SnapshotResponse would sever the
+        // The peer mesh carries snapshot state-transfer chunks alongside
+        // round bundles — the cap must cover the bigger of the two (plus
+        // frame overhead) or a legitimate frame would sever the
         // connection. Client-facing links keep the tighter MAX_BYTES cap.
-        if len > crate::wire_sync::MAX_SNAPSHOT_BYTES + crate::wire::MAX_BYTES {
+        if len > crate::wire_sync::CHUNK_BYTES + crate::wire::MAX_BYTES {
             return; // protocol violation: drop the connection
         }
         let mut frame = vec![0u8; len];

@@ -1,70 +1,151 @@
-//! Wire encodings for snapshot **state transfer**: the frames a laggard
-//! and its peers exchange when the laggard's gap exceeds the peers'
-//! in-memory claim horizon (compacted slots cannot be re-claimed — the
-//! snapshot is the only copy left).
+//! Wire encodings for **chunked snapshot state transfer**: the frames a
+//! laggard and its peers exchange when the laggard's gap exceeds the
+//! peers' in-memory claim horizon (compacted slots cannot be re-claimed —
+//! the snapshot is the only copy left).
 //!
 //! A `gencon-server` node no longer puts bare [`Envelope`]s on the mesh;
 //! every peer frame is a [`SyncFrame`]:
 //!
 //! * `Round(Envelope<M>)` — the normal per-round consensus bundle;
 //! * `SnapshotRequest` — "my contiguous log ends at `have_slot`; if your
-//!   snapshot reaches further, send it";
-//! * `SnapshotResponse` — a full snapshot: metadata ([`SnapshotMeta`])
-//!   plus the opaque state bytes. The receiver verifies
-//!   `sha256(state) == state_hash` and installs only once `b + 1`
-//!   distinct senders vouch for the same metadata — at least one is
-//!   honest, so by per-slot Agreement the state is the real prefix.
+//!   snapshot reaches further, describe it";
+//! * `Manifest` — a peer's [`SnapshotManifest`]: the snapshot's cut, its
+//!   total byte length, its chunk count and its SHA-256. Metadata only —
+//!   cheap enough to broadcast, and the unit the `b + 1` agreement check
+//!   runs over: the requester fetches state only for a manifest that
+//!   `b + 1` distinct senders vouched for byte-identically (at least one
+//!   is honest, so by per-slot Agreement the described state is the real
+//!   folded prefix);
+//! * `ChunkRequest` — the requester pulls one chunk by index. Requests
+//!   are **resumable**: fetched chunks survive rounds, so only missing
+//!   indices are re-requested, from any voucher;
+//! * `Chunk` — one [`CHUNK_BYTES`]-sized slice of the snapshot state,
+//!   stamped with a CRC-32 (accidental-corruption check; the assembled
+//!   state must additionally match the manifest's SHA-256, which is what
+//!   defeats a lying chunk server).
 //!
-//! The state payload is itself wire-encoded applied `(command, slot)`
-//! pairs — see [`encode_state`]/[`decode_state`] — and every decoder
-//! validates lengths against hard caps before allocating, as everywhere
-//! else in this crate.
+//! There is **no whole-snapshot frame and no whole-snapshot cap**: state
+//! size is bounded only by `chunks × CHUNK_BYTES` with the chunk count
+//! validated against [`MAX_CHUNKS`] (a sanity ceiling about three orders
+//! of magnitude above the old single-frame limit, not a design limit).
+//! Every decoder still validates per-frame lengths before allocating, as
+//! everywhere else in this crate.
+//!
+//! The state payload itself is a [`FoldedState`]: the application's
+//! folded (compact) state bytes plus the replica resume data — the
+//! absolute applied-command count and the dedup window — so a receiver
+//! can continue the shared log without replaying history.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use gencon_crypto::crc32::crc32;
+use gencon_crypto::sha256;
 use gencon_types::{ProcessId, Value};
 
 use crate::wire::{Envelope, Wire, WireError};
 
-/// Cap on snapshot state bytes a decoder accepts (snapshots are bigger
-/// than round frames, so they get their own cap).
-pub const MAX_SNAPSHOT_BYTES: usize = 8 << 20;
+/// Canonical chunk size: chunk `i` of a snapshot state is
+/// `state[i * CHUNK_BYTES ..]` truncated to `CHUNK_BYTES`. Fixed
+/// protocol-wide so every voucher slices the byte-identical state into
+/// byte-identical chunks, and doubles as the per-frame sanity cap a
+/// `Chunk` decoder enforces before allocating.
+pub const CHUNK_BYTES: usize = 64 << 10;
 
-/// Cap on applied pairs inside a decoded snapshot state.
-pub const MAX_SNAPSHOT_CMDS: usize = 1 << 20;
+/// Sanity ceiling on a manifest's chunk count (`MAX_CHUNKS × CHUNK_BYTES`
+/// = 4 GiB of state). Nothing in the protocol needs a tighter bound: the
+/// requester allocates per received chunk, never `total_len` up front.
+pub const MAX_CHUNKS: u32 = 1 << 16;
 
-/// Verifiable description of a snapshot (mirrors `gencon_store`'s
-/// metadata without the dependency — the store is below the wire in the
-/// crate DAG).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct SnapshotMeta {
+/// Verifiable description of a transferable snapshot — the metadata the
+/// `b + 1` agreement check compares before any chunk is trusted.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct SnapshotManifest {
     /// Every slot below this is covered by the snapshot.
     pub upto_slot: u64,
-    /// Applied commands the state encodes.
+    /// Applied commands the folded state covers (the installer's new
+    /// absolute log offset).
     pub applied_len: u64,
-    /// SHA-256 of the state bytes.
-    pub state_hash: [u8; 32],
+    /// Number of [`CHUNK_BYTES`]-sized chunks the state slices into.
+    pub chunks: u32,
+    /// Total state length in bytes.
+    pub total_len: u64,
+    /// SHA-256 of the full state bytes.
+    pub sha256: [u8; 32],
 }
 
-impl Wire for SnapshotMeta {
+impl SnapshotManifest {
+    /// Describes `state` as a manifest (computing chunk count and hash).
+    #[must_use]
+    pub fn describe(upto_slot: u64, applied_len: u64, state: &[u8]) -> Self {
+        SnapshotManifest {
+            upto_slot,
+            applied_len,
+            chunks: state.len().div_ceil(CHUNK_BYTES) as u32,
+            total_len: state.len() as u64,
+            sha256: sha256(state),
+        }
+    }
+
+    /// Whether the chunk count, total length and ceiling are mutually
+    /// consistent — the first thing a receiver checks (an inconsistent
+    /// manifest is garbage regardless of who vouches for it).
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.chunks <= MAX_CHUNKS
+            && self.total_len <= u64::from(self.chunks) * CHUNK_BYTES as u64
+            && u64::from(self.chunks) == self.total_len.div_ceil(CHUNK_BYTES as u64)
+    }
+
+    /// Byte length of chunk `index` (the final chunk may be short).
+    #[must_use]
+    pub fn chunk_len(&self, index: u32) -> usize {
+        if index >= self.chunks {
+            return 0;
+        }
+        let start = u64::from(index) * CHUNK_BYTES as u64;
+        usize::try_from((self.total_len - start).min(CHUNK_BYTES as u64)).unwrap_or(0)
+    }
+
+    /// Slices chunk `index` out of `state` (which must be the manifest's
+    /// state bytes).
+    #[must_use]
+    pub fn chunk_of<'a>(&self, state: &'a [u8], index: u32) -> Option<&'a [u8]> {
+        if index >= self.chunks || state.len() as u64 != self.total_len {
+            return None;
+        }
+        let start = index as usize * CHUNK_BYTES;
+        Some(&state[start..start + self.chunk_len(index)])
+    }
+}
+
+impl Wire for SnapshotManifest {
     fn encode(&self, buf: &mut BytesMut) {
         self.upto_slot.encode(buf);
         self.applied_len.encode(buf);
-        buf.put_slice(&self.state_hash);
+        self.chunks.encode(buf);
+        self.total_len.encode(buf);
+        buf.put_slice(&self.sha256);
     }
 
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         let upto_slot = u64::decode(buf)?;
         let applied_len = u64::decode(buf)?;
+        let chunks = u32::decode(buf)?;
+        if chunks > MAX_CHUNKS {
+            return Err(WireError::TooLong(chunks as usize));
+        }
+        let total_len = u64::decode(buf)?;
         if buf.remaining() < 32 {
             return Err(WireError::UnexpectedEof);
         }
-        let mut state_hash = [0u8; 32];
-        state_hash.copy_from_slice(&buf.split_to(32));
-        Ok(SnapshotMeta {
+        let mut hash = [0u8; 32];
+        hash.copy_from_slice(&buf.split_to(32));
+        Ok(SnapshotManifest {
             upto_slot,
             applied_len,
-            state_hash,
+            chunks,
+            total_len,
+            sha256: hash,
         })
     }
 }
@@ -74,7 +155,7 @@ impl Wire for SnapshotMeta {
 pub enum SyncFrame<M> {
     /// A normal consensus round frame.
     Round(Envelope<M>),
-    /// A laggard asking peers for a snapshot past `have_slot`.
+    /// A laggard asking peers to describe a snapshot past `have_slot`.
     SnapshotRequest {
         /// Claimed sender (authenticated at the transport layer, like
         /// [`Envelope::sender`]).
@@ -82,14 +163,35 @@ pub enum SyncFrame<M> {
         /// The requester's contiguous committed log ends here.
         have_slot: u64,
     },
-    /// A peer's snapshot, answering a request.
-    SnapshotResponse {
+    /// A peer's snapshot description, answering a request.
+    Manifest {
         /// Claimed sender (transport-authenticated).
         sender: ProcessId,
-        /// Verifiable snapshot description.
-        meta: SnapshotMeta,
-        /// Opaque state bytes (hash-checked against `meta.state_hash`).
-        state: Vec<u8>,
+        /// The verifiable description (chunks are fetched separately).
+        manifest: SnapshotManifest,
+    },
+    /// The requester pulling one chunk of a vouched manifest.
+    ChunkRequest {
+        /// Claimed sender (transport-authenticated).
+        sender: ProcessId,
+        /// The manifest's snapshot cut (identifies which snapshot).
+        upto_slot: u64,
+        /// Which chunk.
+        index: u32,
+    },
+    /// One chunk of snapshot state.
+    Chunk {
+        /// Claimed sender (transport-authenticated).
+        sender: ProcessId,
+        /// The manifest's snapshot cut.
+        upto_slot: u64,
+        /// Which chunk.
+        index: u32,
+        /// CRC-32 of `bytes` (accidental-corruption check; the SHA-256
+        /// over the assembled state is the trust check).
+        crc: u32,
+        /// The chunk payload (≤ [`CHUNK_BYTES`]).
+        bytes: Vec<u8>,
     },
 }
 
@@ -100,7 +202,9 @@ impl<M> SyncFrame<M> {
         match self {
             SyncFrame::Round(env) => env.sender,
             SyncFrame::SnapshotRequest { sender, .. }
-            | SyncFrame::SnapshotResponse { sender, .. } => *sender,
+            | SyncFrame::Manifest { sender, .. }
+            | SyncFrame::ChunkRequest { sender, .. }
+            | SyncFrame::Chunk { sender, .. } => *sender,
         }
     }
 }
@@ -117,16 +221,35 @@ impl<M: Wire> Wire for SyncFrame<M> {
                 sender.encode(buf);
                 have_slot.encode(buf);
             }
-            SyncFrame::SnapshotResponse {
-                sender,
-                meta,
-                state,
-            } => {
-                buf.put_u8(3);
+            SyncFrame::Manifest { sender, manifest } => {
+                buf.put_u8(4);
                 sender.encode(buf);
-                meta.encode(buf);
-                (state.len() as u32).encode(buf);
-                buf.put_slice(state);
+                manifest.encode(buf);
+            }
+            SyncFrame::ChunkRequest {
+                sender,
+                upto_slot,
+                index,
+            } => {
+                buf.put_u8(5);
+                sender.encode(buf);
+                upto_slot.encode(buf);
+                index.encode(buf);
+            }
+            SyncFrame::Chunk {
+                sender,
+                upto_slot,
+                index,
+                crc,
+                bytes,
+            } => {
+                buf.put_u8(6);
+                sender.encode(buf);
+                upto_slot.encode(buf);
+                index.encode(buf);
+                crc.encode(buf);
+                (bytes.len() as u32).encode(buf);
+                buf.put_slice(bytes);
             }
         }
     }
@@ -138,20 +261,33 @@ impl<M: Wire> Wire for SyncFrame<M> {
                 sender: ProcessId::decode(buf)?,
                 have_slot: u64::decode(buf)?,
             }),
-            3 => {
+            4 => Ok(SyncFrame::Manifest {
+                sender: ProcessId::decode(buf)?,
+                manifest: SnapshotManifest::decode(buf)?,
+            }),
+            5 => Ok(SyncFrame::ChunkRequest {
+                sender: ProcessId::decode(buf)?,
+                upto_slot: u64::decode(buf)?,
+                index: u32::decode(buf)?,
+            }),
+            6 => {
                 let sender = ProcessId::decode(buf)?;
-                let meta = SnapshotMeta::decode(buf)?;
+                let upto_slot = u64::decode(buf)?;
+                let index = u32::decode(buf)?;
+                let crc = u32::decode(buf)?;
                 let len = u32::decode(buf)? as usize;
-                if len > MAX_SNAPSHOT_BYTES {
+                if len > CHUNK_BYTES {
                     return Err(WireError::TooLong(len));
                 }
                 if buf.remaining() < len {
                     return Err(WireError::UnexpectedEof);
                 }
-                Ok(SyncFrame::SnapshotResponse {
+                Ok(SyncFrame::Chunk {
                     sender,
-                    meta,
-                    state: buf.split_to(len).to_vec(),
+                    upto_slot,
+                    index,
+                    crc,
+                    bytes: buf.split_to(len).to_vec(),
                 })
             }
             t => Err(WireError::BadTag(t)),
@@ -159,7 +295,193 @@ impl<M: Wire> Wire for SyncFrame<M> {
     }
 }
 
-/// Encodes applied `(command, slot)` pairs as snapshot state bytes.
+/// What [`ChunkAssembly::finish`] found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AssemblyOutcome {
+    /// Chunks are still missing; keep fetching.
+    Incomplete,
+    /// Every chunk arrived but the assembled state failed the manifest's
+    /// SHA-256 — some voucher served lying chunks. All fetched chunks
+    /// were discarded; re-fetch from other vouchers.
+    Corrupt,
+    /// The assembled, hash-verified state bytes.
+    Done(Vec<u8>),
+}
+
+/// Resumable reassembly of one manifest's chunk stream.
+///
+/// Chunks may arrive in any order, duplicated, truncated or corrupted;
+/// `accept` rejects anything that does not match the manifest's geometry
+/// or its own CRC, and `finish` installs nothing unless the concatenation
+/// matches the manifest's SHA-256 — a wrong state is never produced, no
+/// matter what bytes are fed in.
+#[derive(Clone, Debug)]
+pub struct ChunkAssembly {
+    manifest: SnapshotManifest,
+    chunks: Vec<Option<Vec<u8>>>,
+    have: u32,
+}
+
+impl ChunkAssembly {
+    /// Starts assembling `manifest`'s state. `None` if the manifest is
+    /// internally inconsistent.
+    #[must_use]
+    pub fn new(manifest: SnapshotManifest) -> Option<Self> {
+        if !manifest.consistent() {
+            return None;
+        }
+        Some(ChunkAssembly {
+            chunks: vec![None; manifest.chunks as usize],
+            have: 0,
+            manifest,
+        })
+    }
+
+    /// The manifest being assembled.
+    #[must_use]
+    pub fn manifest(&self) -> &SnapshotManifest {
+        &self.manifest
+    }
+
+    /// Chunks received so far.
+    #[must_use]
+    pub fn have(&self) -> u32 {
+        self.have
+    }
+
+    /// Whether every chunk arrived (the SHA check still gates `finish`).
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.have == self.manifest.chunks
+    }
+
+    /// Indices still missing, smallest first, at most `limit` of them.
+    #[must_use]
+    pub fn missing(&self, limit: usize) -> Vec<u32> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i as u32)
+            .take(limit)
+            .collect()
+    }
+
+    /// Discards every fetched chunk, keeping the manifest — used when a
+    /// fetch rotates to a different source mid-assembly, so one attempt
+    /// never mixes chunks from two senders (the anti-poisoning argument
+    /// needs a clean, single-source assembly).
+    pub fn clear(&mut self) {
+        for c in &mut self.chunks {
+            *c = None;
+        }
+        self.have = 0;
+    }
+
+    /// Offers one received chunk. Returns whether it was newly accepted
+    /// (geometry and CRC both check out and the slot was empty).
+    pub fn accept(&mut self, index: u32, crc: u32, bytes: Vec<u8>) -> bool {
+        if index >= self.manifest.chunks
+            || bytes.len() != self.manifest.chunk_len(index)
+            || crc32(&bytes) != crc
+        {
+            return false;
+        }
+        let slot = &mut self.chunks[index as usize];
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(bytes);
+        self.have += 1;
+        true
+    }
+
+    /// Tries to produce the verified state. On [`AssemblyOutcome::Corrupt`]
+    /// every fetched chunk is discarded so the fetch can resume cleanly.
+    pub fn finish(&mut self) -> AssemblyOutcome {
+        if !self.complete() {
+            return AssemblyOutcome::Incomplete;
+        }
+        let mut state = Vec::with_capacity(self.manifest.total_len as usize);
+        for chunk in self.chunks.iter().flatten() {
+            state.extend_from_slice(chunk);
+        }
+        if sha256(&state) != self.manifest.sha256 {
+            self.clear();
+            return AssemblyOutcome::Corrupt;
+        }
+        AssemblyOutcome::Done(state)
+    }
+}
+
+/// The chunked transfer payload: the application's folded state plus the
+/// replica resume data a receiver needs to continue the shared log
+/// without the applied history.
+///
+/// * `applied_len` — absolute applied-command count the fold covers (the
+///   installer's new applied base);
+/// * `dedup` — the `(command, slot)` dedup-window entries still live at
+///   the snapshot cut (commands applied within the dedup horizon before
+///   the cut), in apply order. A pure function of the shared committed
+///   sequence, so every replica folds the byte-identical window;
+/// * `app` — the [`App`](../../gencon_app/trait.App.html)-folded state
+///   bytes, opaque at this layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FoldedState<V> {
+    /// Applied commands covered by the fold.
+    pub applied_len: u64,
+    /// Live dedup-window `(command, applied_slot)` pairs at the cut.
+    pub dedup: Vec<(V, u64)>,
+    /// Application-folded state bytes.
+    pub app: Vec<u8>,
+}
+
+impl<V: Value + Wire> Wire for FoldedState<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.applied_len.encode(buf);
+        (self.dedup.len() as u32).encode(buf);
+        for (cmd, slot) in &self.dedup {
+            cmd.encode(buf);
+            slot.encode(buf);
+        }
+        (self.app.len() as u32).encode(buf);
+        buf.put_slice(&self.app);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let applied_len = u64::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        // Per-frame sanity: a pair encodes to ≥ 9 bytes, so a count
+        // beyond the remaining payload is garbage — no fixed cap needed
+        // (the chunked protocol already bounds the assembled size).
+        if len > buf.remaining() {
+            return Err(WireError::TooLong(len));
+        }
+        let mut dedup = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            let cmd = V::decode(buf)?;
+            let slot = u64::decode(buf)?;
+            dedup.push((cmd, slot));
+        }
+        let app_len = u32::decode(buf)? as usize;
+        if app_len > buf.remaining() {
+            return Err(WireError::TooLong(app_len));
+        }
+        let app = buf.split_to(app_len).to_vec();
+        if buf.remaining() > 0 {
+            return Err(WireError::TooLong(buf.remaining()));
+        }
+        Ok(FoldedState {
+            applied_len,
+            dedup,
+            app,
+        })
+    }
+}
+
+/// Encodes applied `(command, slot)` pairs — the codec `LogApp` (the
+/// full-history application) folds its state with, and the WAL-replay
+/// tail format.
 #[must_use]
 pub fn encode_state<V: Value + Wire>(pairs: &[(V, u64)]) -> Vec<u8> {
     let mut buf = BytesMut::new();
@@ -171,8 +493,10 @@ pub fn encode_state<V: Value + Wire>(pairs: &[(V, u64)]) -> Vec<u8> {
     buf.freeze().to_vec()
 }
 
-/// Decodes snapshot state bytes back into applied `(command, slot)`
-/// pairs. Rejects oversized pair counts and trailing bytes.
+/// Decodes applied `(command, slot)` pairs (see [`encode_state`]).
+/// Rejects pair counts beyond the available bytes and trailing garbage;
+/// there is **no fixed command-count cap** — state size is bounded by the
+/// chunked transfer geometry, not by this codec.
 ///
 /// # Errors
 ///
@@ -181,7 +505,10 @@ pub fn encode_state<V: Value + Wire>(pairs: &[(V, u64)]) -> Vec<u8> {
 pub fn decode_state<V: Value + Wire>(state: &[u8]) -> Result<Vec<(V, u64)>, WireError> {
     let mut buf = Bytes::from(state);
     let len = u32::decode(&mut buf)? as usize;
-    if len > MAX_SNAPSHOT_CMDS {
+    // Each pair encodes to ≥ 9 bytes; a count beyond the remaining
+    // payload cannot be honest (per-frame sanity in place of the old
+    // MAX_SNAPSHOT_CMDS history ceiling).
+    if len > buf.remaining() {
         return Err(WireError::TooLong(len));
     }
     let mut pairs = Vec::with_capacity(len.min(4096));
@@ -210,25 +537,32 @@ mod tests {
         assert_eq!(buf.remaining(), 0, "no trailing bytes");
     }
 
-    fn sample_meta() -> SnapshotMeta {
-        SnapshotMeta {
-            upto_slot: 512,
-            applied_len: 4_000,
-            state_hash: [0xAB; 32],
-        }
+    fn sample_manifest() -> SnapshotManifest {
+        SnapshotManifest::describe(512, 4_000, &vec![0xAB; CHUNK_BYTES + 100])
     }
 
     #[test]
-    fn meta_and_frames_roundtrip() {
-        roundtrip(sample_meta());
+    fn manifest_and_frames_roundtrip() {
+        roundtrip(sample_manifest());
         roundtrip(SyncFrame::<ConsensusMsg<u64>>::SnapshotRequest {
             sender: ProcessId::new(3),
             have_slot: 17,
         });
-        roundtrip(SyncFrame::<ConsensusMsg<u64>>::SnapshotResponse {
+        roundtrip(SyncFrame::<ConsensusMsg<u64>>::Manifest {
             sender: ProcessId::new(1),
-            meta: sample_meta(),
-            state: vec![1, 2, 3, 4, 5],
+            manifest: sample_manifest(),
+        });
+        roundtrip(SyncFrame::<ConsensusMsg<u64>>::ChunkRequest {
+            sender: ProcessId::new(2),
+            upto_slot: 512,
+            index: 1,
+        });
+        roundtrip(SyncFrame::<ConsensusMsg<u64>>::Chunk {
+            sender: ProcessId::new(0),
+            upto_slot: 512,
+            index: 1,
+            crc: crc32(&[1, 2, 3]),
+            bytes: vec![1, 2, 3],
         });
         roundtrip(SyncFrame::Round(Envelope {
             sender: ProcessId::new(2),
@@ -244,18 +578,134 @@ mod tests {
     }
 
     #[test]
+    fn manifest_geometry() {
+        let m = sample_manifest();
+        assert!(m.consistent());
+        assert_eq!(m.chunks, 2);
+        assert_eq!(m.chunk_len(0), CHUNK_BYTES);
+        assert_eq!(m.chunk_len(1), 100);
+        assert_eq!(m.chunk_len(2), 0);
+        let empty = SnapshotManifest::describe(8, 0, &[]);
+        assert!(empty.consistent());
+        assert_eq!(empty.chunks, 0);
+        let mut broken = m;
+        broken.chunks = 9;
+        assert!(!broken.consistent());
+    }
+
+    #[test]
+    fn chunk_slicing_covers_the_state() {
+        let state: Vec<u8> = (0..(2 * CHUNK_BYTES + 7)).map(|i| i as u8).collect();
+        let m = SnapshotManifest::describe(64, 10, &state);
+        assert_eq!(m.chunks, 3);
+        let mut whole = Vec::new();
+        for i in 0..m.chunks {
+            whole.extend_from_slice(m.chunk_of(&state, i).unwrap());
+        }
+        assert_eq!(whole, state);
+        assert!(m.chunk_of(&state, 3).is_none());
+        assert!(m.chunk_of(&state[1..], 0).is_none(), "length mismatch");
+    }
+
+    #[test]
+    fn assembly_accepts_only_valid_chunks_and_verifies_sha() {
+        let state: Vec<u8> = (0..(CHUNK_BYTES + 50)).map(|i| (i * 7) as u8).collect();
+        let m = SnapshotManifest::describe(128, 99, &state);
+        let mut asm = ChunkAssembly::new(m).unwrap();
+        assert_eq!(asm.missing(10), vec![0, 1]);
+        assert_eq!(asm.finish(), AssemblyOutcome::Incomplete);
+
+        let c1 = m.chunk_of(&state, 1).unwrap().to_vec();
+        // Wrong CRC rejected.
+        assert!(!asm.accept(1, crc32(&c1).wrapping_add(1), c1.clone()));
+        // Wrong length rejected.
+        assert!(!asm.accept(1, crc32(&c1[..10]), c1[..10].to_vec()));
+        // Out-of-range index rejected.
+        assert!(!asm.accept(2, crc32(&c1), c1.clone()));
+        // Valid chunk accepted once.
+        assert!(asm.accept(1, crc32(&c1), c1.clone()));
+        assert!(!asm.accept(1, crc32(&c1), c1), "duplicate rejected");
+        assert_eq!(asm.missing(10), vec![0]);
+
+        let c0 = m.chunk_of(&state, 0).unwrap().to_vec();
+        assert!(asm.accept(0, crc32(&c0), c0));
+        assert!(asm.complete());
+        assert_eq!(asm.finish(), AssemblyOutcome::Done(state));
+    }
+
+    #[test]
+    fn assembly_discards_lying_chunks_on_sha_mismatch() {
+        let state: Vec<u8> = vec![9; 100];
+        let m = SnapshotManifest::describe(8, 5, &state);
+        let mut asm = ChunkAssembly::new(m).unwrap();
+        // A chunk with a *valid CRC over wrong bytes* — what a Byzantine
+        // voucher would serve. Accepted at the CRC layer...
+        let lie = vec![8; 100];
+        assert!(asm.accept(0, crc32(&lie), lie));
+        // ...but the SHA gate catches it and clears the fetch.
+        assert_eq!(asm.finish(), AssemblyOutcome::Corrupt);
+        assert_eq!(asm.have(), 0);
+        // The honest chunk then assembles fine.
+        assert!(asm.accept(0, crc32(&state), state.clone()));
+        assert_eq!(asm.finish(), AssemblyOutcome::Done(state));
+    }
+
+    #[test]
+    fn inconsistent_manifests_are_refused() {
+        let mut m = sample_manifest();
+        m.total_len = 3 * CHUNK_BYTES as u64; // ceil ≠ claimed chunk count
+        assert!(ChunkAssembly::new(m).is_none());
+        let mut m2 = sample_manifest();
+        m2.chunks = MAX_CHUNKS + 1;
+        assert!(ChunkAssembly::new(m2).is_none());
+    }
+
+    #[test]
+    fn folded_state_roundtrips_and_rejects_garbage() {
+        let fs = FoldedState {
+            applied_len: 4_000,
+            dedup: (0..50u64).map(|i| (i * 3, 100 + i)).collect(),
+            app: vec![1, 2, 3, 4, 5],
+        };
+        roundtrip(fs.clone());
+        let bytes = fs.to_bytes();
+        for cut in 0..bytes.len() {
+            let mut b = bytes.slice(..cut);
+            assert!(FoldedState::<u64>::decode(&mut b).is_err());
+        }
+        let mut padded = BytesMut::new();
+        padded.put_slice(&bytes);
+        padded.put_u8(0);
+        assert!(FoldedState::<u64>::decode(&mut padded.freeze()).is_err());
+    }
+
+    #[test]
     fn sender_accessor_covers_all_variants() {
-        let req = SyncFrame::<u64>::SnapshotRequest {
-            sender: ProcessId::new(5),
-            have_slot: 0,
-        };
-        assert_eq!(req.sender(), ProcessId::new(5));
-        let resp = SyncFrame::<u64>::SnapshotResponse {
-            sender: ProcessId::new(6),
-            meta: sample_meta(),
-            state: Vec::new(),
-        };
-        assert_eq!(resp.sender(), ProcessId::new(6));
+        let frames = [
+            SyncFrame::<u64>::SnapshotRequest {
+                sender: ProcessId::new(5),
+                have_slot: 0,
+            },
+            SyncFrame::<u64>::Manifest {
+                sender: ProcessId::new(5),
+                manifest: sample_manifest(),
+            },
+            SyncFrame::<u64>::ChunkRequest {
+                sender: ProcessId::new(5),
+                upto_slot: 1,
+                index: 0,
+            },
+            SyncFrame::<u64>::Chunk {
+                sender: ProcessId::new(5),
+                upto_slot: 1,
+                index: 0,
+                crc: 0,
+                bytes: Vec::new(),
+            },
+        ];
+        for f in frames {
+            assert_eq!(f.sender(), ProcessId::new(5));
+        }
     }
 
     #[test]
@@ -274,33 +724,49 @@ mod tests {
     }
 
     #[test]
-    fn oversized_snapshot_lengths_are_rejected() {
-        // Pair count over the cap.
+    fn oversized_lengths_are_rejected() {
+        // Pair count beyond the available bytes.
         let mut buf = BytesMut::new();
-        ((MAX_SNAPSHOT_CMDS + 1) as u32).encode(&mut buf);
+        u32::MAX.encode(&mut buf);
         assert!(matches!(
             decode_state::<u64>(&buf.freeze()),
             Err(WireError::TooLong(_))
         ));
-        // Response state length over the cap.
+        // Chunk payload over the per-frame cap.
         let mut buf = BytesMut::new();
-        buf.put_u8(3);
+        buf.put_u8(6);
         ProcessId::new(0).encode(&mut buf);
-        sample_meta().encode(&mut buf);
-        ((MAX_SNAPSHOT_BYTES + 1) as u32).encode(&mut buf);
+        0u64.encode(&mut buf);
+        0u32.encode(&mut buf);
+        0u32.encode(&mut buf);
+        ((CHUNK_BYTES + 1) as u32).encode(&mut buf);
         let mut b = buf.freeze();
         assert!(matches!(
             SyncFrame::<u64>::decode(&mut b),
+            Err(WireError::TooLong(_))
+        ));
+        // Manifest chunk count over the sanity ceiling.
+        let mut buf = BytesMut::new();
+        1u64.encode(&mut buf);
+        1u64.encode(&mut buf);
+        (MAX_CHUNKS + 1).encode(&mut buf);
+        let mut b = buf.freeze();
+        assert!(matches!(
+            SnapshotManifest::decode(&mut b),
             Err(WireError::TooLong(_))
         ));
     }
 
     #[test]
     fn bad_tags_are_rejected() {
-        let mut buf = Bytes::from_static(&[9, 0, 0, 0, 0]);
-        assert_eq!(
-            SyncFrame::<u64>::decode(&mut buf),
-            Err(WireError::BadTag(9))
-        );
+        // Tag 3 was the retired single-frame SnapshotResponse; it must
+        // not decode any more.
+        for tag in [0u8, 3, 9] {
+            let mut buf = Bytes::from(vec![tag, 0, 0, 0, 0]);
+            assert_eq!(
+                SyncFrame::<u64>::decode(&mut buf),
+                Err(WireError::BadTag(tag))
+            );
+        }
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests for the chunked state-transfer layer: arbitrary chunk
+//! streams — truncated, corrupted, reordered, duplicated, misindexed —
+//! are rejected without panicking and can **never** make a
+//! [`ChunkAssembly`] produce bytes that differ from the manifested
+//! state; the honest chunks always assemble afterwards. The
+//! [`FoldedState`] payload codec gets the same truncation/corruption
+//! treatment as every other decoder in this crate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use gencon_crypto::crc32::crc32;
+use gencon_net::{
+    AssemblyOutcome, ChunkAssembly, FoldedState, SnapshotManifest, Wire, CHUNK_BYTES,
+};
+
+/// States sized to span 1–3 chunks without making cases slow: the chunk
+/// geometry logic only cares about crossing boundaries.
+fn states() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..3, any::<u8>(), 0usize..128).prop_map(|(shape, b, pad)| match shape {
+        0 => vec![b; pad.min(64)],
+        // Around one chunk boundary (CHUNK_BYTES ± small).
+        1 => vec![b; CHUNK_BYTES - 64 + pad],
+        // A bit past two chunks.
+        _ => vec![b; 2 * CHUNK_BYTES + pad],
+    })
+}
+
+/// An adversarial mutation of one honest chunk delivery.
+#[derive(Clone, Debug)]
+enum Tamper {
+    Honest,
+    FlipByte(usize, u8),
+    Truncate(usize),
+    WrongIndex(u32),
+    WrongCrc(u32),
+}
+
+fn tampers() -> impl Strategy<Value = Tamper> {
+    // Selector-weighted: about half the deliveries are honest.
+    (0u8..8, 0usize..4_096, 1u8..=255, any::<u32>()).prop_map(|(v, p, f, x)| match v {
+        0 => Tamper::FlipByte(p, f),
+        1 => Tamper::Truncate(p),
+        2 => Tamper::WrongIndex(x % 8),
+        3 => Tamper::WrongCrc(x),
+        _ => Tamper::Honest,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever mix of honest and tampered chunk deliveries arrives, in
+    /// whatever order: the assembly never panics, never completes with
+    /// wrong bytes, and once every honest chunk has been offered it
+    /// yields exactly the original state.
+    #[test]
+    fn assemblies_survive_arbitrary_chunk_streams(
+        state in states(),
+        deliveries in proptest::collection::vec((0u32..4, tampers()), 0..24),
+    ) {
+        let manifest = SnapshotManifest::describe(64, 9, &state);
+        prop_assert!(manifest.consistent());
+        let mut asm = ChunkAssembly::new(manifest).expect("consistent manifest");
+
+        for (index, tamper) in deliveries {
+            let Some(chunk) = manifest.chunk_of(&state, index % manifest.chunks.max(1)) else {
+                continue; // empty state: nothing to deliver
+            };
+            let index = index % manifest.chunks.max(1);
+            let (idx, crc, bytes) = match tamper {
+                Tamper::Honest => (index, crc32(chunk), chunk.to_vec()),
+                Tamper::FlipByte(p, f) => {
+                    let mut b = chunk.to_vec();
+                    if !b.is_empty() {
+                        let p = p % b.len();
+                        b[p] ^= f;
+                    }
+                    // A liar recomputes the CRC over its lie — only the
+                    // manifest SHA can catch this.
+                    let crc = crc32(&b);
+                    (index, crc, b)
+                }
+                Tamper::Truncate(cut) => {
+                    let cut = cut % (chunk.len() + 1);
+                    (index, crc32(&chunk[..cut]), chunk[..cut].to_vec())
+                }
+                Tamper::WrongIndex(wi) => (wi, crc32(chunk), chunk.to_vec()),
+                Tamper::WrongCrc(crc) => (index, crc, chunk.to_vec()),
+            };
+            asm.accept(idx, crc, bytes); // must never panic
+            match asm.finish() {
+                // A completed assembly is always the manifested state.
+                AssemblyOutcome::Done(bytes) => prop_assert_eq!(&bytes, &state),
+                AssemblyOutcome::Incomplete | AssemblyOutcome::Corrupt => {}
+            }
+        }
+
+        // The honest chunks always finish the job, whatever happened.
+        for i in 0..manifest.chunks {
+            let chunk = manifest.chunk_of(&state, i).unwrap();
+            asm.accept(i, crc32(chunk), chunk.to_vec());
+        }
+        // One retry covers the case where lying chunks had filled slots:
+        // the SHA gate clears them, then the honest set assembles.
+        for _ in 0..2 {
+            match asm.finish() {
+                AssemblyOutcome::Done(bytes) => {
+                    prop_assert_eq!(bytes, state);
+                    return Ok(());
+                }
+                AssemblyOutcome::Corrupt => {
+                    for i in 0..manifest.chunks {
+                        let chunk = manifest.chunk_of(&state, i).unwrap();
+                        asm.accept(i, crc32(chunk), chunk.to_vec());
+                    }
+                }
+                AssemblyOutcome::Incomplete => prop_assert!(false, "honest chunks must complete"),
+            }
+        }
+        prop_assert!(false, "honest chunks must assemble within one SHA retry");
+    }
+
+    /// The folded-state payload codec: roundtrip, every strict truncation
+    /// rejected, corruption and garbage never panic.
+    #[test]
+    fn folded_states_roundtrip_and_reject_garbage(
+        applied_len in any::<u64>(),
+        dedup in proptest::collection::vec((any::<u64>(), 0u64..100_000), 0..32),
+        app in proptest::collection::vec(any::<u8>(), 0..160),
+        cut in 0usize..4_096,
+        pos in 0usize..4_096,
+        flip in 1u8..=255,
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let fs = FoldedState { applied_len, dedup, app };
+        let bytes = fs.to_bytes();
+        let mut buf = bytes.clone();
+        prop_assert_eq!(FoldedState::<u64>::decode(&mut buf).unwrap(), fs);
+
+        let cut = cut % bytes.len().max(1);
+        let mut short = bytes.slice(0..cut);
+        prop_assert!(FoldedState::<u64>::decode(&mut short).is_err());
+
+        let mut corrupted = bytes.to_vec();
+        let pos = pos % corrupted.len();
+        corrupted[pos] ^= flip;
+        let _ = FoldedState::<u64>::decode(&mut Bytes::from(corrupted)); // no panic
+
+        let _ = FoldedState::<u64>::decode(&mut Bytes::from(garbage)); // no panic
+    }
+}

@@ -7,7 +7,7 @@ use bytes::{Buf, Bytes};
 use proptest::prelude::*;
 
 use gencon_core::{ConsensusMsg, DecisionMsg, History, SelectionMsg, ValidationMsg};
-use gencon_net::{decode_state, encode_state, Envelope, SnapshotMeta, SyncFrame, Wire};
+use gencon_net::{decode_state, encode_state, Envelope, SnapshotManifest, SyncFrame, Wire};
 use gencon_smr::SmrMsg;
 use gencon_types::{Batch, Phase, ProcessId, ProcessSet, Round};
 
@@ -89,7 +89,7 @@ fn bundles() -> impl Strategy<Value = SmrMsg<Batch<u64>>> {
 
 fn sync_frames() -> impl Strategy<Value = SyncFrame<SmrMsg<Batch<u64>>>> {
     (
-        0u8..3,
+        0u8..5,
         bundles(),
         0usize..gencon_types::MAX_PROCESSES,
         1u64..1_000_000,
@@ -107,21 +107,22 @@ fn sync_frames() -> impl Strategy<Value = SyncFrame<SmrMsg<Batch<u64>>>> {
                     sender,
                     have_slot: number,
                 },
-                _ => {
-                    let mut state_hash = [0u8; 32];
-                    for (i, b) in state.iter().take(32).enumerate() {
-                        state_hash[i] = *b;
-                    }
-                    SyncFrame::SnapshotResponse {
-                        sender,
-                        meta: SnapshotMeta {
-                            upto_slot: number,
-                            applied_len: number / 2,
-                            state_hash,
-                        },
-                        state,
-                    }
-                }
+                2 => SyncFrame::Manifest {
+                    sender,
+                    manifest: SnapshotManifest::describe(number, number / 2, &state),
+                },
+                3 => SyncFrame::ChunkRequest {
+                    sender,
+                    upto_slot: number,
+                    index: (number % 7) as u32,
+                },
+                _ => SyncFrame::Chunk {
+                    sender,
+                    upto_slot: number,
+                    index: (number % 7) as u32,
+                    crc: gencon_crypto::crc32::crc32(&state),
+                    bytes: state,
+                },
             }
         })
 }

@@ -2,6 +2,7 @@
 //!
 //! ```bash
 //! gencon-client --server 127.0.0.1:7000 --count 10000 \
+//!   [--workload log|kv] [--keys 1024] [--value-bytes 64] \
 //!   [--clients 8] [--outstanding 16] [--id 0] \
 //!   [--servers 127.0.0.1:7000,127.0.0.1:7001,...]   # for Redirect handling
 //! ```
@@ -12,6 +13,11 @@
 //! percentiles (sorted-sample, in microseconds). Backpressure bounces are
 //! retried after a pause; redirects reconnect to the named server when
 //! `--servers` is given.
+//!
+//! `--workload kv` drives a `--app kv` server end-to-end: each client
+//! interleaves puts and gets over a `--keys`-sized keyspace and the acks
+//! carry real [`KvReply`] payloads (get values, cas outcomes), which the
+//! client tallies — the full request/response path, not just append-acks.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -19,8 +25,11 @@ use std::process::exit;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver};
+use gencon_app::{KvCmd, KvOp, KvReply};
+use gencon_net::Wire;
 use gencon_server::cli::{flag_value, parse_flag};
 use gencon_server::{read_frame, write_frame, ClientRequest, ClientResponse};
+use gencon_types::Value;
 
 /// 16-bit namespace, 16-bit client, 32-bit sequence (mirrors
 /// `gencon_load::encode_cmd` without the dependency).
@@ -36,9 +45,16 @@ fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag("gencon-client", args, flag, default)
 }
 
+/// A connected submit stream plus the channel its reader thread feeds.
+type Conn<V, R> = (TcpStream, Receiver<(ClientResponse<V, R>, Instant)>);
+
 /// Connects and spawns a reader thread forwarding responses with their
 /// arrival instant.
-fn connect(addr: SocketAddr) -> (TcpStream, Receiver<(ClientResponse<u64>, Instant)>) {
+fn connect<V, R>(addr: SocketAddr) -> Conn<V, R>
+where
+    V: Value + Wire,
+    R: Clone + PartialEq + std::fmt::Debug + Send + Wire + 'static,
+{
     let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
         eprintln!("gencon-client: cannot connect {addr}: {e}");
         exit(1);
@@ -50,7 +66,7 @@ fn connect(addr: SocketAddr) -> (TcpStream, Receiver<(ClientResponse<u64>, Insta
     });
     let (tx, rx) = channel::unbounded();
     std::thread::spawn(move || loop {
-        match read_frame::<_, ClientResponse<u64>>(&mut reader) {
+        match read_frame::<_, ClientResponse<V, R>>(&mut reader) {
             Ok(resp) => {
                 if tx.send((resp, Instant::now())).is_err() {
                     return;
@@ -62,12 +78,22 @@ fn connect(addr: SocketAddr) -> (TcpStream, Receiver<(ClientResponse<u64>, Insta
     (stream, rx)
 }
 
+struct Shared {
+    servers: Vec<SocketAddr>,
+    namespace: u16,
+    clients: u16,
+    outstanding: u32,
+    count: u64,
+    ack_timeout: Duration,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let server: SocketAddr = flag_value(&args, "--server")
         .unwrap_or_else(|| {
             eprintln!(
-                "usage: gencon-client --server a:p --count N [--clients C] [--outstanding K]"
+                "usage: gencon-client --server a:p --count N [--workload log|kv] \
+                 [--clients C] [--outstanding K]"
             );
             exit(2);
         })
@@ -88,28 +114,98 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
-    let namespace: u16 = parse(&args, "--id", 0);
-    let clients: u16 = parse(&args, "--clients", 8);
-    let outstanding: u32 = parse(&args, "--outstanding", 16);
-    let count: u64 = parse(&args, "--count", 10_000);
-    let ack_timeout = Duration::from_secs(parse(&args, "--timeout-secs", 60));
-    if clients == 0 || outstanding == 0 || count == 0 {
+    let shared = Shared {
+        servers,
+        namespace: parse(&args, "--id", 0),
+        clients: parse(&args, "--clients", 8),
+        outstanding: parse(&args, "--outstanding", 16),
+        count: parse(&args, "--count", 10_000),
+        ack_timeout: Duration::from_secs(parse(&args, "--timeout-secs", 60)),
+    };
+    if shared.clients == 0 || shared.outstanding == 0 || shared.count == 0 {
         eprintln!("gencon-client: --clients, --outstanding and --count must be positive");
         exit(2);
     }
 
-    let (mut stream, mut responses) = connect(server);
-    let mut next_seq = vec![0u32; clients as usize];
-    let mut submitted: HashMap<u64, Instant> = HashMap::new();
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(count as usize);
+    match flag_value(&args, "--workload").as_deref().unwrap_or("log") {
+        "log" => {
+            let ns = shared.namespace;
+            run::<u64, u64>(
+                server,
+                &shared,
+                |client, seq| encode_cmd(ns, client, seq),
+                |cmd| decode_client(*cmd),
+                |_reply| {},
+            );
+        }
+        "kv" => {
+            let keys: u64 = parse(&args, "--keys", 1_024).max(1);
+            // Values embed the 8-byte request id, so the floor is 8.
+            let value_bytes: usize = parse(&args, "--value-bytes", 64).max(8);
+            let ns = shared.namespace;
+            let mut hits: u64 = 0;
+            let mut misses: u64 = 0;
+            let make = move |client: u16, seq: u32| -> KvCmd {
+                let id = encode_cmd(ns, client, seq);
+                // Deterministic key choice spread across the keyspace;
+                // every 4th op is a linearized read.
+                let key = format!("k{:08}", id.wrapping_mul(0x9E37_79B9) % keys).into_bytes();
+                let op = if seq % 4 == 3 {
+                    KvOp::Get { key }
+                } else {
+                    let mut value = vec![0u8; value_bytes];
+                    value[..8].copy_from_slice(&id.to_le_bytes());
+                    KvOp::Put { key, value }
+                };
+                KvCmd { id, op }
+            };
+            run::<KvCmd, KvReply>(
+                server,
+                &shared,
+                make,
+                |cmd| decode_client(cmd.id),
+                |reply| match reply {
+                    Some(KvReply::Value(Some(_))) => hits += 1,
+                    Some(KvReply::Value(None)) => misses += 1,
+                    _ => {}
+                },
+            );
+            println!("kv gets: {hits} hits, {misses} misses");
+        }
+        other => {
+            eprintln!("gencon-client: unknown --workload {other} (log|kv)");
+            exit(2);
+        }
+    }
+}
+
+fn run<V, R>(
+    server: SocketAddr,
+    shared: &Shared,
+    make_cmd: impl Fn(u16, u32) -> V,
+    client_of: impl Fn(&V) -> u16,
+    mut on_reply: impl FnMut(Option<R>),
+) where
+    V: Value + Wire,
+    R: Clone + PartialEq + std::fmt::Debug + Send + Wire + 'static,
+{
+    let (mut stream, mut responses) = connect::<V, R>(server);
+    let mut next_seq = vec![0u32; shared.clients as usize];
+    // Issue exactly `count` distinct commands per run: once acks drain
+    // the windows, the run ends with no stray in-flight extras — which
+    // is what lets scripts pin a cluster's exact final command count
+    // (`--stop-after` / `--hash-at` on the servers).
+    let mut issued: u64 = 0;
+    let mut submitted: HashMap<V, Instant> = HashMap::new();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(shared.count as usize);
     let mut backpressured: u64 = 0;
     let mut redirects: u64 = 0;
     let started = Instant::now();
 
     // Retries and redirect re-submissions keep the first submit instant:
     // the client reports end-to-end latency, bounces included.
-    let submit = |stream: &mut TcpStream, submitted: &mut HashMap<u64, Instant>, cmd: u64| {
-        submitted.entry(cmd).or_insert_with(Instant::now);
+    let submit = |stream: &mut TcpStream, submitted: &mut HashMap<V, Instant>, cmd: V| {
+        submitted.entry(cmd.clone()).or_insert_with(Instant::now);
         if write_frame(stream, &ClientRequest::Submit { cmd }).is_err() {
             eprintln!("gencon-client: server connection lost");
             exit(1);
@@ -117,33 +213,44 @@ fn main() {
     };
 
     // Prime every client's window.
-    for c in 0..clients {
-        for _ in 0..outstanding {
-            let cmd = encode_cmd(namespace, c, next_seq[c as usize]);
+    'prime: for c in 0..shared.clients {
+        for _ in 0..shared.outstanding {
+            if issued >= shared.count {
+                break 'prime;
+            }
+            let cmd = make_cmd(c, next_seq[c as usize]);
             next_seq[c as usize] += 1;
+            issued += 1;
             submit(&mut stream, &mut submitted, cmd);
         }
     }
 
-    while (latencies_us.len() as u64) < count {
-        let Ok((resp, at)) = responses.recv_timeout(ack_timeout) else {
+    while (latencies_us.len() as u64) < shared.count {
+        let Ok((resp, at)) = responses.recv_timeout(shared.ack_timeout) else {
             eprintln!(
-                "gencon-client: no response for {ack_timeout:?} ({} of {count} acked) — aborting",
-                latencies_us.len()
+                "gencon-client: no response for {:?} ({} of {} acked) — aborting",
+                shared.ack_timeout,
+                latencies_us.len(),
+                shared.count
             );
             exit(1);
         };
         match resp {
-            ClientResponse::Committed { cmd, .. } => {
+            ClientResponse::Committed { cmd, reply, .. } => {
                 let Some(sent) = submitted.remove(&cmd) else {
                     continue; // duplicate ack
                 };
+                on_reply(reply);
                 latencies_us.push(at.duration_since(sent).as_micros() as u64);
-                // Closed loop: the acked client's window refills.
-                let c = decode_client(cmd);
-                let cmd = encode_cmd(namespace, c, next_seq[c as usize]);
-                next_seq[c as usize] += 1;
-                submit(&mut stream, &mut submitted, cmd);
+                // Closed loop: the acked client's window refills, until
+                // the issuance budget is spent.
+                if issued < shared.count {
+                    let c = client_of(&cmd);
+                    let next = make_cmd(c, next_seq[c as usize]);
+                    next_seq[c as usize] += 1;
+                    issued += 1;
+                    submit(&mut stream, &mut submitted, next);
+                }
             }
             ClientResponse::Backpressure { cmd, .. } => {
                 backpressured += 1;
@@ -152,15 +259,15 @@ fn main() {
             }
             ClientResponse::Redirect { cmd, to } => {
                 redirects += 1;
-                let Some(&target) = servers.get(to.index()) else {
+                let Some(&target) = shared.servers.get(to.index()) else {
                     eprintln!("gencon-client: redirected to process {to} but --servers not given");
                     exit(1);
                 };
-                let (s, r) = connect(target);
+                let (s, r) = connect::<V, R>(target);
                 stream = s;
                 responses = r;
                 // Re-submit everything in flight on the new connection.
-                let inflight: Vec<u64> = submitted.keys().copied().collect();
+                let inflight: Vec<V> = submitted.keys().cloned().collect();
                 for c in inflight {
                     submit(&mut stream, &mut submitted, c);
                 }

@@ -4,6 +4,7 @@
 //! gencon-server --id 0 --algo pbft \
 //!   --peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
 //!   --client-addr 127.0.0.1:7000 \
+//!   [--app log|kv|bank] \
 //!   [--batch-cap 64] [--window 4] [--min-timeout-ms 2] [--max-timeout-ms 1000]
 //!   [--backpressure 65536] [--redirect-to ID] [--stop-after N] [--max-rounds R]
 //!   [--durable --data-dir DIR] [--fsync-interval-ms 5] [--snapshot-every 512]
@@ -14,30 +15,38 @@
 //! with bounded backoff), serves clients at `--client-addr`, and runs the
 //! replicated log until killed (or `--stop-after` commands applied).
 //!
+//! `--app` selects the replicated state machine: `log` (append-only,
+//! `u64` commands — the pre-application-layer behavior), `kv` (ordered
+//! key-value store with put/get/del/cas; acks carry the app reply) or
+//! `bank` (mint/transfer with a conservation invariant).
+//!
 //! With `--durable`, committed batches are written to a CRC-framed WAL
 //! under `--data-dir` (fsync group-committed every
-//! `--fsync-interval-ms`), snapshots fold the applied prefix every
-//! `--snapshot-every` slots, and a restart **recovers from disk first**:
-//! snapshot install + WAL replay rebuild the committed prefix before the
-//! node rejoins the mesh, so recovery works even when the survivors have
-//! long compacted the slots this node missed. `--ack-mode durable` (the
-//! default with `--durable`) acks clients only after their command's slot
-//! is on disk; `--ack-mode fast` acks at apply time and lets persistence
-//! trail behind.
+//! `--fsync-interval-ms`), snapshots store the **folded application
+//! state** every `--snapshot-every` slots — O(live state), not
+//! O(history) — and a restart **recovers from disk first**: fold restore
+//! and WAL replay rebuild the state before the node rejoins the mesh, so
+//! recovery works even when the survivors have long compacted the slots
+//! this node missed (the remaining gap closes via `b + 1`-vouched
+//! chunked state transfer). `--ack-mode durable` (the default with
+//! `--durable`) acks clients only after their command's slot is on disk;
+//! `--ack-mode fast` acks at apply time and lets persistence trail
+//! behind.
 //!
-//! `--hash-at N` prints `log-hash@N` — a SHA-256 over the first N applied
-//! commands — on exit; agreeing nodes print identical hashes (the CI
-//! durability smoke job compares them across a kill −9 + restart).
+//! `--hash-at N` prints `app-hash@N` — the application's state hash once
+//! exactly N commands have applied — on exit; agreeing nodes print
+//! identical hashes (the CI jobs compare them across a kill −9 +
+//! restart).
 
 use std::net::SocketAddr;
 use std::process::exit;
 use std::time::Duration;
 
-use gencon_crypto::Sha256;
+use gencon_app::{App, Applier, BankApp, Folder, KvApp, LogApp};
 use gencon_server::cli::{flag_value, parse_flag, required_flag};
 use gencon_server::{
     recover_replica, run_smr_node, ClientGateway, DurableConfig, DurableNode, GatewayConfig,
-    NodeHook, ServerConfig,
+    ServerConfig,
 };
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{FileWal, Log, WalConfig};
@@ -46,7 +55,7 @@ use gencon_types::ProcessId;
 const BIN: &str = "gencon-server";
 const USAGE: &str =
     "gencon-server --id N --algo paxos|pbft|mqb --peers a:p,b:p,... --client-addr a:p \
-     [--durable --data-dir DIR]";
+     [--app log|kv|bank] [--durable --data-dir DIR]";
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag(BIN, args, flag, default)
@@ -56,97 +65,31 @@ fn required(args: &[String], flag: &str) -> String {
     required_flag(BIN, args, flag, USAGE)
 }
 
-/// Streams applied commands into a SHA-256 and, once `target` commands
-/// were fed, **prints** `log-hash@target` (agreeing nodes print identical
-/// hashes — the CI durability job compares them across a kill −9 +
-/// restart). Runs as the innermost hook so it always sees the applied log
-/// before the durable layer compacts it.
-struct HashAt<H> {
-    inner: H,
-    id: usize,
-    target: usize,
-    fed: usize,
-    hasher: Sha256,
-    reported: bool,
-}
-
-impl<H> HashAt<H> {
-    fn new(inner: H, id: usize, target: usize) -> Self {
-        HashAt {
-            inner,
-            id,
-            target,
-            fed: 0,
-            hasher: Sha256::new(),
-            reported: false,
-        }
-    }
-}
-
-impl<H: NodeHook<u64>> NodeHook<u64> for HashAt<H> {
-    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
-        self.inner.before_round(round, replica);
-    }
-
-    fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
-        if !self.reported && self.target > 0 {
-            let base = replica.applied_base();
-            // Feed the absolute prefix [fed, min(target, applied_len)).
-            let upto = replica.applied_len().min(self.target);
-            if self.fed >= base {
-                for abs in self.fed..upto {
-                    self.hasher
-                        .update(&replica.applied()[abs - base].to_le_bytes());
-                }
-                self.fed = upto;
-                if self.fed == self.target {
-                    self.reported = true;
-                    println!(
-                        "gencon-server {}: log-hash@{} = {}",
-                        self.id,
-                        self.target,
-                        hex(&self.hasher.clone().finalize())
-                    );
-                }
-            }
-        }
-        self.inner.after_round(round, replica);
-    }
-
-    fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
-        self.inner.should_stop(replica)
-    }
-
-    fn serve_snapshot(
-        &mut self,
-        replica: &BatchingReplica<u64>,
-    ) -> Option<(gencon_net::SnapshotMeta, Vec<u8>)> {
-        self.inner.serve_snapshot(replica)
-    }
-
-    fn snapshot_installed(
-        &mut self,
-        meta: &gencon_net::SnapshotMeta,
-        state: &[u8],
-        replica: &mut BatchingReplica<u64>,
-    ) {
-        self.inner.snapshot_installed(meta, state, replica);
-    }
-}
-
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let id: usize = required(&args, "--id").parse().unwrap_or_else(|_| {
+    match flag_value(&args, "--app").as_deref().unwrap_or("log") {
+        "log" => serve::<LogApp<u64>>(&args),
+        "kv" => serve::<KvApp>(&args),
+        "bank" => serve::<BankApp>(&args),
+        other => {
+            eprintln!("gencon-server: unknown --app {other} (log|kv|bank)");
+            exit(2);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn serve<A: App>(args: &[String]) {
+    let id: usize = required(args, "--id").parse().unwrap_or_else(|_| {
         eprintln!("gencon-server: --id must be an index into --peers");
         exit(2);
     });
-    let algo = required(&args, "--algo");
-    let peers: Vec<SocketAddr> = required(&args, "--peers")
+    let algo = required(args, "--algo");
+    let peers: Vec<SocketAddr> = required(args, "--peers")
         .split(',')
         .map(|s| {
             s.parse().unwrap_or_else(|_| {
@@ -155,26 +98,24 @@ fn main() {
             })
         })
         .collect();
-    let client_addr: SocketAddr = required(&args, "--client-addr")
-        .parse()
-        .unwrap_or_else(|_| {
-            eprintln!("gencon-server: bad --client-addr");
-            exit(2);
-        });
+    let client_addr: SocketAddr = required(args, "--client-addr").parse().unwrap_or_else(|_| {
+        eprintln!("gencon-server: bad --client-addr");
+        exit(2);
+    });
     let n = peers.len();
     if id >= n {
         eprintln!("gencon-server: --id {id} out of range for {n} peers");
         exit(2);
     }
 
-    let batch_cap: usize = parse(&args, "--batch-cap", 64);
-    let window: usize = parse(&args, "--window", 4);
+    let batch_cap: usize = parse(args, "--batch-cap", 64);
+    let window: usize = parse(args, "--window", 4);
     let cfg = ServerConfig {
-        initial_round_timeout: Duration::from_millis(parse(&args, "--initial-timeout-ms", 50)),
-        min_round_timeout: Duration::from_millis(parse(&args, "--min-timeout-ms", 2)),
-        max_round_timeout: Duration::from_millis(parse(&args, "--max-timeout-ms", 1_000)),
-        max_rounds: parse(&args, "--max-rounds", u64::MAX),
-        stop_after_commands: flag_value(&args, "--stop-after").map(|raw| {
+        initial_round_timeout: Duration::from_millis(parse(args, "--initial-timeout-ms", 50)),
+        min_round_timeout: Duration::from_millis(parse(args, "--min-timeout-ms", 2)),
+        max_round_timeout: Duration::from_millis(parse(args, "--max-timeout-ms", 1_000)),
+        max_rounds: parse(args, "--max-rounds", u64::MAX),
+        stop_after_commands: flag_value(args, "--stop-after").map(|raw| {
             raw.parse().unwrap_or_else(|_| {
                 eprintln!("gencon-server: bad --stop-after");
                 exit(2);
@@ -182,45 +123,45 @@ fn main() {
         }),
     };
     let gateway_cfg = GatewayConfig {
-        backpressure_limit: parse(&args, "--backpressure", 65_536),
-        redirect_to: flag_value(&args, "--redirect-to").map(|raw| {
+        backpressure_limit: parse(args, "--backpressure", 65_536),
+        redirect_to: flag_value(args, "--redirect-to").map(|raw| {
             ProcessId::new(raw.parse().unwrap_or_else(|_| {
                 eprintln!("gencon-server: bad --redirect-to");
                 exit(2);
             }))
         }),
-        write_timeout: Duration::from_millis(parse(&args, "--write-timeout-ms", 500)),
-        reack_index_cap: parse(&args, "--reack-index-cap", 1 << 20),
+        write_timeout: Duration::from_millis(parse(args, "--write-timeout-ms", 500)),
+        reack_index_cap: parse(args, "--reack-index-cap", 1 << 20),
     };
 
     // --- durability flags ---
     let durable = args.iter().any(|a| a == "--durable");
-    let ack_mode = flag_value(&args, "--ack-mode").unwrap_or_else(|| "durable".to_string());
+    let ack_mode = flag_value(args, "--ack-mode").unwrap_or_else(|| "durable".to_string());
     if ack_mode != "durable" && ack_mode != "fast" {
         eprintln!("gencon-server: --ack-mode must be durable or fast");
         exit(2);
     }
-    let data_dir = flag_value(&args, "--data-dir");
+    let data_dir = flag_value(args, "--data-dir");
     if durable && data_dir.is_none() {
         eprintln!("gencon-server: --durable requires --data-dir");
         eprintln!("usage: {USAGE}");
         exit(2);
     }
     let wal_cfg = WalConfig {
-        fsync_interval: Duration::from_millis(parse(&args, "--fsync-interval-ms", 5)),
-        segment_bytes: parse(&args, "--segment-bytes", 4 << 20),
+        fsync_interval: Duration::from_millis(parse(args, "--fsync-interval-ms", 5)),
+        segment_bytes: parse(args, "--segment-bytes", 4 << 20),
     };
     let durable_cfg = DurableConfig {
-        snapshot_every: parse(&args, "--snapshot-every", 512),
-        snapshot_tail: parse(&args, "--snapshot-tail", 64),
+        snapshot_every: parse(args, "--snapshot-every", 512),
+        snapshot_tail: parse(args, "--snapshot-tail", 64),
         durable_ack: ack_mode == "durable",
     };
-    let hash_at: usize = parse(&args, "--hash-at", 0);
+    let hash_at: u64 = parse(args, "--hash-at", 0);
 
     // Fault bounds from the cluster size: the largest each model tolerates.
     let params = match algo.as_str() {
         "paxos" => {
-            gencon_algos::paxos::<Batch<u64>>(n, (n - 1) / 2, ProcessId::new(0))
+            gencon_algos::paxos::<Batch<A::Cmd>>(n, (n - 1) / 2, ProcessId::new(0))
                 .unwrap_or_else(|e| {
                     eprintln!("gencon-server: {e}");
                     exit(2);
@@ -228,7 +169,7 @@ fn main() {
                 .params
         }
         "pbft" => {
-            gencon_algos::pbft::<Batch<u64>>(n, (n - 1) / 3)
+            gencon_algos::pbft::<Batch<A::Cmd>>(n, (n - 1) / 3)
                 .unwrap_or_else(|e| {
                     eprintln!("gencon-server: {e} (pbft needs n ≥ 3b + 1, e.g. 4 nodes)");
                     exit(2);
@@ -236,7 +177,7 @@ fn main() {
                 .params
         }
         "mqb" => {
-            gencon_algos::mqb::<Batch<u64>>(n, (n - 1) / 4)
+            gencon_algos::mqb::<Batch<A::Cmd>>(n, (n - 1) / 4)
                 .unwrap_or_else(|e| {
                     eprintln!("gencon-server: {e} (mqb needs n ≥ 4b + 1, e.g. 5 nodes)");
                     exit(2);
@@ -249,7 +190,7 @@ fn main() {
         }
     };
 
-    let mut gateway = ClientGateway::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
+    let mut gateway = ClientGateway::<A>::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
         eprintln!("gencon-server: cannot bind client address {client_addr}: {e}");
         exit(1);
     });
@@ -266,16 +207,18 @@ fn main() {
             exit(2);
         })
         .with_window(window)
-        .with_dedup_horizon(parse(&args, "--dedup-horizon", 8_192));
+        .with_dedup_horizon(parse(args, "--dedup-horizon", 8_192));
 
-    // --- durable path: open the WAL and recover before joining the mesh ---
+    // --- durable path: open the WAL, recover the fold + replica before
+    // joining the mesh, and seed the live applier from the fold ---
+    let mut folder: Folder<A> = Folder::default();
     let durable_parts = if durable {
         let dir = data_dir.expect("checked above");
         let (wal, recovery) = FileWal::open(&dir, wal_cfg).unwrap_or_else(|e| {
             eprintln!("gencon-server: cannot open data dir {dir}: {e}");
             exit(1);
         });
-        let recovered = recover_replica(&mut replica, &recovery);
+        let recovered = recover_replica(&mut replica, &mut folder, &recovery);
         eprintln!(
             "gencon-server {id}: recovered {} slots from snapshot + {} from WAL \
              ({} commands{}{})",
@@ -297,9 +240,15 @@ fn main() {
     } else {
         None
     };
+    let mut applier = Applier::resume(folder.app().clone(), folder.applied_len());
+    if hash_at > 0 {
+        applier = applier.with_hash_target(hash_at);
+    }
+    let gateway = gateway.with_applier(applier);
 
     eprintln!(
-        "gencon-server {id}: serving clients at {} ({} acks), connecting {n}-node {algo} mesh …",
+        "gencon-server {id}: serving {} clients at {} ({} acks), connecting {n}-node {algo} mesh …",
+        A::NAME,
         gateway.local_addr(),
         if durable { ack_mode.as_str() } else { "memory" },
     );
@@ -310,28 +259,36 @@ fn main() {
         });
     eprintln!("gencon-server {id}: mesh up, log running");
 
-    // The hash probe sits innermost so it sees the applied log before the
-    // durable layer compacts it.
-    let (replica, stats) = if let Some(wal) = durable_parts {
-        let node = DurableNode::new(wal, durable_cfg, HashAt::new(gateway, id, hash_at))
-            .with_gate(ack_gate);
+    let (replica, stats, captured) = if let Some(wal) = durable_parts {
+        let node = DurableNode::new(wal, durable_cfg, folder, gateway).with_gate(ack_gate);
         let (replica, _transport, stats, node) = run_smr_node(replica, transport, cfg, node);
         eprintln!(
-            "gencon-server {id}: WAL wrote {} payload bytes over {} fsyncs, {} snapshots taken",
+            "gencon-server {id}: WAL wrote {} payload bytes over {} fsyncs, {} snapshots taken \
+             ({} manifests from disk, {} synthesized)",
             node.store().bytes_appended(),
             node.store().syncs(),
             node.snapshots_taken(),
+            node.served_from_disk(),
+            node.served_synthesized(),
         );
-        (replica, stats)
+        (replica, stats, node.inner().applier().captured_hash())
     } else {
-        let hook = HashAt::new(gateway, id, hash_at);
-        let (replica, _transport, stats, _hook) = run_smr_node(replica, transport, cfg, hook);
-        (replica, stats)
+        let (replica, _transport, stats, hook) = run_smr_node(replica, transport, cfg, gateway);
+        (replica, stats, hook.applier().captured_hash())
     };
 
+    if let Some(hash) = captured {
+        println!("gencon-server {id}: app-hash@{hash_at} = {}", hex(&hash));
+    } else if hash_at > 0 {
+        eprintln!(
+            "gencon-server {id}: app-hash@{hash_at} not captured (applied {} commands)",
+            replica.applied_len()
+        );
+    }
     eprintln!(
         "gencon-server {id}: stopped at round {} — {} commands applied over {} slots \
-         ({} full rounds, {} timeouts, {} fast-forwards, {} snapshots installed)",
+         ({} full rounds, {} timeouts, {} fast-forwards, {} snapshots installed, \
+         {} chunks fetched)",
         stats.last_round,
         replica.applied_len(),
         replica.committed_slots(),
@@ -339,5 +296,6 @@ fn main() {
         stats.timeouts,
         stats.fast_forwards,
         stats.snapshots_installed,
+        stats.chunks_fetched,
     );
 }

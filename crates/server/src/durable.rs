@@ -1,5 +1,5 @@
 //! The durability layer of a server node: a [`NodeHook`] that pairs the
-//! replica with a [`gencon_store::Log`].
+//! replica with a [`gencon_store::Log`] and a folding [`App`].
 //!
 //! [`DurableNode`] wraps any inner hook (typically the
 //! [`ClientGateway`](crate::ClientGateway)) and, around every round:
@@ -14,43 +14,40 @@
 //!    implies the command survives `kill -9`; under fast-ack the
 //!    watermark is wide open (memory semantics with a warm log on disk);
 //! 4. runs the **snapshot policy**: every `snapshot_every` committed
-//!    slots, fold the newly applied suffix into the on-disk snapshot
-//!    (atomic install), compact WAL segments below it, and
-//!    [`BatchingReplica::compact_below`] the in-memory prefix — keeping a
-//!    short `snapshot_tail` of slots for the decision-claim path.
+//!    slots, absorb the newly applied suffix into the [`Folder`] and
+//!    install its [`FoldedState`] — the application's **folded state**
+//!    (O(live state), not O(history)) plus the replica resume data — as
+//!    the on-disk snapshot (atomic install), compact WAL segments below
+//!    it, and [`BatchingReplica::compact_below`] the in-memory prefix,
+//!    keeping a short `snapshot_tail` of slots for the decision-claim
+//!    path. Snapshot cost no longer grows with the log's age; the only
+//!    app that pays O(history) is `LogApp`, whose state *is* the history
+//!    by definition.
 //!
-//! It also plugs the node loop's **state transfer**: `serve_snapshot`
-//! answers laggards from the on-disk snapshot, and `snapshot_installed`
-//! persists a `b + 1`-vouched transferred snapshot so the *next* restart
-//! recovers past it too.
+//! It also plugs the node loop's **chunked state transfer**:
+//! `serve_manifest` answers laggards — **preferring the on-disk snapshot
+//! whenever one covers the request** and synthesizing a fold from the
+//! retained log only when none exists (the synthesis path that used to
+//! live in the event loop) — and `serve_chunk` slices the described
+//! state; `snapshot_installed` persists a `b + 1`-vouched transferred
+//! snapshot so the *next* restart recovers past it too.
 //!
-//! [`recover_replica`] is the startup half: decode a [`Recovery`]
-//! (snapshot + replayed WAL records) into a fresh replica, which then
-//! rejoins the cluster and closes any remaining gap via decision claims
-//! or state transfer.
-//!
-//! # Scale ceiling
-//!
-//! The snapshot state is the **full applied history** (the service's
-//! state machine *is* the log), so each periodic snapshot re-reads and
-//! re-writes O(history) bytes, and state transfer stops working once the
-//! encoded state passes the wire caps
-//! (`gencon_net::wire_sync::MAX_SNAPSHOT_BYTES` / `MAX_SNAPSHOT_CMDS`,
-//! ≈ 1M commands) — beyond that a laggard needs an out-of-band copy of a
-//! peer's data dir. Lifting this needs application-level state folding
-//! (a real state machine with compact state) or chunked incremental
-//! transfer; see ROADMAP.
+//! [`recover_replica`] is the startup half: decode the on-disk
+//! [`FoldedState`], restore the app fold and fast-forward the replica,
+//! then replay the WAL tail through both. The recovered app seeds the
+//! live [`Applier`](gencon_app::Applier) (clone it), so replies and state
+//! hashes continue seamlessly across restarts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use gencon_app::{App, Folder};
 use gencon_net::wire::Wire;
-use gencon_net::wire_sync::{decode_state, encode_state, SnapshotMeta};
+use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{Log, Recovery, Snapshot};
-use gencon_types::Value;
 
-use crate::node::NodeHook;
+use crate::node::{NodeHook, SNAPSHOT_GAP_MIN};
 
 /// Durability policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -88,56 +85,84 @@ pub struct RecoveredState {
     pub applied: usize,
 }
 
-/// Rebuilds `replica` from what the store recovered: snapshot install
-/// first, then WAL replay of every decodable record. Returns what was
+/// Rebuilds `replica` and `folder` from what the store recovered: the
+/// snapshot's [`FoldedState`] restores the app fold and fast-forwards the
+/// replica (applied history below the cut is *not* re-materialized — the
+/// fold is the state), then every decodable WAL record replays through
+/// the replica and is absorbed into the folder. Returns what was
 /// recovered; undecodable payloads end the replay (the WAL's CRC framing
 /// makes them effectively unreachable).
-pub fn recover_replica<V: Value + Wire>(
-    replica: &mut BatchingReplica<V>,
+pub fn recover_replica<A: App>(
+    replica: &mut BatchingReplica<A::Cmd>,
+    folder: &mut Folder<A>,
     recovery: &Recovery,
 ) -> RecoveredState {
     let mut out = RecoveredState::default();
     if let Some(snap) = &recovery.snapshot {
-        if let Ok(pairs) = decode_state::<V>(&snap.state) {
-            if replica.install_snapshot(pairs, snap.meta.upto_slot, 0) {
+        let mut buf = bytes::Bytes::from(snap.state.clone());
+        if let Ok(fs) = FoldedState::<A::Cmd>::decode(&mut buf) {
+            if folder.restore(&fs, snap.meta.upto_slot).is_ok()
+                && replica.install_folded(&fs.dedup, fs.applied_len, snap.meta.upto_slot, 0)
+            {
                 out.snapshot_slots = snap.meta.upto_slot;
             }
         }
     }
     for (_slot, payload) in &recovery.records {
         let mut buf = bytes::Bytes::from(payload.clone());
-        let Ok(batch) = Batch::<V>::decode(&mut buf) else {
+        let Ok(batch) = Batch::<A::Cmd>::decode(&mut buf) else {
             break;
         };
         replica.replay_committed(batch);
         out.replayed_slots += 1;
     }
+    // Fold the replayed tail so the folder's app covers the whole
+    // recovered prefix (the live applier is cloned from it).
+    folder.absorb(
+        replica.applied(),
+        replica.applied_slots(),
+        replica.applied_base() as u64,
+        replica.committed_slots() as u64,
+    );
     out.applied = replica.applied_len();
     out
 }
 
 /// The persistence wrapper hook (see the module docs).
-pub struct DurableNode<L, H> {
+pub struct DurableNode<A: App, L, H> {
     wal: L,
     inner: H,
     cfg: DurableConfig,
+    /// The snapshot-folding app instance: lags at boundary cuts so every
+    /// replica folds byte-identical states for `b + 1` vouching.
+    folder: Folder<A>,
+    /// The last snapshot state served (manifest + encoded state), so
+    /// chunk requests do not re-read the store per chunk.
+    serve_cache: Option<(SnapshotManifest, Vec<u8>)>,
     /// Absolute applied-command count covered by durable storage — the
     /// gateway's ack limit under durable-ack.
     ack_gate: Arc<AtomicU64>,
     snapshots_taken: u64,
+    served_from_disk: u64,
+    served_synthesized: u64,
 }
 
-impl<L: Log, H> DurableNode<L, H> {
+impl<A: App, L: Log, H> DurableNode<A, L, H> {
     /// Wraps `inner` with persistence into `wal`. The WAL is expected to
-    /// already be positioned at the replica's recovery point (see
-    /// [`recover_replica`]).
-    pub fn new(wal: L, cfg: DurableConfig, inner: H) -> Self {
+    /// already be positioned at the replica's recovery point and `folder`
+    /// to hold the recovered fold (see [`recover_replica`]); use
+    /// `Folder::default()` for a fresh node.
+    pub fn new(wal: L, cfg: DurableConfig, folder: Folder<A>, inner: H) -> Self {
         DurableNode {
             wal,
             inner,
             cfg,
+            folder,
+            serve_cache: None,
             ack_gate: Arc::new(AtomicU64::new(0)),
             snapshots_taken: 0,
+            served_from_disk: 0,
+            served_synthesized: 0,
         }
     }
 
@@ -164,6 +189,25 @@ impl<L: Log, H> DurableNode<L, H> {
         self.snapshots_taken
     }
 
+    /// Manifests served straight from the on-disk snapshot.
+    #[must_use]
+    pub fn served_from_disk(&self) -> u64 {
+        self.served_from_disk
+    }
+
+    /// Manifests served by synthesizing a fold from the retained log
+    /// (only happens when no on-disk snapshot covers the request).
+    #[must_use]
+    pub fn served_synthesized(&self) -> u64 {
+        self.served_synthesized
+    }
+
+    /// The snapshot-folding app state (e.g. for stats after the run).
+    #[must_use]
+    pub fn folder(&self) -> &Folder<A> {
+        &self.folder
+    }
+
     /// The wrapped store (e.g. for stats after the run).
     #[must_use]
     pub fn store(&self) -> &L {
@@ -177,9 +221,9 @@ impl<L: Log, H> DurableNode<L, H> {
     }
 }
 
-impl<L: Log, H> DurableNode<L, H> {
+impl<A: App, L: Log, H> DurableNode<A, L, H> {
     /// Appends every newly committed batch to the WAL.
-    fn persist_committed<V: Value + Wire>(&mut self, replica: &BatchingReplica<V>) {
+    fn persist_committed(&mut self, replica: &BatchingReplica<A::Cmd>) {
         let base = replica.committed_base_slot();
         let committed = replica.committed_slots() as u64;
         if self.wal.next_slot() < base {
@@ -211,7 +255,7 @@ impl<L: Log, H> DurableNode<L, H> {
 
     /// Recomputes the absolute applied-command watermark from the store's
     /// durable slot.
-    fn update_gate<V: Value>(&self, replica: &BatchingReplica<V>) {
+    fn update_gate(&self, replica: &BatchingReplica<A::Cmd>) {
         let covered = if self.cfg.durable_ack {
             match self.wal.durable_slot() {
                 None => 0,
@@ -226,77 +270,94 @@ impl<L: Log, H> DurableNode<L, H> {
         self.ack_gate.store(covered as u64, Ordering::SeqCst);
     }
 
+    /// Folds the applied suffix up to `cut` and returns the encoded
+    /// snapshot state (the wire `FoldedState`).
+    fn fold_state_at(&mut self, replica: &BatchingReplica<A::Cmd>, cut: u64) -> Vec<u8> {
+        self.folder.absorb(
+            replica.applied(),
+            replica.applied_slots(),
+            replica.applied_base() as u64,
+            cut,
+        );
+        self.folder
+            .fold(replica.dedup_horizon())
+            .to_bytes()
+            .to_vec()
+    }
+
     /// The periodic snapshot + compaction policy.
-    fn maybe_snapshot<V: Value + Wire>(&mut self, replica: &mut BatchingReplica<V>) {
+    fn maybe_snapshot(&mut self, replica: &mut BatchingReplica<A::Cmd>) {
         if self.cfg.snapshot_every == 0 {
             return;
         }
         let committed = replica.committed_slots() as u64;
         // Cut at an exact `snapshot_every` boundary, never at the raw
         // commit point: every replica then produces byte-identical
-        // snapshots for the same boundary (the committed sequence is
-        // shared), which is what lets `b + 1` responders vouch for one
-        // state during transfer.
+        // snapshots for the same boundary (the committed sequence and the
+        // fold are both shared), which is what lets `b + 1` responders
+        // vouch for one manifest during transfer. The cut must not rewind
+        // the folder (possible right after recovery, whose fold covers
+        // the whole recovered prefix).
         let cut = (committed / self.cfg.snapshot_every) * self.cfg.snapshot_every;
         let prev_upto = self.wal.snapshot_meta().map_or(0, |m| m.upto_slot);
-        if cut <= prev_upto || cut == 0 {
+        if cut <= prev_upto || cut == 0 || cut < self.folder.covered_slot() {
             return;
         }
-        // Fold the applied suffix above the previous snapshot into the
-        // new state. The previous state lives on disk, not in memory —
-        // reading it back keeps resident memory flat at the cost of
-        // O(state) I/O per snapshot.
-        let mut pairs: Vec<(V, u64)> = match self.wal.read_snapshot() {
-            Ok(Some(prev)) => match decode_state::<V>(&prev.state) {
-                Ok(pairs) => pairs,
-                Err(_) => return,
-            },
-            Ok(None) => Vec::new(),
-            Err(_) => return,
-        };
-        for (i, slot) in replica.applied_slots().iter().enumerate() {
-            if *slot >= prev_upto && *slot < cut {
-                pairs.push((replica.applied()[i].clone(), *slot));
-            }
-        }
-        let applied_len = pairs.len() as u64;
-        let state = encode_state(&pairs);
-        let snap = Snapshot::new(cut, applied_len, state);
+        let state = self.fold_state_at(replica, cut);
+        let snap = Snapshot::new(cut, self.folder.applied_len(), state);
         if let Err(e) = self.wal.install_snapshot(&snap) {
             eprintln!("[durable] snapshot install at slot {cut} failed: {e}");
             return;
         }
         self.snapshots_taken += 1;
-        // Never compact past the ack watermark: the gateway acks from the
-        // retained applied suffix, so pruning unacked commands would
-        // silently swallow their client acks (the gate may trail commits
-        // by a whole group-commit window under a long fsync interval).
-        let gate = self.ack_gate.load(Ordering::SeqCst) as usize;
-        let ack_floor = if gate < replica.applied_len() {
-            let b = replica.applied_base();
-            if gate >= b {
-                replica.applied_slots()[gate - b]
-            } else {
-                0
-            }
-        } else {
-            u64::MAX
-        };
-        replica.compact_below(cut.saturating_sub(self.cfg.snapshot_tail).min(ack_floor));
+        // The serve cache is deliberately NOT invalidated here: a laggard
+        // mid-transfer keeps pulling chunks of the manifest this node
+        // already described to it, even though the periodic policy has
+        // moved the on-disk snapshot past that cut (at quiescence the cut
+        // advances with every no-op window — without the cache, in-flight
+        // transfers would be stranded on stale manifests forever). The
+        // cache is replaced the next time a manifest is served.
+        // Compaction no longer waits for the ack watermark: the gateway
+        // parks unacked `(cmd, slot, offset, reply)` tuples in its own
+        // bounded queue at apply time, so the retained applied suffix is
+        // not the ack source any more — pinning compaction at a stalled
+        // fsync gate would just re-open the unbounded-memory hole the
+        // parked-ack bound closed.
+        replica.compact_below(cut.saturating_sub(self.cfg.snapshot_tail));
+    }
+
+    /// Loads the on-disk snapshot into the serve cache (if its cut is
+    /// `want`, or any cut when `want` is `None`).
+    fn cache_disk_snapshot(&mut self, want: Option<u64>) -> Option<&(SnapshotManifest, Vec<u8>)> {
+        let meta = self.wal.snapshot_meta()?;
+        if want.is_some_and(|w| w != meta.upto_slot) {
+            return None;
+        }
+        let cached = self
+            .serve_cache
+            .as_ref()
+            .is_some_and(|(m, _)| m.upto_slot == meta.upto_slot);
+        if !cached {
+            let snap = self.wal.read_snapshot().ok().flatten()?;
+            let manifest =
+                SnapshotManifest::describe(snap.meta.upto_slot, snap.meta.applied_len, &snap.state);
+            self.serve_cache = Some((manifest, snap.state));
+        }
+        self.serve_cache.as_ref()
     }
 }
 
-impl<V, L, H> NodeHook<V> for DurableNode<L, H>
+impl<A, L, H> NodeHook<A::Cmd> for DurableNode<A, L, H>
 where
-    V: Value + Wire,
+    A: App,
     L: Log + Send,
-    H: NodeHook<V>,
+    H: NodeHook<A::Cmd>,
 {
-    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<V>) {
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<A::Cmd>) {
         self.inner.before_round(round, replica);
     }
 
-    fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<V>) {
+    fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<A::Cmd>) {
         self.persist_committed(replica);
         if let Err(e) = self.wal.maybe_sync() {
             eprintln!("[durable] WAL sync failed: {e}");
@@ -308,40 +369,84 @@ where
         self.maybe_snapshot(replica);
     }
 
-    fn should_stop(&mut self, replica: &BatchingReplica<V>) -> bool {
+    fn should_stop(&mut self, replica: &BatchingReplica<A::Cmd>) -> bool {
         self.inner.should_stop(replica)
     }
 
-    fn serve_snapshot(&mut self, replica: &BatchingReplica<V>) -> Option<(SnapshotMeta, Vec<u8>)> {
-        let _ = replica;
-        let snap = self.wal.read_snapshot().ok().flatten()?;
-        Some((
-            SnapshotMeta {
-                upto_slot: snap.meta.upto_slot,
-                applied_len: snap.meta.applied_len,
-                state_hash: snap.meta.state_hash,
-            },
-            snap.state,
-        ))
+    fn serve_manifest(
+        &mut self,
+        replica: &BatchingReplica<A::Cmd>,
+        have_slot: u64,
+    ) -> Option<SnapshotManifest> {
+        // Prefer the on-disk snapshot whenever it covers the request —
+        // it is already folded and encoded; re-synthesizing from the log
+        // would redo O(state) work per request.
+        if self
+            .wal
+            .snapshot_meta()
+            .is_some_and(|m| m.upto_slot > have_slot)
+        {
+            let manifest = self.cache_disk_snapshot(None).map(|(m, _)| *m)?;
+            self.served_from_disk += 1;
+            return Some(manifest);
+        }
+        // No snapshot covers it: synthesize a fold at a boundary-aligned
+        // cut from the retained log (possible while the suffix above the
+        // folder's coverage is still retained — true by construction,
+        // since compaction only happens below installed snapshots).
+        let committed = replica.committed_slots() as u64;
+        let cut = (committed / SNAPSHOT_GAP_MIN) * SNAPSHOT_GAP_MIN;
+        if cut <= have_slot || cut == 0 || cut < self.folder.covered_slot() {
+            return None;
+        }
+        let state = self.fold_state_at(replica, cut);
+        let manifest = SnapshotManifest::describe(cut, self.folder.applied_len(), &state);
+        self.served_synthesized += 1;
+        self.serve_cache = Some((manifest, state));
+        Some(manifest)
+    }
+
+    fn serve_chunk(
+        &mut self,
+        _replica: &BatchingReplica<A::Cmd>,
+        upto_slot: u64,
+        index: u32,
+    ) -> Option<Vec<u8>> {
+        let cached = self
+            .serve_cache
+            .as_ref()
+            .is_some_and(|(m, _)| m.upto_slot == upto_slot);
+        if !cached {
+            self.cache_disk_snapshot(Some(upto_slot))?;
+        }
+        let (manifest, state) = self.serve_cache.as_ref()?;
+        manifest.chunk_of(state, index).map(<[u8]>::to_vec)
     }
 
     fn snapshot_installed(
         &mut self,
-        meta: &SnapshotMeta,
+        manifest: &SnapshotManifest,
         state: &[u8],
-        replica: &mut BatchingReplica<V>,
+        fs: &FoldedState<A::Cmd>,
+        replica: &mut BatchingReplica<A::Cmd>,
     ) {
         // Persist the transferred snapshot so the next restart recovers
-        // past it (the store re-verifies the hash and compacts below it).
-        let snap = Snapshot::new(meta.upto_slot, meta.applied_len, state.to_vec());
+        // past it (the store re-verifies the hash and compacts below it),
+        // and restore the folder so future periodic folds continue from
+        // the transferred state.
+        let snap = Snapshot::new(manifest.upto_slot, manifest.applied_len, state.to_vec());
         if let Err(e) = self.wal.install_snapshot(&snap) {
             eprintln!(
                 "[durable] persisting transferred snapshot at slot {} failed: {e}",
-                meta.upto_slot
+                manifest.upto_slot
             );
         }
+        if let Err(e) = self.folder.restore(fs, manifest.upto_slot) {
+            eprintln!("[durable] folder restore failed: {e}");
+        }
+        self.serve_cache = Some((*manifest, state.to_vec()));
         self.update_gate(replica);
-        self.inner.snapshot_installed(meta, state, replica);
+        self.inner.snapshot_installed(manifest, state, fs, replica);
     }
 }
 
@@ -349,6 +454,8 @@ where
 mod tests {
     use super::*;
     use gencon_algos::paxos;
+    use gencon_app::LogApp;
+    use gencon_net::wire_sync::decode_state;
     use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
     use gencon_smr::BatchingReplica;
     use gencon_store::MemStore;
@@ -356,6 +463,8 @@ mod tests {
 
     use crate::node::NodeHook;
     use crate::NoHook;
+
+    type LogDurable<H> = DurableNode<LogApp<u64>, MemStore, H>;
 
     /// A single-replica Paxos log driven by hand: commits every round.
     fn solo_replica(cap: usize) -> BatchingReplica<u64> {
@@ -376,20 +485,21 @@ mod tests {
     #[test]
     fn commits_are_persisted_and_gate_follows_durability() {
         let mut replica = solo_replica(4);
-        let mut durable = DurableNode::new(
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
             MemStore::new(),
             DurableConfig {
                 snapshot_every: 0,
                 ..DurableConfig::default()
             },
+            Folder::default(),
             NoHook,
         );
         let gate = durable.ack_gate();
         replica.submit_all([1u64, 2, 3, 4, 5, 6]);
         for r in 1..=10u64 {
-            NodeHook::<u64>::before_round(&mut durable, r, &mut replica);
+            durable.before_round(r, &mut replica);
             drive_round(&mut replica, r);
-            NodeHook::<u64>::after_round(&mut durable, r, &mut replica);
+            durable.after_round(r, &mut replica);
         }
         assert_eq!(replica.applied_len(), 6);
         assert_eq!(
@@ -402,67 +512,64 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_policy_compacts_replica_and_store() {
+    fn snapshot_policy_folds_and_compacts_replica_and_store() {
         let mut replica = solo_replica(2);
-        let mut durable = DurableNode::new(
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
             MemStore::new(),
             DurableConfig {
                 snapshot_every: 8,
                 snapshot_tail: 2,
                 durable_ack: true,
             },
+            Folder::default(),
             NoHook,
         );
         for r in 1..=200u64 {
             replica.submit_all([r * 10, r * 10 + 1]);
-            NodeHook::<u64>::before_round(&mut durable, r, &mut replica);
+            durable.before_round(r, &mut replica);
             drive_round(&mut replica, r);
-            NodeHook::<u64>::after_round(&mut durable, r, &mut replica);
+            durable.after_round(r, &mut replica);
         }
         assert!(durable.snapshots_taken() > 2, "policy must fire repeatedly");
         let meta = durable.store().snapshot_meta().expect("snapshot exists");
         assert!(meta.upto_slot > 0);
-        // The snapshot covers the applied prefix below its cut exactly:
-        // everything compacted away plus retained entries below the cut.
-        let retained_below_cut = replica
-            .applied_slots()
-            .iter()
-            .filter(|&&s| s < meta.upto_slot)
-            .count();
-        assert_eq!(
-            meta.applied_len as usize,
-            replica.applied_base() + retained_below_cut
-        );
         assert!(
             replica.applied_base() > 0,
             "compaction pruned the applied prefix"
         );
-        // The full state on record decodes back to the full prefix.
+        // The snapshot state is a FoldedState whose LogApp fold holds the
+        // full applied prefix below the cut.
         let snap = durable.store().read_snapshot().unwrap().unwrap();
-        let pairs = decode_state::<u64>(&snap.state).unwrap();
+        let mut buf = bytes::Bytes::from(snap.state.clone());
+        let fs = FoldedState::<u64>::decode(&mut buf).unwrap();
+        assert_eq!(fs.applied_len, meta.applied_len);
+        let pairs = decode_state::<u64>(&fs.app).unwrap();
         assert_eq!(pairs.len() as u64, meta.applied_len);
         assert!(pairs.iter().all(|(_, s)| *s < meta.upto_slot));
+        // The folder mirrors the on-disk fold.
+        assert_eq!(durable.folder().applied_len(), meta.applied_len);
     }
 
     #[test]
-    fn recovery_rebuilds_snapshot_plus_tail() {
-        // Build a log with snapshots, then recover a fresh replica from
-        // the store's recovery image and compare.
+    fn recovery_rebuilds_fold_plus_tail() {
+        // Build a log with snapshots, then recover a fresh replica+folder
+        // from the store's recovery image and compare.
         let mut replica = solo_replica(2);
-        let mut durable = DurableNode::new(
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
             MemStore::new(),
             DurableConfig {
                 snapshot_every: 8,
                 snapshot_tail: 2,
                 durable_ack: true,
             },
+            Folder::default(),
             NoHook,
         );
         for r in 1..=40u64 {
             replica.submit_all([r * 10, r * 10 + 1]);
-            NodeHook::<u64>::before_round(&mut durable, r, &mut replica);
+            durable.before_round(r, &mut replica);
             drive_round(&mut replica, r);
-            NodeHook::<u64>::after_round(&mut durable, r, &mut replica);
+            durable.after_round(r, &mut replica);
         }
         let total_applied = replica.applied_len();
         let total_slots = replica.committed_slots();
@@ -473,36 +580,118 @@ mod tests {
             ..Recovery::default()
         };
         let mut fresh = solo_replica(2);
-        let recovered = recover_replica(&mut fresh, &recovery);
+        let mut folder: Folder<LogApp<u64>> = Folder::default();
+        let recovered = recover_replica(&mut fresh, &mut folder, &recovery);
         assert_eq!(recovered.applied, total_applied);
         assert_eq!(fresh.committed_slots(), total_slots);
         assert!(recovered.snapshot_slots > 0 && recovered.replayed_slots > 0);
-        // The recovered suffix matches the original's retained suffix.
-        let lo = replica.applied_base();
+        // The recovered fold covers the full history: its LogApp equals
+        // the original's committed command sequence.
+        assert_eq!(folder.applied_len() as usize, total_applied);
+        assert_eq!(folder.app().len(), total_applied);
+        // The recovered retained suffix matches the original's where they
+        // overlap (the folded install retains nothing below its cut,
+        // while the original kept a snapshot tail).
+        let lo = replica.applied_base().max(fresh.applied_base());
+        let hi = replica.applied_len().min(fresh.applied_len());
+        assert!(hi > lo, "suffixes overlap");
         assert_eq!(
-            &fresh.applied()[lo - fresh.applied_base()..],
-            replica.applied()
+            &fresh.applied()[lo - fresh.applied_base()..hi - fresh.applied_base()],
+            &replica.applied()[lo - replica.applied_base()..hi - replica.applied_base()]
         );
+    }
+
+    /// Satellite regression: a laggard request is answered from the
+    /// on-disk snapshot whenever one covers it; the fold-synthesis path
+    /// runs only when no snapshot exists.
+    #[test]
+    fn serving_prefers_disk_and_synthesizes_only_without_a_snapshot() {
+        // Node with periodic snapshots: after enough rounds a snapshot is
+        // on disk, and serving must come from it.
+        let mut replica = solo_replica(2);
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
+            MemStore::new(),
+            DurableConfig {
+                snapshot_every: 8,
+                snapshot_tail: 2,
+                durable_ack: true,
+            },
+            Folder::default(),
+            NoHook,
+        );
+        for r in 1..=40u64 {
+            replica.submit_all([r * 2, r * 2 + 1]);
+            durable.before_round(r, &mut replica);
+            drive_round(&mut replica, r);
+            durable.after_round(r, &mut replica);
+        }
+        let disk_cut = durable.store().snapshot_meta().unwrap().upto_slot;
+        let manifest = durable.serve_manifest(&replica, 0).expect("serves");
+        assert_eq!(manifest.upto_slot, disk_cut, "served the disk snapshot");
+        assert_eq!(durable.served_from_disk(), 1);
+        assert_eq!(
+            durable.served_synthesized(),
+            0,
+            "no synthesis with a snapshot"
+        );
+        // Chunks reassemble to exactly the on-disk state.
+        let mut state = Vec::new();
+        for i in 0..manifest.chunks {
+            state.extend(
+                durable
+                    .serve_chunk(&replica, manifest.upto_slot, i)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(gencon_crypto::sha256(&state), manifest.sha256);
+
+        // Node without any snapshot (policy disabled): the same request
+        // falls back to synthesis from the uncompacted log.
+        let mut replica2 = solo_replica(2);
+        let mut memory: LogDurable<NoHook> = DurableNode::new(
+            MemStore::new(),
+            DurableConfig {
+                snapshot_every: 0,
+                ..DurableConfig::default()
+            },
+            Folder::default(),
+            NoHook,
+        );
+        for r in 1..=40u64 {
+            replica2.submit_all([r * 2, r * 2 + 1]);
+            memory.before_round(r, &mut replica2);
+            drive_round(&mut replica2, r);
+            memory.after_round(r, &mut replica2);
+        }
+        let manifest2 = memory.serve_manifest(&replica2, 0).expect("synthesizes");
+        assert_eq!(memory.served_from_disk(), 0);
+        assert_eq!(memory.served_synthesized(), 1, "synthesis is the fallback");
+        assert!(manifest2.upto_slot > 0 && manifest2.consistent());
+        // A requester already past the synthesized cut gets silence.
+        assert!(memory
+            .serve_manifest(&replica2, manifest2.upto_slot)
+            .is_none());
     }
 
     #[test]
     fn fast_ack_gate_is_wide_open() {
         let mut replica = solo_replica(4);
-        let mut durable = DurableNode::new(
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
             MemStore::new(),
             DurableConfig {
                 durable_ack: false,
                 snapshot_every: 0,
                 ..DurableConfig::default()
             },
+            Folder::default(),
             NoHook,
         );
         let gate = durable.ack_gate();
         replica.submit_all([7u64, 8]);
         for r in 1..=6u64 {
-            NodeHook::<u64>::before_round(&mut durable, r, &mut replica);
+            durable.before_round(r, &mut replica);
             drive_round(&mut replica, r);
-            NodeHook::<u64>::after_round(&mut durable, r, &mut replica);
+            durable.after_round(r, &mut replica);
         }
         assert_eq!(gate.load(Ordering::SeqCst) as usize, replica.applied_len());
     }

@@ -1,9 +1,12 @@
 //! The TCP client gateway: accepts client connections, feeds submissions
-//! into the replica, and acks commands once they commit.
+//! into the replica, runs the **live application** over the applied log,
+//! and acks commands — with the application's reply payload — once they
+//! commit.
 //!
 //! The gateway is a [`NodeHook`]: connection threads only push parsed
-//! submissions onto a queue; all replica access happens inside the node
-//! event loop (single-threaded, no locks around consensus state).
+//! submissions onto a queue; all replica and application access happens
+//! inside the node event loop (single-threaded, no locks around
+//! consensus state).
 //!
 //! * [`NodeHook::before_round`] drains queued submissions into the
 //!   replica — applying **backpressure** (the command is bounced with the
@@ -11,8 +14,13 @@
 //!   queue exceeds its limit, and **redirecting** every submission when
 //!   the server is configured as a non-accepting follower;
 //! * [`NodeHook::after_round`] walks the newly applied suffix of the log
-//!   and answers each locally submitted command with its `(slot, offset)`
-//!   commit coordinates.
+//!   through the live [`Applier`] — producing each command's
+//!   [`App::Reply`] the moment it flattens — and answers each locally
+//!   submitted command with its `(slot, offset)` commit coordinates plus
+//!   the reply. Under durable-ack the **apply** still runs immediately
+//!   (deterministic replay needs no fsync), but the *ack* is held in a
+//!   pending queue until the durable watermark passes the command's
+//!   offset, so an acked command is one a crash cannot lose.
 //!
 //! Two protections keep one client from hurting the rest: ack writes run
 //! under a short write timeout (a client that stops reading gets its
@@ -21,7 +29,7 @@
 //! the gateway's commit index (the replica's dedup would otherwise
 //! swallow them silently).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -29,6 +37,8 @@ use std::sync::Arc;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use gencon_app::{App, Applier};
+use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::BatchingReplica;
 use gencon_types::ProcessId;
 
@@ -69,27 +79,38 @@ impl Default for GatewayConfig {
     }
 }
 
-/// The client-facing service half of a `gencon-server` node.
-pub struct ClientGateway {
-    submissions: Receiver<(u64, u64)>,
+/// The client-facing service half of a `gencon-server` node, running
+/// application `A` over the replicated log.
+pub struct ClientGateway<A: App> {
+    submissions: Receiver<(u64, A::Cmd)>,
     conns: Conns,
     /// Locally submitted, not yet committed: command → connection.
-    inflight: HashMap<u64, u64>,
-    /// Prefix of the applied log already indexed/acked.
-    acked: usize,
-    /// Commit coordinates of recently applied commands, for re-acking
-    /// client retries of already-committed submissions. Bounded by
-    /// [`GatewayConfig::reack_index_cap`]: oldest entries are evicted
-    /// (`reack_order` is the FIFO), so a long-running node's gateway
-    /// memory stays flat.
-    committed_index: HashMap<u64, (u64, u64)>,
+    inflight: HashMap<A::Cmd, u64>,
+    /// The live application: applies every command as it flattens.
+    applier: Applier<A>,
+    /// Applied but not yet acked `(cmd, slot, offset, reply)` — drained
+    /// in offset order as the durable watermark advances (immediately,
+    /// without a gate).
+    pending_acks: VecDeque<(A::Cmd, u64, u64, A::Reply)>,
+    /// Commit coordinates and replies of recently acked commands, for
+    /// re-acking client retries of already-committed submissions.
+    /// Bounded by [`GatewayConfig::reack_index_cap`]: oldest entries are
+    /// evicted (`reack_order` is the FIFO), so a long-running node's
+    /// gateway memory stays flat.
+    committed_index: HashMap<A::Cmd, (u64, u64, A::Reply)>,
     /// Insertion order of `committed_index`, for eviction.
-    reack_order: std::collections::VecDeque<u64>,
+    reack_order: VecDeque<A::Cmd>,
     /// Submissions bounced (backpressure or redirect) so far.
     bounced: u64,
+    /// Parked acks dropped because the pending queue hit its bound (a
+    /// persistently stalled durable gate — e.g. a failing disk — must
+    /// not grow memory without limit; the dropped commands are committed
+    /// and safe, their clients just never hear back, exactly as under a
+    /// stalled gate in general).
+    acks_dropped: u64,
     /// Durable-ack watermark: when set, commands at absolute log offsets
-    /// at or past the gate are **not** acked yet — their batch is applied
-    /// but not yet fsynced/snapshotted (see
+    /// at or past the gate are **applied but not acked** yet — their
+    /// batch is not fsynced/snapshotted (see
     /// [`DurableNode`](crate::DurableNode)). Acks resume as the gate
     /// advances.
     ack_gate: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
@@ -97,13 +118,13 @@ pub struct ClientGateway {
     local_addr: SocketAddr,
 }
 
-impl ClientGateway {
+impl<A: App> ClientGateway<A> {
     /// Binds `addr` and starts accepting client connections.
     ///
     /// # Errors
     ///
     /// Propagates the listener bind error.
-    pub fn listen(addr: SocketAddr, cfg: GatewayConfig) -> std::io::Result<ClientGateway> {
+    pub fn listen(addr: SocketAddr, cfg: GatewayConfig) -> std::io::Result<ClientGateway<A>> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
@@ -135,7 +156,7 @@ impl ClientGateway {
                 let tx = tx.clone();
                 let reader_conns = Arc::clone(&acceptor_conns);
                 std::thread::spawn(move || {
-                    conn_reader(conn_id, stream, &tx);
+                    conn_reader::<A>(conn_id, stream, &tx);
                     reader_conns.lock().remove(&conn_id);
                 });
             }
@@ -145,10 +166,12 @@ impl ClientGateway {
             submissions: rx,
             conns,
             inflight: HashMap::new(),
-            acked: 0,
+            applier: Applier::default(),
+            pending_acks: VecDeque::new(),
             committed_index: HashMap::new(),
-            reack_order: std::collections::VecDeque::new(),
+            reack_order: VecDeque::new(),
             bounced: 0,
+            acks_dropped: 0,
             ack_gate: None,
             cfg,
             local_addr,
@@ -158,14 +181,31 @@ impl ClientGateway {
     /// Installs the durable-ack watermark (see
     /// [`DurableNode::ack_gate`](crate::DurableNode::ack_gate)): acks are
     /// held back until the command's absolute log offset falls below the
-    /// gate.
+    /// gate. Application of commands is *not* gated — replies are simply
+    /// parked until durable.
     #[must_use]
     pub fn with_ack_gate(
         mut self,
         gate: std::sync::Arc<std::sync::atomic::AtomicU64>,
-    ) -> ClientGateway {
+    ) -> ClientGateway<A> {
         self.ack_gate = Some(gate);
         self
+    }
+
+    /// Replaces the live applier — the recovery path: after
+    /// [`recover_replica`](crate::recover_replica), seed the gateway with
+    /// an applier resumed from the recovered fold so replies and state
+    /// hashes continue where the previous process left off.
+    #[must_use]
+    pub fn with_applier(mut self, applier: Applier<A>) -> ClientGateway<A> {
+        self.applier = applier;
+        self
+    }
+
+    /// The live applier (cursor, app state, captured hash).
+    #[must_use]
+    pub fn applier(&self) -> &Applier<A> {
+        &self.applier
     }
 
     /// The address the gateway actually bound (resolves `:0` port probes).
@@ -186,7 +226,31 @@ impl ClientGateway {
         self.bounced
     }
 
-    fn respond(&self, conn_id: u64, resp: &ClientResponse<u64>) {
+    /// Parked acks dropped at the pending-queue bound (only a stalled
+    /// durable gate can make this nonzero).
+    #[must_use]
+    pub fn acks_dropped(&self) -> u64 {
+        self.acks_dropped
+    }
+
+    /// Records a committed command's coordinates + reply for re-acking
+    /// retries, evicting the oldest entries past the cap.
+    fn index_committed(&mut self, cmd: A::Cmd, slot: u64, offset: u64, reply: A::Reply) {
+        if self
+            .committed_index
+            .insert(cmd.clone(), (slot, offset, reply))
+            .is_none()
+        {
+            self.reack_order.push_back(cmd);
+        }
+        while self.reack_order.len() > self.cfg.reack_index_cap {
+            if let Some(old) = self.reack_order.pop_front() {
+                self.committed_index.remove(&old);
+            }
+        }
+    }
+
+    fn respond(&self, conn_id: u64, resp: &ClientResponse<A::Cmd, A::Reply>) {
         let mut conns = self.conns.lock();
         let Some(stream) = conns.get_mut(&conn_id) else {
             return; // client went away; the commit stands regardless
@@ -201,9 +265,9 @@ impl ClientGateway {
 }
 
 /// Reads `Submit` frames off one client connection until EOF/error.
-fn conn_reader(conn_id: u64, mut stream: TcpStream, tx: &Sender<(u64, u64)>) {
+fn conn_reader<A: App>(conn_id: u64, mut stream: TcpStream, tx: &Sender<(u64, A::Cmd)>) {
     loop {
-        match read_frame::<_, ClientRequest<u64>>(&mut stream) {
+        match read_frame::<_, ClientRequest<A::Cmd>>(&mut stream) {
             Ok(ClientRequest::Submit { cmd }) => {
                 if tx.send((conn_id, cmd)).is_err() {
                     return; // node loop gone: shutting down
@@ -219,14 +283,20 @@ fn conn_reader(conn_id: u64, mut stream: TcpStream, tx: &Sender<(u64, u64)>) {
     }
 }
 
-impl NodeHook<u64> for ClientGateway {
-    fn before_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
+impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
+    fn before_round(&mut self, _round: u64, replica: &mut BatchingReplica<A::Cmd>) {
         while let Ok((conn_id, cmd)) = self.submissions.try_recv() {
             // A retry of a command that already committed: re-ack it —
             // the replica's dedup would swallow the resubmission, and
             // the client would otherwise never hear back.
-            if let Some(&(slot, offset)) = self.committed_index.get(&cmd) {
-                self.respond(conn_id, &ClientResponse::Committed { cmd, slot, offset });
+            if let Some((slot, offset, reply)) = self.committed_index.get(&cmd) {
+                let resp = ClientResponse::Committed {
+                    cmd,
+                    slot: *slot,
+                    offset: *offset,
+                    reply: Some(reply.clone()),
+                };
+                self.respond(conn_id, &resp);
                 continue;
             }
             if let Some(to) = self.cfg.redirect_to {
@@ -239,52 +309,84 @@ impl NodeHook<u64> for ClientGateway {
                 self.respond(
                     conn_id,
                     &ClientResponse::Backpressure {
-                        cmd,
+                        cmd: cmd.clone(),
                         queued: replica.queued() as u64,
                     },
                 );
                 continue;
             }
-            self.inflight.insert(cmd, conn_id);
+            self.inflight.insert(cmd.clone(), conn_id);
             replica.submit(cmd);
         }
     }
 
-    fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<u64>) {
-        let applied = replica.applied();
-        let slots = replica.applied_slots();
-        let base = replica.applied_base();
-        // Under durable-ack, stop at the persistence watermark: an acked
-        // command is one a crash cannot lose.
-        let limit = self.ack_gate.as_ref().map_or(replica.applied_len(), |g| {
-            (g.load(std::sync::atomic::Ordering::SeqCst) as usize).min(replica.applied_len())
+    fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<A::Cmd>) {
+        // 1. Apply every newly flattened command through the live app —
+        // ungated: deterministic replay carries no durability promise,
+        // and holding the *app* (rather than just acks) behind the fsync
+        // watermark would stall state hashes and replies for nothing.
+        let limit = replica.applied_len() as u64;
+        let pending = &mut self.pending_acks;
+        self.applier.track(
+            replica.applied(),
+            replica.applied_slots(),
+            replica.applied_base() as u64,
+            limit,
+            |cmd, slot, offset, reply| pending.push_back((cmd.clone(), slot, offset, reply)),
+        );
+        // Bound the parked acks: under a healthy gate the queue drains
+        // every group-commit window, but a gate that stops advancing
+        // (failing disk) must not grow memory with throughput forever.
+        // The *newest* entries are dropped — the oldest are the next to
+        // become durable. A dropped command is still committed, and its
+        // coordinates go straight into the (equally bounded) re-ack
+        // index so a client retry after the gate recovers gets answered
+        // instead of being swallowed by the replica's dedup.
+        while self.pending_acks.len() > self.cfg.reack_index_cap {
+            let (cmd, slot, offset, reply) = self.pending_acks.pop_back().expect("over cap");
+            self.acks_dropped += 1;
+            self.index_committed(cmd, slot, offset, reply);
+        }
+        // 2. Release acks up to the durable watermark (everything, when
+        // no gate is installed).
+        let gate = self.ack_gate.as_ref().map_or(limit, |g| {
+            g.load(std::sync::atomic::Ordering::SeqCst).min(limit)
         });
-        for offset in self.acked.max(base)..limit {
-            let cmd = applied[offset - base];
-            if self
-                .committed_index
-                .insert(cmd, (slots[offset - base], offset as u64))
-                .is_none()
-            {
-                self.reack_order.push_back(cmd);
-            }
-            while self.reack_order.len() > self.cfg.reack_index_cap {
-                if let Some(old) = self.reack_order.pop_front() {
-                    self.committed_index.remove(&old);
-                }
-            }
+        while self
+            .pending_acks
+            .front()
+            .is_some_and(|(_, _, offset, _)| *offset < gate)
+        {
+            let (cmd, slot, offset, reply) = self.pending_acks.pop_front().expect("front exists");
+            self.index_committed(cmd.clone(), slot, offset, reply.clone());
             if let Some(conn_id) = self.inflight.remove(&cmd) {
                 self.respond(
                     conn_id,
                     &ClientResponse::Committed {
                         cmd,
-                        slot: slots[offset - base],
-                        offset: offset as u64,
+                        slot,
+                        offset,
+                        reply: Some(reply),
                     },
                 );
             }
         }
-        self.acked = self.acked.max(limit);
+    }
+
+    fn snapshot_installed(
+        &mut self,
+        _manifest: &SnapshotManifest,
+        _state: &[u8],
+        fs: &FoldedState<A::Cmd>,
+        _replica: &mut BatchingReplica<A::Cmd>,
+    ) {
+        // A state transfer replaced the replica's log wholesale; restore
+        // the live app from the transferred fold. Pending acks for
+        // offsets below the fold were produced before the jump and stay
+        // answerable (their replies were computed at apply time).
+        if let Err(e) = self.applier.restore(fs) {
+            eprintln!("[gateway] live app restore failed: {e}");
+        }
     }
 }
 
@@ -292,6 +394,7 @@ impl NodeHook<u64> for ClientGateway {
 mod tests {
     use super::*;
     use gencon_algos::paxos;
+    use gencon_app::{KvApp, KvCmd, KvOp, KvReply, LogApp};
     use gencon_smr::Batch;
 
     fn test_replica(cap: usize) -> BatchingReplica<u64> {
@@ -307,7 +410,7 @@ mod tests {
         stream
     }
 
-    fn drain_submissions(gw: &mut ClientGateway, replica: &mut BatchingReplica<u64>) {
+    fn drain_submissions(gw: &mut ClientGateway<LogApp<u64>>, replica: &mut BatchingReplica<u64>) {
         // Connection readers run on their own threads; poll briefly.
         for _ in 0..100 {
             gw.before_round(1, replica);
@@ -320,9 +423,11 @@ mod tests {
 
     #[test]
     fn submissions_reach_the_replica() {
-        let mut gw =
-            ClientGateway::listen("127.0.0.1:0".parse().unwrap(), GatewayConfig::default())
-                .unwrap();
+        let mut gw = ClientGateway::<LogApp<u64>>::listen(
+            "127.0.0.1:0".parse().unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
         let mut replica = test_replica(8);
         let _conn = connect_and_submit(gw.local_addr(), &[11, 22]);
         for _ in 0..100 {
@@ -338,7 +443,7 @@ mod tests {
 
     #[test]
     fn backpressure_bounces_instead_of_queueing() {
-        let mut gw = ClientGateway::listen(
+        let mut gw = ClientGateway::<LogApp<u64>>::listen(
             "127.0.0.1:0".parse().unwrap(),
             GatewayConfig {
                 backpressure_limit: 0,
@@ -359,13 +464,15 @@ mod tests {
     /// from the commit index — the replica's dedup swallows the
     /// resubmission, so without the index the client would hang forever.
     #[test]
-    fn retry_of_committed_command_is_reacked() {
+    fn retry_of_committed_command_is_reacked_with_its_reply() {
         use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
         use gencon_types::Round;
 
-        let mut gw =
-            ClientGateway::listen("127.0.0.1:0".parse().unwrap(), GatewayConfig::default())
-                .unwrap();
+        let mut gw = ClientGateway::<LogApp<u64>>::listen(
+            "127.0.0.1:0".parse().unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
         // A single-replica log (Paxos n = 1): commits without peers when
         // driven by hand, which is all this unit test needs.
         let spec = paxos::<Batch<u64>>(1, 0, ProcessId::new(0)).unwrap();
@@ -391,7 +498,10 @@ mod tests {
         }
         assert_eq!(replica.applied(), &[77], "single-replica log commits");
         let first: ClientResponse<u64> = read_frame(&mut conn).unwrap();
-        let ClientResponse::Committed { cmd, slot, offset } = first else {
+        let ClientResponse::Committed {
+            cmd, slot, offset, ..
+        } = first
+        else {
             panic!("expected a commit ack, got {first:?}");
         };
         assert_eq!((cmd, offset), (77, 0));
@@ -416,15 +526,17 @@ mod tests {
             ClientResponse::Committed {
                 cmd: 77,
                 slot,
-                offset: 0
+                offset: 0,
+                reply: Some(0),
             }
         );
         assert_eq!(replica.applied(), &[77], "no duplicate apply");
+        assert_eq!(gw.applier().cursor(), 1, "the live app applied it once");
     }
 
     #[test]
     fn follower_mode_redirects() {
-        let mut gw = ClientGateway::listen(
+        let mut gw = ClientGateway::<LogApp<u64>>::listen(
             "127.0.0.1:0".parse().unwrap(),
             GatewayConfig {
                 redirect_to: Some(ProcessId::new(0)),
@@ -444,5 +556,69 @@ mod tests {
             }
         );
         assert_eq!(replica.queued(), 0);
+    }
+
+    /// End-to-end kv over the gateway: a put then a get commit, and the
+    /// get's ack carries the put's value as its app reply.
+    #[test]
+    fn kv_acks_carry_app_replies() {
+        use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
+        use gencon_types::Round;
+
+        let mut gw = ClientGateway::<KvApp>::listen(
+            "127.0.0.1:0".parse().unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
+        let spec = paxos::<Batch<KvCmd>>(1, 0, ProcessId::new(0)).unwrap();
+        let mut replica =
+            BatchingReplica::new(ProcessId::new(0), spec.params.clone(), 4, usize::MAX).unwrap();
+
+        let put = KvCmd {
+            id: 1,
+            op: KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+        };
+        let get = KvCmd {
+            id: 2,
+            op: KvOp::Get { key: b"k".to_vec() },
+        };
+        let mut conn = TcpStream::connect(gw.local_addr()).unwrap();
+        write_frame(&mut conn, &ClientRequest::Submit { cmd: put.clone() }).unwrap();
+        write_frame(&mut conn, &ClientRequest::Submit { cmd: get.clone() }).unwrap();
+        for _ in 0..100 {
+            gw.before_round(1, &mut replica);
+            if replica.queued() == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for round in 1..=30u64 {
+            let r = Round::new(round);
+            gw.before_round(round, &mut replica);
+            let out = replica.send(r);
+            let mut heard: HeardOf<_> = HeardOf::empty(1);
+            if let Outgoing::Broadcast(m) = out {
+                heard.put(ProcessId::new(0), m);
+            }
+            replica.receive(r, &heard);
+            gw.after_round(round, &mut replica);
+            if replica.applied_len() >= 2 {
+                break;
+            }
+        }
+        let mut replies = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let resp: ClientResponse<KvCmd, KvReply> = read_frame(&mut conn).unwrap();
+            let ClientResponse::Committed { cmd, reply, .. } = resp else {
+                panic!("expected commits");
+            };
+            replies.insert(cmd.id, reply.expect("app reply attached"));
+        }
+        assert_eq!(replies[&1], KvReply::Stored { replaced: false });
+        assert_eq!(replies[&2], KvReply::Value(Some(b"v".to_vec())));
+        assert_eq!(gw.applier().app().len(), 1);
     }
 }

@@ -30,9 +30,26 @@
 //!   takes over: peers answer the laggard's stale-slot bundles with
 //!   decision claims, and `b + 1` concordant claims commit any missed
 //!   prefix ([`gencon_smr`]'s certificate path).
+//! * **Chunked state transfer** — a laggard whose gap outran the claim
+//!   horizon broadcasts a `SnapshotRequest`; peers answer with a
+//!   [`SnapshotManifest`] (metadata only, served by the
+//!   [`NodeHook`] — the durable hook prefers its on-disk snapshot and
+//!   synthesizes a fold only when none exists). Once `b + 1` distinct
+//!   senders vouch for the byte-identical manifest, the laggard pulls the
+//!   state chunk by chunk ([`ChunkRequest`]/`Chunk` frames, CRC-stamped,
+//!   resumable across rounds, round-robin over the vouchers), reassembles
+//!   it, verifies the manifest's SHA-256, and installs the decoded
+//!   [`FoldedState`] — the folded application state plus replica resume
+//!   data, **not** the applied history, so transfer size is O(live app
+//!   state) with no history ceiling.
 //! * **Hooks** — a [`NodeHook`] injects client submissions before each
-//!   round and harvests commits after it; the TCP client gateway and the
-//!   load harness are both hooks.
+//!   round, harvests commits after it, and serves/persists snapshots; the
+//!   TCP client gateway, the durability layer and the load harness are
+//!   all hooks.
+//!
+//! [`SnapshotManifest`]: gencon_net::SnapshotManifest
+//! [`ChunkRequest`]: gencon_net::SyncFrame::ChunkRequest
+//! [`FoldedState`]: gencon_net::FoldedState
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -40,7 +57,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use gencon_net::wire::{Envelope, Wire};
-use gencon_net::wire_sync::{decode_state, encode_state, SnapshotMeta, SyncFrame};
+use gencon_net::wire_sync::{
+    AssemblyOutcome, ChunkAssembly, FoldedState, SnapshotManifest, SyncFrame,
+};
 use gencon_net::Transport;
 use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
 use gencon_smr::{Batch, BatchingReplica, SmrMsg};
@@ -75,26 +94,47 @@ pub trait NodeHook<V: Value>: Send {
         false
     }
 
-    /// Asked when a laggard peer requests state transfer: the snapshot
-    /// this node can serve (metadata plus opaque state bytes), or `None`
-    /// to let the event loop synthesize one from the replica's in-memory
-    /// applied log (possible only while the log is uncompacted). The
-    /// durable hook serves its on-disk snapshot here.
-    fn serve_snapshot(&mut self, replica: &BatchingReplica<V>) -> Option<(SnapshotMeta, Vec<u8>)> {
-        let _ = replica;
+    /// Asked when a laggard peer whose log ends at `have_slot` requests
+    /// state transfer: the manifest of the snapshot this node can serve,
+    /// or `None` to stay silent. The durable hook answers from its
+    /// on-disk snapshot when one covers the request and synthesizes a
+    /// fold from the retained log only when none exists; a hook-less
+    /// memory node serves nothing (claims remain its only catch-up path).
+    fn serve_manifest(
+        &mut self,
+        replica: &BatchingReplica<V>,
+        have_slot: u64,
+    ) -> Option<SnapshotManifest> {
+        let _ = (replica, have_slot);
         None
     }
 
-    /// Called after the event loop installed a `b + 1`-vouched snapshot
-    /// into the replica — the durable hook persists it here so a later
-    /// restart recovers past the transferred prefix too.
+    /// Asked for chunk `index` of the snapshot this node manifested at
+    /// `upto_slot`. The event loop stamps the CRC.
+    fn serve_chunk(
+        &mut self,
+        replica: &BatchingReplica<V>,
+        upto_slot: u64,
+        index: u32,
+    ) -> Option<Vec<u8>> {
+        let _ = (replica, upto_slot, index);
+        None
+    }
+
+    /// Called after the event loop installed a `b + 1`-vouched,
+    /// hash-verified snapshot into the replica — `state` is the encoded
+    /// [`FoldedState`] (for persisting verbatim) and `fs` its decoded
+    /// form (so hooks need not re-parse). The durable hook persists it
+    /// (so a later restart recovers past the transferred prefix) and
+    /// restores its fold; the gateway restores its live application.
     fn snapshot_installed(
         &mut self,
-        meta: &SnapshotMeta,
+        manifest: &SnapshotManifest,
         state: &[u8],
+        fs: &FoldedState<V>,
         replica: &mut BatchingReplica<V>,
     ) {
-        let _ = (meta, state, replica);
+        let _ = (manifest, state, fs, replica);
     }
 }
 
@@ -117,11 +157,6 @@ impl<V: Value> NodeHook<V> for NoHook {}
 /// `(sender, bundle)` pairs (at most one per sender per round).
 type FutureFrames<V> = BTreeMap<u64, Vec<(ProcessId, SmrMsg<Batch<V>>)>>;
 
-/// Snapshot-response tallies during state transfer: metadata key
-/// `(upto_slot, applied_len, state_hash)` → (vouching senders, the first
-/// hash-verified state bytes).
-type SnapshotVotes = BTreeMap<(u64, u64, [u8; 32]), (ProcessSet, Vec<u8>)>;
-
 /// Rounds a silent sender keeps counting toward the full-round
 /// expectation before pacing writes it off as down.
 pub const LIVENESS_GRACE: u64 = 16;
@@ -141,6 +176,21 @@ pub const SNAPSHOT_PROBE_AFTER: u64 = 8;
 /// Minimum slot gap (peers' highest referenced slot vs. our contiguous
 /// commit point) that makes a stall snapshot-worthy.
 pub const SNAPSHOT_GAP_MIN: u64 = 8;
+
+/// Missing chunks re-requested per round while a fetch is active — the
+/// transfer self-paces with the round cadence, and chunks that were lost
+/// in flight are simply re-requested on a later round (resumability).
+pub const CHUNK_REQUESTS_PER_ROUND: usize = 8;
+
+/// Chunk responses served to one peer within one round (a Byzantine
+/// requester must not turn chunk serving into an amplification flood).
+pub const CHUNKS_SERVED_PER_SENDER_PER_ROUND: u32 = 16;
+
+/// Rounds without a newly accepted chunk before an in-flight fetch is
+/// abandoned (its manifest is dropped from the tally and re-learned
+/// fresh) — the resumability safety valve against chasing a snapshot
+/// the vouchers have already superseded.
+pub const FETCH_STALL_ROUNDS: u64 = 32;
 
 /// Senders heard within the liveness grace window (everyone at startup,
 /// since nobody has had a chance to speak yet).
@@ -166,10 +216,45 @@ pub struct NodeStats {
     pub fast_forwards: u64,
     /// Snapshot state-transfer requests this node broadcast.
     pub snapshot_requests: u64,
-    /// Snapshot responses this node served to laggards.
+    /// Snapshot manifests this node served to laggards.
     pub snapshots_served: u64,
-    /// Snapshots installed from peers (`b + 1`-vouched).
+    /// State chunks this node served to laggards.
+    pub chunks_served: u64,
+    /// Verified state chunks this node fetched during transfers.
+    pub chunks_fetched: u64,
+    /// Snapshots installed from peers (`b + 1`-vouched, SHA-verified).
     pub snapshots_installed: u64,
+}
+
+/// An in-progress chunked state fetch: the vouched manifest, who vouched
+/// (only they are asked for chunks), the resumable reassembly, and a
+/// round-robin cursor so retries rotate across vouchers — a single lying
+/// voucher can delay a fetch round but not starve it.
+struct Fetch {
+    assembly: ChunkAssembly,
+    voters: Vec<ProcessId>,
+    /// Which voucher this attempt pulls from: `voters[attempt % len]`.
+    /// All chunks of one attempt come from a **single source**, and the
+    /// source rotates on failure (SHA mismatch or stall) — so at most
+    /// one rotation per voucher reaches the attempt whose source is
+    /// honest (the voter set has ≥ b + 1 members), which then completes
+    /// with the correct bytes. Mixing sources within an attempt would
+    /// let a single lying voucher poison every assembly forever.
+    attempt: usize,
+    /// Last round a chunk was newly accepted (or the attempt rotated). A
+    /// fetch that stops progressing — typically because the vouchers'
+    /// snapshots moved past this manifest's cut and nobody can serve its
+    /// chunks any more — rotates its source after
+    /// [`FETCH_STALL_ROUNDS`], and is abandoned entirely once every
+    /// voucher was tried twice, so the tally can converge on a servable
+    /// manifest instead of pinning a stale one.
+    last_progress: u64,
+}
+
+impl Fetch {
+    fn source(&self) -> ProcessId {
+        self.voters[self.attempt % self.voters.len()]
+    }
 }
 
 /// Drives `replica` over `transport` until the hook stops it or
@@ -177,6 +262,7 @@ pub struct NodeStats {
 /// result), the transport (reusable — e.g. to restart a node on the same
 /// endpoint after a simulated crash), run statistics, and the hook (so
 /// callers can read its end state — gateway counters, WAL statistics).
+#[allow(clippy::too_many_lines)]
 pub fn run_smr_node<V, T, H>(
     mut replica: BatchingReplica<V>,
     mut transport: T,
@@ -209,14 +295,18 @@ where
     // outrun the decision-claim horizon and needs a snapshot.
     let mut last_commit_len: u64 = replica.committed_slots() as u64;
     let mut stall_rounds: u64 = 0;
-    // Snapshot responses tallied by metadata: install once b + 1 distinct
-    // senders vouch for the same (upto, len, hash) — at least one is
-    // honest. Only hash-verified states are stored, at most one per
-    // metadata and at most a handful of metadata keys (a Byzantine peer
-    // cannot grow this without bound).
-    let mut snapshot_votes: SnapshotVotes = BTreeMap::new();
-    // Serve throttle: last round each peer was served a snapshot.
+    // Manifests tallied by value: a chunk fetch starts only once b + 1
+    // distinct senders vouch for the identical manifest — at least one is
+    // honest, so the described state is the real folded prefix. Each
+    // sender holds at most one live manifest (a newer one replaces its
+    // older vote), so a Byzantine peer cannot crowd the tally.
+    let mut manifest_votes: BTreeMap<SnapshotManifest, ProcessSet> = BTreeMap::new();
+    // The active chunk fetch, if any (one at a time).
+    let mut fetch: Option<Fetch> = None;
+    // Serve throttles: last round each peer was served a manifest, and
+    // chunks served to each peer this round.
     let mut last_served: Vec<u64> = vec![0; n];
+    let mut chunk_budget: Vec<u32> = vec![0; n];
     // The round each sender was last heard in (any round tag counts as a
     // liveness signal). A sender silent for more than LIVENESS_GRACE
     // rounds stops counting toward the "full round" expectation, so a
@@ -288,6 +378,7 @@ where
             }
         }
         last_heard[me.index()] = r;
+        chunk_budget.iter_mut().for_each(|b| *b = 0);
         let started = Instant::now();
         let round_deadline = started + deadline.current();
         // Bounds the zero-timeout drain below so a flooding peer cannot
@@ -332,28 +423,17 @@ where
             let env = match sync {
                 SyncFrame::Round(env) => env,
                 SyncFrame::SnapshotRequest { have_slot, .. } => {
-                    // Serve the laggard (throttled per sender: building a
-                    // snapshot costs O(state), and a Byzantine requester
-                    // must not turn that into a flood).
+                    // Describe our snapshot to the laggard (throttled per
+                    // sender; a manifest is metadata-only but building a
+                    // synthesized fold behind it costs O(state)).
                     if r >= last_served[sender.index()] + SNAPSHOT_PROBE_AFTER / 2 {
-                        let snap = hook
-                            .serve_snapshot(&replica)
-                            .or_else(|| synthesize_snapshot(&replica));
-                        if let Some((meta, state)) = snap {
-                            // A state past the wire cap would be rejected
-                            // by every receiver's decoder — don't put an
-                            // undecodable frame on the wire (the laggard
-                            // then needs an out-of-band copy of the data
-                            // dir; see the wire_sync module docs).
-                            if meta.upto_slot > have_slot
-                                && state.len() <= gencon_net::wire_sync::MAX_SNAPSHOT_BYTES
-                            {
+                        if let Some(manifest) = hook.serve_manifest(&replica, have_slot) {
+                            if manifest.upto_slot > have_slot && manifest.consistent() {
                                 last_served[sender.index()] = r;
                                 stats.snapshots_served += 1;
-                                let resp = SyncFrame::<SmrMsg<Batch<V>>>::SnapshotResponse {
+                                let resp = SyncFrame::<SmrMsg<Batch<V>>>::Manifest {
                                     sender: me,
-                                    meta,
-                                    state,
+                                    manifest,
                                 };
                                 transport.send(sender, resp.to_bytes());
                             }
@@ -361,28 +441,61 @@ where
                     }
                     continue;
                 }
-                SyncFrame::SnapshotResponse { meta, state, .. } => {
-                    // Tally hash-verified responses; the install decision
-                    // happens after the collect step.
-                    if meta.upto_slot > replica.committed_slots() as u64
-                        && gencon_crypto::sha256(&state) == meta.state_hash
-                    {
-                        // One pending snapshot per sender: a newer
-                        // response replaces the sender's older vote, and
-                        // keys nobody vouches for any more (or that the
-                        // log overtook) are dropped. A Byzantine peer can
-                        // therefore hold at most one live key — it cannot
-                        // crowd honest metadata out of the tally.
-                        let floor = replica.committed_slots() as u64;
-                        snapshot_votes.retain(|k, (who, _)| {
+                SyncFrame::Manifest { manifest, .. } => {
+                    // Tally consistent manifests that extend our log; the
+                    // fetch decision happens after the collect step. One
+                    // live manifest per sender, and keys the log overtook
+                    // are dropped — a Byzantine peer cannot grow this.
+                    let floor = replica.committed_slots() as u64;
+                    if manifest.upto_slot > floor && manifest.consistent() {
+                        manifest_votes.retain(|m, who| {
                             who.remove(sender);
-                            !who.is_empty() && k.0 > floor
+                            !who.is_empty() && m.upto_slot > floor
                         });
-                        let key = (meta.upto_slot, meta.applied_len, meta.state_hash);
-                        let entry = snapshot_votes
-                            .entry(key)
-                            .or_insert_with(|| (ProcessSet::new(), state));
-                        entry.0.insert(sender);
+                        manifest_votes.entry(manifest).or_default().insert(sender);
+                    }
+                    continue;
+                }
+                SyncFrame::ChunkRequest {
+                    upto_slot, index, ..
+                } => {
+                    // Serve one chunk (budgeted per sender per round).
+                    if chunk_budget[sender.index()] < CHUNKS_SERVED_PER_SENDER_PER_ROUND {
+                        if let Some(bytes) = hook.serve_chunk(&replica, upto_slot, index) {
+                            chunk_budget[sender.index()] += 1;
+                            stats.chunks_served += 1;
+                            let resp = SyncFrame::<SmrMsg<Batch<V>>>::Chunk {
+                                sender: me,
+                                upto_slot,
+                                index,
+                                crc: gencon_crypto::crc32::crc32(&bytes),
+                                bytes,
+                            };
+                            transport.send(sender, resp.to_bytes());
+                        }
+                    }
+                    continue;
+                }
+                SyncFrame::Chunk {
+                    upto_slot,
+                    index,
+                    crc,
+                    bytes,
+                    ..
+                } => {
+                    // Feed the active fetch — only the current attempt's
+                    // single source is trusted; chunks from anyone else
+                    // (or for other snapshots) are dropped unexamined, so
+                    // an unsolicited flood from a lying voucher cannot
+                    // race honest chunks into the assembly.
+                    if let Some(f) = fetch.as_mut() {
+                        if f.assembly.manifest().upto_slot == upto_slot
+                            && sender == f.source()
+                            && f.assembly.accept(index, crc, bytes)
+                        {
+                            stats.chunks_fetched += 1;
+                            f.last_progress = r;
+                        }
                     }
                     continue;
                 }
@@ -424,28 +537,112 @@ where
             stats.timeouts += 1;
         }
 
-        // --- snapshot install: b + 1 distinct senders vouched for the
-        // same verified state, so it is the real prefix ---
+        // --- chunked state transfer: pick a b + 1-vouched manifest, pull
+        // its chunks across rounds, install once SHA-verified ---
         let commit_point = replica.committed_slots() as u64;
-        let vouched = snapshot_votes
-            .iter()
-            .filter(|(k, (who, _))| who.len() >= ff_threshold && k.0 > commit_point)
-            .map(|(k, _)| *k)
-            .max_by_key(|k| k.0);
-        if let Some(key) = vouched {
-            let (_, state) = snapshot_votes.remove(&key).expect("key just found");
-            if let Ok(pairs) = decode_state::<V>(&state) {
-                if replica.install_snapshot(pairs, key.0, r) {
-                    stats.snapshots_installed += 1;
-                    let meta = SnapshotMeta {
-                        upto_slot: key.0,
-                        applied_len: key.1,
-                        state_hash: key.2,
-                    };
-                    hook.snapshot_installed(&meta, &state, &mut replica);
-                    snapshot_votes.clear();
-                    stall_rounds = 0;
+        if fetch
+            .as_ref()
+            .is_some_and(|f| f.assembly.manifest().upto_slot <= commit_point)
+        {
+            fetch = None; // the log overtook the snapshot being fetched
+        }
+        if let Some(f) = fetch.as_mut() {
+            if r.saturating_sub(f.last_progress) > FETCH_STALL_ROUNDS {
+                // The current source stopped serving; rotate to the next
+                // voucher, discarding its chunks so the next attempt
+                // stays single-source (a silent-then-lying voucher must
+                // not leave poisoned chunks behind for an honest source
+                // to complete around). Once every voucher was tried
+                // twice the manifest itself is stale (everyone
+                // superseded it) — drop it and re-learn from fresh
+                // requests.
+                f.assembly.clear();
+                f.attempt += 1;
+                f.last_progress = r;
+                if f.attempt > 2 * f.voters.len() {
+                    manifest_votes.remove(f.assembly.manifest());
+                    fetch = None;
                 }
+            }
+        }
+        if fetch.is_none() {
+            let vouched = manifest_votes
+                .iter()
+                .filter(|(m, who)| who.len() >= ff_threshold && m.upto_slot > commit_point)
+                .max_by_key(|(m, _)| m.upto_slot)
+                .map(|(m, who)| (*m, *who));
+            if let Some((manifest, voters)) = vouched {
+                match ChunkAssembly::new(manifest) {
+                    Some(assembly) => {
+                        fetch = Some(Fetch {
+                            assembly,
+                            voters: voters.iter().collect(),
+                            attempt: 0,
+                            last_progress: r,
+                        });
+                    }
+                    None => {
+                        manifest_votes.remove(&manifest);
+                    }
+                }
+            }
+        }
+        let mut assembled: Option<(SnapshotManifest, Vec<u8>)> = None;
+        let mut abandon = false;
+        if let Some(f) = fetch.as_mut() {
+            match f.assembly.finish() {
+                AssemblyOutcome::Done(state) => {
+                    assembled = Some((*f.assembly.manifest(), state));
+                }
+                AssemblyOutcome::Corrupt => {
+                    // This attempt's source served lying chunks (CRC
+                    // fine, SHA wrong); the assembly discarded everything
+                    // — rotate to the next voucher for a clean attempt,
+                    // with the same twice-around abandonment bound as
+                    // the stall path.
+                    f.attempt += 1;
+                    f.last_progress = r;
+                    abandon = f.attempt > 2 * f.voters.len();
+                }
+                AssemblyOutcome::Incomplete => {
+                    // Resumable pull: re-request a few missing indices
+                    // from this attempt's source.
+                    let dest = f.source();
+                    let upto_slot = f.assembly.manifest().upto_slot;
+                    for index in f.assembly.missing(CHUNK_REQUESTS_PER_ROUND) {
+                        let req = SyncFrame::<SmrMsg<Batch<V>>>::ChunkRequest {
+                            sender: me,
+                            upto_slot,
+                            index,
+                        };
+                        transport.send(dest, req.to_bytes());
+                    }
+                }
+            }
+        }
+        if abandon {
+            if let Some(f) = fetch.take() {
+                manifest_votes.remove(f.assembly.manifest());
+            }
+        }
+        if let Some((manifest, state)) = assembled {
+            fetch = None;
+            let mut buf = Bytes::from(state.clone());
+            let decoded = FoldedState::<V>::decode(&mut buf).ok();
+            let installed = decoded.as_ref().is_some_and(|fs| {
+                replica.install_folded(&fs.dedup, fs.applied_len, manifest.upto_slot, r)
+            });
+            if installed {
+                stats.snapshots_installed += 1;
+                let fs = decoded.expect("installed implies decoded");
+                hook.snapshot_installed(&manifest, &state, &fs, &mut replica);
+                manifest_votes.clear();
+                stall_rounds = 0;
+            } else {
+                // A vouched-but-undecodable (or non-extending) state:
+                // drop the manifest so the fetch is not retried verbatim
+                // forever.
+                manifest_votes.remove(&manifest);
             }
         }
 
@@ -519,38 +716,6 @@ fn max_slot_of<V>(msg: &SmrMsg<V>) -> u64 {
         .chain(msg.claims().iter().map(|(s, _)| *s))
         .max()
         .unwrap_or(0)
-}
-
-/// Builds a state-transfer snapshot from the replica's in-memory applied
-/// log — possible only while the log is uncompacted (a durable node
-/// serves its on-disk snapshot through the hook instead).
-fn synthesize_snapshot<V: Value + Wire>(
-    replica: &BatchingReplica<V>,
-) -> Option<(SnapshotMeta, Vec<u8>)> {
-    if replica.applied_base() != 0 || replica.committed_base_slot() != 0 {
-        return None;
-    }
-    // Cut at a fixed slot-boundary multiple so every uncompacted replica
-    // synthesizes the byte-identical snapshot for a given boundary — the
-    // receiver needs b + 1 matching copies before trusting one.
-    let upto = (replica.committed_slots() as u64 / SNAPSHOT_GAP_MIN) * SNAPSHOT_GAP_MIN;
-    if upto == 0 {
-        return None;
-    }
-    let pairs: Vec<(V, u64)> = replica
-        .applied()
-        .iter()
-        .cloned()
-        .zip(replica.applied_slots().iter().copied())
-        .filter(|(_, s)| *s < upto)
-        .collect();
-    let state = encode_state(&pairs);
-    let meta = SnapshotMeta {
-        upto_slot: upto,
-        applied_len: pairs.len() as u64,
-        state_hash: gencon_crypto::sha256(&state),
-    };
-    Some((meta, state))
 }
 
 /// Whether `GENCON_NODE_DEBUG` asks for per-node pacing traces on stderr.

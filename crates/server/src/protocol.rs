@@ -5,9 +5,13 @@
 //! [`ClientResponse`] values:
 //!
 //! * `Submit { cmd }` → the server queues `cmd` for a batch and, once the
-//!   command is applied, answers `Committed { cmd, slot, offset }` with the
-//!   consensus slot it committed in and its offset in the replicated log —
-//!   the linearization point a client can cite.
+//!   command is applied, answers `Committed { cmd, slot, offset, reply }`
+//!   with the consensus slot it committed in, its offset in the
+//!   replicated log — the linearization point a client can cite — and,
+//!   when the server runs an application layer, the app's **reply**
+//!   payload (a kv get's value, a transfer's new balance), making the
+//!   protocol a real request/response service rather than a bare
+//!   append-ack.
 //! * `Backpressure { cmd, queued }` — the server's pending queue is past
 //!   its limit; the command was **not** queued and should be retried after
 //!   a pause. Echoing the command keeps the client retry loop stateless.
@@ -36,9 +40,11 @@ pub enum ClientRequest<V> {
     },
 }
 
-/// What a server answers.
+/// What a server answers. `R` is the application's reply type (offset
+/// `u64` for the plain log application, so pre-application-layer clients
+/// keep their old type).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ClientResponse<V> {
+pub enum ClientResponse<V, R = u64> {
     /// The command is applied: committed in `slot`, at log offset
     /// `offset`.
     Committed {
@@ -48,6 +54,10 @@ pub enum ClientResponse<V> {
         slot: u64,
         /// Position in the flattened replicated log.
         offset: u64,
+        /// The application's reply (`None` from servers running without
+        /// an application layer, or for re-acks whose reply aged out of
+        /// the index).
+        reply: Option<R>,
     },
     /// The server's queue is full; retry `cmd` after a pause.
     Backpressure {
@@ -85,14 +95,20 @@ impl<V: Value + Wire> Wire for ClientRequest<V> {
     }
 }
 
-impl<V: Value + Wire> Wire for ClientResponse<V> {
+impl<V: Value + Wire, R: Wire> Wire for ClientResponse<V, R> {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            ClientResponse::Committed { cmd, slot, offset } => {
+            ClientResponse::Committed {
+                cmd,
+                slot,
+                offset,
+                reply,
+            } => {
                 buf.put_u8(1);
                 cmd.encode(buf);
                 slot.encode(buf);
                 offset.encode(buf);
+                reply.encode(buf);
             }
             ClientResponse::Backpressure { cmd, queued } => {
                 buf.put_u8(2);
@@ -113,6 +129,7 @@ impl<V: Value + Wire> Wire for ClientResponse<V> {
                 cmd: V::decode(buf)?,
                 slot: u64::decode(buf)?,
                 offset: u64::decode(buf)?,
+                reply: Option::<R>::decode(buf)?,
             }),
             2 => Ok(ClientResponse::Backpressure {
                 cmd: V::decode(buf)?,
@@ -190,16 +207,30 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        roundtrip(ClientResponse::Committed {
+        roundtrip(ClientResponse::<u64>::Committed {
             cmd: 7u64,
             slot: 3,
             offset: 19,
+            reply: Some(19),
         });
-        roundtrip(ClientResponse::Backpressure {
+        roundtrip(ClientResponse::<u64>::Committed {
+            cmd: 7u64,
+            slot: 3,
+            offset: 19,
+            reply: None,
+        });
+        // A non-default reply type (what a kv server sends).
+        roundtrip(ClientResponse::<u64, Vec<u8>>::Committed {
+            cmd: 7u64,
+            slot: 3,
+            offset: 19,
+            reply: Some(b"value".to_vec()),
+        });
+        roundtrip(ClientResponse::<u64>::Backpressure {
             cmd: 7u64,
             queued: 4096,
         });
-        roundtrip(ClientResponse::Redirect {
+        roundtrip(ClientResponse::<u64>::Redirect {
             cmd: 7u64,
             to: ProcessId::new(2),
         });

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gencon_algos::pbft;
+use gencon_app::LogApp;
 use gencon_net::{probe_free_addrs, ChannelTransport, TcpTransport};
 use gencon_server::{
     read_frame, run_smr_node, write_frame, ClientGateway, ClientRequest, ClientResponse,
@@ -28,7 +29,7 @@ use gencon_types::ProcessId;
 /// its own log reached the target, and a short grace of extra rounds
 /// passed so laggard peers can finish their last slots.
 struct GatewayUntilClientsDone {
-    gateway: ClientGateway,
+    gateway: ClientGateway<LogApp<u64>>,
     target: usize,
     clients: usize,
     clients_done: Arc<AtomicUsize>,
@@ -108,9 +109,11 @@ fn tcp_pbft_cluster_serves_1000_client_commands() {
     let mut client_ports = Vec::new();
     let mut servers = Vec::new();
     for i in 0..N {
-        let gateway =
-            ClientGateway::listen("127.0.0.1:0".parse().unwrap(), GatewayConfig::default())
-                .unwrap();
+        let gateway = ClientGateway::<LogApp<u64>>::listen(
+            "127.0.0.1:0".parse().unwrap(),
+            GatewayConfig::default(),
+        )
+        .unwrap();
         client_ports.push(gateway.local_addr());
         let peer_addrs = peer_addrs.clone();
         let params = spec.params.clone();

@@ -248,6 +248,14 @@ impl<V: Value> BatchingReplica<V> {
         self.cap
     }
 
+    /// The configured dedup horizon, in slots (see
+    /// [`BatchingReplica::with_dedup_horizon`]) — the folding layer needs
+    /// it to carry exactly the still-live dedup window in a snapshot.
+    #[must_use]
+    pub fn dedup_horizon(&self) -> u64 {
+        self.dedup_horizon
+    }
+
     /// The system configuration (n, f, b) this replica runs under.
     #[must_use]
     pub fn config(&self) -> gencon_types::Config {
@@ -400,6 +408,65 @@ impl<V: Value> BatchingReplica<V> {
             self.applied_slots.push(slot);
         }
         self.queue.retain(|c| !full.contains(c));
+        self.proposed.retain(|s, _| *s >= upto_slot);
+        for c in &self.queue {
+            self.seen.insert(c.clone());
+        }
+        for b in self.proposed.values() {
+            for c in b.commands() {
+                self.seen.insert(c.clone());
+            }
+        }
+        self.flattened = upto_slot as usize;
+        self.inner.install_decided_prefix(upto_slot);
+        // Anything the inner replica had already decided above the
+        // snapshot recommits contiguously; flatten it in.
+        self.flatten(Round::new(round.max(1)));
+        true
+    }
+
+    /// Installs a **folded** snapshot: the applied prefix below
+    /// `upto_slot` is *not* re-materialized — the application layer holds
+    /// its folded state instead — so the replica keeps only the resume
+    /// data: `applied_len` (the absolute command count the fold covers,
+    /// which becomes the new [`BatchingReplica::applied_base`]) and
+    /// `dedup` (the `(command, slot)` dedup-window entries still live at
+    /// the cut, exactly what a replica that flattened slot by slot would
+    /// hold on reaching `upto_slot` — without them the installer's dedup
+    /// decisions at the next slots could diverge from the cluster's).
+    ///
+    /// Returns whether the snapshot was installed — it is ignored unless
+    /// it extends this replica's committed prefix. The applied log
+    /// restarts empty at base `applied_len`; decision claims and normal
+    /// rounds take over from `upto_slot`.
+    pub fn install_folded(
+        &mut self,
+        dedup: &[(V, crate::Slot)],
+        applied_len: u64,
+        upto_slot: crate::Slot,
+        round: u64,
+    ) -> bool {
+        if (upto_slot as usize) <= self.inner.committed_len() {
+            return false;
+        }
+        self.applied.clear();
+        self.applied_rounds.clear();
+        self.applied_slots.clear();
+        self.applied_base = usize::try_from(applied_len).unwrap_or(usize::MAX);
+        self.applied_set.clear();
+        self.dedup_window.clear();
+        self.seen.clear();
+        for (cmd, slot) in dedup {
+            if *slot < upto_slot && slot + self.dedup_horizon >= upto_slot {
+                self.applied_set.insert(cmd.clone());
+                self.seen.insert(cmd.clone());
+                self.dedup_window.push_back((*slot, cmd.clone()));
+            }
+        }
+        // The carried dedup window purges the local queue of commands the
+        // cluster already applied; stale proposals below the cut go too.
+        let applied_set = &self.applied_set;
+        self.queue.retain(|c| !applied_set.contains(c));
         self.proposed.retain(|s, _| *s >= upto_slot);
         for c in &self.queue {
             self.seen.insert(c.clone());

@@ -1,76 +1,19 @@
-//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), table-driven.
+//! CRC-32 record framing checksum — re-exported from [`gencon_crypto`].
 //!
-//! The WAL frames every record with this checksum so recovery can tell a
-//! torn or corrupted tail from valid data. CRC-32 is an integrity check
-//! against accidental corruption, not an authenticator — snapshots, which
-//! cross the network during state transfer, additionally carry a SHA-256
-//! state hash.
+//! The implementation moved to `gencon_crypto::crc32` when the chunked
+//! snapshot state-transfer protocol (which lives above the store in the
+//! crate DAG) started stamping wire chunks with the same checksum; this
+//! module keeps the store's original public path alive.
 
-const POLY: u32 = 0xEDB8_8320;
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0usize;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// CRC-32 of `data`.
-#[must_use]
-pub fn crc32(data: &[u8]) -> u32 {
-    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
-}
-
-/// Feeds `data` into a running (pre-inverted) CRC state; compose as
-/// `update(update(!0, a), b) ^ !0 == crc32(a ++ b)`.
-#[must_use]
-pub fn update(state: u32, data: &[u8]) -> u32 {
-    let mut c = state;
-    for &b in data {
-        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c
-}
+pub use gencon_crypto::crc32::{crc32, update};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn check_vector() {
-        // The canonical CRC-32 check value.
+    fn reexport_matches_check_vector() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-    }
-
-    #[test]
-    fn empty_and_composition() {
-        assert_eq!(crc32(b""), 0);
-        let whole = crc32(b"hello world");
-        let composed = update(update(0xFFFF_FFFF, b"hello "), b"world") ^ 0xFFFF_FFFF;
-        assert_eq!(whole, composed);
-    }
-
-    #[test]
-    fn detects_single_bit_flips() {
-        let base = b"the committed prefix".to_vec();
-        let reference = crc32(&base);
-        for byte in 0..base.len() {
-            for bit in 0..8 {
-                let mut flipped = base.clone();
-                flipped[byte] ^= 1 << bit;
-                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
-            }
-        }
+        assert_eq!(update(0xFFFF_FFFF, b"") ^ 0xFFFF_FFFF, 0);
     }
 }

@@ -9,7 +9,10 @@
 //! stand on: the closed-round model, communication predicates with real
 //! `Pcons` implementations, a deterministic fault-injecting simulator, a
 //! threaded TCP runtime, and a networked multi-slot SMR service
-//! (`gencon-server`/`gencon-client`) with a real client protocol.
+//! (`gencon-server`/`gencon-client`) with a real client protocol and a
+//! pluggable application layer (`gencon-app`: kv store, bank, plain log)
+//! whose folded state — not the command history — is the unit of
+//! durability and chunked state transfer.
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
 //! names and offers a [`prelude`].
@@ -46,6 +49,7 @@
 
 pub use gencon_adversary as adversary;
 pub use gencon_algos as algos;
+pub use gencon_app as app;
 pub use gencon_core as core;
 pub use gencon_crypto as crypto;
 pub use gencon_load as load;
