@@ -229,6 +229,18 @@ pub struct StoreRow {
     /// This mode's throughput relative to the in-memory baseline of the
     /// same configuration (1.0 = no slowdown).
     pub vs_memory: f64,
+    /// Frames the measurement replica's ingest stage decoded (0 when the
+    /// per-stage registry is not attached).
+    pub ingest_frames: u64,
+    /// Median order-stage (consensus round) latency at the measurement
+    /// replica, microseconds.
+    pub order_us_p50: u64,
+    /// Median persist-stage fsync latency at the measurement replica,
+    /// microseconds (0 in memory mode).
+    pub fsync_us_p50: u64,
+    /// Rounds the measurement replica's order stage spent blocked on a
+    /// full persist queue.
+    pub persist_stalls: u64,
 }
 
 impl JsonRow for StoreRow {
@@ -246,7 +258,8 @@ impl JsonRow for StoreRow {
             ",\"clients\":{},\"batch_cap\":{},\"committed_cmds\":{},\"acked_cmds\":{},\
              \"rounds\":{},\"wall_ms\":{:.3},\"cmds_per_sec\":{:.1},\"p50_us\":{},\
              \"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"wal_bytes\":{},\"wal_syncs\":{},\
-             \"snapshots\":{},\"vs_memory\":{:.4}}}",
+             \"snapshots\":{},\"vs_memory\":{:.4},\"ingest_frames\":{},\"order_us_p50\":{},\
+             \"fsync_us_p50\":{},\"persist_stalls\":{}}}",
             self.clients,
             self.batch_cap,
             self.committed_cmds,
@@ -262,6 +275,10 @@ impl JsonRow for StoreRow {
             self.wal_syncs,
             self.snapshots,
             self.vs_memory,
+            self.ingest_frames,
+            self.order_us_p50,
+            self.fsync_us_p50,
+            self.persist_stalls,
         );
         s
     }
@@ -498,6 +515,51 @@ mod tests {
             sim_cmds_per_round: 17.0,
         });
         assert!(w.to_json().contains("\"transport\":\"Channel\""));
+    }
+
+    #[test]
+    fn store_row_renders_per_stage_fields() {
+        let j = StoreRow {
+            algo: "PBFT".into(),
+            class: "class 3".into(),
+            n: 4,
+            b: 1,
+            f: 1,
+            mode: "durable(durable-ack,fsync=5ms)".into(),
+            workload: "closed(k=4)".into(),
+            clients: 16,
+            batch_cap: 64,
+            committed_cmds: 1500,
+            acked_cmds: 1500,
+            rounds: 120,
+            wall_ms: 600.0,
+            cmds_per_sec: 2500.0,
+            p50_us: 4000,
+            p90_us: 8000,
+            p99_us: 12000,
+            p999_us: 16000,
+            wal_bytes: 65536,
+            wal_syncs: 40,
+            snapshots: 6,
+            vs_memory: 0.82,
+            ingest_frames: 900,
+            order_us_p50: 350,
+            fsync_us_p50: 180,
+            persist_stalls: 2,
+        }
+        .to_json();
+        for needle in [
+            "\"mode\":\"durable(durable-ack,fsync=5ms)\"",
+            "\"acked_cmds\":1500",
+            "\"wal_syncs\":40",
+            "\"vs_memory\":0.8200",
+            "\"ingest_frames\":900",
+            "\"order_us_p50\":350",
+            "\"fsync_us_p50\":180",
+            "\"persist_stalls\":2",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
     }
 
     #[test]

@@ -26,8 +26,11 @@ use std::time::{Duration, Instant};
 
 use gencon_app::{Folder, LogApp};
 use gencon_core::Params;
+use gencon_metrics::Registry;
 use gencon_net::{ChannelTransport, Transport};
-use gencon_server::{run_smr_node, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig};
+use gencon_server::{
+    run_smr_node_metered, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig,
+};
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{FileWal, Log, WalConfig};
 
@@ -92,6 +95,11 @@ pub struct StoreLoadProfile {
     /// Data-dir root for durable nodes (a fresh subdir per node); a
     /// process-unique temp dir when `None`.
     pub data_root: Option<PathBuf>,
+    /// Per-stage metrics registry attached to the measurement replica
+    /// (node 0): ingest/order counters from the event loop, persist
+    /// counters and fsync latency from the durable wrapper. `None` skips
+    /// the instrumentation.
+    pub metrics: Option<Registry>,
 }
 
 impl StoreLoadProfile {
@@ -109,7 +117,15 @@ impl StoreLoadProfile {
             mode,
             snapshot_every: 256,
             data_root: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches a per-stage metrics registry to node 0.
+    #[must_use]
+    pub fn with_metrics(mut self, reg: Registry) -> Self {
+        self.metrics = Some(reg);
+        self
     }
 }
 
@@ -314,6 +330,12 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                 (hook, Some((gate, fsync_interval, fast_ack)))
             }
         };
+        // Per-stage metrics instrument the measurement replica only.
+        let reg = if i == 0 {
+            profile.metrics.clone()
+        } else {
+            None
+        };
         handles.push(std::thread::spawn(move || {
             let replica =
                 BatchingReplica::new(tr.local(), params.clone(), profile.batch_cap, usize::MAX)
@@ -322,7 +344,8 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
             let (hook, durable) = hook_parts;
             match durable {
                 None => {
-                    let (replica, _t, stats, _hook) = run_smr_node(replica, tr, cfg, hook);
+                    let (replica, _t, stats, _hook) =
+                        run_smr_node_metered(replica, tr, cfg, hook, reg.as_ref());
                     (replica, stats, 0, 0, 0)
                 }
                 Some((gate, fsync_interval, fast_ack)) => {
@@ -335,7 +358,7 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                         },
                     )
                     .expect("open wal");
-                    let node = DurableNode::new(
+                    let mut node = DurableNode::new(
                         wal,
                         DurableConfig {
                             snapshot_every: profile.snapshot_every,
@@ -346,13 +369,20 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                         hook,
                     )
                     .with_gate(gate);
-                    let (replica, _t, stats, node) = run_smr_node(replica, tr, cfg, node);
-                    let (bytes, syncs, snaps) = (
-                        node.store().bytes_appended(),
-                        node.store().syncs(),
-                        node.snapshots_taken(),
-                    );
-                    (replica, stats, bytes, syncs, snaps)
+                    if let Some(r) = &reg {
+                        node = node.with_metrics(r);
+                    }
+                    let (replica, _t, stats, node) =
+                        run_smr_node_metered(replica, tr, cfg, node, reg.as_ref());
+                    // One guard for both reads: the store lock is not
+                    // reentrant, and a second `store()` in the same
+                    // expression would deadlock against the first guard's
+                    // temporary.
+                    let (bytes, syncs) = {
+                        let store = node.store();
+                        (store.bytes_appended(), store.syncs())
+                    };
+                    (replica, stats, bytes, syncs, node.snapshots_taken())
                 }
             }
         }));
@@ -464,6 +494,33 @@ mod tests {
         let report = run_store_load(&spec.params, &profile);
         assert!(report.all_reached_target);
         assert!(report.logs_agree);
+    }
+
+    #[test]
+    fn per_stage_metrics_populate_on_node_zero() {
+        let spec = paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).unwrap();
+        let reg = Registry::new();
+        let mut profile = StoreLoadProfile::new(
+            StoreMode::Durable {
+                fsync_interval: Duration::from_millis(5),
+                fast_ack: false,
+            },
+            2,
+            8,
+            60,
+        )
+        .with_metrics(reg.clone());
+        profile.snapshot_every = 32;
+        let report = run_store_load(&spec.params, &profile);
+        assert!(report.all_reached_target, "rounds: {}", report.rounds);
+        assert!(reg.counter_value("order.rounds").unwrap() > 0);
+        assert!(reg.counter_value("persist.appended").unwrap() > 0);
+        assert!(reg.counter_value("persist.fsyncs").unwrap() > 0);
+        assert!(reg.histogram("order.round_us").count() > 0);
+        assert!(reg.histogram("persist.fsync_us").count() > 0);
+        let dump = reg.dump_json();
+        assert!(dump.contains("\"order.rounds\":"), "{dump}");
+        assert!(dump.contains("\"persist.fsyncs\":"), "{dump}");
     }
 
     #[test]

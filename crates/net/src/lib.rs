@@ -52,7 +52,8 @@ pub mod wire_sync;
 
 pub use runtime::{run_node, NodeConfig};
 pub use transport::{
-    probe_free_addrs, ChannelTransport, DialPolicy, FlakyTransport, TcpTransport, Transport,
+    probe_free_addrs, ChannelTransport, DialPolicy, FlakyTransport, RecvHalf, TcpTransport,
+    Transport,
 };
 pub use wire::{Envelope, Wire, WireError};
 pub use wire_sync::{

@@ -19,6 +19,25 @@ use std::sync::Arc;
 
 use gencon_types::ProcessId;
 
+/// The detached receive side of a [`Transport`], usable from another
+/// thread while the owning transport keeps sending.
+///
+/// Obtained via [`Transport::split_recv`]; while split, the transport's
+/// own `recv_timeout` yields nothing. [`Transport::restore_recv`] rejoins
+/// the halves.
+pub struct RecvHalf {
+    rx: Receiver<(ProcessId, Bytes)>,
+}
+
+impl RecvHalf {
+    /// Receives the next frame within `timeout`, with its authenticated
+    /// sender. `None` on timeout or a closed transport.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
 /// A frame-oriented, sender-authenticated transport.
 pub trait Transport: Send {
     /// This endpoint's process id.
@@ -33,6 +52,28 @@ pub trait Transport: Send {
     /// Receives the next frame within `timeout`, with its authenticated
     /// sender. `None` on timeout.
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)>;
+
+    /// Detaches the receive side so a dedicated ingest thread can drain it
+    /// while this transport keeps sending. Transports without a separable
+    /// inbox return `None` (the default) and callers fall back to inline
+    /// receives.
+    fn split_recv(&mut self) -> Option<RecvHalf> {
+        None
+    }
+
+    /// Reattaches a half taken by [`Transport::split_recv`].
+    fn restore_recv(&mut self, half: RecvHalf) {
+        let _ = half;
+    }
+}
+
+/// Swaps `inbox` with a receiver whose sender is dropped immediately, so
+/// inline receives report "nothing" while the real half is detached.
+fn take_inbox(inbox: &mut Receiver<(ProcessId, Bytes)>) -> RecvHalf {
+    let (_dead_tx, dead_rx) = channel::unbounded();
+    RecvHalf {
+        rx: std::mem::replace(inbox, dead_rx),
+    }
 }
 
 /// An in-process transport: one crossbeam channel per process.
@@ -97,6 +138,14 @@ impl Transport for ChannelTransport {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
         self.inbox.recv_timeout(timeout).ok()
+    }
+
+    fn split_recv(&mut self) -> Option<RecvHalf> {
+        Some(take_inbox(&mut self.inbox))
+    }
+
+    fn restore_recv(&mut self, half: RecvHalf) {
+        self.inbox = half.rx;
     }
 }
 
@@ -414,6 +463,14 @@ impl Transport for TcpTransport {
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
         self.inbox.recv_timeout(timeout).ok()
     }
+
+    fn split_recv(&mut self) -> Option<RecvHalf> {
+        Some(take_inbox(&mut self.inbox))
+    }
+
+    fn restore_recv(&mut self, half: RecvHalf) {
+        self.inbox = half.rx;
+    }
 }
 
 /// A chaos wrapper: drops outgoing frames with probability `loss` until
@@ -477,6 +534,16 @@ impl<T: Transport> Transport for FlakyTransport<T> {
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(ProcessId, Bytes)> {
         self.inner.recv_timeout(timeout)
     }
+
+    // Loss is injected on the send side only, so the receive half can be
+    // split off the wrapped transport unchanged.
+    fn split_recv(&mut self) -> Option<RecvHalf> {
+        self.inner.split_recv()
+    }
+
+    fn restore_recv(&mut self, half: RecvHalf) {
+        self.inner.restore_recv(half);
+    }
 }
 
 #[cfg(test)]
@@ -499,6 +566,23 @@ mod tests {
         got.sort();
         assert_eq!(got[0], (0, Bytes::from_static(b"x")));
         assert_eq!(got[1], (1, Bytes::from_static(b"y")));
+    }
+
+    #[test]
+    fn split_recv_moves_the_inbox_and_restore_rejoins() {
+        let mut mesh = ChannelTransport::mesh(2);
+        let id1 = mesh[1].local();
+        let half = mesh[1].split_recv().expect("channel inbox splits");
+        mesh[0].send(id1, Bytes::from_static(b"a"));
+        // The detached half hears the frame; the transport itself does not.
+        assert!(mesh[1].recv_timeout(Duration::from_millis(10)).is_none());
+        let (from, frame) = half.recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!((from.index(), &frame[..]), (0, &b"a"[..]));
+        // Restored, inline receives work again.
+        mesh[1].restore_recv(half);
+        mesh[0].send(id1, Bytes::from_static(b"b"));
+        let (_, frame) = mesh[1].recv_timeout(Duration::from_millis(200)).unwrap();
+        assert_eq!(&frame[..], b"b");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!   [--batch-cap 64] [--window 4] [--min-timeout-ms 2] [--max-timeout-ms 1000]
 //!   [--backpressure 65536] [--redirect-to ID] [--stop-after N] [--max-rounds R]
 //!   [--durable --data-dir DIR] [--fsync-interval-ms 5] [--snapshot-every 512]
-//!   [--ack-mode durable|fast] [--hash-at N]
+//!   [--snapshot-keep 2] [--ack-mode durable|fast] [--hash-at N]
+//!   [--metrics-file PATH]
 //! ```
 //!
 //! The node connects the TCP mesh (peers may start late: dialing retries
@@ -37,16 +38,24 @@
 //! exactly N commands have applied — on exit; agreeing nodes print
 //! identical hashes (the CI jobs compare them across a kill −9 +
 //! restart).
+//!
+//! `--metrics-file PATH` dumps the per-stage metrics registry (ingest /
+//! order / apply / persist / ack counters, gauges and latency
+//! histograms) as flat JSON to PATH on exit, and also on `SIGUSR1` for a
+//! live snapshot of a running node. `--snapshot-keep K` retains the last
+//! K snapshot cuts on disk (default 2) so chunked state transfer can
+//! still serve a cut that a concurrent snapshot just superseded.
 
 use std::net::SocketAddr;
 use std::process::exit;
 use std::time::Duration;
 
 use gencon_app::{App, Applier, BankApp, Folder, KvApp, LogApp};
+use gencon_metrics::Registry;
 use gencon_server::cli::{flag_value, parse_flag, required_flag};
 use gencon_server::{
-    recover_replica, run_smr_node, ClientGateway, DurableConfig, DurableNode, GatewayConfig,
-    ServerConfig,
+    recover_replica, run_smr_node_metered, ClientGateway, DurableConfig, DurableNode,
+    GatewayConfig, ServerConfig,
 };
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{FileWal, Log, WalConfig};
@@ -55,7 +64,7 @@ use gencon_types::ProcessId;
 const BIN: &str = "gencon-server";
 const USAGE: &str =
     "gencon-server --id N --algo paxos|pbft|mqb --peers a:p,b:p,... --client-addr a:p \
-     [--app log|kv|bank] [--durable --data-dir DIR]";
+     [--app log|kv|bank] [--durable --data-dir DIR] [--metrics-file PATH]";
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag(BIN, args, flag, default)
@@ -150,6 +159,7 @@ fn serve<A: App>(args: &[String]) {
     let wal_cfg = WalConfig {
         fsync_interval: Duration::from_millis(parse(args, "--fsync-interval-ms", 5)),
         segment_bytes: parse(args, "--segment-bytes", 4 << 20),
+        snapshot_keep: parse(args, "--snapshot-keep", 2),
     };
     let durable_cfg = DurableConfig {
         snapshot_every: parse(args, "--snapshot-every", 512),
@@ -157,6 +167,15 @@ fn serve<A: App>(args: &[String]) {
         durable_ack: ack_mode == "durable",
     };
     let hash_at: u64 = parse(args, "--hash-at", 0);
+    let metrics_file = flag_value(args, "--metrics-file");
+
+    // Per-stage metrics. The registry is created unconditionally (the
+    // counters are cheap); the JSON dump happens on exit and on SIGUSR1
+    // only when `--metrics-file` names a destination.
+    let registry = Registry::new();
+    if let Some(path) = &metrics_file {
+        gencon_metrics::install_sigusr1_dump(registry.clone(), path.clone().into());
+    }
 
     // Fault bounds from the cluster size: the largest each model tolerates.
     let params = match algo.as_str() {
@@ -190,10 +209,12 @@ fn serve<A: App>(args: &[String]) {
         }
     };
 
-    let mut gateway = ClientGateway::<A>::listen(client_addr, gateway_cfg).unwrap_or_else(|e| {
-        eprintln!("gencon-server: cannot bind client address {client_addr}: {e}");
-        exit(1);
-    });
+    let mut gateway = ClientGateway::<A>::listen(client_addr, gateway_cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("gencon-server: cannot bind client address {client_addr}: {e}");
+            exit(1);
+        })
+        .with_metrics(&registry);
     // The durable-ack watermark, shared between the persistence layer
     // (writer) and the gateway (ack limit).
     let ack_gate = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -260,22 +281,40 @@ fn serve<A: App>(args: &[String]) {
     eprintln!("gencon-server {id}: mesh up, log running");
 
     let (replica, stats, captured) = if let Some(wal) = durable_parts {
-        let node = DurableNode::new(wal, durable_cfg, folder, gateway).with_gate(ack_gate);
-        let (replica, _transport, stats, node) = run_smr_node(replica, transport, cfg, node);
+        let node = DurableNode::new(wal, durable_cfg, folder, gateway)
+            .with_gate(ack_gate)
+            .with_metrics(&registry);
+        let (replica, _transport, stats, node) =
+            run_smr_node_metered(replica, transport, cfg, node, Some(&registry));
+        // One guard for both reads — the store lock is not reentrant, so
+        // a second `store()` in the same statement would self-deadlock.
+        let (wal_bytes, wal_syncs) = {
+            let store = node.store();
+            (store.bytes_appended(), store.syncs())
+        };
         eprintln!(
-            "gencon-server {id}: WAL wrote {} payload bytes over {} fsyncs, {} snapshots taken \
-             ({} manifests from disk, {} synthesized)",
-            node.store().bytes_appended(),
-            node.store().syncs(),
+            "gencon-server {id}: WAL wrote {wal_bytes} payload bytes over {wal_syncs} fsyncs, \
+             {} snapshots taken ({} manifests from disk, {} synthesized)",
             node.snapshots_taken(),
             node.served_from_disk(),
             node.served_synthesized(),
         );
-        (replica, stats, node.inner().applier().captured_hash())
+        let captured = node.inner().applier().captured_hash();
+        (replica, stats, captured)
     } else {
-        let (replica, _transport, stats, hook) = run_smr_node(replica, transport, cfg, gateway);
-        (replica, stats, hook.applier().captured_hash())
+        let (replica, _transport, stats, hook) =
+            run_smr_node_metered(replica, transport, cfg, gateway, Some(&registry));
+        let captured = hook.applier().captured_hash();
+        (replica, stats, captured)
     };
+
+    if let Some(path) = &metrics_file {
+        if let Err(e) = registry.dump_to_file(path) {
+            eprintln!("gencon-server {id}: cannot write metrics to {path}: {e}");
+        } else {
+            eprintln!("gencon-server {id}: per-stage metrics written to {path}");
+        }
+    }
 
     if let Some(hash) = captured {
         println!("gencon-server {id}: app-hash@{hash_at} = {}", hex(&hash));

@@ -5,14 +5,21 @@
 //! [`ClientGateway`](crate::ClientGateway)) and, around every round:
 //!
 //! 1. **persists** newly committed batches to the write-ahead log (one
-//!    record per slot, the `gencon-net` wire encoding as payload);
-//! 2. **group-commits**: `maybe_sync` fsyncs at most once per configured
-//!    interval, so a burst of slots shares one fsync;
+//!    record per slot, the `gencon-net` wire encoding as payload). The
+//!    WAL writes happen on a dedicated **persist stage** thread behind a
+//!    bounded channel: the round loop only encodes and enqueues, so
+//!    fsync latency overlaps consensus instead of gating it. A full
+//!    queue blocks the enqueue (counted as a stall) — committed records
+//!    are backpressured, never dropped;
+//! 2. **group-commits**: the persist stage's `maybe_sync` fsyncs at most
+//!    once per configured interval, so a burst of slots shares one
+//!    fsync;
 //! 3. advances the **ack watermark** — the absolute applied-command count
-//!    covered by durable storage. Under durable-ack semantics the
-//!    gateway acknowledges clients only below this watermark, so an ack
-//!    implies the command survives `kill -9`; under fast-ack the
-//!    watermark is wide open (memory semantics with a warm log on disk);
+//!    covered by durable storage, published by the persist stage after
+//!    each fsync. Under durable-ack semantics the gateway acknowledges
+//!    clients only below this watermark, so an ack implies the command
+//!    survives `kill -9`; under fast-ack the watermark follows apply
+//!    directly (memory semantics with a warm log on disk);
 //! 4. runs the **snapshot policy**: every `snapshot_every` committed
 //!    slots, absorb the newly applied suffix into the [`Folder`] and
 //!    install its [`FoldedState`] — the application's **folded state**
@@ -38,10 +45,16 @@
 //! live [`Applier`](gencon_app::Applier) (clone it), so replies and state
 //! hashes continue seamlessly across restarts.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use parking_lot::Mutex;
 
 use gencon_app::{App, Folder};
+use gencon_metrics::{Counter, Gauge, Histogram, Registry};
 use gencon_net::wire::Wire;
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::{Batch, BatchingReplica};
@@ -128,9 +141,170 @@ pub fn recover_replica<A: App>(
     out
 }
 
+/// Appended-but-unshipped records queued to the persist stage. A full
+/// queue blocks the order thread (stall) — records are never dropped.
+const PERSIST_QUEUE_CAP: usize = 1024;
+
+/// How often the persist stage wakes to run the group-commit interval
+/// while no new records arrive.
+const PERSIST_POLL: Duration = Duration::from_millis(1);
+
+/// Work shipped from the order thread to the persist stage, applied in
+/// FIFO order so the WAL mirrors the order thread's operation sequence.
+enum PersistMsg {
+    /// Append one committed slot's encoded batch. `acked_through` is the
+    /// absolute applied-command count covered once this slot is durable
+    /// — the watermark the gate jumps to after the record's fsync.
+    Append {
+        slot: u64,
+        payload: Vec<u8>,
+        acked_through: u64,
+    },
+    /// Install a snapshot (periodic cut or a transferred one); `acked`
+    /// is the applied-command count the cut covers.
+    Install { snap: Snapshot, acked: u64 },
+    /// Fsync everything staged and rendezvous with the sender.
+    Flush(channel::Sender<()>),
+}
+
+/// The running persist stage: its inbox and join handle.
+struct PersistStage {
+    tx: channel::Sender<PersistMsg>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// Instrument handles for the persist stage.
+#[derive(Clone)]
+struct PersistMeters {
+    appended: Counter,
+    fsyncs: Counter,
+    fsync_us: Histogram,
+    stalls: Counter,
+    queue_depth: Gauge,
+    gate: Gauge,
+}
+
+impl PersistMeters {
+    fn new(reg: &Registry) -> Self {
+        PersistMeters {
+            appended: reg.counter("persist.appended"),
+            fsyncs: reg.counter("persist.fsyncs"),
+            fsync_us: reg.histogram("persist.fsync_us"),
+            stalls: reg.counter("persist.stalls"),
+            queue_depth: reg.gauge("persist.queue_depth"),
+            gate: reg.gauge("persist.gate"),
+        }
+    }
+}
+
+/// The persist stage body: applies shipped operations to the WAL in
+/// order, group-commits, and publishes the durable watermark after each
+/// fsync. Exits when the `DurableNode` (the only sender) is dropped,
+/// fsyncing whatever is still staged.
+fn persist_loop<L: Log>(
+    wal: &Mutex<L>,
+    rx: &channel::Receiver<PersistMsg>,
+    gate: &AtomicU64,
+    durable_ack: bool,
+    m: &PersistMeters,
+) {
+    // Appended records not yet known durable: (slot, acked_through).
+    let mut pending: VecDeque<(u64, u64)> = VecDeque::new();
+    // Publishes the watermark for every record at or below the store's
+    // durable slot.
+    let release = |wal: &mut L, pending: &mut VecDeque<(u64, u64)>| {
+        if !durable_ack {
+            return;
+        }
+        let Some(d) = wal.durable_slot() else { return };
+        let mut acked = None;
+        while pending.front().is_some_and(|&(s, _)| s <= d) {
+            acked = pending.pop_front().map(|(_, a)| a);
+        }
+        if let Some(a) = acked {
+            gate.fetch_max(a, Ordering::SeqCst);
+            m.gate.raise(a);
+        }
+    };
+    // Runs a sync-ish closure and meters it if a real fsync happened.
+    let metered_sync = |wal: &mut L, f: &dyn Fn(&mut L) -> std::io::Result<()>| {
+        let before = wal.syncs();
+        let t = Instant::now();
+        if let Err(e) = f(wal) {
+            eprintln!("[durable] WAL sync failed: {e}");
+        }
+        if wal.syncs() > before {
+            m.fsyncs.add(wal.syncs() - before);
+            m.fsync_us.record(t.elapsed().as_micros() as u64);
+        }
+    };
+    loop {
+        let msg = rx.recv_timeout(PERSIST_POLL);
+        let mut wal = wal.lock();
+        match msg {
+            Ok(PersistMsg::Append {
+                slot,
+                payload,
+                acked_through,
+            }) => {
+                match wal.append(slot, &payload) {
+                    Ok(()) => {
+                        m.appended.inc();
+                        pending.push_back((slot, acked_through));
+                    }
+                    // A failed append wedges the contiguous tail; the
+                    // next snapshot install heals it (same policy the
+                    // inline path had).
+                    Err(e) => eprintln!("[durable] WAL append of slot {slot} failed: {e}"),
+                }
+                metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+            }
+            Ok(PersistMsg::Install { snap, acked }) => {
+                match wal.install_snapshot(&snap) {
+                    Ok(()) => {
+                        // Records below the cut are covered by the
+                        // snapshot itself.
+                        pending.retain(|&(s, _)| s >= snap.meta.upto_slot);
+                        if durable_ack {
+                            gate.fetch_max(acked, Ordering::SeqCst);
+                            m.gate.raise(acked);
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "[durable] snapshot install at slot {} failed: {e}",
+                        snap.meta.upto_slot
+                    ),
+                }
+            }
+            Ok(PersistMsg::Flush(reply)) => {
+                metered_sync(&mut wal, &|w: &mut L| w.sync());
+                release(&mut wal, &mut pending);
+                drop(wal);
+                let _ = reply.send(());
+                continue;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: drive the group-commit interval so the
+                // watermark advances even when commits pause.
+                metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                metered_sync(&mut wal, &|w: &mut L| w.sync());
+                release(&mut wal, &mut pending);
+                return;
+            }
+        }
+        release(&mut wal, &mut pending);
+    }
+}
+
 /// The persistence wrapper hook (see the module docs).
 pub struct DurableNode<A: App, L, H> {
-    wal: L,
+    /// The store, shared with the persist stage. The order thread takes
+    /// the lock only on serve/read paths; steady-state persistence
+    /// touches it solely from the persist thread.
+    wal: Arc<Mutex<L>>,
+    persist: Option<PersistStage>,
     inner: H,
     cfg: DurableConfig,
     /// The snapshot-folding app instance: lags at boundary cuts so every
@@ -142,6 +316,15 @@ pub struct DurableNode<A: App, L, H> {
     /// Absolute applied-command count covered by durable storage — the
     /// gateway's ack limit under durable-ack.
     ack_gate: Arc<AtomicU64>,
+    /// The next slot the order thread will ship to the persist stage
+    /// (its own view of the WAL tail, which it must not read live).
+    next_ship: u64,
+    /// Highest snapshot cut shipped (periodic or transferred) — the
+    /// policy's re-fire guard, tracked here because the on-disk meta
+    /// lags shipped installs.
+    last_cut: u64,
+    wal_trailing: bool,
+    meters: PersistMeters,
     snapshots_taken: u64,
     served_from_disk: u64,
     served_synthesized: u64,
@@ -153,17 +336,33 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
     /// to hold the recovered fold (see [`recover_replica`]); use
     /// `Folder::default()` for a fresh node.
     pub fn new(wal: L, cfg: DurableConfig, folder: Folder<A>, inner: H) -> Self {
+        let next_ship = wal.next_slot();
+        let last_cut = wal.snapshot_meta().map_or(0, |m| m.upto_slot);
         DurableNode {
-            wal,
+            wal: Arc::new(Mutex::new(wal)),
+            persist: None,
             inner,
             cfg,
             folder,
             serve_cache: None,
             ack_gate: Arc::new(AtomicU64::new(0)),
+            next_ship,
+            last_cut,
+            wal_trailing: false,
+            meters: PersistMeters::new(&Registry::new()),
             snapshots_taken: 0,
             served_from_disk: 0,
             served_synthesized: 0,
         }
+    }
+
+    /// Registers this node's `persist.*` instruments in `reg`. Call
+    /// before the run starts (the persist stage captures its handles
+    /// when it spawns).
+    #[must_use]
+    pub fn with_metrics(mut self, reg: &Registry) -> Self {
+        self.meters = PersistMeters::new(reg);
+        self
     }
 
     /// The ack watermark handle — give it to the
@@ -208,10 +407,12 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
         &self.folder
     }
 
-    /// The wrapped store (e.g. for stats after the run).
-    #[must_use]
-    pub fn store(&self) -> &L {
-        &self.wal
+    /// Locks and returns the wrapped store (e.g. for stats after the
+    /// run). While the guard is held the persist stage cannot make
+    /// progress — don't hold it across waits, and never take a second
+    /// guard in the same statement (the lock is not reentrant).
+    pub fn store(&self) -> parking_lot::MutexGuard<'_, L> {
+        self.wal.lock()
     }
 
     /// The wrapped inner hook.
@@ -219,55 +420,96 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
     pub fn inner(&self) -> &H {
         &self.inner
     }
-}
 
-impl<A: App, L: Log, H> DurableNode<A, L, H> {
-    /// Appends every newly committed batch to the WAL.
-    fn persist_committed(&mut self, replica: &BatchingReplica<A::Cmd>) {
-        let base = replica.committed_base_slot();
-        let committed = replica.committed_slots() as u64;
-        if self.wal.next_slot() < base {
-            // The WAL fell behind the compaction point (a failed append or
-            // snapshot persist) — the missing records no longer exist in
-            // memory. Don't panic and don't append a gapped log; the next
-            // successful periodic snapshot install resets the WAL at its
-            // cut and persistence resumes from there.
-            eprintln!(
-                "[durable] WAL at slot {} trails the compaction point {base}; \
-                 waiting for the next snapshot to heal it",
-                self.wal.next_slot()
-            );
-            return;
-        }
-        while self.wal.next_slot() < committed {
-            let slot = self.wal.next_slot();
-            let batch = &replica.committed_batches()[(slot - base) as usize];
-            if let Err(e) = self.wal.append(slot, &batch.to_bytes()) {
-                // Storage failure: surface loudly; the node keeps serving
-                // (fast-ack semantics from here on would be the honest
-                // description, and the gate stops advancing under
-                // durable-ack).
-                eprintln!("[durable] WAL append of slot {slot} failed: {e}");
-                return;
+    /// Blocks until the persist stage has applied and fsynced everything
+    /// shipped so far (and published the watermark). A no-op before the
+    /// stage ever ran.
+    pub fn flush(&mut self) {
+        if let Some(stage) = self.persist.as_ref() {
+            let (tx, rx) = channel::unbounded();
+            if stage.tx.send(PersistMsg::Flush(tx)).is_ok() {
+                let _ = rx.recv();
             }
         }
     }
+}
 
-    /// Recomputes the absolute applied-command watermark from the store's
-    /// durable slot.
-    fn update_gate(&self, replica: &BatchingReplica<A::Cmd>) {
-        let covered = if self.cfg.durable_ack {
-            match self.wal.durable_slot() {
-                None => 0,
-                Some(d) => {
-                    let suffix = replica.applied_slots();
-                    replica.applied_base() + suffix.partition_point(|&s| s <= d)
-                }
-            }
-        } else {
-            replica.applied_len()
+impl<A: App, L: Log + Send + 'static, H> DurableNode<A, L, H> {
+    /// Spawns the persist stage on first use (so [`with_metrics`] and
+    /// [`with_gate`] builders apply before any handle is captured).
+    ///
+    /// [`with_metrics`]: DurableNode::with_metrics
+    /// [`with_gate`]: DurableNode::with_gate
+    fn ensure_stage(&mut self) {
+        if self.persist.is_some() {
+            return;
+        }
+        let (tx, rx) = channel::bounded(PERSIST_QUEUE_CAP);
+        let wal = Arc::clone(&self.wal);
+        let gate = Arc::clone(&self.ack_gate);
+        let durable_ack = self.cfg.durable_ack;
+        let m = self.meters.clone();
+        let handle = std::thread::spawn(move || persist_loop(&wal, &rx, &gate, durable_ack, &m));
+        self.persist = Some(PersistStage { tx, handle });
+    }
+
+    /// Ships one operation to the persist stage. A full queue blocks
+    /// (counted as a stall) — backpressure, not loss.
+    fn ship(&mut self, msg: PersistMsg) {
+        self.ensure_stage();
+        let Some(stage) = self.persist.as_ref() else {
+            return;
         };
-        self.ack_gate.store(covered as u64, Ordering::SeqCst);
+        match stage.tx.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                self.meters.stalls.inc();
+                let _ = stage.tx.send(msg);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Encodes and ships every newly committed batch to the persist
+    /// stage. Runs on the order thread; does not touch the WAL lock.
+    fn persist_committed(&mut self, replica: &BatchingReplica<A::Cmd>) {
+        let base = replica.committed_base_slot();
+        let committed = replica.committed_slots() as u64;
+        if self.next_ship < base {
+            // The WAL fell behind the compaction point (a failed append or
+            // snapshot persist) — the missing records no longer exist in
+            // memory. Don't append a gapped log; the next successful
+            // periodic snapshot install resets the WAL at its cut and
+            // persistence resumes from there.
+            if !self.wal_trailing {
+                self.wal_trailing = true;
+                eprintln!(
+                    "[durable] WAL at slot {} trails the compaction point {base}; \
+                     waiting for the next snapshot to heal it",
+                    self.next_ship
+                );
+            }
+            return;
+        }
+        while self.next_ship < committed {
+            let slot = self.next_ship;
+            let batch = &replica.committed_batches()[(slot - base) as usize];
+            // The absolute applied-command count this slot's durability
+            // covers, fixed at ship time (slots at or below `slot` are
+            // already applied when it commits).
+            let acked_through = (replica.applied_base()
+                + replica.applied_slots().partition_point(|&s| s <= slot))
+                as u64;
+            self.ship(PersistMsg::Append {
+                slot,
+                payload: batch.to_bytes().to_vec(),
+                acked_through,
+            });
+            self.next_ship += 1;
+        }
+        if let Some(stage) = self.persist.as_ref() {
+            self.meters.queue_depth.set(stage.tx.len() as u64);
+        }
     }
 
     /// Folds the applied suffix up to `cut` and returns the encoded
@@ -297,18 +539,24 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
         // fold are both shared), which is what lets `b + 1` responders
         // vouch for one manifest during transfer. The cut must not rewind
         // the folder (possible right after recovery, whose fold covers
-        // the whole recovered prefix).
+        // the whole recovered prefix). The re-fire guard is `last_cut`,
+        // not the on-disk meta — the disk lags shipped installs.
         let cut = (committed / self.cfg.snapshot_every) * self.cfg.snapshot_every;
-        let prev_upto = self.wal.snapshot_meta().map_or(0, |m| m.upto_slot);
-        if cut <= prev_upto || cut == 0 || cut < self.folder.covered_slot() {
+        if cut <= self.last_cut || cut == 0 || cut < self.folder.covered_slot() {
             return;
         }
+        // The fold happens here on the order thread (byte-identical
+        // vouching requires the deterministic cut); only the disk I/O of
+        // installing it moves to the persist stage.
         let state = self.fold_state_at(replica, cut);
         let snap = Snapshot::new(cut, self.folder.applied_len(), state);
-        if let Err(e) = self.wal.install_snapshot(&snap) {
-            eprintln!("[durable] snapshot install at slot {cut} failed: {e}");
-            return;
-        }
+        let acked = self.folder.applied_len();
+        self.last_cut = cut;
+        // An install at or past the shipped tail resets the WAL there
+        // (the healing path); appends resume from the cut.
+        self.next_ship = self.next_ship.max(cut);
+        self.wal_trailing = false;
+        self.ship(PersistMsg::Install { snap, acked });
         self.snapshots_taken += 1;
         // The serve cache is deliberately NOT invalidated here: a laggard
         // mid-transfer keeps pulling chunks of the manifest this node
@@ -326,19 +574,34 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
         replica.compact_below(cut.saturating_sub(self.cfg.snapshot_tail));
     }
 
-    /// Loads the on-disk snapshot into the serve cache (if its cut is
-    /// `want`, or any cut when `want` is `None`).
+    /// Loads a retained on-disk snapshot cut into the serve cache: the
+    /// newest cut when `want` is `None`, else exactly the cut `want` —
+    /// retention ([`WalConfig::snapshot_keep`](gencon_store::WalConfig))
+    /// keeps the last few cuts fetchable, so a laggard that started its
+    /// transfer against a slightly older manifest keeps pulling chunks
+    /// after this node takes a newer cut.
     fn cache_disk_snapshot(&mut self, want: Option<u64>) -> Option<&(SnapshotManifest, Vec<u8>)> {
-        let meta = self.wal.snapshot_meta()?;
-        if want.is_some_and(|w| w != meta.upto_slot) {
-            return None;
-        }
+        let meta = {
+            let store = self.wal.lock();
+            match want {
+                None => store.snapshot_meta()?,
+                Some(w) => store
+                    .snapshot_metas()
+                    .into_iter()
+                    .find(|m| m.upto_slot == w)?,
+            }
+        };
         let cached = self
             .serve_cache
             .as_ref()
             .is_some_and(|(m, _)| m.upto_slot == meta.upto_slot);
         if !cached {
-            let snap = self.wal.read_snapshot().ok().flatten()?;
+            let snap = self
+                .wal
+                .lock()
+                .read_snapshot_at(meta.upto_slot)
+                .ok()
+                .flatten()?;
             let manifest =
                 SnapshotManifest::describe(snap.meta.upto_slot, snap.meta.applied_len, &snap.state);
             self.serve_cache = Some((manifest, snap.state));
@@ -347,10 +610,21 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
     }
 }
 
+impl<A: App, L, H> Drop for DurableNode<A, L, H> {
+    fn drop(&mut self) {
+        // Dropping the only sender stops the persist stage; it fsyncs
+        // whatever is still staged on the way out.
+        if let Some(stage) = self.persist.take() {
+            drop(stage.tx);
+            let _ = stage.handle.join();
+        }
+    }
+}
+
 impl<A, L, H> NodeHook<A::Cmd> for DurableNode<A, L, H>
 where
     A: App,
-    L: Log + Send,
+    L: Log + Send + 'static,
     H: NodeHook<A::Cmd>,
 {
     fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<A::Cmd>) {
@@ -358,15 +632,27 @@ where
     }
 
     fn after_round(&mut self, round: u64, replica: &mut BatchingReplica<A::Cmd>) {
+        // Ship the newly committed records; fsync and the durable-ack
+        // watermark happen on the persist stage, off this thread.
         self.persist_committed(replica);
-        if let Err(e) = self.wal.maybe_sync() {
-            eprintln!("[durable] WAL sync failed: {e}");
+        if !self.cfg.durable_ack {
+            // Fast-ack: the watermark follows apply directly.
+            self.ack_gate
+                .store(replica.applied_len() as u64, Ordering::SeqCst);
         }
-        self.update_gate(replica);
-        // The inner hook (gateway, harness) acks under the fresh gate and
-        // sees the applied log before compaction prunes it.
+        // The inner hook (gateway, harness) acks under the current gate
+        // and sees the applied log before compaction prunes it.
         self.inner.after_round(round, replica);
         self.maybe_snapshot(replica);
+    }
+
+    fn finish(&mut self, replica: &mut BatchingReplica<A::Cmd>) {
+        // Drain order: persist first (every shipped record reaches disk
+        // and the watermark), then the inner stages — so the gateway's
+        // final ack pass runs under the final gate and no durable ack is
+        // stranded behind an unflushed fsync.
+        self.flush();
+        self.inner.finish(replica);
     }
 
     fn should_stop(&mut self, replica: &BatchingReplica<A::Cmd>) -> bool {
@@ -383,6 +669,7 @@ where
         // would redo O(state) work per request.
         if self
             .wal
+            .lock()
             .snapshot_meta()
             .is_some_and(|m| m.upto_slot > have_slot)
         {
@@ -435,17 +722,23 @@ where
         // and restore the folder so future periodic folds continue from
         // the transferred state.
         let snap = Snapshot::new(manifest.upto_slot, manifest.applied_len, state.to_vec());
-        if let Err(e) = self.wal.install_snapshot(&snap) {
-            eprintln!(
-                "[durable] persisting transferred snapshot at slot {} failed: {e}",
-                manifest.upto_slot
-            );
-        }
+        self.last_cut = self.last_cut.max(manifest.upto_slot);
+        // The install resets the WAL tail at the cut when it is at or
+        // past the shipped tail; appends resume from there.
+        self.next_ship = self.next_ship.max(manifest.upto_slot);
+        self.wal_trailing = false;
+        self.ship(PersistMsg::Install {
+            snap,
+            acked: manifest.applied_len,
+        });
         if let Err(e) = self.folder.restore(fs, manifest.upto_slot) {
             eprintln!("[durable] folder restore failed: {e}");
         }
         self.serve_cache = Some((*manifest, state.to_vec()));
-        self.update_gate(replica);
+        if !self.cfg.durable_ack {
+            self.ack_gate
+                .store(replica.applied_len() as u64, Ordering::SeqCst);
+        }
         self.inner.snapshot_installed(manifest, state, fs, replica);
     }
 }
@@ -501,6 +794,7 @@ mod tests {
             drive_round(&mut replica, r);
             durable.after_round(r, &mut replica);
         }
+        durable.flush();
         assert_eq!(replica.applied_len(), 6);
         assert_eq!(
             durable.store().next_slot(),
@@ -530,6 +824,7 @@ mod tests {
             drive_round(&mut replica, r);
             durable.after_round(r, &mut replica);
         }
+        durable.flush();
         assert!(durable.snapshots_taken() > 2, "policy must fire repeatedly");
         let meta = durable.store().snapshot_meta().expect("snapshot exists");
         assert!(meta.upto_slot > 0);
@@ -571,13 +866,17 @@ mod tests {
             drive_round(&mut replica, r);
             durable.after_round(r, &mut replica);
         }
+        durable.flush();
         let total_applied = replica.applied_len();
         let total_slots = replica.committed_slots();
         // A MemStore "recovery image": its snapshot and retained records.
-        let recovery = Recovery {
-            snapshot: durable.store().read_snapshot().unwrap(),
-            records: durable.store().records().to_vec(),
-            ..Recovery::default()
+        let recovery = {
+            let store = durable.store();
+            Recovery {
+                snapshot: store.read_snapshot().unwrap(),
+                records: store.records().to_vec(),
+                ..Recovery::default()
+            }
         };
         let mut fresh = solo_replica(2);
         let mut folder: Folder<LogApp<u64>> = Folder::default();
@@ -625,6 +924,7 @@ mod tests {
             drive_round(&mut replica, r);
             durable.after_round(r, &mut replica);
         }
+        durable.flush();
         let disk_cut = durable.store().snapshot_meta().unwrap().upto_slot;
         let manifest = durable.serve_manifest(&replica, 0).expect("serves");
         assert_eq!(manifest.upto_slot, disk_cut, "served the disk snapshot");
@@ -671,6 +971,58 @@ mod tests {
         assert!(memory
             .serve_manifest(&replica2, manifest2.upto_slot)
             .is_none());
+    }
+
+    /// Retained older snapshot cuts stay fetchable: a laggard that
+    /// started its transfer against an older manifest keeps pulling
+    /// chunks after newer cuts land; only cuts past the retention bound
+    /// go dark.
+    #[test]
+    fn older_retained_cut_serves_chunks_after_newer_snapshots() {
+        let mut replica = solo_replica(2);
+        let mut durable: LogDurable<NoHook> = DurableNode::new(
+            MemStore::new(), // retains 2 cuts by default
+            DurableConfig {
+                snapshot_every: 8,
+                snapshot_tail: 2,
+                durable_ack: true,
+            },
+            Folder::default(),
+            NoHook,
+        );
+        for r in 1..=200u64 {
+            replica.submit_all([r * 10, r * 10 + 1]);
+            durable.before_round(r, &mut replica);
+            drive_round(&mut replica, r);
+            durable.after_round(r, &mut replica);
+        }
+        durable.flush();
+        assert!(durable.snapshots_taken() > 2, "several cuts were taken");
+        let metas = durable.store().snapshot_metas();
+        assert_eq!(metas.len(), 2, "retention keeps the last two cuts");
+        let (older, newest) = (metas[0], metas[1]);
+        assert!(older.upto_slot < newest.upto_slot);
+        // Chunks of the *older* cut reassemble to its exact state even
+        // though it is no longer the store's primary snapshot.
+        let older_snap = durable
+            .store()
+            .read_snapshot_at(older.upto_slot)
+            .unwrap()
+            .expect("older cut retained");
+        let manifest =
+            SnapshotManifest::describe(older.upto_slot, older.applied_len, &older_snap.state);
+        let mut state = Vec::new();
+        for i in 0..manifest.chunks {
+            state.extend(
+                durable
+                    .serve_chunk(&replica, older.upto_slot, i)
+                    .expect("older cut serves"),
+            );
+        }
+        assert_eq!(state, older_snap.state);
+        // A cut older than the retention window is gone.
+        let pruned = older.upto_slot - (newest.upto_slot - older.upto_slot);
+        assert!(durable.serve_chunk(&replica, pruned, 0).is_none());
     }
 
     #[test]

@@ -3,41 +3,64 @@
 //! and acks commands — with the application's reply payload — once they
 //! commit.
 //!
-//! The gateway is a [`NodeHook`]: connection threads only push parsed
-//! submissions onto a queue; all replica and application access happens
-//! inside the node event loop (single-threaded, no locks around
-//! consensus state).
+//! The gateway is a [`NodeHook`] split across three stages:
 //!
-//! * [`NodeHook::before_round`] drains queued submissions into the
-//!   replica — applying **backpressure** (the command is bounced with the
-//!   observed queue depth instead of being enqueued) once the pending
-//!   queue exceeds its limit, and **redirecting** every submission when
-//!   the server is configured as a non-accepting follower;
-//! * [`NodeHook::after_round`] walks the newly applied suffix of the log
-//!   through the live [`Applier`] — producing each command's
-//!   [`App::Reply`] the moment it flattens — and answers each locally
-//!   submitted command with its `(slot, offset)` commit coordinates plus
-//!   the reply. Under durable-ack the **apply** still runs immediately
-//!   (deterministic replay needs no fsync), but the *ack* is held in a
-//!   pending queue until the durable watermark passes the command's
-//!   offset, so an acked command is one a crash cannot lose.
+//! ```text
+//!   conn readers ──▶ submissions queue ──▶ ORDER (node event loop)
+//!                                              │ applied-log deltas
+//!                                              ▼
+//!                                           APPLY thread ── replies ──┐
+//!                                              │                      ▼
+//!                    ORDER ── inflight/retry notes ─────────────▶  ACK thread
+//!                                                                     │
+//!                                              client sockets ◀───────┘
+//! ```
+//!
+//! * the **order** side (the hook methods, on the node event loop) drains
+//!   queued submissions into the replica — applying **backpressure** (the
+//!   command is bounced with the observed queue depth instead of being
+//!   enqueued) once the pending queue exceeds its limit, and
+//!   **redirecting** every submission when the server is configured as a
+//!   non-accepting follower — and ships each round's newly applied log
+//!   suffix to the apply stage. It never touches a socket and never
+//!   fsyncs: consensus rounds are not gated on either;
+//! * the **apply** stage walks shipped deltas through the live
+//!   [`Applier`] — producing each command's [`App::Reply`] the moment it
+//!   flattens — and forwards `(cmd, slot, offset, reply)` entries to the
+//!   ack stage. Application is ungated by durability: deterministic
+//!   replay carries no durability promise;
+//! * the **ack** stage owns all client-visible bookkeeping (inflight
+//!   map, pending acks, re-ack index) and the sockets. Under durable-ack
+//!   it parks entries until the durable watermark published by the
+//!   persist stage passes the command's offset, so an acked command is
+//!   one a crash cannot lose.
+//!
+//! Stage channels are bounded; a full channel blocks the producer (acks
+//! are never dropped — blocking *is* the backpressure). Since both
+//! producer notes for one command flow through the same ack channel in
+//! FIFO order, an inflight note always precedes its commit entry.
 //!
 //! Two protections keep one client from hurting the rest: ack writes run
 //! under a short write timeout (a client that stops reading gets its
-//! connection dropped instead of wedging the consensus thread), and
-//! retried submissions of already-committed commands are re-acked from
-//! the gateway's commit index (the replica's dedup would otherwise
-//! swallow them silently).
+//! connection dropped instead of wedging the ack stage), and retried
+//! submissions of already-committed commands are re-acked from the
+//! gateway's commit index (the replica's dedup would otherwise swallow
+//! them silently). After a state-transfer jump the index is seeded from
+//! the transferred fold's dedup pairs, so a retry of a command committed
+//! *below* the jump is still answered (with its slot; the reply itself
+//! was never computed locally and is reported as absent).
 
 use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use gencon_app::{App, Applier};
+use gencon_metrics::{Counter, Gauge, Registry};
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::BatchingReplica;
 use gencon_types::ProcessId;
@@ -47,6 +70,18 @@ use crate::protocol::{read_frame, write_frame, ClientRequest, ClientResponse};
 
 /// Shared writer registry: connection id → writer half of the socket.
 type Conns = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Capacity of the order→apply and →ack stage channels. A full channel
+/// blocks the producer: deltas and ack notes are never dropped.
+pub const STAGE_QUEUE_CAP: usize = 1024;
+
+/// Ack-stage poll interval: how often the durable watermark is re-read
+/// when no messages arrive (the release latency floor under durable-ack).
+const ACK_POLL: std::time::Duration = std::time::Duration::from_micros(500);
+
+/// Retries parked awaiting a commit that hasn't surfaced yet (bounded so
+/// a flood of retries for never-committed commands can't grow memory).
+const PARKED_RETRIES_CAP: usize = 1024;
 
 /// Gateway tuning.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +93,7 @@ pub struct GatewayConfig {
     /// [`ClientResponse::Redirect`] to this process (follower mode).
     pub redirect_to: Option<ProcessId>,
     /// Ack writes block at most this long; a client that stops reading
-    /// is disconnected rather than allowed to stall the event loop.
+    /// is disconnected rather than allowed to stall the ack stage.
     pub write_timeout: std::time::Duration,
     /// Commands kept in the re-ack index (retries of already-committed
     /// submissions are answered from it). Oldest entries are evicted
@@ -79,41 +114,113 @@ impl Default for GatewayConfig {
     }
 }
 
+/// Order→apply stage messages.
+enum ApplyMsg<A: App> {
+    /// Newly flattened `(cmd, slot, offset)` log entries, in offset order.
+    Delta(Vec<(A::Cmd, u64, u64)>),
+    /// A state transfer replaced the log; restore the live app from the
+    /// transferred fold.
+    Restore(Box<FoldedState<A::Cmd>>),
+    /// Rendezvous: forwarded to the ack stage once every prior delta has
+    /// been applied, answered there once every prior ack note is handled.
+    Barrier(Sender<()>),
+}
+
+/// Notes flowing into the ack stage — from the order side (submission
+/// outcomes) and the apply side (commit entries with replies). One
+/// channel, FIFO: an `Inflight` note always precedes its `Entry`.
+enum AckMsg<A: App> {
+    /// A fresh local submission was enqueued: remember who to answer.
+    Inflight { cmd: A::Cmd, conn: u64 },
+    /// A command flattened and was applied; ack once durable.
+    Entry {
+        cmd: A::Cmd,
+        slot: u64,
+        offset: u64,
+        reply: A::Reply,
+    },
+    /// The replica's dedup swallowed a resubmission. Re-ack from the
+    /// commit index, adopt the new connection if the command is still
+    /// inflight, bounce with `fallback` if one is given (redirect /
+    /// backpressure), else park awaiting the commit surfacing.
+    Retry {
+        cmd: A::Cmd,
+        conn: u64,
+        fallback: Option<ClientResponse<A::Cmd, A::Reply>>,
+    },
+    /// `(cmd, slot)` pairs known committed from a transferred fold's
+    /// dedup window — replies were computed on another node and are
+    /// unavailable; retries are answered with `reply: None`.
+    KnownCommitted(Vec<(A::Cmd, u64)>),
+    /// Rendezvous: release everything releasable, then answer.
+    Barrier(Sender<()>),
+}
+
+/// Per-stage instrumentation (`apply.*` / `ack.*`).
+#[derive(Clone)]
+struct GatewayMeters {
+    applied: Counter,
+    apply_depth: Gauge,
+    acked: Counter,
+    reacks: Counter,
+    parked: Counter,
+    dropped: Counter,
+}
+
+impl GatewayMeters {
+    fn new(reg: &Registry) -> GatewayMeters {
+        GatewayMeters {
+            applied: reg.counter("apply.applied"),
+            apply_depth: reg.gauge("apply.queue_depth"),
+            acked: reg.counter("ack.acked"),
+            reacks: reg.counter("ack.reacks"),
+            parked: reg.counter("ack.parked"),
+            dropped: reg.counter("ack.dropped"),
+        }
+    }
+}
+
+/// Handles + channels of the spawned apply/ack stages.
+struct GatewayStages<A: App> {
+    apply_tx: Sender<ApplyMsg<A>>,
+    ack_tx: Sender<AckMsg<A>>,
+    apply_handle: std::thread::JoinHandle<()>,
+    ack_handle: std::thread::JoinHandle<()>,
+}
+
 /// The client-facing service half of a `gencon-server` node, running
 /// application `A` over the replicated log.
 pub struct ClientGateway<A: App> {
     submissions: Receiver<(u64, A::Cmd)>,
     conns: Conns,
-    /// Locally submitted, not yet committed: command → connection.
-    inflight: HashMap<A::Cmd, u64>,
-    /// The live application: applies every command as it flattens.
-    applier: Applier<A>,
-    /// Applied but not yet acked `(cmd, slot, offset, reply)` — drained
-    /// in offset order as the durable watermark advances (immediately,
-    /// without a gate).
-    pending_acks: VecDeque<(A::Cmd, u64, u64, A::Reply)>,
-    /// Commit coordinates and replies of recently acked commands, for
-    /// re-acking client retries of already-committed submissions.
-    /// Bounded by [`GatewayConfig::reack_index_cap`]: oldest entries are
-    /// evicted (`reack_order` is the FIFO), so a long-running node's
-    /// gateway memory stays flat.
-    committed_index: HashMap<A::Cmd, (u64, u64, A::Reply)>,
-    /// Insertion order of `committed_index`, for eviction.
-    reack_order: VecDeque<A::Cmd>,
+    /// The live application, owned by the apply stage once spawned. The
+    /// order side only locks it at spawn (cursor seed) and on behalf of
+    /// [`applier`](ClientGateway::applier) callers.
+    applier: Arc<Mutex<Applier<A>>>,
+    /// Absolute log offset up to which deltas have been shipped to the
+    /// apply stage.
+    applied_seen: u64,
+    /// Apply/ack stage threads, spawned lazily on the first hook call
+    /// (so builders like [`with_applier`](ClientGateway::with_applier)
+    /// run before any stage captures state).
+    stages: Option<GatewayStages<A>>,
     /// Submissions bounced (backpressure or redirect) so far.
-    bounced: u64,
+    bounced: Arc<AtomicU64>,
     /// Parked acks dropped because the pending queue hit its bound (a
     /// persistently stalled durable gate — e.g. a failing disk — must
     /// not grow memory without limit; the dropped commands are committed
     /// and safe, their clients just never hear back, exactly as under a
     /// stalled gate in general).
-    acks_dropped: u64,
+    acks_dropped: Arc<AtomicU64>,
+    /// Mirror of the ack stage's inflight-map size.
+    inflight_count: Arc<AtomicUsize>,
     /// Durable-ack watermark: when set, commands at absolute log offsets
     /// at or past the gate are **applied but not acked** yet — their
     /// batch is not fsynced/snapshotted (see
     /// [`DurableNode`](crate::DurableNode)). Acks resume as the gate
     /// advances.
-    ack_gate: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    ack_gate: Option<Arc<AtomicU64>>,
+    meters: GatewayMeters,
     cfg: GatewayConfig,
     local_addr: SocketAddr,
 }
@@ -165,14 +272,14 @@ impl<A: App> ClientGateway<A> {
         Ok(ClientGateway {
             submissions: rx,
             conns,
-            inflight: HashMap::new(),
-            applier: Applier::default(),
-            pending_acks: VecDeque::new(),
-            committed_index: HashMap::new(),
-            reack_order: VecDeque::new(),
-            bounced: 0,
-            acks_dropped: 0,
+            applier: Arc::new(Mutex::new(Applier::default())),
+            applied_seen: 0,
+            stages: None,
+            bounced: Arc::new(AtomicU64::new(0)),
+            acks_dropped: Arc::new(AtomicU64::new(0)),
+            inflight_count: Arc::new(AtomicUsize::new(0)),
             ack_gate: None,
+            meters: GatewayMeters::new(&Registry::new()),
             cfg,
             local_addr,
         })
@@ -184,10 +291,7 @@ impl<A: App> ClientGateway<A> {
     /// gate. Application of commands is *not* gated — replies are simply
     /// parked until durable.
     #[must_use]
-    pub fn with_ack_gate(
-        mut self,
-        gate: std::sync::Arc<std::sync::atomic::AtomicU64>,
-    ) -> ClientGateway<A> {
+    pub fn with_ack_gate(mut self, gate: Arc<AtomicU64>) -> ClientGateway<A> {
         self.ack_gate = Some(gate);
         self
     }
@@ -195,17 +299,29 @@ impl<A: App> ClientGateway<A> {
     /// Replaces the live applier — the recovery path: after
     /// [`recover_replica`](crate::recover_replica), seed the gateway with
     /// an applier resumed from the recovered fold so replies and state
-    /// hashes continue where the previous process left off.
+    /// hashes continue where the previous process left off. Must run
+    /// before the first round (the apply stage seeds its shipping cursor
+    /// from the applier when it spawns).
     #[must_use]
     pub fn with_applier(mut self, applier: Applier<A>) -> ClientGateway<A> {
-        self.applier = applier;
+        self.applier = Arc::new(Mutex::new(applier));
         self
     }
 
-    /// The live applier (cursor, app state, captured hash).
+    /// Registers the gateway's per-stage meters (`apply.*`, `ack.*`) in
+    /// `reg`. Must run before the first round — the stage threads capture
+    /// their meter handles when they spawn.
     #[must_use]
-    pub fn applier(&self) -> &Applier<A> {
-        &self.applier
+    pub fn with_metrics(mut self, reg: &Registry) -> ClientGateway<A> {
+        self.meters = GatewayMeters::new(reg);
+        self
+    }
+
+    /// The live applier (cursor, app state, captured hash). Shared with
+    /// the apply stage — don't hold the guard across waits; call
+    /// [`drain`](ClientGateway::drain) first for a quiesced view.
+    pub fn applier(&self) -> parking_lot::MutexGuard<'_, Applier<A>> {
+        self.applier.lock()
     }
 
     /// The address the gateway actually bound (resolves `:0` port probes).
@@ -217,49 +333,108 @@ impl<A: App> ClientGateway<A> {
     /// Commands submitted locally and not yet committed.
     #[must_use]
     pub fn inflight(&self) -> usize {
-        self.inflight.len()
+        self.inflight_count.load(Ordering::Relaxed)
     }
 
     /// Submissions bounced so far (backpressure or redirect).
     #[must_use]
     pub fn bounced(&self) -> u64 {
-        self.bounced
+        self.bounced.load(Ordering::Relaxed)
     }
 
     /// Parked acks dropped at the pending-queue bound (only a stalled
     /// durable gate can make this nonzero).
     #[must_use]
     pub fn acks_dropped(&self) -> u64 {
-        self.acks_dropped
+        self.acks_dropped.load(Ordering::Relaxed)
     }
 
-    /// Records a committed command's coordinates + reply for re-acking
-    /// retries, evicting the oldest entries past the cap.
-    fn index_committed(&mut self, cmd: A::Cmd, slot: u64, offset: u64, reply: A::Reply) {
-        if self
-            .committed_index
-            .insert(cmd.clone(), (slot, offset, reply))
-            .is_none()
-        {
-            self.reack_order.push_back(cmd);
-        }
-        while self.reack_order.len() > self.cfg.reack_index_cap {
-            if let Some(old) = self.reack_order.pop_front() {
-                self.committed_index.remove(&old);
-            }
-        }
-    }
-
-    fn respond(&self, conn_id: u64, resp: &ClientResponse<A::Cmd, A::Reply>) {
-        let mut conns = self.conns.lock();
-        let Some(stream) = conns.get_mut(&conn_id) else {
-            return; // client went away; the commit stands regardless
+    /// Blocks until every delta and ack note shipped so far has been
+    /// processed and every releasable ack has been written — the
+    /// shutdown/rendezvous barrier ([`NodeHook::finish`] calls it, tests
+    /// use it before asserting on applier or ack state).
+    pub fn drain(&mut self) {
+        let Some(stages) = &self.stages else {
+            return;
         };
-        if let Err(e) = write_frame(stream, resp).and_then(|()| stream.flush()) {
-            if std::env::var_os("GENCON_NODE_DEBUG").is_some() {
-                eprintln!("[gateway] respond to conn {conn_id} failed: {e}");
-            }
-            conns.remove(&conn_id);
+        let (done_tx, done_rx) = channel::unbounded();
+        if stages.apply_tx.send(ApplyMsg::Barrier(done_tx)).is_ok() {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Spawns the apply + ack stage threads on first use.
+    fn ensure_stages(&mut self) {
+        if self.stages.is_some() {
+            return;
+        }
+        // The applier's cursor is the ship-from point: after recovery it
+        // already covers the recovered prefix (fold + replayed tail).
+        self.applied_seen = self.applier.lock().cursor();
+        let (apply_tx, apply_rx) = channel::bounded(STAGE_QUEUE_CAP);
+        let (ack_tx, ack_rx) = channel::bounded(STAGE_QUEUE_CAP);
+
+        let applier = Arc::clone(&self.applier);
+        let apply_ack_tx = ack_tx.clone();
+        let apply_meters = self.meters.clone();
+        let apply_handle = std::thread::spawn(move || {
+            apply_loop::<A>(&applier, &apply_rx, &apply_ack_tx, &apply_meters);
+        });
+
+        let state = AckState::<A> {
+            conns: Arc::clone(&self.conns),
+            cfg: self.cfg,
+            gate: self.ack_gate.clone(),
+            inflight: HashMap::new(),
+            pending: VecDeque::new(),
+            index: HashMap::new(),
+            index_order: VecDeque::new(),
+            parked: HashMap::new(),
+            bounced: Arc::clone(&self.bounced),
+            acks_dropped: Arc::clone(&self.acks_dropped),
+            inflight_count: Arc::clone(&self.inflight_count),
+            m: self.meters.clone(),
+        };
+        let ack_handle = std::thread::spawn(move || state.run(&ack_rx));
+
+        self.stages = Some(GatewayStages {
+            apply_tx,
+            ack_tx,
+            apply_handle,
+            ack_handle,
+        });
+    }
+
+    /// Ships to the apply stage, blocking when the channel is full.
+    fn ship_apply(&self, msg: ApplyMsg<A>) {
+        if let Some(stages) = &self.stages {
+            let _ = stages.apply_tx.send(msg);
+        }
+    }
+
+    /// Ships to the ack stage, blocking when the channel is full.
+    fn ship_ack(&self, msg: AckMsg<A>) {
+        if let Some(stages) = &self.stages {
+            let _ = stages.ack_tx.send(msg);
+        }
+    }
+}
+
+impl<A: App> Drop for ClientGateway<A> {
+    fn drop(&mut self) {
+        if let Some(stages) = self.stages.take() {
+            let GatewayStages {
+                apply_tx,
+                ack_tx,
+                apply_handle,
+                ack_handle,
+            } = stages;
+            // Closing the senders lets both loops observe disconnect;
+            // the apply thread's ack sender clone drops when it exits.
+            drop(apply_tx);
+            drop(ack_tx);
+            let _ = apply_handle.join();
+            let _ = ack_handle.join();
         }
     }
 }
@@ -283,93 +458,343 @@ fn conn_reader<A: App>(conn_id: u64, mut stream: TcpStream, tx: &Sender<(u64, A:
     }
 }
 
+/// The apply stage: walks shipped deltas through the live applier and
+/// forwards each entry — with its computed reply — to the ack stage.
+fn apply_loop<A: App>(
+    applier: &Mutex<Applier<A>>,
+    rx: &Receiver<ApplyMsg<A>>,
+    ack_tx: &Sender<AckMsg<A>>,
+    m: &GatewayMeters,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ApplyMsg::Delta(entries) => {
+                let mut applier = applier.lock();
+                for (cmd, slot, offset) in entries {
+                    let reply = applier.apply(slot, &cmd);
+                    m.applied.inc();
+                    if ack_tx
+                        .send(AckMsg::Entry {
+                            cmd,
+                            slot,
+                            offset,
+                            reply,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+            ApplyMsg::Restore(fs) => {
+                if let Err(e) = applier.lock().restore(&fs) {
+                    eprintln!("[gateway] live app restore failed: {e}");
+                }
+            }
+            ApplyMsg::Barrier(done) => {
+                let _ = ack_tx.send(AckMsg::Barrier(done));
+            }
+        }
+    }
+}
+
+/// Commit coordinates (`slot`, `offset`) and the reply (if computed
+/// locally) kept per command for re-acking retries.
+type ReackIndex<A> = HashMap<<A as App>::Cmd, (u64, u64, Option<<A as App>::Reply>)>;
+
+/// The ack stage's working state: owns the sockets and every piece of
+/// client-visible bookkeeping.
+struct AckState<A: App> {
+    conns: Conns,
+    cfg: GatewayConfig,
+    gate: Option<Arc<AtomicU64>>,
+    /// Locally submitted, not yet acked: command → connection.
+    inflight: HashMap<A::Cmd, u64>,
+    /// Applied but not yet acked `(cmd, slot, offset, reply)` — drained
+    /// in offset order as the durable watermark advances (immediately,
+    /// without a gate).
+    pending: VecDeque<(A::Cmd, u64, u64, A::Reply)>,
+    /// Commit coordinates and replies of recently acked commands, for
+    /// re-acking client retries of already-committed submissions. The
+    /// reply is `None` for commands learned via state transfer (their
+    /// replies were computed on another node). Bounded by
+    /// [`GatewayConfig::reack_index_cap`]; `index_order` is the eviction
+    /// FIFO.
+    index: ReackIndex<A>,
+    index_order: VecDeque<A::Cmd>,
+    /// Retries of commands neither committed nor locally inflight —
+    /// typically committed below a state-transfer jump — parked until a
+    /// `KnownCommitted` or released `Entry` surfaces them.
+    parked: HashMap<A::Cmd, Vec<u64>>,
+    bounced: Arc<AtomicU64>,
+    acks_dropped: Arc<AtomicU64>,
+    inflight_count: Arc<AtomicUsize>,
+    m: GatewayMeters,
+}
+
+impl<A: App> AckState<A> {
+    fn run(mut self, rx: &Receiver<AckMsg<A>>) {
+        loop {
+            match rx.recv_timeout(ACK_POLL) {
+                Ok(msg) => self.handle(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.release();
+                    return;
+                }
+            }
+            self.release();
+        }
+    }
+
+    fn handle(&mut self, msg: AckMsg<A>) {
+        match msg {
+            AckMsg::Inflight { cmd, conn } => {
+                if self.reack(&cmd, conn) {
+                    return; // raced past its own commit (belt & braces)
+                }
+                if self.inflight.insert(cmd, conn).is_none() {
+                    self.inflight_count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            AckMsg::Entry {
+                cmd,
+                slot,
+                offset,
+                reply,
+            } => {
+                self.pending.push_back((cmd, slot, offset, reply));
+                // Bound the parked acks: under a healthy gate the queue
+                // drains every group-commit window, but a gate that
+                // stops advancing (failing disk) must not grow memory
+                // with throughput forever. The *newest* entries are
+                // dropped — the oldest are the next to become durable.
+                // A dropped command is still committed, and its
+                // coordinates go straight into the (equally bounded)
+                // re-ack index so a client retry after the gate recovers
+                // gets answered instead of being swallowed by the
+                // replica's dedup.
+                while self.pending.len() > self.cfg.reack_index_cap {
+                    let (cmd, slot, offset, reply) = self.pending.pop_back().expect("over cap");
+                    self.acks_dropped.fetch_add(1, Ordering::Relaxed);
+                    self.m.dropped.inc();
+                    self.index_committed(cmd, slot, offset, Some(reply));
+                }
+            }
+            AckMsg::Retry {
+                cmd,
+                conn,
+                fallback,
+            } => {
+                if self.reack(&cmd, conn) {
+                    return;
+                }
+                if let Some(owner) = self.inflight.get_mut(&cmd) {
+                    // Still awaiting its commit: the newest connection
+                    // wins the eventual ack.
+                    *owner = conn;
+                    return;
+                }
+                if let Some(resp) = fallback {
+                    self.bounced.fetch_add(1, Ordering::Relaxed);
+                    self.respond(conn, &resp);
+                    return;
+                }
+                // Dedup-swallowed but not answerable yet: committed below
+                // a state-transfer jump (the KnownCommitted note is in
+                // flight) or committed remotely and not yet released.
+                if self.parked.len() < PARKED_RETRIES_CAP {
+                    self.parked.entry(cmd).or_default().push(conn);
+                    self.m.parked.inc();
+                }
+            }
+            AckMsg::KnownCommitted(pairs) => {
+                for (cmd, slot) in pairs {
+                    // The transferred fold knows the commit slot but not
+                    // the reply — don't clobber a richer local entry.
+                    if !self.index.contains_key(&cmd) {
+                        self.index_committed(cmd.clone(), slot, 0, None);
+                    }
+                    if let Some(waiters) = self.parked.remove(&cmd) {
+                        let (slot, offset, reply) = self.index[&cmd].clone();
+                        for conn in waiters {
+                            self.respond(
+                                conn,
+                                &ClientResponse::Committed {
+                                    cmd: cmd.clone(),
+                                    slot,
+                                    offset,
+                                    reply: reply.clone(),
+                                },
+                            );
+                            self.m.reacks.inc();
+                        }
+                    }
+                }
+            }
+            AckMsg::Barrier(done) => {
+                self.release();
+                let _ = done.send(());
+            }
+        }
+    }
+
+    /// Releases pending acks in offset order up to the durable watermark
+    /// (everything, when no gate is installed).
+    fn release(&mut self) {
+        let gate = self
+            .gate
+            .as_ref()
+            .map_or(u64::MAX, |g| g.load(Ordering::SeqCst));
+        while self
+            .pending
+            .front()
+            .is_some_and(|(_, _, offset, _)| *offset < gate)
+        {
+            let (cmd, slot, offset, reply) = self.pending.pop_front().expect("front exists");
+            self.index_committed(cmd.clone(), slot, offset, Some(reply.clone()));
+            if let Some(conn) = self.inflight.remove(&cmd) {
+                self.inflight_count.fetch_sub(1, Ordering::Relaxed);
+                self.respond(
+                    conn,
+                    &ClientResponse::Committed {
+                        cmd: cmd.clone(),
+                        slot,
+                        offset,
+                        reply: Some(reply.clone()),
+                    },
+                );
+                self.m.acked.inc();
+            }
+            if let Some(waiters) = self.parked.remove(&cmd) {
+                for conn in waiters {
+                    self.respond(
+                        conn,
+                        &ClientResponse::Committed {
+                            cmd: cmd.clone(),
+                            slot,
+                            offset,
+                            reply: Some(reply.clone()),
+                        },
+                    );
+                    self.m.reacks.inc();
+                }
+            }
+        }
+    }
+
+    /// Answers `conn` from the commit index; `false` if the command
+    /// isn't indexed.
+    fn reack(&mut self, cmd: &A::Cmd, conn: u64) -> bool {
+        let Some((slot, offset, reply)) = self.index.get(cmd).cloned() else {
+            return false;
+        };
+        self.respond(
+            conn,
+            &ClientResponse::Committed {
+                cmd: cmd.clone(),
+                slot,
+                offset,
+                reply,
+            },
+        );
+        self.m.reacks.inc();
+        true
+    }
+
+    /// Records a committed command's coordinates + reply for re-acking
+    /// retries, evicting the oldest entries past the cap.
+    fn index_committed(&mut self, cmd: A::Cmd, slot: u64, offset: u64, reply: Option<A::Reply>) {
+        if self
+            .index
+            .insert(cmd.clone(), (slot, offset, reply))
+            .is_none()
+        {
+            self.index_order.push_back(cmd);
+        }
+        while self.index_order.len() > self.cfg.reack_index_cap {
+            if let Some(old) = self.index_order.pop_front() {
+                self.index.remove(&old);
+            }
+        }
+    }
+
+    fn respond(&self, conn_id: u64, resp: &ClientResponse<A::Cmd, A::Reply>) {
+        let mut conns = self.conns.lock();
+        let Some(stream) = conns.get_mut(&conn_id) else {
+            return; // client went away; the commit stands regardless
+        };
+        if let Err(e) = write_frame(stream, resp).and_then(|()| stream.flush()) {
+            if std::env::var_os("GENCON_NODE_DEBUG").is_some() {
+                eprintln!("[gateway] respond to conn {conn_id} failed: {e}");
+            }
+            conns.remove(&conn_id);
+        }
+    }
+}
+
 impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
     fn before_round(&mut self, _round: u64, replica: &mut BatchingReplica<A::Cmd>) {
+        self.ensure_stages();
         while let Ok((conn_id, cmd)) = self.submissions.try_recv() {
-            // A retry of a command that already committed: re-ack it —
-            // the replica's dedup would swallow the resubmission, and
-            // the client would otherwise never hear back.
-            if let Some((slot, offset, reply)) = self.committed_index.get(&cmd) {
-                let resp = ClientResponse::Committed {
-                    cmd,
-                    slot: *slot,
-                    offset: *offset,
-                    reply: Some(reply.clone()),
-                };
-                self.respond(conn_id, &resp);
-                continue;
-            }
             if let Some(to) = self.cfg.redirect_to {
-                self.bounced += 1;
-                self.respond(conn_id, &ClientResponse::Redirect { cmd, to });
+                // The ack stage checks its commit index before bouncing:
+                // a retry of a committed command is re-acked, not
+                // redirected.
+                self.ship_ack(AckMsg::Retry {
+                    cmd: cmd.clone(),
+                    conn: conn_id,
+                    fallback: Some(ClientResponse::Redirect { cmd, to }),
+                });
                 continue;
             }
             if replica.queued() >= self.cfg.backpressure_limit {
-                self.bounced += 1;
-                self.respond(
-                    conn_id,
-                    &ClientResponse::Backpressure {
-                        cmd: cmd.clone(),
-                        queued: replica.queued() as u64,
-                    },
-                );
+                let queued = replica.queued() as u64;
+                self.ship_ack(AckMsg::Retry {
+                    cmd: cmd.clone(),
+                    conn: conn_id,
+                    fallback: Some(ClientResponse::Backpressure { cmd, queued }),
+                });
                 continue;
             }
-            self.inflight.insert(cmd.clone(), conn_id);
-            replica.submit(cmd);
+            if replica.submit(cmd.clone()) {
+                self.ship_ack(AckMsg::Inflight { cmd, conn: conn_id });
+            } else {
+                // Dedup-swallowed: already committed (re-ack from the
+                // index), still inflight (adopt the new connection), or
+                // committed below a transfer jump (park).
+                self.ship_ack(AckMsg::Retry {
+                    cmd,
+                    conn: conn_id,
+                    fallback: None,
+                });
+            }
         }
     }
 
     fn after_round(&mut self, _round: u64, replica: &mut BatchingReplica<A::Cmd>) {
-        // 1. Apply every newly flattened command through the live app —
-        // ungated: deterministic replay carries no durability promise,
-        // and holding the *app* (rather than just acks) behind the fsync
-        // watermark would stall state hashes and replies for nothing.
+        self.ensure_stages();
+        let base = replica.applied_base() as u64;
         let limit = replica.applied_len() as u64;
-        let pending = &mut self.pending_acks;
-        self.applier.track(
-            replica.applied(),
-            replica.applied_slots(),
-            replica.applied_base() as u64,
-            limit,
-            |cmd, slot, offset, reply| pending.push_back((cmd.clone(), slot, offset, reply)),
-        );
-        // Bound the parked acks: under a healthy gate the queue drains
-        // every group-commit window, but a gate that stops advancing
-        // (failing disk) must not grow memory with throughput forever.
-        // The *newest* entries are dropped — the oldest are the next to
-        // become durable. A dropped command is still committed, and its
-        // coordinates go straight into the (equally bounded) re-ack
-        // index so a client retry after the gate recovers gets answered
-        // instead of being swallowed by the replica's dedup.
-        while self.pending_acks.len() > self.cfg.reack_index_cap {
-            let (cmd, slot, offset, reply) = self.pending_acks.pop_back().expect("over cap");
-            self.acks_dropped += 1;
-            self.index_committed(cmd, slot, offset, reply);
+        if self.applied_seen < base {
+            // Compaction can't outrun the local applier in practice;
+            // clamp defensively so indexing below never underflows.
+            self.applied_seen = base;
         }
-        // 2. Release acks up to the durable watermark (everything, when
-        // no gate is installed).
-        let gate = self.ack_gate.as_ref().map_or(limit, |g| {
-            g.load(std::sync::atomic::Ordering::SeqCst).min(limit)
-        });
-        while self
-            .pending_acks
-            .front()
-            .is_some_and(|(_, _, offset, _)| *offset < gate)
-        {
-            let (cmd, slot, offset, reply) = self.pending_acks.pop_front().expect("front exists");
-            self.index_committed(cmd.clone(), slot, offset, reply.clone());
-            if let Some(conn_id) = self.inflight.remove(&cmd) {
-                self.respond(
-                    conn_id,
-                    &ClientResponse::Committed {
-                        cmd,
-                        slot,
-                        offset,
-                        reply: Some(reply),
-                    },
-                );
-            }
+        if self.applied_seen < limit {
+            let applied = replica.applied();
+            let slots = replica.applied_slots();
+            let delta: Vec<(A::Cmd, u64, u64)> = (self.applied_seen..limit)
+                .map(|offset| {
+                    let i = (offset - base) as usize;
+                    (applied[i].clone(), slots[i], offset)
+                })
+                .collect();
+            self.applied_seen = limit;
+            self.ship_apply(ApplyMsg::Delta(delta));
+        }
+        if let Some(stages) = &self.stages {
+            self.meters.apply_depth.set(stages.apply_tx.len() as u64);
         }
     }
 
@@ -380,13 +805,21 @@ impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
         fs: &FoldedState<A::Cmd>,
         _replica: &mut BatchingReplica<A::Cmd>,
     ) {
+        self.ensure_stages();
         // A state transfer replaced the replica's log wholesale; restore
-        // the live app from the transferred fold. Pending acks for
-        // offsets below the fold were produced before the jump and stay
-        // answerable (their replies were computed at apply time).
-        if let Err(e) = self.applier.restore(fs) {
-            eprintln!("[gateway] live app restore failed: {e}");
-        }
+        // the live app from the transferred fold and fast-forward the
+        // shipping cursor past the jump. Pending acks for offsets below
+        // the fold were produced before the jump and stay answerable
+        // (their replies were computed at apply time). The fold's dedup
+        // window seeds the re-ack index so retries of commands committed
+        // below the jump are answered instead of parked forever.
+        self.applied_seen = self.applied_seen.max(fs.applied_len);
+        self.ship_apply(ApplyMsg::Restore(Box::new(fs.clone())));
+        self.ship_ack(AckMsg::KnownCommitted(fs.dedup.clone()));
+    }
+
+    fn finish(&mut self, _replica: &mut BatchingReplica<A::Cmd>) {
+        self.drain();
     }
 }
 
@@ -411,10 +844,12 @@ mod tests {
     }
 
     fn drain_submissions(gw: &mut ClientGateway<LogApp<u64>>, replica: &mut BatchingReplica<u64>) {
-        // Connection readers run on their own threads; poll briefly.
+        // Connection readers and the ack stage run on their own threads;
+        // poll briefly.
         for _ in 0..100 {
             gw.before_round(1, replica);
-            if replica.queued() + gw.inflight.len() > 0 || gw.bounced() > 0 {
+            gw.drain();
+            if replica.queued() + gw.inflight() > 0 || gw.bounced() > 0 {
                 return;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -438,6 +873,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(replica.queued(), 2);
+        gw.drain();
         assert_eq!(gw.inflight(), 2);
     }
 
@@ -457,6 +893,7 @@ mod tests {
         let resp: ClientResponse<u64> = read_frame(&mut conn).unwrap();
         assert_eq!(resp, ClientResponse::Backpressure { cmd: 33, queued: 0 });
         assert_eq!(replica.queued(), 0);
+        gw.drain();
         assert_eq!(gw.inflight(), 0);
     }
 
@@ -531,6 +968,7 @@ mod tests {
             }
         );
         assert_eq!(replica.applied(), &[77], "no duplicate apply");
+        gw.drain();
         assert_eq!(gw.applier().cursor(), 1, "the live app applied it once");
     }
 
@@ -619,6 +1057,7 @@ mod tests {
         }
         assert_eq!(replies[&1], KvReply::Stored { replaced: false });
         assert_eq!(replies[&2], KvReply::Value(Some(b"v".to_vec())));
+        gw.drain();
         assert_eq!(gw.applier().app().len(), 1);
     }
 }

@@ -54,8 +54,8 @@ pub use deadline::AdaptiveDeadline;
 pub use durable::{recover_replica, DurableConfig, DurableNode, RecoveredState};
 pub use gateway::{ClientGateway, GatewayConfig};
 pub use node::{
-    run_smr_node, NoHook, NodeHook, NodeStats, CHUNKS_SERVED_PER_SENDER_PER_ROUND,
-    CHUNK_REQUESTS_PER_ROUND, FUTURE_HORIZON, LIVENESS_GRACE, SNAPSHOT_GAP_MIN,
-    SNAPSHOT_PROBE_AFTER,
+    run_smr_node, run_smr_node_metered, NoHook, NodeHook, NodeStats,
+    CHUNKS_SERVED_PER_SENDER_PER_ROUND, CHUNK_REQUESTS_PER_ROUND, FUTURE_HORIZON, INGEST_QUEUE_CAP,
+    LIVENESS_GRACE, SNAPSHOT_GAP_MIN, SNAPSHOT_PROBE_AFTER,
 };
 pub use protocol::{read_frame, write_frame, ClientRequest, ClientResponse};

@@ -52,15 +52,18 @@
 //! [`FoldedState`]: gencon_net::FoldedState
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, TrySendError};
 
+use gencon_metrics::{Counter, Gauge, Histogram, Registry};
 use gencon_net::wire::{Envelope, Wire};
 use gencon_net::wire_sync::{
     AssemblyOutcome, ChunkAssembly, FoldedState, SnapshotManifest, SyncFrame,
 };
-use gencon_net::Transport;
+use gencon_net::{RecvHalf, Transport};
 use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
 use gencon_smr::{Batch, BatchingReplica, SmrMsg};
 use gencon_types::{ProcessId, ProcessSet, Round, Value};
@@ -135,6 +138,16 @@ pub trait NodeHook<V: Value>: Send {
         replica: &mut BatchingReplica<V>,
     ) {
         let _ = (manifest, state, fs, replica);
+    }
+
+    /// Called exactly once when the event loop exits, before the node's
+    /// pipeline threads are torn down. Staged hooks drain here: the
+    /// durable hook flushes its persist stage (every appended record
+    /// reaches disk and the durable watermark), the gateway then releases
+    /// or fails every remaining client ack — no ack is stranded in a
+    /// queue when the process returns.
+    fn finish(&mut self, replica: &mut BatchingReplica<V>) {
+        let _ = replica;
     }
 }
 
@@ -257,18 +270,205 @@ impl Fetch {
     }
 }
 
+/// Decoded frames queued between the ingest stage and the order stage.
+/// When the queue is full, fresh frames are dropped (and counted) —
+/// consensus frames are loss-tolerant by design, so shedding inbound
+/// load under overload is exactly what a congested network would do.
+pub const INGEST_QUEUE_CAP: usize = 4096;
+
+/// How often the ingest stage re-checks its stop flag while idle.
+const INGEST_POLL: Duration = Duration::from_millis(10);
+
+/// A decoded, sender-authenticated frame handed from ingest to order.
+type IngestFrame<V> = (ProcessId, SyncFrame<SmrMsg<Batch<V>>>);
+
+/// Instrument handles for the ingest stage (cloned into its thread).
+#[derive(Clone)]
+struct IngestMeters {
+    frames: Counter,
+    dropped: Counter,
+    decode_errors: Counter,
+    queue_depth: Gauge,
+}
+
+/// Per-stage instrument handles resolved once per node run.
+struct NodeMeters {
+    ingest: IngestMeters,
+    rounds: Counter,
+    round_us: Histogram,
+    timeouts: Counter,
+    fast_forwards: Counter,
+    chunks_served: Counter,
+    chunks_fetched: Counter,
+}
+
+impl NodeMeters {
+    fn new(reg: &Registry) -> Self {
+        NodeMeters {
+            ingest: IngestMeters {
+                frames: reg.counter("ingest.frames"),
+                dropped: reg.counter("ingest.dropped"),
+                decode_errors: reg.counter("ingest.decode_errors"),
+                queue_depth: reg.gauge("ingest.queue_depth"),
+            },
+            rounds: reg.counter("order.rounds"),
+            round_us: reg.histogram("order.round_us"),
+            timeouts: reg.counter("order.timeouts"),
+            fast_forwards: reg.counter("order.fast_forwards"),
+            chunks_served: reg.counter("transfer.chunks_served"),
+            chunks_fetched: reg.counter("transfer.chunks_fetched"),
+        }
+    }
+}
+
+/// The ingest stage: owns the transport's receive half, decodes and
+/// sender-authenticates every inbound frame off the order thread, and
+/// queues the survivors. Runs until the order stage raises `stop`.
+fn ingest_loop<V: Value + Wire>(
+    half: &RecvHalf,
+    n: usize,
+    tx: channel::Sender<IngestFrame<V>>,
+    stop: &AtomicBool,
+    m: &IngestMeters,
+) {
+    while !stop.load(Ordering::Acquire) {
+        let Some((sender, frame)) = half.recv_timeout(INGEST_POLL) else {
+            m.queue_depth.set(tx.len() as u64);
+            continue;
+        };
+        if sender.index() >= n {
+            continue;
+        }
+        let Some(sync) = decode_frame::<SmrMsg<Batch<V>>>(&frame) else {
+            m.decode_errors.inc(); // garbage from a Byzantine peer
+            continue;
+        };
+        // Transport-level sender authentication.
+        if sync.sender() != sender {
+            m.decode_errors.inc();
+            continue;
+        }
+        m.frames.inc();
+        match tx.try_send((sender, sync)) {
+            Ok(()) => {}
+            // Backpressure by shedding: a full queue drops the frame
+            // like a congested link would (the round machinery already
+            // tolerates loss); blocking here would stall the socket
+            // readers behind a slow order stage instead.
+            Err(TrySendError::Full(_)) => m.dropped.inc(),
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+        m.queue_depth.set(tx.len() as u64);
+    }
+}
+
 /// Drives `replica` over `transport` until the hook stops it or
 /// `cfg.max_rounds` elapse. Returns the replica (its applied log is the
 /// result), the transport (reusable — e.g. to restart a node on the same
 /// endpoint after a simulated crash), run statistics, and the hook (so
 /// callers can read its end state — gateway counters, WAL statistics).
-#[allow(clippy::too_many_lines)]
 pub fn run_smr_node<V, T, H>(
+    replica: BatchingReplica<V>,
+    transport: T,
+    cfg: ServerConfig,
+    hook: H,
+) -> (BatchingReplica<V>, T, NodeStats, H)
+where
+    V: Value + Wire,
+    T: Transport,
+    H: NodeHook<V>,
+{
+    run_smr_node_metered(replica, transport, cfg, hook, None)
+}
+
+/// [`run_smr_node`] with per-stage instruments registered in `metrics`
+/// (`ingest.*`, `order.*`, `transfer.*`; the durable and gateway hooks
+/// add `persist.*`, `apply.*` and `ack.*` when built with the same
+/// registry). With `None` the node meters into a private throwaway
+/// registry — the instruments cost a handful of atomics either way.
+///
+/// The node core is a staged pipeline:
+///
+/// ```text
+/// socket → [ingest] → bounded queue → [order] → hook stages
+///           decode      (shed on       rounds    (apply / persist /
+///           auth         overflow)     (this      ack — see the
+///                                      thread)    gateway & durable
+///                                                 hooks)
+/// ```
+///
+/// The **ingest** stage owns the transport's receive half (when the
+/// transport can split one off — see [`Transport::split_recv`]) and
+/// decodes + sender-authenticates frames concurrently with the round
+/// loop. The **order** stage — this thread — stays single-threaded and
+/// deterministic: it consumes decoded frames, runs the consensus rounds,
+/// and drives the hook, exactly as before the split. On exit the ingest
+/// stage is stopped and joined, the receive half is restored into the
+/// transport, and [`NodeHook::finish`] drains the downstream stages.
+pub fn run_smr_node_metered<V, T, H>(
     mut replica: BatchingReplica<V>,
     mut transport: T,
     cfg: ServerConfig,
     mut hook: H,
+    metrics: Option<&Registry>,
 ) -> (BatchingReplica<V>, T, NodeStats, H)
+where
+    V: Value + Wire,
+    T: Transport,
+    H: NodeHook<V>,
+{
+    let scratch = Registry::new();
+    let meters = NodeMeters::new(metrics.unwrap_or(&scratch));
+    let n = transport.peers();
+    let mut recv_half = transport.split_recv();
+    let stop_ingest = AtomicBool::new(false);
+    let mut returned_half = None;
+    let stats = std::thread::scope(|scope| {
+        let mut ingest_handle = None;
+        let ingest_rx = recv_half.take().map(|half| {
+            let (tx, rx) = channel::bounded(INGEST_QUEUE_CAP);
+            let im = meters.ingest.clone();
+            let stop = &stop_ingest;
+            ingest_handle = Some(scope.spawn(move || {
+                ingest_loop::<V>(&half, n, tx, stop, &im);
+                half
+            }));
+            rx
+        });
+        let stats = order_loop(
+            &mut replica,
+            &mut transport,
+            &cfg,
+            &mut hook,
+            ingest_rx.as_ref(),
+            &meters,
+        );
+        stop_ingest.store(true, Ordering::Release);
+        if let Some(h) = ingest_handle {
+            returned_half = Some(h.join().expect("ingest stage panicked"));
+        }
+        hook.finish(&mut replica);
+        stats
+    });
+    if let Some(half) = returned_half {
+        transport.restore_recv(half);
+    }
+    (replica, transport, stats, hook)
+}
+
+/// The order stage: the deterministic, single-threaded consensus round
+/// loop. Reads pre-decoded frames from the ingest queue when one exists,
+/// or falls back to decoding inline for transports without a splittable
+/// receive half.
+#[allow(clippy::too_many_lines)]
+fn order_loop<V, T, H>(
+    replica: &mut BatchingReplica<V>,
+    transport: &mut T,
+    cfg: &ServerConfig,
+    hook: &mut H,
+    ingest_rx: Option<&Receiver<IngestFrame<V>>>,
+    meters: &NodeMeters,
+) -> NodeStats
 where
     V: Value + Wire,
     T: Transport,
@@ -324,6 +524,7 @@ where
         if let Some(&target) = tops.get(ff_threshold - 1) {
             if target > r {
                 stats.fast_forwards += 1;
+                meters.fast_forwards.inc();
                 r = target;
                 // Rounds below the jump are closed without executing.
                 future = future.split_off(&r);
@@ -331,7 +532,7 @@ where
         }
 
         let round = Round::new(r);
-        hook.before_round(r, &mut replica);
+        hook.before_round(r, replica);
 
         // --- send step ---
         let mut loopback: Option<SmrMsg<Batch<V>>> = None;
@@ -402,22 +603,35 @@ where
             } else {
                 round_deadline - now
             };
-            let Some((sender, frame)) = transport.recv_timeout(wait) else {
+            let got = match ingest_rx {
+                // Pipelined path: the ingest stage already decoded and
+                // sender-authenticated the frame.
+                Some(rx) => rx.recv_timeout(wait).ok(),
+                // Fallback for transports without a splittable receive
+                // half: decode inline on the order thread.
+                None => match transport.recv_timeout(wait) {
+                    Some((sender, frame)) => {
+                        if sender.index() >= n {
+                            continue;
+                        }
+                        let Some(sync) = decode_frame::<SmrMsg<Batch<V>>>(&frame) else {
+                            continue; // garbage from a Byzantine peer
+                        };
+                        // Transport-level sender authentication.
+                        if sync.sender() != sender {
+                            continue;
+                        }
+                        Some((sender, sync))
+                    }
+                    None => None,
+                },
+            };
+            let Some((sender, sync)) = got else {
                 if all_live_heard || Instant::now() >= round_deadline {
                     break;
                 }
                 continue;
             };
-            if sender.index() >= n {
-                continue;
-            }
-            let Some(sync) = decode_frame::<SmrMsg<Batch<V>>>(&frame) else {
-                continue; // garbage from a Byzantine peer
-            };
-            // Transport-level sender authentication.
-            if sync.sender() != sender {
-                continue;
-            }
             // Any authenticated frame is a liveness signal.
             last_heard[sender.index()] = last_heard[sender.index()].max(r);
             let env = match sync {
@@ -427,7 +641,7 @@ where
                     // sender; a manifest is metadata-only but building a
                     // synthesized fold behind it costs O(state)).
                     if r >= last_served[sender.index()] + SNAPSHOT_PROBE_AFTER / 2 {
-                        if let Some(manifest) = hook.serve_manifest(&replica, have_slot) {
+                        if let Some(manifest) = hook.serve_manifest(replica, have_slot) {
                             if manifest.upto_slot > have_slot && manifest.consistent() {
                                 last_served[sender.index()] = r;
                                 stats.snapshots_served += 1;
@@ -461,9 +675,10 @@ where
                 } => {
                     // Serve one chunk (budgeted per sender per round).
                     if chunk_budget[sender.index()] < CHUNKS_SERVED_PER_SENDER_PER_ROUND {
-                        if let Some(bytes) = hook.serve_chunk(&replica, upto_slot, index) {
+                        if let Some(bytes) = hook.serve_chunk(replica, upto_slot, index) {
                             chunk_budget[sender.index()] += 1;
                             stats.chunks_served += 1;
+                            meters.chunks_served.inc();
                             let resp = SyncFrame::<SmrMsg<Batch<V>>>::Chunk {
                                 sender: me,
                                 upto_slot,
@@ -494,6 +709,7 @@ where
                             && f.assembly.accept(index, crc, bytes)
                         {
                             stats.chunks_fetched += 1;
+                            meters.chunks_fetched.inc();
                             f.last_progress = r;
                         }
                     }
@@ -535,6 +751,7 @@ where
         } else {
             deadline.on_timeout();
             stats.timeouts += 1;
+            meters.timeouts.inc();
         }
 
         // --- chunked state transfer: pick a b + 1-vouched manifest, pull
@@ -635,7 +852,7 @@ where
             if installed {
                 stats.snapshots_installed += 1;
                 let fs = decoded.expect("installed implies decoded");
-                hook.snapshot_installed(&manifest, &state, &fs, &mut replica);
+                hook.snapshot_installed(&manifest, &state, &fs, replica);
                 manifest_votes.clear();
                 stall_rounds = 0;
             } else {
@@ -648,9 +865,11 @@ where
 
         // --- transition step ---
         replica.receive(round, &heard);
-        hook.after_round(r, &mut replica);
+        hook.after_round(r, replica);
         stats.rounds += 1;
         stats.last_round = r;
+        meters.rounds.inc();
+        meters.round_us.record(started.elapsed().as_micros() as u64);
 
         // --- laggard probe: stalled while peers work slots far ahead ⇒
         // the gap outran the claim horizon; ask for a snapshot ---
@@ -690,7 +909,7 @@ where
             );
         }
 
-        if hook.should_stop(&replica) {
+        if hook.should_stop(replica) {
             break;
         }
         if let Some(target) = cfg.stop_after_commands {
@@ -700,7 +919,7 @@ where
         }
         r += 1;
     }
-    (replica, transport, stats, hook)
+    stats
 }
 
 fn decode_frame<M: Wire>(frame: &Bytes) -> Option<SyncFrame<M>> {

@@ -159,10 +159,17 @@ impl<V: Value> BatchingReplica<V> {
 
     /// Enqueues a client command. Duplicates of commands already seen
     /// (queued, proposed, relayed in, or applied) are dropped, so client
-    /// retries and relay echoes are idempotent.
-    pub fn submit(&mut self, command: V) {
+    /// retries and relay echoes are idempotent. Returns whether the
+    /// command was freshly enqueued — `false` means the dedup set
+    /// swallowed it, so a caller holding a client connection knows to
+    /// answer the retry from its re-ack index instead of waiting for a
+    /// commit that already happened.
+    pub fn submit(&mut self, command: V) -> bool {
         if self.seen.insert(command.clone()) {
             self.queue.push(command);
+            true
+        } else {
+            false
         }
     }
 

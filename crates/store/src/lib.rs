@@ -113,15 +113,36 @@ pub trait Log {
     /// The next slot an append must carry.
     fn next_slot(&self) -> Slot;
 
-    /// Metadata of the installed snapshot, if any.
+    /// Metadata of the newest installed snapshot, if any.
     fn snapshot_meta(&self) -> Option<SnapshotMeta>;
 
-    /// Reads the full installed snapshot (state bytes included).
+    /// Metadata of every retained snapshot cut, oldest first. Stores
+    /// that keep only one cut report at most one entry (the default).
+    fn snapshot_metas(&self) -> Vec<SnapshotMeta> {
+        self.snapshot_meta().into_iter().collect()
+    }
+
+    /// Reads the newest installed snapshot (state bytes included).
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error; a missing snapshot is `None`.
     fn read_snapshot(&self) -> io::Result<Option<Snapshot>>;
+
+    /// Reads the retained snapshot cut covering slots below `upto`, if
+    /// that exact cut is still retained — the laggard-transfer path: a
+    /// fetcher that started against a slightly older manifest can keep
+    /// fetching after the server takes a newer cut.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error; an unretained cut is `None`.
+    fn read_snapshot_at(&self, upto: Slot) -> io::Result<Option<Snapshot>> {
+        match self.read_snapshot()? {
+            Some(snap) if snap.meta.upto_slot == upto => Ok(Some(snap)),
+            _ => Ok(None),
+        }
+    }
 
     /// Atomically installs `snap` and compacts records below
     /// `snap.meta.upto_slot`.

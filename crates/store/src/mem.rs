@@ -12,7 +12,7 @@ use std::io;
 use crate::{Log, Slot, Snapshot, SnapshotMeta};
 
 /// In-memory log storage with explicit sync points.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MemStore {
     /// Retained records: `(slot, payload)`, contiguous from `first_slot`.
     records: Vec<(Slot, Vec<u8>)>,
@@ -22,9 +22,27 @@ pub struct MemStore {
     next_slot: Slot,
     /// Highest slot covered by a sync point or snapshot.
     durable: Option<Slot>,
-    snapshot: Option<Snapshot>,
+    /// Retained snapshot cuts, oldest first (the last is the newest —
+    /// the compaction point), mirroring the file WAL's retention.
+    snapshots: Vec<Snapshot>,
+    snapshot_keep: usize,
     bytes_appended: u64,
     syncs: u64,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        MemStore {
+            records: Vec::new(),
+            first_slot: 0,
+            next_slot: 0,
+            durable: None,
+            snapshots: Vec::new(),
+            snapshot_keep: 2,
+            bytes_appended: 0,
+            syncs: 0,
+        }
+    }
 }
 
 impl MemStore {
@@ -32,6 +50,13 @@ impl MemStore {
     #[must_use]
     pub fn new() -> Self {
         MemStore::default()
+    }
+
+    /// Sets how many snapshot cuts are retained (minimum 1; default 2).
+    #[must_use]
+    pub fn with_snapshot_keep(mut self, keep: usize) -> Self {
+        self.snapshot_keep = keep;
+        self
     }
 
     /// The retained (not yet compacted) records.
@@ -78,11 +103,23 @@ impl Log for MemStore {
     }
 
     fn snapshot_meta(&self) -> Option<SnapshotMeta> {
-        self.snapshot.as_ref().map(|s| s.meta)
+        self.snapshots.last().map(|s| s.meta)
+    }
+
+    fn snapshot_metas(&self) -> Vec<SnapshotMeta> {
+        self.snapshots.iter().map(|s| s.meta).collect()
     }
 
     fn read_snapshot(&self) -> io::Result<Option<Snapshot>> {
-        Ok(self.snapshot.clone())
+        Ok(self.snapshots.last().cloned())
+    }
+
+    fn read_snapshot_at(&self, upto: Slot) -> io::Result<Option<Snapshot>> {
+        Ok(self
+            .snapshots
+            .iter()
+            .find(|s| s.meta.upto_slot == upto)
+            .cloned())
     }
 
     fn install_snapshot(&mut self, snap: &Snapshot) -> io::Result<()> {
@@ -105,7 +142,12 @@ impl Log for MemStore {
         if upto > 0 {
             self.durable = Some(self.durable.map_or(upto - 1, |d| d.max(upto - 1)));
         }
-        self.snapshot = Some(snap.clone());
+        self.snapshots.retain(|s| s.meta.upto_slot != upto);
+        self.snapshots.push(snap.clone());
+        self.snapshots.sort_by_key(|s| s.meta.upto_slot);
+        while self.snapshots.len() > self.snapshot_keep.max(1) {
+            self.snapshots.remove(0);
+        }
         Ok(())
     }
 
@@ -162,6 +204,30 @@ mod tests {
         assert_eq!(store.next_slot(), 100);
         assert_eq!(store.durable_slot(), Some(99));
         store.append(100, b"resume").unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_the_last_k_cuts() {
+        let mut store = MemStore::new().with_snapshot_keep(2);
+        for cut in [2u64, 4, 6] {
+            for slot in store.next_slot()..cut {
+                store.append(slot, &[slot as u8]).unwrap();
+            }
+            store
+                .install_snapshot(&Snapshot::new(cut, cut, format!("s{cut}").into_bytes()))
+                .unwrap();
+        }
+        assert_eq!(
+            store
+                .snapshot_metas()
+                .iter()
+                .map(|m| m.upto_slot)
+                .collect::<Vec<_>>(),
+            vec![4, 6]
+        );
+        assert_eq!(store.read_snapshot().unwrap().unwrap().state, b"s6");
+        assert_eq!(store.read_snapshot_at(4).unwrap().unwrap().state, b"s4");
+        assert!(store.read_snapshot_at(2).unwrap().is_none(), "pruned");
     }
 
     #[test]

@@ -2,14 +2,24 @@
 //!
 //! # On-disk layout
 //!
-//! A data directory holds numbered segment files plus at most one snapshot:
+//! A data directory holds numbered segment files plus the last
+//! [`WalConfig::snapshot_keep`] snapshot cuts:
 //!
 //! ```text
 //! data-dir/
-//!   snapshot.bin               # the installed snapshot (atomic rename)
+//!   snapshot-00000000000000000384.bin  # an older retained cut
+//!   snapshot-00000000000000000512.bin  # the newest cut (recovery point)
 //!   wal-00000000000000000000.seg
 //!   wal-00000000000000000512.seg   # first slot of the segment, zero-padded
 //! ```
+//!
+//! (A legacy single-snapshot layout's `snapshot.bin` is still read and
+//! counts as one retained cut.) Only the **newest** cut drives recovery
+//! and compaction; older cuts are kept so a laggard that started a state
+//! transfer against a slightly older manifest can finish fetching it.
+//! Recovery prefers the newest cut that verifies: a corrupt newest
+//! snapshot falls back to the next older one instead of discarding
+//! snapshot state entirely.
 //!
 //! Each segment starts with a 16-byte header and then CRC-framed records:
 //!
@@ -57,6 +67,10 @@ pub struct WalConfig {
     pub fsync_interval: Duration,
     /// A segment rolls over once its byte size reaches this threshold.
     pub segment_bytes: u64,
+    /// Snapshot cuts retained on disk (minimum 1). The newest cut is the
+    /// recovery/compaction point; older cuts stay fetchable via
+    /// [`Log::read_snapshot_at`] for laggards mid-transfer.
+    pub snapshot_keep: usize,
 }
 
 impl Default for WalConfig {
@@ -64,6 +78,7 @@ impl Default for WalConfig {
         WalConfig {
             fsync_interval: Duration::from_millis(5),
             segment_bytes: 4 << 20,
+            snapshot_keep: 2,
         }
     }
 }
@@ -108,13 +123,19 @@ pub struct FileWal {
     /// Records appended since the last sync point.
     staged: bool,
     last_sync: Instant,
-    snapshot_meta: Option<SnapshotMeta>,
+    /// Retained snapshot cuts, oldest first; the last entry is the
+    /// newest cut (recovery/compaction point).
+    snapshots: Vec<(SnapshotMeta, PathBuf)>,
     bytes_appended: u64,
     syncs: u64,
 }
 
 fn segment_path(dir: &Path, first_slot: Slot) -> PathBuf {
     dir.join(format!("wal-{first_slot:020}.seg"))
+}
+
+fn snapshot_path(dir: &Path, upto: Slot) -> PathBuf {
+    dir.join(format!("snapshot-{upto:020}.bin"))
 }
 
 /// Fsyncs the directory itself, pinning renames, creations and deletions
@@ -145,19 +166,42 @@ impl FileWal {
 
         let mut recovery = Recovery::default();
 
-        // --- snapshot ---
-        let snap_path = dir.join("snapshot.bin");
-        let mut replay_from: Slot = 0;
-        if snap_path.exists() {
-            match read_snapshot_file(&snap_path)? {
+        // --- snapshots: every retained cut, newest-valid wins ---
+        let mut candidates: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let retained_cut = name
+                .strip_prefix("snapshot-")
+                .and_then(|rest| rest.strip_suffix(".bin"))
+                .is_some_and(|num| num.parse::<Slot>().is_ok());
+            if retained_cut || name == "snapshot.bin" {
+                candidates.push(entry.path());
+            }
+        }
+        let mut snapshots: Vec<(SnapshotMeta, PathBuf)> = Vec::new();
+        for path in candidates {
+            match read_snapshot_file(&path)? {
                 Some(snap) => {
-                    replay_from = snap.meta.upto_slot;
-                    recovery.snapshot = Some(snap);
+                    snapshots.push((snap.meta, path));
+                    if recovery
+                        .snapshot
+                        .as_ref()
+                        .is_none_or(|best| best.meta.upto_slot < snap.meta.upto_slot)
+                    {
+                        // The newest cut that verifies drives recovery;
+                        // a corrupt newer file simply never gets here.
+                        recovery.snapshot = Some(snap);
+                    }
                 }
                 None => recovery.snapshot_corrupt = true,
             }
         }
-        let snapshot_meta = recovery.snapshot.as_ref().map(|s| s.meta);
+        snapshots.sort_by_key(|(m, _)| m.upto_slot);
+        // The same cut under both layouts (legacy + numbered) is one cut.
+        snapshots.dedup_by_key(|(m, _)| m.upto_slot);
+        let replay_from = recovery.snapshot.as_ref().map_or(0, |s| s.meta.upto_slot);
 
         // --- segments, in slot order ---
         let mut segments: Vec<Segment> = Vec::new();
@@ -263,7 +307,7 @@ impl FileWal {
             durable,
             staged: false,
             last_sync: Instant::now(),
-            snapshot_meta,
+            snapshots,
             bytes_appended: 0,
             syncs: 0,
         };
@@ -486,15 +530,25 @@ impl Log for FileWal {
     }
 
     fn snapshot_meta(&self) -> Option<SnapshotMeta> {
-        self.snapshot_meta
+        self.snapshots.last().map(|(m, _)| *m)
+    }
+
+    fn snapshot_metas(&self) -> Vec<SnapshotMeta> {
+        self.snapshots.iter().map(|(m, _)| *m).collect()
     }
 
     fn read_snapshot(&self) -> io::Result<Option<Snapshot>> {
-        let path = self.dir.join("snapshot.bin");
-        if !path.exists() {
+        let Some((_, path)) = self.snapshots.last() else {
             return Ok(None);
-        }
-        read_snapshot_file(&path)
+        };
+        read_snapshot_file(path)
+    }
+
+    fn read_snapshot_at(&self, upto: Slot) -> io::Result<Option<Snapshot>> {
+        let Some((_, path)) = self.snapshots.iter().find(|(m, _)| m.upto_slot == upto) else {
+            return Ok(None);
+        };
+        read_snapshot_file(path)
     }
 
     fn install_snapshot(&mut self, snap: &Snapshot) -> io::Result<()> {
@@ -505,17 +559,32 @@ impl Log for FileWal {
             ));
         }
         let upto = snap.meta.upto_slot;
-        // Atomic install: full tmp write + fsync, then rename over the old
-        // snapshot. A crash leaves either the old or the new snapshot,
-        // never a torn one (recovery verifies the CRC + state hash anyway).
+        // Atomic install: full tmp write + fsync, then rename into the
+        // cut's numbered file. A crash leaves either the old cut set or
+        // the old set plus the new cut, never a torn file (recovery
+        // verifies the CRC + state hash anyway).
+        let path = snapshot_path(&self.dir, upto);
         let tmp = self.dir.join("snapshot.tmp");
         write_snapshot_file(&tmp, snap)?;
-        fs::rename(&tmp, self.dir.join("snapshot.bin"))?;
+        fs::rename(&tmp, &path)?;
         // The rename (and, below, segment deletion/creation) must itself
         // be durable before the watermark advances past the snapshot — a
         // file-level fsync does not persist directory entries.
         sync_dir(&self.dir)?;
-        self.snapshot_meta = Some(snap.meta);
+        self.snapshots.retain(|(m, _)| m.upto_slot != upto);
+        self.snapshots.push((snap.meta, path));
+        self.snapshots.sort_by_key(|(m, _)| m.upto_slot);
+        // Prune: the oldest cuts fall off past the retention bound, and a
+        // legacy-layout `snapshot.bin` not serving as a retained cut goes
+        // with them.
+        while self.snapshots.len() > self.cfg.snapshot_keep.max(1) {
+            let (_, old) = self.snapshots.remove(0);
+            fs::remove_file(&old).ok();
+        }
+        let legacy = self.dir.join("snapshot.bin");
+        if self.snapshots.iter().all(|(_, p)| *p != legacy) {
+            fs::remove_file(&legacy).ok();
+        }
 
         // Compact: closed segments entirely below the snapshot disappear.
         // (A segment's range ends where the next begins.)
@@ -781,6 +850,89 @@ mod tests {
         assert!(wal.maybe_sync().unwrap());
         assert_eq!(wal.durable_slot(), Some(0));
         assert!(!wal.maybe_sync().unwrap(), "nothing staged");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_keeps_the_last_k_cuts() {
+        let dir = tmpdir("retain");
+        let cfg = WalConfig {
+            snapshot_keep: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = FileWal::open(&dir, cfg).unwrap();
+        for cut in [10u64, 20, 30] {
+            let snap = Snapshot::new(cut, cut * 2, format!("state@{cut}").into_bytes());
+            wal.install_snapshot(&snap).unwrap();
+        }
+        let metas = wal.snapshot_metas();
+        assert_eq!(
+            metas.iter().map(|m| m.upto_slot).collect::<Vec<_>>(),
+            vec![20, 30],
+            "oldest cut pruned, newest two retained"
+        );
+        assert_eq!(wal.snapshot_meta().unwrap().upto_slot, 30);
+        // The older retained cut is still fetchable; the pruned one is not.
+        let older = wal.read_snapshot_at(20).unwrap().expect("cut 20 retained");
+        assert_eq!(older.state, b"state@20");
+        assert!(wal.read_snapshot_at(10).unwrap().is_none());
+        assert!(!snapshot_path(&dir, 10).exists(), "pruned file deleted");
+        drop(wal);
+
+        // Reopen: both cuts are rediscovered, the newest drives recovery.
+        let (wal, rec) = FileWal::open(&dir, cfg).unwrap();
+        assert_eq!(rec.snapshot.unwrap().meta.upto_slot, 30);
+        assert_eq!(wal.snapshot_metas().len(), 2);
+        assert_eq!(
+            wal.read_snapshot_at(20).unwrap().unwrap().state,
+            b"state@20"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_cut_falls_back_to_the_older_one() {
+        let dir = tmpdir("fallback");
+        let (mut wal, _) = FileWal::open(&dir, WalConfig::default()).unwrap();
+        wal.install_snapshot(&Snapshot::new(10, 5, b"older".to_vec()))
+            .unwrap();
+        wal.install_snapshot(&Snapshot::new(20, 9, b"newer".to_vec()))
+            .unwrap();
+        drop(wal);
+        // Garbage the newest cut: recovery must fall back to cut 10.
+        fs::write(snapshot_path(&dir, 20), b"garbage").unwrap();
+        let (wal, rec) = FileWal::open(&dir, WalConfig::default()).unwrap();
+        assert!(rec.snapshot_corrupt);
+        let snap = rec.snapshot.expect("older cut still recovers");
+        assert_eq!(snap.meta.upto_slot, 10);
+        assert_eq!(snap.state, b"older");
+        assert_eq!(wal.snapshot_meta().unwrap().upto_slot, 10);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_snapshot_layout_still_recovers() {
+        let dir = tmpdir("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        let snap = Snapshot::new(30, 123, b"legacy state".to_vec());
+        write_snapshot_file(&dir.join("snapshot.bin"), &snap).unwrap();
+        let (mut wal, rec) = FileWal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap(), &snap);
+        assert_eq!(wal.next_slot(), 30);
+        // A new cut supersedes the legacy file but keeps it as the older
+        // retained cut until pruned.
+        wal.append(30, b"tail").unwrap();
+        wal.sync().unwrap();
+        wal.install_snapshot(&Snapshot::new(31, 124, b"new state".to_vec()))
+            .unwrap();
+        assert_eq!(wal.snapshot_metas().len(), 2);
+        assert_eq!(wal.read_snapshot_at(30).unwrap().unwrap(), snap);
+        wal.install_snapshot(&Snapshot::new(32, 125, b"newer state".to_vec()))
+            .unwrap();
+        assert!(
+            !dir.join("snapshot.bin").exists(),
+            "legacy cut pruned at the retention bound"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

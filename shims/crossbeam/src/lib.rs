@@ -1,27 +1,44 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no access to crates.io, so this exposes
-//! `crossbeam::channel`'s `unbounded`/`Sender`/`Receiver` surface backed
-//! by `std::sync::mpsc`. Multi-consumer features are not provided — this
-//! workspace uses one receiver per channel.
+//! `crossbeam::channel`'s `unbounded`/`bounded`/`Sender`/`Receiver`
+//! surface backed by `std::sync::mpsc`. Multi-consumer features are not
+//! provided — this workspace uses one receiver per channel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Multi-producer channels (single consumer in this stand-in).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
     use std::time::Duration;
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
 
     /// Sending half of a channel. Cloneable across threads.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Tx<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 inner: self.inner.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -29,11 +46,21 @@ pub mod channel {
     /// Receiving half of a channel.
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv_timeout`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,40 +83,130 @@ pub mod channel {
     /// Creates a channel with unbounded capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: Tx::Unbounded(tx),
+                depth: Arc::clone(&depth),
+            },
+            Receiver { inner: rx, depth },
+        )
+    }
+
+    /// Creates a channel holding at most `cap` queued messages; `send`
+    /// blocks (and `try_send` returns `Full`) once the cap is reached.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: Tx::Bounded(tx),
+                depth: Arc::clone(&depth),
+            },
+            Receiver { inner: rx, depth },
+        )
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if the receiver was dropped.
+        /// Sends `value`, blocking while a bounded channel is full;
+        /// fails only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            let sent = match &self.inner {
+                Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            };
+            if sent.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            sent
+        }
+
+        /// Sends without blocking; `Full` if a bounded channel is at cap.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let sent = match &self.inner {
+                Tx::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            };
+            if sent.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            sent
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Receiver<T> {
+        fn took(&self) {
+            // Saturating: a racing send may not have bumped the count yet.
+            let _ = self
+                .depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    Some(d.saturating_sub(1))
+                });
+        }
+
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvTimeoutError> {
-            self.inner
+            let got = self
+                .inner
                 .recv()
-                .map_err(|_| RecvTimeoutError::Disconnected)
+                .map_err(|_| RecvTimeoutError::Disconnected);
+            if got.is_ok() {
+                self.took();
+            }
+            got
         }
 
         /// Waits at most `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
+            let got = self.inner.recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            });
+            if got.is_ok() {
+                self.took();
+            }
+            got
         }
 
         /// Returns a pending message without blocking, if any.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            let got = self.inner.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            });
+            if got.is_ok() {
+                self.took();
+            }
+            got
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether the queue is currently empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -131,6 +248,57 @@ pub mod channel {
             let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
             got.sort();
             assert_eq!(got, vec!["from main", "from thread"]);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.try_recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || {
+                tx.send(2).unwrap(); // blocks until the receiver drains
+                "sent"
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(t.join().unwrap(), "sent");
+        }
+
+        #[test]
+        fn depth_tracks_queue_occupancy() {
+            let (tx, rx) = bounded(8);
+            assert!(tx.is_empty() && rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(rx.len(), 1);
+            rx.recv().unwrap();
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn try_send_on_unbounded_never_fills() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.try_send(i).unwrap();
+            }
+            assert_eq!(rx.len(), 100);
+            drop(rx);
+            assert_eq!(tx.try_send(0), Err(TrySendError::Disconnected(0)));
         }
     }
 }
