@@ -26,6 +26,16 @@
 //! `--metrics-file <path>` additionally dumps the raw registry JSON of
 //! the last durable-ack configuration.
 //!
+//! **E13 — per-slot spans.** Every configuration also attaches a flight
+//! recorder to node 0 and assembles its events into per-slot latency
+//! breakdowns: `span_order_*` (proposed→decided, consensus),
+//! `span_persist_wait_*` (decided→persist-enqueue, queue wait) and
+//! `span_persist_svc_*` (the group commit that covered the slot) — the
+//! stage-by-stage decomposition of where durable-ack's remaining gap to
+//! the in-memory baseline lives, per slot rather than per stage
+//! aggregate. `--trace-file <path>` additionally writes the last
+//! durable-ack configuration's spans as JSON lines.
+//!
 //! Asserted shape checks: every configuration acks its target with
 //! agreeing logs, per-stage counters are non-zero (the pipeline actually
 //! ran), and durable-ack throughput stays within 4× of the in-memory
@@ -84,6 +94,11 @@ fn main() {
         .position(|a| a == "--metrics-file")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace-file")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     println!(
         "# E10 — durable vs. in-memory ack throughput ({})\n",
@@ -93,9 +108,10 @@ fn main() {
     let mut writer: ResultsWriter<StoreRow> = ResultsWriter::new();
     let mut table = Table::new([
         "algo", "mode", "cap", "acked", "wall ms", "cmds/sec", "p50 µs", "p99 µs", "ord µs",
-        "fs µs", "stalls", "fsyncs", "snaps", "vs mem",
+        "fs µs", "stalls", "fsyncs", "snaps", "vs mem", "spans", "o-p99", "pw-p99", "ps-p99",
     ]);
     let mut last_durable_registry: Option<Registry> = None;
+    let mut last_durable_spans: Vec<gencon_trace::SlotSpan> = Vec::new();
 
     let target = if smoke { 800usize } else { 1_500 };
     let clients: u16 = 4;
@@ -106,10 +122,13 @@ fn main() {
             let mut memory_rate: Option<f64> = None;
             for mode in modes(smoke) {
                 let reg = Registry::new();
-                let mut profile =
-                    StoreLoadProfile::new(mode, clients, cap, target).with_metrics(reg.clone());
+                let rec = gencon_trace::FlightRecorder::new(1 << 16);
+                let mut profile = StoreLoadProfile::new(mode, clients, cap, target)
+                    .with_metrics(reg.clone())
+                    .with_trace(rec.clone());
                 profile.snapshot_every = 32;
                 let report = run_store_load(&spec.params, &profile);
+                let seg = report.segment_stats();
                 assert!(
                     report.logs_agree,
                     "{} {}: applied logs diverged",
@@ -149,11 +168,28 @@ fn main() {
                         mode.label()
                     );
                 }
+                // E13: the flight recorder produced joinable slot spans,
+                // and durable modes decomposed the persistence path.
+                assert!(
+                    seg.spans > 0,
+                    "{} {}: no slot spans assembled from the flight recorder",
+                    spec.name,
+                    mode.label()
+                );
+                if let StoreMode::Durable { .. } = mode {
+                    assert!(
+                        report.spans.iter().any(|s| s.persist_svc_us.is_some()),
+                        "{} {}: no span carries a group-commit segment",
+                        spec.name,
+                        mode.label()
+                    );
+                }
                 if let StoreMode::Durable {
                     fast_ack: false, ..
                 } = mode
                 {
                     last_durable_registry = Some(reg.clone());
+                    last_durable_spans = report.spans.clone();
                     // The acceptance bar: group commit plus the async
                     // persist stage keeps durable acks within 4× of
                     // memory throughput.
@@ -194,6 +230,13 @@ fn main() {
                     order_us_p50: reg.histogram("order.round_us").p50(),
                     fsync_us_p50: reg.histogram("persist.fsync_us").p50(),
                     persist_stalls: reg.counter_value("persist.stalls").unwrap_or(0),
+                    spans: seg.spans,
+                    span_order_p50_us: seg.order_p50_us,
+                    span_order_p99_us: seg.order_p99_us,
+                    span_persist_wait_p50_us: seg.persist_wait_p50_us,
+                    span_persist_wait_p99_us: seg.persist_wait_p99_us,
+                    span_persist_svc_p50_us: seg.persist_svc_p50_us,
+                    span_persist_svc_p99_us: seg.persist_svc_p99_us,
                 };
                 table.row([
                     row.algo.clone(),
@@ -210,6 +253,10 @@ fn main() {
                     row.wal_syncs.to_string(),
                     row.snapshots.to_string(),
                     format!("{:.2}", row.vs_memory),
+                    row.spans.to_string(),
+                    row.span_order_p99_us.to_string(),
+                    row.span_persist_wait_p99_us.to_string(),
+                    row.span_persist_svc_p99_us.to_string(),
                 ]);
                 writer.push(row);
             }
@@ -223,6 +270,18 @@ fn main() {
         let reg = last_durable_registry.expect("at least one durable-ack configuration ran");
         reg.dump_to_file(&path).expect("write metrics dump");
         println!("per-stage metrics of the last durable-ack run → {path}");
+    }
+    if let Some(path) = trace_path {
+        let mut lines = String::new();
+        for span in &last_durable_spans {
+            lines.push_str(&span.to_json());
+            lines.push('\n');
+        }
+        std::fs::write(&path, lines).expect("write trace spans");
+        println!(
+            "{} slot spans of the last durable-ack run → {path}",
+            last_durable_spans.len()
+        );
     }
     println!(
         "Durable-ack stayed within 4× of in-memory throughput in every \

@@ -80,7 +80,7 @@ pub use driver::{run_load, LoadProfile, LoadReport, WorkloadKind};
 pub use hist::LatencyHistogram;
 pub use netdriver::{run_net_load, NetLoadProfile, NetLoadReport, NetTransportKind};
 pub use results::{AppRow, BenchRow, JsonRow, NetRow, ResultsWriter, StoreRow};
-pub use storedriver::{run_store_load, StoreLoadProfile, StoreLoadReport, StoreMode};
+pub use storedriver::{run_store_load, SegmentStats, StoreLoadProfile, StoreLoadReport, StoreMode};
 pub use workload::{decode_cmd, encode_cmd, ClosedLoop, OpenLoop, Workload};
 
 // The batched SMR surface this harness drives, re-exported for one-stop

@@ -241,6 +241,21 @@ pub struct StoreRow {
     /// Rounds the measurement replica's order stage spent blocked on a
     /// full persist queue.
     pub persist_stalls: u64,
+    /// Slot spans assembled from the measurement replica's flight
+    /// recorder (0 when the run was untraced).
+    pub spans: u64,
+    /// Per-slot proposed→decided segment, median µs (consensus time).
+    pub span_order_p50_us: u64,
+    /// Per-slot proposed→decided segment, p99 µs.
+    pub span_order_p99_us: u64,
+    /// Per-slot decided→persist-enqueue segment (queue wait), median µs.
+    pub span_persist_wait_p50_us: u64,
+    /// Per-slot persist queue wait, p99 µs.
+    pub span_persist_wait_p99_us: u64,
+    /// Per-slot group-commit (append + fsync) segment, median µs.
+    pub span_persist_svc_p50_us: u64,
+    /// Per-slot group-commit segment, p99 µs.
+    pub span_persist_svc_p99_us: u64,
 }
 
 impl JsonRow for StoreRow {
@@ -259,7 +274,10 @@ impl JsonRow for StoreRow {
              \"rounds\":{},\"wall_ms\":{:.3},\"cmds_per_sec\":{:.1},\"p50_us\":{},\
              \"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"wal_bytes\":{},\"wal_syncs\":{},\
              \"snapshots\":{},\"vs_memory\":{:.4},\"ingest_frames\":{},\"order_us_p50\":{},\
-             \"fsync_us_p50\":{},\"persist_stalls\":{}}}",
+             \"fsync_us_p50\":{},\"persist_stalls\":{},\"spans\":{},\
+             \"span_order_p50_us\":{},\"span_order_p99_us\":{},\
+             \"span_persist_wait_p50_us\":{},\"span_persist_wait_p99_us\":{},\
+             \"span_persist_svc_p50_us\":{},\"span_persist_svc_p99_us\":{}}}",
             self.clients,
             self.batch_cap,
             self.committed_cmds,
@@ -279,6 +297,13 @@ impl JsonRow for StoreRow {
             self.order_us_p50,
             self.fsync_us_p50,
             self.persist_stalls,
+            self.spans,
+            self.span_order_p50_us,
+            self.span_order_p99_us,
+            self.span_persist_wait_p50_us,
+            self.span_persist_wait_p99_us,
+            self.span_persist_svc_p50_us,
+            self.span_persist_svc_p99_us,
         );
         s
     }
@@ -546,6 +571,13 @@ mod tests {
             order_us_p50: 350,
             fsync_us_p50: 180,
             persist_stalls: 2,
+            spans: 300,
+            span_order_p50_us: 410,
+            span_order_p99_us: 1900,
+            span_persist_wait_p50_us: 12,
+            span_persist_wait_p99_us: 95,
+            span_persist_svc_p50_us: 210,
+            span_persist_svc_p99_us: 4100,
         }
         .to_json();
         for needle in [
@@ -557,6 +589,13 @@ mod tests {
             "\"order_us_p50\":350",
             "\"fsync_us_p50\":180",
             "\"persist_stalls\":2",
+            "\"spans\":300",
+            "\"span_order_p50_us\":410",
+            "\"span_order_p99_us\":1900",
+            "\"span_persist_wait_p50_us\":12",
+            "\"span_persist_wait_p99_us\":95",
+            "\"span_persist_svc_p50_us\":210",
+            "\"span_persist_svc_p99_us\":4100",
         ] {
             assert!(j.contains(needle), "missing {needle} in {j}");
         }

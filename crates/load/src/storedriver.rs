@@ -29,10 +29,11 @@ use gencon_core::Params;
 use gencon_metrics::Registry;
 use gencon_net::{ChannelTransport, Transport};
 use gencon_server::{
-    run_smr_node_metered, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig,
+    run_smr_node_observed, DurableConfig, DurableNode, NodeHook, NodeStats, ServerConfig,
 };
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{FileWal, Log, WalConfig};
+use gencon_trace::{assemble_spans, FlightRecorder, SlotSpan};
 
 use crate::driver::WorkloadKind;
 use crate::hist::LatencyHistogram;
@@ -100,6 +101,11 @@ pub struct StoreLoadProfile {
     /// counters and fsync latency from the durable wrapper. `None` skips
     /// the instrumentation.
     pub metrics: Option<Registry>,
+    /// Flight recorder attached to the measurement replica (node 0): the
+    /// order and persist stages record each slot's lifecycle events, and
+    /// the report assembles them into per-slot stage-segment spans.
+    /// `None` runs untraced.
+    pub trace: Option<FlightRecorder>,
 }
 
 impl StoreLoadProfile {
@@ -118,6 +124,7 @@ impl StoreLoadProfile {
             snapshot_every: 256,
             data_root: None,
             metrics: None,
+            trace: None,
         }
     }
 
@@ -125,6 +132,14 @@ impl StoreLoadProfile {
     #[must_use]
     pub fn with_metrics(mut self, reg: Registry) -> Self {
         self.metrics = Some(reg);
+        self
+    }
+
+    /// Attaches a flight recorder to node 0; the report then carries
+    /// per-slot stage-segment spans assembled from its events.
+    #[must_use]
+    pub fn with_trace(mut self, recorder: FlightRecorder) -> Self {
+        self.trace = Some(recorder);
         self
     }
 }
@@ -154,6 +169,29 @@ pub struct StoreLoadReport {
     pub wal_syncs: u64,
     /// Snapshots taken across all nodes (0 in memory mode).
     pub snapshots: u64,
+    /// Per-slot stage-segment spans assembled from node 0's flight
+    /// recorder (empty when the profile ran untraced).
+    pub spans: Vec<SlotSpan>,
+}
+
+/// Stage-segment percentiles over a run's slot spans: where the time
+/// between a slot's decide and its durable ack actually went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Spans the percentiles are computed over.
+    pub spans: u64,
+    /// Proposed → decided (consensus), p50 / p99 µs.
+    pub order_p50_us: u64,
+    /// Proposed → decided p99.
+    pub order_p99_us: u64,
+    /// Decided → handed to the persist stage (queue wait), p50 µs.
+    pub persist_wait_p50_us: u64,
+    /// Persist queue wait p99.
+    pub persist_wait_p99_us: u64,
+    /// Group commit (append + fsync) covering the slot, p50 µs.
+    pub persist_svc_p50_us: u64,
+    /// Group-commit service p99.
+    pub persist_svc_p99_us: u64,
 }
 
 impl StoreLoadReport {
@@ -165,6 +203,35 @@ impl StoreLoadReport {
             0.0
         } else {
             self.acked_cmds as f64 / secs
+        }
+    }
+
+    /// Percentiles of each stage segment over this run's slot spans
+    /// (zeros when the run was untraced or a segment never appeared).
+    #[must_use]
+    pub fn segment_stats(&self) -> SegmentStats {
+        let mut order = LatencyHistogram::new();
+        let mut wait = LatencyHistogram::new();
+        let mut svc = LatencyHistogram::new();
+        for s in &self.spans {
+            if let Some(v) = s.order_us {
+                order.record(v);
+            }
+            if let Some(v) = s.persist_wait_us {
+                wait.record(v);
+            }
+            if let Some(v) = s.persist_svc_us {
+                svc.record(v);
+            }
+        }
+        SegmentStats {
+            spans: self.spans.len() as u64,
+            order_p50_us: order.p50(),
+            order_p99_us: order.p99(),
+            persist_wait_p50_us: wait.p50(),
+            persist_wait_p99_us: wait.p99(),
+            persist_svc_p50_us: svc.p50(),
+            persist_svc_p99_us: svc.p99(),
         }
     }
 }
@@ -330,12 +397,14 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                 (hook, Some((gate, fsync_interval, fast_ack)))
             }
         };
-        // Per-stage metrics instrument the measurement replica only.
+        // Per-stage metrics and the flight recorder instrument the
+        // measurement replica only.
         let reg = if i == 0 {
             profile.metrics.clone()
         } else {
             None
         };
+        let rec = if i == 0 { profile.trace.clone() } else { None };
         handles.push(std::thread::spawn(move || {
             let replica =
                 BatchingReplica::new(tr.local(), params.clone(), profile.batch_cap, usize::MAX)
@@ -344,8 +413,15 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
             let (hook, durable) = hook_parts;
             match durable {
                 None => {
-                    let (replica, _t, stats, _hook) =
-                        run_smr_node_metered(replica, tr, cfg, hook, reg.as_ref());
+                    let (replica, _t, stats, _hook) = run_smr_node_observed(
+                        replica,
+                        tr,
+                        cfg,
+                        hook,
+                        reg.as_ref(),
+                        rec.as_ref(),
+                        None,
+                    );
                     (replica, stats, 0, 0, 0)
                 }
                 Some((gate, fsync_interval, fast_ack)) => {
@@ -372,8 +448,18 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
                     if let Some(r) = &reg {
                         node = node.with_metrics(r);
                     }
-                    let (replica, _t, stats, node) =
-                        run_smr_node_metered(replica, tr, cfg, node, reg.as_ref());
+                    if let Some(r) = &rec {
+                        node = node.with_trace(r.clone());
+                    }
+                    let (replica, _t, stats, node) = run_smr_node_observed(
+                        replica,
+                        tr,
+                        cfg,
+                        node,
+                        reg.as_ref(),
+                        rec.as_ref(),
+                        None,
+                    );
                     // One guard for both reads: the store lock is not
                     // reentrant, and a second `store()` in the same
                     // expression would deadlock against the first guard's
@@ -427,6 +513,11 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
     if profile.data_root.is_none() {
         std::fs::remove_dir_all(&data_root).ok();
     }
+    let spans = profile
+        .trace
+        .as_ref()
+        .map(|r| assemble_spans(&r.tail(r.capacity())))
+        .unwrap_or_default();
     StoreLoadReport {
         committed_cmds: results[0].0.applied_len() as u64,
         acked_cmds,
@@ -439,6 +530,7 @@ pub fn run_store_load(params: &Params<Batch<u64>>, profile: &StoreLoadProfile) -
         wal_bytes: results.iter().map(|(_, _, b, _, _)| b).sum(),
         wal_syncs: results.iter().map(|(_, _, _, s, _)| s).sum(),
         snapshots: results.iter().map(|(_, _, _, _, c)| c).sum(),
+        spans,
     }
 }
 

@@ -1,0 +1,88 @@
+//! Observability must be (near) free: the flight recorder rides the hot
+//! path of every stage, so an attached-but-idle-to-drain recorder must
+//! not cost measurable throughput.
+//!
+//! Two guards:
+//!
+//! * a traced durable run actually yields joinable per-slot spans with
+//!   all three stage segments populated;
+//! * the same in-memory workload run traced keeps at least 0.95× of the
+//!   untraced throughput. Wall-clock ratios are noisy under CI
+//!   schedulers, so the overhead guard passes if *any* of three
+//!   attempts clears the bar.
+
+use std::time::Duration;
+
+use gencon_load::{run_store_load, StoreLoadProfile, StoreMode};
+use gencon_smr::Batch;
+use gencon_trace::FlightRecorder;
+use gencon_types::ProcessId;
+
+fn memory_throughput(traced: bool) -> f64 {
+    let spec = gencon_algos::paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).expect("paxos");
+    let mut profile = StoreLoadProfile::new(StoreMode::Memory, 4, 16, 400);
+    if traced {
+        profile = profile.with_trace(FlightRecorder::new(1 << 15));
+    }
+    let report = run_store_load(&spec.params, &profile);
+    assert!(report.all_reached_target, "rounds: {}", report.rounds);
+    assert!(report.logs_agree);
+    report.cmds_per_sec()
+}
+
+#[test]
+fn traced_durable_run_yields_slot_spans() {
+    let spec = gencon_algos::paxos::<Batch<u64>>(3, 1, ProcessId::new(0)).expect("paxos");
+    let mut profile = StoreLoadProfile::new(
+        StoreMode::Durable {
+            fsync_interval: Duration::from_millis(5),
+            fast_ack: false,
+        },
+        2,
+        8,
+        80,
+    )
+    .with_trace(FlightRecorder::new(1 << 14));
+    profile.snapshot_every = 32;
+    let report = run_store_load(&spec.params, &profile);
+    assert!(report.all_reached_target, "rounds: {}", report.rounds);
+    assert!(report.logs_agree);
+
+    let seg = report.segment_stats();
+    assert!(seg.spans > 0, "no spans assembled");
+    assert!(
+        report.spans.iter().any(|s| s.order_us.is_some()),
+        "no span carries an order segment"
+    );
+    assert!(
+        report.spans.iter().any(|s| s.persist_wait_us.is_some()),
+        "no span carries a persist queue-wait segment"
+    );
+    assert!(
+        report.spans.iter().any(|s| s.persist_svc_us.is_some()),
+        "no span carries a group-commit segment"
+    );
+}
+
+#[test]
+fn tracing_keeps_at_least_95_percent_of_untraced_throughput() {
+    let mut worst = f64::INFINITY;
+    for attempt in 1..=3 {
+        let untraced = memory_throughput(false);
+        let traced = memory_throughput(true);
+        let ratio = if untraced > 0.0 {
+            traced / untraced
+        } else {
+            1.0
+        };
+        if ratio >= 0.95 {
+            return;
+        }
+        worst = worst.min(ratio);
+        eprintln!(
+            "attempt {attempt}: traced {traced:.0} vs untraced {untraced:.0} \
+             cmds/sec (ratio {ratio:.3})"
+        );
+    }
+    panic!("tracing cost more than 5% of throughput in all attempts (worst ratio {worst:.3})");
+}

@@ -298,6 +298,17 @@ impl Registry {
             .map(|(_, c)| c.get())
     }
 
+    /// The value of gauge `name`, if registered.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, g)| g.get())
+    }
+
     /// Renders every metric as one flat JSON object, keys sorted:
     /// counters and gauges as `"name":value`, histograms as
     /// `"name":{"count":…,"mean":…,"p50":…,"p99":…,"max":…}`.

@@ -1,0 +1,213 @@
+//! The live admin endpoint: a line-oriented TCP debug port.
+//!
+//! One **command per connection**: the client connects, sends a single
+//! line, and reads the full response until the server closes the socket
+//! — trivially scriptable from `nc`, python, or the CI smoke jobs with
+//! no framing to parse. Commands:
+//!
+//! | command     | response                                              |
+//! |-------------|-------------------------------------------------------|
+//! | `metrics`   | the metrics registry as one flat JSON object          |
+//! | `status`    | one JSON object: node id, round, watermarks, live     |
+//! |             | queue depths and the per-peer lag table               |
+//! | `trace [n]` | the last `n` (default 256) flight-recorder events,    |
+//! |             | one JSON line each, oldest first                      |
+//! | `spans [n]` | per-slot latency breakdowns assembled from the last   |
+//! |             | `n` (default 4096) events, one JSON line per slot     |
+//!
+//! The endpoint is read-only and runs on its own thread; every answer is
+//! assembled from lock-free snapshots (metric handles, the flight
+//! recorder's seqlock cells, the peer table's atomics), so querying a
+//! node under load never blocks its pipeline. Malformed input gets an
+//! `{"error":…}` line listing the commands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use gencon_metrics::Registry;
+use gencon_trace::{assemble_spans, FlightRecorder, PeerTable};
+
+/// Default event count for `trace` without an argument.
+const TRACE_DEFAULT: usize = 256;
+
+/// Default event window for `spans` without an argument.
+const SPANS_DEFAULT: usize = 4096;
+
+/// The read-only handles the admin endpoint serves from, all shared
+/// with the running node.
+#[derive(Clone)]
+pub struct AdminState {
+    /// This node's index into the peer list (reported by `status`).
+    pub node_id: usize,
+    /// The node's metric registry (`metrics`, and the watermark and
+    /// queue-depth gauges `status` reads).
+    pub registry: Registry,
+    /// The flight recorder backing `trace` and `spans`.
+    pub recorder: FlightRecorder,
+    /// The per-peer health table backing `status`'s lag table.
+    pub peers: PeerTable,
+}
+
+impl AdminState {
+    /// Renders the `status` JSON object.
+    #[must_use]
+    pub fn status_json(&self) -> String {
+        let g = |name: &str| self.registry.gauge_value(name).unwrap_or(0);
+        let round = g("order.round");
+        let peers: Vec<String> = self
+            .peers
+            .rows(round)
+            .iter()
+            .map(gencon_trace::PeerRow::to_json)
+            .collect();
+        format!(
+            "{{\"node_id\":{},\"round\":{round},\"committed_slots\":{},\"applied\":{},\
+             \"queued\":{},\"persist_gate\":{},\"ingest_queue\":{},\"apply_queue\":{},\
+             \"persist_queue\":{},\"trace_events\":{},\"peers\":[{}]}}",
+            self.node_id,
+            g("order.committed_slots"),
+            g("order.applied"),
+            g("order.queued"),
+            g("persist.gate"),
+            g("ingest.queue_depth_now"),
+            g("apply.queue_depth_now"),
+            g("persist.queue_depth_now"),
+            self.recorder.recorded(),
+            peers.join(","),
+        )
+    }
+
+    /// Answers one already-parsed command line.
+    fn respond(&self, line: &str) -> String {
+        let mut words = line.split_whitespace();
+        let cmd = words.next().unwrap_or("");
+        let mut arg = |d: usize| words.next().and_then(|w| w.parse().ok()).unwrap_or(d);
+        match cmd {
+            "metrics" => self.registry.dump_json(),
+            "status" => self.status_json(),
+            "trace" => {
+                let events = self.recorder.tail(arg(TRACE_DEFAULT));
+                let mut out = String::new();
+                for ev in &events {
+                    out.push_str(&ev.to_json());
+                    out.push('\n');
+                }
+                out
+            }
+            "spans" => {
+                let events = self.recorder.tail(arg(SPANS_DEFAULT));
+                let mut out = String::new();
+                for span in assemble_spans(&events) {
+                    out.push_str(&span.to_json());
+                    out.push('\n');
+                }
+                out
+            }
+            _ => "{\"error\":\"unknown command (metrics|status|trace [n]|spans [n])\"}".to_string(),
+        }
+    }
+}
+
+/// Serves one connection: read a command line, write the answer, close.
+fn handle(state: &AdminState, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let mut response = state.respond(line.trim());
+    if !response.ends_with('\n') {
+        response.push('\n');
+    }
+    let mut stream = stream;
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Binds `addr` and serves admin queries on a background thread for the
+/// life of the process. Returns the bound address (pass port 0 to let
+/// the OS pick — tests do). Connections are served serially: this is a
+/// debug port, not a data plane.
+pub fn spawn_admin(addr: SocketAddr, state: AdminState) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            handle(&state, stream);
+        }
+    });
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_trace::{EventKind, Stage};
+
+    fn query(addr: SocketAddr, cmd: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(cmd.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        let mut out = String::new();
+        use std::io::Read;
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_state() -> AdminState {
+        AdminState {
+            node_id: 2,
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(256),
+            peers: PeerTable::new(3),
+        }
+    }
+
+    #[test]
+    fn status_reports_gauges_and_peer_rows() {
+        let state = test_state();
+        state.registry.gauge("order.round").set(41);
+        state.registry.gauge("order.committed_slots").set(17);
+        state.peers.heard(0, 40);
+        state.peers.heard(1, 12);
+        state.peers.write_off(1);
+        let json = state.status_json();
+        assert!(json.contains("\"node_id\":2"), "{json}");
+        assert!(json.contains("\"round\":41"), "{json}");
+        assert!(json.contains("\"committed_slots\":17"), "{json}");
+        assert!(json.contains("\"lag_rounds\":1"), "{json}");
+        assert!(json.contains("\"written_off\":true"), "{json}");
+    }
+
+    #[test]
+    fn endpoint_answers_every_command_over_tcp() {
+        let state = test_state();
+        state.registry.counter("order.decided").add(3);
+        state.registry.gauge("order.round").set(9);
+        let rec = state.recorder.clone();
+        rec.record(Stage::Order, EventKind::Proposed, 4, 9);
+        rec.record(Stage::Order, EventKind::Decided, 4, 9);
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+
+        let metrics = query(addr, "metrics");
+        assert!(metrics.contains("\"order.decided\":3"), "{metrics}");
+
+        let status = query(addr, "status");
+        assert!(status.contains("\"round\":9"), "{status}");
+        assert!(status.contains("\"trace_events\":2"), "{status}");
+
+        let trace = query(addr, "trace 10");
+        assert_eq!(trace.lines().count(), 2, "{trace}");
+        assert!(trace.contains("\"kind\":\"decided\""), "{trace}");
+
+        let spans = query(addr, "spans");
+        assert_eq!(spans.lines().count(), 1, "{spans}");
+        assert!(spans.contains("\"slot\":4"), "{spans}");
+        assert!(spans.contains("\"order_us\""), "{spans}");
+
+        let err = query(addr, "bogus");
+        assert!(err.contains("\"error\""), "{err}");
+    }
+}

@@ -3,7 +3,7 @@
 //! ```bash
 //! gencon-client --server 127.0.0.1:7000 --count 10000 \
 //!   [--workload log|kv] [--keys 1024] [--value-bytes 64] \
-//!   [--clients 8] [--outstanding 16] [--id 0] \
+//!   [--clients 8] [--outstanding 16] [--id 0] [--json] \
 //!   [--servers 127.0.0.1:7000,127.0.0.1:7001,...]   # for Redirect handling
 //! ```
 //!
@@ -18,6 +18,10 @@
 //! interleaves puts and gets over a `--keys`-sized keyspace and the acks
 //! carry real [`KvReply`] payloads (get values, cas outcomes), which the
 //! client tallies — the full request/response path, not just append-acks.
+//!
+//! `--json` replaces the human-readable report with a single JSON object
+//! on stdout (counts, wall clock, throughput, latency percentiles,
+//! bounce tallies, kv hit/miss counts) for scripted harnesses and CI.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -87,6 +91,67 @@ struct Shared {
     ack_timeout: Duration,
 }
 
+/// What one closed-loop run measured; rendered human-readable or as one
+/// JSON object (`--json`).
+struct RunReport {
+    acked: u64,
+    wall_s: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    backpressured: u64,
+    redirects: u64,
+}
+
+impl RunReport {
+    fn cmds_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.acked as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn print_human(&self) {
+        println!(
+            "acked {} commands in {:.3}s — {:.0} cmds/sec",
+            self.acked,
+            self.wall_s,
+            self.cmds_per_sec()
+        );
+        println!(
+            "latency µs: p50 {}  p90 {}  p99 {}  max {}",
+            self.p50_us, self.p90_us, self.p99_us, self.max_us
+        );
+        if self.backpressured + self.redirects > 0 {
+            println!(
+                "bounces: {} backpressure, {} redirect",
+                self.backpressured, self.redirects
+            );
+        }
+    }
+
+    /// One JSON object; `extra` is appended verbatim inside the braces
+    /// (workload-specific tallies), empty for none.
+    fn to_json(&self, extra: &str) -> String {
+        format!(
+            "{{\"acked\":{},\"wall_s\":{:.3},\"cmds_per_sec\":{:.0},\
+             \"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
+             \"backpressure_bounces\":{},\"redirect_bounces\":{}{extra}}}",
+            self.acked,
+            self.wall_s,
+            self.cmds_per_sec(),
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+            self.backpressured,
+            self.redirects,
+        )
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let server: SocketAddr = flag_value(&args, "--server")
@@ -127,16 +192,22 @@ fn main() {
         exit(2);
     }
 
+    let json = args.iter().any(|a| a == "--json");
     match flag_value(&args, "--workload").as_deref().unwrap_or("log") {
         "log" => {
             let ns = shared.namespace;
-            run::<u64, u64>(
+            let report = run::<u64, u64>(
                 server,
                 &shared,
                 |client, seq| encode_cmd(ns, client, seq),
                 |cmd| decode_client(*cmd),
                 |_reply| {},
             );
+            if json {
+                println!("{}", report.to_json(""));
+            } else {
+                report.print_human();
+            }
         }
         "kv" => {
             let keys: u64 = parse(&args, "--keys", 1_024).max(1);
@@ -159,7 +230,7 @@ fn main() {
                 };
                 KvCmd { id, op }
             };
-            run::<KvCmd, KvReply>(
+            let report = run::<KvCmd, KvReply>(
                 server,
                 &shared,
                 make,
@@ -170,7 +241,13 @@ fn main() {
                     _ => {}
                 },
             );
-            println!("kv gets: {hits} hits, {misses} misses");
+            if json {
+                let extra = format!(",\"kv_get_hits\":{hits},\"kv_get_misses\":{misses}");
+                println!("{}", report.to_json(&extra));
+            } else {
+                report.print_human();
+                println!("kv gets: {hits} hits, {misses} misses");
+            }
         }
         other => {
             eprintln!("gencon-client: unknown --workload {other} (log|kv)");
@@ -185,7 +262,8 @@ fn run<V, R>(
     make_cmd: impl Fn(u16, u32) -> V,
     client_of: impl Fn(&V) -> u16,
     mut on_reply: impl FnMut(Option<R>),
-) where
+) -> RunReport
+where
     V: Value + Wire,
     R: Clone + PartialEq + std::fmt::Debug + Send + Wire + 'static,
 {
@@ -283,20 +361,14 @@ fn run<V, R>(
             ((p * latencies_us.len() as f64).ceil() as usize).clamp(1, latencies_us.len()) - 1;
         latencies_us[idx]
     };
-    println!(
-        "acked {} commands in {:.3}s — {:.0} cmds/sec",
-        latencies_us.len(),
-        wall.as_secs_f64(),
-        latencies_us.len() as f64 / wall.as_secs_f64()
-    );
-    println!(
-        "latency µs: p50 {}  p90 {}  p99 {}  max {}",
-        q(0.50),
-        q(0.90),
-        q(0.99),
-        latencies_us.last().copied().unwrap_or(0)
-    );
-    if backpressured + redirects > 0 {
-        println!("bounces: {backpressured} backpressure, {redirects} redirect");
+    RunReport {
+        acked: latencies_us.len() as u64,
+        wall_s: wall.as_secs_f64(),
+        p50_us: q(0.50),
+        p90_us: q(0.90),
+        p99_us: q(0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+        backpressured,
+        redirects,
     }
 }

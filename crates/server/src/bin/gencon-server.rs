@@ -45,6 +45,11 @@
 //! live snapshot of a running node. `--snapshot-keep K` retains the last
 //! K snapshot cuts on disk (default 2) so chunked state transfer can
 //! still serve a cut that a concurrent snapshot just superseded.
+//!
+//! `--admin-addr ADDR` turns on the flight recorder (`--trace-events N`
+//! sizes its ring, default 65536) and serves the line-oriented admin
+//! port there: one command per connection — `metrics`, `status`,
+//! `trace [n]`, `spans [n]` — see [`gencon_server::admin`].
 
 use std::net::SocketAddr;
 use std::process::exit;
@@ -54,8 +59,8 @@ use gencon_app::{App, Applier, BankApp, Folder, KvApp, LogApp};
 use gencon_metrics::Registry;
 use gencon_server::cli::{flag_value, parse_flag, required_flag};
 use gencon_server::{
-    recover_replica, run_smr_node_metered, ClientGateway, DurableConfig, DurableNode,
-    GatewayConfig, ServerConfig,
+    recover_replica, run_smr_node_observed, spawn_admin, AdminState, ClientGateway, DurableConfig,
+    DurableNode, GatewayConfig, ServerConfig,
 };
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{FileWal, Log, WalConfig};
@@ -168,6 +173,18 @@ fn serve<A: App>(args: &[String]) {
     };
     let hash_at: u64 = parse(args, "--hash-at", 0);
     let metrics_file = flag_value(args, "--metrics-file");
+    let admin_addr: Option<SocketAddr> = flag_value(args, "--admin-addr").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("gencon-server: bad --admin-addr");
+            exit(2);
+        })
+    });
+    // The flight recorder rides with the admin port: without a place to
+    // drain it from, recording would be dead weight.
+    let recorder = admin_addr
+        .is_some()
+        .then(|| gencon_trace::FlightRecorder::new(parse(args, "--trace-events", 65_536)));
+    let peer_table = gencon_trace::PeerTable::new(n);
 
     // Per-stage metrics. The registry is created unconditionally (the
     // counters are cheap); the JSON dump happens on exit and on SIGUSR1
@@ -215,6 +232,9 @@ fn serve<A: App>(args: &[String]) {
             exit(1);
         })
         .with_metrics(&registry);
+    if let Some(rec) = &recorder {
+        gateway = gateway.with_trace(rec.clone());
+    }
     // The durable-ack watermark, shared between the persistence layer
     // (writer) and the gateway (ack limit).
     let ack_gate = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -280,12 +300,35 @@ fn serve<A: App>(args: &[String]) {
         });
     eprintln!("gencon-server {id}: mesh up, log running");
 
+    if let (Some(addr), Some(rec)) = (admin_addr, &recorder) {
+        let state = AdminState {
+            node_id: id,
+            registry: registry.clone(),
+            recorder: rec.clone(),
+            peers: peer_table.clone(),
+        };
+        match spawn_admin(addr, state) {
+            Ok(local) => eprintln!("gencon-server {id}: admin endpoint at {local}"),
+            Err(e) => eprintln!("gencon-server {id}: cannot bind admin address {addr}: {e}"),
+        }
+    }
+
     let (replica, stats, captured) = if let Some(wal) = durable_parts {
-        let node = DurableNode::new(wal, durable_cfg, folder, gateway)
+        let mut node = DurableNode::new(wal, durable_cfg, folder, gateway)
             .with_gate(ack_gate)
             .with_metrics(&registry);
-        let (replica, _transport, stats, node) =
-            run_smr_node_metered(replica, transport, cfg, node, Some(&registry));
+        if let Some(rec) = &recorder {
+            node = node.with_trace(rec.clone());
+        }
+        let (replica, _transport, stats, node) = run_smr_node_observed(
+            replica,
+            transport,
+            cfg,
+            node,
+            Some(&registry),
+            recorder.as_ref(),
+            Some(&peer_table),
+        );
         // One guard for both reads — the store lock is not reentrant, so
         // a second `store()` in the same statement would self-deadlock.
         let (wal_bytes, wal_syncs) = {
@@ -302,8 +345,15 @@ fn serve<A: App>(args: &[String]) {
         let captured = node.inner().applier().captured_hash();
         (replica, stats, captured)
     } else {
-        let (replica, _transport, stats, hook) =
-            run_smr_node_metered(replica, transport, cfg, gateway, Some(&registry));
+        let (replica, _transport, stats, hook) = run_smr_node_observed(
+            replica,
+            transport,
+            cfg,
+            gateway,
+            Some(&registry),
+            recorder.as_ref(),
+            Some(&peer_table),
+        );
         let captured = hook.applier().captured_hash();
         (replica, stats, captured)
     };

@@ -59,6 +59,7 @@ use gencon_net::wire::Wire;
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{Log, Recovery, Snapshot};
+use gencon_trace::{EventKind, FlightRecorder, Stage, Tracer};
 
 use crate::node::{NodeHook, SNAPSHOT_GAP_MIN};
 
@@ -180,7 +181,10 @@ struct PersistMeters {
     fsyncs: Counter,
     fsync_us: Histogram,
     stalls: Counter,
-    queue_depth: Gauge,
+    /// Depth sampled on every enqueue and dequeue (histogram, so its
+    /// p99 is meaningful), plus a last-value gauge for live status.
+    queue_depth: Histogram,
+    queue_depth_now: Gauge,
     gate: Gauge,
 }
 
@@ -191,7 +195,8 @@ impl PersistMeters {
             fsyncs: reg.counter("persist.fsyncs"),
             fsync_us: reg.histogram("persist.fsync_us"),
             stalls: reg.counter("persist.stalls"),
-            queue_depth: reg.gauge("persist.queue_depth"),
+            queue_depth: reg.histogram("persist.queue_depth"),
+            queue_depth_now: reg.gauge("persist.queue_depth_now"),
             gate: reg.gauge("persist.gate"),
         }
     }
@@ -207,35 +212,46 @@ fn persist_loop<L: Log>(
     gate: &AtomicU64,
     durable_ack: bool,
     m: &PersistMeters,
+    t: &Tracer,
 ) {
     // Appended records not yet known durable: (slot, acked_through).
     let mut pending: VecDeque<(u64, u64)> = VecDeque::new();
+    // Duration of the group commit (append + fsync) that most recently
+    // made records durable — the `persisted` event's detail for every
+    // slot it covered.
+    let mut last_sync_us: u64 = 0;
     // Publishes the watermark for every record at or below the store's
-    // durable slot.
-    let release = |wal: &mut L, pending: &mut VecDeque<(u64, u64)>| {
-        if !durable_ack {
-            return;
-        }
+    // durable slot, and traces each slot's durability edge.
+    let release = |wal: &mut L, pending: &mut VecDeque<(u64, u64)>, svc_us: u64| {
         let Some(d) = wal.durable_slot() else { return };
         let mut acked = None;
         while pending.front().is_some_and(|&(s, _)| s <= d) {
-            acked = pending.pop_front().map(|(_, a)| a);
+            let (slot, a) = pending.pop_front().expect("front exists");
+            t.rec(Stage::Persist, EventKind::Persisted, slot, svc_us);
+            acked = Some(a);
         }
-        if let Some(a) = acked {
-            gate.fetch_max(a, Ordering::SeqCst);
-            m.gate.raise(a);
+        if durable_ack {
+            if let Some(a) = acked {
+                gate.fetch_max(a, Ordering::SeqCst);
+                m.gate.raise(a);
+            }
         }
     };
-    // Runs a sync-ish closure and meters it if a real fsync happened.
-    let metered_sync = |wal: &mut L, f: &dyn Fn(&mut L) -> std::io::Result<()>| {
+    // Runs a sync-ish closure; meters it and returns its duration if a
+    // real fsync happened (0 otherwise).
+    let metered_sync = |wal: &mut L, f: &dyn Fn(&mut L) -> std::io::Result<()>| -> u64 {
         let before = wal.syncs();
         let t = Instant::now();
         if let Err(e) = f(wal) {
             eprintln!("[durable] WAL sync failed: {e}");
         }
         if wal.syncs() > before {
+            let us = t.elapsed().as_micros() as u64;
             m.fsyncs.add(wal.syncs() - before);
-            m.fsync_us.record(t.elapsed().as_micros() as u64);
+            m.fsync_us.record(us);
+            us
+        } else {
+            0
         }
     };
     loop {
@@ -247,6 +263,8 @@ fn persist_loop<L: Log>(
                 payload,
                 acked_through,
             }) => {
+                m.queue_depth.record(rx.len() as u64);
+                m.queue_depth_now.set(rx.len() as u64);
                 match wal.append(slot, &payload) {
                     Ok(()) => {
                         m.appended.inc();
@@ -257,7 +275,10 @@ fn persist_loop<L: Log>(
                     // inline path had).
                     Err(e) => eprintln!("[durable] WAL append of slot {slot} failed: {e}"),
                 }
-                metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+                let us = metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+                if us > 0 {
+                    last_sync_us = us;
+                }
             }
             Ok(PersistMsg::Install { snap, acked }) => {
                 match wal.install_snapshot(&snap) {
@@ -277,8 +298,11 @@ fn persist_loop<L: Log>(
                 }
             }
             Ok(PersistMsg::Flush(reply)) => {
-                metered_sync(&mut wal, &|w: &mut L| w.sync());
-                release(&mut wal, &mut pending);
+                let us = metered_sync(&mut wal, &|w: &mut L| w.sync());
+                if us > 0 {
+                    last_sync_us = us;
+                }
+                release(&mut wal, &mut pending, last_sync_us);
                 drop(wal);
                 let _ = reply.send(());
                 continue;
@@ -286,15 +310,21 @@ fn persist_loop<L: Log>(
             Err(RecvTimeoutError::Timeout) => {
                 // Idle tick: drive the group-commit interval so the
                 // watermark advances even when commits pause.
-                metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+                let us = metered_sync(&mut wal, &|w| w.maybe_sync().map(|_| ()));
+                if us > 0 {
+                    last_sync_us = us;
+                }
             }
             Err(RecvTimeoutError::Disconnected) => {
-                metered_sync(&mut wal, &|w: &mut L| w.sync());
-                release(&mut wal, &mut pending);
+                let us = metered_sync(&mut wal, &|w: &mut L| w.sync());
+                if us > 0 {
+                    last_sync_us = us;
+                }
+                release(&mut wal, &mut pending, last_sync_us);
                 return;
             }
         }
-        release(&mut wal, &mut pending);
+        release(&mut wal, &mut pending, last_sync_us);
     }
 }
 
@@ -325,6 +355,7 @@ pub struct DurableNode<A: App, L, H> {
     last_cut: u64,
     wal_trailing: bool,
     meters: PersistMeters,
+    tracer: Tracer,
     snapshots_taken: u64,
     served_from_disk: u64,
     served_synthesized: u64,
@@ -350,6 +381,7 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
             last_cut,
             wal_trailing: false,
             meters: PersistMeters::new(&Registry::new()),
+            tracer: Tracer::disabled(),
             snapshots_taken: 0,
             served_from_disk: 0,
             served_synthesized: 0,
@@ -362,6 +394,17 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
     #[must_use]
     pub fn with_metrics(mut self, reg: &Registry) -> Self {
         self.meters = PersistMeters::new(reg);
+        self
+    }
+
+    /// Records the persistence slot lifecycle (`persist_queued` at ship,
+    /// `persisted` once the covering fsync lands) into `recorder` — pass
+    /// the same recorder as the node and gateway so per-slot spans
+    /// assemble across all stages. Call before the run starts, like
+    /// [`with_metrics`](DurableNode::with_metrics).
+    #[must_use]
+    pub fn with_trace(mut self, recorder: FlightRecorder) -> Self {
+        self.tracer = Tracer::new(Some(recorder));
         self
     }
 
@@ -449,7 +492,9 @@ impl<A: App, L: Log + Send + 'static, H> DurableNode<A, L, H> {
         let gate = Arc::clone(&self.ack_gate);
         let durable_ack = self.cfg.durable_ack;
         let m = self.meters.clone();
-        let handle = std::thread::spawn(move || persist_loop(&wal, &rx, &gate, durable_ack, &m));
+        let t = self.tracer.clone();
+        let handle =
+            std::thread::spawn(move || persist_loop(&wal, &rx, &gate, durable_ack, &m, &t));
         self.persist = Some(PersistStage { tx, handle });
     }
 
@@ -506,9 +551,13 @@ impl<A: App, L: Log + Send + 'static, H> DurableNode<A, L, H> {
                 acked_through,
             });
             self.next_ship += 1;
+            let depth = self.persist.as_ref().map_or(0, |s| s.tx.len() as u64);
+            self.meters.queue_depth.record(depth);
+            self.tracer
+                .rec(Stage::Persist, EventKind::PersistQueued, slot, depth);
         }
         if let Some(stage) = self.persist.as_ref() {
-            self.meters.queue_depth.set(stage.tx.len() as u64);
+            self.meters.queue_depth_now.set(stage.tx.len() as u64);
         }
     }
 

@@ -60,9 +60,10 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use gencon_app::{App, Applier};
-use gencon_metrics::{Counter, Gauge, Registry};
+use gencon_metrics::{Counter, Gauge, Histogram, Registry};
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::BatchingReplica;
+use gencon_trace::{EventKind, FlightRecorder, Stage, Tracer};
 use gencon_types::ProcessId;
 
 use crate::node::NodeHook;
@@ -160,7 +161,10 @@ enum AckMsg<A: App> {
 #[derive(Clone)]
 struct GatewayMeters {
     applied: Counter,
-    apply_depth: Gauge,
+    /// Depth sampled on every enqueue and dequeue (histogram, so its
+    /// p99 is meaningful), plus a last-value gauge for live status.
+    apply_depth: Histogram,
+    apply_depth_now: Gauge,
     acked: Counter,
     reacks: Counter,
     parked: Counter,
@@ -171,7 +175,8 @@ impl GatewayMeters {
     fn new(reg: &Registry) -> GatewayMeters {
         GatewayMeters {
             applied: reg.counter("apply.applied"),
-            apply_depth: reg.gauge("apply.queue_depth"),
+            apply_depth: reg.histogram("apply.queue_depth"),
+            apply_depth_now: reg.gauge("apply.queue_depth_now"),
             acked: reg.counter("ack.acked"),
             reacks: reg.counter("ack.reacks"),
             parked: reg.counter("ack.parked"),
@@ -221,6 +226,7 @@ pub struct ClientGateway<A: App> {
     /// advances.
     ack_gate: Option<Arc<AtomicU64>>,
     meters: GatewayMeters,
+    tracer: Tracer,
     cfg: GatewayConfig,
     local_addr: SocketAddr,
 }
@@ -280,6 +286,7 @@ impl<A: App> ClientGateway<A> {
             inflight_count: Arc::new(AtomicUsize::new(0)),
             ack_gate: None,
             meters: GatewayMeters::new(&Registry::new()),
+            tracer: Tracer::disabled(),
             cfg,
             local_addr,
         })
@@ -314,6 +321,17 @@ impl<A: App> ClientGateway<A> {
     #[must_use]
     pub fn with_metrics(mut self, reg: &Registry) -> ClientGateway<A> {
         self.meters = GatewayMeters::new(reg);
+        self
+    }
+
+    /// Records the apply/ack slot lifecycle (`apply_queued`, `applied`,
+    /// `acked` events) into `recorder` — pass the same recorder as the
+    /// node and durable layers so per-slot spans assemble across all
+    /// stages. Must run before the first round, like
+    /// [`with_metrics`](ClientGateway::with_metrics).
+    #[must_use]
+    pub fn with_trace(mut self, recorder: FlightRecorder) -> ClientGateway<A> {
+        self.tracer = Tracer::new(Some(recorder));
         self
     }
 
@@ -377,8 +395,15 @@ impl<A: App> ClientGateway<A> {
         let applier = Arc::clone(&self.applier);
         let apply_ack_tx = ack_tx.clone();
         let apply_meters = self.meters.clone();
+        let apply_tracer = self.tracer.clone();
         let apply_handle = std::thread::spawn(move || {
-            apply_loop::<A>(&applier, &apply_rx, &apply_ack_tx, &apply_meters);
+            apply_loop::<A>(
+                &applier,
+                &apply_rx,
+                &apply_ack_tx,
+                &apply_meters,
+                &apply_tracer,
+            );
         });
 
         let state = AckState::<A> {
@@ -394,6 +419,7 @@ impl<A: App> ClientGateway<A> {
             acks_dropped: Arc::clone(&self.acks_dropped),
             inflight_count: Arc::clone(&self.inflight_count),
             m: self.meters.clone(),
+            t: self.tracer.clone(),
         };
         let ack_handle = std::thread::spawn(move || state.run(&ack_rx));
 
@@ -465,14 +491,30 @@ fn apply_loop<A: App>(
     rx: &Receiver<ApplyMsg<A>>,
     ack_tx: &Sender<AckMsg<A>>,
     m: &GatewayMeters,
+    t: &Tracer,
 ) {
     while let Ok(msg) = rx.recv() {
+        m.apply_depth.record(rx.len() as u64);
+        m.apply_depth_now.set(rx.len() as u64);
         match msg {
             ApplyMsg::Delta(entries) => {
                 let mut applier = applier.lock();
+                let mut last_traced_slot = u64::MAX;
                 for (cmd, slot, offset) in entries {
+                    let svc_start = t.now_us();
                     let reply = applier.apply(slot, &cmd);
                     m.applied.inc();
+                    // One `applied` event per slot (the first command's
+                    // service time stands in for the slot).
+                    if t.enabled() && slot != last_traced_slot {
+                        last_traced_slot = slot;
+                        t.rec(
+                            Stage::Apply,
+                            EventKind::Applied,
+                            slot,
+                            t.now_us().saturating_sub(svc_start),
+                        );
+                    }
                     if ack_tx
                         .send(AckMsg::Entry {
                             cmd,
@@ -502,6 +544,9 @@ fn apply_loop<A: App>(
 /// locally) kept per command for re-acking retries.
 type ReackIndex<A> = HashMap<<A as App>::Cmd, (u64, u64, Option<<A as App>::Reply>)>;
 
+/// An applied-but-unacked entry: `(cmd, slot, offset, reply, enq_us)`.
+type PendingAck<A> = (<A as App>::Cmd, u64, u64, <A as App>::Reply, u64);
+
 /// The ack stage's working state: owns the sockets and every piece of
 /// client-visible bookkeeping.
 struct AckState<A: App> {
@@ -510,10 +555,11 @@ struct AckState<A: App> {
     gate: Option<Arc<AtomicU64>>,
     /// Locally submitted, not yet acked: command → connection.
     inflight: HashMap<A::Cmd, u64>,
-    /// Applied but not yet acked `(cmd, slot, offset, reply)` — drained
-    /// in offset order as the durable watermark advances (immediately,
-    /// without a gate).
-    pending: VecDeque<(A::Cmd, u64, u64, A::Reply)>,
+    /// Applied but not yet acked `(cmd, slot, offset, reply, enq_us)` —
+    /// drained in offset order as the durable watermark advances
+    /// (immediately, without a gate). `enq_us` is the tracer timestamp
+    /// at arrival, so the released `acked` event carries the gate-wait.
+    pending: VecDeque<PendingAck<A>>,
     /// Commit coordinates and replies of recently acked commands, for
     /// re-acking client retries of already-committed submissions. The
     /// reply is `None` for commands learned via state transfer (their
@@ -530,6 +576,7 @@ struct AckState<A: App> {
     acks_dropped: Arc<AtomicU64>,
     inflight_count: Arc<AtomicUsize>,
     m: GatewayMeters,
+    t: Tracer,
 }
 
 impl<A: App> AckState<A> {
@@ -563,7 +610,8 @@ impl<A: App> AckState<A> {
                 offset,
                 reply,
             } => {
-                self.pending.push_back((cmd, slot, offset, reply));
+                self.pending
+                    .push_back((cmd, slot, offset, reply, self.t.now_us()));
                 // Bound the parked acks: under a healthy gate the queue
                 // drains every group-commit window, but a gate that
                 // stops advancing (failing disk) must not grow memory
@@ -575,7 +623,7 @@ impl<A: App> AckState<A> {
                 // gets answered instead of being swallowed by the
                 // replica's dedup.
                 while self.pending.len() > self.cfg.reack_index_cap {
-                    let (cmd, slot, offset, reply) = self.pending.pop_back().expect("over cap");
+                    let (cmd, slot, offset, reply, _) = self.pending.pop_back().expect("over cap");
                     self.acks_dropped.fetch_add(1, Ordering::Relaxed);
                     self.m.dropped.inc();
                     self.index_committed(cmd, slot, offset, Some(reply));
@@ -649,9 +697,19 @@ impl<A: App> AckState<A> {
         while self
             .pending
             .front()
-            .is_some_and(|(_, _, offset, _)| *offset < gate)
+            .is_some_and(|(_, _, offset, _, _)| *offset < gate)
         {
-            let (cmd, slot, offset, reply) = self.pending.pop_front().expect("front exists");
+            let (cmd, slot, offset, reply, enq_us) =
+                self.pending.pop_front().expect("front exists");
+            // The gate-wait (time parked behind the durable watermark) is
+            // the ack event's detail; the span assembler reports it as
+            // `ack_gate_us`.
+            self.t.rec(
+                Stage::Ack,
+                EventKind::Acked,
+                slot,
+                self.t.now_us().saturating_sub(enq_us),
+            );
             self.index_committed(cmd.clone(), slot, offset, Some(reply.clone()));
             if let Some(conn) = self.inflight.remove(&cmd) {
                 self.inflight_count.fetch_sub(1, Ordering::Relaxed);
@@ -791,10 +849,23 @@ impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
                 })
                 .collect();
             self.applied_seen = limit;
+            if self.tracer.enabled() {
+                let depth = self.stages.as_ref().map_or(0, |s| s.apply_tx.len() as u64);
+                let mut last = u64::MAX;
+                for &(_, slot, _) in &delta {
+                    if slot != last {
+                        last = slot;
+                        self.tracer
+                            .rec(Stage::Apply, EventKind::ApplyQueued, slot, depth);
+                    }
+                }
+            }
             self.ship_apply(ApplyMsg::Delta(delta));
         }
         if let Some(stages) = &self.stages {
-            self.meters.apply_depth.set(stages.apply_tx.len() as u64);
+            let depth = stages.apply_tx.len() as u64;
+            self.meters.apply_depth.record(depth);
+            self.meters.apply_depth_now.set(depth);
         }
     }
 

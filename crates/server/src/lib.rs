@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod cli;
 mod config;
 mod deadline;
@@ -49,12 +50,13 @@ mod gateway;
 mod node;
 pub mod protocol;
 
+pub use admin::{spawn_admin, AdminState};
 pub use config::ServerConfig;
 pub use deadline::AdaptiveDeadline;
 pub use durable::{recover_replica, DurableConfig, DurableNode, RecoveredState};
 pub use gateway::{ClientGateway, GatewayConfig};
 pub use node::{
-    run_smr_node, run_smr_node_metered, NoHook, NodeHook, NodeStats,
+    run_smr_node, run_smr_node_metered, run_smr_node_observed, NoHook, NodeHook, NodeStats,
     CHUNKS_SERVED_PER_SENDER_PER_ROUND, CHUNK_REQUESTS_PER_ROUND, FUTURE_HORIZON, INGEST_QUEUE_CAP,
     LIVENESS_GRACE, SNAPSHOT_GAP_MIN, SNAPSHOT_PROBE_AFTER,
 };

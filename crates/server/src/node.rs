@@ -66,6 +66,7 @@ use gencon_net::wire_sync::{
 use gencon_net::{RecvHalf, Transport};
 use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
 use gencon_smr::{Batch, BatchingReplica, SmrMsg};
+use gencon_trace::{EventKind, FlightRecorder, PeerTable, Stage, Tracer};
 use gencon_types::{ProcessId, ProcessSet, Round, Value};
 
 use crate::config::ServerConfig;
@@ -288,7 +289,11 @@ struct IngestMeters {
     frames: Counter,
     dropped: Counter,
     decode_errors: Counter,
-    queue_depth: Gauge,
+    /// Depth sampled on **every** enqueue and dequeue — a histogram, so
+    /// `ingest.queue_depth` p99 reflects the whole run, not whichever
+    /// depth happened to be written last.
+    queue_depth: Histogram,
+    queue_depth_now: Gauge,
 }
 
 /// Per-stage instrument handles resolved once per node run.
@@ -300,6 +305,11 @@ struct NodeMeters {
     fast_forwards: Counter,
     chunks_served: Counter,
     chunks_fetched: Counter,
+    // Live position gauges the admin `status` command reads.
+    round_now: Gauge,
+    committed_now: Gauge,
+    applied_now: Gauge,
+    queued_now: Gauge,
 }
 
 impl NodeMeters {
@@ -309,7 +319,8 @@ impl NodeMeters {
                 frames: reg.counter("ingest.frames"),
                 dropped: reg.counter("ingest.dropped"),
                 decode_errors: reg.counter("ingest.decode_errors"),
-                queue_depth: reg.gauge("ingest.queue_depth"),
+                queue_depth: reg.histogram("ingest.queue_depth"),
+                queue_depth_now: reg.gauge("ingest.queue_depth_now"),
             },
             rounds: reg.counter("order.rounds"),
             round_us: reg.histogram("order.round_us"),
@@ -317,6 +328,10 @@ impl NodeMeters {
             fast_forwards: reg.counter("order.fast_forwards"),
             chunks_served: reg.counter("transfer.chunks_served"),
             chunks_fetched: reg.counter("transfer.chunks_fetched"),
+            round_now: reg.gauge("order.round"),
+            committed_now: reg.gauge("order.committed_slots"),
+            applied_now: reg.gauge("order.applied"),
+            queued_now: reg.gauge("order.queued"),
         }
     }
 }
@@ -330,10 +345,11 @@ fn ingest_loop<V: Value + Wire>(
     tx: channel::Sender<IngestFrame<V>>,
     stop: &AtomicBool,
     m: &IngestMeters,
+    tracer: &Tracer,
 ) {
     while !stop.load(Ordering::Acquire) {
         let Some((sender, frame)) = half.recv_timeout(INGEST_POLL) else {
-            m.queue_depth.set(tx.len() as u64);
+            m.queue_depth_now.set(tx.len() as u64);
             continue;
         };
         if sender.index() >= n {
@@ -350,15 +366,22 @@ fn ingest_loop<V: Value + Wire>(
         }
         m.frames.inc();
         match tx.try_send((sender, sync)) {
-            Ok(()) => {}
+            Ok(()) => {
+                let depth = tx.len() as u64;
+                m.queue_depth.record(depth);
+                tracer.rec(Stage::Ingest, EventKind::Ingested, 0, depth);
+            }
             // Backpressure by shedding: a full queue drops the frame
             // like a congested link would (the round machinery already
             // tolerates loss); blocking here would stall the socket
             // readers behind a slow order stage instead.
-            Err(TrySendError::Full(_)) => m.dropped.inc(),
+            Err(TrySendError::Full(_)) => {
+                m.dropped.inc();
+                tracer.rec(Stage::Ingest, EventKind::Shed, 0, INGEST_QUEUE_CAP as u64);
+            }
             Err(TrySendError::Disconnected(_)) => return,
         }
-        m.queue_depth.set(tx.len() as u64);
+        m.queue_depth_now.set(tx.len() as u64);
     }
 }
 
@@ -406,11 +429,35 @@ where
 /// stage is stopped and joined, the receive half is restored into the
 /// transport, and [`NodeHook::finish`] drains the downstream stages.
 pub fn run_smr_node_metered<V, T, H>(
+    replica: BatchingReplica<V>,
+    transport: T,
+    cfg: ServerConfig,
+    hook: H,
+    metrics: Option<&Registry>,
+) -> (BatchingReplica<V>, T, NodeStats, H)
+where
+    V: Value + Wire,
+    T: Transport,
+    H: NodeHook<V>,
+{
+    run_smr_node_observed(replica, transport, cfg, hook, metrics, None, None)
+}
+
+/// [`run_smr_node_metered`] plus the flight recorder and per-peer health
+/// table: `trace` receives the slot-lifecycle, state-transfer and
+/// peer-liveness events of this node (ingest/order here; the gateway and
+/// durable hooks record their own stages when built with the same
+/// recorder), and `peers` is continuously updated with last-heard
+/// rounds, advertised watermarks and written-off flags — the table the
+/// admin endpoint's `status` command snapshots.
+pub fn run_smr_node_observed<V, T, H>(
     mut replica: BatchingReplica<V>,
     mut transport: T,
     cfg: ServerConfig,
     mut hook: H,
     metrics: Option<&Registry>,
+    trace: Option<&FlightRecorder>,
+    peers: Option<&PeerTable>,
 ) -> (BatchingReplica<V>, T, NodeStats, H)
 where
     V: Value + Wire,
@@ -419,6 +466,8 @@ where
 {
     let scratch = Registry::new();
     let meters = NodeMeters::new(metrics.unwrap_or(&scratch));
+    let tracer = Tracer::new(trace.cloned());
+    let peers = peers.cloned().unwrap_or_default();
     let n = transport.peers();
     let mut recv_half = transport.split_recv();
     let stop_ingest = AtomicBool::new(false);
@@ -428,9 +477,10 @@ where
         let ingest_rx = recv_half.take().map(|half| {
             let (tx, rx) = channel::bounded(INGEST_QUEUE_CAP);
             let im = meters.ingest.clone();
+            let it = tracer.clone();
             let stop = &stop_ingest;
             ingest_handle = Some(scope.spawn(move || {
-                ingest_loop::<V>(&half, n, tx, stop, &im);
+                ingest_loop::<V>(&half, n, tx, stop, &im, &it);
                 half
             }));
             rx
@@ -442,6 +492,8 @@ where
             &mut hook,
             ingest_rx.as_ref(),
             &meters,
+            &tracer,
+            &peers,
         );
         stop_ingest.store(true, Ordering::Release);
         if let Some(h) = ingest_handle {
@@ -460,7 +512,7 @@ where
 /// loop. Reads pre-decoded frames from the ingest queue when one exists,
 /// or falls back to decoding inline for transports without a splittable
 /// receive half.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn order_loop<V, T, H>(
     replica: &mut BatchingReplica<V>,
     transport: &mut T,
@@ -468,6 +520,8 @@ fn order_loop<V, T, H>(
     hook: &mut H,
     ingest_rx: Option<&Receiver<IngestFrame<V>>>,
     meters: &NodeMeters,
+    tracer: &Tracer,
+    peers: &PeerTable,
 ) -> NodeStats
 where
     V: Value + Wire,
@@ -514,6 +568,13 @@ where
     // forcing every subsequent round to its deadline — the cluster is
     // explicitly supposed to keep serving with up to f nodes down.
     let mut last_heard: Vec<u64> = vec![0; n];
+    // Liveness as of the previous round, to trace write-off/re-enroll
+    // transitions exactly once per edge.
+    let mut was_live: Vec<bool> = vec![true; n];
+    // The lowest slot this node has not yet proposed a value for — new
+    // slots in an outgoing bundle get a `proposed` trace event exactly
+    // once.
+    let mut proposed_next: u64 = 0;
 
     let mut r: u64 = 1;
     while r <= cfg.max_rounds {
@@ -532,9 +593,25 @@ where
         }
 
         let round = Round::new(r);
+        tracer.rec(
+            Stage::Order,
+            EventKind::RoundAdvance,
+            r,
+            replica.committed_slots() as u64,
+        );
         hook.before_round(r, replica);
 
         // --- send step ---
+        let trace_proposed = |m: &SmrMsg<Batch<V>>, next: &mut u64| {
+            if tracer.enabled() {
+                for (slot, _) in m.iter() {
+                    if slot >= *next {
+                        tracer.rec(Stage::Order, EventKind::Proposed, slot, r);
+                    }
+                }
+                *next = (*next).max(max_slot_of(m) + 1);
+            }
+        };
         let mut loopback: Option<SmrMsg<Batch<V>>> = None;
         match replica.send(round) {
             Outgoing::Silent => {}
@@ -548,6 +625,7 @@ where
                 for d in (0..n).map(ProcessId::new).filter(|&d| d != me) {
                     transport.send(d, frame.clone());
                 }
+                trace_proposed(&m, &mut proposed_next);
                 loopback = Some(m);
             }
             Outgoing::Multicast { dests, msg } => {
@@ -557,6 +635,7 @@ where
                     msg: msg.clone(),
                 })
                 .to_bytes();
+                trace_proposed(&msg, &mut proposed_next);
                 for d in dests.iter() {
                     if d == me {
                         loopback = Some(msg.clone());
@@ -606,7 +685,15 @@ where
             let got = match ingest_rx {
                 // Pipelined path: the ingest stage already decoded and
                 // sender-authenticated the frame.
-                Some(rx) => rx.recv_timeout(wait).ok(),
+                Some(rx) => {
+                    let got = rx.recv_timeout(wait).ok();
+                    if got.is_some() {
+                        // Sample the depth on dequeue too, so the
+                        // histogram sees drain as well as fill.
+                        meters.ingest.queue_depth.record(rx.len() as u64);
+                    }
+                    got
+                }
                 // Fallback for transports without a splittable receive
                 // half: decode inline on the order thread.
                 None => match transport.recv_timeout(wait) {
@@ -634,6 +721,7 @@ where
             };
             // Any authenticated frame is a liveness signal.
             last_heard[sender.index()] = last_heard[sender.index()].max(r);
+            peers.heard(sender.index(), r);
             let env = match sync {
                 SyncFrame::Round(env) => env,
                 SyncFrame::SnapshotRequest { have_slot, .. } => {
@@ -645,6 +733,12 @@ where
                             if manifest.upto_slot > have_slot && manifest.consistent() {
                                 last_served[sender.index()] = r;
                                 stats.snapshots_served += 1;
+                                tracer.rec(
+                                    Stage::Transfer,
+                                    EventKind::ManifestServed,
+                                    manifest.upto_slot,
+                                    sender.index() as u64,
+                                );
                                 let resp = SyncFrame::<SmrMsg<Batch<V>>>::Manifest {
                                     sender: me,
                                     manifest,
@@ -679,6 +773,12 @@ where
                             chunk_budget[sender.index()] += 1;
                             stats.chunks_served += 1;
                             meters.chunks_served.inc();
+                            tracer.rec(
+                                Stage::Transfer,
+                                EventKind::ChunkServed,
+                                upto_slot,
+                                u64::from(index),
+                            );
                             let resp = SyncFrame::<SmrMsg<Batch<V>>>::Chunk {
                                 sender: me,
                                 upto_slot,
@@ -710,6 +810,12 @@ where
                         {
                             stats.chunks_fetched += 1;
                             meters.chunks_fetched.inc();
+                            tracer.rec(
+                                Stage::Transfer,
+                                EventKind::ChunkFetched,
+                                upto_slot,
+                                u64::from(index),
+                            );
                             f.last_progress = r;
                         }
                     }
@@ -717,6 +823,7 @@ where
                 }
             };
             peer_slot_high = peer_slot_high.max(max_slot_of(&env.msg));
+            peers.ahead(sender.index(), max_slot_of(&env.msg));
             match env.round.number().cmp(&r) {
                 std::cmp::Ordering::Less => {} // closed round: drop
                 std::cmp::Ordering::Equal => {
@@ -752,6 +859,25 @@ where
             deadline.on_timeout();
             stats.timeouts += 1;
             meters.timeouts.inc();
+            tracer.rec(Stage::Order, EventKind::Timeout, r, heard.count() as u64);
+        }
+        // Publish liveness edges: a peer crossing the grace window is
+        // written off (and traced) once, not every round; any frame
+        // re-enrolls it via `peers.heard` above.
+        for p in (0..n).filter(|&p| p != me.index()) {
+            let live = last_heard[p] + LIVENESS_GRACE >= r;
+            if was_live[p] && !live {
+                peers.write_off(p);
+                tracer.rec(
+                    Stage::Peer,
+                    EventKind::PeerWrittenOff,
+                    p as u64,
+                    last_heard[p],
+                );
+            } else if live && !was_live[p] {
+                tracer.rec(Stage::Peer, EventKind::PeerReEnrolled, p as u64, r);
+            }
+            was_live[p] = live;
         }
 
         // --- chunked state transfer: pick a b + 1-vouched manifest, pull
@@ -851,6 +977,12 @@ where
             });
             if installed {
                 stats.snapshots_installed += 1;
+                tracer.rec(
+                    Stage::Transfer,
+                    EventKind::SnapshotInstalled,
+                    manifest.upto_slot,
+                    state.len() as u64,
+                );
                 let fs = decoded.expect("installed implies decoded");
                 hook.snapshot_installed(&manifest, &state, &fs, replica);
                 manifest_votes.clear();
@@ -864,12 +996,22 @@ where
         }
 
         // --- transition step ---
+        let committed_before = replica.committed_slots() as u64;
         replica.receive(round, &heard);
+        if tracer.enabled() {
+            for slot in committed_before..replica.committed_slots() as u64 {
+                tracer.rec(Stage::Order, EventKind::Decided, slot, r);
+            }
+        }
         hook.after_round(r, replica);
         stats.rounds += 1;
         stats.last_round = r;
         meters.rounds.inc();
         meters.round_us.record(started.elapsed().as_micros() as u64);
+        meters.round_now.set(r);
+        meters.committed_now.set(replica.committed_slots() as u64);
+        meters.applied_now.set(replica.applied_len() as u64);
+        meters.queued_now.set(replica.queued() as u64);
 
         // --- laggard probe: stalled while peers work slots far ahead ⇒
         // the gap outran the claim horizon; ask for a snapshot ---
@@ -885,6 +1027,12 @@ where
             && peer_slot_high >= committed_now + SNAPSHOT_GAP_MIN
         {
             stats.snapshot_requests += 1;
+            tracer.rec(
+                Stage::Transfer,
+                EventKind::SnapshotRequested,
+                committed_now,
+                peer_slot_high,
+            );
             let frame = SyncFrame::<SmrMsg<Batch<V>>>::SnapshotRequest {
                 sender: me,
                 have_slot: committed_now,

@@ -1,0 +1,203 @@
+//! Shared per-peer health the order loop publishes and admin reads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NEVER: u64 = u64::MAX;
+
+#[derive(Default)]
+struct PeerCell {
+    last_heard_round: AtomicU64,
+    ahead_slot: AtomicU64,
+    written_off: AtomicBool,
+    heard: AtomicBool,
+}
+
+/// One peer's health as seen by this node, snapshotted for display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerRow {
+    /// The peer's process id.
+    pub peer: u64,
+    /// The highest round a frame from this peer was seen in
+    /// (`u64::MAX` rendered as `null` when never heard).
+    pub last_heard_round: u64,
+    /// `current_round - last_heard_round` (0 when never heard — the
+    /// peer is fully unknown, not lagging).
+    pub lag_rounds: u64,
+    /// The highest committed-slot watermark this peer has advertised.
+    pub ahead_slot: u64,
+    /// Whether the liveness rule has written the peer off.
+    pub written_off: bool,
+}
+
+impl PeerRow {
+    /// One JSON object, no trailing newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let last = if self.last_heard_round == NEVER {
+            "null".to_string()
+        } else {
+            self.last_heard_round.to_string()
+        };
+        format!(
+            "{{\"peer\":{},\"last_heard_round\":{},\"lag_rounds\":{},\"ahead_slot\":{},\"written_off\":{}}}",
+            self.peer, last, self.lag_rounds, self.ahead_slot, self.written_off
+        )
+    }
+}
+
+/// Lock-free per-peer health table shared between the order loop
+/// (writer) and the admin endpoint (reader). Clones share the table.
+#[derive(Clone, Default)]
+pub struct PeerTable {
+    cells: Arc<Vec<PeerCell>>,
+}
+
+impl std::fmt::Debug for PeerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerTable")
+            .field("peers", &self.cells.len())
+            .finish()
+    }
+}
+
+impl PeerTable {
+    /// A table for `n` peers (process ids `0..n`), all unheard.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cell = PeerCell::default();
+            cell.last_heard_round.store(NEVER, Ordering::Relaxed);
+            cells.push(cell);
+        }
+        PeerTable {
+            cells: Arc::new(cells),
+        }
+    }
+
+    /// Number of peers tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table tracks no peers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Records that a frame from `peer` was seen in `round`; clears the
+    /// written-off flag (hearing a peer re-enrolls it).
+    pub fn heard(&self, peer: usize, round: u64) {
+        if let Some(cell) = self.cells.get(peer) {
+            if cell.heard.load(Ordering::Relaxed) {
+                cell.last_heard_round.fetch_max(round, Ordering::Relaxed);
+            } else {
+                cell.last_heard_round.store(round, Ordering::Relaxed);
+                cell.heard.store(true, Ordering::Relaxed);
+            }
+            cell.written_off.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Records that `peer` advertised committed slots through `slot`.
+    pub fn ahead(&self, peer: usize, slot: u64) {
+        if let Some(cell) = self.cells.get(peer) {
+            cell.ahead_slot.fetch_max(slot, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `peer` written off by the liveness rule.
+    pub fn write_off(&self, peer: usize) {
+        if let Some(cell) = self.cells.get(peer) {
+            cell.written_off.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `peer` is currently written off.
+    #[must_use]
+    pub fn is_written_off(&self, peer: usize) -> bool {
+        self.cells
+            .get(peer)
+            .is_some_and(|c| c.written_off.load(Ordering::Relaxed))
+    }
+
+    /// Snapshots every peer against `current_round`, ordered by id.
+    #[must_use]
+    pub fn rows(&self, current_round: u64) -> Vec<PeerRow> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(peer, cell)| {
+                let last = cell.last_heard_round.load(Ordering::Relaxed);
+                let heard = cell.heard.load(Ordering::Relaxed);
+                PeerRow {
+                    peer: peer as u64,
+                    last_heard_round: if heard { last } else { NEVER },
+                    lag_rounds: if heard {
+                        current_round.saturating_sub(last)
+                    } else {
+                        0
+                    },
+                    ahead_slot: cell.ahead_slot.load(Ordering::Relaxed),
+                    written_off: cell.written_off.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_last_heard_and_lag() {
+        let table = PeerTable::new(3);
+        table.heard(1, 10);
+        table.heard(1, 14);
+        table.heard(1, 12); // out-of-order frame must not regress
+        table.ahead(1, 40);
+        let rows = table.rows(20);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].last_heard_round, 14);
+        assert_eq!(rows[1].lag_rounds, 6);
+        assert_eq!(rows[1].ahead_slot, 40);
+        assert!(!rows[1].written_off);
+        // Peer 0 was never heard: no lag, null last round.
+        assert_eq!(rows[0].last_heard_round, u64::MAX);
+        assert_eq!(rows[0].lag_rounds, 0);
+    }
+
+    #[test]
+    fn write_off_and_re_enroll() {
+        let table = PeerTable::new(2);
+        table.heard(0, 5);
+        table.write_off(0);
+        assert!(table.is_written_off(0));
+        assert!(table.rows(30)[0].written_off);
+        table.heard(0, 31); // speaking again re-enrolls
+        assert!(!table.is_written_off(0));
+    }
+
+    #[test]
+    fn out_of_range_peer_is_ignored() {
+        let table = PeerTable::new(1);
+        table.heard(9, 1);
+        table.write_off(9);
+        table.ahead(9, 1);
+        assert!(!table.is_written_off(9));
+        assert_eq!(table.rows(1).len(), 1);
+    }
+
+    #[test]
+    fn row_json_renders_null_for_unheard() {
+        let table = PeerTable::new(1);
+        assert_eq!(
+            table.rows(5)[0].to_json(),
+            "{\"peer\":0,\"last_heard_round\":null,\"lag_rounds\":0,\"ahead_slot\":0,\"written_off\":false}"
+        );
+    }
+}
