@@ -67,6 +67,7 @@
 mod appdriver;
 mod driver;
 mod hist;
+mod mondriver;
 mod netdriver;
 mod results;
 mod storedriver;
@@ -78,6 +79,7 @@ pub use appdriver::{
 };
 pub use driver::{run_load, LoadProfile, LoadReport, WorkloadKind};
 pub use hist::LatencyHistogram;
+pub use mondriver::{run_mon_load, MonLoadProfile, MonLoadReport};
 pub use netdriver::{run_net_load, NetLoadProfile, NetLoadReport, NetTransportKind};
 pub use results::{AppRow, BenchRow, JsonRow, NetRow, ResultsWriter, StoreRow};
 pub use storedriver::{run_store_load, SegmentStats, StoreLoadProfile, StoreLoadReport, StoreMode};

@@ -1,0 +1,374 @@
+//! The cluster-monitoring load driver: experiment **E14**'s engine.
+//!
+//! [`run_mon_load`] runs a durable cluster like
+//! [`run_store_load`](crate::run_store_load) — one event-loop node
+//! thread per replica over an in-process channel mesh, each wrapping a
+//! real [`FileWal`](gencon_store::FileWal) — but gives **every** node
+//! its own metrics registry, history sampler, state-hash cell and admin
+//! endpoint, then attaches a [`Monitor`](gencon_server::mon::Monitor)
+//! that polls the cluster exactly as the `gencon-mon` binary would.
+//!
+//! Mid-run the driver rehearses a node death: it flips the victim's
+//! admin endpoint offline (accepted connections are dropped — to the
+//! monitor the node is gone), waits for the watchdog's `unreachable`
+//! alert, brings the endpoint back, and waits for
+//! `straggler-recovered`. The final report then proves the other half
+//! of the tentpole: every node published state hashes at the same
+//! snapshot-boundary applied counts, and they agree at the max common
+//! one — the cluster is demonstrably *not* diverging, with the evidence
+//! in one JSON object.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gencon_app::{Folder, LogApp};
+use gencon_core::Params;
+use gencon_metrics::{HistoryRing, Registry};
+use gencon_net::{ChannelTransport, Transport};
+use gencon_server::mon::{Alert, AlertKind, ClusterReport, MonConfig, Monitor};
+use gencon_server::{
+    run_smr_node_observed, spawn_admin_gated, AdminState, DurableConfig, DurableNode, NodeHook,
+    NodeStats, ServerConfig,
+};
+use gencon_smr::{Batch, BatchingReplica};
+use gencon_store::{FileWal, WalConfig};
+use gencon_trace::{FlightRecorder, HashCell, PeerTable};
+
+use crate::workload::{ClosedLoop, Workload};
+
+/// One monitored-cluster run configuration.
+#[derive(Clone, Debug)]
+pub struct MonLoadProfile {
+    /// Clients attached to each replica (closed loop).
+    pub clients_per_replica: u16,
+    /// Outstanding commands per client.
+    pub outstanding: u32,
+    /// Max commands per proposed batch.
+    pub batch_cap: usize,
+    /// Slot pipelining window.
+    pub window: usize,
+    /// Commands each replica must ack before reporting done.
+    pub commit_target: usize,
+    /// Hard stop, in rounds per node.
+    pub max_rounds: u64,
+    /// Group-commit window for each node's WAL.
+    pub fsync_interval: Duration,
+    /// Snapshot + hash-publication period in slots.
+    pub snapshot_every: u64,
+    /// Monitor poll cadence (also the history sampler interval).
+    pub poll_interval: Duration,
+    /// Node whose admin endpoint the driver takes down mid-run.
+    pub kill_node: usize,
+    /// Healthy polls before the endpoint goes dark.
+    pub polls_before_kill: u64,
+    /// Cap on polls spent waiting for each watchdog transition.
+    pub max_wait_polls: u64,
+    /// Data-dir root (a fresh subdir per node); a process-unique temp
+    /// dir when `None`.
+    pub data_root: Option<PathBuf>,
+}
+
+impl MonLoadProfile {
+    /// A sensible default for in-process smoke runs.
+    #[must_use]
+    pub fn new(commit_target: usize) -> Self {
+        MonLoadProfile {
+            clients_per_replica: 4,
+            outstanding: 4,
+            batch_cap: 16,
+            window: 4,
+            commit_target,
+            max_rounds: 200_000,
+            fsync_interval: Duration::from_millis(5),
+            snapshot_every: 32,
+            poll_interval: Duration::from_millis(100),
+            kill_node: 1,
+            polls_before_kill: 2,
+            max_wait_polls: 100,
+            data_root: None,
+        }
+    }
+}
+
+/// What one [`run_mon_load`] execution produced.
+#[derive(Clone, Debug)]
+pub struct MonLoadReport {
+    /// Every alert the watchdog raised, in firing order.
+    pub alerts: Vec<Alert>,
+    /// The last cluster report, taken after every node finished.
+    pub final_report: ClusterReport,
+    /// Polls the monitor ran.
+    pub polls: u64,
+    /// Whether every replica acked at least the commit target.
+    pub all_reached_target: bool,
+    /// Whether the final report found state hashes agreeing at a common
+    /// applied count across all nodes.
+    pub hashes_agree: bool,
+    /// Per-node event-loop statistics.
+    pub stats: Vec<NodeStats>,
+}
+
+impl MonLoadReport {
+    /// Whether the kill choreography played out: `unreachable` fired
+    /// for the victim, then `straggler-recovered` after it came back.
+    #[must_use]
+    pub fn saw_kill_and_recovery(&self, victim: usize) -> bool {
+        let died = self
+            .alerts
+            .iter()
+            .position(|a| a.kind == AlertKind::Unreachable && a.node == Some(victim));
+        let back = self
+            .alerts
+            .iter()
+            .position(|a| a.kind == AlertKind::StragglerRecovered && a.node == Some(victim));
+        matches!((died, back), (Some(d), Some(b)) if d < b)
+    }
+}
+
+/// Closed-loop workload + done-counting hook (the gate makes "acked"
+/// mean durably acked, as in `run_store_load`).
+struct MonLoadHook {
+    workload: ClosedLoop,
+    gate: Arc<AtomicU64>,
+    target: usize,
+    n: usize,
+    marked_done: bool,
+    done: Arc<AtomicUsize>,
+}
+
+impl NodeHook<u64> for MonLoadHook {
+    fn before_round(&mut self, round: u64, replica: &mut BatchingReplica<u64>) {
+        let arrivals =
+            self.workload
+                .arrivals_from(round, replica.applied_base(), replica.applied());
+        if !arrivals.is_empty() {
+            replica.submit_all(arrivals);
+        }
+    }
+
+    fn should_stop(&mut self, replica: &BatchingReplica<u64>) -> bool {
+        let acked = (self.gate.load(Ordering::SeqCst) as usize).min(replica.applied_len());
+        if !self.marked_done && acked >= self.target {
+            self.marked_done = true;
+            self.done.fetch_add(1, Ordering::SeqCst);
+        }
+        self.done.load(Ordering::SeqCst) >= self.n
+    }
+}
+
+/// Runs a durable cluster with per-node admin endpoints and a live
+/// monitor, rehearsing an admin-endpoint death mid-run (see the module
+/// docs).
+///
+/// # Panics
+///
+/// Panics if a data dir or admin endpoint cannot be created, or a node
+/// thread dies.
+#[allow(clippy::too_many_lines)]
+pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> MonLoadReport {
+    let n = params.cfg.n();
+    assert!(profile.kill_node < n, "kill_node out of range");
+    let done = Arc::new(AtomicUsize::new(0));
+    let cfg = ServerConfig {
+        initial_round_timeout: Duration::from_millis(30),
+        min_round_timeout: Duration::from_millis(1),
+        max_round_timeout: Duration::from_millis(500),
+        max_rounds: profile.max_rounds,
+        stop_after_commands: None,
+    };
+    let data_root = profile.data_root.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("gencon-mon-load-{}", std::process::id()))
+    });
+
+    // Every node gets the full observability kit: registry, sampler,
+    // hash cell, peer table, and a gated admin endpoint on its own port.
+    let mut addrs = Vec::with_capacity(n);
+    let mut offline = Vec::with_capacity(n);
+    let mut kits = Vec::with_capacity(n);
+    for node_id in 0..n {
+        let registry = Registry::new();
+        let peers = PeerTable::new(n);
+        let hashes = HashCell::new();
+        let history = HistoryRing::new(64);
+        history.spawn_sampler(registry.clone(), profile.poll_interval);
+        let gate = Arc::new(AtomicBool::new(false));
+        let state = AdminState {
+            node_id,
+            registry: registry.clone(),
+            recorder: FlightRecorder::new(64),
+            peers: peers.clone(),
+            history,
+            hashes: hashes.clone(),
+            io_timeout: Duration::from_secs(2),
+        };
+        let addr = spawn_admin_gated("127.0.0.1:0".parse().expect("addr"), state, gate.clone())
+            .expect("bind admin endpoint");
+        addrs.push(addr);
+        offline.push(gate);
+        kits.push((registry, peers, hashes));
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, tr) in ChannelTransport::mesh(n).into_iter().enumerate() {
+        let params = params.clone();
+        let profile = profile.clone();
+        let dir = data_root.join(format!("node{i}"));
+        let (registry, peers, hashes) = kits[i].clone();
+        let gate = Arc::new(AtomicU64::new(0));
+        let hook = MonLoadHook {
+            workload: ClosedLoop::new(i as u16, profile.clients_per_replica, profile.outstanding),
+            gate: Arc::clone(&gate),
+            target: profile.commit_target,
+            n,
+            marked_done: false,
+            done: Arc::clone(&done),
+        };
+        handles.push(std::thread::spawn(move || {
+            let replica = BatchingReplica::new(tr.local(), params, profile.batch_cap, usize::MAX)
+                .expect("validated params")
+                .with_window(profile.window);
+            let (wal, _recovery) = FileWal::open(
+                &dir,
+                WalConfig {
+                    fsync_interval: profile.fsync_interval,
+                    ..WalConfig::default()
+                },
+            )
+            .expect("open wal");
+            let node = DurableNode::new(
+                wal,
+                DurableConfig {
+                    snapshot_every: profile.snapshot_every,
+                    snapshot_tail: 32,
+                    durable_ack: true,
+                },
+                Folder::<LogApp<u64>>::default(),
+                hook,
+            )
+            .with_gate(gate)
+            .with_metrics(&registry)
+            .with_hash_cell(hashes);
+            let (replica, _t, stats, _node) =
+                run_smr_node_observed(replica, tr, cfg, node, Some(&registry), None, Some(&peers));
+            (replica, stats)
+        }));
+    }
+
+    // The monitor runs in this thread, exactly as gencon-mon would:
+    // healthy polls, then the kill choreography, then drain to the end.
+    let mut mon = Monitor::new(
+        addrs,
+        MonConfig {
+            interval: profile.poll_interval,
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(1_000),
+            stall_polls: 5,
+            // In-process nodes march in lockstep; only the rehearsed
+            // death should alert, not scheduling jitter.
+            straggler_slots: u64::MAX,
+            straggler_rounds: u64::MAX,
+        },
+    );
+    let mut alerts: Vec<Alert> = Vec::new();
+    let poll = |mon: &mut Monitor, alerts: &mut Vec<Alert>| {
+        let report = mon.poll_once();
+        alerts.extend(report.alerts.iter().cloned());
+        std::thread::sleep(profile.poll_interval);
+        report
+    };
+
+    for _ in 0..profile.polls_before_kill {
+        poll(&mut mon, &mut alerts);
+    }
+    offline[profile.kill_node].store(true, Ordering::Relaxed);
+    let mut waited = 0;
+    while waited < profile.max_wait_polls
+        && !alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::Unreachable && a.node == Some(profile.kill_node))
+    {
+        poll(&mut mon, &mut alerts);
+        waited += 1;
+    }
+    offline[profile.kill_node].store(false, Ordering::Relaxed);
+    waited = 0;
+    while waited < profile.max_wait_polls
+        && !alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::StragglerRecovered && a.node == Some(profile.kill_node))
+    {
+        poll(&mut mon, &mut alerts);
+        waited += 1;
+    }
+    while handles.iter().any(|h| !h.is_finished()) {
+        poll(&mut mon, &mut alerts);
+    }
+
+    let results: Vec<(BatchingReplica<u64>, NodeStats)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+
+    // One last poll against the quiesced cluster: gauges and hash cells
+    // hold their final values, so this is the run's verdict.
+    let final_report = poll(&mut mon, &mut alerts);
+    let hashes_agree = final_report
+        .agreement
+        .as_ref()
+        .is_some_and(|a| a.agreed && a.hashes.len() == n);
+    let all_reached_target = results
+        .iter()
+        .all(|(rep, _)| rep.applied_len() >= profile.commit_target);
+
+    if profile.data_root.is_none() {
+        std::fs::remove_dir_all(&data_root).ok();
+    }
+    MonLoadReport {
+        alerts,
+        polls: final_report.poll,
+        final_report,
+        all_reached_target,
+        hashes_agree,
+        stats: results.into_iter().map(|(_, s)| s).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gencon_algos::pbft;
+
+    #[test]
+    fn monitored_cluster_sees_kill_recovery_and_hash_agreement() {
+        let spec = pbft::<Batch<u64>>(4, 1).unwrap();
+        let mut profile = MonLoadProfile::new(240);
+        profile.poll_interval = Duration::from_millis(50);
+        let report = run_mon_load(&spec.params, &profile);
+
+        assert!(report.all_reached_target, "stats: {:?}", report.stats);
+        assert!(
+            report.saw_kill_and_recovery(profile.kill_node),
+            "alerts: {:?}",
+            report.alerts
+        );
+        assert!(
+            report.hashes_agree,
+            "final agreement: {:?}",
+            report.final_report.agreement
+        );
+        // No divergence anywhere: honest replicas fold identical states.
+        assert!(
+            report
+                .alerts
+                .iter()
+                .all(|a| a.kind != AlertKind::Divergence),
+            "alerts: {:?}",
+            report.alerts
+        );
+        // The final report serializes with the agreement evidence.
+        let json = report.final_report.to_json();
+        assert!(json.contains("\"agreed\":true"), "{json}");
+    }
+}

@@ -356,6 +356,261 @@ impl Registry {
     pub fn dump_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         std::fs::write(path, self.dump_json())
     }
+
+    /// Every counter's `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Every gauge's `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out: Vec<(String, u64)> = inner
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Milliseconds since the Unix epoch (snapshot timestamps).
+#[must_use]
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// One timestamped snapshot of every counter and gauge in a registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistorySnapshot {
+    /// Milliseconds since the Unix epoch at sampling time.
+    pub ts_ms: u64,
+    /// Counter `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl HistorySnapshot {
+    /// One JSON object, no trailing newline:
+    /// `{"ts_ms":…,"counters":{…},"gauges":{…}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let render = |pairs: &[(String, u64)]| {
+            let body: Vec<String> = pairs.iter().map(|(n, v)| format!("\"{n}\":{v}")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        format!(
+            "{{\"ts_ms\":{},\"counters\":{},\"gauges\":{}}}",
+            self.ts_ms,
+            render(&self.counters),
+            render(&self.gauges),
+        )
+    }
+
+    fn value(pairs: &[(String, u64)], name: &str) -> Option<u64> {
+        pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Per-second rates derived from the deltas between the two newest
+/// history snapshots — *interval* rates, not cumulative averages.
+#[derive(Clone, Debug)]
+pub struct RateReport {
+    /// Wall-clock span between the two snapshots.
+    pub interval_ms: u64,
+    /// Commands applied per second (delta of the `order.applied`
+    /// watermark gauge — present on any observed node, gateway or not).
+    pub cmds_per_sec: f64,
+    /// WAL fsyncs per second (delta of the `persist.fsyncs` counter; 0
+    /// on in-memory nodes).
+    pub fsyncs_per_sec: f64,
+    /// Consensus rounds per second (delta of the `order.rounds` counter).
+    pub rounds_per_sec: f64,
+    /// Every counter's interval rate, sorted by name.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl RateReport {
+    /// One JSON object, no trailing newline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, r)| format!("\"{n}\":{r:.3}"))
+            .collect();
+        format!(
+            "{{\"interval_ms\":{},\"cmds_per_sec\":{:.3},\"fsyncs_per_sec\":{:.3},\
+             \"rounds_per_sec\":{:.3},\"counters\":{{{}}}}}",
+            self.interval_ms,
+            self.cmds_per_sec,
+            self.fsyncs_per_sec,
+            self.rounds_per_sec,
+            counters.join(","),
+        )
+    }
+}
+
+/// The interval delta of a monotone value, tolerating resets: a value
+/// that went *down* is a restarted/reset source, counted from zero.
+fn reset_aware_delta(prev: u64, cur: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else {
+        cur
+    }
+}
+
+struct HistoryInner {
+    cap: usize,
+    buf: std::collections::VecDeque<HistorySnapshot>,
+}
+
+/// A fixed-capacity ring of timestamped registry snapshots — the
+/// in-node metrics history behind the admin `history` and `rates`
+/// commands. A sampler thread ([`HistoryRing::spawn_sampler`]) pushes a
+/// snapshot every interval; the ring wraps by dropping the oldest.
+/// Clones share the ring (sampler writes, admin reads).
+#[derive(Clone)]
+pub struct HistoryRing {
+    inner: Arc<Mutex<HistoryInner>>,
+}
+
+impl std::fmt::Debug for HistoryRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("history ring poisoned");
+        f.debug_struct("HistoryRing")
+            .field("cap", &inner.cap)
+            .field("len", &inner.buf.len())
+            .finish()
+    }
+}
+
+impl HistoryRing {
+    /// A ring holding at most `capacity` snapshots (min 2: rates need a
+    /// delta).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        HistoryRing {
+            inner: Arc::new(Mutex::new(HistoryInner {
+                cap: capacity.max(2),
+                buf: std::collections::VecDeque::new(),
+            })),
+        }
+    }
+
+    /// The ring's capacity in snapshots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("history ring poisoned").cap
+    }
+
+    /// Snapshots currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("history ring poisoned").buf.len()
+    }
+
+    /// Whether no snapshot has been taken yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots `registry` now (wall-clock timestamp).
+    pub fn sample(&self, registry: &Registry) {
+        self.sample_at(registry, now_ms());
+    }
+
+    /// Snapshots `registry` with an explicit timestamp (tests pin the
+    /// clock; rates divide by the timestamp delta).
+    pub fn sample_at(&self, registry: &Registry, ts_ms: u64) {
+        let snap = HistorySnapshot {
+            ts_ms,
+            counters: registry.counter_values(),
+            gauges: registry.gauge_values(),
+        };
+        let mut inner = self.inner.lock().expect("history ring poisoned");
+        if inner.buf.len() == inner.cap {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(snap);
+    }
+
+    /// The newest `n` snapshots, oldest first.
+    #[must_use]
+    pub fn tail(&self, n: usize) -> Vec<HistorySnapshot> {
+        let inner = self.inner.lock().expect("history ring poisoned");
+        let skip = inner.buf.len().saturating_sub(n);
+        inner.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Rates derived from the two newest snapshots; `None` until two
+    /// samples exist or while their timestamps coincide.
+    #[must_use]
+    pub fn rates(&self) -> Option<RateReport> {
+        let (prev, cur) = {
+            let inner = self.inner.lock().expect("history ring poisoned");
+            let len = inner.buf.len();
+            if len < 2 {
+                return None;
+            }
+            (inner.buf[len - 2].clone(), inner.buf[len - 1].clone())
+        };
+        let interval_ms = cur.ts_ms.saturating_sub(prev.ts_ms);
+        if interval_ms == 0 {
+            return None;
+        }
+        let secs = interval_ms as f64 / 1e3;
+        let counter_rate = |name: &str| {
+            let p = HistorySnapshot::value(&prev.counters, name).unwrap_or(0);
+            let c = HistorySnapshot::value(&cur.counters, name).unwrap_or(0);
+            reset_aware_delta(p, c) as f64 / secs
+        };
+        let gauge_rate = |name: &str| {
+            let p = HistorySnapshot::value(&prev.gauges, name).unwrap_or(0);
+            let c = HistorySnapshot::value(&cur.gauges, name).unwrap_or(0);
+            reset_aware_delta(p, c) as f64 / secs
+        };
+        let counters: Vec<(String, f64)> = cur
+            .counters
+            .iter()
+            .map(|(name, val)| {
+                let p = HistorySnapshot::value(&prev.counters, name).unwrap_or(0);
+                (name.clone(), reset_aware_delta(p, *val) as f64 / secs)
+            })
+            .collect();
+        Some(RateReport {
+            interval_ms,
+            cmds_per_sec: gauge_rate("order.applied"),
+            fsyncs_per_sec: counter_rate("persist.fsyncs"),
+            rounds_per_sec: counter_rate("order.rounds"),
+            counters,
+        })
+    }
+
+    /// Spawns a detached sampler thread snapshotting `registry` into
+    /// this ring every `interval`, for the life of the process.
+    pub fn spawn_sampler(&self, registry: Registry, interval: std::time::Duration) {
+        let ring = self.clone();
+        std::thread::spawn(move || loop {
+            ring.sample(&registry);
+            std::thread::sleep(interval);
+        });
+    }
 }
 
 #[cfg(unix)]
@@ -363,11 +618,20 @@ mod sigusr1 {
     use super::Registry;
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
 
     /// `SIGUSR1` on Linux and most Unices.
     const SIGUSR1: i32 = 10;
 
     static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// A registered signal callback.
+    type Callback = Box<dyn Fn() + Send>;
+
+    /// Everything to run when the signal arrives. The watcher thread
+    /// invokes them off the signal path, so callbacks may allocate and
+    /// do I/O freely.
+    static CALLBACKS: OnceLock<Mutex<Vec<Callback>>> = OnceLock::new();
 
     extern "C" fn on_sigusr1(_sig: i32) {
         // Async-signal-safe: a single atomic store, nothing else.
@@ -378,26 +642,50 @@ mod sigusr1 {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
 
-    /// Installs a `SIGUSR1` handler that requests a metrics dump; a
-    /// detached watcher thread writes `registry.dump_json()` to `path`
-    /// each time the signal arrives. Lives for the process lifetime.
-    pub fn install_sigusr1_dump(registry: Registry, path: PathBuf) {
-        unsafe {
-            signal(SIGUSR1, on_sigusr1);
-        }
-        std::thread::spawn(move || loop {
-            std::thread::sleep(std::time::Duration::from_millis(200));
-            if DUMP_REQUESTED.swap(false, Ordering::Relaxed) {
-                if let Err(e) = registry.dump_to_file(&path) {
-                    eprintln!("gencon-metrics: dump to {} failed: {e}", path.display());
+    /// Registers `callback` to run (on a watcher thread, not in signal
+    /// context) every time the process receives `SIGUSR1`. The first
+    /// call installs the handler and spawns the watcher; both live for
+    /// the process lifetime. Callbacks run in registration order.
+    pub fn install_sigusr1(callback: impl Fn() + Send + 'static) {
+        static INSTALL: std::sync::Once = std::sync::Once::new();
+        CALLBACKS
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .expect("sigusr1 callbacks poisoned")
+            .push(Box::new(callback));
+        INSTALL.call_once(|| {
+            unsafe {
+                signal(SIGUSR1, on_sigusr1);
+            }
+            std::thread::spawn(|| loop {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if DUMP_REQUESTED.swap(false, Ordering::Relaxed) {
+                    let callbacks = CALLBACKS
+                        .get()
+                        .expect("watcher runs after init")
+                        .lock()
+                        .expect("sigusr1 callbacks poisoned");
+                    for cb in callbacks.iter() {
+                        cb();
+                    }
                 }
+            });
+        });
+    }
+
+    /// Installs a `SIGUSR1` callback that writes `registry.dump_json()`
+    /// to `path` each time the signal arrives (see [`install_sigusr1`]).
+    pub fn install_sigusr1_dump(registry: Registry, path: PathBuf) {
+        install_sigusr1(move || {
+            if let Err(e) = registry.dump_to_file(&path) {
+                eprintln!("gencon-metrics: dump to {} failed: {e}", path.display());
             }
         });
     }
 }
 
 #[cfg(unix)]
-pub use sigusr1::install_sigusr1_dump;
+pub use sigusr1::{install_sigusr1, install_sigusr1_dump};
 
 #[cfg(test)]
 mod tests {
@@ -476,6 +764,103 @@ mod tests {
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back, r.dump_json());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn history_ring_wraps_dropping_the_oldest() {
+        let r = Registry::new();
+        let c = r.counter("apply.applied");
+        let ring = HistoryRing::new(3);
+        assert!(ring.is_empty());
+        for i in 1..=5u64 {
+            c.inc();
+            ring.sample_at(&r, 1_000 * i);
+        }
+        assert_eq!(ring.len(), 3, "capacity bounds the ring");
+        let snaps = ring.tail(10);
+        assert_eq!(snaps.len(), 3);
+        // The two oldest samples (ts 1000, 2000) were dropped.
+        assert_eq!(snaps[0].ts_ms, 3_000);
+        assert_eq!(snaps[2].ts_ms, 5_000);
+        assert_eq!(
+            HistorySnapshot::value(&snaps[2].counters, "apply.applied"),
+            Some(5)
+        );
+        // tail(n) returns only the newest n, oldest first.
+        let last_two = ring.tail(2);
+        assert_eq!(last_two[0].ts_ms, 4_000);
+        assert_eq!(last_two[1].ts_ms, 5_000);
+        let json = snaps[2].to_json();
+        assert!(json.contains("\"ts_ms\":5000"), "{json}");
+        assert!(json.contains("\"apply.applied\":5"), "{json}");
+    }
+
+    #[test]
+    fn rates_derive_from_interval_deltas_not_totals() {
+        let r = Registry::new();
+        let rounds = r.counter("order.rounds");
+        let fsyncs = r.counter("persist.fsyncs");
+        let applied = r.gauge("order.applied");
+        let ring = HistoryRing::new(8);
+        assert!(ring.rates().is_none(), "one sample has no rate");
+        rounds.add(1_000);
+        fsyncs.add(100);
+        applied.set(10_000);
+        ring.sample_at(&r, 1_000);
+        assert!(ring.rates().is_none(), "still only one sample");
+        // Half a second later: +50 rounds, +5 fsyncs, +200 applied.
+        rounds.add(50);
+        fsyncs.add(5);
+        applied.set(10_200);
+        ring.sample_at(&r, 1_500);
+        let rates = ring.rates().expect("two samples");
+        assert_eq!(rates.interval_ms, 500);
+        assert!((rates.rounds_per_sec - 100.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates.fsyncs_per_sec - 10.0).abs() < 1e-9, "{rates:?}");
+        assert!(
+            (rates.cmds_per_sec - 400.0).abs() < 1e-9,
+            "interval delta, not the cumulative total: {rates:?}"
+        );
+        let json = rates.to_json();
+        assert!(json.contains("\"interval_ms\":500"), "{json}");
+        assert!(json.contains("\"cmds_per_sec\":400.000"), "{json}");
+        assert!(json.contains("\"order.rounds\":100.000"), "{json}");
+    }
+
+    #[test]
+    fn rates_survive_counter_resets() {
+        // A restarted source's counter goes backwards; the delta counts
+        // from zero instead of underflowing into an absurd rate.
+        let r1 = Registry::new();
+        r1.counter("order.rounds").add(5_000);
+        let ring = HistoryRing::new(4);
+        ring.sample_at(&r1, 1_000);
+        let r2 = Registry::new();
+        r2.counter("order.rounds").add(30);
+        ring.sample_at(&r2, 2_000);
+        let rates = ring.rates().expect("two samples");
+        assert!(
+            (rates.rounds_per_sec - 30.0).abs() < 1e-9,
+            "reset counts from zero: {rates:?}"
+        );
+        // Coincident timestamps produce no rate rather than dividing by 0.
+        ring.sample_at(&r2, 2_000);
+        assert!(ring.rates().is_none());
+    }
+
+    #[test]
+    fn sampler_thread_fills_the_ring() {
+        let r = Registry::new();
+        r.counter("order.rounds").inc();
+        let ring = HistoryRing::new(16);
+        ring.spawn_sampler(r.clone(), std::time::Duration::from_millis(5));
+        for _ in 0..200 {
+            if ring.len() >= 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(ring.len() >= 2, "sampler produced snapshots");
     }
 
     #[test]

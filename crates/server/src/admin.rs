@@ -5,33 +5,50 @@
 //! — trivially scriptable from `nc`, python, or the CI smoke jobs with
 //! no framing to parse. Commands:
 //!
-//! | command     | response                                              |
-//! |-------------|-------------------------------------------------------|
-//! | `metrics`   | the metrics registry as one flat JSON object          |
-//! | `status`    | one JSON object: node id, round, watermarks, live     |
-//! |             | queue depths and the per-peer lag table               |
-//! | `trace [n]` | the last `n` (default 256) flight-recorder events,    |
-//! |             | one JSON line each, oldest first                      |
-//! | `spans [n]` | per-slot latency breakdowns assembled from the last   |
-//! |             | `n` (default 4096) events, one JSON line per slot     |
+//! | command       | response                                            |
+//! |---------------|-----------------------------------------------------|
+//! | `metrics`     | the metrics registry as one flat JSON object        |
+//! | `status`      | one JSON object: node id, round, watermarks, live   |
+//! |               | queue depths and the per-peer lag table             |
+//! | `trace [n]`   | the last `n` (default 256) flight-recorder events,  |
+//! |               | one JSON line each, oldest first                    |
+//! | `spans [n]`   | per-slot latency breakdowns assembled from the last |
+//! |               | `n` (default 4096) events, one JSON line per slot   |
+//! | `history [n]` | the last `n` (default 32) timestamped registry      |
+//! |               | snapshots from the history ring, one JSON line each |
+//! | `rates`       | derived rates (cmds/fsyncs/rounds per second) over  |
+//! |               | the newest history interval                         |
+//! | `hash`        | the node's published `(applied count, state hash)`  |
+//! |               | pairs — the cross-replica divergence audit record   |
 //!
 //! The endpoint is read-only and runs on its own thread; every answer is
 //! assembled from lock-free snapshots (metric handles, the flight
-//! recorder's seqlock cells, the peer table's atomics), so querying a
-//! node under load never blocks its pipeline. Malformed input gets an
-//! `{"error":…}` line listing the commands.
+//! recorder's seqlock cells, the peer table's atomics, the hash cell),
+//! so querying a node under load never blocks its pipeline. Malformed
+//! input gets an `{"error":…}` line listing the commands. Every accepted
+//! stream carries a read/write deadline ([`AdminState::io_timeout`]), so
+//! a client that connects and never sends a line cannot wedge the port.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use gencon_metrics::Registry;
-use gencon_trace::{assemble_spans, FlightRecorder, PeerTable};
+use gencon_metrics::{HistoryRing, Registry};
+use gencon_trace::{assemble_spans, hash_hex, FlightRecorder, HashCell, PeerTable};
 
 /// Default event count for `trace` without an argument.
 const TRACE_DEFAULT: usize = 256;
 
 /// Default event window for `spans` without an argument.
 const SPANS_DEFAULT: usize = 4096;
+
+/// Default snapshot count for `history` without an argument.
+const HISTORY_DEFAULT: usize = 32;
+
+/// Deadline applied to each accepted stream unless overridden.
+pub const ADMIN_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// The read-only handles the admin endpoint serves from, all shared
 /// with the running node.
@@ -46,6 +63,13 @@ pub struct AdminState {
     pub recorder: FlightRecorder,
     /// The per-peer health table backing `status`'s lag table.
     pub peers: PeerTable,
+    /// The sampled snapshot ring backing `history` and `rates`.
+    pub history: HistoryRing,
+    /// The published state-hash pairs backing `hash`.
+    pub hashes: HashCell,
+    /// Read/write deadline set on every accepted stream, so one silent
+    /// client cannot freeze the port.
+    pub io_timeout: Duration,
 }
 
 impl AdminState {
@@ -77,6 +101,28 @@ impl AdminState {
         )
     }
 
+    /// Renders the `hash` JSON object: the newest published pair plus
+    /// every retained pair, so a monitor can intersect nodes' lists and
+    /// compare at the highest *common* applied count.
+    #[must_use]
+    pub fn hash_json(&self) -> String {
+        let pair_json = |(applied, hash): &(u64, [u8; 32])| {
+            format!(
+                "{{\"applied\":{applied},\"state_hash\":\"{}\"}}",
+                hash_hex(hash)
+            )
+        };
+        let recent = self.hashes.recent();
+        let latest = recent.last().map_or_else(|| "null".to_string(), pair_json);
+        let pairs: Vec<String> = recent.iter().map(pair_json).collect();
+        format!(
+            "{{\"node_id\":{},\"published\":{},\"latest\":{latest},\"recent\":[{}]}}",
+            self.node_id,
+            self.hashes.published(),
+            pairs.join(","),
+        )
+    }
+
     /// Answers one already-parsed command line.
     fn respond(&self, line: &str) -> String {
         let mut words = line.split_whitespace();
@@ -103,38 +149,92 @@ impl AdminState {
                 }
                 out
             }
-            _ => "{\"error\":\"unknown command (metrics|status|trace [n]|spans [n])\"}".to_string(),
+            "history" => {
+                let snaps = self.history.tail(arg(HISTORY_DEFAULT));
+                let mut out = String::new();
+                for snap in &snaps {
+                    out.push_str(&snap.to_json());
+                    out.push('\n');
+                }
+                out
+            }
+            "rates" => self.history.rates().map_or_else(
+                || "{\"error\":\"need two history samples\"}".to_string(),
+                |report| report.to_json(),
+            ),
+            "hash" => self.hash_json(),
+            _ => "{\"error\":\"unknown command (metrics|status|trace [n]|spans [n]|\
+                  history [n]|rates|hash)\"}"
+                .to_string(),
         }
     }
 }
 
 /// Serves one connection: read a command line, write the answer, close.
+/// The stream gets the state's I/O deadline first, so a stalled client
+/// costs at most one timeout, never the port.
 fn handle(state: &AdminState, stream: TcpStream) {
+    state.registry.counter("admin.connections").add(1);
+    let timeout = if state.io_timeout.is_zero() {
+        None
+    } else {
+        Some(state.io_timeout)
+    };
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        state.registry.counter("admin.errors").add(1);
+        return;
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            state.registry.counter("admin.errors").add(1);
+            return;
+        }
     });
     let mut line = String::new();
-    if reader.read_line(&mut line).is_err() {
-        return;
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => {}
+        _ => {
+            state.registry.counter("admin.errors").add(1);
+            return;
+        }
     }
     let mut response = state.respond(line.trim());
     if !response.ends_with('\n') {
         response.push('\n');
     }
     let mut stream = stream;
-    let _ = stream.write_all(response.as_bytes());
+    if stream.write_all(response.as_bytes()).is_err() {
+        state.registry.counter("admin.errors").add(1);
+    }
 }
 
 /// Binds `addr` and serves admin queries on a background thread for the
 /// life of the process. Returns the bound address (pass port 0 to let
 /// the OS pick — tests do). Connections are served serially: this is a
-/// debug port, not a data plane.
+/// debug port, not a data plane, and per-stream deadlines bound how long
+/// any one client can hold it.
 pub fn spawn_admin(addr: SocketAddr, state: AdminState) -> std::io::Result<SocketAddr> {
+    spawn_admin_gated(addr, state, Arc::new(AtomicBool::new(false)))
+}
+
+/// [`spawn_admin`] with an offline switch: while `offline` is true,
+/// accepted connections are dropped without an answer — to a monitor the
+/// node looks dead. Load drivers flip this to rehearse a node crash and
+/// recovery without tearing down the in-process cluster.
+pub fn spawn_admin_gated(
+    addr: SocketAddr,
+    state: AdminState,
+    offline: Arc<AtomicBool>,
+) -> std::io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     std::thread::spawn(move || {
         for stream in listener.incoming().flatten() {
+            if offline.load(Ordering::Relaxed) {
+                drop(stream);
+                continue;
+            }
             handle(&state, stream);
         }
     });
@@ -162,6 +262,9 @@ mod tests {
             registry: Registry::new(),
             recorder: FlightRecorder::new(256),
             peers: PeerTable::new(3),
+            history: HistoryRing::new(16),
+            hashes: HashCell::new(),
+            io_timeout: ADMIN_IO_TIMEOUT,
         }
     }
 
@@ -189,6 +292,7 @@ mod tests {
         let rec = state.recorder.clone();
         rec.record(Stage::Order, EventKind::Proposed, 4, 9);
         rec.record(Stage::Order, EventKind::Decided, 4, 9);
+        let registry = state.registry.clone();
         let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
 
         let metrics = query(addr, "metrics");
@@ -209,5 +313,102 @@ mod tests {
 
         let err = query(addr, "bogus");
         assert!(err.contains("\"error\""), "{err}");
+
+        assert!(
+            registry.counter_value("admin.connections").unwrap_or(0) >= 5,
+            "served connections are counted"
+        );
+    }
+
+    #[test]
+    fn history_rates_and_hash_answer_over_tcp() {
+        let state = test_state();
+        let counter = state.registry.counter("order.rounds");
+        let applied = state.registry.gauge("order.applied");
+        counter.add(100);
+        applied.set(400);
+        state.history.sample_at(&state.registry, 1_000);
+        counter.add(50);
+        applied.set(700);
+        state.history.sample_at(&state.registry, 2_000);
+        state.hashes.publish(512, [0xaa; 32]);
+        state.hashes.publish(1024, [0xbb; 32]);
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+
+        let history = query(addr, "history");
+        assert_eq!(history.lines().count(), 2, "{history}");
+        assert!(history.contains("\"ts_ms\":1000"), "{history}");
+        assert!(history.contains("\"order.rounds\":150"), "{history}");
+
+        let one = query(addr, "history 1");
+        assert_eq!(one.lines().count(), 1, "{one}");
+        assert!(one.contains("\"ts_ms\":2000"), "{one}");
+
+        let rates = query(addr, "rates");
+        assert!(rates.contains("\"interval_ms\":1000"), "{rates}");
+        assert!(rates.contains("\"rounds_per_sec\":50.000"), "{rates}");
+        assert!(rates.contains("\"cmds_per_sec\":300.000"), "{rates}");
+
+        let hash = query(addr, "hash");
+        assert!(hash.contains("\"node_id\":2"), "{hash}");
+        assert!(hash.contains("\"published\":2"), "{hash}");
+        assert!(
+            hash.contains(&format!(
+                "\"applied\":1024,\"state_hash\":\"{}\"",
+                "bb".repeat(32)
+            )),
+            "{hash}"
+        );
+        assert!(hash.contains(&"aa".repeat(32)), "{hash}");
+    }
+
+    #[test]
+    fn rates_before_two_samples_is_an_error_line() {
+        let state = test_state();
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+        let rates = query(addr, "rates");
+        assert!(rates.contains("\"error\""), "{rates}");
+    }
+
+    #[test]
+    fn silent_client_times_out_without_wedging_the_port() {
+        let mut state = test_state();
+        state.io_timeout = Duration::from_millis(100);
+        state.registry.gauge("order.round").set(7);
+        let registry = state.registry.clone();
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+
+        // Connect and never send a line; the server must shed us...
+        let silent = TcpStream::connect(addr).unwrap();
+        // ...and answer the next client promptly.
+        let status = query(addr, "status");
+        assert!(status.contains("\"round\":7"), "{status}");
+        drop(silent);
+        assert!(
+            registry.counter_value("admin.errors").unwrap_or(0) >= 1,
+            "timed-out connection is counted as an error"
+        );
+    }
+
+    #[test]
+    fn offline_gate_drops_connections_then_recovers() {
+        use std::io::Read;
+        let state = test_state();
+        state.registry.gauge("order.round").set(3);
+        let offline = Arc::new(AtomicBool::new(true));
+        let addr =
+            spawn_admin_gated("127.0.0.1:0".parse().unwrap(), state, offline.clone()).unwrap();
+
+        // While offline: the connection is accepted then dropped with no
+        // answer — a monitor reads zero bytes.
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(b"status\n");
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.is_empty(), "offline node answered: {out}");
+
+        offline.store(false, Ordering::Relaxed);
+        let status = query(addr, "status");
+        assert!(status.contains("\"round\":3"), "{status}");
     }
 }

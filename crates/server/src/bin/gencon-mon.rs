@@ -1,0 +1,88 @@
+//! `gencon-mon` — the cluster-wide monitor and watchdog.
+//!
+//! ```bash
+//! gencon-mon --nodes 127.0.0.1:7900,127.0.0.1:7901,127.0.0.1:7902,127.0.0.1:7903 \
+//!   [--interval-ms 500] [--once | --polls N] [--out report.json] \
+//!   [--connect-timeout-ms 500] [--io-timeout-ms 1000] \
+//!   [--stall-polls 3] [--straggler-slots 2048] [--straggler-rounds 64]
+//! ```
+//!
+//! Given every node's **admin** address (`gencon-server --admin-addr`),
+//! the monitor polls `status`/`rates`/`hash` each interval, assembles
+//! one JSON cluster report per poll — round skew, per-node watermark
+//! waterfall (committed / applied / durable gate), derived rates, the
+//! peer-lag matrix, and state-hash agreement at the max applied count
+//! common to all reachable nodes — and runs the watchdog described in
+//! [`gencon_server::mon`]. Reports go to stdout (and `--out`, rewritten
+//! each poll so the file always holds the latest view); watchdog alerts
+//! go to stderr as structured JSON lines the moment they fire.
+//!
+//! `--once` renders a single report and exits with status 1 if any
+//! alert fired (the CI assertion mode); `--polls N` stops after N
+//! polls; the default runs until killed.
+
+use std::net::SocketAddr;
+use std::process::exit;
+use std::time::Duration;
+
+use gencon_server::cli::{flag_value, parse_flag, required_flag};
+use gencon_server::mon::{MonConfig, Monitor};
+
+const BIN: &str = "gencon-mon";
+const USAGE: &str = "gencon-mon --nodes admin:port,admin:port,... \
+     [--interval-ms 500] [--once | --polls N] [--out FILE]";
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    parse_flag(BIN, args, flag, default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: Vec<SocketAddr> = required_flag(BIN, &args, "--nodes", USAGE)
+        .split(',')
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("gencon-mon: bad admin address {s}");
+                exit(2);
+            })
+        })
+        .collect();
+    if nodes.is_empty() {
+        eprintln!("gencon-mon: --nodes needs at least one admin address");
+        exit(2);
+    }
+    let cfg = MonConfig {
+        interval: Duration::from_millis(parse(&args, "--interval-ms", 500)),
+        connect_timeout: Duration::from_millis(parse(&args, "--connect-timeout-ms", 500)),
+        io_timeout: Duration::from_millis(parse(&args, "--io-timeout-ms", 1_000)),
+        stall_polls: parse(&args, "--stall-polls", 3),
+        straggler_slots: parse(&args, "--straggler-slots", 2_048),
+        straggler_rounds: parse(&args, "--straggler-rounds", 64),
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let polls: u64 = parse(&args, "--polls", if once { 1 } else { u64::MAX });
+    let out = flag_value(&args, "--out");
+
+    let mut mon = Monitor::new(nodes, cfg);
+    let mut alerts_total: u64 = 0;
+    for i in 0..polls {
+        let report = mon.poll_once();
+        for alert in &report.alerts {
+            eprintln!("{}", alert.to_json());
+        }
+        alerts_total += report.alerts.len() as u64;
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("gencon-mon: cannot write report to {path}: {e}");
+            }
+        }
+        if i + 1 < polls {
+            std::thread::sleep(mon.interval());
+        }
+    }
+    if once && alerts_total > 0 {
+        exit(1);
+    }
+}

@@ -42,14 +42,23 @@
 //! `--metrics-file PATH` dumps the per-stage metrics registry (ingest /
 //! order / apply / persist / ack counters, gauges and latency
 //! histograms) as flat JSON to PATH on exit, and also on `SIGUSR1` for a
-//! live snapshot of a running node. `--snapshot-keep K` retains the last
-//! K snapshot cuts on disk (default 2) so chunked state transfer can
-//! still serve a cut that a concurrent snapshot just superseded.
+//! live snapshot of a running node (with the admin port enabled, the
+//! flight-recorder tail and assembled spans also land in
+//! `PATH.spans.jsonl`, so a wedged node can be post-mortemed without the
+//! port). `--snapshot-keep K` retains the last K snapshot cuts on disk
+//! (default 2) so chunked state transfer can still serve a cut that a
+//! concurrent snapshot just superseded.
 //!
 //! `--admin-addr ADDR` turns on the flight recorder (`--trace-events N`
 //! sizes its ring, default 65536) and serves the line-oriented admin
 //! port there: one command per connection — `metrics`, `status`,
-//! `trace [n]`, `spans [n]` — see [`gencon_server::admin`].
+//! `trace [n]`, `spans [n]`, `history [n]`, `rates`, `hash` — see
+//! [`gencon_server::admin`]. A sampler thread snapshots the registry
+//! every `--history-interval-ms` (default 500) into a ring of
+//! `--history-len` entries (default 128) backing `history`/`rates`, and
+//! the node publishes `(applied count, state hash)` pairs at
+//! snapshot-boundary folds backing `hash` — the feed `gencon-mon`
+//! aggregates cluster-wide.
 
 use std::net::SocketAddr;
 use std::process::exit;
@@ -185,6 +194,9 @@ fn serve<A: App>(args: &[String]) {
         .is_some()
         .then(|| gencon_trace::FlightRecorder::new(parse(args, "--trace-events", 65_536)));
     let peer_table = gencon_trace::PeerTable::new(n);
+    // The state-hash audit cell and history ring also ride with the
+    // admin port (they back its `hash`/`history`/`rates` commands).
+    let hash_cell = admin_addr.is_some().then(gencon_trace::HashCell::new);
 
     // Per-stage metrics. The registry is created unconditionally (the
     // counters are cheap); the JSON dump happens on exit and on SIGUSR1
@@ -192,6 +204,27 @@ fn serve<A: App>(args: &[String]) {
     let registry = Registry::new();
     if let Some(path) = &metrics_file {
         gencon_metrics::install_sigusr1_dump(registry.clone(), path.clone().into());
+        // With tracing on, SIGUSR1 also drops the recorder tail +
+        // assembled spans next to the metrics file.
+        if let Some(rec) = &recorder {
+            let rec = rec.clone();
+            let spans_path = format!("{path}.spans.jsonl");
+            gencon_metrics::install_sigusr1(move || {
+                let events = rec.tail(rec.capacity());
+                let mut out = String::new();
+                for ev in &events {
+                    out.push_str(&ev.to_json());
+                    out.push('\n');
+                }
+                for span in gencon_trace::assemble_spans(&events) {
+                    out.push_str(&span.to_json());
+                    out.push('\n');
+                }
+                if let Err(e) = std::fs::write(&spans_path, out) {
+                    eprintln!("gencon-server: cannot write spans to {spans_path}: {e}");
+                }
+            });
+        }
     }
 
     // Fault bounds from the cluster size: the largest each model tolerates.
@@ -234,6 +267,12 @@ fn serve<A: App>(args: &[String]) {
         .with_metrics(&registry);
     if let Some(rec) = &recorder {
         gateway = gateway.with_trace(rec.clone());
+    }
+    // Exactly one hash publisher per node: durable nodes publish from
+    // the snapshot-boundary fold (see below); memory nodes publish from
+    // the live applier at the same applied-count cadence.
+    if let (Some(cell), false) = (&hash_cell, durable) {
+        gateway = gateway.with_hash_cell(cell.clone(), durable_cfg.snapshot_every);
     }
     // The durable-ack watermark, shared between the persistence layer
     // (writer) and the gateway (ack limit).
@@ -301,11 +340,19 @@ fn serve<A: App>(args: &[String]) {
     eprintln!("gencon-server {id}: mesh up, log running");
 
     if let (Some(addr), Some(rec)) = (admin_addr, &recorder) {
+        let history = gencon_metrics::HistoryRing::new(parse(args, "--history-len", 128));
+        history.spawn_sampler(
+            registry.clone(),
+            Duration::from_millis(parse(args, "--history-interval-ms", 500)),
+        );
         let state = AdminState {
             node_id: id,
             registry: registry.clone(),
             recorder: rec.clone(),
             peers: peer_table.clone(),
+            history,
+            hashes: hash_cell.clone().unwrap_or_default(),
+            io_timeout: gencon_server::ADMIN_IO_TIMEOUT,
         };
         match spawn_admin(addr, state) {
             Ok(local) => eprintln!("gencon-server {id}: admin endpoint at {local}"),
@@ -319,6 +366,9 @@ fn serve<A: App>(args: &[String]) {
             .with_metrics(&registry);
         if let Some(rec) = &recorder {
             node = node.with_trace(rec.clone());
+        }
+        if let Some(cell) = &hash_cell {
+            node = node.with_hash_cell(cell.clone());
         }
         let (replica, _transport, stats, node) = run_smr_node_observed(
             replica,

@@ -59,7 +59,7 @@ use gencon_net::wire::Wire;
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::{Batch, BatchingReplica};
 use gencon_store::{Log, Recovery, Snapshot};
-use gencon_trace::{EventKind, FlightRecorder, Stage, Tracer};
+use gencon_trace::{EventKind, FlightRecorder, HashCell, Stage, Tracer};
 
 use crate::node::{NodeHook, SNAPSHOT_GAP_MIN};
 
@@ -356,6 +356,9 @@ pub struct DurableNode<A: App, L, H> {
     wal_trailing: bool,
     meters: PersistMeters,
     tracer: Tracer,
+    /// Where snapshot-boundary `(applied, state_hash)` pairs are
+    /// published for the admin `hash` command, if auditing is wired.
+    hash_cell: Option<HashCell>,
     snapshots_taken: u64,
     served_from_disk: u64,
     served_synthesized: u64,
@@ -382,6 +385,7 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
             wal_trailing: false,
             meters: PersistMeters::new(&Registry::new()),
             tracer: Tracer::disabled(),
+            hash_cell: None,
             snapshots_taken: 0,
             served_from_disk: 0,
             served_synthesized: 0,
@@ -422,6 +426,17 @@ impl<A: App, L: Log, H> DurableNode<A, L, H> {
     #[must_use]
     pub fn with_gate(mut self, gate: Arc<AtomicU64>) -> Self {
         self.ack_gate = gate;
+        self
+    }
+
+    /// Publishes `(applied count, state hash)` into `cell` at every
+    /// snapshot-boundary fold. Boundary folds are byte-identical across
+    /// replicas at the same cut, so any two honest nodes publishing for
+    /// the same applied count must agree — `gencon-mon` compares these
+    /// pairs across the cluster to detect divergence.
+    #[must_use]
+    pub fn with_hash_cell(mut self, cell: HashCell) -> Self {
+        self.hash_cell = Some(cell);
         self
     }
 
@@ -598,6 +613,9 @@ impl<A: App, L: Log + Send + 'static, H> DurableNode<A, L, H> {
         // vouching requires the deterministic cut); only the disk I/O of
         // installing it moves to the persist stage.
         let state = self.fold_state_at(replica, cut);
+        if let Some(cell) = &self.hash_cell {
+            cell.publish(self.folder.applied_len(), self.folder.state_hash());
+        }
         let snap = Snapshot::new(cut, self.folder.applied_len(), state);
         let acked = self.folder.applied_len();
         self.last_cut = cut;

@@ -63,7 +63,7 @@ use gencon_app::{App, Applier};
 use gencon_metrics::{Counter, Gauge, Histogram, Registry};
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::BatchingReplica;
-use gencon_trace::{EventKind, FlightRecorder, Stage, Tracer};
+use gencon_trace::{EventKind, FlightRecorder, HashCell, Stage, Tracer};
 use gencon_types::ProcessId;
 
 use crate::node::NodeHook;
@@ -225,6 +225,10 @@ pub struct ClientGateway<A: App> {
     /// [`DurableNode`](crate::DurableNode)). Acks resume as the gate
     /// advances.
     ack_gate: Option<Arc<AtomicU64>>,
+    /// `(cell, every)`: publish the live app's state hash into `cell` at
+    /// applied-count multiples of `every` (the memory-mode audit trail;
+    /// durable nodes publish from the snapshot fold instead).
+    hash_cell: Option<(HashCell, u64)>,
     meters: GatewayMeters,
     tracer: Tracer,
     cfg: GatewayConfig,
@@ -285,6 +289,7 @@ impl<A: App> ClientGateway<A> {
             acks_dropped: Arc::new(AtomicU64::new(0)),
             inflight_count: Arc::new(AtomicUsize::new(0)),
             ack_gate: None,
+            hash_cell: None,
             meters: GatewayMeters::new(&Registry::new()),
             tracer: Tracer::disabled(),
             cfg,
@@ -332,6 +337,18 @@ impl<A: App> ClientGateway<A> {
     #[must_use]
     pub fn with_trace(mut self, recorder: FlightRecorder) -> ClientGateway<A> {
         self.tracer = Tracer::new(Some(recorder));
+        self
+    }
+
+    /// Publishes the live app's `(applied count, state hash)` into
+    /// `cell` whenever the applied count reaches a multiple of `every`
+    /// (0 disables). Memory-mode nodes use this for the admin `hash`
+    /// command; durable nodes publish from the snapshot-boundary fold
+    /// instead — wire exactly one publisher per node. Must run before
+    /// the first round, like [`with_metrics`](ClientGateway::with_metrics).
+    #[must_use]
+    pub fn with_hash_cell(mut self, cell: HashCell, every: u64) -> ClientGateway<A> {
+        self.hash_cell = (every > 0).then_some((cell, every));
         self
     }
 
@@ -396,6 +413,7 @@ impl<A: App> ClientGateway<A> {
         let apply_ack_tx = ack_tx.clone();
         let apply_meters = self.meters.clone();
         let apply_tracer = self.tracer.clone();
+        let apply_hash = self.hash_cell.clone();
         let apply_handle = std::thread::spawn(move || {
             apply_loop::<A>(
                 &applier,
@@ -403,6 +421,7 @@ impl<A: App> ClientGateway<A> {
                 &apply_ack_tx,
                 &apply_meters,
                 &apply_tracer,
+                apply_hash.as_ref(),
             );
         });
 
@@ -492,7 +511,19 @@ fn apply_loop<A: App>(
     ack_tx: &Sender<AckMsg<A>>,
     m: &GatewayMeters,
     t: &Tracer,
+    hash: Option<&(HashCell, u64)>,
 ) {
+    // Publish `(applied, state_hash)` at exact applied-count multiples
+    // of `every` — every node then publishes for the same counts, which
+    // is what makes the pairs comparable across the cluster.
+    let maybe_publish = |applier: &Applier<A>| {
+        if let Some((cell, every)) = hash {
+            let cursor = applier.cursor();
+            if cursor > 0 && cursor.is_multiple_of(*every) {
+                cell.publish(cursor, applier.app().state_hash());
+            }
+        }
+    };
     while let Ok(msg) = rx.recv() {
         m.apply_depth.record(rx.len() as u64);
         m.apply_depth_now.set(rx.len() as u64);
@@ -503,6 +534,7 @@ fn apply_loop<A: App>(
                 for (cmd, slot, offset) in entries {
                     let svc_start = t.now_us();
                     let reply = applier.apply(slot, &cmd);
+                    maybe_publish(&applier);
                     m.applied.inc();
                     // One `applied` event per slot (the first command's
                     // service time stands in for the slot).
@@ -529,8 +561,13 @@ fn apply_loop<A: App>(
                 }
             }
             ApplyMsg::Restore(fs) => {
-                if let Err(e) = applier.lock().restore(&fs) {
+                let mut applier = applier.lock();
+                if let Err(e) = applier.restore(&fs) {
                     eprintln!("[gateway] live app restore failed: {e}");
+                } else {
+                    // A restore that lands exactly on a boundary stands
+                    // in for the applies it skipped.
+                    maybe_publish(&applier);
                 }
             }
             ApplyMsg::Barrier(done) => {

@@ -47,10 +47,11 @@ mod config;
 mod deadline;
 mod durable;
 mod gateway;
+pub mod mon;
 mod node;
 pub mod protocol;
 
-pub use admin::{spawn_admin, AdminState};
+pub use admin::{spawn_admin, spawn_admin_gated, AdminState, ADMIN_IO_TIMEOUT};
 pub use config::ServerConfig;
 pub use deadline::AdaptiveDeadline;
 pub use durable::{recover_replica, DurableConfig, DurableNode, RecoveredState};

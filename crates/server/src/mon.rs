@@ -1,0 +1,876 @@
+//! Cluster aggregation + watchdog: the library behind `gencon-mon`.
+//!
+//! One node's admin port answers "what is *this* replica doing"; this
+//! module answers the cluster questions — is anyone diverging, who is
+//! the straggler, has commit progress stopped — by polling every node's
+//! admin endpoint (`status` / `rates` / `hash`), assembling one
+//! [`ClusterReport`], and running a watchdog over consecutive polls:
+//!
+//! | alert                 | fires when                                     |
+//! |-----------------------|------------------------------------------------|
+//! | `unreachable`         | an admin endpoint stops answering (transition) |
+//! | `commit-stall`        | no node's committed watermark advanced across  |
+//! |                       | `stall_polls` consecutive polls                |
+//! | `divergence`          | two nodes published different state hashes for |
+//! |                       | the same applied count (both hashes + node ids |
+//! |                       | recorded as audit evidence)                    |
+//! | `straggler`           | a node's committed watermark trails the max by |
+//! |                       | more than `straggler_slots`, or a peer reports |
+//! |                       | it lagging more than `straggler_rounds`        |
+//! | `gate-wedge`          | a node's persist gate sits still while its     |
+//! |                       | commits advance across `stall_polls` polls     |
+//! | `straggler-recovered` | a previously unreachable/straggling node is    |
+//! |                       | back within bounds                             |
+//!
+//! Hash agreement is checked at the **max common applied count**: each
+//! node publishes a short history of `(applied, hash)` pairs (see
+//! [`HashCell`](gencon_trace::HashCell)), the monitor intersects the
+//! counts across reachable nodes and compares at the highest one all of
+//! them cover — nodes sample at the same deterministic boundaries, so a
+//! mismatch there is divergence, not skew.
+//!
+//! Everything is hand-rolled over the admin port's fixed JSON shapes
+//! (the monitor must not drag a parser dependency into the server
+//! crate); the scanners live here next to their single producer.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Polling and threshold knobs for [`Monitor`].
+#[derive(Clone, Debug)]
+pub struct MonConfig {
+    /// Delay between polls (the continuous mode cadence).
+    pub interval: Duration,
+    /// TCP connect deadline per admin query.
+    pub connect_timeout: Duration,
+    /// Read/write deadline per admin query.
+    pub io_timeout: Duration,
+    /// Consecutive no-progress polls before `commit-stall` (and the
+    /// window for `gate-wedge`).
+    pub stall_polls: usize,
+    /// Committed-watermark lag (slots) before a node is a straggler.
+    pub straggler_slots: u64,
+    /// Peer-reported round lag before a node is a straggler.
+    pub straggler_rounds: u64,
+}
+
+impl Default for MonConfig {
+    fn default() -> Self {
+        MonConfig {
+            interval: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(1_000),
+            stall_polls: 3,
+            straggler_slots: 2_048,
+            straggler_rounds: 64,
+        }
+    }
+}
+
+/// What one node answered on one poll (zeroed when unreachable).
+#[derive(Clone, Debug, Default)]
+pub struct NodeSample {
+    /// Index into the monitor's node list.
+    pub node: usize,
+    /// The admin address polled.
+    pub addr: String,
+    /// Whether the endpoint answered `status` this poll.
+    pub reachable: bool,
+    /// Consensus round from `status`.
+    pub round: u64,
+    /// Committed-slot watermark from `status`.
+    pub committed: u64,
+    /// Applied-command watermark from `status`.
+    pub applied: u64,
+    /// Durable-ack gate from `status` (0 on memory nodes).
+    pub persist_gate: u64,
+    /// Commands applied per second from `rates` (0 until two samples).
+    pub cmds_per_sec: f64,
+    /// Fsyncs per second from `rates`.
+    pub fsyncs_per_sec: f64,
+    /// Consensus rounds per second from `rates`.
+    pub rounds_per_sec: f64,
+    /// Published `(applied count, state-hash hex)` pairs from `hash`,
+    /// ascending.
+    pub hashes: Vec<(u64, String)>,
+    /// Peer-lag rows from `status`: `(peer, lag_rounds, written_off)`.
+    pub peer_lags: Vec<(usize, u64, bool)>,
+}
+
+impl NodeSample {
+    /// One JSON object (a row of the report's `nodes` array).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let hashes: Vec<String> = self
+            .hashes
+            .iter()
+            .map(|(applied, hash)| format!("{{\"applied\":{applied},\"state_hash\":\"{hash}\"}}"))
+            .collect();
+        let lags: Vec<String> = self
+            .peer_lags
+            .iter()
+            .map(|(peer, lag, off)| {
+                format!("{{\"peer\":{peer},\"lag_rounds\":{lag},\"written_off\":{off}}}")
+            })
+            .collect();
+        format!(
+            "{{\"node\":{},\"addr\":\"{}\",\"reachable\":{},\"round\":{},\"committed\":{},\
+             \"applied\":{},\"persist_gate\":{},\"cmds_per_sec\":{:.3},\"fsyncs_per_sec\":{:.3},\
+             \"rounds_per_sec\":{:.3},\"hashes\":[{}],\"peer_lags\":[{}]}}",
+            self.node,
+            self.addr,
+            self.reachable,
+            self.round,
+            self.committed,
+            self.applied,
+            self.persist_gate,
+            self.cmds_per_sec,
+            self.fsyncs_per_sec,
+            self.rounds_per_sec,
+            hashes.join(","),
+            lags.join(","),
+        )
+    }
+}
+
+/// The watchdog's alert vocabulary (see the module table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Admin endpoint stopped answering.
+    Unreachable,
+    /// No reachable node's committed watermark advanced for K polls.
+    CommitStall,
+    /// Two nodes disagree on the state hash at the same applied count.
+    Divergence,
+    /// A node trails the cluster beyond the configured bounds.
+    Straggler,
+    /// Persist gate static while commits advance.
+    GateWedge,
+    /// A previously unreachable/straggling node is healthy again.
+    StragglerRecovered,
+}
+
+impl AlertKind {
+    /// The wire name used in alert JSON lines.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertKind::Unreachable => "unreachable",
+            AlertKind::CommitStall => "commit-stall",
+            AlertKind::Divergence => "divergence",
+            AlertKind::Straggler => "straggler",
+            AlertKind::GateWedge => "gate-wedge",
+            AlertKind::StragglerRecovered => "straggler-recovered",
+        }
+    }
+}
+
+/// One structured watchdog alert.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// What fired.
+    pub kind: AlertKind,
+    /// Poll index (1-based) the alert fired on.
+    pub poll: u64,
+    /// The node concerned, if the alert is about one node.
+    pub node: Option<usize>,
+    /// The applied count concerned (divergence evidence).
+    pub applied: Option<u64>,
+    /// Human-readable evidence (hashes, watermarks, thresholds).
+    pub detail: String,
+}
+
+impl Alert {
+    /// One JSON line (written to stderr and embedded in the report).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let node = self
+            .node
+            .map_or_else(|| "null".to_string(), |n| n.to_string());
+        let applied = self
+            .applied
+            .map_or_else(|| "null".to_string(), |a| a.to_string());
+        format!(
+            "{{\"alert\":\"{}\",\"poll\":{},\"node\":{node},\"applied\":{applied},\
+             \"detail\":\"{}\"}}",
+            self.kind.as_str(),
+            self.poll,
+            self.detail.replace('"', "'"),
+        )
+    }
+}
+
+/// Cross-node hash comparison at the max common applied count.
+#[derive(Clone, Debug)]
+pub struct HashAgreement {
+    /// The highest applied count every reachable publishing node covers.
+    pub applied: u64,
+    /// Whether every node's hash at that count matches.
+    pub agreed: bool,
+    /// `(node, state-hash hex)` at that count, one row per node.
+    pub hashes: Vec<(usize, String)>,
+}
+
+impl HashAgreement {
+    /// The report's `agreement` object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .hashes
+            .iter()
+            .map(|(node, hash)| format!("{{\"node\":{node},\"state_hash\":\"{hash}\"}}"))
+            .collect();
+        format!(
+            "{{\"applied\":{},\"agreed\":{},\"hashes\":[{}]}}",
+            self.applied,
+            self.agreed,
+            rows.join(","),
+        )
+    }
+}
+
+/// One poll's assembled cluster view.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Poll index, 1-based.
+    pub poll: u64,
+    /// Per-node samples, in node-list order.
+    pub nodes: Vec<NodeSample>,
+    /// Highest committed watermark among reachable nodes.
+    pub max_committed: u64,
+    /// Lowest committed watermark among reachable nodes.
+    pub min_committed: u64,
+    /// Highest − lowest round among reachable nodes.
+    pub round_skew: u64,
+    /// Hash comparison at the max common applied count, when at least
+    /// two reachable nodes have published.
+    pub agreement: Option<HashAgreement>,
+    /// Alerts the watchdog raised on this poll.
+    pub alerts: Vec<Alert>,
+}
+
+impl ClusterReport {
+    /// The full report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let nodes: Vec<String> = self.nodes.iter().map(NodeSample::to_json).collect();
+        let alerts: Vec<String> = self.alerts.iter().map(Alert::to_json).collect();
+        let agreement = self
+            .agreement
+            .as_ref()
+            .map_or_else(|| "null".to_string(), HashAgreement::to_json);
+        format!(
+            "{{\"poll\":{},\"reachable\":{},\"max_committed\":{},\"min_committed\":{},\
+             \"round_skew\":{},\"agreement\":{agreement},\"nodes\":[{}],\"alerts\":[{}]}}",
+            self.poll,
+            self.nodes.iter().filter(|s| s.reachable).count(),
+            self.max_committed,
+            self.min_committed,
+            self.round_skew,
+            nodes.join(","),
+            alerts.join(","),
+        )
+    }
+}
+
+// --- tiny scanners over the admin port's fixed JSON shapes ---
+
+/// Extracts the number right after `"key":` (integers only — the admin
+/// port never emits signed or exponent forms for these keys).
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts the (possibly fractional) number right after `"key":`.
+fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let num: String = json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
+/// Extracts every `{"applied":N,"state_hash":"H"}` pair inside the
+/// `hash` response's `recent` array, ascending by applied count.
+fn parse_hash_pairs(json: &str) -> Vec<(u64, String)> {
+    let Some(recent_at) = json.find("\"recent\":[") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = &json[recent_at..];
+    while let Some(at) = rest.find("\"applied\":") {
+        rest = &rest[at + "\"applied\":".len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        let Ok(applied) = digits.parse::<u64>() else {
+            break;
+        };
+        let Some(h_at) = rest.find("\"state_hash\":\"") else {
+            break;
+        };
+        rest = &rest[h_at + "\"state_hash\":\"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        out.push((applied, rest[..end].to_string()));
+        rest = &rest[end..];
+    }
+    out.sort_by_key(|(applied, _)| *applied);
+    out.dedup_by_key(|(applied, _)| *applied);
+    out
+}
+
+/// Extracts every peer row `(peer, lag_rounds, written_off)` from the
+/// `status` response's `peers` array.
+fn parse_peer_lags(json: &str) -> Vec<(usize, u64, bool)> {
+    let Some(peers_at) = json.find("\"peers\":[") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = &json[peers_at..];
+    while let Some(at) = rest.find("\"peer\":") {
+        rest = &rest[at..];
+        let Some(peer) = json_u64(rest, "peer") else {
+            break;
+        };
+        let lag = json_u64(rest, "lag_rounds").unwrap_or(0);
+        let off = rest
+            .find("\"written_off\":")
+            .is_some_and(|w| rest[w + "\"written_off\":".len()..].starts_with("true"));
+        out.push((usize::try_from(peer).unwrap_or(usize::MAX), lag, off));
+        rest = &rest["\"peer\":".len()..];
+    }
+    out
+}
+
+/// One admin query: connect (with deadline), send the command line,
+/// read to EOF. Errors and empty answers both mean "unreachable".
+fn query(addr: SocketAddr, cmd: &str, cfg: &MonConfig) -> std::io::Result<String> {
+    let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+    stream.set_read_timeout(Some(cfg.io_timeout))?;
+    stream.set_write_timeout(Some(cfg.io_timeout))?;
+    let mut stream = stream;
+    stream.write_all(cmd.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    if out.trim().is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty admin answer",
+        ));
+    }
+    Ok(out)
+}
+
+/// Per-node watchdog bookkeeping carried across polls.
+#[derive(Clone, Debug, Default)]
+struct NodeTrack {
+    was_unreachable: bool,
+    was_straggler: bool,
+    last_committed: Option<u64>,
+    last_gate: Option<u64>,
+    gate_static_polls: usize,
+}
+
+/// The polling aggregator + watchdog (the `gencon-mon` engine).
+pub struct Monitor {
+    addrs: Vec<SocketAddr>,
+    cfg: MonConfig,
+    poll: u64,
+    tracks: Vec<NodeTrack>,
+    /// Max committed seen on the previous poll, for stall detection.
+    last_max_committed: Option<u64>,
+    /// Consecutive polls without commit progress anywhere.
+    stalled_polls: usize,
+    /// Applied counts whose divergence has already been reported.
+    reported_divergence: HashSet<u64>,
+}
+
+impl Monitor {
+    /// A monitor over `addrs` (one admin address per node, in node-id
+    /// order).
+    #[must_use]
+    pub fn new(addrs: Vec<SocketAddr>, cfg: MonConfig) -> Self {
+        let tracks = vec![NodeTrack::default(); addrs.len()];
+        Monitor {
+            addrs,
+            cfg,
+            poll: 0,
+            tracks,
+            last_max_committed: None,
+            stalled_polls: 0,
+            reported_divergence: HashSet::new(),
+        }
+    }
+
+    /// The configured poll interval (for the binary's sleep loop).
+    #[must_use]
+    pub fn interval(&self) -> Duration {
+        self.cfg.interval
+    }
+
+    /// Samples one node: `status` decides reachability; `rates` and
+    /// `hash` enrich the sample when they answer.
+    fn sample(&self, node: usize) -> NodeSample {
+        let addr = self.addrs[node];
+        let mut s = NodeSample {
+            node,
+            addr: addr.to_string(),
+            ..NodeSample::default()
+        };
+        let Ok(status) = query(addr, "status", &self.cfg) else {
+            return s;
+        };
+        let Some(round) = json_u64(&status, "round") else {
+            return s; // answered, but not with a status object
+        };
+        s.reachable = true;
+        s.round = round;
+        s.committed = json_u64(&status, "committed_slots").unwrap_or(0);
+        s.applied = json_u64(&status, "applied").unwrap_or(0);
+        s.persist_gate = json_u64(&status, "persist_gate").unwrap_or(0);
+        s.peer_lags = parse_peer_lags(&status);
+        if let Ok(rates) = query(addr, "rates", &self.cfg) {
+            s.cmds_per_sec = json_f64(&rates, "cmds_per_sec").unwrap_or(0.0);
+            s.fsyncs_per_sec = json_f64(&rates, "fsyncs_per_sec").unwrap_or(0.0);
+            s.rounds_per_sec = json_f64(&rates, "rounds_per_sec").unwrap_or(0.0);
+        }
+        if let Ok(hash) = query(addr, "hash", &self.cfg) {
+            s.hashes = parse_hash_pairs(&hash);
+        }
+        s
+    }
+
+    /// Polls every node once, runs the watchdog, and returns the
+    /// assembled report (alerts included).
+    pub fn poll_once(&mut self) -> ClusterReport {
+        self.poll += 1;
+        let poll = self.poll;
+        let samples: Vec<NodeSample> = (0..self.addrs.len()).map(|i| self.sample(i)).collect();
+        let mut alerts = Vec::new();
+
+        let reachable: Vec<&NodeSample> = samples.iter().filter(|s| s.reachable).collect();
+        let max_committed = reachable.iter().map(|s| s.committed).max().unwrap_or(0);
+        let min_committed = reachable.iter().map(|s| s.committed).min().unwrap_or(0);
+        let max_round = reachable.iter().map(|s| s.round).max().unwrap_or(0);
+        let min_round = reachable.iter().map(|s| s.round).min().unwrap_or(0);
+
+        // Unreachable / recovered transitions.
+        for s in &samples {
+            let track = &mut self.tracks[s.node];
+            if s.reachable {
+                let lagging = max_committed.saturating_sub(s.committed) > self.cfg.straggler_slots;
+                if (track.was_unreachable || track.was_straggler) && !lagging {
+                    alerts.push(Alert {
+                        kind: AlertKind::StragglerRecovered,
+                        poll,
+                        node: Some(s.node),
+                        applied: None,
+                        detail: format!(
+                            "node {} back within bounds (committed {} of max {max_committed})",
+                            s.node, s.committed
+                        ),
+                    });
+                    track.was_straggler = false;
+                }
+                track.was_unreachable = false;
+            } else if !track.was_unreachable {
+                track.was_unreachable = true;
+                alerts.push(Alert {
+                    kind: AlertKind::Unreachable,
+                    poll,
+                    node: Some(s.node),
+                    applied: None,
+                    detail: format!("admin endpoint {} not answering", s.addr),
+                });
+            }
+        }
+
+        // Stragglers: committed watermark trailing, or peer-observed lag.
+        for s in &reachable {
+            let mut why = None;
+            if max_committed.saturating_sub(s.committed) > self.cfg.straggler_slots {
+                why = Some(format!(
+                    "committed {} trails max {max_committed} by more than {}",
+                    s.committed, self.cfg.straggler_slots
+                ));
+            }
+            if why.is_none() {
+                for other in &reachable {
+                    if let Some((_, lag, off)) = other.peer_lags.iter().find(|(peer, lag, off)| {
+                        *peer == s.node && (*off || *lag > self.cfg.straggler_rounds)
+                    }) {
+                        why = Some(format!(
+                            "node {} sees it {lag} rounds behind{}",
+                            other.node,
+                            if *off { " (written off)" } else { "" }
+                        ));
+                        break;
+                    }
+                }
+            }
+            let track = &mut self.tracks[s.node];
+            if let Some(why) = why {
+                if !track.was_straggler {
+                    track.was_straggler = true;
+                    alerts.push(Alert {
+                        kind: AlertKind::Straggler,
+                        poll,
+                        node: Some(s.node),
+                        applied: None,
+                        detail: why,
+                    });
+                }
+            }
+        }
+
+        // Commit-progress stall across the whole cluster.
+        if reachable.is_empty() {
+            self.stalled_polls = 0;
+        } else if self.last_max_committed == Some(max_committed) {
+            self.stalled_polls += 1;
+            if self.cfg.stall_polls > 0 && self.stalled_polls.is_multiple_of(self.cfg.stall_polls) {
+                alerts.push(Alert {
+                    kind: AlertKind::CommitStall,
+                    poll,
+                    node: None,
+                    applied: None,
+                    detail: format!(
+                        "no commit progress for {} polls (max committed stuck at {max_committed})",
+                        self.stalled_polls
+                    ),
+                });
+            }
+        } else {
+            self.stalled_polls = 0;
+        }
+        if !reachable.is_empty() {
+            self.last_max_committed = Some(max_committed);
+        }
+
+        // Persist-gate wedge: gate still while this node's commits move.
+        for s in &reachable {
+            let track = &mut self.tracks[s.node];
+            let committed_advanced = track.last_committed.is_some_and(|c| s.committed > c);
+            let gate_static = track.last_gate == Some(s.persist_gate) && s.persist_gate > 0;
+            if committed_advanced && gate_static {
+                track.gate_static_polls += 1;
+                if self.cfg.stall_polls > 0
+                    && track.gate_static_polls.is_multiple_of(self.cfg.stall_polls)
+                {
+                    alerts.push(Alert {
+                        kind: AlertKind::GateWedge,
+                        poll,
+                        node: Some(s.node),
+                        applied: None,
+                        detail: format!(
+                            "persist gate stuck at {} while committed advanced to {} \
+                             ({} polls)",
+                            s.persist_gate, s.committed, track.gate_static_polls
+                        ),
+                    });
+                }
+            } else {
+                track.gate_static_polls = 0;
+            }
+            track.last_committed = Some(s.committed);
+            track.last_gate = Some(s.persist_gate);
+        }
+
+        // Divergence: any applied count where two nodes' hashes differ.
+        let mut by_applied: Vec<(u64, Vec<(usize, &str)>)> = Vec::new();
+        for s in &reachable {
+            for (applied, hash) in &s.hashes {
+                match by_applied.iter_mut().find(|(a, _)| a == applied) {
+                    Some((_, rows)) => rows.push((s.node, hash)),
+                    None => by_applied.push((*applied, vec![(s.node, hash)])),
+                }
+            }
+        }
+        by_applied.sort_by_key(|(applied, _)| *applied);
+        for (applied, rows) in &by_applied {
+            let first = rows[0].1;
+            if rows.iter().any(|(_, h)| *h != first) && self.reported_divergence.insert(*applied) {
+                let evidence: Vec<String> = rows
+                    .iter()
+                    .map(|(node, hash)| format!("node {node}={hash}"))
+                    .collect();
+                alerts.push(Alert {
+                    kind: AlertKind::Divergence,
+                    poll,
+                    node: None,
+                    applied: Some(*applied),
+                    detail: format!(
+                        "state hashes disagree at applied {applied}: {}",
+                        evidence.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // Agreement at the max applied count common to every reachable
+        // publishing node (need at least two to compare).
+        let publishers: Vec<&&NodeSample> =
+            reachable.iter().filter(|s| !s.hashes.is_empty()).collect();
+        let agreement = (publishers.len() >= 2)
+            .then(|| {
+                let mut common: Option<HashSet<u64>> = None;
+                for s in &publishers {
+                    let counts: HashSet<u64> = s.hashes.iter().map(|(a, _)| *a).collect();
+                    common = Some(match common {
+                        None => counts,
+                        Some(c) => c.intersection(&counts).copied().collect(),
+                    });
+                }
+                let at = common.unwrap_or_default().into_iter().max()?;
+                let hashes: Vec<(usize, String)> = publishers
+                    .iter()
+                    .filter_map(|s| {
+                        s.hashes
+                            .iter()
+                            .find(|(a, _)| *a == at)
+                            .map(|(_, h)| (s.node, h.clone()))
+                    })
+                    .collect();
+                let agreed = hashes.windows(2).all(|w| w[0].1 == w[1].1);
+                Some(HashAgreement {
+                    applied: at,
+                    agreed,
+                    hashes,
+                })
+            })
+            .flatten();
+
+        ClusterReport {
+            poll,
+            nodes: samples,
+            max_committed,
+            min_committed,
+            round_skew: max_round.saturating_sub(min_round),
+            agreement,
+            alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::{spawn_admin, AdminState, ADMIN_IO_TIMEOUT};
+    use gencon_metrics::{HistoryRing, Registry};
+    use gencon_trace::{FlightRecorder, HashCell, PeerTable};
+
+    fn fake_node(node_id: usize) -> (SocketAddr, AdminState) {
+        let state = AdminState {
+            node_id,
+            registry: Registry::new(),
+            recorder: FlightRecorder::new(64),
+            peers: PeerTable::new(2),
+            history: HistoryRing::new(8),
+            hashes: HashCell::new(),
+            io_timeout: ADMIN_IO_TIMEOUT,
+        };
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state.clone()).unwrap();
+        (addr, state)
+    }
+
+    fn quick_cfg() -> MonConfig {
+        MonConfig {
+            interval: Duration::from_millis(10),
+            connect_timeout: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(500),
+            stall_polls: 2,
+            straggler_slots: 100,
+            straggler_rounds: 50,
+        }
+    }
+
+    #[test]
+    fn aggregates_two_nodes_and_flags_divergence() {
+        let (addr_a, a) = fake_node(0);
+        let (addr_b, b) = fake_node(1);
+        for (state, committed) in [(&a, 900u64), (&b, 870u64)] {
+            state.registry.gauge("order.round").set(30);
+            state.registry.gauge("order.committed_slots").set(committed);
+            state.registry.gauge("order.applied").set(committed);
+            let rounds = state.registry.counter("order.rounds");
+            rounds.add(100);
+            state.history.sample_at(&state.registry, 1_000);
+            rounds.add(50);
+            state.history.sample_at(&state.registry, 2_000);
+        }
+        // Agree at 512, diverge at 768 — the audit record must carry
+        // both hashes.
+        a.hashes.publish(512, [0x11; 32]);
+        b.hashes.publish(512, [0x11; 32]);
+        a.hashes.publish(768, [0xaa; 32]);
+        b.hashes.publish(768, [0xbb; 32]);
+
+        let mut mon = Monitor::new(vec![addr_a, addr_b], quick_cfg());
+        let report = mon.poll_once();
+
+        assert_eq!(report.nodes.len(), 2);
+        assert!(report.nodes.iter().all(|s| s.reachable), "{report:?}");
+        assert_eq!(report.max_committed, 900);
+        assert_eq!(report.min_committed, 870);
+        assert!(
+            (report.nodes[0].rounds_per_sec - 50.0).abs() < 0.01,
+            "{report:?}"
+        );
+
+        let divergence: Vec<&Alert> = report
+            .alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::Divergence)
+            .collect();
+        assert_eq!(divergence.len(), 1, "{report:?}");
+        assert_eq!(divergence[0].applied, Some(768));
+        assert!(divergence[0].detail.contains(&"aa".repeat(32)));
+        assert!(divergence[0].detail.contains(&"bb".repeat(32)));
+
+        // Agreement compares at the max COMMON count (768, where they
+        // disagree) — and the JSON carries the evidence.
+        let agreement = report.agreement.as_ref().expect("two publishers");
+        assert_eq!(agreement.applied, 768);
+        assert!(!agreement.agreed);
+        let json = report.to_json();
+        assert!(json.contains("\"alert\":\"divergence\""), "{json}");
+        assert!(json.contains("\"agreed\":false"), "{json}");
+
+        // The same divergence is not re-reported on the next poll.
+        let again = mon.poll_once();
+        assert!(
+            again.alerts.iter().all(|a| a.kind != AlertKind::Divergence),
+            "{again:?}"
+        );
+    }
+
+    #[test]
+    fn agreement_holds_when_hashes_match() {
+        let (addr_a, a) = fake_node(0);
+        let (addr_b, b) = fake_node(1);
+        for state in [&a, &b] {
+            state.registry.gauge("order.round").set(10);
+            state.registry.gauge("order.committed_slots").set(600);
+            state.hashes.publish(512, [0x42; 32]);
+        }
+        // One node is ahead by a publication; agreement still lands on
+        // the common count.
+        a.hashes.publish(1024, [0x43; 32]);
+
+        let mut mon = Monitor::new(vec![addr_a, addr_b], quick_cfg());
+        let report = mon.poll_once();
+        let agreement = report.agreement.as_ref().expect("two publishers");
+        assert_eq!(agreement.applied, 512);
+        assert!(agreement.agreed, "{report:?}");
+        assert!(report.alerts.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn unreachable_fires_once_on_transition() {
+        let (addr_a, a) = fake_node(0);
+        a.registry.gauge("order.committed_slots").set(50);
+        // A port nobody is listening on: bind, learn the port, drop.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut mon = Monitor::new(vec![addr_a, dead], quick_cfg());
+        let first = mon.poll_once();
+        let unreachable: Vec<&Alert> = first
+            .alerts
+            .iter()
+            .filter(|al| al.kind == AlertKind::Unreachable)
+            .collect();
+        assert_eq!(unreachable.len(), 1, "{first:?}");
+        assert_eq!(unreachable[0].node, Some(1));
+        assert!(!first.nodes[1].reachable);
+
+        let second = mon.poll_once();
+        assert!(
+            second
+                .alerts
+                .iter()
+                .all(|al| al.kind != AlertKind::Unreachable),
+            "transition alert repeated: {second:?}"
+        );
+    }
+
+    #[test]
+    fn stall_fires_after_k_static_polls() {
+        let (addr, state) = fake_node(0);
+        state.registry.gauge("order.committed_slots").set(400);
+        let mut mon = Monitor::new(vec![addr], quick_cfg());
+        // Poll 1 records the watermark; polls 2 and 3 see it static —
+        // stall_polls = 2 fires on poll 3.
+        assert!(mon.poll_once().alerts.is_empty());
+        assert!(mon.poll_once().alerts.is_empty());
+        let third = mon.poll_once();
+        assert!(
+            third
+                .alerts
+                .iter()
+                .any(|a| a.kind == AlertKind::CommitStall),
+            "{third:?}"
+        );
+        // Progress clears the stall counter.
+        state.registry.gauge("order.committed_slots").set(500);
+        assert!(mon.poll_once().alerts.is_empty());
+    }
+
+    #[test]
+    fn straggler_then_recovery() {
+        let (addr_a, a) = fake_node(0);
+        let (addr_b, b) = fake_node(1);
+        a.registry.gauge("order.committed_slots").set(1_000);
+        b.registry.gauge("order.committed_slots").set(200);
+        let mut mon = Monitor::new(vec![addr_a, addr_b], quick_cfg());
+        let first = mon.poll_once();
+        let straggler: Vec<&Alert> = first
+            .alerts
+            .iter()
+            .filter(|al| al.kind == AlertKind::Straggler)
+            .collect();
+        assert_eq!(straggler.len(), 1, "{first:?}");
+        assert_eq!(straggler[0].node, Some(1));
+
+        // Catching up produces exactly one recovery alert.
+        b.registry.gauge("order.committed_slots").set(980);
+        a.registry.gauge("order.committed_slots").set(1_010);
+        let second = mon.poll_once();
+        assert!(
+            second
+                .alerts
+                .iter()
+                .any(|al| al.kind == AlertKind::StragglerRecovered && al.node == Some(1)),
+            "{second:?}"
+        );
+    }
+
+    #[test]
+    fn gate_wedge_fires_when_commits_outrun_a_static_gate() {
+        let (addr, state) = fake_node(0);
+        let committed = state.registry.gauge("order.committed_slots");
+        let gate = state.registry.gauge("persist.gate");
+        committed.set(100);
+        gate.set(64);
+        let mut mon = Monitor::new(vec![addr], quick_cfg());
+        assert!(mon.poll_once().alerts.is_empty());
+        committed.set(200);
+        assert!(mon.poll_once().alerts.is_empty(), "one static poll yet");
+        committed.set(300);
+        let third = mon.poll_once();
+        assert!(
+            third.alerts.iter().any(|a| a.kind == AlertKind::GateWedge),
+            "{third:?}"
+        );
+    }
+}

@@ -31,6 +31,9 @@
 //! * [`PeerTable`] — shared per-peer health (last-heard round, lag,
 //!   written-off flag) the order loop publishes and an admin endpoint
 //!   reads live.
+//! * [`HashCell`] — a seqlock ring of recently published
+//!   `(applied count, state hash)` pairs, the per-node half of
+//!   cross-replica divergence auditing.
 //! * [`Tracer`] — an optional handle stages thread through their hot
 //!   paths; recording through a disabled tracer is a no-op branch.
 //!
@@ -41,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod peer;
 mod ring;
 mod span;
 
+pub use hash::{hash_hex, HashCell};
 pub use peer::{PeerRow, PeerTable};
 pub use ring::{EventKind, FlightRecorder, Stage, TraceEvent, Tracer};
 pub use span::{assemble_spans, SlotSpan};
