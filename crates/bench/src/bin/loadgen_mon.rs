@@ -15,10 +15,19 @@
 //!    applied count common to all four nodes (the anti-divergence
 //!    audit), and no `divergence` alert ever fired.
 //!
+//! The run doubles as experiment **E15** — the cross-node slot autopsy:
+//! after the cluster quiesces the driver estimates every node's
+//! recorder-clock offset over the admin `clock` command, pulls each
+//! node's `spans`, and stitches them into cluster slot spans. The run
+//! asserts ≥ 90 % of committed slots stitched, and the output carries
+//! decide-skew and quorum-wait percentiles plus every node's clock
+//! offset ± uncertainty.
+//!
 //! Run: `cargo run --release -p gencon_bench --bin loadgen_mon`
 //! Smoke (CI): `... --bin loadgen_mon -- --smoke`
-//! Output path: `--out <path>` (default `BENCH_mon.json`) — the final
-//! cluster report JSON, alerts included.
+//! Output path: `--out <path>` (default `BENCH_mon.json`) — one JSON
+//! object `{"report":…,"autopsy":…}`: the final cluster report (alerts
+//! included) and the E15 stitch summary.
 
 use std::time::Duration;
 
@@ -37,7 +46,8 @@ fn main() {
         .unwrap_or_else(|| "BENCH_mon.json".to_string());
 
     println!(
-        "# E14 — monitored durable cluster with kill/recovery choreography ({})\n",
+        "# E14/E15 — monitored durable cluster: kill/recovery choreography + \
+         cross-node slot autopsy ({})\n",
         if smoke { "smoke run" } else { "full run" }
     );
 
@@ -92,9 +102,59 @@ fn main() {
         report.alerts
     );
 
-    if let Err(e) = std::fs::write(&out_path, format!("{}\n", report.final_report.to_json())) {
+    // E15: the autopsy must explain (nearly) the whole run.
+    let (skew_p50, skew_p99) = report.decide_skew_pcts();
+    let (wait_p50, wait_p99) = report.quorum_wait_pcts();
+    println!(
+        "autopsy: {} slots stitched ({:.1}% of committed) · decide skew p50/p99 {}/{} µs · \
+         quorum wait p50/p99 {}/{} µs",
+        report.trace.spans.len(),
+        report.stitched_ratio * 100.0,
+        opt(skew_p50),
+        opt(skew_p99),
+        opt(wait_p50),
+        opt(wait_p99),
+    );
+    for node in &report.trace.nodes {
+        if let Some(clock) = &node.clock {
+            println!(
+                "  node {} clock offset {} µs ± {} µs ({} samples)",
+                node.node, clock.offset_us, clock.uncertainty_us, clock.samples
+            );
+        }
+    }
+    assert!(
+        report.stitched_ratio >= 0.9,
+        "autopsy stitched only {} of {} committed slots",
+        report.trace.spans.len(),
+        report.final_report.max_committed
+    );
+    assert!(
+        skew_p50.is_some() && skew_p99.is_some(),
+        "no decide-skew percentiles in the stitched spans"
+    );
+
+    let body = format!(
+        "{{\"report\":{},\"autopsy\":{{\"stitched_slots\":{},\"stitched_ratio\":{:.4},\
+         \"decide_skew_p50_us\":{},\"decide_skew_p99_us\":{},\"quorum_wait_p50_us\":{},\
+         \"quorum_wait_p99_us\":{},\"summary\":{}}}}}\n",
+        report.final_report.to_json(),
+        report.trace.spans.len(),
+        report.stitched_ratio,
+        opt(skew_p50),
+        opt(skew_p99),
+        opt(wait_p50),
+        opt(wait_p99),
+        report.trace.summary_json(),
+    );
+    if let Err(e) = std::fs::write(&out_path, body) {
         eprintln!("loadgen_mon: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("\nfinal cluster report written to {out_path}");
+    println!("\nfinal cluster report + autopsy written to {out_path}");
+}
+
+/// `Option<u64>` as a JSON value (`null` when absent).
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
 }

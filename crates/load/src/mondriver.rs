@@ -27,7 +27,10 @@ use gencon_app::{Folder, LogApp};
 use gencon_core::Params;
 use gencon_metrics::{HistoryRing, Registry};
 use gencon_net::{ChannelTransport, Transport};
-use gencon_server::mon::{Alert, AlertKind, ClusterReport, MonConfig, Monitor};
+use gencon_server::mon::{
+    trace_pull, Alert, AlertKind, ClusterReport, MonConfig, Monitor, TracePull,
+    CLOCK_SAMPLES_DEFAULT,
+};
 use gencon_server::{
     run_smr_node_observed, spawn_admin_gated, AdminState, DurableConfig, DurableNode, NodeHook,
     NodeStats, ServerConfig,
@@ -68,6 +71,9 @@ pub struct MonLoadProfile {
     /// Data-dir root (a fresh subdir per node); a process-unique temp
     /// dir when `None`.
     pub data_root: Option<PathBuf>,
+    /// Flight-recorder ring capacity per node (events). Must cover the
+    /// whole run for the post-run stitch to see every committed slot.
+    pub trace_events: usize,
 }
 
 impl MonLoadProfile {
@@ -88,6 +94,7 @@ impl MonLoadProfile {
             polls_before_kill: 2,
             max_wait_polls: 100,
             data_root: None,
+            trace_events: 1 << 17,
         }
     }
 }
@@ -108,6 +115,12 @@ pub struct MonLoadReport {
     pub hashes_agree: bool,
     /// Per-node event-loop statistics.
     pub stats: Vec<NodeStats>,
+    /// The post-run cross-node trace pull: clock estimates and stitched
+    /// cluster slot spans (experiment E15).
+    pub trace: TracePull,
+    /// Stitched cluster spans ÷ max committed slots — how much of the
+    /// run the autopsy actually explains.
+    pub stitched_ratio: f64,
 }
 
 impl MonLoadReport {
@@ -124,6 +137,27 @@ impl MonLoadReport {
             .iter()
             .position(|a| a.kind == AlertKind::StragglerRecovered && a.node == Some(victim));
         matches!((died, back), (Some(d), Some(b)) if d < b)
+    }
+
+    /// Decide-skew `(p50, p99)` in µs over the stitched spans.
+    #[must_use]
+    pub fn decide_skew_pcts(&self) -> (Option<u64>, Option<u64>) {
+        let mut v = self.trace.decide_skews();
+        (
+            gencon_trace::percentile_us(&mut v, 50.0),
+            gencon_trace::percentile_us(&mut v, 99.0),
+        )
+    }
+
+    /// Worst-node quorum-wait `(p50, p99)` in µs over the stitched
+    /// spans.
+    #[must_use]
+    pub fn quorum_wait_pcts(&self) -> (Option<u64>, Option<u64>) {
+        let mut v = self.trace.quorum_waits();
+        (
+            gencon_trace::percentile_us(&mut v, 50.0),
+            gencon_trace::percentile_us(&mut v, 99.0),
+        )
     }
 }
 
@@ -194,10 +228,14 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
         let history = HistoryRing::new(64);
         history.spawn_sampler(registry.clone(), profile.poll_interval);
         let gate = Arc::new(AtomicBool::new(false));
+        // The recorder is shared between the node (which records into
+        // it) and the admin endpoint (whose `spans`/`clock` commands
+        // the post-run trace pull reads).
+        let recorder = FlightRecorder::new(profile.trace_events);
         let state = AdminState {
             node_id,
             registry: registry.clone(),
-            recorder: FlightRecorder::new(64),
+            recorder: recorder.clone(),
             peers: peers.clone(),
             history,
             hashes: hashes.clone(),
@@ -207,7 +245,7 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
             .expect("bind admin endpoint");
         addrs.push(addr);
         offline.push(gate);
-        kits.push((registry, peers, hashes));
+        kits.push((registry, peers, hashes, recorder));
     }
 
     let mut handles = Vec::with_capacity(n);
@@ -215,7 +253,7 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
         let params = params.clone();
         let profile = profile.clone();
         let dir = data_root.join(format!("node{i}"));
-        let (registry, peers, hashes) = kits[i].clone();
+        let (registry, peers, hashes, recorder) = kits[i].clone();
         let gate = Arc::new(AtomicU64::new(0));
         let hook = MonLoadHook {
             workload: ClosedLoop::new(i as u16, profile.clients_per_replica, profile.outstanding),
@@ -250,14 +288,22 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
             .with_gate(gate)
             .with_metrics(&registry)
             .with_hash_cell(hashes);
-            let (replica, _t, stats, _node) =
-                run_smr_node_observed(replica, tr, cfg, node, Some(&registry), None, Some(&peers));
+            let (replica, _t, stats, _node) = run_smr_node_observed(
+                replica,
+                tr,
+                cfg,
+                node,
+                Some(&registry),
+                Some(&recorder),
+                Some(&peers),
+            );
             (replica, stats)
         }));
     }
 
     // The monitor runs in this thread, exactly as gencon-mon would:
     // healthy polls, then the kill choreography, then drain to the end.
+    let admin_addrs = addrs.clone();
     let mut mon = Monitor::new(
         addrs,
         MonConfig {
@@ -311,6 +357,16 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
         .map(|h| h.join().expect("node thread"))
         .collect();
 
+    // E15: with the cluster quiesced (recorders hold the whole run),
+    // estimate every node's clock and stitch the cross-node autopsy —
+    // exactly what `gencon-mon trace-pull` does against live nodes.
+    let trace = trace_pull(
+        &admin_addrs,
+        profile.trace_events,
+        CLOCK_SAMPLES_DEFAULT,
+        &MonConfig::default(),
+    );
+
     // One last poll against the quiesced cluster: gauges and hash cells
     // hold their final values, so this is the run's verdict.
     let final_report = poll(&mut mon, &mut alerts);
@@ -325,6 +381,11 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
     if profile.data_root.is_none() {
         std::fs::remove_dir_all(&data_root).ok();
     }
+    let stitched_ratio = if final_report.max_committed == 0 {
+        0.0
+    } else {
+        trace.spans.len() as f64 / final_report.max_committed as f64
+    };
     MonLoadReport {
         alerts,
         polls: final_report.poll,
@@ -332,6 +393,8 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
         all_reached_target,
         hashes_agree,
         stats: results.into_iter().map(|(_, s)| s).collect(),
+        trace,
+        stitched_ratio,
     }
 }
 
@@ -370,5 +433,37 @@ mod tests {
         // The final report serializes with the agreement evidence.
         let json = report.final_report.to_json();
         assert!(json.contains("\"agreed\":true"), "{json}");
+
+        // E15: the post-run trace pull explains (nearly) the whole run —
+        // every node reachable with a clock estimate, ≥90 % of committed
+        // slots stitched, and finite cross-node latency percentiles.
+        assert!(
+            report.trace.nodes.iter().all(|p| p.reachable),
+            "trace pull missed nodes: {:?}",
+            report.trace.nodes
+        );
+        assert!(
+            report.trace.nodes.iter().all(|p| p.clock.is_some()),
+            "clock estimate missing: {:?}",
+            report.trace.nodes
+        );
+        assert!(
+            report.stitched_ratio >= 0.9,
+            "stitched {} spans for {} committed slots",
+            report.trace.spans.len(),
+            report.final_report.max_committed
+        );
+        let (skew_p50, skew_p99) = report.decide_skew_pcts();
+        assert!(
+            skew_p50.is_some() && skew_p99.is_some(),
+            "no decide-skew percentiles from {} spans",
+            report.trace.spans.len()
+        );
+        let (wait_p50, _) = report.quorum_wait_pcts();
+        assert!(
+            wait_p50.is_some(),
+            "no quorum-wait percentiles from {} spans",
+            report.trace.spans.len()
+        );
     }
 }

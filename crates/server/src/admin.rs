@@ -14,6 +14,11 @@
 //! |               | one JSON line each, oldest first                    |
 //! | `spans [n]`   | per-slot latency breakdowns assembled from the last |
 //! |               | `n` (default 4096) events, one JSON line per slot   |
+//! | `spans a..b`  | the same breakdowns filtered to slots `a ≤ slot < b`|
+//! |               | over the whole retained ring — autopsy exactly the  |
+//! |               | window an alert named                               |
+//! | `clock`       | `{"node_id":…,"now_us":…,"epoch_id":…}` — the       |
+//! |               | recorder's clock reading for offset estimation      |
 //! | `history [n]` | the last `n` (default 32) timestamped registry      |
 //! |               | snapshots from the history ring, one JSON line each |
 //! | `rates`       | derived rates (cmds/fsyncs/rounds per second) over  |
@@ -127,7 +132,8 @@ impl AdminState {
     fn respond(&self, line: &str) -> String {
         let mut words = line.split_whitespace();
         let cmd = words.next().unwrap_or("");
-        let mut arg = |d: usize| words.next().and_then(|w| w.parse().ok()).unwrap_or(d);
+        let raw_arg = words.next();
+        let arg = |d: usize| raw_arg.and_then(|w| w.parse().ok()).unwrap_or(d);
         match cmd {
             "metrics" => self.registry.dump_json(),
             "status" => self.status_json(),
@@ -141,14 +147,29 @@ impl AdminState {
                 out
             }
             "spans" => {
-                let events = self.recorder.tail(arg(SPANS_DEFAULT));
+                // `spans a..b` filters by slot over the whole retained
+                // ring; `spans [n]` windows by event count as before.
+                let range = raw_arg.and_then(parse_slot_range);
+                let events = match range {
+                    Some(_) => self.recorder.tail(self.recorder.capacity()),
+                    None => self.recorder.tail(arg(SPANS_DEFAULT)),
+                };
                 let mut out = String::new();
-                for span in assemble_spans(&events) {
+                for span in assemble_spans(&events)
+                    .iter()
+                    .filter(|s| range.is_none_or(|(from, to)| s.slot >= from && s.slot < to))
+                {
                     out.push_str(&span.to_json());
                     out.push('\n');
                 }
                 out
             }
+            "clock" => format!(
+                "{{\"node_id\":{},\"now_us\":{},\"epoch_id\":{}}}",
+                self.node_id,
+                self.recorder.now_us(),
+                self.recorder.epoch_id(),
+            ),
             "history" => {
                 let snaps = self.history.tail(arg(HISTORY_DEFAULT));
                 let mut out = String::new();
@@ -164,10 +185,18 @@ impl AdminState {
             ),
             "hash" => self.hash_json(),
             _ => "{\"error\":\"unknown command (metrics|status|trace [n]|spans [n]|\
-                  history [n]|rates|hash)\"}"
+                  spans <from>..<to>|clock|history [n]|rates|hash)\"}"
                 .to_string(),
         }
     }
+}
+
+/// Parses the `spans` range form `<from>..<to>` (half-open, like a Rust
+/// range). `None` for anything else — the plain count form keeps
+/// working.
+fn parse_slot_range(arg: &str) -> Option<(u64, u64)> {
+    let (from, to) = arg.split_once("..")?;
+    Some((from.parse().ok()?, to.parse().ok()?))
 }
 
 /// Serves one connection: read a command line, write the answer, close.
@@ -360,6 +389,48 @@ mod tests {
             "{hash}"
         );
         assert!(hash.contains(&"aa".repeat(32)), "{hash}");
+    }
+
+    #[test]
+    fn spans_range_form_filters_by_slot() {
+        let state = test_state();
+        let rec = state.recorder.clone();
+        for slot in 0..20 {
+            rec.record(Stage::Order, EventKind::Proposed, slot, 1);
+            rec.record(Stage::Order, EventKind::Decided, slot, 1);
+        }
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+
+        let window = query(addr, "spans 5..8");
+        let slots: Vec<&str> = window.lines().collect();
+        assert_eq!(slots.len(), 3, "{window}");
+        for (i, line) in slots.iter().enumerate() {
+            assert!(line.contains(&format!("\"slot\":{}", 5 + i)), "{line}");
+        }
+        // Degenerate and empty ranges answer cleanly.
+        assert_eq!(query(addr, "spans 8..5"), "\n");
+        assert_eq!(query(addr, "spans 100..200"), "\n");
+        // The count form still works.
+        assert_eq!(query(addr, "spans").lines().count(), 20);
+    }
+
+    #[test]
+    fn clock_reports_monotonic_reading_and_epoch() {
+        let state = test_state();
+        let rec = state.recorder.clone();
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+        let a = query(addr, "clock");
+        let b = query(addr, "clock");
+        assert!(a.contains("\"node_id\":2"), "{a}");
+        assert!(
+            a.contains(&format!("\"epoch_id\":{}", rec.epoch_id())),
+            "{a}"
+        );
+        let now = |s: &str| -> u64 {
+            let tail = s.split("\"now_us\":").nth(1).unwrap();
+            tail[..tail.find(',').unwrap()].parse().unwrap()
+        };
+        assert!(now(&b) >= now(&a), "clock went backwards: {a} vs {b}");
     }
 
     #[test]

@@ -20,17 +20,37 @@
 //! `--once` renders a single report and exits with status 1 if any
 //! alert fired (the CI assertion mode); `--polls N` stops after N
 //! polls; the default runs until killed.
+//!
+//! ## `trace-pull` — the cross-node slot autopsy
+//!
+//! ```bash
+//! gencon-mon trace-pull --nodes admin:port,... \
+//!   [--spans-window 65536] [--clock-samples 8] [--out CLUSTER_SPANS.jsonl]
+//! ```
+//!
+//! Estimates each node's recorder-clock offset from `--clock-samples`
+//! round-trips of the admin `clock` command (minimum-RTT sample wins;
+//! the ± uncertainty rides along in the output), pulls each node's
+//! `spans`, and stitches them by slot into cluster autopsies: one JSON
+//! line per [`ClusterSlotSpan`](gencon_trace::ClusterSlotSpan) — decide
+//! skew, quorum wait, propose fan-out, slowest-voucher attribution and
+//! the per-slot critical path — followed by one `{"summary":…}` line
+//! with percentiles and every node's clock offset. Exits 1 when no
+//! span could be stitched (the CI assertion mode).
 
 use std::net::SocketAddr;
 use std::process::exit;
 use std::time::Duration;
 
 use gencon_server::cli::{flag_value, parse_flag, required_flag};
-use gencon_server::mon::{MonConfig, Monitor};
+use gencon_server::mon::{
+    trace_pull, MonConfig, Monitor, CLOCK_SAMPLES_DEFAULT, TRACE_PULL_WINDOW_DEFAULT,
+};
 
 const BIN: &str = "gencon-mon";
-const USAGE: &str = "gencon-mon --nodes admin:port,admin:port,... \
-     [--interval-ms 500] [--once | --polls N] [--out FILE]";
+const USAGE: &str = "gencon-mon [trace-pull] --nodes admin:port,admin:port,... \
+     [--interval-ms 500] [--once | --polls N] [--out FILE] \
+     [--spans-window N] [--clock-samples K]";
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag(BIN, args, flag, default)
@@ -62,6 +82,29 @@ fn main() {
     let once = args.iter().any(|a| a == "--once");
     let polls: u64 = parse(&args, "--polls", if once { 1 } else { u64::MAX });
     let out = flag_value(&args, "--out");
+
+    if args.iter().any(|a| a == "trace-pull") {
+        let window: usize = parse(&args, "--spans-window", TRACE_PULL_WINDOW_DEFAULT);
+        let samples: u32 = parse(&args, "--clock-samples", CLOCK_SAMPLES_DEFAULT);
+        let pull = trace_pull(&nodes, window, samples, &cfg);
+        let mut body = String::new();
+        for span in &pull.spans {
+            body.push_str(&span.to_json());
+            body.push('\n');
+        }
+        body.push_str(&format!("{{\"summary\":{}}}\n", pull.summary_json()));
+        print!("{body}");
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, &body) {
+                eprintln!("gencon-mon: cannot write autopsy to {path}: {e}");
+            }
+        }
+        if pull.spans.is_empty() {
+            eprintln!("gencon-mon: trace-pull stitched no spans");
+            exit(1);
+        }
+        return;
+    }
 
     let mut mon = Monitor::new(nodes, cfg);
     let mut alerts_total: u64 = 0;

@@ -52,7 +52,8 @@
 //! `--admin-addr ADDR` turns on the flight recorder (`--trace-events N`
 //! sizes its ring, default 65536) and serves the line-oriented admin
 //! port there: one command per connection — `metrics`, `status`,
-//! `trace [n]`, `spans [n]`, `history [n]`, `rates`, `hash` — see
+//! `trace [n]`, `spans [n]`, `spans <from>..<to>`, `clock`,
+//! `history [n]`, `rates`, `hash` — see
 //! [`gencon_server::admin`]. A sampler thread snapshots the registry
 //! every `--history-interval-ms` (default 500) into a ring of
 //! `--history-len` entries (default 128) backing `history`/`rates`, and

@@ -29,6 +29,13 @@
 //! them cover — nodes sample at the same deterministic boundaries, so a
 //! mismatch there is divergence, not skew.
 //!
+//! Beyond the watchdog, [`trace_pull`] runs the cross-node autopsy:
+//! it estimates every node's recorder-clock offset from K `clock`
+//! round-trips ([`estimate_clock`], min-RTT sample wins, uncertainty
+//! carried), pulls each node's `spans`, and stitches them with
+//! [`gencon_trace::stitch_spans`] into cluster slot spans — decide
+//! skew, quorum wait and fan-out attribution with explicit ± bounds.
+//!
 //! Everything is hand-rolled over the admin port's fixed JSON shapes
 //! (the monitor must not drag a parser dependency into the server
 //! crate); the scanners live here next to their single producer.
@@ -37,6 +44,8 @@ use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use gencon_trace::{stitch_spans, ClockEstimate, ClusterSlotSpan, NodeSpans, SlotSpan};
 
 /// Polling and threshold knobs for [`Monitor`].
 #[derive(Clone, Debug)]
@@ -368,6 +377,222 @@ fn query(addr: SocketAddr, cmd: &str, cfg: &MonConfig) -> std::io::Result<String
         ));
     }
     Ok(out)
+}
+
+// --- cross-node trace pull: clock alignment + stitching ---
+
+/// Clock round-trips per node when the caller does not say.
+pub const CLOCK_SAMPLES_DEFAULT: u32 = 8;
+
+/// Span-window (events) per node when the caller does not say.
+pub const TRACE_PULL_WINDOW_DEFAULT: usize = 1 << 16;
+
+/// Estimates one node's recorder-clock offset against the monitor's
+/// `base` instant, NTP-style: `samples` request/response round-trips of
+/// the admin `clock` command, offset = local midpoint − remote reading,
+/// and the minimum-RTT sample wins (it bounds the error tightest). The
+/// returned uncertainty is half that winning RTT — the mapped instant
+/// genuinely is only known to ±rtt/2. A mid-estimate epoch change
+/// (node restart) discards the samples taken under the old epoch.
+pub fn estimate_clock(
+    addr: SocketAddr,
+    base: std::time::Instant,
+    samples: u32,
+    cfg: &MonConfig,
+) -> std::io::Result<ClockEstimate> {
+    let mut best: Option<(u64, i64)> = None; // (rtt, offset)
+    let mut epoch: Option<u64> = None;
+    let mut used: u32 = 0;
+    for _ in 0..samples.max(1) {
+        let t0 = base.elapsed().as_micros() as i64;
+        let resp = query(addr, "clock", cfg)?;
+        let t1 = base.elapsed().as_micros() as i64;
+        let (Some(remote), Some(eid)) = (json_u64(&resp, "now_us"), json_u64(&resp, "epoch_id"))
+        else {
+            continue;
+        };
+        if epoch.is_some_and(|e| e != eid) {
+            // The node restarted under us: everything sampled against
+            // the old recorder is void.
+            best = None;
+            used = 0;
+        }
+        epoch = Some(eid);
+        used += 1;
+        let rtt = (t1 - t0).max(0) as u64;
+        let offset = (t0 + t1) / 2 - remote as i64;
+        if best.is_none_or(|(r, _)| rtt < r) {
+            best = Some((rtt, offset));
+        }
+    }
+    let ((rtt, offset), epoch_id) = best.zip(epoch).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no usable clock sample")
+    })?;
+    Ok(ClockEstimate {
+        offset_us: offset,
+        uncertainty_us: rtt / 2,
+        epoch_id,
+        samples: used,
+    })
+}
+
+/// Parses one `spans` JSON line back into a [`SlotSpan`] (the admin
+/// port's own output shape — every field an optional unsigned count).
+fn parse_span_line(line: &str) -> Option<SlotSpan> {
+    let slot = json_u64(line, "slot")?;
+    let f = |key: &str| json_u64(line, key);
+    Some(SlotSpan {
+        slot,
+        decided_ts_us: f("decided_ts_us"),
+        decide_round: f("decide_round"),
+        proposed_ts_us: f("proposed_ts_us"),
+        first_heard_ts_us: f("first_heard_ts_us"),
+        first_heard_peer: f("first_heard_peer"),
+        quorum_ts_us: f("quorum_ts_us"),
+        quorum_peer: f("quorum_peer"),
+        order_us: f("order_us"),
+        apply_wait_us: f("apply_wait_us"),
+        apply_svc_us: f("apply_svc_us"),
+        persist_wait_us: f("persist_wait_us"),
+        persist_svc_us: f("persist_svc_us"),
+        ack_us: f("ack_us"),
+        ack_gate_us: f("ack_gate_us"),
+    })
+}
+
+/// One node's share of a trace pull: whether it answered, the clock
+/// estimate it got, and how many spans it contributed.
+#[derive(Clone, Debug)]
+pub struct NodePull {
+    /// Index into the pull's node list.
+    pub node: usize,
+    /// The admin address pulled.
+    pub addr: String,
+    /// Whether clock estimation *and* the span pull both answered.
+    pub reachable: bool,
+    /// The clock mapping used for this node's spans.
+    pub clock: Option<ClockEstimate>,
+    /// Spans this node contributed to the stitch.
+    pub span_count: usize,
+}
+
+impl NodePull {
+    /// One JSON object — offset and ± uncertainty always spelled out.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let clock = self.clock.as_ref().map_or_else(
+            || "null".to_string(),
+            |c| {
+                format!(
+                    "{{\"offset_us\":{},\"uncertainty_us\":{},\"epoch_id\":{},\"samples\":{}}}",
+                    c.offset_us, c.uncertainty_us, c.epoch_id, c.samples
+                )
+            },
+        );
+        format!(
+            "{{\"node\":{},\"addr\":\"{}\",\"reachable\":{},\"clock\":{clock},\
+             \"span_count\":{}}}",
+            self.node, self.addr, self.reachable, self.span_count,
+        )
+    }
+}
+
+/// A completed cross-node trace pull: per-node pull records plus the
+/// stitched cluster spans.
+#[derive(Clone, Debug)]
+pub struct TracePull {
+    /// Per-node pull outcomes, in node-list order.
+    pub nodes: Vec<NodePull>,
+    /// The stitched autopsy, ordered by slot.
+    pub spans: Vec<ClusterSlotSpan>,
+}
+
+impl TracePull {
+    /// Decide-skew values across stitched slots (µs), unsorted.
+    #[must_use]
+    pub fn decide_skews(&self) -> Vec<u64> {
+        self.spans.iter().filter_map(|s| s.decide_skew_us).collect()
+    }
+
+    /// Per-slot worst quorum waits across stitched slots (µs).
+    #[must_use]
+    pub fn quorum_waits(&self) -> Vec<u64> {
+        self.spans
+            .iter()
+            .filter_map(|s| s.quorum_wait_max_us)
+            .collect()
+    }
+
+    /// The pull summary as one JSON object: stitched-slot count,
+    /// per-node clock offsets (± uncertainty, never dropped), and
+    /// decide-skew / quorum-wait / fan-out percentiles.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let nodes: Vec<String> = self.nodes.iter().map(NodePull::to_json).collect();
+        let pct = |mut v: Vec<u64>, p: f64| {
+            gencon_trace::percentile_us(&mut v, p)
+                .map_or_else(|| "null".to_string(), |v| v.to_string())
+        };
+        let fanouts: Vec<u64> = self.spans.iter().filter_map(|s| s.fanout_us).collect();
+        format!(
+            "{{\"stitched_slots\":{},\"nodes_reached\":{},\
+             \"decide_skew_p50_us\":{},\"decide_skew_p99_us\":{},\
+             \"quorum_wait_p50_us\":{},\"quorum_wait_p99_us\":{},\
+             \"fanout_p50_us\":{},\"fanout_p99_us\":{},\"clock\":[{}]}}",
+            self.spans.len(),
+            self.nodes.iter().filter(|n| n.reachable).count(),
+            pct(self.decide_skews(), 50.0),
+            pct(self.decide_skews(), 99.0),
+            pct(self.quorum_waits(), 50.0),
+            pct(self.quorum_waits(), 99.0),
+            pct(fanouts.clone(), 50.0),
+            pct(fanouts, 99.0),
+            nodes.join(","),
+        )
+    }
+}
+
+/// Pulls `clock` + `spans` from every node, maps each node's spans
+/// through its clock estimate, and stitches them into cluster slot
+/// spans. Unreachable nodes are recorded as such and simply missing
+/// from the stitch — the autopsy degrades, it does not fail.
+#[must_use]
+pub fn trace_pull(
+    addrs: &[SocketAddr],
+    window: usize,
+    clock_samples: u32,
+    cfg: &MonConfig,
+) -> TracePull {
+    let base = std::time::Instant::now();
+    let mut nodes = Vec::with_capacity(addrs.len());
+    let mut inputs: Vec<NodeSpans> = Vec::with_capacity(addrs.len());
+    for (i, &addr) in addrs.iter().enumerate() {
+        let mut pull = NodePull {
+            node: i,
+            addr: addr.to_string(),
+            reachable: false,
+            clock: None,
+            span_count: 0,
+        };
+        if let Ok(clock) = estimate_clock(addr, base, clock_samples, cfg) {
+            pull.clock = Some(clock);
+            if let Ok(body) = query(addr, &format!("spans {window}"), cfg) {
+                let spans: Vec<SlotSpan> = body.lines().filter_map(parse_span_line).collect();
+                pull.reachable = true;
+                pull.span_count = spans.len();
+                inputs.push(NodeSpans {
+                    node: i as u64,
+                    clock,
+                    spans,
+                });
+            }
+        }
+        nodes.push(pull);
+    }
+    TracePull {
+        nodes,
+        spans: stitch_spans(&inputs),
+    }
 }
 
 /// Per-node watchdog bookkeeping carried across polls.
@@ -853,6 +1078,94 @@ mod tests {
                 .any(|al| al.kind == AlertKind::StragglerRecovered && al.node == Some(1)),
             "{second:?}"
         );
+    }
+
+    #[test]
+    fn clock_estimate_is_tight_on_loopback() {
+        let (addr, state) = fake_node(0);
+        let base = std::time::Instant::now();
+        let est = estimate_clock(addr, base, 8, &quick_cfg()).unwrap();
+        assert_eq!(est.epoch_id, state.recorder.epoch_id());
+        assert_eq!(est.samples, 8);
+        // Loopback round-trips are well under 100ms, so the offset must
+        // place the recorder's birth (node_ts 0) within 100ms of the
+        // monitor base, and the uncertainty must reflect a real RTT.
+        assert!(est.map(0).abs() < 100_000, "offset {} µs", est.offset_us);
+        assert!(est.uncertainty_us < 100_000, "{est:?}");
+        // Causality survives the mapping: later node readings map later.
+        assert!(est.map(5_000) > est.map(0));
+    }
+
+    #[test]
+    fn trace_pull_stitches_across_fake_nodes() {
+        let (addr_a, a) = fake_node(0);
+        let (addr_b, b) = fake_node(1);
+        use gencon_trace::{EventKind, Stage};
+        for state in [&a, &b] {
+            let rec = &state.recorder;
+            // Slot 3 decided in round 7 on both nodes, with quorum
+            // telemetry; recorder timestamps are real (now_us-based), so
+            // the estimated offsets genuinely map them.
+            rec.record(Stage::Order, EventKind::Proposed, 3, 7);
+            rec.record(Stage::Order, EventKind::HeardFrom, 7, 1);
+            rec.record(Stage::Order, EventKind::QuorumReached, 7, 1);
+            rec.record(Stage::Order, EventKind::Decided, 3, 7);
+        }
+        let cfg = quick_cfg();
+        let pull = trace_pull(&[addr_a, addr_b], 1 << 16, 4, &cfg);
+        assert!(pull.nodes.iter().all(|n| n.reachable), "{:?}", pull.nodes);
+        assert_eq!(pull.spans.len(), 1, "{:?}", pull.spans);
+        let s = &pull.spans[0];
+        assert_eq!(s.slot, 3);
+        assert_eq!(s.nodes.len(), 2);
+        assert!(s.decide_skew_us.is_some(), "{s:?}");
+        assert!(s.quorum_wait_max_us.is_some(), "{s:?}");
+        assert_eq!(s.slowest_voucher, Some(1));
+        let summary = pull.summary_json();
+        assert!(summary.contains("\"stitched_slots\":1"), "{summary}");
+        assert!(summary.contains("\"decide_skew_p50_us\":"), "{summary}");
+        assert!(summary.contains("\"uncertainty_us\":"), "{summary}");
+        assert!(summary.contains("\"offset_us\":"), "{summary}");
+    }
+
+    #[test]
+    fn trace_pull_tolerates_a_dead_node() {
+        let (addr_a, a) = fake_node(0);
+        a.recorder.record(
+            gencon_trace::Stage::Order,
+            gencon_trace::EventKind::Decided,
+            1,
+            1,
+        );
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let pull = trace_pull(&[addr_a, dead], 1 << 16, 2, &quick_cfg());
+        assert!(pull.nodes[0].reachable);
+        assert!(!pull.nodes[1].reachable);
+        assert!(pull.nodes[1].clock.is_none());
+        assert_eq!(pull.spans.len(), 1);
+        assert!(pull.nodes[1].to_json().contains("\"clock\":null"));
+    }
+
+    #[test]
+    fn span_lines_roundtrip_through_the_parser() {
+        let span = SlotSpan {
+            slot: 42,
+            decided_ts_us: Some(9_000),
+            decide_round: Some(12),
+            proposed_ts_us: Some(8_000),
+            first_heard_ts_us: Some(8_200),
+            first_heard_peer: Some(2),
+            quorum_ts_us: Some(8_700),
+            quorum_peer: Some(1),
+            order_us: Some(1_000),
+            ack_us: Some(1_500),
+            ..SlotSpan::default()
+        };
+        assert_eq!(parse_span_line(&span.to_json()), Some(span));
+        assert_eq!(parse_span_line("{\"error\":\"nope\"}"), None);
     }
 
     #[test]

@@ -269,6 +269,13 @@ impl<V: Value> BatchingReplica<V> {
         self.inner.config()
     }
 
+    /// The decision threshold TD — how many concordant round messages
+    /// complete a quorum.
+    #[must_use]
+    pub fn td(&self) -> usize {
+        self.inner.td()
+    }
+
     /// Flattens any newly committed batches into the applied log, stamping
     /// each command with the round it committed at, and re-queues our own
     /// commands whose proposed batch lost the slot.

@@ -335,6 +335,13 @@ impl<V: Value> Replica<V> {
         self.params.cfg
     }
 
+    /// The decision threshold TD — how many concordant round messages
+    /// complete a quorum.
+    #[must_use]
+    pub fn td(&self) -> usize {
+        self.params.td
+    }
+
     /// Commands still queued locally.
     #[must_use]
     pub fn pending(&self) -> &[V] {

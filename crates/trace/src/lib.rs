@@ -27,7 +27,14 @@
 //!   persisted → acked, plus state-transfer and peer-liveness events.
 //! * [`assemble_spans`] — joins events by slot into [`SlotSpan`]
 //!   latency breakdowns (order / apply / persist / ack segments, with
-//!   queue-wait split from service time), serialized as JSON lines.
+//!   queue-wait split from service time, plus quorum-formation marks
+//!   joined from the decide round), serialized as JSON lines.
+//! * [`cluster`] — makes spans comparable *across* nodes: NTP-style
+//!   [`ClockEstimate`]s map each node's private recorder clock into a
+//!   shared timebase (uncertainty carried, not hidden), and
+//!   [`stitch_spans`] joins per-node spans by slot into
+//!   [`ClusterSlotSpan`] autopsies — propose fan-out, concordance
+//!   wait, decide skew, slowest-voucher attribution.
 //! * [`PeerTable`] — shared per-peer health (last-heard round, lag,
 //!   written-off flag) the order loop publishes and an admin endpoint
 //!   reads live.
@@ -44,11 +51,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 mod hash;
 mod peer;
 mod ring;
 mod span;
 
+pub use cluster::{percentile_us, stitch_spans, ClockEstimate, ClusterSlotSpan, NodeSpans};
 pub use hash::{hash_hex, HashCell};
 pub use peer::{PeerRow, PeerTable};
 pub use ring::{EventKind, FlightRecorder, Stage, TraceEvent, Tracer};

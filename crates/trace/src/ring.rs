@@ -65,11 +65,11 @@ pub enum EventKind {
     Shed,
     /// This node first proposed a value for `slot`.
     Proposed,
-    /// The round loop advanced (`slot` = new round, `detail` =
-    /// committed-slot watermark).
+    /// The round loop advanced (`slot` = new round, `detail` = the
+    /// adaptive collect deadline armed for it, in µs).
     RoundAdvance,
-    /// A collect deadline expired (`slot` = round, `detail` = number of
-    /// messages gathered before the timeout).
+    /// A collect deadline expired (`slot` = round, `detail` = the
+    /// adaptive deadline that expired, in µs).
     Timeout,
     /// `slot` was committed by consensus (`detail` = round).
     Decided,
@@ -108,6 +108,14 @@ pub enum EventKind {
     /// A written-off peer spoke again and was re-enrolled (`slot` =
     /// peer id, `detail` = the round it resurfaced in).
     PeerReEnrolled,
+    /// First frame received from a sender during a round's collect
+    /// window (`slot` = round, `detail` = the peer id heard from).
+    HeardFrom,
+    /// The TD-th concordant round message landed — the decision
+    /// quorum is complete (`slot` = round, `detail` = the peer id
+    /// whose message completed it; this node's own id when buffered
+    /// frames already held a quorum at round entry).
+    QuorumReached,
 }
 
 impl EventKind {
@@ -131,6 +139,8 @@ impl EventKind {
             15 => EventKind::SnapshotInstalled,
             16 => EventKind::PeerWrittenOff,
             17 => EventKind::PeerReEnrolled,
+            18 => EventKind::HeardFrom,
+            19 => EventKind::QuorumReached,
             _ => return None,
         })
     }
@@ -157,6 +167,8 @@ impl EventKind {
             EventKind::SnapshotInstalled => "snapshot_installed",
             EventKind::PeerWrittenOff => "peer_written_off",
             EventKind::PeerReEnrolled => "peer_re_enrolled",
+            EventKind::HeardFrom => "heard_from",
+            EventKind::QuorumReached => "quorum_reached",
         }
     }
 }
@@ -214,6 +226,7 @@ struct Ring {
     mask: u64,
     next: AtomicU64,
     epoch: Instant,
+    epoch_id: u64,
 }
 
 /// A fixed-capacity, lock-free, multi-writer flight recorder.
@@ -251,6 +264,9 @@ impl FlightRecorder {
                 mask: (cap - 1) as u64,
                 next: AtomicU64::new(0),
                 epoch: Instant::now(),
+                epoch_id: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.as_micros() as u64),
             }),
         }
     }
@@ -272,6 +288,16 @@ impl FlightRecorder {
     #[must_use]
     pub fn now_us(&self) -> u64 {
         self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// An id for this recorder's clock epoch (wall-clock µs sampled at
+    /// construction). Two readings of `now_us` are only comparable when
+    /// taken under the same epoch id: a changed id means the process —
+    /// and therefore the `Instant` epoch behind `now_us` — restarted,
+    /// invalidating any previously estimated clock offset.
+    #[must_use]
+    pub fn epoch_id(&self) -> u64 {
+        self.inner.epoch_id
     }
 
     /// Records one event. Never blocks; wraps by overwriting the
@@ -457,6 +483,8 @@ mod tests {
             EventKind::SnapshotInstalled,
             EventKind::PeerWrittenOff,
             EventKind::PeerReEnrolled,
+            EventKind::HeardFrom,
+            EventKind::QuorumReached,
         ];
         let rec = FlightRecorder::new(stages.len() * kinds.len());
         for stage in stages {

@@ -15,6 +15,22 @@ pub struct SlotSpan {
     pub slot: u64,
     /// When the slot was committed (recorder µs), the span's anchor.
     pub decided_ts_us: Option<u64>,
+    /// The round the commit landed in (the `Decided` event's detail).
+    pub decide_round: Option<u64>,
+    /// When this node proposed the slot (recorder µs) — absolute, so a
+    /// cross-node stitcher can map it into a cluster timebase.
+    pub proposed_ts_us: Option<u64>,
+    /// When the first peer frame of the decide round arrived
+    /// (recorder µs), and which peer sent it — network fan-out.
+    pub first_heard_ts_us: Option<u64>,
+    /// Peer id behind `first_heard_ts_us`.
+    pub first_heard_peer: Option<u64>,
+    /// When the TD-th concordant message of the decide round landed
+    /// (recorder µs) — the quorum was complete from here on.
+    pub quorum_ts_us: Option<u64>,
+    /// Peer id whose message completed the quorum (this node's own id
+    /// when buffered frames already held a quorum at round entry).
+    pub quorum_peer: Option<u64>,
     /// Proposed → decided: consensus rounds plus proposal queueing.
     pub order_us: Option<u64>,
     /// Decided → handed to the apply stage, i.e. apply queue wait.
@@ -44,6 +60,12 @@ impl SlotSpan {
             }
         };
         push("decided_ts_us", self.decided_ts_us);
+        push("decide_round", self.decide_round);
+        push("proposed_ts_us", self.proposed_ts_us);
+        push("first_heard_ts_us", self.first_heard_ts_us);
+        push("first_heard_peer", self.first_heard_peer);
+        push("quorum_ts_us", self.quorum_ts_us);
+        push("quorum_peer", self.quorum_peer);
         push("order_us", self.order_us);
         push("apply_wait_us", self.apply_wait_us);
         push("apply_svc_us", self.apply_svc_us);
@@ -59,12 +81,18 @@ impl SlotSpan {
 #[derive(Clone, Copy, Default)]
 struct SlotMarks {
     proposed: Option<u64>,
-    decided: Option<u64>,
+    decided: Option<(u64, u64)>, // (ts, round)
     apply_queued: Option<u64>,
     applied: Option<(u64, u64)>, // (ts, service µs)
     persist_queued: Option<u64>,
     persisted: Option<(u64, u64)>, // (ts, service µs)
     acked: Option<(u64, u64)>,     // (ts, gate-wait µs)
+}
+
+#[derive(Clone, Copy, Default)]
+struct RoundMarks {
+    first_heard: Option<(u64, u64)>, // (ts, peer)
+    quorum: Option<(u64, u64)>,      // (ts, peer)
 }
 
 /// Joins `events` by slot into latency breakdowns, one [`SlotSpan`] per
@@ -74,33 +102,52 @@ struct SlotMarks {
 /// (re-proposals and re-acks do not stretch the span). Slots whose
 /// decide fell outside the window are dropped — a partial tail would
 /// otherwise fabricate negative or absurd segments.
+///
+/// Round-scoped quorum telemetry (`HeardFrom`, `QuorumReached`) is
+/// gathered per round and joined onto every slot whose `Decided` event
+/// named that round, so each span also carries *when* and *through
+/// whom* its decision quorum formed.
 #[must_use]
 pub fn assemble_spans(events: &[TraceEvent]) -> Vec<SlotSpan> {
     let mut marks: Vec<(u64, SlotMarks)> = Vec::new();
-    fn at(marks: &mut Vec<(u64, SlotMarks)>, slot: u64) -> usize {
-        match marks.binary_search_by_key(&slot, |(s, _)| *s) {
+    let mut rounds: Vec<(u64, RoundMarks)> = Vec::new();
+    fn at<M: Default>(marks: &mut Vec<(u64, M)>, key: u64) -> usize {
+        match marks.binary_search_by_key(&key, |(s, _)| *s) {
             Ok(i) => i,
             Err(i) => {
-                marks.insert(i, (slot, SlotMarks::default()));
+                marks.insert(i, (key, M::default()));
                 i
             }
         }
     }
     for ev in events {
-        let i = match ev.kind {
+        match ev.kind {
+            EventKind::HeardFrom => {
+                let i = at(&mut rounds, ev.slot);
+                let r = &mut rounds[i].1;
+                r.first_heard = r.first_heard.or(Some((ev.ts_us, ev.detail)));
+                continue;
+            }
+            EventKind::QuorumReached => {
+                let i = at(&mut rounds, ev.slot);
+                let r = &mut rounds[i].1;
+                r.quorum = r.quorum.or(Some((ev.ts_us, ev.detail)));
+                continue;
+            }
             EventKind::Proposed
             | EventKind::Decided
             | EventKind::ApplyQueued
             | EventKind::Applied
             | EventKind::PersistQueued
             | EventKind::Persisted
-            | EventKind::Acked => at(&mut marks, ev.slot),
+            | EventKind::Acked => {}
             _ => continue,
-        };
+        }
+        let i = at(&mut marks, ev.slot);
         let m = &mut marks[i].1;
         match ev.kind {
             EventKind::Proposed => m.proposed = m.proposed.or(Some(ev.ts_us)),
-            EventKind::Decided => m.decided = m.decided.or(Some(ev.ts_us)),
+            EventKind::Decided => m.decided = m.decided.or(Some((ev.ts_us, ev.detail))),
             EventKind::ApplyQueued => m.apply_queued = m.apply_queued.or(Some(ev.ts_us)),
             EventKind::Applied => m.applied = m.applied.or(Some((ev.ts_us, ev.detail))),
             EventKind::PersistQueued => m.persist_queued = m.persist_queued.or(Some(ev.ts_us)),
@@ -112,10 +159,20 @@ pub fn assemble_spans(events: &[TraceEvent]) -> Vec<SlotSpan> {
     marks
         .into_iter()
         .filter_map(|(slot, m)| {
-            let decided = m.decided?;
+            let (decided, round) = m.decided?;
+            let rm = rounds
+                .binary_search_by_key(&round, |(r, _)| *r)
+                .ok()
+                .map_or_else(RoundMarks::default, |i| rounds[i].1);
             Some(SlotSpan {
                 slot,
                 decided_ts_us: Some(decided),
+                decide_round: Some(round),
+                proposed_ts_us: m.proposed,
+                first_heard_ts_us: rm.first_heard.map(|(ts, _)| ts),
+                first_heard_peer: rm.first_heard.map(|(_, peer)| peer),
+                quorum_ts_us: rm.quorum.map(|(ts, _)| ts),
+                quorum_peer: rm.quorum.map(|(_, peer)| peer),
                 order_us: m.proposed.map(|p| decided.saturating_sub(p)),
                 apply_wait_us: m.apply_queued.map(|q| q.saturating_sub(decided)),
                 apply_svc_us: m.applied.map(|(_, svc)| svc),
@@ -165,6 +222,8 @@ mod tests {
         assert_eq!(spans.len(), 1);
         let s = spans[0];
         assert_eq!(s.slot, 7);
+        assert_eq!(s.decide_round, Some(3));
+        assert_eq!(s.proposed_ts_us, Some(100));
         assert_eq!(s.order_us, Some(150));
         assert_eq!(s.apply_wait_us, Some(10));
         assert_eq!(s.apply_svc_us, Some(15));
@@ -202,7 +261,10 @@ mod tests {
     #[test]
     fn json_omits_missing_segments() {
         let spans = assemble_spans(&[ev(10, EventKind::Decided, 2, 0)]);
-        assert_eq!(spans[0].to_json(), "{\"slot\":2,\"decided_ts_us\":10}");
+        assert_eq!(
+            spans[0].to_json(),
+            "{\"slot\":2,\"decided_ts_us\":10,\"decide_round\":0}"
+        );
         let full = SlotSpan {
             slot: 1,
             decided_ts_us: Some(5),
@@ -213,5 +275,32 @@ mod tests {
             full.to_json(),
             "{\"slot\":1,\"decided_ts_us\":5,\"order_us\":2}"
         );
+    }
+
+    #[test]
+    fn quorum_telemetry_joins_by_decide_round() {
+        // Two slots decided in round 5, one in round 6 with no quorum
+        // events in the window — the join must hit the former and leave
+        // the latter's quorum fields empty.
+        let events = vec![
+            ev(100, EventKind::HeardFrom, 5, 2),
+            ev(130, EventKind::HeardFrom, 5, 0),
+            ev(140, EventKind::QuorumReached, 5, 0),
+            ev(150, EventKind::Decided, 8, 5),
+            ev(151, EventKind::Decided, 9, 5),
+            ev(400, EventKind::Decided, 10, 6),
+        ];
+        let spans = assemble_spans(&events);
+        assert_eq!(spans.len(), 3);
+        for s in &spans[..2] {
+            assert_eq!(s.decide_round, Some(5));
+            assert_eq!(s.first_heard_ts_us, Some(100));
+            assert_eq!(s.first_heard_peer, Some(2));
+            assert_eq!(s.quorum_ts_us, Some(140));
+            assert_eq!(s.quorum_peer, Some(0));
+        }
+        assert_eq!(spans[2].decide_round, Some(6));
+        assert_eq!(spans[2].quorum_ts_us, None);
+        assert_eq!(spans[2].first_heard_peer, None);
     }
 }

@@ -1,0 +1,246 @@
+//! Property tests for the cluster stitcher: random per-node clock
+//! offsets, partial/wrapped rings and missing nodes must never panic
+//! the stitch, and causally-consistent inputs must stay causal after
+//! the clock mapping (propose ≤ quorum ≤ decide per node — one node's
+//! timestamps all shift by the same offset).
+
+use proptest::prelude::*;
+
+use gencon_trace::{
+    assemble_spans, stitch_spans, ClockEstimate, EventKind, NodeSpans, SlotSpan, Stage, TraceEvent,
+};
+
+/// Clock estimates with offsets on both sides of zero (the node's
+/// recorder may predate or postdate the monitor's epoch).
+fn clock() -> impl Strategy<Value = ClockEstimate> {
+    (0u64..4_000_000, 0u64..5_000, 1u32..16).prop_map(|(off, unc, samples)| ClockEstimate {
+        offset_us: off as i64 - 2_000_000,
+        uncertainty_us: unc,
+        epoch_id: 1,
+        samples,
+    })
+}
+
+/// One node's slot observations, causal on its own clock:
+/// `(slot, base µs, heard→quorum µs, quorum→decide µs, field mask,
+/// peer)`. Mask bits gate which fields the span actually carries
+/// (1 = proposed, 2 = first-heard, 4 = quorum, 8 = decided), so every
+/// combination of holes gets exercised.
+fn observations() -> impl Strategy<Value = Vec<(u64, u64, u64, u64, u8, u64)>> {
+    proptest::collection::vec(
+        (
+            0u64..24,
+            0u64..1_000_000,
+            0u64..20_000,
+            0u64..20_000,
+            0u8..16,
+            0u64..8,
+        ),
+        0..32,
+    )
+}
+
+/// Builds one node's span list from generated observations, keeping
+/// the first occurrence of each slot (the stitcher joins by first
+/// match too, so assertions can reconstruct exactly what it saw).
+fn build_spans(obs: &[(u64, u64, u64, u64, u8, u64)]) -> Vec<SlotSpan> {
+    let mut spans: Vec<SlotSpan> = Vec::new();
+    for &(slot, base, d1, d2, mask, peer) in obs {
+        if spans.iter().any(|s| s.slot == slot) {
+            continue;
+        }
+        let heard = base + d1;
+        let quorum = heard + d2;
+        let decided = quorum + (d1 >> 1);
+        spans.push(SlotSpan {
+            slot,
+            proposed_ts_us: (mask & 1 != 0).then_some(base),
+            first_heard_ts_us: (mask & 2 != 0).then_some(heard),
+            first_heard_peer: (mask & 2 != 0).then_some(peer),
+            quorum_ts_us: (mask & 4 != 0).then_some(quorum),
+            quorum_peer: (mask & 4 != 0).then_some((peer + 1) % 8),
+            decided_ts_us: (mask & 8 != 0).then_some(decided),
+            decide_round: (mask & 8 != 0).then_some(slot + 100),
+            ..SlotSpan::default()
+        });
+    }
+    spans
+}
+
+proptest! {
+    /// Causal per-node inputs stay causal after mapping, per-node
+    /// quorum waits are exact (offset-free), and the cross-node
+    /// aggregates (propose attribution, fan-out, decide skew,
+    /// uncertainty) match a straight recomputation from the inputs.
+    #[test]
+    fn stitched_views_respect_causality(
+        nodes in proptest::collection::vec((clock(), observations()), 1..5)
+    ) {
+        let inputs: Vec<NodeSpans> = nodes
+            .iter()
+            .enumerate()
+            .map(|(id, (clock, obs))| NodeSpans {
+                node: id as u64,
+                clock: *clock,
+                spans: build_spans(obs),
+            })
+            .collect();
+        let stitched = stitch_spans(&inputs);
+
+        // Exactly the decided slots come out, in strictly ascending
+        // order.
+        let mut expect: Vec<u64> = inputs
+            .iter()
+            .flat_map(|n| n.spans.iter())
+            .filter(|s| s.decided_ts_us.is_some())
+            .map(|s| s.slot)
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let got: Vec<u64> = stitched.iter().map(|s| s.slot).collect();
+        prop_assert_eq!(got, expect);
+
+        for span in &stitched {
+            let at = |node: u64| {
+                inputs[node as usize].spans.iter().find(|s| s.slot == span.slot).unwrap()
+            };
+            for w in span.nodes.windows(2) {
+                prop_assert!(w[0].node < w[1].node);
+            }
+            for view in &span.nodes {
+                let input = at(view.node);
+                let clock = inputs[view.node as usize].clock;
+                // Only deciders get a per-node view, and its mapped
+                // timeline is still causal: heard ≤ quorum ≤ decide.
+                prop_assert_eq!(
+                    Some(view.decided_ts_us),
+                    input.decided_ts_us.map(|ts| clock.map(ts))
+                );
+                if let (Some(h), Some(q)) = (view.first_heard_ts_us, view.quorum_ts_us) {
+                    prop_assert!(h <= q && q <= view.decided_ts_us);
+                    // Same-clock difference: exact, no offset error.
+                    prop_assert_eq!(
+                        view.quorum_wait_us,
+                        Some((q - h) as u64)
+                    );
+                } else {
+                    prop_assert!(view.quorum_wait_us.is_none());
+                }
+                prop_assert!(span.uncertainty_us >= view.uncertainty_us);
+            }
+
+            // Propose attribution: the earliest mapped propose among
+            // every node that retained the slot (decided or not).
+            let expect_propose = inputs
+                .iter()
+                .filter_map(|n| {
+                    n.spans
+                        .iter()
+                        .find(|s| s.slot == span.slot)
+                        .and_then(|s| s.proposed_ts_us)
+                        .map(|ts| n.clock.map(ts))
+                })
+                .min();
+            prop_assert_eq!(span.propose_ts_us, expect_propose);
+
+            // Fan-out: propose → earliest mapped first-heard among the
+            // deciding views, clamped at zero when clock error inverts
+            // the pair.
+            let heard_min = span.nodes.iter().filter_map(|v| v.first_heard_ts_us).min();
+            let expect_fanout = match (span.propose_ts_us, heard_min) {
+                (Some(p), Some(h)) => Some(h.saturating_sub(p).max(0) as u64),
+                _ => None,
+            };
+            prop_assert_eq!(span.fanout_us, expect_fanout);
+
+            // Decide skew needs two observers and is exactly max − min
+            // of the mapped decide instants.
+            if span.nodes.len() < 2 {
+                prop_assert!(span.decide_skew_us.is_none());
+            } else {
+                let lo = span.nodes.iter().map(|v| v.decided_ts_us).min().unwrap();
+                let hi = span.nodes.iter().map(|v| v.decided_ts_us).max().unwrap();
+                prop_assert_eq!(span.decide_skew_us, Some((hi - lo) as u64));
+            }
+
+            let json = span.to_json();
+            prop_assert!(json.starts_with(&format!("{{\"slot\":{}", span.slot)));
+            prop_assert!(json.ends_with('}'));
+            prop_assert!(json.contains("\"uncertainty_us\":"));
+        }
+    }
+
+    /// Arbitrary event soup through the real `assemble_spans` →
+    /// `stitch_spans` pipeline, with rings wrapped at random points
+    /// (only a suffix of each node's events survives) and whole nodes
+    /// missing: never panics, keeps slots sorted and unique, and only
+    /// emits slots some surviving node actually decided.
+    #[test]
+    fn wrapped_rings_and_missing_nodes_never_panic(
+        nodes in proptest::collection::vec(
+            (
+                clock(),
+                proptest::collection::vec(
+                    (0u64..100_000, 0usize..8, 0u64..40, 0u64..50),
+                    0..200,
+                ),
+                0usize..1_000,
+                any::<bool>(),
+            ),
+            1..5,
+        )
+    ) {
+        let kinds = [
+            EventKind::Proposed,
+            EventKind::RoundAdvance,
+            EventKind::Timeout,
+            EventKind::Decided,
+            EventKind::Applied,
+            EventKind::Acked,
+            EventKind::HeardFrom,
+            EventKind::QuorumReached,
+        ];
+        let mut inputs: Vec<NodeSpans> = Vec::new();
+        let mut survivors: Vec<Vec<TraceEvent>> = Vec::new();
+        for (id, (clock, events, wrap, present)) in nodes.iter().enumerate() {
+            if !present {
+                continue;
+            }
+            let evs: Vec<TraceEvent> = events
+                .iter()
+                .map(|&(ts_us, kind, slot, detail)| TraceEvent {
+                    ts_us,
+                    stage: Stage::Order,
+                    kind: kinds[kind],
+                    slot,
+                    detail,
+                })
+                .collect();
+            // The ring wrapped: only the newest suffix survives.
+            let evs = evs[(wrap % (evs.len() + 1)).min(evs.len())..].to_vec();
+            inputs.push(NodeSpans {
+                node: id as u64,
+                clock: *clock,
+                spans: assemble_spans(&evs),
+            });
+            survivors.push(evs);
+        }
+        let stitched = stitch_spans(&inputs);
+
+        for w in stitched.windows(2) {
+            prop_assert!(w[0].slot < w[1].slot);
+        }
+        for span in &stitched {
+            prop_assert!(!span.nodes.is_empty());
+            for w in span.nodes.windows(2) {
+                prop_assert!(w[0].node < w[1].node);
+            }
+            // Someone who survived the wrap really decided this slot.
+            prop_assert!(survivors.iter().any(|evs| evs
+                .iter()
+                .any(|e| e.kind == EventKind::Decided && e.slot == span.slot)));
+            let json = span.to_json();
+            prop_assert!(json.ends_with('}'), "{}", json);
+        }
+    }
+}
