@@ -1,0 +1,127 @@
+//! Experiment **E16** — the relay-path latency penalty, measured
+//! (`BENCH_cmd.json`).
+//!
+//! Runs the two-population command-tracing cluster of
+//! [`run_cmd_load`]: a 4-node PBFT mesh whose gateways serve real TCP
+//! clients, with the **coordinator population** submitting at node 0
+//! and the **relay population** at node 3 (a follower most rounds, so
+//! its commands take the relay path into someone else's batch). Every
+//! command is traced from `Submitted` to `CmdAcked`; the run reports
+//! per-segment p50/p99 for both populations side by side — queue wait,
+//! batch wait, order, ack, e2e — which quantifies what relaying
+//! actually costs at the tail, a number the paper's round counts
+//! cannot produce.
+//!
+//! The same configuration runs **untraced first**, so the file also
+//! carries the tracing overhead itself (`traced_vs_untraced`
+//! throughput ratio — the stamps are a handful of atomic ring writes,
+//! so this should hover near 1.0).
+//!
+//! Run: `cargo run --release -p gencon_bench --bin loadgen_cmd`
+//! Smoke (CI): `... --bin loadgen_cmd -- --smoke`
+//! Output path: `--out <path>` (default `BENCH_cmd.json`) — one JSON
+//! object: both populations' segment percentiles, the cluster-stitched
+//! pull summary (relay hops with clock uncertainty carried), and the
+//! overhead ratio.
+
+use gencon_load::{run_cmd_load, CmdLoadProfile};
+use gencon_smr::Batch;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cmd.json".to_string());
+
+    println!(
+        "# E16 — command-path tracing: relay-path vs coordinator-path latency ({})\n",
+        if smoke { "smoke run" } else { "full run" }
+    );
+
+    let spec = gencon_algos::pbft::<Batch<u64>>(4, 1).expect("pbft");
+    let count = if smoke { 400 } else { 2_000 };
+
+    let mut untraced_profile = CmdLoadProfile::new(count);
+    untraced_profile.traced = false;
+    let untraced = run_cmd_load(&spec.params, &untraced_profile);
+
+    let mut profile = CmdLoadProfile::new(count);
+    profile.slo_p99_us = 50_000;
+    let report = run_cmd_load(&spec.params, &profile);
+
+    let ratio = if untraced.cmds_per_sec() > 0.0 {
+        report.cmds_per_sec() / untraced.cmds_per_sec()
+    } else {
+        0.0
+    };
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |x| x.to_string());
+    println!(
+        "coordinator: {} spans · e2e p50/p99 {}/{} µs · queue wait p50 {} µs",
+        report.coordinator.spans,
+        opt(report.coordinator.e2e.p50_us),
+        opt(report.coordinator.e2e.p99_us),
+        opt(report.coordinator.queue_wait.p50_us),
+    );
+    println!(
+        "relay:       {} spans ({} relayed) · e2e p50/p99 {}/{} µs",
+        report.relay.spans,
+        report.relay.relayed_spans,
+        opt(report.relay.e2e.p50_us),
+        opt(report.relay.e2e.p99_us),
+    );
+    if let (Some(c99), Some(r99)) = (report.coordinator.e2e.p99_us, report.relay.e2e.p99_us) {
+        println!(
+            "relay-path p99 penalty: {:+.1}% ({} µs vs {} µs)",
+            (r99 as f64 / c99 as f64 - 1.0) * 100.0,
+            r99,
+            c99,
+        );
+    }
+    let hops: usize = report.pull.spans.iter().map(|s| s.hops.len()).sum();
+    println!(
+        "cluster stitch: {} cmds · {} relay hops mapped · traced/untraced throughput {:.3}",
+        report.pull.spans.len(),
+        hops,
+        ratio,
+    );
+
+    assert_eq!(
+        report.acked,
+        count * 2,
+        "a population fell short of its ack target"
+    );
+    assert!(
+        report.coordinator.e2e.p50_us.is_some() && report.relay.e2e.p50_us.is_some(),
+        "a population produced no e2e spans"
+    );
+    assert!(
+        report.relay.relayed_spans > 0,
+        "the follower population never took the relay path"
+    );
+    assert!(hops > 0, "no relay hop stitched across nodes");
+    assert!(
+        ratio > 0.5,
+        "tracing cost more than half the throughput: {ratio:.3}"
+    );
+
+    let body = format!(
+        "{{\"coordinator\":{},\"relay\":{},\"stitched\":{},\
+         \"traced_cmds_per_sec\":{:.1},\"untraced_cmds_per_sec\":{:.1},\
+         \"traced_vs_untraced\":{:.4}}}\n",
+        report.coordinator.to_json(),
+        report.relay.to_json(),
+        report.pull.summary_json(),
+        report.cmds_per_sec(),
+        untraced.cmds_per_sec(),
+        ratio,
+    );
+    if let Err(e) = std::fs::write(&out_path, body) {
+        eprintln!("loadgen_cmd: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nE16 report written to {out_path}");
+}

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod appdriver;
+mod cmddriver;
 mod driver;
 mod hist;
 mod mondriver;
@@ -77,6 +78,7 @@ pub use appdriver::{
     run_app_growth, run_app_transfer, AppGrowthProfile, AppGrowthReport, AppTransferProfile,
     AppTransferReport,
 };
+pub use cmddriver::{run_cmd_load, CmdLoadProfile, CmdLoadReport, PopulationStats, SegmentPcts};
 pub use driver::{run_load, LoadProfile, LoadReport, WorkloadKind};
 pub use hist::LatencyHistogram;
 pub use mondriver::{run_mon_load, MonLoadProfile, MonLoadReport};

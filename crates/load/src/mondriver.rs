@@ -239,6 +239,7 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
             peers: peers.clone(),
             history,
             hashes: hashes.clone(),
+            slow_cmds: gencon_trace::SlowCmdRing::new(),
             io_timeout: Duration::from_secs(2),
         };
         let addr = spawn_admin_gated("127.0.0.1:0".parse().expect("addr"), state, gate.clone())
@@ -315,6 +316,7 @@ pub fn run_mon_load(params: &Params<Batch<u64>>, profile: &MonLoadProfile) -> Mo
             // death should alert, not scheduling jitter.
             straggler_slots: u64::MAX,
             straggler_rounds: u64::MAX,
+            ..MonConfig::default()
         },
     );
     let mut alerts: Vec<Alert> = Vec::new();

@@ -25,6 +25,11 @@
 //! |               | the newest history interval                         |
 //! | `hash`        | the node's published `(applied count, state hash)`  |
 //! |               | pairs — the cross-replica divergence audit record   |
+//! | `cmds [n]`    | per-command latency breakdowns (submit → ack, relay |
+//! |               | legs counted) assembled from the last `n` (default  |
+//! |               | 4096) events, one JSON line per command             |
+//! | `slowest [n]` | the `n` slowest commands by e2e the exemplar ring   |
+//! |               | retains (default: all of them), slowest first       |
 //!
 //! The endpoint is read-only and runs on its own thread; every answer is
 //! assembled from lock-free snapshots (metric handles, the flight
@@ -41,7 +46,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gencon_metrics::{HistoryRing, Registry};
-use gencon_trace::{assemble_spans, hash_hex, FlightRecorder, HashCell, PeerTable};
+use gencon_trace::{
+    assemble_cmd_spans, assemble_spans, hash_hex, FlightRecorder, HashCell, PeerTable, SlowCmdRing,
+};
 
 /// Default event count for `trace` without an argument.
 const TRACE_DEFAULT: usize = 256;
@@ -72,6 +79,9 @@ pub struct AdminState {
     pub history: HistoryRing,
     /// The published state-hash pairs backing `hash`.
     pub hashes: HashCell,
+    /// The slow-command exemplar ring backing `slowest` (share the
+    /// gateway's ring; an unshared fresh ring just answers empty).
+    pub slow_cmds: SlowCmdRing,
     /// Read/write deadline set on every accepted stream, so one silent
     /// client cannot freeze the port.
     pub io_timeout: Duration,
@@ -89,10 +99,12 @@ impl AdminState {
             .iter()
             .map(gencon_trace::PeerRow::to_json)
             .collect();
+        let c = |name: &str| self.registry.counter_value(name).unwrap_or(0);
         format!(
             "{{\"node_id\":{},\"round\":{round},\"committed_slots\":{},\"applied\":{},\
              \"queued\":{},\"persist_gate\":{},\"ingest_queue\":{},\"apply_queue\":{},\
-             \"persist_queue\":{},\"trace_events\":{},\"peers\":[{}]}}",
+             \"persist_queue\":{},\"bounced_backpressure\":{},\"bounced_redirect\":{},\
+             \"trace_events\":{},\"peers\":[{}]}}",
             self.node_id,
             g("order.committed_slots"),
             g("order.applied"),
@@ -101,6 +113,8 @@ impl AdminState {
             g("ingest.queue_depth_now"),
             g("apply.queue_depth_now"),
             g("persist.queue_depth_now"),
+            c("ack.bounced_backpressure"),
+            c("ack.bounced_redirect"),
             self.recorder.recorded(),
             peers.join(","),
         )
@@ -184,8 +198,26 @@ impl AdminState {
                 |report| report.to_json(),
             ),
             "hash" => self.hash_json(),
+            "cmds" => {
+                let events = self.recorder.tail(arg(SPANS_DEFAULT));
+                let slots = assemble_spans(&events);
+                let mut out = String::new();
+                for span in assemble_cmd_spans(&events, &slots) {
+                    out.push_str(&span.to_json());
+                    out.push('\n');
+                }
+                out
+            }
+            "slowest" => {
+                let mut out = String::new();
+                for ex in self.slow_cmds.top(arg(self.slow_cmds.capacity())) {
+                    out.push_str(&ex.to_json());
+                    out.push('\n');
+                }
+                out
+            }
             _ => "{\"error\":\"unknown command (metrics|status|trace [n]|spans [n]|\
-                  spans <from>..<to>|clock|history [n]|rates|hash)\"}"
+                  spans <from>..<to>|clock|history [n]|rates|hash|cmds [n]|slowest [n])\"}"
                 .to_string(),
         }
     }
@@ -293,6 +325,7 @@ mod tests {
             peers: PeerTable::new(3),
             history: HistoryRing::new(16),
             hashes: HashCell::new(),
+            slow_cmds: SlowCmdRing::new(),
             io_timeout: ADMIN_IO_TIMEOUT,
         }
     }
@@ -412,6 +445,47 @@ mod tests {
         assert_eq!(query(addr, "spans 100..200"), "\n");
         // The count form still works.
         assert_eq!(query(addr, "spans").lines().count(), 20);
+    }
+
+    #[test]
+    fn slowest_and_cmds_answer_over_tcp() {
+        use gencon_trace::CmdExemplar;
+        let state = test_state();
+        let rec = state.recorder.clone();
+        // One command's life: submitted → queued → batched into slot 4
+        // → decided → acked (detail = decided slot).
+        rec.record(Stage::Ingest, EventKind::Submitted, 7, 0);
+        rec.record(Stage::Ingest, EventKind::CmdQueued, 7, 1);
+        rec.record(Stage::Order, EventKind::Batched, 7, 4);
+        rec.record(Stage::Order, EventKind::Proposed, 4, 1);
+        rec.record(Stage::Order, EventKind::Decided, 4, 1);
+        rec.record(Stage::Ack, EventKind::CmdAcked, 7, 4);
+        for (cmd, e2e) in [(7u64, 900u64), (8, 100)] {
+            state.slow_cmds.offer(CmdExemplar {
+                cmd,
+                e2e_us: e2e,
+                slot: 4,
+                submitted_ts_us: 10,
+                relay_hops: 0,
+            });
+        }
+        let addr = spawn_admin("127.0.0.1:0".parse().unwrap(), state).unwrap();
+
+        let cmds = query(addr, "cmds");
+        assert_eq!(cmds.lines().count(), 1, "{cmds}");
+        assert!(cmds.contains("\"cmd\":7"), "{cmds}");
+        assert!(cmds.contains("\"slot\":4"), "{cmds}");
+        assert!(cmds.contains("\"e2e_us\""), "{cmds}");
+
+        let slowest = query(addr, "slowest");
+        assert_eq!(slowest.lines().count(), 2, "{slowest}");
+        assert!(
+            slowest.lines().next().unwrap().contains("\"cmd\":7"),
+            "slowest first: {slowest}"
+        );
+        let one = query(addr, "slowest 1");
+        assert_eq!(one.lines().count(), 1, "{one}");
+        assert!(one.contains("\"e2e_us\":900"), "{one}");
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! Runs `--clients` logical clients, each keeping `--outstanding` commands
 //! in flight, until `--count` commands have been acked as committed.
 //! Reports wall-clock throughput and exact submit→commit latency
-//! percentiles (sorted-sample, in microseconds). Backpressure bounces are
-//! retried after a pause; redirects reconnect to the named server when
-//! `--servers` is given.
+//! percentiles (sorted-sample, in microseconds). Backpressure bounces
+//! are retried after a bounded exponential backoff with deterministic
+//! jitter (1 ms doubling to a 64 ms ceiling, equal-jittered by a hash
+//! of the bounce count so concurrent clients desynchronise without any
+//! RNG state); redirects reconnect to the named server when `--servers`
+//! is given.
 //!
 //! `--workload kv` drives a `--app kv` server end-to-end: each client
 //! interleaves puts and gets over a `--keys`-sized keyspace and the acks
@@ -21,7 +24,8 @@
 //!
 //! `--json` replaces the human-readable report with a single JSON object
 //! on stdout (counts, wall clock, throughput, latency percentiles,
-//! bounce tallies, kv hit/miss counts) for scripted harnesses and CI.
+//! bounce tallies, total backoff wait, kv hit/miss counts) for scripted
+//! harnesses and CI.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -47,6 +51,24 @@ fn decode_client(cmd: u64) -> u16 {
 
 fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
     parse_flag("gencon-client", args, flag, default)
+}
+
+/// Backpressure retry delay: bounded exponential over the consecutive
+/// bounce `streak` (1 ms doubling to a 64 ms ceiling) with equal
+/// jitter — the delay lands in `[exp/2, exp]`, the jitter half picked
+/// by a mix of the global bounce count. Deterministic (same bounce
+/// sequence, same delays) yet desynchronising, since concurrent
+/// clients reach different bounce counts.
+fn backoff_delay(streak: u32, bounces: u64) -> Duration {
+    const BASE_US: u64 = 1_000;
+    const CAP_US: u64 = 64_000;
+    let exp = (BASE_US << streak.min(6)).min(CAP_US);
+    // SplitMix64-style finalizer as the jitter hash.
+    let mut x = bounces.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    Duration::from_micros(exp / 2 + x % (exp / 2 + 1))
 }
 
 /// A connected submit stream plus the channel its reader thread feeds.
@@ -102,6 +124,7 @@ struct RunReport {
     max_us: u64,
     backpressured: u64,
     redirects: u64,
+    retry_wait: Duration,
 }
 
 impl RunReport {
@@ -126,8 +149,10 @@ impl RunReport {
         );
         if self.backpressured + self.redirects > 0 {
             println!(
-                "bounces: {} backpressure, {} redirect",
-                self.backpressured, self.redirects
+                "bounces: {} backpressure, {} redirect — {:.1}ms total backoff wait",
+                self.backpressured,
+                self.redirects,
+                self.retry_wait.as_secs_f64() * 1_000.0
             );
         }
     }
@@ -138,7 +163,8 @@ impl RunReport {
         format!(
             "{{\"acked\":{},\"wall_s\":{:.3},\"cmds_per_sec\":{:.0},\
              \"latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}},\
-             \"backpressure_bounces\":{},\"redirect_bounces\":{}{extra}}}",
+             \"backpressure_bounces\":{},\"redirect_bounces\":{},\
+             \"retry_wait_us\":{}{extra}}}",
             self.acked,
             self.wall_s,
             self.cmds_per_sec(),
@@ -148,6 +174,7 @@ impl RunReport {
             self.max_us,
             self.backpressured,
             self.redirects,
+            self.retry_wait.as_micros(),
         )
     }
 }
@@ -278,6 +305,8 @@ where
     let mut latencies_us: Vec<u64> = Vec::with_capacity(shared.count as usize);
     let mut backpressured: u64 = 0;
     let mut redirects: u64 = 0;
+    let mut bp_streak: u32 = 0;
+    let mut retry_wait = Duration::ZERO;
     let started = Instant::now();
 
     // Retries and redirect re-submissions keep the first submit instant:
@@ -318,6 +347,7 @@ where
                 let Some(sent) = submitted.remove(&cmd) else {
                     continue; // duplicate ack
                 };
+                bp_streak = 0; // the server is accepting again
                 on_reply(reply);
                 latencies_us.push(at.duration_since(sent).as_micros() as u64);
                 // Closed loop: the acked client's window refills, until
@@ -332,7 +362,10 @@ where
             }
             ClientResponse::Backpressure { cmd, .. } => {
                 backpressured += 1;
-                std::thread::sleep(Duration::from_millis(10));
+                let delay = backoff_delay(bp_streak, backpressured);
+                bp_streak = bp_streak.saturating_add(1);
+                retry_wait += delay;
+                std::thread::sleep(delay);
                 submit(&mut stream, &mut submitted, cmd);
             }
             ClientResponse::Redirect { cmd, to } => {
@@ -370,5 +403,28 @@ where
         max_us: latencies_us.last().copied().unwrap_or(0),
         backpressured,
         redirects,
+        retry_wait,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential_with_equal_jitter() {
+        for streak in 0..20u32 {
+            for bounces in 1..50u64 {
+                let d = backoff_delay(streak, bounces).as_micros() as u64;
+                let exp = (1_000u64 << streak.min(6)).min(64_000);
+                assert!(d >= exp / 2 && d <= exp, "streak {streak}: {d} vs {exp}");
+            }
+        }
+        // Deterministic: same inputs, same delay.
+        assert_eq!(backoff_delay(3, 7), backoff_delay(3, 7));
+        // Jitter actually varies across bounce counts.
+        let delays: std::collections::HashSet<_> =
+            (1..20u64).map(|b| backoff_delay(6, b)).collect();
+        assert!(delays.len() > 1, "jitter never varied");
     }
 }

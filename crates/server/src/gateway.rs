@@ -60,11 +60,11 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use gencon_app::{App, Applier};
-use gencon_metrics::{Counter, Gauge, Histogram, Registry};
+use gencon_metrics::{Counter, Gauge, Histogram, Registry, SloTracker};
 use gencon_net::wire_sync::{FoldedState, SnapshotManifest};
 use gencon_smr::BatchingReplica;
-use gencon_trace::{EventKind, FlightRecorder, HashCell, Stage, Tracer};
-use gencon_types::ProcessId;
+use gencon_trace::{CmdExemplar, EventKind, FlightRecorder, HashCell, SlowCmdRing, Stage, Tracer};
+use gencon_types::{CmdKey, ProcessId};
 
 use crate::node::NodeHook;
 use crate::protocol::{read_frame, write_frame, ClientRequest, ClientResponse};
@@ -131,8 +131,14 @@ enum ApplyMsg<A: App> {
 /// outcomes) and the apply side (commit entries with replies). One
 /// channel, FIFO: an `Inflight` note always precedes its `Entry`.
 enum AckMsg<A: App> {
-    /// A fresh local submission was enqueued: remember who to answer.
-    Inflight { cmd: A::Cmd, conn: u64 },
+    /// A fresh local submission was enqueued: remember who to answer
+    /// and when the submit frame was drained (for the e2e latency the
+    /// released ack reports).
+    Inflight {
+        cmd: A::Cmd,
+        conn: u64,
+        submitted_us: u64,
+    },
     /// A command flattened and was applied; ack once durable.
     Entry {
         cmd: A::Cmd,
@@ -169,6 +175,8 @@ struct GatewayMeters {
     reacks: Counter,
     parked: Counter,
     dropped: Counter,
+    bounced_backpressure: Counter,
+    bounced_redirect: Counter,
 }
 
 impl GatewayMeters {
@@ -181,6 +189,8 @@ impl GatewayMeters {
             reacks: reg.counter("ack.reacks"),
             parked: reg.counter("ack.parked"),
             dropped: reg.counter("ack.dropped"),
+            bounced_backpressure: reg.counter("ack.bounced_backpressure"),
+            bounced_redirect: reg.counter("ack.bounced_redirect"),
         }
     }
 }
@@ -229,6 +239,14 @@ pub struct ClientGateway<A: App> {
     /// applied-count multiples of `every` (the memory-mode audit trail;
     /// durable nodes publish from the snapshot fold instead).
     hash_cell: Option<(HashCell, u64)>,
+    /// Classifies each released ack's e2e latency against the SLO
+    /// budget (`--slo-p99-us`).
+    slo: Option<SloTracker>,
+    /// Retains top-K-by-e2e exemplars for the admin `slowest` command.
+    slow_ring: Option<SlowCmdRing>,
+    /// Fallback submit-timestamp clock when no tracer is installed
+    /// (`Tracer::now_us` is 0 when disabled; e2e still needs a clock).
+    epoch: std::time::Instant,
     meters: GatewayMeters,
     tracer: Tracer,
     cfg: GatewayConfig,
@@ -290,6 +308,9 @@ impl<A: App> ClientGateway<A> {
             inflight_count: Arc::new(AtomicUsize::new(0)),
             ack_gate: None,
             hash_cell: None,
+            slo: None,
+            slow_ring: None,
+            epoch: std::time::Instant::now(),
             meters: GatewayMeters::new(&Registry::new()),
             tracer: Tracer::disabled(),
             cfg,
@@ -340,6 +361,28 @@ impl<A: App> ClientGateway<A> {
         self
     }
 
+    /// Installs an SLO tracker: every released ack's end-to-end latency
+    /// (submit-frame drain → reply released) is classified against the
+    /// tracker's budget into the `slo.good`/`slo.bad` registry counters.
+    /// Must run before the first round, like
+    /// [`with_metrics`](ClientGateway::with_metrics).
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloTracker) -> ClientGateway<A> {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Installs the slow-command exemplar ring: each released ack's
+    /// `(cmd, e2e, slot)` is offered to `ring`, which keeps the top-K
+    /// by e2e for the admin `slowest` command. Share the same ring with
+    /// the admin endpoint. Must run before the first round, like
+    /// [`with_metrics`](ClientGateway::with_metrics).
+    #[must_use]
+    pub fn with_slow_ring(mut self, ring: SlowCmdRing) -> ClientGateway<A> {
+        self.slow_ring = Some(ring);
+        self
+    }
+
     /// Publishes the live app's `(applied count, state hash)` into
     /// `cell` whenever the applied count reaches a multiple of `every`
     /// (0 disables). Memory-mode nodes use this for the admin `hash`
@@ -382,6 +425,29 @@ impl<A: App> ClientGateway<A> {
     #[must_use]
     pub fn acks_dropped(&self) -> u64 {
         self.acks_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Submissions bounced with `Backpressure` so far.
+    #[must_use]
+    pub fn bounced_backpressure(&self) -> u64 {
+        self.meters.bounced_backpressure.get()
+    }
+
+    /// Submissions bounced with `Redirect` so far.
+    #[must_use]
+    pub fn bounced_redirect(&self) -> u64 {
+        self.meters.bounced_redirect.get()
+    }
+
+    /// The submit-timestamp clock: the tracer's recorder clock when
+    /// tracing (so stamps and spans share a timebase), else a private
+    /// epoch. Both ends of an e2e measurement use the same source.
+    fn stamp_us(&self) -> u64 {
+        if self.tracer.enabled() {
+            self.tracer.now_us()
+        } else {
+            self.epoch.elapsed().as_micros() as u64
+        }
     }
 
     /// Blocks until every delta and ack note shipped so far has been
@@ -437,6 +503,9 @@ impl<A: App> ClientGateway<A> {
             bounced: Arc::clone(&self.bounced),
             acks_dropped: Arc::clone(&self.acks_dropped),
             inflight_count: Arc::clone(&self.inflight_count),
+            slo: self.slo.clone(),
+            slow: self.slow_ring.clone(),
+            epoch: self.epoch,
             m: self.meters.clone(),
             t: self.tracer.clone(),
         };
@@ -590,8 +659,9 @@ struct AckState<A: App> {
     conns: Conns,
     cfg: GatewayConfig,
     gate: Option<Arc<AtomicU64>>,
-    /// Locally submitted, not yet acked: command → connection.
-    inflight: HashMap<A::Cmd, u64>,
+    /// Locally submitted, not yet acked: command →
+    /// `(connection, submit timestamp)`.
+    inflight: HashMap<A::Cmd, (u64, u64)>,
     /// Applied but not yet acked `(cmd, slot, offset, reply, enq_us)` —
     /// drained in offset order as the durable watermark advances
     /// (immediately, without a gate). `enq_us` is the tracer timestamp
@@ -612,6 +682,10 @@ struct AckState<A: App> {
     bounced: Arc<AtomicU64>,
     acks_dropped: Arc<AtomicU64>,
     inflight_count: Arc<AtomicUsize>,
+    slo: Option<SloTracker>,
+    slow: Option<SlowCmdRing>,
+    /// Same fallback clock as the order side's submit stamps.
+    epoch: std::time::Instant,
     m: GatewayMeters,
     t: Tracer,
 }
@@ -633,11 +707,15 @@ impl<A: App> AckState<A> {
 
     fn handle(&mut self, msg: AckMsg<A>) {
         match msg {
-            AckMsg::Inflight { cmd, conn } => {
+            AckMsg::Inflight {
+                cmd,
+                conn,
+                submitted_us,
+            } => {
                 if self.reack(&cmd, conn) {
                     return; // raced past its own commit (belt & braces)
                 }
-                if self.inflight.insert(cmd, conn).is_none() {
+                if self.inflight.insert(cmd, (conn, submitted_us)).is_none() {
                     self.inflight_count.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -674,7 +752,7 @@ impl<A: App> AckState<A> {
                 if self.reack(&cmd, conn) {
                     return;
                 }
-                if let Some(owner) = self.inflight.get_mut(&cmd) {
+                if let Some((owner, _)) = self.inflight.get_mut(&cmd) {
                     // Still awaiting its commit: the newest connection
                     // wins the eventual ack.
                     *owner = conn;
@@ -682,6 +760,17 @@ impl<A: App> AckState<A> {
                 }
                 if let Some(resp) = fallback {
                     self.bounced.fetch_add(1, Ordering::Relaxed);
+                    let kind = match &resp {
+                        ClientResponse::Redirect { .. } => 1,
+                        _ => 0,
+                    };
+                    if kind == 1 {
+                        self.m.bounced_redirect.inc();
+                    } else {
+                        self.m.bounced_backpressure.inc();
+                    }
+                    self.t
+                        .rec(Stage::Ack, EventKind::Bounced, cmd.cmd_key(), kind);
                     self.respond(conn, &resp);
                     return;
                 }
@@ -748,8 +837,32 @@ impl<A: App> AckState<A> {
                 self.t.now_us().saturating_sub(enq_us),
             );
             self.index_committed(cmd.clone(), slot, offset, Some(reply.clone()));
-            if let Some(conn) = self.inflight.remove(&cmd) {
+            if let Some((conn, submitted_us)) = self.inflight.remove(&cmd) {
                 self.inflight_count.fetch_sub(1, Ordering::Relaxed);
+                // The locally submitted command's full story: stamp the
+                // ack (detail = decided slot, the join key into slot
+                // spans), classify the e2e against the SLO budget, and
+                // offer it to the slow-command exemplar ring.
+                let now = if self.t.enabled() {
+                    self.t.now_us()
+                } else {
+                    self.epoch.elapsed().as_micros() as u64
+                };
+                let e2e = now.saturating_sub(submitted_us);
+                self.t
+                    .rec(Stage::Ack, EventKind::CmdAcked, cmd.cmd_key(), slot);
+                if let Some(slo) = &self.slo {
+                    slo.observe(e2e);
+                }
+                if let Some(ring) = &self.slow {
+                    ring.offer(CmdExemplar {
+                        cmd: cmd.cmd_key(),
+                        e2e_us: e2e,
+                        slot,
+                        submitted_ts_us: submitted_us,
+                        relay_hops: 0,
+                    });
+                }
                 self.respond(
                     conn,
                     &ClientResponse::Committed {
@@ -832,6 +945,13 @@ impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
     fn before_round(&mut self, _round: u64, replica: &mut BatchingReplica<A::Cmd>) {
         self.ensure_stages();
         while let Ok((conn_id, cmd)) = self.submissions.try_recv() {
+            // The submit stamp covers every arrival — bounced commands
+            // trace too (their span ends at the `bounced` event).
+            let submitted_us = self.stamp_us();
+            if self.tracer.enabled() {
+                self.tracer
+                    .rec(Stage::Ingest, EventKind::Submitted, cmd.cmd_key(), conn_id);
+            }
             if let Some(to) = self.cfg.redirect_to {
                 // The ack stage checks its commit index before bouncing:
                 // a retry of a committed command is re-acked, not
@@ -853,7 +973,19 @@ impl<A: App> NodeHook<A::Cmd> for ClientGateway<A> {
                 continue;
             }
             if replica.submit(cmd.clone()) {
-                self.ship_ack(AckMsg::Inflight { cmd, conn: conn_id });
+                if self.tracer.enabled() {
+                    self.tracer.rec(
+                        Stage::Ingest,
+                        EventKind::CmdQueued,
+                        cmd.cmd_key(),
+                        replica.queued() as u64,
+                    );
+                }
+                self.ship_ack(AckMsg::Inflight {
+                    cmd,
+                    conn: conn_id,
+                    submitted_us,
+                });
             } else {
                 // Dedup-swallowed: already committed (re-ack from the
                 // index), still inflight (adopt the new connection), or

@@ -67,7 +67,7 @@ use gencon_net::{RecvHalf, Transport};
 use gencon_rounds::{HeardOf, Outgoing, RoundProcess};
 use gencon_smr::{Batch, BatchingReplica, SmrMsg};
 use gencon_trace::{EventKind, FlightRecorder, PeerTable, Stage, Tracer};
-use gencon_types::{ProcessId, ProcessSet, Round, Value};
+use gencon_types::{CmdKey, ProcessId, ProcessSet, Round, Value};
 
 use crate::config::ServerConfig;
 use crate::deadline::AdaptiveDeadline;
@@ -205,6 +205,45 @@ pub const CHUNKS_SERVED_PER_SENDER_PER_ROUND: u32 = 16;
 /// fresh) — the resumability safety valve against chasing a snapshot
 /// the vouchers have already superseded.
 pub const FETCH_STALL_ROUNDS: u64 = 32;
+
+/// Command ids remembered per relay-trace direction. Relay chunks
+/// rebroadcast in-flight commands every round, so without first-seen
+/// gating a single slow command would stamp a `Relayed`/`RelayMerged`
+/// event per round per peer and flood the flight recorder.
+const RELAY_SEEN_CAP: usize = 8192;
+
+/// A bounded first-seen filter: `insert` answers whether the key is new
+/// within the window. FIFO eviction — old ids age out, so a command
+/// re-relayed long after its window can stamp again (acceptable: span
+/// assembly is first-occurrence-wins anyway).
+struct SeenWindow {
+    set: std::collections::HashSet<u64>,
+    order: std::collections::VecDeque<u64>,
+    cap: usize,
+}
+
+impl SeenWindow {
+    fn new(cap: usize) -> Self {
+        SeenWindow {
+            set: std::collections::HashSet::with_capacity(cap),
+            order: std::collections::VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    fn insert(&mut self, key: u64) -> bool {
+        if !self.set.insert(key) {
+            return false;
+        }
+        self.order.push_back(key);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
 
 /// Senders heard within the liveness grace window (everyone at startup,
 /// since nobody has had a chance to speak yet).
@@ -397,7 +436,7 @@ pub fn run_smr_node<V, T, H>(
     hook: H,
 ) -> (BatchingReplica<V>, T, NodeStats, H)
 where
-    V: Value + Wire,
+    V: Value + Wire + CmdKey,
     T: Transport,
     H: NodeHook<V>,
 {
@@ -436,7 +475,7 @@ pub fn run_smr_node_metered<V, T, H>(
     metrics: Option<&Registry>,
 ) -> (BatchingReplica<V>, T, NodeStats, H)
 where
-    V: Value + Wire,
+    V: Value + Wire + CmdKey,
     T: Transport,
     H: NodeHook<V>,
 {
@@ -460,7 +499,7 @@ pub fn run_smr_node_observed<V, T, H>(
     peers: Option<&PeerTable>,
 ) -> (BatchingReplica<V>, T, NodeStats, H)
 where
-    V: Value + Wire,
+    V: Value + Wire + CmdKey,
     T: Transport,
     H: NodeHook<V>,
 {
@@ -524,7 +563,7 @@ fn order_loop<V, T, H>(
     peers: &PeerTable,
 ) -> NodeStats
 where
-    V: Value + Wire,
+    V: Value + Wire + CmdKey,
     T: Transport,
     H: NodeHook<V>,
 {
@@ -576,6 +615,10 @@ where
     // slots in an outgoing bundle get a `proposed` trace event exactly
     // once.
     let mut proposed_next: u64 = 0;
+    // First-seen windows gating the per-command relay stamps (relay
+    // chunks repeat in-flight commands every round).
+    let mut relayed_seen = SeenWindow::new(RELAY_SEEN_CAP);
+    let mut merged_seen = SeenWindow::new(RELAY_SEEN_CAP);
 
     let mut r: u64 = 1;
     while r <= cfg.max_rounds {
@@ -599,11 +642,33 @@ where
         hook.before_round(r, replica);
 
         // --- send step ---
-        let trace_proposed = |m: &SmrMsg<Batch<V>>, next: &mut u64| {
+        // Stamps the outgoing bundle: `Proposed` once per new slot,
+        // `Batched` once per command drained into a new slot's batch
+        // (the batch-wait endpoint, detail = the proposed slot), and
+        // `Relayed` once per first-relayed command (detail = peers the
+        // chunk ships to).
+        let trace_outgoing = |m: &SmrMsg<Batch<V>>,
+                              next: &mut u64,
+                              replica: &BatchingReplica<V>,
+                              relayed_seen: &mut SeenWindow,
+                              dest_peers: u64| {
             if tracer.enabled() {
                 for (slot, _) in m.iter() {
                     if slot >= *next {
                         tracer.rec(Stage::Order, EventKind::Proposed, slot, r);
+                        if let Some(cmds) = replica.proposed_batch(slot) {
+                            for cmd in cmds {
+                                tracer.rec(Stage::Order, EventKind::Batched, cmd.cmd_key(), slot);
+                            }
+                        }
+                    }
+                }
+                for chunk in m.relays() {
+                    for cmd in chunk.commands() {
+                        let key = cmd.cmd_key();
+                        if relayed_seen.insert(key) {
+                            tracer.rec(Stage::Order, EventKind::Relayed, key, dest_peers);
+                        }
                     }
                 }
                 *next = (*next).max(max_slot_of(m) + 1);
@@ -622,7 +687,13 @@ where
                 for d in (0..n).map(ProcessId::new).filter(|&d| d != me) {
                     transport.send(d, frame.clone());
                 }
-                trace_proposed(&m, &mut proposed_next);
+                trace_outgoing(
+                    &m,
+                    &mut proposed_next,
+                    replica,
+                    &mut relayed_seen,
+                    n as u64 - 1,
+                );
                 loopback = Some(m);
             }
             Outgoing::Multicast { dests, msg } => {
@@ -632,7 +703,13 @@ where
                     msg: msg.clone(),
                 })
                 .to_bytes();
-                trace_proposed(&msg, &mut proposed_next);
+                trace_outgoing(
+                    &msg,
+                    &mut proposed_next,
+                    replica,
+                    &mut relayed_seen,
+                    dests.iter().filter(|&d| d != me).count() as u64,
+                );
                 for d in dests.iter() {
                     if d == me {
                         loopback = Some(msg.clone());
@@ -651,6 +728,21 @@ where
         }
         if let Some(buffered) = future.remove(&r) {
             for (sender, msg) in buffered {
+                if tracer.enabled() {
+                    for chunk in msg.relays() {
+                        for cmd in chunk.commands() {
+                            let key = cmd.cmd_key();
+                            if merged_seen.insert(key) {
+                                tracer.rec(
+                                    Stage::Order,
+                                    EventKind::RelayMerged,
+                                    key,
+                                    sender.index() as u64,
+                                );
+                            }
+                        }
+                    }
+                }
                 heard.put(sender, msg);
             }
         }
@@ -837,6 +929,24 @@ where
             match env.round.number().cmp(&r) {
                 std::cmp::Ordering::Less => {} // closed round: drop
                 std::cmp::Ordering::Equal => {
+                    // Stamp each first-seen relayed command before the
+                    // bundle moves into the heard set — the receive step
+                    // below merges fresh relays into the propose queue.
+                    if tracer.enabled() {
+                        for chunk in env.msg.relays() {
+                            for cmd in chunk.commands() {
+                                let key = cmd.cmd_key();
+                                if merged_seen.insert(key) {
+                                    tracer.rec(
+                                        Stage::Order,
+                                        EventKind::RelayMerged,
+                                        key,
+                                        sender.index() as u64,
+                                    );
+                                }
+                            }
+                        }
+                    }
                     heard.put(sender, env.msg);
                     if !quorum_done && heard.count() >= td {
                         quorum_done = true;

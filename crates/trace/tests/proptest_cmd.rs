@@ -1,0 +1,182 @@
+//! Property tests for command spans and the slow-command exemplar
+//! ring: lifecycle causality survives assembly, the segment sum equals
+//! the end-to-end time, the ring keeps the true top-K under concurrent
+//! writers, and no event soup can panic the assembler.
+
+use proptest::prelude::*;
+
+use gencon_trace::{
+    assemble_cmd_spans, assemble_spans, CmdExemplar, EventKind, SlowCmdRing, Stage, TraceEvent,
+};
+
+/// A well-formed single-command lifecycle at strictly ordered
+/// timestamps, plus the decided slot span anchoring its order segment.
+fn lifecycle(
+    cmd: u64,
+    slot: u64,
+    gaps: [u64; 5],
+) -> (Vec<TraceEvent>, Vec<gencon_trace::SlotSpan>) {
+    let ev = |ts_us, stage, kind, slot, detail| TraceEvent {
+        ts_us,
+        stage,
+        kind,
+        slot,
+        detail,
+    };
+    let submitted = 100;
+    let queued = submitted + gaps[0];
+    let batched = queued + gaps[1];
+    let decided = batched + gaps[2];
+    let acked = decided + gaps[3] + gaps[4];
+    let events = vec![
+        ev(submitted, Stage::Ingest, EventKind::Submitted, cmd, 1),
+        ev(queued, Stage::Ingest, EventKind::CmdQueued, cmd, 4),
+        ev(batched, Stage::Order, EventKind::Batched, cmd, slot),
+        ev(batched, Stage::Order, EventKind::Proposed, slot, 1),
+        ev(decided, Stage::Order, EventKind::Decided, slot, 1),
+        ev(acked, Stage::Ack, EventKind::CmdAcked, cmd, slot),
+    ];
+    let slots = assemble_spans(&events);
+    (events, slots)
+}
+
+proptest! {
+    /// Causality survives assembly: for any well-formed lifecycle,
+    /// `submitted ≤ queued ≤ batched ≤ decided ≤ acked` in the span's
+    /// own timestamps, and every segment is the matching difference.
+    #[test]
+    fn lifecycle_causality_holds(
+        cmd in 1u64..u64::MAX,
+        slot in 0u64..1 << 40,
+        gaps in proptest::collection::vec(0u64..100_000, 5),
+    ) {
+        let gaps = [gaps[0], gaps[1], gaps[2], gaps[3], gaps[4]];
+        let (events, slots) = lifecycle(cmd, slot, gaps);
+        let spans = assemble_cmd_spans(&events, &slots);
+        prop_assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        prop_assert_eq!(s.cmd, cmd);
+        prop_assert_eq!(s.slot, Some(slot));
+        let submitted = s.submitted_ts_us.unwrap();
+        let queued = s.queued_ts_us.unwrap();
+        let batched = s.batched_ts_us.unwrap();
+        let acked = s.acked_ts_us.unwrap();
+        prop_assert!(submitted <= queued);
+        prop_assert!(queued <= batched);
+        prop_assert!(batched <= acked);
+        prop_assert_eq!(s.queue_wait_us, Some(gaps[0]));
+        prop_assert_eq!(s.batch_wait_us, Some(gaps[1]));
+        prop_assert_eq!(s.order_us, Some(gaps[2]));
+        prop_assert_eq!(s.ack_us, Some(gaps[3] + gaps[4]));
+        prop_assert_eq!(s.e2e_us, Some(gaps.iter().sum::<u64>()));
+    }
+
+    /// The segments tile the span exactly: queue wait + batch wait +
+    /// order + ack sums to e2e whenever all five stamps are present
+    /// (the stamps share one clock, so there is no rounding slack to
+    /// hide in).
+    #[test]
+    fn segment_sum_equals_e2e(
+        cmd in 1u64..u64::MAX,
+        slot in 0u64..1 << 40,
+        gaps in proptest::collection::vec(0u64..1_000_000, 5),
+    ) {
+        let gaps = [gaps[0], gaps[1], gaps[2], gaps[3], gaps[4]];
+        let (events, slots) = lifecycle(cmd, slot, gaps);
+        let spans = assemble_cmd_spans(&events, &slots);
+        let s = &spans[0];
+        let sum = s.queue_wait_us.unwrap()
+            + s.batch_wait_us.unwrap()
+            + s.order_us.unwrap()
+            + s.ack_us.unwrap();
+        prop_assert_eq!(Some(sum), s.e2e_us);
+    }
+
+    /// Concurrent writers offering distinct e2e values: the ring ends
+    /// holding exactly the K slowest of everything offered. (Per-slot
+    /// values only ever grow, and an offer is dropped only after
+    /// verifying K residents at least as slow exist — so no top-K entry
+    /// can be lost to a race.)
+    #[test]
+    fn exemplar_ring_holds_true_top_k_under_concurrency(
+        writers in 2usize..5,
+        per_writer in 1usize..40,
+        seed in 0u64..1 << 30,
+    ) {
+        let ring = SlowCmdRing::new();
+        // Distinct e2e values, deterministically shuffled across writers.
+        let mut all: Vec<u64> = (0..writers * per_writer)
+            .map(|i| (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) % 1_000_003 * 64 + i as u64)
+            .collect();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let ring = ring.clone();
+                let chunk: Vec<u64> =
+                    all[w * per_writer..(w + 1) * per_writer].to_vec();
+                s.spawn(move || {
+                    for e2e in chunk {
+                        ring.offer(CmdExemplar {
+                            cmd: e2e, // cmd mirrors e2e: lets the check catch torn slots
+                            e2e_us: e2e,
+                            slot: e2e / 2,
+                            submitted_ts_us: e2e / 3,
+                            relay_hops: (e2e % 7) as u32,
+                        });
+                    }
+                });
+            }
+        });
+        let top = ring.top(ring.capacity());
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        let expect: Vec<u64> = all.iter().copied().take(ring.capacity()).collect();
+        let got: Vec<u64> = top.iter().map(|e| e.e2e_us).collect();
+        prop_assert_eq!(got, expect);
+        for e in &top {
+            prop_assert_eq!(e.cmd, e.e2e_us);
+            prop_assert_eq!(e.slot, e.e2e_us / 2);
+        }
+    }
+
+    /// Random event soup — arbitrary kinds, ids, details, timestamps —
+    /// joined against whatever slot spans the soup itself yields (and
+    /// against none at all) never panics, and every produced span
+    /// renders to JSON.
+    #[test]
+    fn random_soup_never_panics(
+        raw in proptest::collection::vec(
+            (0u64..1 << 20, 0usize..27, 0u64..64, 0u64..1 << 20),
+            0..400,
+        ),
+    ) {
+        let kinds = [
+            EventKind::Ingested, EventKind::Shed, EventKind::Proposed,
+            EventKind::RoundAdvance, EventKind::Timeout, EventKind::Decided,
+            EventKind::ApplyQueued, EventKind::Applied, EventKind::PersistQueued,
+            EventKind::Persisted, EventKind::Acked, EventKind::SnapshotRequested,
+            EventKind::ManifestServed, EventKind::ChunkServed, EventKind::ChunkFetched,
+            EventKind::SnapshotInstalled, EventKind::PeerWrittenOff,
+            EventKind::PeerReEnrolled, EventKind::HeardFrom, EventKind::QuorumReached,
+            EventKind::Submitted, EventKind::CmdQueued, EventKind::Batched,
+            EventKind::Relayed, EventKind::RelayMerged, EventKind::Bounced,
+            EventKind::CmdAcked,
+        ];
+        let events: Vec<TraceEvent> = raw
+            .iter()
+            .map(|&(ts_us, k, slot, detail)| TraceEvent {
+                ts_us,
+                stage: Stage::Order,
+                kind: kinds[k % kinds.len()],
+                slot,
+                detail,
+            })
+            .collect();
+        let slots = assemble_spans(&events);
+        for with_slots in [&slots[..], &[]] {
+            let spans = assemble_cmd_spans(&events, with_slots);
+            for s in &spans {
+                let j = s.to_json();
+                prop_assert!(j.starts_with('{') && j.ends_with('}'), "{}", j);
+            }
+        }
+    }
+}

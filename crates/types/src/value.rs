@@ -25,6 +25,25 @@ pub trait Value: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
 
 impl<T> Value for T where T: Clone + Eq + Ord + Hash + Debug + Send + 'static {}
 
+/// A command that carries a compact, client-namespaced tracing id.
+///
+/// The per-command trace (`gencon-trace`'s `Submitted`…`CmdAcked`
+/// events) keys every stamp by a `u64` so the hot path never hashes or
+/// serialises the command itself. Client-side id construction
+/// (`gencon_load::encode_cmd`) already packs `(replica, client, seq)`
+/// into a unique `u64`; command types simply expose it here. For plain
+/// `u64` commands the command *is* its own key.
+pub trait CmdKey {
+    /// The compact id trace events are keyed by.
+    fn cmd_key(&self) -> u64;
+}
+
+impl CmdKey for u64 {
+    fn cmd_key(&self) -> u64 {
+        *self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
